@@ -1,0 +1,52 @@
+// Reproduces Table 1 of the paper: ClickBench query times on a single
+// core for Fusion vs. the tightly-integrated baseline (TIE, the DuckDB
+// stand-in). Scale via FUSION_BENCH_ROWS / FUSION_BENCH_FILES env vars.
+
+#include <cstdio>
+
+#include "bench/bench_harness.h"
+#include "bench/workloads/clickbench.h"
+
+using namespace fusion;          // NOLINT
+using namespace fusion::bench;   // NOLINT
+
+int main() {
+  ClickBenchSpec spec;
+  spec.rows = EnvScale("FUSION_BENCH_ROWS", 2'000'000);
+  spec.num_files = static_cast<int>(EnvScale("FUSION_BENCH_FILES", 20));
+  spec.dir = BenchDataDir();
+
+  std::printf("== Table 1: ClickBench, single core ==\n");
+  std::printf("dataset: %lld rows across %d FPQ files in %s\n",
+              static_cast<long long>(spec.rows), spec.num_files,
+              spec.dir.c_str());
+  Timer gen_timer;
+  auto paths = GenerateClickBench(spec);
+  if (!paths.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 paths.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("generation/reuse: %.1fs\n\n", gen_timer.Seconds());
+
+  auto fusion_ctx = MakeBenchSession(/*target_partitions=*/1);
+  auto tie_ctx = MakeBenchSession(/*target_partitions=*/1);
+  auto st = RegisterHits(fusion_ctx.get(), tie_ctx.get(), *paths);
+  if (!st.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  PrintComparisonHeader();
+  double fusion_total = 0, tie_total = 0;
+  for (const auto& q : ClickBenchQueries()) {
+    QueryTiming fusion = RunFusion(fusion_ctx.get(), q.sql);
+    QueryTiming tie = RunTie(tie_ctx.get(), q.sql);
+    PrintComparison(q.number, fusion, tie);
+    if (fusion.ok) fusion_total += fusion.seconds;
+    if (tie.ok) tie_total += tie.seconds;
+  }
+  std::printf("-----------------------------------------------\n");
+  std::printf("%-6s %9.3fs %9.3fs\n", "total", fusion_total, tie_total);
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "bench/bench_harness.h"
+
+#include <cstdio>
+
+#include "catalog/file_tables.h"
+
+namespace fusion {
+namespace bench {
+
+QueryTiming RunFusion(core::SessionContext* ctx, const std::string& sql, int runs) {
+  QueryTiming out;
+  for (int i = 0; i < runs; ++i) {
+    Timer timer;
+    auto result = ctx->ExecuteSql(sql);
+    double secs = timer.Seconds();
+    if (!result.ok()) {
+      out.error = result.status().ToString();
+      return out;
+    }
+    int64_t rows = 0;
+    for (const auto& b : *result) rows += b->num_rows();
+    if (i == 0 || secs < out.seconds) out.seconds = secs;
+    out.rows = rows;
+  }
+  out.ok = true;
+  return out;
+}
+
+QueryTiming RunTie(core::SessionContext* ctx, const std::string& sql, int runs) {
+  QueryTiming out;
+  for (int i = 0; i < runs; ++i) {
+    Timer timer;
+    auto plan = ctx->CreateLogicalPlan(sql);
+    if (!plan.ok()) {
+      out.error = plan.status().ToString();
+      return out;
+    }
+    auto optimized = ctx->OptimizePlan(*plan);
+    if (!optimized.ok()) {
+      out.error = optimized.status().ToString();
+      return out;
+    }
+    baseline::TieEngine engine;
+    auto result = engine.Execute(*optimized);
+    double secs = timer.Seconds();
+    if (!result.ok()) {
+      out.error = result.status().ToString();
+      return out;
+    }
+    int64_t rows = 0;
+    for (const auto& b : *result) rows += b->num_rows();
+    if (i == 0 || secs < out.seconds) out.seconds = secs;
+    out.rows = rows;
+  }
+  out.ok = true;
+  return out;
+}
+
+void PrintComparisonHeader(const char* fusion_name, const char* tie_name) {
+  std::printf("%-6s %10s %10s   %s\n", "Query", fusion_name, tie_name, "Delta");
+  std::printf("-----------------------------------------------\n");
+}
+
+void PrintComparison(int query, const QueryTiming& fusion,
+                     const QueryTiming& tie) {
+  if (!fusion.ok || !tie.ok) {
+    std::printf("%-6d %10s %10s   %s\n", query,
+                fusion.ok ? "ok" : "FAIL", tie.ok ? "ok" : "FAIL",
+                (!fusion.ok ? fusion.error : tie.error).c_str());
+    return;
+  }
+  double ratio = fusion.seconds > 0 ? tie.seconds / fusion.seconds : 0;
+  char delta[64];
+  if (ratio >= 1.0) {
+    std::snprintf(delta, sizeof(delta), "%.2fx faster", ratio);
+  } else {
+    std::snprintf(delta, sizeof(delta), "%.2fx slower", 1.0 / ratio);
+  }
+  std::printf("%-6d %9.3fs %9.3fs   %s\n", query, fusion.seconds, tie.seconds,
+              delta);
+}
+
+core::SessionContextPtr MakeBenchSession(int target_partitions) {
+  exec::SessionConfig config;
+  config.target_partitions = target_partitions;
+  return core::SessionContext::Make(config);
+}
+
+Status RegisterHits(core::SessionContext* fusion_ctx,
+                    core::SessionContext* tie_ctx,
+                    const std::vector<std::string>& paths) {
+  FUSION_ASSIGN_OR_RAISE(auto fusion_table, catalog::FpqTable::Open(paths));
+  FUSION_RETURN_NOT_OK(fusion_ctx->RegisterTable("hits", fusion_table));
+  if (tie_ctx != nullptr) {
+    FUSION_ASSIGN_OR_RAISE(auto tie_table, catalog::FpqTable::Open(paths));
+    tie_table->SetPushdownEnabled(false);
+    FUSION_RETURN_NOT_OK(tie_ctx->RegisterTable("hits", tie_table));
+  }
+  return Status::OK();
+}
+
+}  // namespace bench
+}  // namespace fusion

@@ -1,0 +1,51 @@
+#ifndef FUSION_BENCH_BENCH_HARNESS_H_
+#define FUSION_BENCH_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/tie_engine.h"
+#include "bench/workloads/workload_util.h"
+#include "core/session_context.h"
+
+namespace fusion {
+namespace bench {
+
+/// Result of timing one query on one engine.
+struct QueryTiming {
+  double seconds = 0;
+  int64_t rows = 0;
+  bool ok = false;
+  std::string error;
+};
+
+/// Run a SQL query on the Fusion engine; best of `runs` runs.
+QueryTiming RunFusion(core::SessionContext* ctx, const std::string& sql,
+                      int runs = 1);
+
+/// Run a SQL query on the TIE baseline: the plan comes from `ctx`'s
+/// frontend/optimizer (with scan pushdown disabled via the registered
+/// tables), execution is TIE's.
+QueryTiming RunTie(core::SessionContext* ctx, const std::string& sql,
+                   int runs = 1);
+
+/// Print one Table-1-style row: query number, both engines, delta.
+void PrintComparison(int query, const QueryTiming& fusion,
+                     const QueryTiming& tie);
+void PrintComparisonHeader(const char* fusion_name = "Fusion",
+                           const char* tie_name = "TIE");
+
+/// Make a Fusion session for benchmarking (single-threaded by default,
+/// like the paper's single-core experiments).
+core::SessionContextPtr MakeBenchSession(int target_partitions = 1);
+
+/// Register the ClickBench hits files in both a Fusion session and a
+/// TIE session (the TIE session's FpqTable has pushdown disabled).
+Status RegisterHits(core::SessionContext* fusion_ctx,
+                    core::SessionContext* tie_ctx,
+                    const std::vector<std::string>& paths);
+
+}  // namespace bench
+}  // namespace fusion
+
+#endif  // FUSION_BENCH_BENCH_HARNESS_H_

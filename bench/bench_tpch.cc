@@ -1,0 +1,53 @@
+// Reproduces Figure 5 of the paper: TPC-H query times on a single core,
+// one FPQ file per table, Fusion vs. TIE. Scale via FUSION_BENCH_SF.
+
+#include <cstdio>
+
+#include "bench/bench_harness.h"
+#include "bench/workloads/tpch.h"
+#include "catalog/file_tables.h"
+
+using namespace fusion;          // NOLINT
+using namespace fusion::bench;   // NOLINT
+
+int main() {
+  TpchSpec spec;
+  spec.scale_factor = EnvScaleDouble("FUSION_BENCH_SF", 0.05);
+  spec.dir = BenchDataDir();
+
+  std::printf("== Figure 5: TPC-H SF=%.3f, single core ==\n", spec.scale_factor);
+  Timer gen_timer;
+  auto tables = GenerateTpch(spec);
+  if (!tables.ok()) {
+    std::fprintf(stderr, "dbgen failed: %s\n", tables.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dbgen/reuse: %.1fs\n\n", gen_timer.Seconds());
+
+  auto fusion_ctx = MakeBenchSession(1);
+  auto tie_ctx = MakeBenchSession(1);
+  for (const auto& [name, path] : *tables) {
+    auto ft = catalog::FpqTable::Open({path});
+    auto tt = catalog::FpqTable::Open({path});
+    if (!ft.ok() || !tt.ok()) {
+      std::fprintf(stderr, "open failed for %s\n", name.c_str());
+      return 1;
+    }
+    (*tt)->SetPushdownEnabled(false);
+    fusion_ctx->RegisterTable(name, *ft).Abort();
+    tie_ctx->RegisterTable(name, *tt).Abort();
+  }
+
+  PrintComparisonHeader();
+  double fusion_total = 0, tie_total = 0;
+  for (const auto& q : TpchQueries()) {
+    QueryTiming fusion = RunFusion(fusion_ctx.get(), q.sql);
+    QueryTiming tie = RunTie(tie_ctx.get(), q.sql);
+    PrintComparison(q.number, fusion, tie);
+    if (fusion.ok) fusion_total += fusion.seconds;
+    if (tie.ok) tie_total += tie.seconds;
+  }
+  std::printf("-----------------------------------------------\n");
+  std::printf("%-6s %9.3fs %9.3fs\n", "total", fusion_total, tie_total);
+  return 0;
+}

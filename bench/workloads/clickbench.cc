@@ -1,0 +1,293 @@
+#include "bench/workloads/clickbench.h"
+
+#include <sys/stat.h>
+
+#include "arrow/builder.h"
+#include "bench/workloads/workload_util.h"
+#include "compute/temporal.h"
+#include "format/fpq.h"
+
+namespace fusion {
+namespace bench {
+
+namespace {
+
+SchemaPtr HitsSchema() {
+  return schema({
+      Field("WatchID", int64(), false),
+      Field("UserID", int64(), false),
+      Field("CounterID", int64(), false),
+      Field("AdvEngineID", int64(), false),
+      Field("RegionID", int64(), false),
+      Field("SearchPhrase", utf8(), false),
+      Field("SearchEngineID", int64(), false),
+      Field("URL", utf8(), false),
+      Field("Referer", utf8(), false),
+      Field("Title", utf8(), false),
+      Field("EventDate", date32(), false),
+      Field("EventTime", timestamp(), false),
+      Field("ResolutionWidth", int64(), false),
+      Field("IsRefresh", int64(), false),
+      Field("MobilePhoneModel", utf8(), false),
+  });
+}
+
+const char* kSearchWords[] = {"weather",  "news",   "maps",   "video",
+                              "translate", "games",  "mail",   "music",
+                              "hotel",     "flight", "recipe", "football"};
+const char* kPhoneModels[] = {"", "", "", "", "", "", "", "",
+                              "iphone", "galaxy", "pixel", "nokia"};
+
+}  // namespace
+
+Result<std::vector<std::string>> GenerateClickBench(const ClickBenchSpec& spec) {
+  // Row count is part of the directory name so differently-scaled runs
+  // never reuse each other's files.
+  char subdir[96];
+  std::snprintf(subdir, sizeof(subdir), "/hits_%lldx%d",
+                static_cast<long long>(spec.rows), spec.num_files);
+  std::string dir = spec.dir + subdir;
+  ::mkdir(dir.c_str(), 0755);
+  std::vector<std::string> paths;
+  paths.reserve(spec.num_files);
+  bool all_exist = true;
+  for (int f = 0; f < spec.num_files; ++f) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "/hits_%03d.fpq", f);
+    paths.push_back(dir + name);
+    if (!FileExists(paths.back())) all_exist = false;
+  }
+  if (all_exist) return paths;
+
+  SchemaPtr schema = HitsSchema();
+  const int64_t rows_per_file = spec.rows / spec.num_files;
+  const int64_t num_users = std::max<int64_t>(spec.rows / 3, 100);
+  const int64_t num_urls = std::max<int64_t>(spec.rows / 6, 100);
+  Rng::Zipf user_zipf(std::min<int64_t>(num_users, 100000), 1.05);
+  Rng::Zipf url_zipf(std::min<int64_t>(num_urls, 100000), 1.1);
+  const int32_t base_date = compute::DaysFromCivil(2013, 7, 1);
+
+  for (int f = 0; f < spec.num_files; ++f) {
+    if (FileExists(paths[f])) continue;
+    Rng rng(0x9E3779B9u + static_cast<uint64_t>(f));
+    Int64Builder watch_id, user_id, counter_id, adv_engine, region, search_engine,
+        resolution, is_refresh;
+    StringBuilder phrase, url, referer, title, phone;
+    Date32Builder event_date;
+    TimestampBuilder event_time;
+    for (int64_t r = 0; r < rows_per_file; ++r) {
+      int64_t global_row = f * rows_per_file + r;
+      watch_id.Append(static_cast<int64_t>(rng.Next() >> 1));
+      // UserID: zipfian head + uniform tail => ~rows/3 distinct users.
+      int64_t uid = (rng.Next() % 4 == 0)
+                        ? user_zipf.Sample(&rng)
+                        : rng.Uniform(0, num_users - 1);
+      user_id.Append(1000000000LL + uid);
+      counter_id.Append(rng.Uniform(1, 2000));
+      // ~5% of rows come from an ad engine, arriving in bursts (ad
+      // campaigns): the clustering that makes zone-map pruning effective
+      // on the real dataset (paper §6.8 "when predicate columns are
+      // clustered together").
+      const bool ad_burst = (global_row / 2048) % 20 == 0;
+      adv_engine.Append(ad_burst && rng.Next() % 2 == 0 ? rng.Uniform(1, 20) : 0);
+      region.Append(rng.Uniform(1, 5000));
+      // ~10% of rows carry a search phrase.
+      if (rng.Next() % 10 == 0) {
+        std::string p = kSearchWords[rng.Uniform(0, 11)];
+        if (rng.Next() % 3 == 0) {
+          p += " ";
+          p += kSearchWords[rng.Uniform(0, 11)];
+        }
+        phrase.Append(p);
+      } else {
+        phrase.Append("");
+      }
+      search_engine.Append(rng.Next() % 10 == 0 ? rng.Uniform(1, 60) : 0);
+      int64_t url_id = (rng.Next() % 3 == 0) ? url_zipf.Sample(&rng)
+                                             : rng.Uniform(0, num_urls - 1);
+      url.Append("http://example.com/page/" + std::to_string(url_id) +
+                 (url_id % 17 == 0 ? "/google/ads" : ""));
+      referer.Append(rng.Next() % 2 == 0
+                         ? ""
+                         : "http://ref.example.org/" +
+                               std::to_string(rng.Uniform(0, 9999)));
+      title.Append("Title " + std::string(kSearchWords[rng.Uniform(0, 11)]) + " " +
+                   std::to_string(url_id % 1000));
+      int32_t date = base_date + static_cast<int32_t>(global_row * 30 / spec.rows);
+      event_date.Append(date);
+      event_time.Append((static_cast<int64_t>(date) * 86400 +
+                         rng.Uniform(0, 86399)) *
+                        1000000LL);
+      resolution.Append(rng.Uniform(0, 4) == 0 ? 0 : rng.Uniform(800, 2560));
+      is_refresh.Append(rng.Next() % 50 == 0 ? 1 : 0);
+      phone.Append(kPhoneModels[rng.Uniform(0, 11)]);
+    }
+    std::vector<ArrayPtr> columns = {
+        watch_id.Finish().ValueOrDie(),    user_id.Finish().ValueOrDie(),
+        counter_id.Finish().ValueOrDie(),  adv_engine.Finish().ValueOrDie(),
+        region.Finish().ValueOrDie(),      phrase.Finish().ValueOrDie(),
+        search_engine.Finish().ValueOrDie(), url.Finish().ValueOrDie(),
+        referer.Finish().ValueOrDie(),     title.Finish().ValueOrDie(),
+        event_date.Finish().ValueOrDie(),  event_time.Finish().ValueOrDie(),
+        resolution.Finish().ValueOrDie(),  is_refresh.Finish().ValueOrDie(),
+        phone.Finish().ValueOrDie(),
+    };
+    auto batch = std::make_shared<RecordBatch>(schema, rows_per_file,
+                                               std::move(columns));
+    format::fpq::WriteOptions options;
+    options.row_group_rows = 64 * 1024;
+    FUSION_RETURN_NOT_OK(format::fpq::WriteFile(paths[f], schema,
+                                                SliceBatch(batch, 64 * 1024),
+                                                options));
+  }
+  return paths;
+}
+
+const std::vector<BenchQuery>& ClickBenchQueries() {
+  // Queries mirror the shapes of the original ClickBench queries the
+  // paper reports in Table 1 (see EXPERIMENTS.md for the mapping).
+  static const std::vector<BenchQuery> kQueries = {
+      {1, "SELECT count(*) FROM hits", "full count"},
+      {2, "SELECT count(*) FROM hits WHERE AdvEngineID <> 0",
+       "selective predicate (zone maps)"},
+      {3, "SELECT sum(AdvEngineID), count(*), avg(ResolutionWidth) FROM hits",
+       "single group, vectorized updates"},
+      {4, "SELECT avg(UserID) FROM hits", "single group"},
+      {5, "SELECT count(DISTINCT UserID) FROM hits", "distinct users"},
+      {6, "SELECT count(DISTINCT SearchPhrase) FROM hits", "distinct phrases"},
+      {7, "SELECT min(EventDate), max(EventDate) FROM hits", "single group"},
+      {8,
+       "SELECT AdvEngineID, count(*) FROM hits WHERE AdvEngineID <> 0 "
+       "GROUP BY AdvEngineID ORDER BY count(*) DESC",
+       "selective + tiny groups"},
+      {9,
+       "SELECT RegionID, count(DISTINCT UserID) AS u FROM hits "
+       "GROUP BY RegionID ORDER BY u DESC LIMIT 10",
+       "medium groups + distinct"},
+      {10,
+       "SELECT RegionID, sum(AdvEngineID), count(*) AS c, avg(ResolutionWidth), "
+       "count(DISTINCT UserID) FROM hits GROUP BY RegionID ORDER BY c DESC "
+       "LIMIT 10",
+       "medium groups, many aggregates"},
+      {11,
+       "SELECT MobilePhoneModel, count(DISTINCT UserID) AS u FROM hits "
+       "WHERE MobilePhoneModel <> '' GROUP BY MobilePhoneModel "
+       "ORDER BY u DESC LIMIT 10",
+       "small groups + filter"},
+      {12,
+       "SELECT SearchEngineID, MobilePhoneModel, count(DISTINCT UserID) AS u "
+       "FROM hits WHERE MobilePhoneModel <> '' "
+       "GROUP BY SearchEngineID, MobilePhoneModel ORDER BY u DESC LIMIT 10",
+       "two-key groups"},
+      {13,
+       "SELECT SearchPhrase, count(*) AS c FROM hits WHERE SearchPhrase <> '' "
+       "GROUP BY SearchPhrase ORDER BY c DESC LIMIT 10",
+       "phrase groups"},
+      {14,
+       "SELECT SearchPhrase, count(DISTINCT UserID) AS u FROM hits "
+       "WHERE SearchPhrase <> '' GROUP BY SearchPhrase ORDER BY u DESC LIMIT 10",
+       "phrase groups + distinct"},
+      {15,
+       "SELECT SearchEngineID, SearchPhrase, count(*) AS c FROM hits "
+       "WHERE SearchPhrase <> '' GROUP BY SearchEngineID, SearchPhrase "
+       "ORDER BY c DESC LIMIT 10",
+       "medium cardinality"},
+      {16, "SELECT UserID, count(*) FROM hits GROUP BY UserID ORDER BY count(*) "
+           "DESC LIMIT 10",
+       "high-cardinality grouping"},
+      {17,
+       "SELECT UserID, SearchPhrase, count(*) FROM hits "
+       "GROUP BY UserID, SearchPhrase ORDER BY count(*) DESC LIMIT 10",
+       "high-cardinality two-key"},
+      {18,
+       "SELECT UserID, SearchPhrase, count(*) FROM hits "
+       "GROUP BY UserID, SearchPhrase LIMIT 10",
+       "high-cardinality, no order"},
+      {19,
+       "SELECT UserID, date_part('minute', EventTime) AS m, SearchPhrase, "
+       "count(*) FROM hits GROUP BY UserID, m, SearchPhrase "
+       "ORDER BY count(*) DESC LIMIT 10",
+       "very high cardinality"},
+      {20, "SELECT UserID FROM hits WHERE UserID = 1000000435",
+       "point lookup (Bloom filter)"},
+      {25,
+       "SELECT SearchPhrase FROM hits WHERE SearchPhrase <> '' "
+       "ORDER BY EventTime LIMIT 10",
+       "filter + TopK by time"},
+      {26, "SELECT SearchPhrase FROM hits WHERE SearchPhrase <> '' "
+           "ORDER BY SearchPhrase LIMIT 10",
+       "filter + TopK by phrase"},
+      {27,
+       "SELECT SearchPhrase FROM hits WHERE SearchPhrase <> '' "
+       "ORDER BY EventTime, SearchPhrase LIMIT 10",
+       "filter + two-key TopK"},
+      {28,
+       "SELECT CounterID, avg(length(URL)) AS l, count(*) AS c FROM hits "
+       "WHERE URL <> '' GROUP BY CounterID HAVING count(*) > 50 "
+       "ORDER BY l DESC LIMIT 25",
+       "string lengths, low groups"},
+      {29,
+       "SELECT replace(Referer, 'http://', '') AS k, avg(length(Referer)) AS l, "
+       "count(*) AS c FROM hits WHERE Referer <> '' GROUP BY k "
+       "HAVING count(*) > 10 ORDER BY l DESC LIMIT 25",
+       "string surgery (regexp stand-in)"},
+      {30,
+       "SELECT sum(ResolutionWidth), sum(ResolutionWidth + 1), "
+       "sum(ResolutionWidth + 2), sum(ResolutionWidth + 3), "
+       "sum(ResolutionWidth + 4), sum(ResolutionWidth + 5), "
+       "sum(ResolutionWidth + 6), sum(ResolutionWidth + 7), "
+       "sum(ResolutionWidth + 8), sum(ResolutionWidth + 9) FROM hits",
+       "many sums, single group"},
+      {31,
+       "SELECT SearchEngineID, IsRefresh, count(*) AS c FROM hits "
+       "GROUP BY SearchEngineID, IsRefresh ORDER BY c DESC LIMIT 10",
+       "medium groups"},
+      {32,
+       "SELECT WatchID % 1024 AS w, IsRefresh, count(*) AS c, "
+       "sum(ResolutionWidth) FROM hits GROUP BY w, IsRefresh "
+       "ORDER BY c DESC LIMIT 10",
+       "medium groups + sums"},
+      {33, "SELECT URL, count(*) AS c FROM hits GROUP BY URL ORDER BY c DESC "
+           "LIMIT 10",
+       "high-cardinality string groups"},
+      {36,
+       "SELECT URL, count(*) AS c FROM hits WHERE IsRefresh = 0 "
+       "GROUP BY URL ORDER BY c DESC LIMIT 10",
+       "high-cardinality + filter"},
+      {37,
+       "SELECT Title, count(*) AS c FROM hits WHERE IsRefresh = 0 AND "
+       "Title <> '' GROUP BY Title ORDER BY c DESC LIMIT 10",
+       "string groups + filter"},
+      {38,
+       "SELECT URL FROM hits WHERE IsRefresh = 0 AND URL LIKE '%google%' "
+       "ORDER BY EventTime LIMIT 10",
+       "LIKE + TopK"},
+      {39,
+       "SELECT SearchPhrase FROM hits WHERE SearchPhrase LIKE '%news%' AND "
+       "IsRefresh = 0 ORDER BY EventTime LIMIT 10",
+       "LIKE over phrases"},
+      {40,
+       "SELECT URL, count(*) AS c FROM hits WHERE Referer <> '' "
+       "GROUP BY URL ORDER BY c DESC LIMIT 10 OFFSET 100",
+       "groups + offset"},
+      {41,
+       "SELECT RegionID, count(*) AS c FROM hits "
+       "WHERE EventDate >= date '2013-07-10' AND EventDate <= date '2013-07-20' "
+       "GROUP BY RegionID ORDER BY c DESC LIMIT 10",
+       "date range + medium groups"},
+      {42,
+       "SELECT SearchPhrase, count(*) AS c FROM hits "
+       "WHERE EventDate >= date '2013-07-10' AND EventDate <= date '2013-07-20' "
+       "AND SearchPhrase <> '' GROUP BY SearchPhrase ORDER BY c DESC LIMIT 10",
+       "date range + phrase groups"},
+      {43,
+       "SELECT date_part('day', EventDate) AS d, count(*) AS c FROM hits "
+       "WHERE EventDate >= date '2013-07-10' AND EventDate <= date '2013-07-20' "
+       "GROUP BY d ORDER BY d",
+       "date bucketing"},
+  };
+  return kQueries;
+}
+
+}  // namespace bench
+}  // namespace fusion

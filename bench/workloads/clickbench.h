@@ -1,0 +1,41 @@
+#ifndef FUSION_BENCH_WORKLOADS_CLICKBENCH_H_
+#define FUSION_BENCH_WORKLOADS_CLICKBENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fusion {
+namespace bench {
+
+/// \brief Synthetic stand-in for the ClickBench "hits" dataset
+/// (DESIGN.md §5.3): a denormalized web-analytics fact table with the
+/// statistical properties the paper's Table 1 analysis keys on —
+/// zipfian user/URL skew, mostly-empty search phrases, selective
+/// advertiser ids, and low/medium/high group cardinalities.
+struct ClickBenchSpec {
+  int64_t rows = 2'000'000;   // paper: ~100M rows, 14 GB (scaled down)
+  int num_files = 20;         // paper: 100 parquet files
+  std::string dir;            // output directory
+};
+
+/// Generate `spec.num_files` FPQ files named hits_NNN.fpq (idempotent:
+/// skipped when the files already exist). Returns the file paths.
+Result<std::vector<std::string>> GenerateClickBench(const ClickBenchSpec& spec);
+
+/// One benchmark query: the paper's query number and SQL over the
+/// synthetic schema mirroring the original ClickBench query's shape.
+struct BenchQuery {
+  int number;
+  std::string sql;
+  const char* note;  // the workload property the query stresses
+};
+
+/// The 37 queries of the paper's Table 1 (numbers match the paper).
+const std::vector<BenchQuery>& ClickBenchQueries();
+
+}  // namespace bench
+}  // namespace fusion
+
+#endif  // FUSION_BENCH_WORKLOADS_CLICKBENCH_H_

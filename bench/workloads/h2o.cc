@@ -1,0 +1,92 @@
+#include "bench/workloads/h2o.h"
+
+#include <cstdio>
+
+#include "bench/workloads/workload_util.h"
+
+namespace fusion {
+namespace bench {
+
+Result<std::string> GenerateH2o(const H2oSpec& spec) {
+  char name[96];
+  std::snprintf(name, sizeof(name), "/h2o_G1_%lld_%lld.csv",
+                static_cast<long long>(spec.rows), static_cast<long long>(spec.k));
+  std::string path = spec.dir + name;
+  if (FileExists(path)) return path;
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("h2o: cannot open " + path);
+  std::fputs("id1,id2,id3,id4,id5,id6,v1,v2,v3\n", f);
+  Rng rng(42);
+  const int64_t big_k = std::max<int64_t>(spec.rows / spec.k, 1);
+  std::string line;
+  line.reserve(96);
+  char buf[64];
+  for (int64_t r = 0; r < spec.rows; ++r) {
+    line.clear();
+    std::snprintf(buf, sizeof(buf), "id%03d,",
+                  static_cast<int>(rng.Uniform(1, spec.k)));
+    line += buf;
+    std::snprintf(buf, sizeof(buf), "id%03d,",
+                  static_cast<int>(rng.Uniform(1, spec.k)));
+    line += buf;
+    std::snprintf(buf, sizeof(buf), "id%010lld,",
+                  static_cast<long long>(rng.Uniform(1, big_k)));
+    line += buf;
+    std::snprintf(buf, sizeof(buf), "%lld,%lld,%lld,",
+                  static_cast<long long>(rng.Uniform(1, spec.k)),
+                  static_cast<long long>(rng.Uniform(1, spec.k)),
+                  static_cast<long long>(rng.Uniform(1, big_k)));
+    line += buf;
+    std::snprintf(buf, sizeof(buf), "%lld,%lld,%.6f\n",
+                  static_cast<long long>(rng.Uniform(1, 5)),
+                  static_cast<long long>(rng.Uniform(1, 15)),
+                  rng.UniformDouble(0, 100));
+    line += buf;
+    std::fputs(line.c_str(), f);
+  }
+  std::fclose(f);
+  return path;
+}
+
+const std::vector<H2oQuery>& H2oQueries() {
+  static const std::vector<H2oQuery> kQueries = {
+      {1, "SELECT id1, sum(v1) AS v1 FROM h2o GROUP BY id1",
+       "low-cardinality groups"},
+      {2, "SELECT id1, id2, sum(v1) AS v1 FROM h2o GROUP BY id1, id2",
+       "two low-cardinality keys"},
+      {3, "SELECT id3, sum(v1) AS v1, avg(v3) AS v3 FROM h2o GROUP BY id3",
+       "high-cardinality string key"},
+      {4,
+       "SELECT id4, avg(v1) AS v1, avg(v2) AS v2, avg(v3) AS v3 FROM h2o "
+       "GROUP BY id4",
+       "means by int key"},
+      {5,
+       "SELECT id6, sum(v1) AS v1, sum(v2) AS v2, sum(v3) AS v3 FROM h2o "
+       "GROUP BY id6",
+       "sums by high-cardinality int key"},
+      {6,
+       "SELECT id4, id5, median(v3) AS median_v3, stddev(v3) AS sd_v3 FROM h2o "
+       "GROUP BY id4, id5",
+       "median + stddev"},
+      {7, "SELECT id3, max(v1) - min(v2) AS range_v1_v2 FROM h2o GROUP BY id3",
+       "range by high-cardinality key"},
+      {8,
+       "SELECT id6, v3 FROM (SELECT id6, v3, row_number() OVER "
+       "(PARTITION BY id6 ORDER BY v3 DESC) AS rn FROM h2o) ranked "
+       "WHERE rn <= 2",
+       "top-2 per group (window)"},
+      {9,
+       "SELECT id2, id4, power(corr(v1, v2), 2) AS r2 FROM h2o "
+       "GROUP BY id2, id4",
+       "corr^2 (the paper's Fusion-weak query)"},
+      {10,
+       "SELECT id1, id2, id3, id4, id5, id6, sum(v3) AS v3, count(*) AS cnt "
+       "FROM h2o GROUP BY id1, id2, id3, id4, id5, id6",
+       "six-key grouping"},
+  };
+  return kQueries;
+}
+
+}  // namespace bench
+}  // namespace fusion

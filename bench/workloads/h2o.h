@@ -1,0 +1,37 @@
+#ifndef FUSION_BENCH_WORKLOADS_H2O_H_
+#define FUSION_BENCH_WORKLOADS_H2O_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fusion {
+namespace bench {
+
+/// \brief H2O db-benchmark "groupby" dataset generator (G1_N_K_nas):
+/// columns id1..id3 (string categories), id4..id6 (int categories),
+/// v1, v2 (small ints), v3 (double), written as a single CSV file —
+/// the benchmarks parse the CSV on every run, as the paper does.
+struct H2oSpec {
+  int64_t rows = 1'000'000;  // paper: 1e7
+  int64_t k = 100;           // number of id1/id2/id4/id5 categories
+  std::string dir;
+};
+
+/// Generate the CSV (idempotent); returns its path.
+Result<std::string> GenerateH2o(const H2oSpec& spec);
+
+struct H2oQuery {
+  int number;
+  std::string sql;
+  const char* note;
+};
+
+/// The 10 groupby-task queries (paper Figure 6).
+const std::vector<H2oQuery>& H2oQueries();
+
+}  // namespace bench
+}  // namespace fusion
+
+#endif  // FUSION_BENCH_WORKLOADS_H2O_H_

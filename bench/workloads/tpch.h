@@ -1,0 +1,44 @@
+#ifndef FUSION_BENCH_WORKLOADS_TPCH_H_
+#define FUSION_BENCH_WORKLOADS_TPCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/session_context.h"
+
+namespace fusion {
+namespace bench {
+
+/// \brief Parameterized TPC-H data generator (DESIGN.md §5.4):
+/// implements the spec's schema and distributions (dates, price
+/// formulas, pick lists, name grammars) with decimals mapped to
+/// float64. Writes one FPQ file per table.
+struct TpchSpec {
+  double scale_factor = 0.01;  // paper: SF=10
+  std::string dir;
+};
+
+/// Generate all 8 tables (idempotent per file). Returns table_name ->
+/// file path pairs.
+Result<std::vector<std::pair<std::string, std::string>>> GenerateTpch(
+    const TpchSpec& spec);
+
+/// Register the generated tables in a session.
+Status RegisterTpchTables(core::SessionContext* ctx, const TpchSpec& spec);
+
+struct BenchQueryRef {
+  int number;
+  std::string sql;
+};
+
+/// The 22 TPC-H queries in the engine's SQL dialect. Queries with
+/// correlated subqueries (Q2/Q17/Q20/Q21) use their standard
+/// semantically-equivalent join rewrites; EXISTS forms use IN
+/// (DESIGN.md §5.7).
+const std::vector<BenchQueryRef>& TpchQueries();
+
+}  // namespace bench
+}  // namespace fusion
+
+#endif  // FUSION_BENCH_WORKLOADS_TPCH_H_

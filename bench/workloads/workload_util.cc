@@ -1,0 +1,51 @@
+#include "bench/workloads/workload_util.h"
+
+#include <sys/stat.h>
+
+#include <cmath>
+
+namespace fusion {
+namespace bench {
+
+Rng::Zipf::Zipf(int64_t n, double s) {
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[static_cast<size_t>(i)] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+}
+
+int64_t Rng::Zipf::Sample(Rng* rng) const {
+  double u = rng->UniformDouble(0, 1);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+int64_t EnvScale(const char* name, int64_t default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  return std::strtoll(v, nullptr, 10);
+}
+
+double EnvScaleDouble(const char* name, double default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  return std::strtod(v, nullptr);
+}
+
+std::string BenchDataDir() {
+  const char* env = std::getenv("FUSION_BENCH_DIR");
+  std::string dir = env != nullptr && *env != '\0' ? env : "/tmp/fusion_bench_data";
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace bench
+}  // namespace fusion

@@ -1,0 +1,75 @@
+#ifndef FUSION_BENCH_WORKLOADS_WORKLOAD_UTIL_H_
+#define FUSION_BENCH_WORKLOADS_WORKLOAD_UTIL_H_
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fusion {
+namespace bench {
+
+/// Deterministic 64-bit RNG for workload generation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed * 6364136223846793005ULL + 1) {}
+
+  uint64_t Next() {
+    // xorshift64*
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 2685821657736338717ULL;
+  }
+
+  int64_t Uniform(int64_t lo, int64_t hi) {  // inclusive bounds
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * (static_cast<double>(Next() >> 11) / 9007199254740992.0);
+  }
+
+  /// Zipf-distributed value in [0, n) with skew ~1 (precomputed CDF).
+  class Zipf {
+   public:
+    Zipf(int64_t n, double s);
+    int64_t Sample(Rng* rng) const;
+
+   private:
+    std::vector<double> cdf_;
+  };
+
+ private:
+  uint64_t state_;
+};
+
+/// Read an environment scale knob with a default.
+int64_t EnvScale(const char* name, int64_t default_value);
+double EnvScaleDouble(const char* name, double default_value);
+
+/// Wall-clock helper.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Create (if needed) and return the benchmark data directory.
+std::string BenchDataDir();
+
+bool FileExists(const std::string& path);
+
+}  // namespace bench
+}  // namespace fusion
+
+#endif  // FUSION_BENCH_WORKLOADS_WORKLOAD_UTIL_H_

@@ -1,0 +1,116 @@
+// Custom TableProvider (paper §7.3): a virtual "numbers" table that
+// generates rows on the fly, supports projection/limit pushdown, and
+// absorbs filter pushdown exactly — without any file or buffer backing
+// it. The engine treats it identically to built-in sources.
+
+#include <cstdio>
+
+#include "arrow/builder.h"
+#include "compute/selection.h"
+#include "core/session_context.h"
+
+using namespace fusion;  // NOLINT
+
+namespace {
+
+/// Streams the integers [0, n) with columns n, n_squared.
+class NumbersTable : public catalog::TableProvider {
+ public:
+  explicit NumbersTable(int64_t limit) : limit_(limit) {
+    schema_ = fusion::schema({Field("n", int64(), false),
+                              Field("n_squared", int64(), false)});
+  }
+
+  SchemaPtr schema() const override { return schema_; }
+
+  catalog::TableStatistics statistics() const override {
+    catalog::TableStatistics stats;
+    stats.num_rows = limit_;
+    return stats;
+  }
+
+  catalog::FilterPushdown SupportsFilterPushdown(
+      const format::ColumnPredicate& pred) const override {
+    // We evaluate every pushable predicate exactly during generation.
+    return schema_->GetFieldIndex(pred.column) >= 0
+               ? catalog::FilterPushdown::kExact
+               : catalog::FilterPushdown::kUnsupported;
+  }
+
+  Result<std::vector<catalog::BatchIteratorPtr>> Scan(
+      const catalog::ScanRequest& request) override {
+    class Iterator : public catalog::BatchIterator {
+     public:
+      Iterator(SchemaPtr schema, int64_t limit, catalog::ScanRequest request)
+          : schema_(std::move(schema)), limit_(limit),
+            request_(std::move(request)) {}
+
+      Result<RecordBatchPtr> Next() override {
+        if (pos_ >= limit_ || (request_.limit >= 0 && emitted_ >= request_.limit)) {
+          return RecordBatchPtr(nullptr);
+        }
+        Int64Builder n, sq;
+        int64_t end = std::min(limit_, pos_ + 8192);
+        for (int64_t i = pos_; i < end; ++i) {
+          n.Append(i);
+          sq.Append(i * i);
+        }
+        pos_ = end;
+        std::vector<ArrayPtr> cols = {n.Finish().ValueOrDie(),
+                                      sq.Finish().ValueOrDie()};
+        auto batch = std::make_shared<RecordBatch>(schema_, cols[0]->length(),
+                                                   std::move(cols));
+        // Apply pushed predicates exactly (the provider's contract).
+        for (const auto& pred : request_.predicates) {
+          FUSION_ASSIGN_OR_RAISE(auto col, batch->GetColumnByName(pred.column));
+          FUSION_ASSIGN_OR_RAISE(auto mask, format::EvaluatePredicate(pred, *col));
+          FUSION_ASSIGN_OR_RAISE(
+              batch, compute::FilterBatch(*batch,
+                                          checked_cast<BooleanArray>(*mask)));
+        }
+        // Projection pushdown.
+        if (!request_.projection.empty()) {
+          FUSION_ASSIGN_OR_RAISE(batch, batch->Project(request_.projection));
+        }
+        emitted_ += batch->num_rows();
+        return batch;
+      }
+
+     private:
+      SchemaPtr schema_;
+      int64_t limit_;
+      catalog::ScanRequest request_;
+      int64_t pos_ = 0;
+      int64_t emitted_ = 0;
+    };
+    std::vector<catalog::BatchIteratorPtr> out;
+    out.push_back(std::make_unique<Iterator>(schema_, limit_, request));
+    return out;
+  }
+
+  std::string ToString() const override { return "NumbersTable"; }
+
+ private:
+  int64_t limit_;
+  SchemaPtr schema_;
+};
+
+}  // namespace
+
+int main() {
+  auto ctx = core::SessionContext::Make();
+  ctx->RegisterTable("numbers", std::make_shared<NumbersTable>(1'000'000)).Abort();
+
+  // The WHERE clause is pushed into the provider (see the EXPLAIN):
+  // no Filter operator remains in the plan.
+  auto result = ctx->Sql(
+      "SELECT n, n_squared FROM numbers WHERE n_squared > 999000000 LIMIT 5");
+  result.status().Abort();
+  std::printf("%s\n", result->ShowString().ValueOrDie().c_str());
+
+  auto explain = ctx->ExecuteSql(
+      "EXPLAIN SELECT n FROM numbers WHERE n > 999990");
+  explain.status().Abort();
+  std::printf("%s\n", (*explain)[0]->column(0)->ValueToString(0).c_str());
+  return 0;
+}

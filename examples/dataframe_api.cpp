@@ -1,0 +1,65 @@
+// The DataFrame API (paper §5.3.3): building plans procedurally.
+// DataFrame calls produce exactly the same LogicalPlans as SQL and run
+// through the same optimizer and execution engine.
+
+#include <cstdio>
+
+#include "arrow/builder.h"
+#include "catalog/memory_table.h"
+#include "core/session_context.h"
+
+using namespace fusion;           // NOLINT
+using namespace fusion::logical;  // NOLINT
+
+int main() {
+  auto ctx = core::SessionContext::Make();
+
+  // Build an in-memory table of order data.
+  Int64Builder id;
+  StringBuilder status;
+  Float64Builder amount;
+  const char* statuses[] = {"open", "shipped", "returned"};
+  for (int64_t i = 0; i < 1000; ++i) {
+    id.Append(i);
+    status.Append(statuses[i % 3]);
+    amount.Append(10.0 + static_cast<double>((i * 37) % 500));
+  }
+  auto schema = fusion::schema({Field("id", int64(), false),
+                                Field("status", utf8(), false),
+                                Field("amount", float64(), false)});
+  std::vector<ArrayPtr> cols = {id.Finish().ValueOrDie(),
+                                status.Finish().ValueOrDie(),
+                                amount.Finish().ValueOrDie()};
+  auto batch = std::make_shared<RecordBatch>(schema, 1000, std::move(cols));
+  auto table = catalog::MemoryTable::Make(schema, {batch}).ValueOrDie();
+  ctx->RegisterTable("orders", table).Abort();
+
+  // df = orders.filter(amount > 100)
+  //            .aggregate([status], [count(*), sum(amount)])
+  //            .sort(sum(amount) desc)
+  auto registry = ctx->registry();
+  auto count_fn = registry->GetAggregate("count").ValueOrDie();
+  auto sum_fn = registry->GetAggregate("sum").ValueOrDie();
+
+  auto df = ctx->Table("orders").ValueOrDie();
+  auto result =
+      df.Filter(Binary(Col("amount"), BinaryOp::kGt, Lit(100.0)))
+          .ValueOrDie()
+          .Aggregate({Col("status")},
+                     {AliasExpr(AggregateCall(count_fn, {}), "orders"),
+                      AliasExpr(AggregateCall(sum_fn, {Col("amount")}), "total")})
+          .ValueOrDie()
+          .Sort({{Col("total"), {.descending = true, .nulls_first = false}}})
+          .ValueOrDie();
+
+  std::printf("%s\n", result.ShowString().ValueOrDie().c_str());
+
+  // DataFrames compose: reuse `result` and keep refining it.
+  auto top1 = result.Limit(0, 1).ValueOrDie();
+  std::printf("top status:\n%s\n", top1.ShowString().ValueOrDie().c_str());
+
+  // The logical plan is inspectable at every step.
+  std::printf("optimized plan:\n%s\n",
+              top1.OptimizedPlan().ValueOrDie()->ToString().c_str());
+  return 0;
+}

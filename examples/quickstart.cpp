@@ -1,0 +1,48 @@
+// Quickstart: register a CSV file and run SQL against it.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/session_context.h"
+
+using fusion::core::SessionContext;
+
+int main() {
+  // Write a small CSV file to query.
+  const char* path = "/tmp/fusion_quickstart.csv";
+  std::FILE* f = std::fopen(path, "wb");
+  std::fputs(
+      "city,country,population\n"
+      "Santiago,Chile,6269629\n"
+      "Boston,USA,675647\n"
+      "Utrecht,Netherlands,361924\n"
+      "Santa Cruz,USA,62956\n"
+      "Austin,USA,961855\n"
+      "Seattle,USA,737015\n"
+      "Cupertino,USA,60381\n",
+      f);
+  std::fclose(f);
+
+  auto ctx = SessionContext::Make();
+  ctx->RegisterCsv("cities", path).Abort();
+
+  auto df = ctx->Sql(
+      "SELECT country, count(*) AS cities, sum(population) AS people "
+      "FROM cities GROUP BY country ORDER BY people DESC");
+  df.status().Abort();
+  auto table = df->ShowString();
+  table.status().Abort();
+  std::printf("%s\n", table->c_str());
+
+  // EXPLAIN shows the optimized logical and physical plans.
+  auto explain = ctx->ExecuteSql(
+      "EXPLAIN SELECT city FROM cities WHERE population > 500000");
+  explain.status().Abort();
+  for (const auto& batch : *explain) {
+    std::printf("%s\n", batch->column(0)->ValueToString(0).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,191 @@
+#ifndef FUSION_ARROW_ARRAY_H_
+#define FUSION_ARROW_ARRAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arrow/buffer.h"
+#include "arrow/type.h"
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace fusion {
+
+class Array;
+using ArrayPtr = std::shared_ptr<Array>;
+
+/// \brief Immutable columnar array: a type, a length, an optional
+/// validity bitmap and type-specific value buffers.
+class Array {
+ public:
+  virtual ~Array() = default;
+
+  DataType type() const { return type_; }
+  int64_t length() const { return length_; }
+  int64_t null_count() const { return null_count_; }
+  const BufferPtr& validity() const { return validity_; }
+
+  /// True if value `i` is null.
+  bool IsNull(int64_t i) const {
+    return validity_ != nullptr && !bit_util::GetBit(validity_->data(), i);
+  }
+  bool IsValid(int64_t i) const { return !IsNull(i); }
+
+  /// Raw validity bits, or nullptr when all values are valid.
+  const uint8_t* validity_bits() const {
+    return validity_ ? validity_->data() : nullptr;
+  }
+
+  /// Zero-copy-ish slice [offset, offset+length). Implemented as a copy
+  /// of buffer ranges for string arrays and a wrapper for primitives.
+  virtual ArrayPtr Slice(int64_t offset, int64_t length) const = 0;
+
+  /// Render value `i` for debugging / CSV output ("" for null handled by
+  /// callers).
+  virtual std::string ValueToString(int64_t i) const = 0;
+
+ protected:
+  Array(DataType type, int64_t length, BufferPtr validity, int64_t null_count)
+      : type_(type), length_(length), validity_(std::move(validity)),
+        null_count_(null_count) {}
+
+  static BufferPtr SliceValidity(const BufferPtr& validity, int64_t offset,
+                                 int64_t length);
+
+  DataType type_;
+  int64_t length_ = 0;
+  BufferPtr validity_;  // null means "no nulls"
+  int64_t null_count_ = 0;
+};
+
+/// \brief Fixed-width primitive array (int32/int64/float64/date32/timestamp).
+template <typename CType>
+class NumericArray : public Array {
+ public:
+  NumericArray(DataType type, int64_t length, BufferPtr values, BufferPtr validity,
+               int64_t null_count)
+      : Array(type, length, std::move(validity), null_count),
+        values_(std::move(values)) {
+    FUSION_DCHECK(values_ != nullptr);
+    FUSION_DCHECK(values_->size() >= length * static_cast<int64_t>(sizeof(CType)));
+  }
+
+  CType Value(int64_t i) const { return values_->template data_as<CType>()[i]; }
+  const CType* raw_values() const { return values_->template data_as<CType>(); }
+  const BufferPtr& values() const { return values_; }
+
+  ArrayPtr Slice(int64_t offset, int64_t length) const override {
+    auto values = Buffer::CopyOf(raw_values() + offset, length * sizeof(CType));
+    BufferPtr validity = SliceValidity(validity_, offset, length);
+    int64_t nulls =
+        validity ? length - bit_util::CountSetBits(validity->data(), length) : 0;
+    return std::make_shared<NumericArray<CType>>(type_, length, std::move(values),
+                                                 std::move(validity), nulls);
+  }
+
+  std::string ValueToString(int64_t i) const override;
+
+ private:
+  BufferPtr values_;
+};
+
+using Int32Array = NumericArray<int32_t>;
+using Int64Array = NumericArray<int64_t>;
+using Float64Array = NumericArray<double>;
+
+/// \brief Boolean array with bitmap-packed values.
+class BooleanArray : public Array {
+ public:
+  BooleanArray(int64_t length, BufferPtr values, BufferPtr validity,
+               int64_t null_count)
+      : Array(boolean(), length, std::move(validity), null_count),
+        values_(std::move(values)) {}
+
+  bool Value(int64_t i) const { return bit_util::GetBit(values_->data(), i); }
+  const BufferPtr& values() const { return values_; }
+
+  /// Number of true values among valid slots.
+  int64_t TrueCount() const;
+
+  ArrayPtr Slice(int64_t offset, int64_t length) const override;
+  std::string ValueToString(int64_t i) const override;
+
+ private:
+  BufferPtr values_;
+};
+
+/// \brief Variable-length UTF-8 string array: int32 offsets + byte data.
+class StringArray : public Array {
+ public:
+  StringArray(int64_t length, BufferPtr offsets, BufferPtr data, BufferPtr validity,
+              int64_t null_count)
+      : Array(utf8(), length, std::move(validity), null_count),
+        offsets_(std::move(offsets)), data_(std::move(data)) {}
+
+  std::string_view Value(int64_t i) const {
+    const int32_t* offs = offsets_->data_as<int32_t>();
+    return std::string_view(reinterpret_cast<const char*>(data_->data()) + offs[i],
+                            static_cast<size_t>(offs[i + 1] - offs[i]));
+  }
+  const int32_t* raw_offsets() const { return offsets_->data_as<int32_t>(); }
+  const BufferPtr& offsets() const { return offsets_; }
+  const BufferPtr& data() const { return data_; }
+
+  ArrayPtr Slice(int64_t offset, int64_t length) const override;
+  std::string ValueToString(int64_t i) const override;
+
+ private:
+  BufferPtr offsets_;
+  BufferPtr data_;
+};
+
+/// \brief All-null array used for untyped NULL literals.
+class NullArray : public Array {
+ public:
+  explicit NullArray(int64_t length);
+  ArrayPtr Slice(int64_t offset, int64_t length) const override;
+  std::string ValueToString(int64_t i) const override;
+};
+
+/// Dispatch helpers ------------------------------------------------------
+
+/// C type corresponding to a fixed-width TypeId.
+template <TypeId kId>
+struct CTypeOf;
+template <>
+struct CTypeOf<TypeId::kInt32> { using type = int32_t; };
+template <>
+struct CTypeOf<TypeId::kInt64> { using type = int64_t; };
+template <>
+struct CTypeOf<TypeId::kFloat64> { using type = double; };
+template <>
+struct CTypeOf<TypeId::kDate32> { using type = int32_t; };
+template <>
+struct CTypeOf<TypeId::kTimestamp> { using type = int64_t; };
+
+/// Downcast helpers (debug-checked).
+template <typename ArrayType>
+const ArrayType& checked_cast(const Array& arr) {
+  return static_cast<const ArrayType&>(arr);
+}
+
+/// Make an all-valid / all-null primitive array of the given type.
+Result<ArrayPtr> MakeArrayOfNulls(DataType type, int64_t length);
+
+/// Compare two arrays for logical equality (same type, length, values,
+/// null positions).
+bool ArraysEqual(const Array& a, const Array& b);
+
+/// Compare one element across two arrays (null == null).
+bool ArrayElementsEqual(const Array& a, int64_t ai, const Array& b, int64_t bi);
+
+/// Concatenate arrays of identical type into one.
+Result<ArrayPtr> Concatenate(const std::vector<ArrayPtr>& arrays);
+
+}  // namespace fusion
+
+#endif  // FUSION_ARROW_ARRAY_H_

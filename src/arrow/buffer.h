@@ -1,0 +1,60 @@
+#ifndef FUSION_ARROW_BUFFER_H_
+#define FUSION_ARROW_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace fusion {
+
+/// \brief Contiguous, owned byte buffer backing array data.
+///
+/// Buffers are immutable once wrapped in an Array; builders own a
+/// Buffer while growing it and transfer ownership on Finish().
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(int64_t size) : data_(static_cast<size_t>(size)) {}
+  explicit Buffer(std::vector<uint8_t> data) : data_(std::move(data)) {}
+
+  static std::shared_ptr<Buffer> CopyOf(const void* src, int64_t size) {
+    auto buf = std::make_shared<Buffer>(size);
+    if (size > 0) std::memcpy(buf->mutable_data(), src, static_cast<size_t>(size));
+    return buf;
+  }
+
+  const uint8_t* data() const { return data_.data(); }
+  uint8_t* mutable_data() { return data_.data(); }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+  void Resize(int64_t new_size, uint8_t fill = 0) {
+    data_.resize(static_cast<size_t>(new_size), fill);
+  }
+  void Reserve(int64_t capacity) { data_.reserve(static_cast<size_t>(capacity)); }
+
+  template <typename T>
+  const T* data_as() const {
+    return reinterpret_cast<const T*>(data_.data());
+  }
+  template <typename T>
+  T* mutable_data_as() {
+    return reinterpret_cast<T*>(data_.data());
+  }
+
+  void Append(const void* src, int64_t size) {
+    const uint8_t* p = static_cast<const uint8_t*>(src);
+    data_.insert(data_.end(), p, p + size);
+  }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+using BufferPtr = std::shared_ptr<Buffer>;
+
+}  // namespace fusion
+
+#endif  // FUSION_ARROW_BUFFER_H_

@@ -1,0 +1,137 @@
+#include "arrow/builder.h"
+
+#include <cstring>
+
+namespace fusion {
+
+void ArrayBuilder::AppendValidity(bool valid) {
+  int64_t byte = length_ >> 3;
+  if (static_cast<int64_t>(validity_.size()) <= byte) validity_.resize(byte + 1, 0);
+  if (valid) {
+    validity_[byte] |= uint8_t(1) << (length_ & 7);
+  } else {
+    ++null_count_;
+  }
+  ++length_;
+}
+
+BufferPtr ArrayBuilder::FinishValidity() {
+  BufferPtr out;
+  if (null_count_ > 0) {
+    out = std::make_shared<Buffer>(std::vector<uint8_t>(validity_));
+  }
+  validity_.clear();
+  length_ = 0;
+  null_count_ = 0;
+  return out;
+}
+
+Result<ArrayPtr> BooleanBuilder::Finish() {
+  auto values = std::make_shared<Buffer>(bit_util::BytesForBits(length_));
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i]) bit_util::SetBit(values->mutable_data(), static_cast<int64_t>(i));
+  }
+  int64_t len = length_;
+  int64_t nulls = null_count_;
+  BufferPtr validity = FinishValidity();
+  values_.clear();
+  return ArrayPtr(std::make_shared<BooleanArray>(len, std::move(values),
+                                                 std::move(validity), nulls));
+}
+
+Result<ArrayPtr> StringBuilder::Finish() {
+  auto offsets = std::make_shared<Buffer>((length_ + 1) * sizeof(int32_t));
+  int32_t* off = offsets->mutable_data_as<int32_t>();
+  off[0] = 0;
+  std::memcpy(off + 1, offsets_.data(), offsets_.size() * sizeof(int32_t));
+  auto data = Buffer::CopyOf(data_.data(), static_cast<int64_t>(data_.size()));
+  int64_t len = length_;
+  int64_t nulls = null_count_;
+  BufferPtr validity = FinishValidity();
+  offsets_.clear();
+  data_.clear();
+  return ArrayPtr(std::make_shared<StringArray>(len, std::move(offsets),
+                                                std::move(data), std::move(validity),
+                                                nulls));
+}
+
+Result<std::unique_ptr<ArrayBuilder>> MakeBuilder(DataType type) {
+  switch (type.id()) {
+    case TypeId::kBool:
+      return std::unique_ptr<ArrayBuilder>(new BooleanBuilder());
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      return std::unique_ptr<ArrayBuilder>(new NumericBuilder<int32_t>(type));
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      return std::unique_ptr<ArrayBuilder>(new NumericBuilder<int64_t>(type));
+    case TypeId::kFloat64:
+      return std::unique_ptr<ArrayBuilder>(new Float64Builder());
+    case TypeId::kString:
+      return std::unique_ptr<ArrayBuilder>(new StringBuilder());
+    default:
+      return Status::TypeError("MakeBuilder: unsupported type " + type.ToString());
+  }
+}
+
+namespace {
+template <typename Builder, typename T>
+ArrayPtr MakeTyped(Builder&& builder, const std::vector<T>& values,
+                   const std::vector<bool>& valid) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!valid.empty() && !valid[i]) {
+      builder.AppendNull();
+    } else {
+      builder.Append(values[i]);
+    }
+  }
+  return std::move(builder).Finish().ValueOrDie();
+}
+}  // namespace
+
+ArrayPtr MakeInt32Array(const std::vector<int32_t>& values,
+                        const std::vector<bool>& valid) {
+  return MakeTyped(Int32Builder(), values, valid);
+}
+ArrayPtr MakeInt64Array(const std::vector<int64_t>& values,
+                        const std::vector<bool>& valid) {
+  return MakeTyped(Int64Builder(), values, valid);
+}
+ArrayPtr MakeFloat64Array(const std::vector<double>& values,
+                          const std::vector<bool>& valid) {
+  return MakeTyped(Float64Builder(), values, valid);
+}
+ArrayPtr MakeBooleanArray(const std::vector<bool>& values,
+                          const std::vector<bool>& valid) {
+  BooleanBuilder builder;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!valid.empty() && !valid[i]) {
+      builder.AppendNull();
+    } else {
+      builder.Append(values[i]);
+    }
+  }
+  return builder.Finish().ValueOrDie();
+}
+ArrayPtr MakeStringArray(const std::vector<std::string>& values,
+                         const std::vector<bool>& valid) {
+  StringBuilder builder;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!valid.empty() && !valid[i]) {
+      builder.AppendNull();
+    } else {
+      builder.Append(values[i]);
+    }
+  }
+  return builder.Finish().ValueOrDie();
+}
+ArrayPtr MakeDate32Array(const std::vector<int32_t>& values,
+                         const std::vector<bool>& valid) {
+  return MakeTyped(Date32Builder(), values, valid);
+}
+ArrayPtr MakeTimestampArray(const std::vector<int64_t>& values,
+                            const std::vector<bool>& valid) {
+  return MakeTyped(TimestampBuilder(), values, valid);
+}
+
+}  // namespace fusion

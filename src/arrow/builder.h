@@ -1,0 +1,189 @@
+#ifndef FUSION_ARROW_BUILDER_H_
+#define FUSION_ARROW_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arrow/array.h"
+#include "arrow/buffer.h"
+#include "arrow/type.h"
+#include "common/result.h"
+
+namespace fusion {
+
+/// \brief Incremental array construction. One builder per column; call
+/// the typed Append methods, then Finish() to produce an immutable Array.
+class ArrayBuilder {
+ public:
+  virtual ~ArrayBuilder() = default;
+
+  virtual DataType type() const = 0;
+  int64_t length() const { return length_; }
+
+  virtual void AppendNull() = 0;
+  /// Append `n` nulls.
+  void AppendNulls(int64_t n) {
+    for (int64_t i = 0; i < n; ++i) AppendNull();
+  }
+  /// Append value `i` of `src` (which must have this builder's type).
+  virtual void AppendFrom(const Array& src, int64_t i) = 0;
+
+  virtual Result<ArrayPtr> Finish() = 0;
+
+  virtual void Reserve(int64_t n) = 0;
+
+ protected:
+  void AppendValidity(bool valid);
+  BufferPtr FinishValidity();
+
+  int64_t length_ = 0;
+  int64_t null_count_ = 0;
+  std::vector<uint8_t> validity_;
+};
+
+/// \brief Builder for fixed-width primitive arrays.
+template <typename CType>
+class NumericBuilder : public ArrayBuilder {
+ public:
+  explicit NumericBuilder(DataType type) : type_(type) {}
+
+  DataType type() const override { return type_; }
+
+  void Append(CType value) {
+    values_.push_back(value);
+    AppendValidity(true);
+  }
+  void AppendNull() override {
+    values_.push_back(CType{});
+    AppendValidity(false);
+  }
+  void AppendFrom(const Array& src, int64_t i) override {
+    if (src.IsNull(i)) {
+      AppendNull();
+    } else {
+      Append(checked_cast<NumericArray<CType>>(src).Value(i));
+    }
+  }
+  void Reserve(int64_t n) override { values_.reserve(values_.size() + n); }
+
+  Result<ArrayPtr> Finish() override {
+    auto values = Buffer::CopyOf(values_.data(), values_.size() * sizeof(CType));
+    int64_t len = length_;
+    int64_t nulls = null_count_;
+    BufferPtr validity = FinishValidity();
+    values_.clear();
+    return ArrayPtr(std::make_shared<NumericArray<CType>>(
+        type_, len, std::move(values), std::move(validity), nulls));
+  }
+
+ private:
+  DataType type_;
+  std::vector<CType> values_;
+};
+
+class Int32Builder : public NumericBuilder<int32_t> {
+ public:
+  Int32Builder() : NumericBuilder<int32_t>(int32()) {}
+  explicit Int32Builder(DataType type) : NumericBuilder<int32_t>(type) {}
+};
+class Int64Builder : public NumericBuilder<int64_t> {
+ public:
+  Int64Builder() : NumericBuilder<int64_t>(int64()) {}
+  explicit Int64Builder(DataType type) : NumericBuilder<int64_t>(type) {}
+};
+class Float64Builder : public NumericBuilder<double> {
+ public:
+  Float64Builder() : NumericBuilder<double>(float64()) {}
+};
+class Date32Builder : public NumericBuilder<int32_t> {
+ public:
+  Date32Builder() : NumericBuilder<int32_t>(date32()) {}
+};
+class TimestampBuilder : public NumericBuilder<int64_t> {
+ public:
+  TimestampBuilder() : NumericBuilder<int64_t>(timestamp()) {}
+};
+
+/// \brief Builder for boolean arrays.
+class BooleanBuilder : public ArrayBuilder {
+ public:
+  DataType type() const override { return boolean(); }
+
+  void Append(bool value) {
+    values_.push_back(value ? 1 : 0);
+    AppendValidity(true);
+  }
+  void AppendNull() override {
+    values_.push_back(0);
+    AppendValidity(false);
+  }
+  void AppendFrom(const Array& src, int64_t i) override {
+    if (src.IsNull(i)) {
+      AppendNull();
+    } else {
+      Append(checked_cast<BooleanArray>(src).Value(i));
+    }
+  }
+  void Reserve(int64_t n) override { values_.reserve(values_.size() + n); }
+
+  Result<ArrayPtr> Finish() override;
+
+ private:
+  std::vector<uint8_t> values_;
+};
+
+/// \brief Builder for UTF-8 string arrays.
+class StringBuilder : public ArrayBuilder {
+ public:
+  DataType type() const override { return utf8(); }
+
+  void Append(std::string_view value) {
+    data_.insert(data_.end(), value.begin(), value.end());
+    offsets_.push_back(static_cast<int32_t>(data_.size()));
+    AppendValidity(true);
+  }
+  void AppendNull() override {
+    offsets_.push_back(offsets_.empty() ? 0 : offsets_.back());
+    AppendValidity(false);
+  }
+  void AppendFrom(const Array& src, int64_t i) override {
+    if (src.IsNull(i)) {
+      AppendNull();
+    } else {
+      Append(checked_cast<StringArray>(src).Value(i));
+    }
+  }
+  void Reserve(int64_t n) override { offsets_.reserve(offsets_.size() + n); }
+
+  Result<ArrayPtr> Finish() override;
+
+ private:
+  std::vector<int32_t> offsets_;  // end offsets; implicit leading 0
+  std::vector<char> data_;
+};
+
+/// Create a builder for any supported type.
+Result<std::unique_ptr<ArrayBuilder>> MakeBuilder(DataType type);
+
+/// Convenience constructors used heavily in tests and examples ----------
+
+ArrayPtr MakeInt32Array(const std::vector<int32_t>& values,
+                        const std::vector<bool>& valid = {});
+ArrayPtr MakeInt64Array(const std::vector<int64_t>& values,
+                        const std::vector<bool>& valid = {});
+ArrayPtr MakeFloat64Array(const std::vector<double>& values,
+                          const std::vector<bool>& valid = {});
+ArrayPtr MakeBooleanArray(const std::vector<bool>& values,
+                          const std::vector<bool>& valid = {});
+ArrayPtr MakeStringArray(const std::vector<std::string>& values,
+                         const std::vector<bool>& valid = {});
+ArrayPtr MakeDate32Array(const std::vector<int32_t>& values,
+                         const std::vector<bool>& valid = {});
+ArrayPtr MakeTimestampArray(const std::vector<int64_t>& values,
+                            const std::vector<bool>& valid = {});
+
+}  // namespace fusion
+
+#endif  // FUSION_ARROW_BUILDER_H_

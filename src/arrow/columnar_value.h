@@ -1,0 +1,43 @@
+#ifndef FUSION_ARROW_COLUMNAR_VALUE_H_
+#define FUSION_ARROW_COLUMNAR_VALUE_H_
+
+#include <variant>
+
+#include "arrow/array.h"
+#include "arrow/scalar.h"
+#include "common/result.h"
+
+namespace fusion {
+
+/// \brief Either a full column (Array) or a single Scalar broadcast
+/// across all rows — the argument/result type of expression evaluation
+/// and user-defined functions (paper §7).
+class ColumnarValue {
+ public:
+  ColumnarValue() : value_(Scalar()) {}
+  ColumnarValue(ArrayPtr array) : value_(std::move(array)) {}  // NOLINT
+  ColumnarValue(Scalar scalar) : value_(std::move(scalar)) {}  // NOLINT
+
+  bool is_array() const { return std::holds_alternative<ArrayPtr>(value_); }
+  bool is_scalar() const { return !is_array(); }
+
+  const ArrayPtr& array() const { return std::get<ArrayPtr>(value_); }
+  const Scalar& scalar() const { return std::get<Scalar>(value_); }
+
+  DataType type() const {
+    return is_array() ? array()->type() : scalar().type();
+  }
+
+  /// Materialize as an array of `num_rows` (broadcasting scalars).
+  Result<ArrayPtr> ToArray(int64_t num_rows) const {
+    if (is_array()) return array();
+    return scalar().MakeArray(num_rows);
+  }
+
+ private:
+  std::variant<ArrayPtr, Scalar> value_;
+};
+
+}  // namespace fusion
+
+#endif  // FUSION_ARROW_COLUMNAR_VALUE_H_

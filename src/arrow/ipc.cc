@@ -1,0 +1,293 @@
+#include "arrow/ipc.h"
+
+#include <cstring>
+
+#include "arrow/builder.h"
+
+namespace fusion {
+namespace ipc {
+
+namespace {
+
+// Blob layout:
+//   u32 magic 'FIPC'
+//   u32 num_fields
+//   per field: u16 name_len, name bytes, u8 type_id, u8 nullable
+//   u64 num_rows
+//   per column: u8 has_validity, [validity bytes], type-specific buffers
+//     primitives: raw value bytes
+//     bool: bitmap bytes
+//     string: (num_rows+1) int32 offsets + u64 data_len + data bytes
+
+constexpr uint32_t kMagic = 0x46495043;  // "FIPC"
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->insert(out->end(), reinterpret_cast<uint8_t*>(&v),
+              reinterpret_cast<uint8_t*>(&v) + 2);
+}
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->insert(out->end(), reinterpret_cast<uint8_t*>(&v),
+              reinterpret_cast<uint8_t*>(&v) + 4);
+}
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  out->insert(out->end(), reinterpret_cast<uint8_t*>(&v),
+              reinterpret_cast<uint8_t*>(&v) + 8);
+}
+void PutBytes(std::vector<uint8_t>* out, const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  out->insert(out->end(), p, p + len);
+}
+
+class Cursor {
+ public:
+  Cursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Status Read(void* out, size_t len) {
+    if (pos_ + len > size_) return Status::IOError("ipc: truncated blob");
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+  Result<uint16_t> U16() {
+    uint16_t v = 0;
+    FUSION_RETURN_NOT_OK(Read(&v, 2));
+    return v;
+  }
+  Result<uint32_t> U32() {
+    uint32_t v = 0;
+    FUSION_RETURN_NOT_OK(Read(&v, 4));
+    return v;
+  }
+  Result<uint64_t> U64() {
+    uint64_t v = 0;
+    FUSION_RETURN_NOT_OK(Read(&v, 8));
+    return v;
+  }
+  Result<uint8_t> U8() {
+    uint8_t v = 0;
+    FUSION_RETURN_NOT_OK(Read(&v, 1));
+    return v;
+  }
+  const uint8_t* Peek() const { return data_ + pos_; }
+  Status Skip(size_t len) {
+    if (pos_ + len > size_) return Status::IOError("ipc: truncated blob");
+    pos_ += len;
+    return Status::OK();
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> SerializeBatch(const RecordBatch& batch) {
+  std::vector<uint8_t> out;
+  PutU32(&out, kMagic);
+  PutU32(&out, static_cast<uint32_t>(batch.num_columns()));
+  for (int i = 0; i < batch.num_columns(); ++i) {
+    const Field& f = batch.schema()->field(i);
+    PutU16(&out, static_cast<uint16_t>(f.name().size()));
+    PutBytes(&out, f.name().data(), f.name().size());
+    out.push_back(static_cast<uint8_t>(f.type().id()));
+    out.push_back(f.nullable() ? 1 : 0);
+  }
+  PutU64(&out, static_cast<uint64_t>(batch.num_rows()));
+  const int64_t rows = batch.num_rows();
+  for (int i = 0; i < batch.num_columns(); ++i) {
+    const auto& col = batch.column(i);
+    const bool has_validity = col->validity() != nullptr;
+    out.push_back(has_validity ? 1 : 0);
+    if (has_validity) {
+      PutBytes(&out, col->validity()->data(),
+               static_cast<size_t>(bit_util::BytesForBits(rows)));
+    }
+    switch (col->type().id()) {
+      case TypeId::kNull:
+        break;
+      case TypeId::kBool:
+        PutBytes(&out, checked_cast<BooleanArray>(*col).values()->data(),
+                 static_cast<size_t>(bit_util::BytesForBits(rows)));
+        break;
+      case TypeId::kString: {
+        const auto& sa = checked_cast<StringArray>(*col);
+        PutBytes(&out, sa.raw_offsets(), static_cast<size_t>((rows + 1) * 4));
+        uint64_t data_len = static_cast<uint64_t>(sa.raw_offsets()[rows]);
+        PutU64(&out, data_len);
+        PutBytes(&out, sa.data()->data(), data_len);
+        break;
+      }
+      default: {
+        int width = col->type().byte_width();
+        const Buffer* values = nullptr;
+        if (width == 4) {
+          values = checked_cast<Int32Array>(*col).values().get();
+        } else if (col->type().id() == TypeId::kFloat64) {
+          values = checked_cast<Float64Array>(*col).values().get();
+        } else {
+          values = checked_cast<Int64Array>(*col).values().get();
+        }
+        PutBytes(&out, values->data(), static_cast<size_t>(rows * width));
+      }
+    }
+  }
+  return out;
+}
+
+Result<RecordBatchPtr> DeserializeBatch(const uint8_t* data, size_t size) {
+  Cursor cur(data, size);
+  FUSION_ASSIGN_OR_RAISE(uint32_t magic, cur.U32());
+  if (magic != kMagic) return Status::IOError("ipc: bad magic");
+  FUSION_ASSIGN_OR_RAISE(uint32_t num_fields, cur.U32());
+  std::vector<Field> fields;
+  fields.reserve(num_fields);
+  for (uint32_t i = 0; i < num_fields; ++i) {
+    FUSION_ASSIGN_OR_RAISE(uint16_t name_len, cur.U16());
+    std::string name(name_len, '\0');
+    FUSION_RETURN_NOT_OK(cur.Read(name.data(), name_len));
+    FUSION_ASSIGN_OR_RAISE(uint8_t type_id, cur.U8());
+    FUSION_ASSIGN_OR_RAISE(uint8_t nullable, cur.U8());
+    fields.emplace_back(std::move(name), DataType(static_cast<TypeId>(type_id)),
+                        nullable != 0);
+  }
+  FUSION_ASSIGN_OR_RAISE(uint64_t rows_u, cur.U64());
+  const int64_t rows = static_cast<int64_t>(rows_u);
+  auto schema = std::make_shared<Schema>(fields);
+  std::vector<ArrayPtr> columns;
+  columns.reserve(num_fields);
+  for (uint32_t i = 0; i < num_fields; ++i) {
+    DataType type = fields[i].type();
+    FUSION_ASSIGN_OR_RAISE(uint8_t has_validity, cur.U8());
+    BufferPtr validity;
+    int64_t nulls = 0;
+    if (has_validity) {
+      int64_t vbytes = bit_util::BytesForBits(rows);
+      validity = std::make_shared<Buffer>(vbytes);
+      FUSION_RETURN_NOT_OK(cur.Read(validity->mutable_data(), vbytes));
+      nulls = rows - bit_util::CountSetBits(validity->data(), rows);
+    }
+    switch (type.id()) {
+      case TypeId::kNull:
+        columns.push_back(std::make_shared<NullArray>(rows));
+        break;
+      case TypeId::kBool: {
+        int64_t vbytes = bit_util::BytesForBits(rows);
+        auto values = std::make_shared<Buffer>(vbytes);
+        FUSION_RETURN_NOT_OK(cur.Read(values->mutable_data(), vbytes));
+        columns.push_back(std::make_shared<BooleanArray>(rows, std::move(values),
+                                                         std::move(validity), nulls));
+        break;
+      }
+      case TypeId::kString: {
+        auto offsets = std::make_shared<Buffer>((rows + 1) * 4);
+        FUSION_RETURN_NOT_OK(cur.Read(offsets->mutable_data(), (rows + 1) * 4));
+        FUSION_ASSIGN_OR_RAISE(uint64_t data_len, cur.U64());
+        auto bytes = std::make_shared<Buffer>(static_cast<int64_t>(data_len));
+        FUSION_RETURN_NOT_OK(cur.Read(bytes->mutable_data(), data_len));
+        columns.push_back(std::make_shared<StringArray>(
+            rows, std::move(offsets), std::move(bytes), std::move(validity), nulls));
+        break;
+      }
+      default: {
+        int width = type.byte_width();
+        auto values = std::make_shared<Buffer>(rows * width);
+        FUSION_RETURN_NOT_OK(cur.Read(values->mutable_data(), rows * width));
+        if (width == 4) {
+          columns.push_back(std::make_shared<Int32Array>(
+              type, rows, std::move(values), std::move(validity), nulls));
+        } else if (type.id() == TypeId::kFloat64) {
+          columns.push_back(std::make_shared<Float64Array>(
+              type, rows, std::move(values), std::move(validity), nulls));
+        } else {
+          columns.push_back(std::make_shared<Int64Array>(
+              type, rows, std::move(values), std::move(validity), nulls));
+        }
+      }
+    }
+  }
+  return std::make_shared<RecordBatch>(std::move(schema), rows, std::move(columns));
+}
+
+FileWriter::~FileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileWriter::Open() {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) return Status::IOError("cannot open for write: " + path_);
+  return Status::OK();
+}
+
+Status FileWriter::WriteBatch(const RecordBatch& batch) {
+  std::vector<uint8_t> blob = SerializeBatch(batch);
+  uint64_t len = blob.size();
+  if (std::fwrite(&len, 8, 1, file_) != 1 ||
+      std::fwrite(blob.data(), 1, blob.size(), file_) != blob.size()) {
+    return Status::IOError("short write to " + path_);
+  }
+  return Status::OK();
+}
+
+Status FileWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  return Status::OK();
+}
+
+FileReader::~FileReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileReader::Open() {
+  file_ = std::fopen(path_.c_str(), "rb");
+  if (file_ == nullptr) return Status::IOError("cannot open for read: " + path_);
+  return Status::OK();
+}
+
+Result<RecordBatchPtr> FileReader::Next() {
+  uint64_t len = 0;
+  size_t n = std::fread(&len, 1, 8, file_);
+  if (n == 0) return RecordBatchPtr(nullptr);  // clean EOF
+  if (n != 8) return Status::IOError("ipc: truncated length prefix");
+  std::vector<uint8_t> blob(len);
+  if (std::fread(blob.data(), 1, len, file_) != len) {
+    return Status::IOError("ipc: truncated batch body");
+  }
+  return DeserializeBatch(blob.data(), blob.size());
+}
+
+Status FileReader::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<RecordBatchPtr>> ReadFile(const std::string& path) {
+  FileReader reader(path);
+  FUSION_RETURN_NOT_OK(reader.Open());
+  std::vector<RecordBatchPtr> out;
+  for (;;) {
+    FUSION_ASSIGN_OR_RAISE(auto batch, reader.Next());
+    if (batch == nullptr) break;
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::vector<RecordBatchPtr>& batches) {
+  FileWriter writer(path);
+  FUSION_RETURN_NOT_OK(writer.Open());
+  for (const auto& b : batches) {
+    FUSION_RETURN_NOT_OK(writer.WriteBatch(*b));
+  }
+  return writer.Close();
+}
+
+}  // namespace ipc
+}  // namespace fusion

@@ -1,0 +1,63 @@
+#ifndef FUSION_ARROW_IPC_H_
+#define FUSION_ARROW_IPC_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arrow/record_batch.h"
+#include "common/result.h"
+
+namespace fusion {
+namespace ipc {
+
+/// \brief Serialize a RecordBatch into a self-describing byte blob
+/// (schema + buffers). The engine's stand-in for Arrow IPC: used for
+/// spill files, the Arrow-file TableProvider and shuffle-style transport.
+std::vector<uint8_t> SerializeBatch(const RecordBatch& batch);
+
+/// Deserialize a batch produced by SerializeBatch.
+Result<RecordBatchPtr> DeserializeBatch(const uint8_t* data, size_t size);
+
+/// \brief Append-style writer for a stream of batches to a file.
+class FileWriter {
+ public:
+  explicit FileWriter(std::string path) : path_(std::move(path)) {}
+  ~FileWriter();
+
+  Status Open();
+  Status WriteBatch(const RecordBatch& batch);
+  Status Close();
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// \brief Reader for files produced by FileWriter; batches are read
+/// incrementally.
+class FileReader {
+ public:
+  explicit FileReader(std::string path) : path_(std::move(path)) {}
+  ~FileReader();
+
+  Status Open();
+  /// Next batch, or nullptr at end of file.
+  Result<RecordBatchPtr> Next();
+  Status Close();
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Read every batch in an IPC file.
+Result<std::vector<RecordBatchPtr>> ReadFile(const std::string& path);
+
+/// Write all batches to an IPC file.
+Status WriteFile(const std::string& path, const std::vector<RecordBatchPtr>& batches);
+
+}  // namespace ipc
+}  // namespace fusion
+
+#endif  // FUSION_ARROW_IPC_H_

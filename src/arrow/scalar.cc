@@ -1,0 +1,213 @@
+#include "arrow/scalar.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "arrow/builder.h"
+#include "common/hash_util.h"
+
+namespace fusion {
+
+Scalar Scalar::FromArray(const Array& arr, int64_t i) {
+  if (arr.IsNull(i)) return Scalar::Null(arr.type());
+  switch (arr.type().id()) {
+    case TypeId::kNull:
+      return Scalar();
+    case TypeId::kBool:
+      return Scalar::Bool(checked_cast<BooleanArray>(arr).Value(i));
+    case TypeId::kInt32:
+      return Scalar::Int32(checked_cast<Int32Array>(arr).Value(i));
+    case TypeId::kDate32:
+      return Scalar::Date32(checked_cast<Int32Array>(arr).Value(i));
+    case TypeId::kInt64:
+      return Scalar::Int64(checked_cast<Int64Array>(arr).Value(i));
+    case TypeId::kTimestamp:
+      return Scalar::Timestamp(checked_cast<Int64Array>(arr).Value(i));
+    case TypeId::kFloat64:
+      return Scalar::Float64(checked_cast<Float64Array>(arr).Value(i));
+    case TypeId::kString:
+      return Scalar::String(std::string(checked_cast<StringArray>(arr).Value(i)));
+  }
+  return Scalar();
+}
+
+Result<Scalar> Scalar::CastTo(DataType target) const {
+  if (type_ == target) return *this;
+  if (is_null_) return Scalar::Null(target);
+  switch (target.id()) {
+    case TypeId::kBool:
+      if (type_.is_numeric()) return Scalar::Bool(AsDouble() != 0.0);
+      break;
+    case TypeId::kInt32:
+      if (type_.is_numeric() || type_.is_temporal()) {
+        return Scalar::Int32(static_cast<int32_t>(
+            type_.is_floating() ? static_cast<int64_t>(double_value()) : int_value()));
+      }
+      if (type_.is_string()) {
+        return Scalar::Int32(static_cast<int32_t>(std::strtoll(
+            string_value().c_str(), nullptr, 10)));
+      }
+      if (type_.is_bool()) return Scalar::Int32(bool_value() ? 1 : 0);
+      break;
+    case TypeId::kInt64:
+      if (type_.is_floating()) {
+        return Scalar::Int64(static_cast<int64_t>(double_value()));
+      }
+      if (type_.is_integer() || type_.is_temporal()) return Scalar::Int64(int_value());
+      if (type_.is_string()) {
+        return Scalar::Int64(std::strtoll(string_value().c_str(), nullptr, 10));
+      }
+      if (type_.is_bool()) return Scalar::Int64(bool_value() ? 1 : 0);
+      break;
+    case TypeId::kFloat64:
+      if (type_.is_integer() || type_.is_temporal()) {
+        return Scalar::Float64(static_cast<double>(int_value()));
+      }
+      if (type_.is_string()) {
+        return Scalar::Float64(std::strtod(string_value().c_str(), nullptr));
+      }
+      if (type_.is_bool()) return Scalar::Float64(bool_value() ? 1.0 : 0.0);
+      break;
+    case TypeId::kString:
+      return Scalar::String(ToString());
+    case TypeId::kDate32:
+      if (type_.is_integer()) return Scalar::Date32(static_cast<int32_t>(int_value()));
+      break;
+    case TypeId::kTimestamp:
+      if (type_.is_integer()) return Scalar::Timestamp(int_value());
+      if (type_.id() == TypeId::kDate32) {
+        return Scalar::Timestamp(int_value() * 86400LL * 1000000LL);
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::TypeError("cannot cast scalar " + ToString() + " from " +
+                           type_.ToString() + " to " + target.ToString());
+}
+
+int Scalar::Compare(const Scalar& other) const {
+  if (is_null_ || other.is_null_) {
+    if (is_null_ && other.is_null_) return 0;
+    return is_null_ ? -1 : 1;
+  }
+  // Numeric cross-type comparison goes through double; exact for the
+  // value ranges used by statistics pruning.
+  if (type_.is_numeric() && other.type_.is_numeric() && type_ != other.type_) {
+    double a = AsDouble();
+    double b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  switch (type_.id()) {
+    case TypeId::kNull:
+      return 0;
+    case TypeId::kBool:
+      return static_cast<int>(bool_value()) - static_cast<int>(other.bool_value());
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kDate32:
+    case TypeId::kTimestamp: {
+      int64_t a = int_value();
+      int64_t b = other.int_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case TypeId::kFloat64: {
+      double a = double_value();
+      double b = other.double_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case TypeId::kString:
+      return string_value().compare(other.string_value());
+  }
+  return 0;
+}
+
+bool Scalar::Equals(const Scalar& other) const {
+  if (is_null_ != other.is_null_) return false;
+  if (is_null_) return type_ == other.type_;
+  if (type_ != other.type_) return false;
+  return Compare(other) == 0;
+}
+
+uint64_t Scalar::Hash() const {
+  if (is_null_) return 0x9e3779b97f4a7c15ULL;
+  switch (type_.id()) {
+    case TypeId::kBool:
+      return hash_util::HashInt64(bool_value() ? 1 : 0);
+    case TypeId::kFloat64: {
+      double d = double_value();
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      return hash_util::HashInt64(bits);
+    }
+    case TypeId::kString:
+      return hash_util::HashString(string_value());
+    default:
+      return hash_util::HashInt64(static_cast<uint64_t>(int_value()));
+  }
+}
+
+std::string Scalar::ToString() const {
+  if (is_null_) return "NULL";
+  switch (type_.id()) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return bool_value() ? "true" : "false";
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kDate32:
+    case TypeId::kTimestamp:
+      return std::to_string(int_value());
+    case TypeId::kFloat64: {
+      std::ostringstream out;
+      out << double_value();
+      return out.str();
+    }
+    case TypeId::kString:
+      return string_value();
+  }
+  return "?";
+}
+
+Result<ArrayPtr> Scalar::MakeArray(int64_t length) const {
+  if (is_null_) return MakeArrayOfNulls(type_, length);
+  FUSION_ASSIGN_OR_RAISE(auto builder, MakeBuilder(type_));
+  builder->Reserve(length);
+  switch (type_.id()) {
+    case TypeId::kBool:
+      for (int64_t i = 0; i < length; ++i) {
+        static_cast<BooleanBuilder*>(builder.get())->Append(bool_value());
+      }
+      break;
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      for (int64_t i = 0; i < length; ++i) {
+        static_cast<NumericBuilder<int32_t>*>(builder.get())
+            ->Append(static_cast<int32_t>(int_value()));
+      }
+      break;
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      for (int64_t i = 0; i < length; ++i) {
+        static_cast<NumericBuilder<int64_t>*>(builder.get())->Append(int_value());
+      }
+      break;
+    case TypeId::kFloat64:
+      for (int64_t i = 0; i < length; ++i) {
+        static_cast<Float64Builder*>(builder.get())->Append(double_value());
+      }
+      break;
+    case TypeId::kString:
+      for (int64_t i = 0; i < length; ++i) {
+        static_cast<StringBuilder*>(builder.get())->Append(string_value());
+      }
+      break;
+    default:
+      return Status::TypeError("Scalar::MakeArray: unsupported type");
+  }
+  return builder->Finish();
+}
+
+}  // namespace fusion

@@ -1,0 +1,107 @@
+#include "arrow/type.h"
+
+#include <sstream>
+
+namespace fusion {
+
+int DataType::byte_width() const {
+  switch (id_) {
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      return 4;
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+    case TypeId::kFloat64:
+      return 8;
+    default:
+      return 0;
+  }
+}
+
+std::string DataType::ToString() const {
+  switch (id_) {
+    case TypeId::kNull:
+      return "null";
+    case TypeId::kBool:
+      return "bool";
+    case TypeId::kInt32:
+      return "int32";
+    case TypeId::kInt64:
+      return "int64";
+    case TypeId::kFloat64:
+      return "float64";
+    case TypeId::kString:
+      return "string";
+    case TypeId::kDate32:
+      return "date32";
+    case TypeId::kTimestamp:
+      return "timestamp";
+  }
+  return "unknown";
+}
+
+Result<DataType> TypeFromString(const std::string& name) {
+  if (name == "null") return null_type();
+  if (name == "bool") return boolean();
+  if (name == "int32") return int32();
+  if (name == "int64") return int64();
+  if (name == "float64") return float64();
+  if (name == "string") return utf8();
+  if (name == "date32") return date32();
+  if (name == "timestamp") return timestamp();
+  return Status::Invalid("unknown type name: " + name);
+}
+
+std::string Field::ToString() const {
+  std::ostringstream out;
+  out << name_ << ": " << type_.ToString();
+  if (!nullable_) out << " not null";
+  return out.str();
+}
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    // First occurrence wins for duplicate names (e.g. join outputs);
+    // callers that need disambiguation use qualified names.
+    name_to_index_.emplace(fields_[i].name(), static_cast<int>(i));
+  }
+}
+
+int Schema::GetFieldIndex(const std::string& name) const {
+  auto it = name_to_index_.find(name);
+  return it == name_to_index_.end() ? -1 : it->second;
+}
+
+Result<Field> Schema::GetFieldByName(const std::string& name) const {
+  int idx = GetFieldIndex(name);
+  if (idx < 0) return Status::KeyError("no field named '" + name + "' in schema");
+  return fields_[idx];
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (!fields_[i].Equals(other.fields_[i])) return false;
+  }
+  return true;
+}
+
+std::shared_ptr<Schema> Schema::Project(const std::vector<int>& indices) const {
+  std::vector<Field> projected;
+  projected.reserve(indices.size());
+  for (int i : indices) {
+    projected.push_back(fields_[i]);
+  }
+  return std::make_shared<Schema>(std::move(projected));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << fields_[i].ToString();
+  }
+  return out.str();
+}
+
+}  // namespace fusion

@@ -1,0 +1,140 @@
+#ifndef FUSION_ARROW_TYPE_H_
+#define FUSION_ARROW_TYPE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fusion {
+
+/// Physical/logical type ids supported by the engine.
+///
+/// The set is deliberately scoped to what the paper's evaluation
+/// workloads (ClickBench, TPC-H, H2O-G) require; see DESIGN.md §4.
+enum class TypeId : uint8_t {
+  kNull = 0,   ///< null literal type; coerces to any other type
+  kBool,       ///< 1 bit per value, bitmap-packed
+  kInt32,      ///< 32-bit signed integer
+  kInt64,      ///< 64-bit signed integer
+  kFloat64,    ///< IEEE 754 double
+  kString,     ///< variable-length UTF-8, int32 offsets
+  kDate32,     ///< days since UNIX epoch, stored as int32
+  kTimestamp,  ///< microseconds since UNIX epoch, stored as int64
+};
+
+/// \brief Lightweight value type describing a column's data type.
+///
+/// All supported types are parameter-free, so a DataType is just a
+/// TypeId with convenience methods and is passed by value.
+class DataType {
+ public:
+  constexpr DataType() : id_(TypeId::kNull) {}
+  constexpr explicit DataType(TypeId id) : id_(id) {}
+
+  constexpr TypeId id() const { return id_; }
+
+  bool operator==(const DataType& other) const { return id_ == other.id_; }
+  bool operator!=(const DataType& other) const { return id_ != other.id_; }
+
+  bool is_null() const { return id_ == TypeId::kNull; }
+  bool is_integer() const { return id_ == TypeId::kInt32 || id_ == TypeId::kInt64; }
+  bool is_floating() const { return id_ == TypeId::kFloat64; }
+  bool is_numeric() const { return is_integer() || is_floating(); }
+  bool is_temporal() const {
+    return id_ == TypeId::kDate32 || id_ == TypeId::kTimestamp;
+  }
+  bool is_string() const { return id_ == TypeId::kString; }
+  bool is_bool() const { return id_ == TypeId::kBool; }
+  /// True if values are stored in fixed-width primitive buffers.
+  bool is_primitive() const { return !is_string() && !is_null(); }
+
+  /// Width in bytes of the fixed-size value representation (0 for
+  /// bool/string/null).
+  int byte_width() const;
+
+  std::string ToString() const;
+
+ private:
+  TypeId id_;
+};
+
+constexpr DataType null_type() { return DataType(TypeId::kNull); }
+constexpr DataType boolean() { return DataType(TypeId::kBool); }
+constexpr DataType int32() { return DataType(TypeId::kInt32); }
+constexpr DataType int64() { return DataType(TypeId::kInt64); }
+constexpr DataType float64() { return DataType(TypeId::kFloat64); }
+constexpr DataType utf8() { return DataType(TypeId::kString); }
+constexpr DataType date32() { return DataType(TypeId::kDate32); }
+constexpr DataType timestamp() { return DataType(TypeId::kTimestamp); }
+
+/// Parse a type from its ToString() form ("int64", "string", ...).
+Result<DataType> TypeFromString(const std::string& name);
+
+/// \brief A named, typed, nullable column in a Schema.
+class Field {
+ public:
+  Field() = default;
+  Field(std::string name, DataType type, bool nullable = true)
+      : name_(std::move(name)), type_(type), nullable_(nullable) {}
+
+  const std::string& name() const { return name_; }
+  DataType type() const { return type_; }
+  bool nullable() const { return nullable_; }
+
+  Field WithName(std::string name) const { return Field(std::move(name), type_, nullable_); }
+  Field WithType(DataType type) const { return Field(name_, type, nullable_); }
+  Field WithNullable(bool nullable) const { return Field(name_, type_, nullable); }
+
+  bool Equals(const Field& other) const {
+    return name_ == other.name_ && type_ == other.type_ && nullable_ == other.nullable_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  DataType type_;
+  bool nullable_ = true;
+};
+
+/// \brief Ordered collection of Fields describing a RecordBatch / table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field with the given name, or -1 if absent.
+  int GetFieldIndex(const std::string& name) const;
+
+  Result<Field> GetFieldByName(const std::string& name) const;
+
+  bool Equals(const Schema& other) const;
+
+  /// Schema with only the given column indices, in order.
+  std::shared_ptr<Schema> Project(const std::vector<int>& indices) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> name_to_index_;
+};
+
+using SchemaPtr = std::shared_ptr<Schema>;
+
+inline SchemaPtr schema(std::vector<Field> fields) {
+  return std::make_shared<Schema>(std::move(fields));
+}
+
+}  // namespace fusion
+
+#endif  // FUSION_ARROW_TYPE_H_

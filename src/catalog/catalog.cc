@@ -1,0 +1,72 @@
+#include "catalog/catalog.h"
+
+namespace fusion {
+namespace catalog {
+
+std::vector<std::string> MemorySchemaProvider::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(name);
+  return out;
+}
+
+Result<TableProviderPtr> MemorySchemaProvider::GetTable(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::KeyError("table '" + name + "' not found");
+  }
+  return it->second;
+}
+
+bool MemorySchemaProvider::TableExists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(name) != 0;
+}
+
+Status MemorySchemaProvider::RegisterTable(const std::string& name,
+                                           TableProviderPtr table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+Status MemorySchemaProvider::DeregisterTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.erase(name);
+  return Status::OK();
+}
+
+MemoryCatalogProvider::MemoryCatalogProvider()
+    : default_schema_(std::make_shared<MemorySchemaProvider>()) {
+  schemas_["public"] = default_schema_;
+}
+
+std::vector<std::string> MemoryCatalogProvider::SchemaNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, schema] : schemas_) out.push_back(name);
+  return out;
+}
+
+Result<SchemaProviderPtr> MemoryCatalogProvider::GetSchema(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = schemas_.find(name);
+  if (it == schemas_.end()) {
+    return Status::KeyError("schema '" + name + "' not found");
+  }
+  return it->second;
+}
+
+Status MemoryCatalogProvider::RegisterSchema(const std::string& name,
+                                             SchemaProviderPtr schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  schemas_[name] = std::move(schema);
+  return Status::OK();
+}
+
+}  // namespace catalog
+}  // namespace fusion

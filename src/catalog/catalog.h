@@ -1,0 +1,89 @@
+#ifndef FUSION_CATALOG_CATALOG_H_
+#define FUSION_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/table_provider.h"
+
+namespace fusion {
+namespace catalog {
+
+/// \brief A namespace of tables (paper §7.2). Other systems call this a
+/// "schema" or "database". The extension point for remote metastores.
+class SchemaProvider {
+ public:
+  virtual ~SchemaProvider() = default;
+
+  virtual std::vector<std::string> TableNames() const = 0;
+  virtual Result<TableProviderPtr> GetTable(const std::string& name) const = 0;
+  virtual bool TableExists(const std::string& name) const = 0;
+  /// Register / replace a table. Default: read-only provider.
+  virtual Status RegisterTable(const std::string& name, TableProviderPtr table) {
+    (void)name;
+    (void)table;
+    return Status::NotImplemented("schema provider is read-only");
+  }
+  virtual Status DeregisterTable(const std::string& name) {
+    (void)name;
+    return Status::NotImplemented("schema provider is read-only");
+  }
+};
+
+using SchemaProviderPtr = std::shared_ptr<SchemaProvider>;
+
+/// \brief A collection of SchemaProviders (a "catalog"/"database").
+class CatalogProvider {
+ public:
+  virtual ~CatalogProvider() = default;
+
+  virtual std::vector<std::string> SchemaNames() const = 0;
+  virtual Result<SchemaProviderPtr> GetSchema(const std::string& name) const = 0;
+  virtual Status RegisterSchema(const std::string& name, SchemaProviderPtr schema) {
+    (void)name;
+    (void)schema;
+    return Status::NotImplemented("catalog provider is read-only");
+  }
+};
+
+using CatalogProviderPtr = std::shared_ptr<CatalogProvider>;
+
+/// Simple thread-safe in-memory SchemaProvider.
+class MemorySchemaProvider : public SchemaProvider {
+ public:
+  std::vector<std::string> TableNames() const override;
+  Result<TableProviderPtr> GetTable(const std::string& name) const override;
+  bool TableExists(const std::string& name) const override;
+  Status RegisterTable(const std::string& name, TableProviderPtr table) override;
+  Status DeregisterTable(const std::string& name) override;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, TableProviderPtr> tables_;
+};
+
+/// Simple thread-safe in-memory CatalogProvider.
+class MemoryCatalogProvider : public CatalogProvider {
+ public:
+  MemoryCatalogProvider();
+
+  std::vector<std::string> SchemaNames() const override;
+  Result<SchemaProviderPtr> GetSchema(const std::string& name) const override;
+  Status RegisterSchema(const std::string& name, SchemaProviderPtr schema) override;
+
+  /// The default "public" schema.
+  const SchemaProviderPtr& default_schema() const { return default_schema_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, SchemaProviderPtr> schemas_;
+  SchemaProviderPtr default_schema_;
+};
+
+}  // namespace catalog
+}  // namespace fusion
+
+#endif  // FUSION_CATALOG_CATALOG_H_

@@ -1,0 +1,420 @@
+#include "catalog/file_tables.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+
+#include "arrow/ipc.h"
+
+namespace fusion {
+namespace catalog {
+
+// ---------------------------------------------------------------- FpqTable
+
+namespace {
+
+struct ScanUnit {
+  std::shared_ptr<format::fpq::Reader> reader;
+  int row_group;
+};
+
+}  // namespace
+
+/// Iterator over a list of (file, row group) units: prunes with zone
+/// maps + Bloom filters, then runs the late-materialization scan.
+class FpqScanIterator : public BatchIterator {
+ public:
+  FpqScanIterator(FpqTable* table, std::vector<ScanUnit> units,
+                  std::vector<int> projection,
+                  std::vector<format::ColumnPredicate> predicates, int64_t limit,
+                  bool late_materialization)
+      : table_(table), units_(std::move(units)), projection_(std::move(projection)),
+        predicates_(std::move(predicates)), limit_(limit),
+        late_materialization_(late_materialization) {}
+
+  ~FpqScanIterator() override { table_->MergeMetrics(metrics_); }
+
+  Result<RecordBatchPtr> Next() override {
+    while (pos_ < units_.size()) {
+      if (limit_ >= 0 && rows_emitted_ >= limit_) return RecordBatchPtr(nullptr);
+      ScanUnit& unit = units_[pos_++];
+      if (!predicates_.empty()) {
+        FUSION_ASSIGN_OR_RAISE(bool may_match,
+                               unit.reader->RowGroupMayMatch(unit.row_group,
+                                                             predicates_));
+        if (!may_match) {
+          ++metrics_.row_groups_pruned;
+          metrics_.rows_total += unit.reader->row_group(unit.row_group).num_rows;
+          continue;
+        }
+      }
+      FUSION_ASSIGN_OR_RAISE(
+          auto batch,
+          unit.reader->ScanRowGroup(unit.row_group, projection_, predicates_,
+                                    late_materialization_, &metrics_));
+      if (batch->num_rows() == 0) continue;
+      if (limit_ >= 0 && rows_emitted_ + batch->num_rows() > limit_) {
+        batch = batch->Slice(0, limit_ - rows_emitted_);
+      }
+      rows_emitted_ += batch->num_rows();
+      return batch;
+    }
+    return RecordBatchPtr(nullptr);
+  }
+
+ private:
+  FpqTable* table_;
+  std::vector<ScanUnit> units_;
+  std::vector<int> projection_;
+  std::vector<format::ColumnPredicate> predicates_;
+  int64_t limit_;
+  bool late_materialization_;
+  size_t pos_ = 0;
+  int64_t rows_emitted_ = 0;
+  format::fpq::ScanMetrics metrics_;
+};
+
+Result<std::shared_ptr<FpqTable>> FpqTable::Open(std::vector<std::string> paths) {
+  if (paths.empty()) return Status::Invalid("FpqTable: no input files");
+  std::vector<std::shared_ptr<format::fpq::Reader>> readers;
+  readers.reserve(paths.size());
+  for (const auto& path : paths) {
+    FUSION_ASSIGN_OR_RAISE(auto reader, format::fpq::Reader::Open(path));
+    if (!readers.empty() && !reader->schema()->Equals(*readers[0]->schema())) {
+      return Status::Invalid("FpqTable: schema mismatch in " + path);
+    }
+    readers.push_back(std::move(reader));
+  }
+  SchemaPtr schema = readers[0]->schema();
+  return std::shared_ptr<FpqTable>(new FpqTable(std::move(schema),
+                                                std::move(readers)));
+}
+
+TableStatistics FpqTable::statistics() const {
+  TableStatistics stats;
+  int64_t rows = 0;
+  stats.column_stats.resize(schema_->num_fields());
+  for (int c = 0; c < schema_->num_fields(); ++c) {
+    stats.column_stats[c].min = Scalar::Null(schema_->field(c).type());
+    stats.column_stats[c].max = Scalar::Null(schema_->field(c).type());
+  }
+  for (const auto& reader : readers_) {
+    rows += reader->num_rows();
+    for (int g = 0; g < reader->num_row_groups(); ++g) {
+      const auto& rg = reader->row_group(g);
+      for (int c = 0; c < schema_->num_fields(); ++c) {
+        const auto& chunk = rg.columns[c];
+        format::ColumnStats& cs = stats.column_stats[c];
+        cs.null_count += chunk.stats.null_count;
+        if (!chunk.stats.min.is_null() &&
+            (cs.min.is_null() || chunk.stats.min.Compare(cs.min) < 0)) {
+          cs.min = chunk.stats.min;
+        }
+        if (!chunk.stats.max.is_null() &&
+            (cs.max.is_null() || chunk.stats.max.Compare(cs.max) > 0)) {
+          cs.max = chunk.stats.max;
+        }
+      }
+    }
+  }
+  for (auto& cs : stats.column_stats) cs.row_count = rows;
+  stats.num_rows = rows;
+  return stats;
+}
+
+FilterPushdown FpqTable::SupportsFilterPushdown(
+    const format::ColumnPredicate& pred) const {
+  if (!pushdown_enabled_) return FilterPushdown::kUnsupported;
+  if (schema_->GetFieldIndex(pred.column) < 0) return FilterPushdown::kUnsupported;
+  // The scan evaluates pushed predicates row-by-row after pruning, so
+  // results are exact and the engine can drop its Filter.
+  return FilterPushdown::kExact;
+}
+
+Result<std::vector<BatchIteratorPtr>> FpqTable::Scan(const ScanRequest& request) {
+  std::vector<int> projection = ResolveProjection(*schema_, request.projection);
+  std::vector<format::ColumnPredicate> predicates =
+      pushdown_enabled_ ? request.predicates
+                        : std::vector<format::ColumnPredicate>{};
+  std::vector<ScanUnit> units;
+  for (const auto& reader : readers_) {
+    for (int g = 0; g < reader->num_row_groups(); ++g) {
+      units.push_back({reader, g});
+    }
+  }
+  int partitions =
+      std::max(1, std::min<int>(request.target_partitions,
+                                std::max<size_t>(units.size(), 1)));
+  std::vector<std::vector<ScanUnit>> parts(partitions);
+  for (size_t i = 0; i < units.size(); ++i) {
+    parts[i % parts.size()].push_back(units[i]);
+  }
+  std::vector<BatchIteratorPtr> out;
+  out.reserve(parts.size());
+  for (auto& p : parts) {
+    out.push_back(std::make_unique<FpqScanIterator>(
+        this, std::move(p), projection, predicates, request.limit,
+        late_materialization_));
+  }
+  return out;
+}
+
+std::string FpqTable::ToString() const {
+  return "FpqTable(" + std::to_string(readers_.size()) + " files)";
+}
+
+void FpqTable::MergeMetrics(const format::fpq::ScanMetrics& m) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  metrics_.row_groups_pruned += m.row_groups_pruned;
+  metrics_.row_groups_read += m.row_groups_read;
+  metrics_.pages_skipped += m.pages_skipped;
+  metrics_.pages_read += m.pages_read;
+  metrics_.rows_selected += m.rows_selected;
+  metrics_.rows_total += m.rows_total;
+}
+
+format::fpq::ScanMetrics FpqTable::ConsumeMetrics() {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  format::fpq::ScanMetrics out = metrics_;
+  metrics_ = {};
+  return out;
+}
+
+// ---------------------------------------------------------------- CsvTable
+
+namespace {
+
+/// Streams batches from one CSV file, applying projection and limit.
+class CsvScanIterator : public BatchIterator {
+ public:
+  CsvScanIterator(std::string path, format::csv::Options options,
+                  std::vector<int> projection, int64_t limit)
+      : path_(std::move(path)), options_(std::move(options)),
+        projection_(std::move(projection)), limit_(limit) {}
+
+  Result<RecordBatchPtr> Next() override {
+    if (reader_ == nullptr) {
+      FUSION_ASSIGN_OR_RAISE(reader_, format::csv::CsvReader::Open(path_, options_));
+    }
+    if (limit_ >= 0 && rows_emitted_ >= limit_) return RecordBatchPtr(nullptr);
+    FUSION_ASSIGN_OR_RAISE(auto batch, reader_->Next());
+    if (batch == nullptr) return RecordBatchPtr(nullptr);
+    FUSION_ASSIGN_OR_RAISE(batch, batch->Project(projection_));
+    if (limit_ >= 0 && rows_emitted_ + batch->num_rows() > limit_) {
+      batch = batch->Slice(0, limit_ - rows_emitted_);
+    }
+    rows_emitted_ += batch->num_rows();
+    return batch;
+  }
+
+ private:
+  std::string path_;
+  format::csv::Options options_;
+  std::vector<int> projection_;
+  int64_t limit_;
+  std::shared_ptr<format::csv::CsvReader> reader_;
+  int64_t rows_emitted_ = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<CsvTable>> CsvTable::Open(std::vector<std::string> paths,
+                                                 format::csv::Options options) {
+  if (paths.empty()) return Status::Invalid("CsvTable: no input files");
+  FUSION_ASSIGN_OR_RAISE(SchemaPtr schema,
+                         format::csv::InferSchema(paths[0], options));
+  options.schema = schema;
+  return std::shared_ptr<CsvTable>(
+      new CsvTable(std::move(schema), std::move(paths), std::move(options)));
+}
+
+Result<std::vector<BatchIteratorPtr>> CsvTable::Scan(const ScanRequest& request) {
+  std::vector<int> projection = ResolveProjection(*schema_, request.projection);
+  std::vector<BatchIteratorPtr> out;
+  out.reserve(paths_.size());
+  for (const auto& path : paths_) {
+    out.push_back(std::make_unique<CsvScanIterator>(path, options_, projection,
+                                                    request.limit));
+  }
+  return out;
+}
+
+std::string CsvTable::ToString() const {
+  return "CsvTable(" + std::to_string(paths_.size()) + " files)";
+}
+
+// --------------------------------------------------------------- JsonTable
+
+namespace {
+
+class EagerBatchIterator : public BatchIterator {
+ public:
+  explicit EagerBatchIterator(std::vector<RecordBatchPtr> batches)
+      : batches_(std::move(batches)) {}
+  Result<RecordBatchPtr> Next() override {
+    if (pos_ >= batches_.size()) return RecordBatchPtr(nullptr);
+    return batches_[pos_++];
+  }
+
+ private:
+  std::vector<RecordBatchPtr> batches_;
+  size_t pos_ = 0;
+};
+
+/// Lazily reads a whole JSON file on first pull.
+class JsonScanIterator : public BatchIterator {
+ public:
+  JsonScanIterator(std::string path, format::json::Options options,
+                   std::vector<int> projection, int64_t limit)
+      : path_(std::move(path)), options_(std::move(options)),
+        projection_(std::move(projection)), limit_(limit) {}
+
+  Result<RecordBatchPtr> Next() override {
+    if (!loaded_) {
+      FUSION_ASSIGN_OR_RAISE(batches_, format::json::ReadFile(path_, options_));
+      loaded_ = true;
+    }
+    while (pos_ < batches_.size()) {
+      if (limit_ >= 0 && rows_emitted_ >= limit_) return RecordBatchPtr(nullptr);
+      FUSION_ASSIGN_OR_RAISE(auto batch, batches_[pos_++]->Project(projection_));
+      if (limit_ >= 0 && rows_emitted_ + batch->num_rows() > limit_) {
+        batch = batch->Slice(0, limit_ - rows_emitted_);
+      }
+      rows_emitted_ += batch->num_rows();
+      return batch;
+    }
+    return RecordBatchPtr(nullptr);
+  }
+
+ private:
+  std::string path_;
+  format::json::Options options_;
+  std::vector<int> projection_;
+  int64_t limit_;
+  bool loaded_ = false;
+  std::vector<RecordBatchPtr> batches_;
+  size_t pos_ = 0;
+  int64_t rows_emitted_ = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<JsonTable>> JsonTable::Open(std::vector<std::string> paths,
+                                                   format::json::Options options) {
+  if (paths.empty()) return Status::Invalid("JsonTable: no input files");
+  FUSION_ASSIGN_OR_RAISE(SchemaPtr schema,
+                         format::json::InferSchema(paths[0], options));
+  options.schema = schema;
+  return std::shared_ptr<JsonTable>(
+      new JsonTable(std::move(schema), std::move(paths), std::move(options)));
+}
+
+Result<std::vector<BatchIteratorPtr>> JsonTable::Scan(const ScanRequest& request) {
+  std::vector<int> projection = ResolveProjection(*schema_, request.projection);
+  std::vector<BatchIteratorPtr> out;
+  for (const auto& path : paths_) {
+    out.push_back(std::make_unique<JsonScanIterator>(path, options_, projection,
+                                                     request.limit));
+  }
+  return out;
+}
+
+std::string JsonTable::ToString() const {
+  return "JsonTable(" + std::to_string(paths_.size()) + " files)";
+}
+
+// ---------------------------------------------------------------- IpcTable
+
+Result<std::shared_ptr<IpcTable>> IpcTable::Open(std::vector<std::string> paths) {
+  if (paths.empty()) return Status::Invalid("IpcTable: no input files");
+  ipc::FileReader reader(paths[0]);
+  FUSION_RETURN_NOT_OK(reader.Open());
+  FUSION_ASSIGN_OR_RAISE(auto first, reader.Next());
+  if (first == nullptr) return Status::Invalid("IpcTable: empty file " + paths[0]);
+  return std::shared_ptr<IpcTable>(new IpcTable(first->schema(), std::move(paths)));
+}
+
+Result<std::vector<BatchIteratorPtr>> IpcTable::Scan(const ScanRequest& request) {
+  std::vector<int> projection = ResolveProjection(*schema_, request.projection);
+  std::vector<BatchIteratorPtr> out;
+  for (const auto& path : paths_) {
+    FUSION_ASSIGN_OR_RAISE(auto batches, ipc::ReadFile(path));
+    std::vector<RecordBatchPtr> projected;
+    int64_t remaining = request.limit < 0 ? INT64_MAX : request.limit;
+    for (auto& b : batches) {
+      if (remaining <= 0) break;
+      FUSION_ASSIGN_OR_RAISE(auto p, b->Project(projection));
+      if (p->num_rows() > remaining) p = p->Slice(0, remaining);
+      remaining -= p->num_rows();
+      projected.push_back(std::move(p));
+    }
+    out.push_back(std::make_unique<EagerBatchIterator>(std::move(projected)));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ listing
+
+Result<std::vector<std::string>> ListFiles(const std::string& dir,
+                                           const std::string& extension) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Status::IOError("cannot open directory " + dir);
+  std::vector<std::string> out;
+  while (dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.size() > extension.size() &&
+        name.compare(name.size() - extension.size(), extension.size(), extension) ==
+            0) {
+      out.push_back(dir + "/" + name);
+    }
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<TableProviderPtr> OpenTable(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError("no such file or directory: " + path);
+  }
+  auto ends_with = [](const std::string& s, const std::string& suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+  };
+  std::vector<std::string> files;
+  std::string probe = path;
+  if (S_ISDIR(st.st_mode)) {
+    for (const char* ext : {".fpq", ".csv", ".json", ".ipc"}) {
+      FUSION_ASSIGN_OR_RAISE(files, ListFiles(path, ext));
+      if (!files.empty()) {
+        probe = files[0];
+        break;
+      }
+    }
+    if (files.empty()) return Status::Invalid("no data files in directory " + path);
+  } else {
+    files = {path};
+  }
+  if (ends_with(probe, ".fpq")) {
+    FUSION_ASSIGN_OR_RAISE(auto t, FpqTable::Open(files));
+    return TableProviderPtr(t);
+  }
+  if (ends_with(probe, ".csv")) {
+    FUSION_ASSIGN_OR_RAISE(auto t, CsvTable::Open(files));
+    return TableProviderPtr(t);
+  }
+  if (ends_with(probe, ".json")) {
+    FUSION_ASSIGN_OR_RAISE(auto t, JsonTable::Open(files));
+    return TableProviderPtr(t);
+  }
+  if (ends_with(probe, ".ipc")) {
+    FUSION_ASSIGN_OR_RAISE(auto t, IpcTable::Open(files));
+    return TableProviderPtr(t);
+  }
+  return Status::Invalid("unrecognized file extension: " + probe);
+}
+
+}  // namespace catalog
+}  // namespace fusion

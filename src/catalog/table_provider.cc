@@ -1,0 +1,22 @@
+#include "catalog/table_provider.h"
+
+#include <numeric>
+
+namespace fusion {
+namespace catalog {
+
+std::vector<int> ResolveProjection(const Schema& schema,
+                                   const std::vector<int>& projection) {
+  if (!projection.empty()) return projection;
+  std::vector<int> all(schema.num_fields());
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+SchemaPtr ProjectedSchema(const SchemaPtr& schema,
+                          const std::vector<int>& projection) {
+  return schema->Project(ResolveProjection(*schema, projection));
+}
+
+}  // namespace catalog
+}  // namespace fusion

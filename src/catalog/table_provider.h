@@ -1,0 +1,101 @@
+#ifndef FUSION_CATALOG_TABLE_PROVIDER_H_
+#define FUSION_CATALOG_TABLE_PROVIDER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arrow/record_batch.h"
+#include "arrow/type.h"
+#include "common/result.h"
+#include "format/predicate.h"
+#include "row/row_format.h"
+
+namespace fusion {
+namespace catalog {
+
+/// Table-level statistics available at planning time (paper §5.4.1):
+/// row counts plus per-column min/max/null-count zone data.
+struct TableStatistics {
+  std::optional<int64_t> num_rows;
+  std::optional<int64_t> total_bytes;
+  /// Parallel to the table schema; empty when unknown.
+  std::vector<format::ColumnStats> column_stats;
+};
+
+/// A column of a known sort order, e.g. files sorted by (ts ASC).
+struct OrderedColumn {
+  std::string column;
+  row::SortOptions options;
+};
+
+/// How fully a provider can absorb a pushed-down filter.
+enum class FilterPushdown {
+  kUnsupported,  ///< engine must re-apply the filter
+  kInexact,      ///< provider prunes but may return false positives
+  kExact,        ///< provider guarantees only matching rows
+};
+
+/// Pull-based iterator of record batches; one per scan partition.
+class BatchIterator {
+ public:
+  virtual ~BatchIterator() = default;
+  /// Next batch, or nullptr when the partition is exhausted.
+  virtual Result<RecordBatchPtr> Next() = 0;
+};
+
+using BatchIteratorPtr = std::unique_ptr<BatchIterator>;
+
+/// Parameters pushed into a scan (paper §7.3: projection, filter and
+/// limit pushdown, partitioned parallel reads).
+struct ScanRequest {
+  /// Column indices to produce (in order). Empty = all columns.
+  std::vector<int> projection;
+  /// Conjunctive predicates offered for pushdown.
+  std::vector<format::ColumnPredicate> predicates;
+  /// Stop after this many rows (best effort), -1 = unlimited.
+  int64_t limit = -1;
+  /// Desired parallelism; providers may return fewer partitions.
+  int target_partitions = 1;
+};
+
+/// \brief The data-source extension point (paper §7.3). Built-in
+/// sources (memory, CSV, FPQ, JSON, IPC) implement exactly this API.
+class TableProvider {
+ public:
+  virtual ~TableProvider() = default;
+
+  virtual SchemaPtr schema() const = 0;
+
+  /// Planning-time statistics; default: unknown.
+  virtual TableStatistics statistics() const { return {}; }
+
+  /// How the provider handles each pushed filter.
+  virtual FilterPushdown SupportsFilterPushdown(
+      const format::ColumnPredicate& pred) const {
+    (void)pred;
+    return FilterPushdown::kUnsupported;
+  }
+
+  /// Any sort order the data is known to satisfy (paper §6.7).
+  virtual std::vector<OrderedColumn> sort_order() const { return {}; }
+
+  /// Open the scan: one BatchIterator per partition.
+  virtual Result<std::vector<BatchIteratorPtr>> Scan(const ScanRequest& request) = 0;
+
+  /// Human-readable description for EXPLAIN output.
+  virtual std::string ToString() const { return "TableProvider"; }
+};
+
+using TableProviderPtr = std::shared_ptr<TableProvider>;
+
+/// Resolve a ScanRequest projection to concrete indices/schema.
+std::vector<int> ResolveProjection(const Schema& schema,
+                                   const std::vector<int>& projection);
+SchemaPtr ProjectedSchema(const SchemaPtr& schema, const std::vector<int>& projection);
+
+}  // namespace catalog
+}  // namespace fusion
+
+#endif  // FUSION_CATALOG_TABLE_PROVIDER_H_

@@ -1,0 +1,53 @@
+#ifndef FUSION_COMMON_HASH_UTIL_H_
+#define FUSION_COMMON_HASH_UTIL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace fusion {
+namespace hash_util {
+
+/// 64-bit finalizer from MurmurHash3; good avalanche behaviour for
+/// integer keys.
+inline uint64_t HashInt64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// FNV-1a-style byte hash with a 64-bit mix; used for strings.
+inline uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  size_t i = 0;
+  // Consume 8 bytes at a time to keep string hashing off the critical path
+  // in hash joins and aggregations.
+  while (i + 8 <= len) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = (h ^ w) * 1099511628211ULL;
+    i += 8;
+  }
+  for (; i < len; ++i) {
+    h = (h ^ p[i]) * 1099511628211ULL;
+  }
+  return HashInt64(h);
+}
+
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+/// Combine two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t CombineHashes(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace hash_util
+}  // namespace fusion
+
+#endif  // FUSION_COMMON_HASH_UTIL_H_

@@ -1,0 +1,33 @@
+#ifndef FUSION_COMMON_MACROS_H_
+#define FUSION_COMMON_MACROS_H_
+
+#include <cassert>
+
+/// Propagate a non-OK Status from an expression returning Status.
+#define FUSION_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::fusion::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#define FUSION_CONCAT_IMPL(x, y) x##y
+#define FUSION_CONCAT(x, y) FUSION_CONCAT_IMPL(x, y)
+
+/// Evaluate an expression returning Result<T>; on error propagate the
+/// Status, otherwise bind the value to `lhs` (which may be a declaration).
+#define FUSION_ASSIGN_OR_RAISE_IMPL(name, lhs, rexpr) \
+  auto name = (rexpr);                                \
+  if (!name.ok()) return name.status();              \
+  lhs = std::move(name).ValueUnsafe()
+
+#define FUSION_ASSIGN_OR_RAISE(lhs, rexpr) \
+  FUSION_ASSIGN_OR_RAISE_IMPL(FUSION_CONCAT(_res_, __COUNTER__), lhs, rexpr)
+
+/// Debug-only invariant check.
+#define FUSION_DCHECK(cond) assert(cond)
+
+#define FUSION_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;             \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // FUSION_COMMON_MACROS_H_

@@ -1,0 +1,64 @@
+#ifndef FUSION_COMMON_RESULT_H_
+#define FUSION_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace fusion {
+
+/// \brief Value-or-error holder, the return type of fallible functions
+/// that produce a value.
+///
+/// A `Result<T>` holds either a `T` or a non-OK `Status`. Use
+/// `FUSION_ASSIGN_OR_RAISE` (macros.h) to unwrap inside functions that
+/// themselves return Status/Result.
+template <typename T>
+class Result {
+ public:
+  /// Construct from a value (implicit so `return value;` works).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Construct from an error status. Must not be OK.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(v_).ok()) {
+      v_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  /// Error status, or OK if this holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(v_);
+  }
+
+  /// Access the value; undefined if !ok().
+  T& ValueUnsafe() & { return std::get<T>(v_); }
+  const T& ValueUnsafe() const& { return std::get<T>(v_); }
+  T&& ValueUnsafe() && { return std::get<T>(std::move(v_)); }
+
+  T& operator*() & { return ValueUnsafe(); }
+  const T& operator*() const& { return ValueUnsafe(); }
+  T* operator->() { return &ValueUnsafe(); }
+  const T* operator->() const { return &ValueUnsafe(); }
+
+  /// Move the value out, aborting if this holds an error. For tests,
+  /// examples and benchmarks; engine code uses FUSION_ASSIGN_OR_RAISE.
+  T ValueOrDie() && {
+    status().Abort();
+    return std::get<T>(std::move(v_));
+  }
+  const T& ValueOrDie() const& {
+    status().Abort();
+    return std::get<T>(v_);
+  }
+
+ private:
+  std::variant<Status, T> v_;
+};
+
+}  // namespace fusion
+
+#endif  // FUSION_COMMON_RESULT_H_

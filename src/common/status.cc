@@ -1,0 +1,54 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fusion {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kIoError:
+      return "IOError";
+    case StatusCode::kOutOfMemory:
+      return "OutOfMemory";
+    case StatusCode::kKeyError:
+      return "KeyError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kPlanError:
+      return "PlanError";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+void Status::Abort() const {
+  if (ok()) return;
+  std::fprintf(stderr, "fatal status: %s\n", ToString().c_str());
+  std::abort();
+}
+
+}  // namespace fusion

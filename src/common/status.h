@@ -1,0 +1,111 @@
+#ifndef FUSION_COMMON_STATUS_H_
+#define FUSION_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace fusion {
+
+/// Machine-readable category for a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotImplemented,
+  kIoError,
+  kOutOfMemory,
+  kKeyError,
+  kTypeError,
+  kParseError,
+  kPlanError,
+  kExecutionError,
+  kInternal,
+  kCancelled,
+};
+
+/// \brief Arrow-style status object: cheap to return, carries an error
+/// code and message on failure, and a single word on success.
+///
+/// The engine does not use exceptions; every fallible function returns
+/// `Status` or `Result<T>` (see result.h).
+class Status {
+ public:
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsIOError() const { return code() == StatusCode::kIoError; }
+  bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
+  bool IsKeyError() const { return code() == StatusCode::kKeyError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsPlanError() const { return code() == StatusCode::kPlanError; }
+  bool IsExecutionError() const { return code() == StatusCode::kExecutionError; }
+
+  /// Human-readable "<CODE>: <message>" string.
+  std::string ToString() const;
+
+  /// Abort the process if not ok; for use in tests and examples only.
+  void Abort() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // Shared (not unique) so Status is copyable; error paths are cold.
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace fusion
+
+#endif  // FUSION_COMMON_STATUS_H_

@@ -1,0 +1,77 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace fusion {
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<Status()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<Status> ThreadPool::Submit(std::function<Status()> task) {
+  std::packaged_task<Status()> packaged(std::move(task));
+  std::future<Status> fut = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+Status ThreadPool::RunAll(std::vector<std::function<Status()>> tasks) {
+  if (tasks.empty()) return Status::OK();
+  // Run the final task inline: this keeps single-partition plans on the
+  // caller thread and avoids idle blocking when the pool is saturated.
+  std::vector<std::future<Status>> futures;
+  futures.reserve(tasks.size() - 1);
+  for (size_t i = 0; i + 1 < tasks.size(); ++i) {
+    futures.push_back(Submit(std::move(tasks[i])));
+  }
+  Status first_error = tasks.back()();
+  for (auto& f : futures) {
+    Status st = f.get();
+    if (first_error.ok() && !st.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+ThreadPool* ThreadPool::Default() {
+  static ThreadPool pool(
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
+  return &pool;
+}
+
+}  // namespace fusion

@@ -1,0 +1,56 @@
+#ifndef FUSION_COMMON_THREAD_POOL_H_
+#define FUSION_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace fusion {
+
+/// \brief Fixed-size thread pool used to drive partitioned query
+/// execution (one task per output partition, Section 5.5.2 of the paper).
+///
+/// This is the C++ stand-in for DataFusion's Tokio runtime: tasks are
+/// plain closures rather than async continuations, and blocking waits
+/// replace awaits. Work distribution across partitions is identical.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  FUSION_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  /// Submit a task; returns a future for its Status.
+  std::future<Status> Submit(std::function<Status()> task);
+
+  /// Run all tasks, wait for completion, and return the first error (if
+  /// any). Tasks run on pool threads; if the pool has one thread and the
+  /// caller would deadlock, the caller thread also drains the queue.
+  Status RunAll(std::vector<std::function<Status()>> tasks);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Process-wide pool sized to the hardware concurrency.
+  static ThreadPool* Default();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<Status()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+}  // namespace fusion
+
+#endif  // FUSION_COMMON_THREAD_POOL_H_

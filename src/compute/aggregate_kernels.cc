@@ -1,0 +1,136 @@
+#include "compute/aggregate_kernels.h"
+
+#include <algorithm>
+
+namespace fusion {
+namespace compute {
+
+namespace {
+
+template <typename CType, typename Acc>
+Result<Scalar> SumImpl(const Array& input) {
+  const auto& arr = checked_cast<NumericArray<CType>>(input);
+  Acc sum{};
+  int64_t count = 0;
+  if (input.null_count() == 0) {
+    for (int64_t i = 0; i < input.length(); ++i) sum += arr.Value(i);
+    count = input.length();
+  } else {
+    for (int64_t i = 0; i < input.length(); ++i) {
+      if (input.IsValid(i)) {
+        sum += arr.Value(i);
+        ++count;
+      }
+    }
+  }
+  if (count == 0) {
+    return Scalar::Null(std::is_floating_point_v<Acc> ? float64() : int64());
+  }
+  if constexpr (std::is_floating_point_v<Acc>) {
+    return Scalar::Float64(sum);
+  } else {
+    return Scalar::Int64(sum);
+  }
+}
+
+template <typename CType, bool kMin>
+Result<Scalar> MinMaxImpl(const Array& input) {
+  const auto& arr = checked_cast<NumericArray<CType>>(input);
+  bool seen = false;
+  CType best{};
+  for (int64_t i = 0; i < input.length(); ++i) {
+    if (input.IsNull(i)) continue;
+    CType v = arr.Value(i);
+    if (!seen || (kMin ? v < best : v > best)) {
+      best = v;
+      seen = true;
+    }
+  }
+  if (!seen) return Scalar::Null(input.type());
+  switch (input.type().id()) {
+    case TypeId::kInt32:
+      return Scalar::Int32(static_cast<int32_t>(best));
+    case TypeId::kDate32:
+      return Scalar::Date32(static_cast<int32_t>(best));
+    case TypeId::kInt64:
+      return Scalar::Int64(static_cast<int64_t>(best));
+    case TypeId::kTimestamp:
+      return Scalar::Timestamp(static_cast<int64_t>(best));
+    case TypeId::kFloat64:
+      return Scalar::Float64(static_cast<double>(best));
+    default:
+      return Status::TypeError("MinMax: unexpected type");
+  }
+}
+
+template <bool kMin>
+Result<Scalar> MinMaxString(const Array& input) {
+  const auto& arr = checked_cast<StringArray>(input);
+  bool seen = false;
+  std::string_view best;
+  for (int64_t i = 0; i < input.length(); ++i) {
+    if (input.IsNull(i)) continue;
+    std::string_view v = arr.Value(i);
+    if (!seen || (kMin ? v < best : v > best)) {
+      best = v;
+      seen = true;
+    }
+  }
+  if (!seen) return Scalar::Null(utf8());
+  return Scalar::String(std::string(best));
+}
+
+template <bool kMin>
+Result<Scalar> MinMaxDispatch(const Array& input) {
+  switch (input.type().id()) {
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      return MinMaxImpl<int32_t, kMin>(input);
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      return MinMaxImpl<int64_t, kMin>(input);
+    case TypeId::kFloat64:
+      return MinMaxImpl<double, kMin>(input);
+    case TypeId::kString:
+      return MinMaxString<kMin>(input);
+    case TypeId::kNull:
+      return Scalar();
+    default:
+      return Status::TypeError("MinMax: unsupported type " +
+                               input.type().ToString());
+  }
+}
+
+}  // namespace
+
+Result<Scalar> SumArray(const Array& input) {
+  switch (input.type().id()) {
+    case TypeId::kInt32:
+      return SumImpl<int32_t, int64_t>(input);
+    case TypeId::kInt64:
+      return SumImpl<int64_t, int64_t>(input);
+    case TypeId::kFloat64:
+      return SumImpl<double, double>(input);
+    case TypeId::kNull:
+      return Scalar::Null(int64());
+    default:
+      return Status::TypeError("Sum: unsupported type " + input.type().ToString());
+  }
+}
+
+Result<Scalar> MinArray(const Array& input) { return MinMaxDispatch<true>(input); }
+Result<Scalar> MaxArray(const Array& input) { return MinMaxDispatch<false>(input); }
+
+int64_t CountArray(const Array& input) {
+  return input.length() - input.null_count();
+}
+
+Result<Scalar> MeanArray(const Array& input) {
+  FUSION_ASSIGN_OR_RAISE(Scalar sum, SumArray(input));
+  int64_t count = CountArray(input);
+  if (count == 0 || sum.is_null()) return Scalar::Null(float64());
+  return Scalar::Float64(sum.AsDouble() / static_cast<double>(count));
+}
+
+}  // namespace compute
+}  // namespace fusion

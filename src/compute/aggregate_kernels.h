@@ -1,0 +1,27 @@
+#ifndef FUSION_COMPUTE_AGGREGATE_KERNELS_H_
+#define FUSION_COMPUTE_AGGREGATE_KERNELS_H_
+
+#include <cstdint>
+
+#include "arrow/array.h"
+#include "arrow/scalar.h"
+#include "common/result.h"
+
+namespace fusion {
+namespace compute {
+
+/// Whole-array reductions used by statistics collection, simple
+/// aggregates, and FPQ zone-map construction. Nulls are skipped; an
+/// all-null (or empty) input yields a null scalar (except Count*).
+Result<Scalar> SumArray(const Array& input);
+Result<Scalar> MinArray(const Array& input);
+Result<Scalar> MaxArray(const Array& input);
+/// COUNT(col): number of non-null values.
+int64_t CountArray(const Array& input);
+/// Mean as float64.
+Result<Scalar> MeanArray(const Array& input);
+
+}  // namespace compute
+}  // namespace fusion
+
+#endif  // FUSION_COMPUTE_AGGREGATE_KERNELS_H_

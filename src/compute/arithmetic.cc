@@ -1,0 +1,206 @@
+#include "compute/arithmetic.h"
+
+#include <cmath>
+
+#include "compute/kernel_util.h"
+
+namespace fusion {
+namespace compute {
+
+namespace {
+
+template <typename CType>
+Result<ArrayPtr> ArithmeticImpl(ArithmeticOp op, DataType out_type, int64_t length,
+                                const CType* a, const CType* b, BufferPtr validity,
+                                int64_t null_count) {
+  auto values = std::make_shared<Buffer>(length * static_cast<int64_t>(sizeof(CType)));
+  CType* out = values->mutable_data_as<CType>();
+  switch (op) {
+    case ArithmeticOp::kAdd:
+      for (int64_t i = 0; i < length; ++i) out[i] = a[i] + b[i];
+      break;
+    case ArithmeticOp::kSubtract:
+      for (int64_t i = 0; i < length; ++i) out[i] = a[i] - b[i];
+      break;
+    case ArithmeticOp::kMultiply:
+      for (int64_t i = 0; i < length; ++i) out[i] = a[i] * b[i];
+      break;
+    case ArithmeticOp::kDivide:
+      if constexpr (std::is_integral_v<CType>) {
+        // Division by zero nulls the slot instead of trapping.
+        for (int64_t i = 0; i < length; ++i) {
+          if (b[i] == 0) {
+            if (validity == nullptr) {
+              validity = AllSetBitmap(length);
+            }
+            bit_util::ClearBit(validity->mutable_data(), i);
+            ++null_count;
+            out[i] = CType{};
+          } else {
+            out[i] = a[i] / b[i];
+          }
+        }
+      } else {
+        for (int64_t i = 0; i < length; ++i) out[i] = a[i] / b[i];
+      }
+      break;
+    case ArithmeticOp::kModulo:
+      if constexpr (std::is_integral_v<CType>) {
+        for (int64_t i = 0; i < length; ++i) {
+          if (b[i] == 0) {
+            if (validity == nullptr) {
+              validity = AllSetBitmap(length);
+            }
+            bit_util::ClearBit(validity->mutable_data(), i);
+            ++null_count;
+            out[i] = CType{};
+          } else {
+            out[i] = a[i] % b[i];
+          }
+        }
+      } else {
+        for (int64_t i = 0; i < length; ++i) {
+          out[i] = static_cast<CType>(std::fmod(static_cast<double>(a[i]),
+                                                static_cast<double>(b[i])));
+        }
+      }
+      break;
+  }
+  return ArrayPtr(std::make_shared<NumericArray<CType>>(
+      out_type, length, std::move(values), std::move(validity), null_count));
+}
+
+template <typename CType>
+std::vector<CType> BroadcastScalar(const Scalar& s, int64_t length) {
+  CType v;
+  if constexpr (std::is_floating_point_v<CType>) {
+    v = static_cast<CType>(s.AsDouble());
+  } else {
+    v = static_cast<CType>(s.int_value());
+  }
+  return std::vector<CType>(static_cast<size_t>(length), v);
+}
+
+}  // namespace
+
+Result<ArrayPtr> Arithmetic(ArithmeticOp op, const Array& lhs, const Array& rhs) {
+  if (lhs.type() != rhs.type()) {
+    return Status::TypeError("Arithmetic: mismatched types " + lhs.type().ToString() +
+                             " vs " + rhs.type().ToString());
+  }
+  if (lhs.length() != rhs.length()) {
+    return Status::Invalid("Arithmetic: mismatched lengths");
+  }
+  auto [validity, nulls] = IntersectValidity(lhs, rhs);
+  switch (lhs.type().id()) {
+    case TypeId::kInt32:
+      return ArithmeticImpl<int32_t>(op, lhs.type(), lhs.length(),
+                                     checked_cast<Int32Array>(lhs).raw_values(),
+                                     checked_cast<Int32Array>(rhs).raw_values(),
+                                     std::move(validity), nulls);
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      return ArithmeticImpl<int64_t>(op, lhs.type(), lhs.length(),
+                                     checked_cast<Int64Array>(lhs).raw_values(),
+                                     checked_cast<Int64Array>(rhs).raw_values(),
+                                     std::move(validity), nulls);
+    case TypeId::kFloat64:
+      return ArithmeticImpl<double>(op, lhs.type(), lhs.length(),
+                                    checked_cast<Float64Array>(lhs).raw_values(),
+                                    checked_cast<Float64Array>(rhs).raw_values(),
+                                    std::move(validity), nulls);
+    default:
+      return Status::TypeError("Arithmetic: unsupported type " +
+                               lhs.type().ToString());
+  }
+}
+
+Result<ArrayPtr> ArithmeticScalar(ArithmeticOp op, const Array& lhs,
+                                  const Scalar& rhs) {
+  if (rhs.is_null()) return MakeArrayOfNulls(lhs.type(), lhs.length());
+  auto [validity, nulls] = CopyValidity(lhs);
+  switch (lhs.type().id()) {
+    case TypeId::kInt32: {
+      auto b = BroadcastScalar<int32_t>(rhs, lhs.length());
+      return ArithmeticImpl<int32_t>(op, lhs.type(), lhs.length(),
+                                     checked_cast<Int32Array>(lhs).raw_values(),
+                                     b.data(), std::move(validity), nulls);
+    }
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      auto b = BroadcastScalar<int64_t>(rhs, lhs.length());
+      return ArithmeticImpl<int64_t>(op, lhs.type(), lhs.length(),
+                                     checked_cast<Int64Array>(lhs).raw_values(),
+                                     b.data(), std::move(validity), nulls);
+    }
+    case TypeId::kFloat64: {
+      auto b = BroadcastScalar<double>(rhs, lhs.length());
+      return ArithmeticImpl<double>(op, lhs.type(), lhs.length(),
+                                    checked_cast<Float64Array>(lhs).raw_values(),
+                                    b.data(), std::move(validity), nulls);
+    }
+    default:
+      return Status::TypeError("ArithmeticScalar: unsupported type " +
+                               lhs.type().ToString());
+  }
+}
+
+Result<ArrayPtr> ScalarArithmetic(ArithmeticOp op, const Scalar& lhs,
+                                  const Array& rhs) {
+  if (lhs.is_null()) return MakeArrayOfNulls(rhs.type(), rhs.length());
+  auto [validity, nulls] = CopyValidity(rhs);
+  switch (rhs.type().id()) {
+    case TypeId::kInt32: {
+      auto a = BroadcastScalar<int32_t>(lhs, rhs.length());
+      return ArithmeticImpl<int32_t>(op, rhs.type(), rhs.length(), a.data(),
+                                     checked_cast<Int32Array>(rhs).raw_values(),
+                                     std::move(validity), nulls);
+    }
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      auto a = BroadcastScalar<int64_t>(lhs, rhs.length());
+      return ArithmeticImpl<int64_t>(op, rhs.type(), rhs.length(), a.data(),
+                                     checked_cast<Int64Array>(rhs).raw_values(),
+                                     std::move(validity), nulls);
+    }
+    case TypeId::kFloat64: {
+      auto a = BroadcastScalar<double>(lhs, rhs.length());
+      return ArithmeticImpl<double>(op, rhs.type(), rhs.length(), a.data(),
+                                    checked_cast<Float64Array>(rhs).raw_values(),
+                                    std::move(validity), nulls);
+    }
+    default:
+      return Status::TypeError("ScalarArithmetic: unsupported type " +
+                               rhs.type().ToString());
+  }
+}
+
+namespace {
+template <typename CType>
+Result<ArrayPtr> NegateImpl(const Array& input) {
+  auto [validity, nulls] = CopyValidity(input);
+  auto values =
+      std::make_shared<Buffer>(input.length() * static_cast<int64_t>(sizeof(CType)));
+  const CType* in = checked_cast<NumericArray<CType>>(input).raw_values();
+  CType* out = values->mutable_data_as<CType>();
+  for (int64_t i = 0; i < input.length(); ++i) out[i] = -in[i];
+  return ArrayPtr(std::make_shared<NumericArray<CType>>(
+      input.type(), input.length(), std::move(values), std::move(validity), nulls));
+}
+}  // namespace
+
+Result<ArrayPtr> Negate(const Array& input) {
+  switch (input.type().id()) {
+    case TypeId::kInt32:
+      return NegateImpl<int32_t>(input);
+    case TypeId::kInt64:
+      return NegateImpl<int64_t>(input);
+    case TypeId::kFloat64:
+      return NegateImpl<double>(input);
+    default:
+      return Status::TypeError("Negate: unsupported type " + input.type().ToString());
+  }
+}
+
+}  // namespace compute
+}  // namespace fusion

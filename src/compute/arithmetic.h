@@ -1,0 +1,33 @@
+#ifndef FUSION_COMPUTE_ARITHMETIC_H_
+#define FUSION_COMPUTE_ARITHMETIC_H_
+
+#include "arrow/array.h"
+#include "arrow/scalar.h"
+#include "common/result.h"
+
+namespace fusion {
+namespace compute {
+
+enum class ArithmeticOp { kAdd, kSubtract, kMultiply, kDivide, kModulo };
+
+/// Element-wise arithmetic on two equal-length numeric arrays of the
+/// same type. Nulls propagate; integer division by zero yields null
+/// (SQL engines differ here; DataFusion errors, we follow the more
+/// benchmark-friendly null convention and document it).
+Result<ArrayPtr> Arithmetic(ArithmeticOp op, const Array& lhs, const Array& rhs);
+
+/// Array op scalar (scalar broadcast on the right).
+Result<ArrayPtr> ArithmeticScalar(ArithmeticOp op, const Array& lhs,
+                                  const Scalar& rhs);
+
+/// Scalar op array (scalar broadcast on the left).
+Result<ArrayPtr> ScalarArithmetic(ArithmeticOp op, const Scalar& lhs,
+                                  const Array& rhs);
+
+/// Unary minus.
+Result<ArrayPtr> Negate(const Array& input);
+
+}  // namespace compute
+}  // namespace fusion
+
+#endif  // FUSION_COMPUTE_ARITHMETIC_H_

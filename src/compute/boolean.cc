@@ -1,0 +1,102 @@
+#include "compute/boolean.h"
+
+#include "compute/kernel_util.h"
+
+namespace fusion {
+namespace compute {
+
+namespace {
+Status CheckBoolPair(const Array& lhs, const Array& rhs) {
+  if (!lhs.type().is_bool() || !rhs.type().is_bool()) {
+    return Status::TypeError("boolean kernel requires bool inputs");
+  }
+  if (lhs.length() != rhs.length()) {
+    return Status::Invalid("boolean kernel: mismatched lengths");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<ArrayPtr> And(const Array& lhs, const Array& rhs) {
+  FUSION_RETURN_NOT_OK(CheckBoolPair(lhs, rhs));
+  const auto& a = checked_cast<BooleanArray>(lhs);
+  const auto& b = checked_cast<BooleanArray>(rhs);
+  const int64_t n = lhs.length();
+  auto values = std::make_shared<Buffer>(bit_util::BytesForBits(n));
+  BufferPtr validity;
+  int64_t nulls = 0;
+  if (lhs.null_count() > 0 || rhs.null_count() > 0) {
+    validity = std::make_shared<Buffer>(bit_util::BytesForBits(n));
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const bool a_null = a.IsNull(i);
+    const bool b_null = b.IsNull(i);
+    const bool a_val = !a_null && a.Value(i);
+    const bool b_val = !b_null && b.Value(i);
+    // Kleene AND: false dominates null.
+    const bool known_false = (!a_null && !a_val) || (!b_null && !b_val);
+    const bool is_null = !known_false && (a_null || b_null);
+    if (validity) {
+      if (is_null) {
+        ++nulls;
+      } else {
+        bit_util::SetBit(validity->mutable_data(), i);
+      }
+    }
+    if (!is_null && a_val && b_val) bit_util::SetBit(values->mutable_data(), i);
+  }
+  if (nulls == 0) validity = nullptr;
+  return ArrayPtr(std::make_shared<BooleanArray>(n, std::move(values),
+                                                 std::move(validity), nulls));
+}
+
+Result<ArrayPtr> Or(const Array& lhs, const Array& rhs) {
+  FUSION_RETURN_NOT_OK(CheckBoolPair(lhs, rhs));
+  const auto& a = checked_cast<BooleanArray>(lhs);
+  const auto& b = checked_cast<BooleanArray>(rhs);
+  const int64_t n = lhs.length();
+  auto values = std::make_shared<Buffer>(bit_util::BytesForBits(n));
+  BufferPtr validity;
+  int64_t nulls = 0;
+  if (lhs.null_count() > 0 || rhs.null_count() > 0) {
+    validity = std::make_shared<Buffer>(bit_util::BytesForBits(n));
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const bool a_null = a.IsNull(i);
+    const bool b_null = b.IsNull(i);
+    const bool a_val = !a_null && a.Value(i);
+    const bool b_val = !b_null && b.Value(i);
+    // Kleene OR: true dominates null.
+    const bool known_true = a_val || b_val;
+    const bool is_null = !known_true && (a_null || b_null);
+    if (validity) {
+      if (is_null) {
+        ++nulls;
+      } else {
+        bit_util::SetBit(validity->mutable_data(), i);
+      }
+    }
+    if (!is_null && known_true) bit_util::SetBit(values->mutable_data(), i);
+  }
+  if (nulls == 0) validity = nullptr;
+  return ArrayPtr(std::make_shared<BooleanArray>(n, std::move(values),
+                                                 std::move(validity), nulls));
+}
+
+Result<ArrayPtr> Not(const Array& input) {
+  if (!input.type().is_bool()) {
+    return Status::TypeError("Not: requires bool input");
+  }
+  const auto& a = checked_cast<BooleanArray>(input);
+  const int64_t n = input.length();
+  auto values = std::make_shared<Buffer>(bit_util::BytesForBits(n));
+  auto [validity, nulls] = CopyValidity(input);
+  for (int64_t i = 0; i < n; ++i) {
+    if (a.IsValid(i) && !a.Value(i)) bit_util::SetBit(values->mutable_data(), i);
+  }
+  return ArrayPtr(std::make_shared<BooleanArray>(n, std::move(values),
+                                                 std::move(validity), nulls));
+}
+
+}  // namespace compute
+}  // namespace fusion

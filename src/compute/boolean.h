@@ -1,0 +1,19 @@
+#ifndef FUSION_COMPUTE_BOOLEAN_H_
+#define FUSION_COMPUTE_BOOLEAN_H_
+
+#include "arrow/array.h"
+#include "common/result.h"
+
+namespace fusion {
+namespace compute {
+
+/// SQL three-valued (Kleene) logic: FALSE AND NULL = FALSE,
+/// TRUE OR NULL = TRUE, otherwise nulls propagate.
+Result<ArrayPtr> And(const Array& lhs, const Array& rhs);
+Result<ArrayPtr> Or(const Array& lhs, const Array& rhs);
+Result<ArrayPtr> Not(const Array& input);
+
+}  // namespace compute
+}  // namespace fusion
+
+#endif  // FUSION_COMPUTE_BOOLEAN_H_

@@ -1,0 +1,187 @@
+#include "compute/cast.h"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "arrow/builder.h"
+#include "compute/kernel_util.h"
+
+namespace fusion {
+namespace compute {
+
+namespace {
+
+template <typename InT, typename OutT>
+Result<ArrayPtr> NumericCast(const Array& input, DataType target) {
+  auto [validity, nulls] = CopyValidity(input);
+  const InT* in = checked_cast<NumericArray<InT>>(input).raw_values();
+  auto values =
+      std::make_shared<Buffer>(input.length() * static_cast<int64_t>(sizeof(OutT)));
+  OutT* out = values->mutable_data_as<OutT>();
+  for (int64_t i = 0; i < input.length(); ++i) {
+    out[i] = static_cast<OutT>(in[i]);
+  }
+  return ArrayPtr(std::make_shared<NumericArray<OutT>>(
+      target, input.length(), std::move(values), std::move(validity), nulls));
+}
+
+template <typename InT>
+Result<ArrayPtr> DispatchOut(const Array& input, DataType target) {
+  switch (target.id()) {
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      return NumericCast<InT, int32_t>(input, target);
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      return NumericCast<InT, int64_t>(input, target);
+    case TypeId::kFloat64:
+      return NumericCast<InT, double>(input, target);
+    default:
+      return Status::TypeError("Cast: unsupported numeric target " +
+                               target.ToString());
+  }
+}
+
+Result<ArrayPtr> StringToNumeric(const StringArray& input, DataType target) {
+  FUSION_ASSIGN_OR_RAISE(auto builder, MakeBuilder(target));
+  builder->Reserve(input.length());
+  for (int64_t i = 0; i < input.length(); ++i) {
+    if (input.IsNull(i)) {
+      builder->AppendNull();
+      continue;
+    }
+    std::string_view sv = input.Value(i);
+    if (target.id() == TypeId::kFloat64) {
+      // from_chars for double is not universally available; strtod needs a
+      // NUL-terminated buffer, so copy.
+      std::string tmp(sv);
+      char* end = nullptr;
+      double v = std::strtod(tmp.c_str(), &end);
+      if (end == tmp.c_str()) {
+        builder->AppendNull();
+      } else {
+        static_cast<Float64Builder*>(builder.get())->Append(v);
+      }
+    } else {
+      int64_t v = 0;
+      auto res = std::from_chars(sv.data(), sv.data() + sv.size(), v);
+      if (res.ec != std::errc()) {
+        builder->AppendNull();
+      } else if (target.byte_width() == 4) {
+        static_cast<NumericBuilder<int32_t>*>(builder.get())
+            ->Append(static_cast<int32_t>(v));
+      } else {
+        static_cast<NumericBuilder<int64_t>*>(builder.get())->Append(v);
+      }
+    }
+  }
+  return builder->Finish();
+}
+
+Result<ArrayPtr> ToStringArray(const Array& input) {
+  StringBuilder builder;
+  builder.Reserve(input.length());
+  for (int64_t i = 0; i < input.length(); ++i) {
+    if (input.IsNull(i)) {
+      builder.AppendNull();
+    } else {
+      builder.Append(input.ValueToString(i));
+    }
+  }
+  return builder.Finish();
+}
+
+Result<ArrayPtr> BoolToNumeric(const BooleanArray& input, DataType target) {
+  FUSION_ASSIGN_OR_RAISE(auto builder, MakeBuilder(target));
+  for (int64_t i = 0; i < input.length(); ++i) {
+    if (input.IsNull(i)) {
+      builder->AppendNull();
+    } else if (target.id() == TypeId::kFloat64) {
+      static_cast<Float64Builder*>(builder.get())->Append(input.Value(i) ? 1.0 : 0.0);
+    } else if (target.byte_width() == 4) {
+      static_cast<NumericBuilder<int32_t>*>(builder.get())
+          ->Append(input.Value(i) ? 1 : 0);
+    } else {
+      static_cast<NumericBuilder<int64_t>*>(builder.get())
+          ->Append(input.Value(i) ? 1 : 0);
+    }
+  }
+  return builder->Finish();
+}
+
+}  // namespace
+
+Result<ArrayPtr> Cast(const Array& input, DataType target) {
+  if (input.type() == target) {
+    // Arrays are immutable; sharing is safe. Callers hold shared_ptrs, so
+    // go through a cheap full-range slice only when we lack the pointer.
+    return input.Slice(0, input.length());
+  }
+  if (input.type().is_null()) return MakeArrayOfNulls(target, input.length());
+  switch (input.type().id()) {
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      if (input.type().id() == TypeId::kDate32 && target.id() == TypeId::kTimestamp) {
+        // days -> microseconds
+        auto [validity, nulls] = CopyValidity(input);
+        const int32_t* in = checked_cast<Int32Array>(input).raw_values();
+        auto values = std::make_shared<Buffer>(input.length() * 8);
+        int64_t* out = values->mutable_data_as<int64_t>();
+        for (int64_t i = 0; i < input.length(); ++i) {
+          out[i] = static_cast<int64_t>(in[i]) * 86400LL * 1000000LL;
+        }
+        return ArrayPtr(std::make_shared<Int64Array>(timestamp(), input.length(),
+                                                     std::move(values),
+                                                     std::move(validity), nulls));
+      }
+      if (target.is_string()) return ToStringArray(input);
+      return DispatchOut<int32_t>(input, target);
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      if (target.is_string()) return ToStringArray(input);
+      return DispatchOut<int64_t>(input, target);
+    case TypeId::kFloat64:
+      if (target.is_string()) return ToStringArray(input);
+      return DispatchOut<double>(input, target);
+    case TypeId::kString:
+      if (target.is_numeric() || target.is_temporal()) {
+        return StringToNumeric(checked_cast<StringArray>(input), target);
+      }
+      break;
+    case TypeId::kBool:
+      if (target.is_numeric()) {
+        return BoolToNumeric(checked_cast<BooleanArray>(input), target);
+      }
+      if (target.is_string()) return ToStringArray(input);
+      break;
+    default:
+      break;
+  }
+  return Status::TypeError("Cast: unsupported cast " + input.type().ToString() +
+                           " -> " + target.ToString());
+}
+
+Result<DataType> CommonType(DataType a, DataType b) {
+  if (a == b) return a;
+  if (a.is_null()) return b;
+  if (b.is_null()) return a;
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.id() == TypeId::kFloat64 || b.id() == TypeId::kFloat64) return float64();
+    if (a.id() == TypeId::kInt64 || b.id() == TypeId::kInt64) return int64();
+    return int32();
+  }
+  if (a.is_temporal() && b.is_temporal()) return timestamp();
+  // date/timestamp vs integer: compare in the temporal domain.
+  if (a.is_temporal() && b.is_integer()) return a;
+  if (b.is_temporal() && a.is_integer()) return b;
+  // string vs temporal: parsed literals arrive as strings.
+  if (a.is_string() && b.is_temporal()) return b;
+  if (b.is_string() && a.is_temporal()) return a;
+  if (a.is_string() && b.is_numeric()) return b;
+  if (b.is_string() && a.is_numeric()) return a;
+  return Status::TypeError("no common type for " + a.ToString() + " and " +
+                           b.ToString());
+}
+
+}  // namespace compute
+}  // namespace fusion

@@ -1,0 +1,23 @@
+#ifndef FUSION_COMPUTE_CAST_H_
+#define FUSION_COMPUTE_CAST_H_
+
+#include "arrow/array.h"
+#include "common/result.h"
+
+namespace fusion {
+namespace compute {
+
+/// Cast an array to a target type. Supported casts: any numeric <->
+/// numeric, numeric -> string, string -> numeric (unparsable -> null),
+/// date32 <-> timestamp, bool <-> numeric, null -> anything, identity.
+Result<ArrayPtr> Cast(const Array& input, DataType target);
+
+/// Implicit-coercion result type for binary operations, following the
+/// SQL numeric tower (int32 < int64 < float64); temporal types coerce
+/// with each other via timestamp. Returns error if no common type.
+Result<DataType> CommonType(DataType a, DataType b);
+
+}  // namespace compute
+}  // namespace fusion
+
+#endif  // FUSION_COMPUTE_CAST_H_

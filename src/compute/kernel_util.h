@@ -1,0 +1,27 @@
+#ifndef FUSION_COMPUTE_KERNEL_UTIL_H_
+#define FUSION_COMPUTE_KERNEL_UTIL_H_
+
+#include <cstring>
+#include <memory>
+
+#include "arrow/array.h"
+#include "arrow/buffer.h"
+#include "common/bit_util.h"
+
+namespace fusion {
+namespace compute {
+
+/// Intersect the validity bitmaps of two arrays (null if either input is
+/// null). Returns {validity_buffer_or_null, null_count}.
+std::pair<BufferPtr, int64_t> IntersectValidity(const Array& a, const Array& b);
+
+/// Copy (or share) a single array's validity for a same-length output.
+std::pair<BufferPtr, int64_t> CopyValidity(const Array& a);
+
+/// Allocate an all-set bitmap of `length` bits.
+BufferPtr AllSetBitmap(int64_t length);
+
+}  // namespace compute
+}  // namespace fusion
+
+#endif  // FUSION_COMPUTE_KERNEL_UTIL_H_

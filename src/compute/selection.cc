@@ -1,0 +1,149 @@
+#include "compute/selection.h"
+
+#include "arrow/builder.h"
+#include "compute/kernel_util.h"
+
+namespace fusion {
+namespace compute {
+
+namespace {
+
+/// Row indices selected by the mask (true and valid).
+std::vector<int64_t> MaskToIndices(const BooleanArray& mask) {
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(mask.length()));
+  for (int64_t i = 0; i < mask.length(); ++i) {
+    if (mask.IsValid(i) && mask.Value(i)) out.push_back(i);
+  }
+  return out;
+}
+
+template <typename CType>
+Result<ArrayPtr> TakeNumeric(const Array& input, const std::vector<int64_t>& indices) {
+  const auto& in = checked_cast<NumericArray<CType>>(input);
+  const int64_t n = static_cast<int64_t>(indices.size());
+  auto values = std::make_shared<Buffer>(n * static_cast<int64_t>(sizeof(CType)));
+  CType* out = values->mutable_data_as<CType>();
+  BufferPtr validity;
+  int64_t nulls = 0;
+  const bool in_has_nulls = input.null_count() > 0;
+  bool need_validity = in_has_nulls;
+  for (int64_t idx : indices) {
+    if (idx < 0) {
+      need_validity = true;
+      break;
+    }
+  }
+  if (need_validity) {
+    validity = AllSetBitmap(n);
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t idx = indices[i];
+    if (idx < 0 || (in_has_nulls && input.IsNull(idx))) {
+      bit_util::ClearBit(validity->mutable_data(), i);
+      ++nulls;
+      out[i] = CType{};
+    } else {
+      out[i] = in.Value(idx);
+    }
+  }
+  if (nulls == 0) validity = nullptr;
+  return ArrayPtr(std::make_shared<NumericArray<CType>>(
+      input.type(), n, std::move(values), std::move(validity), nulls));
+}
+
+}  // namespace
+
+Result<ArrayPtr> Take(const Array& input, const std::vector<int64_t>& indices) {
+  switch (input.type().id()) {
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      return TakeNumeric<int32_t>(input, indices);
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      return TakeNumeric<int64_t>(input, indices);
+    case TypeId::kFloat64:
+      return TakeNumeric<double>(input, indices);
+    case TypeId::kBool: {
+      BooleanBuilder builder;
+      builder.Reserve(static_cast<int64_t>(indices.size()));
+      const auto& in = checked_cast<BooleanArray>(input);
+      for (int64_t idx : indices) {
+        if (idx < 0 || in.IsNull(idx)) {
+          builder.AppendNull();
+        } else {
+          builder.Append(in.Value(idx));
+        }
+      }
+      return builder.Finish();
+    }
+    case TypeId::kString: {
+      const auto& in = checked_cast<StringArray>(input);
+      const int64_t n = static_cast<int64_t>(indices.size());
+      // Pre-size the data buffer to avoid repeated growth on large takes.
+      int64_t total_bytes = 0;
+      for (int64_t idx : indices) {
+        if (idx >= 0 && in.IsValid(idx)) {
+          total_bytes += static_cast<int64_t>(in.Value(idx).size());
+        }
+      }
+      auto offsets = std::make_shared<Buffer>((n + 1) * sizeof(int32_t));
+      auto data = std::make_shared<Buffer>(total_bytes);
+      int32_t* off = offsets->mutable_data_as<int32_t>();
+      uint8_t* bytes = data->mutable_data();
+      BufferPtr validity;
+      int64_t nulls = 0;
+      off[0] = 0;
+      int32_t pos = 0;
+      for (int64_t i = 0; i < n; ++i) {
+        int64_t idx = indices[i];
+        if (idx < 0 || in.IsNull(idx)) {
+          if (validity == nullptr) validity = AllSetBitmap(n);
+          bit_util::ClearBit(validity->mutable_data(), i);
+          ++nulls;
+        } else {
+          std::string_view sv = in.Value(idx);
+          std::memcpy(bytes + pos, sv.data(), sv.size());
+          pos += static_cast<int32_t>(sv.size());
+        }
+        off[i + 1] = pos;
+      }
+      return ArrayPtr(std::make_shared<StringArray>(n, std::move(offsets),
+                                                    std::move(data),
+                                                    std::move(validity), nulls));
+    }
+    case TypeId::kNull:
+      return ArrayPtr(
+          std::make_shared<NullArray>(static_cast<int64_t>(indices.size())));
+  }
+  return Status::TypeError("Take: unsupported type " + input.type().ToString());
+}
+
+Result<ArrayPtr> Filter(const Array& input, const BooleanArray& mask) {
+  if (input.length() != mask.length()) {
+    return Status::Invalid("Filter: mask length mismatch");
+  }
+  return Take(input, MaskToIndices(mask));
+}
+
+Result<RecordBatchPtr> FilterBatch(const RecordBatch& batch,
+                                   const BooleanArray& mask) {
+  std::vector<int64_t> indices = MaskToIndices(mask);
+  return TakeBatch(batch, indices);
+}
+
+Result<RecordBatchPtr> TakeBatch(const RecordBatch& batch,
+                                 const std::vector<int64_t>& indices) {
+  std::vector<ArrayPtr> cols;
+  cols.reserve(batch.num_columns());
+  for (int c = 0; c < batch.num_columns(); ++c) {
+    FUSION_ASSIGN_OR_RAISE(auto col, Take(*batch.column(c), indices));
+    cols.push_back(std::move(col));
+  }
+  return std::make_shared<RecordBatch>(batch.schema(),
+                                       static_cast<int64_t>(indices.size()),
+                                       std::move(cols));
+}
+
+}  // namespace compute
+}  // namespace fusion

@@ -1,0 +1,27 @@
+#ifndef FUSION_COMPUTE_SELECTION_H_
+#define FUSION_COMPUTE_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "arrow/record_batch.h"
+#include "common/result.h"
+
+namespace fusion {
+namespace compute {
+
+/// Keep rows where `mask` is true (null mask slots drop the row, per SQL
+/// WHERE semantics).
+Result<ArrayPtr> Filter(const Array& input, const BooleanArray& mask);
+Result<RecordBatchPtr> FilterBatch(const RecordBatch& batch, const BooleanArray& mask);
+
+/// Gather rows by index. Indices must be in range; negative index means
+/// "emit null" (used by outer joins).
+Result<ArrayPtr> Take(const Array& input, const std::vector<int64_t>& indices);
+Result<RecordBatchPtr> TakeBatch(const RecordBatch& batch,
+                                 const std::vector<int64_t>& indices);
+
+}  // namespace compute
+}  // namespace fusion
+
+#endif  // FUSION_COMPUTE_SELECTION_H_

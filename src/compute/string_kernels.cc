@@ -1,0 +1,287 @@
+#include "compute/string_kernels.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "arrow/builder.h"
+#include "compute/kernel_util.h"
+
+namespace fusion {
+namespace compute {
+
+namespace {
+
+char ToLowerAscii(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool GenericLikeMatch(std::string_view value, std::string_view pattern,
+                      bool case_insensitive) {
+  // Iterative backtracking match, linear for patterns without nested '%'.
+  size_t v = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_v = 0;
+  auto eq = [&](char a, char b) {
+    if (case_insensitive) return ToLowerAscii(a) == ToLowerAscii(b);
+    return a == b;
+  };
+  while (v < value.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || eq(pattern[p], value[v]))) {
+      ++p;
+      ++v;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_v = v;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      v = ++star_v;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+bool EqualsMaybeCI(std::string_view a, std::string_view b, bool ci) {
+  if (a.size() != b.size()) return false;
+  if (!ci) return a == b;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (ToLowerAscii(a[i]) != ToLowerAscii(b[i])) return false;
+  }
+  return true;
+}
+
+bool ContainsMaybeCI(std::string_view haystack, std::string_view needle, bool ci) {
+  if (needle.empty()) return true;
+  if (!ci) return haystack.find(needle) != std::string_view::npos;
+  if (haystack.size() < needle.size()) return false;
+  for (size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (EqualsMaybeCI(haystack.substr(i, needle.size()), needle, true)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+LikeMatcher::LikeMatcher(std::string pattern, bool case_insensitive)
+    : pattern_(std::move(pattern)), case_insensitive_(case_insensitive) {
+  const std::string& p = pattern_;
+  const bool has_underscore = p.find('_') != std::string::npos;
+  const size_t first_pct = p.find('%');
+  const size_t last_pct = p.rfind('%');
+  const size_t pct_count = std::count(p.begin(), p.end(), '%');
+  if (has_underscore) {
+    shape_ = Shape::kGeneric;
+  } else if (pct_count == 0) {
+    shape_ = Shape::kExact;
+    literal_ = p;
+  } else if (pct_count == 1 && last_pct == p.size() - 1) {
+    shape_ = Shape::kPrefix;
+    literal_ = p.substr(0, p.size() - 1);
+  } else if (pct_count == 1 && first_pct == 0) {
+    shape_ = Shape::kSuffix;
+    literal_ = p.substr(1);
+  } else if (pct_count == 2 && first_pct == 0 && last_pct == p.size() - 1 &&
+             p.size() >= 2) {
+    shape_ = Shape::kContains;
+    literal_ = p.substr(1, p.size() - 2);
+    // "%%" means contains-empty == always true; Generic handles it fine
+    // too, but keep the specialized path for uniformity.
+  } else {
+    shape_ = Shape::kGeneric;
+  }
+}
+
+bool LikeMatcher::Matches(std::string_view value) const {
+  switch (shape_) {
+    case Shape::kExact:
+      return EqualsMaybeCI(value, literal_, case_insensitive_);
+    case Shape::kPrefix:
+      return value.size() >= literal_.size() &&
+             EqualsMaybeCI(value.substr(0, literal_.size()), literal_,
+                           case_insensitive_);
+    case Shape::kSuffix:
+      return value.size() >= literal_.size() &&
+             EqualsMaybeCI(value.substr(value.size() - literal_.size()), literal_,
+                           case_insensitive_);
+    case Shape::kContains:
+      return ContainsMaybeCI(value, literal_, case_insensitive_);
+    case Shape::kGeneric:
+      return GenericLikeMatch(value, pattern_, case_insensitive_);
+  }
+  return false;
+}
+
+namespace {
+Status CheckString(const Array& input, const char* kernel) {
+  // Null-typed inputs (NULL literals) are accepted; every kernel
+  // propagates them as all-null outputs.
+  if (!input.type().is_string() && !input.type().is_null()) {
+    return Status::TypeError(std::string(kernel) + ": requires string input");
+  }
+  return Status::OK();
+}
+
+template <typename Pred>
+Result<ArrayPtr> StringPredicate(const Array& input, Pred&& pred) {
+  if (input.type().is_null()) return MakeArrayOfNulls(boolean(), input.length());
+  const auto& sa = checked_cast<StringArray>(input);
+  const int64_t n = input.length();
+  auto values = std::make_shared<Buffer>(bit_util::BytesForBits(n));
+  auto [validity, nulls] = CopyValidity(input);
+  for (int64_t i = 0; i < n; ++i) {
+    if (input.IsValid(i) && pred(sa.Value(i))) {
+      bit_util::SetBit(values->mutable_data(), i);
+    }
+  }
+  return ArrayPtr(std::make_shared<BooleanArray>(n, std::move(values),
+                                                 std::move(validity), nulls));
+}
+
+template <typename Transform>
+Result<ArrayPtr> StringTransform(const Array& input, Transform&& transform) {
+  if (input.type().is_null()) return MakeArrayOfNulls(utf8(), input.length());
+  const auto& sa = checked_cast<StringArray>(input);
+  StringBuilder builder;
+  builder.Reserve(input.length());
+  for (int64_t i = 0; i < input.length(); ++i) {
+    if (input.IsNull(i)) {
+      builder.AppendNull();
+    } else {
+      builder.Append(transform(sa.Value(i)));
+    }
+  }
+  return builder.Finish();
+}
+}  // namespace
+
+Result<ArrayPtr> Like(const Array& input, const LikeMatcher& matcher, bool negated) {
+  FUSION_RETURN_NOT_OK(CheckString(input, "Like"));
+  return StringPredicate(input, [&](std::string_view v) {
+    return matcher.Matches(v) != negated;
+  });
+}
+
+Result<ArrayPtr> Upper(const Array& input) {
+  FUSION_RETURN_NOT_OK(CheckString(input, "Upper"));
+  return StringTransform(input, [](std::string_view v) {
+    std::string out(v);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](char c) { return (c >= 'a' && c <= 'z')
+                                    ? static_cast<char>(c - 'a' + 'A') : c; });
+    return out;
+  });
+}
+
+Result<ArrayPtr> Lower(const Array& input) {
+  FUSION_RETURN_NOT_OK(CheckString(input, "Lower"));
+  return StringTransform(input, [](std::string_view v) {
+    std::string out(v);
+    std::transform(out.begin(), out.end(), out.begin(), ToLowerAscii);
+    return out;
+  });
+}
+
+Result<ArrayPtr> Length(const Array& input) {
+  FUSION_RETURN_NOT_OK(CheckString(input, "Length"));
+  if (input.type().is_null()) return MakeArrayOfNulls(int64(), input.length());
+  const auto& sa = checked_cast<StringArray>(input);
+  const int64_t n = input.length();
+  auto [validity, nulls] = CopyValidity(input);
+  auto values = std::make_shared<Buffer>(n * 8);
+  int64_t* out = values->mutable_data_as<int64_t>();
+  const int32_t* offs = sa.raw_offsets();
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = offs[i + 1] - offs[i];
+  }
+  return ArrayPtr(std::make_shared<Int64Array>(int64(), n, std::move(values),
+                                               std::move(validity), nulls));
+}
+
+Result<ArrayPtr> Substr(const Array& input, int64_t start, int64_t length) {
+  FUSION_RETURN_NOT_OK(CheckString(input, "Substr"));
+  // SQL SUBSTR is 1-based; negative/zero start clamps to 1.
+  int64_t begin = std::max<int64_t>(1, start) - 1;
+  return StringTransform(input, [&](std::string_view v) {
+    if (begin >= static_cast<int64_t>(v.size())) return std::string();
+    size_t count = length < 0 ? std::string_view::npos : static_cast<size_t>(length);
+    return std::string(v.substr(static_cast<size_t>(begin), count));
+  });
+}
+
+Result<ArrayPtr> ConcatStrings(const Array& lhs, const Array& rhs) {
+  FUSION_RETURN_NOT_OK(CheckString(lhs, "Concat"));
+  FUSION_RETURN_NOT_OK(CheckString(rhs, "Concat"));
+  if (lhs.length() != rhs.length()) {
+    return Status::Invalid("Concat: mismatched lengths");
+  }
+  const auto& a = checked_cast<StringArray>(lhs);
+  const auto& b = checked_cast<StringArray>(rhs);
+  StringBuilder builder;
+  builder.Reserve(lhs.length());
+  for (int64_t i = 0; i < lhs.length(); ++i) {
+    if (lhs.IsNull(i) || rhs.IsNull(i)) {
+      builder.AppendNull();
+    } else {
+      std::string out(a.Value(i));
+      out += b.Value(i);
+      builder.Append(out);
+    }
+  }
+  return builder.Finish();
+}
+
+Result<ArrayPtr> Trim(const Array& input) {
+  FUSION_RETURN_NOT_OK(CheckString(input, "Trim"));
+  return StringTransform(input, [](std::string_view v) {
+    size_t b = 0, e = v.size();
+    while (b < e && (v[b] == ' ' || v[b] == '\t')) ++b;
+    while (e > b && (v[e - 1] == ' ' || v[e - 1] == '\t')) --e;
+    return std::string(v.substr(b, e - b));
+  });
+}
+
+Result<ArrayPtr> StartsWith(const Array& input, std::string_view prefix) {
+  FUSION_RETURN_NOT_OK(CheckString(input, "StartsWith"));
+  return StringPredicate(input, [prefix](std::string_view v) {
+    return v.size() >= prefix.size() && v.substr(0, prefix.size()) == prefix;
+  });
+}
+
+Result<ArrayPtr> EndsWith(const Array& input, std::string_view suffix) {
+  FUSION_RETURN_NOT_OK(CheckString(input, "EndsWith"));
+  return StringPredicate(input, [suffix](std::string_view v) {
+    return v.size() >= suffix.size() && v.substr(v.size() - suffix.size()) == suffix;
+  });
+}
+
+Result<ArrayPtr> Contains(const Array& input, std::string_view needle) {
+  FUSION_RETURN_NOT_OK(CheckString(input, "Contains"));
+  return StringPredicate(input, [needle](std::string_view v) {
+    return v.find(needle) != std::string_view::npos;
+  });
+}
+
+Result<ArrayPtr> ReplaceAll(const Array& input, std::string_view from,
+                            std::string_view to) {
+  FUSION_RETURN_NOT_OK(CheckString(input, "ReplaceAll"));
+  return StringTransform(input, [&](std::string_view v) {
+    std::string out;
+    if (from.empty()) return std::string(v);
+    size_t pos = 0;
+    for (;;) {
+      size_t hit = v.find(from, pos);
+      if (hit == std::string_view::npos) {
+        out.append(v.substr(pos));
+        return out;
+      }
+      out.append(v.substr(pos, hit - pos));
+      out.append(to);
+      pos = hit + from.size();
+    }
+  });
+}
+
+}  // namespace compute
+}  // namespace fusion

@@ -1,0 +1,58 @@
+#ifndef FUSION_COMPUTE_STRING_KERNELS_H_
+#define FUSION_COMPUTE_STRING_KERNELS_H_
+
+#include <string>
+#include <string_view>
+
+#include "arrow/array.h"
+#include "common/result.h"
+
+namespace fusion {
+namespace compute {
+
+/// \brief Pre-compiled SQL LIKE pattern ('%' = any run, '_' = any char).
+///
+/// Common shapes (exact, prefix%, %suffix, %infix%) are detected once and
+/// matched with memcmp/memmem-style scans; general patterns fall back to
+/// a backtracking matcher. This mirrors the specialization industrial
+/// engines apply to ClickBench-style LIKE-heavy queries.
+class LikeMatcher {
+ public:
+  explicit LikeMatcher(std::string pattern, bool case_insensitive = false);
+
+  bool Matches(std::string_view value) const;
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  enum class Shape { kExact, kPrefix, kSuffix, kContains, kGeneric };
+
+  std::string pattern_;
+  bool case_insensitive_;
+  Shape shape_ = Shape::kGeneric;
+  std::string literal_;  // the non-wildcard literal for specialized shapes
+};
+
+/// value LIKE pattern for each element; nulls propagate.
+Result<ArrayPtr> Like(const Array& input, const LikeMatcher& matcher,
+                      bool negated = false);
+
+Result<ArrayPtr> Upper(const Array& input);
+Result<ArrayPtr> Lower(const Array& input);
+/// Character length (bytes; the synthetic workloads are ASCII).
+Result<ArrayPtr> Length(const Array& input);
+/// 1-based SQL SUBSTR(value, start [, length]).
+Result<ArrayPtr> Substr(const Array& input, int64_t start, int64_t length = -1);
+/// Concatenate two string arrays element-wise.
+Result<ArrayPtr> ConcatStrings(const Array& lhs, const Array& rhs);
+Result<ArrayPtr> Trim(const Array& input);
+Result<ArrayPtr> StartsWith(const Array& input, std::string_view prefix);
+Result<ArrayPtr> EndsWith(const Array& input, std::string_view suffix);
+Result<ArrayPtr> Contains(const Array& input, std::string_view needle);
+/// replace(value, from, to) — all occurrences.
+Result<ArrayPtr> ReplaceAll(const Array& input, std::string_view from,
+                            std::string_view to);
+
+}  // namespace compute
+}  // namespace fusion
+
+#endif  // FUSION_COMPUTE_STRING_KERNELS_H_

@@ -1,0 +1,183 @@
+#include "compute/temporal.h"
+
+#include <cstdio>
+
+#include "compute/kernel_util.h"
+
+namespace fusion {
+namespace compute {
+
+// Algorithms from Howard Hinnant's chrono date algorithms (public domain).
+CivilDate CivilFromDays(int32_t z) {
+  z += 719468;
+  const int32_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const uint32_t doe = static_cast<uint32_t>(z - era * 146097);
+  const uint32_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int32_t y = static_cast<int32_t>(yoe) + era * 400;
+  const uint32_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const uint32_t mp = (5 * doy + 2) / 153;
+  const uint32_t d = doy - (153 * mp + 2) / 5 + 1;
+  const uint32_t m = mp < 10 ? mp + 3 : mp - 9;
+  return CivilDate{y + (m <= 2 ? 1 : 0), static_cast<int32_t>(m),
+                   static_cast<int32_t>(d)};
+}
+
+int32_t DaysFromCivil(int32_t y, int32_t m, int32_t d) {
+  y -= m <= 2;
+  const int32_t era = (y >= 0 ? y : y - 399) / 400;
+  const uint32_t yoe = static_cast<uint32_t>(y - era * 400);
+  const uint32_t doy = (153 * (m > 2 ? m - 3 : m + 9) + 2) / 5 + d - 1;
+  const uint32_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int32_t>(doe) - 719468;
+}
+
+Result<int32_t> ParseDate32(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3 || m < 1 || m > 12 ||
+      d < 1 || d > 31) {
+    return Status::ParseError("invalid date: '" + text + "'");
+  }
+  return DaysFromCivil(y, m, d);
+}
+
+Result<int64_t> ParseTimestamp(const std::string& text) {
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, s = 0;
+  int n = std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d", &y, &mo, &d, &h, &mi, &s);
+  if (n < 3) {
+    n = std::sscanf(text.c_str(), "%d-%d-%dT%d:%d:%d", &y, &mo, &d, &h, &mi, &s);
+  }
+  if (n < 3 || mo < 1 || mo > 12 || d < 1 || d > 31) {
+    return Status::ParseError("invalid timestamp: '" + text + "'");
+  }
+  int64_t days = DaysFromCivil(y, mo, d);
+  int64_t secs = days * 86400 + h * 3600 + mi * 60 + s;
+  return secs * 1000000LL;
+}
+
+std::string FormatDate32(int32_t days) {
+  CivilDate c = CivilFromDays(days);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month, c.day);
+  return std::string(buf);
+}
+
+namespace {
+
+int64_t ExtractFromDays(DateField field, int64_t days, int64_t micros_of_day) {
+  switch (field) {
+    case DateField::kYear:
+      return CivilFromDays(static_cast<int32_t>(days)).year;
+    case DateField::kMonth:
+      return CivilFromDays(static_cast<int32_t>(days)).month;
+    case DateField::kDay:
+      return CivilFromDays(static_cast<int32_t>(days)).day;
+    case DateField::kHour:
+      return micros_of_day / 3600000000LL;
+    case DateField::kMinute:
+      return (micros_of_day / 60000000LL) % 60;
+    case DateField::kSecond:
+      return (micros_of_day / 1000000LL) % 60;
+    case DateField::kDayOfWeek:
+      // 1970-01-01 was a Thursday (=4 with Sunday=0).
+      return ((days % 7) + 7 + 4) % 7;
+  }
+  return 0;
+}
+
+// Floor-divide micros into (days, micros_of_day) handling negatives.
+void SplitMicros(int64_t micros, int64_t* days, int64_t* micros_of_day) {
+  constexpr int64_t kDay = 86400LL * 1000000LL;
+  int64_t d = micros / kDay;
+  int64_t rem = micros % kDay;
+  if (rem < 0) {
+    rem += kDay;
+    --d;
+  }
+  *days = d;
+  *micros_of_day = rem;
+}
+
+}  // namespace
+
+Result<ArrayPtr> Extract(DateField field, const Array& input) {
+  if (!input.type().is_temporal()) {
+    return Status::TypeError("Extract: requires date32 or timestamp input");
+  }
+  const int64_t n = input.length();
+  auto [validity, nulls] = CopyValidity(input);
+  auto values = std::make_shared<Buffer>(n * 8);
+  int64_t* out = values->mutable_data_as<int64_t>();
+  if (input.type().id() == TypeId::kDate32) {
+    const int32_t* in = checked_cast<Int32Array>(input).raw_values();
+    for (int64_t i = 0; i < n; ++i) {
+      out[i] = ExtractFromDays(field, in[i], 0);
+    }
+  } else {
+    const int64_t* in = checked_cast<Int64Array>(input).raw_values();
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t days, micros_of_day;
+      SplitMicros(in[i], &days, &micros_of_day);
+      out[i] = ExtractFromDays(field, days, micros_of_day);
+    }
+  }
+  return ArrayPtr(std::make_shared<Int64Array>(int64(), n, std::move(values),
+                                               std::move(validity), nulls));
+}
+
+Result<ArrayPtr> DateTrunc(TruncUnit unit, const Array& input) {
+  if (!input.type().is_temporal()) {
+    return Status::TypeError("DateTrunc: requires date32 or timestamp input");
+  }
+  const int64_t n = input.length();
+  auto [validity, nulls] = CopyValidity(input);
+  auto trunc_days = [&](int32_t days) -> int32_t {
+    CivilDate c = CivilFromDays(days);
+    switch (unit) {
+      case TruncUnit::kYear:
+        return DaysFromCivil(c.year, 1, 1);
+      case TruncUnit::kMonth:
+        return DaysFromCivil(c.year, c.month, 1);
+      default:
+        return days;
+    }
+  };
+  if (input.type().id() == TypeId::kDate32) {
+    auto values = std::make_shared<Buffer>(n * 4);
+    const int32_t* in = checked_cast<Int32Array>(input).raw_values();
+    int32_t* out = values->mutable_data_as<int32_t>();
+    for (int64_t i = 0; i < n; ++i) {
+      out[i] = trunc_days(in[i]);
+    }
+    return ArrayPtr(std::make_shared<Int32Array>(date32(), n, std::move(values),
+                                                 std::move(validity), nulls));
+  }
+  auto values = std::make_shared<Buffer>(n * 8);
+  const int64_t* in = checked_cast<Int64Array>(input).raw_values();
+  int64_t* out = values->mutable_data_as<int64_t>();
+  constexpr int64_t kDayMicros = 86400LL * 1000000LL;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t days, micros_of_day;
+    SplitMicros(in[i], &days, &micros_of_day);
+    switch (unit) {
+      case TruncUnit::kYear:
+      case TruncUnit::kMonth:
+        out[i] = static_cast<int64_t>(trunc_days(static_cast<int32_t>(days))) *
+                 kDayMicros;
+        break;
+      case TruncUnit::kDay:
+        out[i] = days * kDayMicros;
+        break;
+      case TruncUnit::kHour:
+        out[i] = days * kDayMicros + (micros_of_day / 3600000000LL) * 3600000000LL;
+        break;
+      case TruncUnit::kMinute:
+        out[i] = days * kDayMicros + (micros_of_day / 60000000LL) * 60000000LL;
+        break;
+    }
+  }
+  return ArrayPtr(std::make_shared<Int64Array>(timestamp(), n, std::move(values),
+                                               std::move(validity), nulls));
+}
+
+}  // namespace compute
+}  // namespace fusion

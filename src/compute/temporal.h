@@ -1,0 +1,46 @@
+#ifndef FUSION_COMPUTE_TEMPORAL_H_
+#define FUSION_COMPUTE_TEMPORAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "arrow/array.h"
+#include "common/result.h"
+
+namespace fusion {
+namespace compute {
+
+/// Calendar fields for EXTRACT / date_part.
+enum class DateField { kYear, kMonth, kDay, kHour, kMinute, kSecond, kDayOfWeek };
+
+/// Truncation granularities for date_trunc.
+enum class TruncUnit { kYear, kMonth, kDay, kHour, kMinute };
+
+/// Civil date from days since epoch (proleptic Gregorian).
+struct CivilDate {
+  int32_t year;
+  int32_t month;  // 1..12
+  int32_t day;    // 1..31
+};
+
+CivilDate CivilFromDays(int32_t days);
+int32_t DaysFromCivil(int32_t year, int32_t month, int32_t day);
+
+/// Parse "YYYY-MM-DD" into days since epoch.
+Result<int32_t> ParseDate32(const std::string& text);
+/// Parse "YYYY-MM-DD[ HH:MM:SS]" into microseconds since epoch.
+Result<int64_t> ParseTimestamp(const std::string& text);
+/// Render a date32 value as "YYYY-MM-DD".
+std::string FormatDate32(int32_t days);
+
+/// EXTRACT(field FROM input) where input is date32 or timestamp.
+/// Output is int64.
+Result<ArrayPtr> Extract(DateField field, const Array& input);
+
+/// date_trunc(unit, input) preserving the input type.
+Result<ArrayPtr> DateTrunc(TruncUnit unit, const Array& input);
+
+}  // namespace compute
+}  // namespace fusion
+
+#endif  // FUSION_COMPUTE_TEMPORAL_H_

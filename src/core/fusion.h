@@ -1,0 +1,39 @@
+#ifndef FUSION_CORE_FUSION_H_
+#define FUSION_CORE_FUSION_H_
+
+/// \file Umbrella header: everything a downstream application needs to
+/// embed the engine (the "single configuration line" ergonomics the
+/// paper attributes to reusable engines, §2.3/§9).
+///
+///   #include "core/fusion.h"
+///   auto ctx = fusion::core::SessionContext::Make();
+///   ctx->RegisterCsv("t", "data.csv").Abort();
+///   auto rows = ctx->ExecuteSql("SELECT count(*) FROM t").ValueOrDie();
+
+#include "arrow/builder.h"
+#include "arrow/columnar_value.h"
+#include "arrow/ipc.h"
+#include "arrow/record_batch.h"
+#include "arrow/scalar.h"
+#include "arrow/type.h"
+#include "catalog/catalog.h"
+#include "catalog/file_tables.h"
+#include "catalog/memory_table.h"
+#include "catalog/table_provider.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/session_context.h"
+#include "exec/runtime_env.h"
+#include "format/csv.h"
+#include "format/fpq.h"
+#include "format/json.h"
+#include "logical/expr.h"
+#include "logical/functions.h"
+#include "logical/plan.h"
+#include "logical/plan_serde.h"
+#include "logical/sql_planner.h"
+#include "optimizer/optimizer.h"
+#include "physical/execution_plan.h"
+#include "physical/physical_expr.h"
+
+#endif  // FUSION_CORE_FUSION_H_

@@ -1,0 +1,304 @@
+#include "core/session_context.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace fusion {
+namespace core {
+
+SessionContext::SessionContext(exec::SessionConfig config, exec::RuntimeEnvPtr env)
+    : config_(config), env_(std::move(env)),
+      default_catalog_(std::make_shared<catalog::MemoryCatalogProvider>()),
+      catalog_(default_catalog_), registry_(logical::FunctionRegistry::Default()),
+      optimizer_(optimizer::Optimizer::Default()) {}
+
+std::shared_ptr<SessionContext> SessionContext::Make(exec::SessionConfig config,
+                                                     exec::RuntimeEnvPtr env) {
+  return std::shared_ptr<SessionContext>(
+      new SessionContext(config, std::move(env)));
+}
+
+void SessionContext::SetCatalogProvider(catalog::CatalogProviderPtr catalog) {
+  catalog_ = std::move(catalog);
+}
+
+Status SessionContext::RegisterTable(const std::string& name,
+                                     catalog::TableProviderPtr table) {
+  FUSION_ASSIGN_OR_RAISE(auto schema, catalog_->GetSchema("public"));
+  return schema->RegisterTable(name, std::move(table));
+}
+
+Status SessionContext::DeregisterTable(const std::string& name) {
+  FUSION_ASSIGN_OR_RAISE(auto schema, catalog_->GetSchema("public"));
+  return schema->DeregisterTable(name);
+}
+
+Status SessionContext::RegisterCsv(const std::string& name, const std::string& path,
+                                   format::csv::Options options) {
+  FUSION_ASSIGN_OR_RAISE(auto table,
+                         catalog::CsvTable::Open({path}, std::move(options)));
+  return RegisterTable(name, table);
+}
+
+Status SessionContext::RegisterFpq(const std::string& name,
+                                   const std::string& path) {
+  FUSION_ASSIGN_OR_RAISE(auto table, catalog::OpenTable(path));
+  return RegisterTable(name, table);
+}
+
+Status SessionContext::RegisterJson(const std::string& name,
+                                    const std::string& path) {
+  FUSION_ASSIGN_OR_RAISE(auto table, catalog::JsonTable::Open({path}));
+  return RegisterTable(name, table);
+}
+
+Status SessionContext::RegisterIpc(const std::string& name,
+                                   const std::string& path) {
+  FUSION_ASSIGN_OR_RAISE(auto table, catalog::IpcTable::Open({path}));
+  return RegisterTable(name, table);
+}
+
+Result<catalog::TableProviderPtr> SessionContext::GetTable(
+    const std::string& name) const {
+  FUSION_ASSIGN_OR_RAISE(auto schema, catalog_->GetSchema("public"));
+  return schema->GetTable(name);
+}
+
+Result<logical::PlanPtr> SessionContext::CreateLogicalPlan(const std::string& sql) {
+  logical::TableResolver resolver =
+      [this](const std::string& name) -> Result<catalog::TableProviderPtr> {
+    // Support "schema.table" references against the session catalog.
+    auto dot = name.find('.');
+    if (dot != std::string::npos) {
+      FUSION_ASSIGN_OR_RAISE(auto schema, catalog_->GetSchema(name.substr(0, dot)));
+      return schema->GetTable(name.substr(dot + 1));
+    }
+    return GetTable(name);
+  };
+  logical::SqlPlanner planner(resolver, registry_);
+  return planner.PlanSql(sql);
+}
+
+Result<logical::PlanPtr> SessionContext::OptimizePlan(
+    const logical::PlanPtr& plan) {
+  return optimizer_.Optimize(plan);
+}
+
+physical::ExecContextPtr SessionContext::MakeExecContext() {
+  auto ctx = std::make_shared<physical::ExecContext>();
+  ctx->env = env_;
+  ctx->config = config_;
+  ctx->query_id = next_query_id_.fetch_add(1);
+  return ctx;
+}
+
+Result<physical::ExecPlanPtr> SessionContext::CreatePhysicalPlan(
+    const logical::PlanPtr& plan) {
+  physical::PhysicalPlanner planner(MakeExecContext());
+  return planner.CreatePlan(plan);
+}
+
+Result<DataFrame> SessionContext::Sql(const std::string& sql) {
+  FUSION_ASSIGN_OR_RAISE(auto plan, CreateLogicalPlan(sql));
+  return DataFrame(shared_from_this(), std::move(plan));
+}
+
+Result<std::vector<RecordBatchPtr>> SessionContext::ExecuteSql(
+    const std::string& sql) {
+  FUSION_ASSIGN_OR_RAISE(auto df, Sql(sql));
+  return df.Collect();
+}
+
+Result<DataFrame> SessionContext::Table(const std::string& name) {
+  FUSION_ASSIGN_OR_RAISE(auto provider, GetTable(name));
+  FUSION_ASSIGN_OR_RAISE(auto plan,
+                         logical::MakeTableScan(name, std::move(provider)));
+  return DataFrame(shared_from_this(), std::move(plan));
+}
+
+Result<DataFrame> SessionContext::ReadCsv(const std::string& path,
+                                          format::csv::Options options) {
+  FUSION_ASSIGN_OR_RAISE(auto table,
+                         catalog::CsvTable::Open({path}, std::move(options)));
+  FUSION_ASSIGN_OR_RAISE(auto plan, logical::MakeTableScan(path, table));
+  return DataFrame(shared_from_this(), std::move(plan));
+}
+
+Result<DataFrame> SessionContext::ReadFpq(const std::string& path) {
+  FUSION_ASSIGN_OR_RAISE(auto table, catalog::OpenTable(path));
+  FUSION_ASSIGN_OR_RAISE(auto plan, logical::MakeTableScan(path, table));
+  return DataFrame(shared_from_this(), std::move(plan));
+}
+
+Result<DataFrame> SessionContext::ReadJson(const std::string& path) {
+  FUSION_ASSIGN_OR_RAISE(auto table, catalog::JsonTable::Open({path}));
+  FUSION_ASSIGN_OR_RAISE(auto plan, logical::MakeTableScan(path, table));
+  return DataFrame(shared_from_this(), std::move(plan));
+}
+
+Result<std::vector<RecordBatchPtr>> SessionContext::ExecutePlan(
+    const logical::PlanPtr& plan) {
+  FUSION_ASSIGN_OR_RAISE(auto optimized, OptimizePlan(plan));
+  auto ctx = MakeExecContext();
+  physical::PhysicalPlanner planner(ctx);
+  FUSION_ASSIGN_OR_RAISE(auto exec_plan, planner.CreatePlan(optimized));
+  return physical::ExecuteCollect(exec_plan, ctx);
+}
+
+Result<std::vector<RecordBatchPtr>> SessionContext::ExecutePhysical(
+    const physical::ExecPlanPtr& plan) {
+  return physical::ExecuteCollect(plan, MakeExecContext());
+}
+
+// ----------------------------------------------------------- DataFrame
+
+Result<DataFrame> DataFrame::Select(std::vector<logical::ExprPtr> exprs) const {
+  FUSION_ASSIGN_OR_RAISE(auto plan, logical::MakeProjection(plan_, std::move(exprs)));
+  return DataFrame(ctx_, std::move(plan));
+}
+
+Result<DataFrame> DataFrame::SelectColumns(
+    const std::vector<std::string>& names) const {
+  std::vector<logical::ExprPtr> exprs;
+  for (const auto& n : names) exprs.push_back(logical::Col(n));
+  return Select(std::move(exprs));
+}
+
+Result<DataFrame> DataFrame::Filter(logical::ExprPtr predicate) const {
+  FUSION_ASSIGN_OR_RAISE(auto plan,
+                         logical::MakeFilter(plan_, std::move(predicate)));
+  return DataFrame(ctx_, std::move(plan));
+}
+
+Result<DataFrame> DataFrame::Aggregate(
+    std::vector<logical::ExprPtr> group_exprs,
+    std::vector<logical::ExprPtr> aggregates) const {
+  FUSION_ASSIGN_OR_RAISE(auto plan,
+                         logical::MakeAggregate(plan_, std::move(group_exprs),
+                                                std::move(aggregates)));
+  return DataFrame(ctx_, std::move(plan));
+}
+
+Result<DataFrame> DataFrame::Sort(std::vector<logical::SortExpr> sort_exprs) const {
+  FUSION_ASSIGN_OR_RAISE(auto plan, logical::MakeSort(plan_, std::move(sort_exprs)));
+  return DataFrame(ctx_, std::move(plan));
+}
+
+Result<DataFrame> DataFrame::Limit(int64_t skip, int64_t fetch) const {
+  FUSION_ASSIGN_OR_RAISE(auto plan, logical::MakeLimit(plan_, skip, fetch));
+  return DataFrame(ctx_, std::move(plan));
+}
+
+Result<DataFrame> DataFrame::Join(const DataFrame& right, logical::JoinKind kind,
+                                  const std::vector<std::string>& left_cols,
+                                  const std::vector<std::string>& right_cols) const {
+  if (left_cols.size() != right_cols.size()) {
+    return Status::Invalid("join key lists must align");
+  }
+  std::vector<std::pair<logical::ExprPtr, logical::ExprPtr>> on;
+  for (size_t i = 0; i < left_cols.size(); ++i) {
+    on.emplace_back(logical::Col(left_cols[i]), logical::Col(right_cols[i]));
+  }
+  FUSION_ASSIGN_OR_RAISE(auto plan,
+                         logical::MakeJoin(plan_, right.plan_, kind, std::move(on)));
+  return DataFrame(ctx_, std::move(plan));
+}
+
+Result<DataFrame> DataFrame::Union(const DataFrame& other) const {
+  FUSION_ASSIGN_OR_RAISE(auto plan, logical::MakeUnion({plan_, other.plan_}));
+  return DataFrame(ctx_, std::move(plan));
+}
+
+Result<DataFrame> DataFrame::Distinct() const {
+  FUSION_ASSIGN_OR_RAISE(auto plan, logical::MakeDistinct(plan_));
+  return DataFrame(ctx_, std::move(plan));
+}
+
+Result<DataFrame> DataFrame::WithColumn(const std::string& name,
+                                        logical::ExprPtr expr) const {
+  std::vector<logical::ExprPtr> exprs;
+  const logical::PlanSchema& s = plan_->schema();
+  for (int i = 0; i < s.num_fields(); ++i) {
+    exprs.push_back(logical::Col(s.qualifier(i), s.field(i).name()));
+  }
+  exprs.push_back(logical::AliasExpr(std::move(expr), name));
+  return Select(std::move(exprs));
+}
+
+Result<DataFrame> DataFrame::Window(
+    std::vector<logical::ExprPtr> window_exprs) const {
+  FUSION_ASSIGN_OR_RAISE(auto plan,
+                         logical::MakeWindow(plan_, std::move(window_exprs)));
+  return DataFrame(ctx_, std::move(plan));
+}
+
+Result<std::vector<RecordBatchPtr>> DataFrame::Collect() const {
+  return ctx_->ExecutePlan(plan_);
+}
+
+Result<int64_t> DataFrame::Count() const {
+  FUSION_ASSIGN_OR_RAISE(auto batches, Collect());
+  int64_t rows = 0;
+  for (const auto& b : batches) rows += b->num_rows();
+  return rows;
+}
+
+Result<logical::PlanPtr> DataFrame::OptimizedPlan() const {
+  return ctx_->OptimizePlan(plan_);
+}
+
+Result<std::string> DataFrame::ShowString(int64_t max_rows) const {
+  FUSION_ASSIGN_OR_RAISE(auto batches, Collect());
+  return FormatBatches(batches, max_rows);
+}
+
+std::string FormatBatches(const std::vector<RecordBatchPtr>& batches,
+                          int64_t max_rows) {
+  if (batches.empty()) return "(no rows)\n";
+  const SchemaPtr& schema = batches[0]->schema();
+  const int cols = schema->num_fields();
+  std::vector<std::vector<std::string>> rows;
+  rows.emplace_back();
+  for (int c = 0; c < cols; ++c) rows.back().push_back(schema->field(c).name());
+  int64_t shown = 0;
+  int64_t total = 0;
+  for (const auto& b : batches) {
+    total += b->num_rows();
+    for (int64_t r = 0; r < b->num_rows() && shown < max_rows; ++r, ++shown) {
+      rows.emplace_back();
+      for (int c = 0; c < cols; ++c) {
+        rows.back().push_back(b->column(c)->ValueToString(r));
+      }
+    }
+  }
+  std::vector<size_t> widths(cols, 0);
+  for (const auto& row : rows) {
+    for (int c = 0; c < cols; ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto rule = [&]() {
+    out << "+";
+    for (int c = 0; c < cols; ++c) {
+      out << std::string(widths[c] + 2, '-') << "+";
+    }
+    out << "\n";
+  };
+  rule();
+  for (size_t r = 0; r < rows.size(); ++r) {
+    out << "|";
+    for (int c = 0; c < cols; ++c) {
+      out << " " << std::setw(static_cast<int>(widths[c])) << std::left << rows[r][c]
+          << " |";
+    }
+    out << "\n";
+    if (r == 0) rule();
+  }
+  rule();
+  if (total > shown) {
+    out << "(" << shown << " of " << total << " rows shown)\n";
+  }
+  return out.str();
+}
+
+}  // namespace core
+}  // namespace fusion

@@ -1,0 +1,156 @@
+#ifndef FUSION_CORE_SESSION_CONTEXT_H_
+#define FUSION_CORE_SESSION_CONTEXT_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "catalog/file_tables.h"
+#include "exec/runtime_env.h"
+#include "logical/sql_planner.h"
+#include "optimizer/optimizer.h"
+#include "physical/planner.h"
+
+namespace fusion {
+namespace core {
+
+class DataFrame;
+
+/// \brief The engine's public entry point (the analogue of DataFusion's
+/// SessionContext): owns the catalog, function registry, optimizer,
+/// configuration and runtime environment, and turns SQL or DataFrame
+/// plans into results.
+class SessionContext : public std::enable_shared_from_this<SessionContext> {
+ public:
+  static std::shared_ptr<SessionContext> Make(
+      exec::SessionConfig config = {},
+      exec::RuntimeEnvPtr env = std::make_shared<exec::RuntimeEnv>());
+
+  // Catalog ------------------------------------------------------------
+  Status RegisterTable(const std::string& name, catalog::TableProviderPtr table);
+  Status DeregisterTable(const std::string& name);
+  /// Register a CSV/FPQ/JSON/IPC file (or directory of files) as a table.
+  Status RegisterCsv(const std::string& name, const std::string& path,
+                     format::csv::Options options = {});
+  Status RegisterFpq(const std::string& name, const std::string& path);
+  Status RegisterJson(const std::string& name, const std::string& path);
+  Status RegisterIpc(const std::string& name, const std::string& path);
+  Result<catalog::TableProviderPtr> GetTable(const std::string& name) const;
+  const catalog::CatalogProviderPtr& catalog_provider() const { return catalog_; }
+  /// Install a custom catalog (paper §7.2).
+  void SetCatalogProvider(catalog::CatalogProviderPtr catalog);
+
+  // Functions (paper §7.1) ----------------------------------------------
+  const logical::FunctionRegistryPtr& registry() const { return registry_; }
+  Status RegisterScalarFunction(logical::ScalarFunctionPtr fn) {
+    return registry_->RegisterScalar(std::move(fn));
+  }
+  Status RegisterAggregateFunction(logical::AggregateFunctionPtr fn) {
+    return registry_->RegisterAggregate(std::move(fn));
+  }
+  Status RegisterWindowFunction(logical::WindowFunctionPtr fn) {
+    return registry_->RegisterWindow(std::move(fn));
+  }
+
+  // Optimizer (paper §7.6) ---------------------------------------------
+  optimizer::Optimizer* optimizer() { return &optimizer_; }
+  void AddOptimizerRule(optimizer::OptimizerRulePtr rule) {
+    optimizer_.AddRule(std::move(rule));
+  }
+
+  // Planning & execution --------------------------------------------------
+  /// Parse + bind SQL into an (unoptimized) logical plan.
+  Result<logical::PlanPtr> CreateLogicalPlan(const std::string& sql);
+  /// Run the optimizer rule set.
+  Result<logical::PlanPtr> OptimizePlan(const logical::PlanPtr& plan);
+  /// Lower to an ExecutionPlan.
+  Result<physical::ExecPlanPtr> CreatePhysicalPlan(const logical::PlanPtr& plan);
+
+  /// Parse, plan, optimize and return a DataFrame for further
+  /// composition or collection.
+  Result<DataFrame> Sql(const std::string& sql);
+  /// Convenience: run SQL to completion.
+  Result<std::vector<RecordBatchPtr>> ExecuteSql(const std::string& sql);
+
+  /// DataFrame entry points (paper §5.3.3).
+  Result<DataFrame> Table(const std::string& name);
+  Result<DataFrame> ReadCsv(const std::string& path,
+                            format::csv::Options options = {});
+  Result<DataFrame> ReadFpq(const std::string& path);
+  Result<DataFrame> ReadJson(const std::string& path);
+
+  /// Execute an arbitrary plan built via LogicalPlanBuilder.
+  Result<std::vector<RecordBatchPtr>> ExecutePlan(const logical::PlanPtr& plan);
+  /// Execute a raw ExecutionPlan (e.g. a user-defined operator tree).
+  Result<std::vector<RecordBatchPtr>> ExecutePhysical(
+      const physical::ExecPlanPtr& plan);
+
+  exec::SessionConfig& config() { return config_; }
+  const exec::RuntimeEnvPtr& env() const { return env_; }
+
+  physical::ExecContextPtr MakeExecContext();
+
+ private:
+  SessionContext(exec::SessionConfig config, exec::RuntimeEnvPtr env);
+
+  exec::SessionConfig config_;
+  exec::RuntimeEnvPtr env_;
+  std::shared_ptr<catalog::MemoryCatalogProvider> default_catalog_;
+  catalog::CatalogProviderPtr catalog_;
+  logical::FunctionRegistryPtr registry_;
+  optimizer::Optimizer optimizer_;
+  std::atomic<int64_t> next_query_id_{0};
+};
+
+using SessionContextPtr = std::shared_ptr<SessionContext>;
+
+/// \brief Procedural plan-building API (paper §5.3.3), generating the
+/// same LogicalPlans as SQL and optimized/executed identically.
+class DataFrame {
+ public:
+  DataFrame(SessionContextPtr ctx, logical::PlanPtr plan)
+      : ctx_(std::move(ctx)), plan_(std::move(plan)) {}
+
+  const logical::PlanPtr& plan() const { return plan_; }
+  const logical::PlanSchema& schema() const { return plan_->schema(); }
+
+  Result<DataFrame> Select(std::vector<logical::ExprPtr> exprs) const;
+  /// Select columns by name.
+  Result<DataFrame> SelectColumns(const std::vector<std::string>& names) const;
+  Result<DataFrame> Filter(logical::ExprPtr predicate) const;
+  Result<DataFrame> Aggregate(std::vector<logical::ExprPtr> group_exprs,
+                              std::vector<logical::ExprPtr> aggregates) const;
+  Result<DataFrame> Sort(std::vector<logical::SortExpr> sort_exprs) const;
+  Result<DataFrame> Limit(int64_t skip, int64_t fetch) const;
+  Result<DataFrame> Join(const DataFrame& right, logical::JoinKind kind,
+                         const std::vector<std::string>& left_cols,
+                         const std::vector<std::string>& right_cols) const;
+  Result<DataFrame> Union(const DataFrame& other) const;
+  Result<DataFrame> Distinct() const;
+  Result<DataFrame> WithColumn(const std::string& name,
+                               logical::ExprPtr expr) const;
+  Result<DataFrame> Window(std::vector<logical::ExprPtr> window_exprs) const;
+
+  /// Execute and gather all batches.
+  Result<std::vector<RecordBatchPtr>> Collect() const;
+  /// Execute and count rows.
+  Result<int64_t> Count() const;
+  /// Render results as an aligned table (testing/demos).
+  Result<std::string> ShowString(int64_t max_rows = 40) const;
+
+  /// The optimized logical plan (for EXPLAIN-style inspection).
+  Result<logical::PlanPtr> OptimizedPlan() const;
+
+ private:
+  SessionContextPtr ctx_;
+  logical::PlanPtr plan_;
+};
+
+/// Render batches as an aligned text table.
+std::string FormatBatches(const std::vector<RecordBatchPtr>& batches,
+                          int64_t max_rows = 40);
+
+}  // namespace core
+}  // namespace fusion
+
+#endif  // FUSION_CORE_SESSION_CONTEXT_H_

@@ -1,0 +1,51 @@
+#include "exec/cache_manager.h"
+
+namespace fusion {
+namespace exec {
+
+std::optional<std::vector<std::string>> CacheManager::GetListing(
+    const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto v = listings_.Get(dir);
+  v.has_value() ? ++hits_ : ++misses_;
+  return v;
+}
+
+void CacheManager::PutListing(const std::string& dir,
+                              std::vector<std::string> files) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listings_.Put(dir, std::move(files), capacity_);
+}
+
+std::optional<catalog::TableStatistics> CacheManager::GetFileStats(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto v = stats_.Get(path);
+  v.has_value() ? ++hits_ : ++misses_;
+  return v;
+}
+
+void CacheManager::PutFileStats(const std::string& path,
+                                catalog::TableStatistics stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.Put(path, std::move(stats), capacity_);
+}
+
+void CacheManager::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  listings_ = {};
+  stats_ = {};
+}
+
+size_t CacheManager::listing_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return listings_.entries.size();
+}
+
+size_t CacheManager::stats_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.entries.size();
+}
+
+}  // namespace exec
+}  // namespace fusion

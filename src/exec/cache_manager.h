@@ -1,0 +1,85 @@
+#ifndef FUSION_EXEC_CACHE_MANAGER_H_
+#define FUSION_EXEC_CACHE_MANAGER_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/table_provider.h"
+
+namespace fusion {
+namespace exec {
+
+/// \brief Caches directory listings and per-file statistics (paper
+/// §7.4). Important for disaggregated storage where LIST and footer
+/// reads are expensive; here it also saves repeated FPQ footer parses.
+/// LRU-bounded; eviction policy is the extension point.
+class CacheManager {
+ public:
+  explicit CacheManager(size_t capacity = 1024) : capacity_(capacity) {}
+  virtual ~CacheManager() = default;
+
+  /// Directory listing cache ------------------------------------------
+  virtual std::optional<std::vector<std::string>> GetListing(
+      const std::string& dir);
+  virtual void PutListing(const std::string& dir, std::vector<std::string> files);
+
+  /// Per-file statistics cache ---------------------------------------
+  virtual std::optional<catalog::TableStatistics> GetFileStats(
+      const std::string& path);
+  virtual void PutFileStats(const std::string& path,
+                            catalog::TableStatistics stats);
+
+  void Clear();
+  size_t listing_entries() const;
+  size_t stats_entries() const;
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  template <typename V>
+  struct LruMap {
+    std::map<std::string, std::pair<V, std::list<std::string>::iterator>> entries;
+    std::list<std::string> order;  // most recent at front
+
+    std::optional<V> Get(const std::string& key) {
+      auto it = entries.find(key);
+      if (it == entries.end()) return std::nullopt;
+      order.erase(it->second.second);
+      order.push_front(key);
+      it->second.second = order.begin();
+      return it->second.first;
+    }
+    void Put(const std::string& key, V value, size_t capacity) {
+      auto it = entries.find(key);
+      if (it != entries.end()) {
+        order.erase(it->second.second);
+        entries.erase(it);
+      }
+      order.push_front(key);
+      entries.emplace(key, std::make_pair(std::move(value), order.begin()));
+      while (entries.size() > capacity) {
+        entries.erase(order.back());
+        order.pop_back();
+      }
+    }
+  };
+
+  size_t capacity_;
+  mutable std::mutex mu_;
+  LruMap<std::vector<std::string>> listings_;
+  LruMap<catalog::TableStatistics> stats_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+using CacheManagerPtr = std::shared_ptr<CacheManager>;
+
+}  // namespace exec
+}  // namespace fusion
+
+#endif  // FUSION_EXEC_CACHE_MANAGER_H_

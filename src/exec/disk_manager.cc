@@ -1,0 +1,28 @@
+#include "exec/disk_manager.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fusion {
+namespace exec {
+
+SpillFile::~SpillFile() { std::remove(path_.c_str()); }
+
+DiskManager::DiskManager(std::string base_dir) : base_dir_(std::move(base_dir)) {
+  if (base_dir_.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    base_dir_ = tmp != nullptr ? tmp : "/tmp";
+  }
+}
+
+Result<SpillFilePtr> DiskManager::CreateTempFile(const std::string& hint) {
+  int64_t id = counter_.fetch_add(1);
+  std::string path = base_dir_ + "/fusion-" + std::to_string(::getpid()) + "-" +
+                     hint + "-" + std::to_string(id) + ".spill";
+  return std::make_shared<SpillFile>(std::move(path));
+}
+
+}  // namespace exec
+}  // namespace fusion

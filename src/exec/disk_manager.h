@@ -1,0 +1,54 @@
+#ifndef FUSION_EXEC_DISK_MANAGER_H_
+#define FUSION_EXEC_DISK_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace fusion {
+namespace exec {
+
+class DiskManager;
+
+/// \brief A temporary spill file removed from disk when the last
+/// reference drops (paper §7.4: "reference counted spill files").
+class SpillFile {
+ public:
+  SpillFile(std::string path) : path_(std::move(path)) {}
+  ~SpillFile();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+using SpillFilePtr = std::shared_ptr<SpillFile>;
+
+/// \brief Creates spill files in a configurable temp directory. Systems
+/// with tailored policies (quotas, fast local disks) substitute their
+/// own implementation.
+class DiskManager {
+ public:
+  /// `base_dir` defaults to $TMPDIR or /tmp.
+  explicit DiskManager(std::string base_dir = "");
+
+  /// New unique spill file path (file created lazily by the writer).
+  Result<SpillFilePtr> CreateTempFile(const std::string& hint);
+
+  const std::string& base_dir() const { return base_dir_; }
+  int64_t files_created() const { return counter_.load(); }
+
+ private:
+  std::string base_dir_;
+  std::atomic<int64_t> counter_{0};
+};
+
+using DiskManagerPtr = std::shared_ptr<DiskManager>;
+
+}  // namespace exec
+}  // namespace fusion
+
+#endif  // FUSION_EXEC_DISK_MANAGER_H_

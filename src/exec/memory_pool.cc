@@ -1,0 +1,68 @@
+#include "exec/memory_pool.h"
+
+namespace fusion {
+namespace exec {
+
+Status GreedyMemoryPool::Grow(const std::string& consumer, int64_t bytes) {
+  int64_t now = used_.fetch_add(bytes) + bytes;
+  if (now > limit_) {
+    used_.fetch_sub(bytes);
+    return Status::OutOfMemory("memory pool exhausted: consumer '" + consumer +
+                               "' requested " + std::to_string(bytes) + " bytes, " +
+                               std::to_string(now - bytes) + "/" +
+                               std::to_string(limit_) + " in use");
+  }
+  return Status::OK();
+}
+
+void GreedyMemoryPool::Shrink(const std::string&, int64_t bytes) {
+  used_.fetch_sub(bytes);
+}
+
+void FairMemoryPool::RegisterConsumer(const std::string& consumer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  used_.emplace(consumer, 0);
+  num_consumers_ = static_cast<int64_t>(used_.size());
+}
+
+void FairMemoryPool::DeregisterConsumer(const std::string& consumer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  used_.erase(consumer);
+  num_consumers_ = static_cast<int64_t>(used_.size());
+}
+
+Status FairMemoryPool::Grow(const std::string& consumer, int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = used_.find(consumer);
+  if (it == used_.end()) {
+    it = used_.emplace(consumer, 0).first;
+    num_consumers_ = static_cast<int64_t>(used_.size());
+  }
+  int64_t share = limit_ / std::max<int64_t>(1, num_consumers_);
+  if (it->second + bytes > share) {
+    return Status::OutOfMemory("fair pool: consumer '" + consumer +
+                               "' exceeded its share of " + std::to_string(share) +
+                               " bytes");
+  }
+  it->second += bytes;
+  return Status::OK();
+}
+
+void FairMemoryPool::Shrink(const std::string& consumer, int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = used_.find(consumer);
+  if (it != used_.end()) {
+    it->second -= bytes;
+    if (it->second < 0) it->second = 0;
+  }
+}
+
+int64_t FairMemoryPool::bytes_allocated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [consumer, used] : used_) total += used;
+  return total;
+}
+
+}  // namespace exec
+}  // namespace fusion

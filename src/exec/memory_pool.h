@@ -1,0 +1,132 @@
+#ifndef FUSION_EXEC_MEMORY_POOL_H_
+#define FUSION_EXEC_MEMORY_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace fusion {
+namespace exec {
+
+/// \brief Cooperative memory accounting shared by concurrently running
+/// queries (paper §5.5.4). Pipeline-breaking operators call Grow before
+/// materializing large state and Shrink when releasing it; a failed Grow
+/// signals the operator to spill.
+///
+/// The extension point for systems with domain-specific policies
+/// (paper §7.4): subclass and install via SessionConfig.
+class MemoryPool {
+ public:
+  virtual ~MemoryPool() = default;
+
+  /// Try to reserve `bytes` for the named consumer. Error (OutOfMemory)
+  /// means the caller should spill or fail.
+  virtual Status Grow(const std::string& consumer, int64_t bytes) = 0;
+
+  /// Release a previous reservation (never fails).
+  virtual void Shrink(const std::string& consumer, int64_t bytes) = 0;
+
+  virtual int64_t bytes_allocated() const = 0;
+  virtual int64_t limit() const = 0;
+};
+
+using MemoryPoolPtr = std::shared_ptr<MemoryPool>;
+
+/// No limit: always grants (the default for benchmarks).
+class UnboundedMemoryPool : public MemoryPool {
+ public:
+  Status Grow(const std::string&, int64_t bytes) override {
+    used_.fetch_add(bytes);
+    return Status::OK();
+  }
+  void Shrink(const std::string&, int64_t bytes) override {
+    used_.fetch_sub(bytes);
+  }
+  int64_t bytes_allocated() const override { return used_.load(); }
+  int64_t limit() const override { return INT64_MAX; }
+
+ private:
+  std::atomic<int64_t> used_{0};
+};
+
+/// First-come-first-served process limit (DataFusion's GreedyPool).
+class GreedyMemoryPool : public MemoryPool {
+ public:
+  explicit GreedyMemoryPool(int64_t limit) : limit_(limit) {}
+
+  Status Grow(const std::string& consumer, int64_t bytes) override;
+  void Shrink(const std::string& consumer, int64_t bytes) override;
+  int64_t bytes_allocated() const override { return used_.load(); }
+  int64_t limit() const override { return limit_; }
+
+ private:
+  int64_t limit_;
+  std::atomic<int64_t> used_{0};
+};
+
+/// Evenly divides the budget among registered pipeline-breaking
+/// consumers (DataFusion's FairSpillPool).
+class FairMemoryPool : public MemoryPool {
+ public:
+  explicit FairMemoryPool(int64_t limit) : limit_(limit) {}
+
+  /// Consumers register so the per-consumer share can be computed.
+  void RegisterConsumer(const std::string& consumer);
+  void DeregisterConsumer(const std::string& consumer);
+
+  Status Grow(const std::string& consumer, int64_t bytes) override;
+  void Shrink(const std::string& consumer, int64_t bytes) override;
+  int64_t bytes_allocated() const override;
+  int64_t limit() const override { return limit_; }
+
+ private:
+  int64_t limit_;
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> used_;
+  int64_t num_consumers_ = 0;
+};
+
+/// RAII reservation helper.
+class MemoryReservation {
+ public:
+  MemoryReservation(MemoryPoolPtr pool, std::string consumer)
+      : pool_(std::move(pool)), consumer_(std::move(consumer)) {}
+  ~MemoryReservation() { Free(); }
+
+  /// Resize the reservation to `bytes` total.
+  Status ResizeTo(int64_t bytes) {
+    if (pool_ == nullptr) return Status::OK();
+    if (bytes > held_) {
+      FUSION_RETURN_NOT_OK(pool_->Grow(consumer_, bytes - held_));
+    } else if (bytes < held_) {
+      pool_->Shrink(consumer_, held_ - bytes);
+    }
+    held_ = bytes;
+    return Status::OK();
+  }
+
+  void Free() {
+    if (pool_ != nullptr && held_ > 0) {
+      pool_->Shrink(consumer_, held_);
+    }
+    held_ = 0;
+  }
+
+  int64_t held() const { return held_; }
+
+ private:
+  MemoryPoolPtr pool_;
+  std::string consumer_;
+  int64_t held_ = 0;
+};
+
+}  // namespace exec
+}  // namespace fusion
+
+#endif  // FUSION_EXEC_MEMORY_POOL_H_

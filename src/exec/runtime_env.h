@@ -1,0 +1,56 @@
+#ifndef FUSION_EXEC_RUNTIME_ENV_H_
+#define FUSION_EXEC_RUNTIME_ENV_H_
+
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "exec/cache_manager.h"
+#include "exec/disk_manager.h"
+#include "exec/memory_pool.h"
+
+namespace fusion {
+namespace exec {
+
+/// \brief The execution environment bundle (paper §7.4): memory, disk,
+/// cache and CPU resources shared by queries of a session. Each member
+/// is independently replaceable.
+struct RuntimeEnv {
+  MemoryPoolPtr memory_pool = std::make_shared<UnboundedMemoryPool>();
+  DiskManagerPtr disk_manager = std::make_shared<DiskManager>();
+  CacheManagerPtr cache_manager = std::make_shared<CacheManager>();
+  /// Worker pool for partitioned execution; null = process default.
+  ThreadPool* thread_pool = nullptr;
+
+  ThreadPool* pool() const {
+    return thread_pool != nullptr ? thread_pool : ThreadPool::Default();
+  }
+};
+
+using RuntimeEnvPtr = std::shared_ptr<RuntimeEnv>;
+
+/// Per-session tunables (paper §5.5: batch size, partitioning).
+struct SessionConfig {
+  /// Target rows per batch flowing between Streams.
+  int64_t batch_size = 8192;
+  /// Parallelism: number of partitions planned for repartitioning
+  /// operators (DataFusion's `target_partitions`).
+  int target_partitions = 1;
+  /// Memory budget for pipeline breakers before spilling (0 = unbounded).
+  int64_t memory_limit = 0;
+  /// Rows a hash join's build side may hold before spilling is refused
+  /// (safety valve; 0 = unlimited).
+  int64_t max_build_rows = 0;
+  /// Enable/disable specific optimizations (ablation switches).
+  bool enable_predicate_pushdown = true;
+  bool enable_late_materialization = true;
+  bool enable_topk = true;
+  bool enable_partial_aggregation = true;
+  /// Use the streaming symmetric hash join for inner equi joins
+  /// (both inputs stream; paper §6.4).
+  bool enable_symmetric_hash_join = false;
+};
+
+}  // namespace exec
+}  // namespace fusion
+
+#endif  // FUSION_EXEC_RUNTIME_ENV_H_

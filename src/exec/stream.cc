@@ -1,0 +1,18 @@
+#include "exec/stream.h"
+
+namespace fusion {
+namespace exec {
+
+Result<std::vector<RecordBatchPtr>> CollectStream(RecordBatchStream* stream) {
+  std::vector<RecordBatchPtr> out;
+  for (;;) {
+    FUSION_ASSIGN_OR_RAISE(auto batch, stream->Next());
+    if (batch == nullptr) break;
+    if (batch->num_rows() == 0) continue;
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+}  // namespace exec
+}  // namespace fusion

@@ -1,0 +1,86 @@
+#ifndef FUSION_EXEC_STREAM_H_
+#define FUSION_EXEC_STREAM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arrow/record_batch.h"
+#include "catalog/table_provider.h"
+#include "common/result.h"
+
+namespace fusion {
+namespace exec {
+
+/// \brief Pull-based stream of RecordBatches — the C++ analogue of
+/// DataFusion's `Stream` (paper Figure 3). One stream instance serves
+/// one partition of an ExecutionPlan and is driven by a worker thread.
+class RecordBatchStream {
+ public:
+  virtual ~RecordBatchStream() = default;
+
+  virtual const SchemaPtr& schema() const = 0;
+
+  /// Next batch, or nullptr when exhausted. Blocking (the thread-pool
+  /// scheduler replaces Tokio's cooperative awaits, DESIGN.md §5.6).
+  virtual Result<RecordBatchPtr> Next() = 0;
+};
+
+using StreamPtr = std::unique_ptr<RecordBatchStream>;
+
+/// Stream over a pre-materialized batch list.
+class VectorStream : public RecordBatchStream {
+ public:
+  VectorStream(SchemaPtr schema, std::vector<RecordBatchPtr> batches)
+      : schema_(std::move(schema)), batches_(std::move(batches)) {}
+
+  const SchemaPtr& schema() const override { return schema_; }
+
+  Result<RecordBatchPtr> Next() override {
+    if (pos_ >= batches_.size()) return RecordBatchPtr(nullptr);
+    return batches_[pos_++];
+  }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<RecordBatchPtr> batches_;
+  size_t pos_ = 0;
+};
+
+/// Stream adapter over a catalog BatchIterator.
+class IteratorStream : public RecordBatchStream {
+ public:
+  IteratorStream(SchemaPtr schema, catalog::BatchIteratorPtr iterator)
+      : schema_(std::move(schema)), iterator_(std::move(iterator)) {}
+
+  const SchemaPtr& schema() const override { return schema_; }
+  Result<RecordBatchPtr> Next() override { return iterator_->Next(); }
+
+ private:
+  SchemaPtr schema_;
+  catalog::BatchIteratorPtr iterator_;
+};
+
+/// Stream produced by a generator function (nullptr = end).
+class GeneratorStream : public RecordBatchStream {
+ public:
+  using Generator = std::function<Result<RecordBatchPtr>()>;
+
+  GeneratorStream(SchemaPtr schema, Generator gen)
+      : schema_(std::move(schema)), gen_(std::move(gen)) {}
+
+  const SchemaPtr& schema() const override { return schema_; }
+  Result<RecordBatchPtr> Next() override { return gen_(); }
+
+ private:
+  SchemaPtr schema_;
+  Generator gen_;
+};
+
+/// Drain a stream into a vector.
+Result<std::vector<RecordBatchPtr>> CollectStream(RecordBatchStream* stream);
+
+}  // namespace exec
+}  // namespace fusion
+
+#endif  // FUSION_EXEC_STREAM_H_

@@ -1,0 +1,424 @@
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "arrow/builder.h"
+#include "format/fpq.h"
+#include "format/fpq_internal.h"
+
+namespace fusion {
+namespace format {
+namespace fpq {
+
+using internal::ByteReader;
+
+Reader::~Reader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Reader::ReadAt(uint64_t offset, uint64_t size, uint8_t* out) const {
+  uint64_t done = 0;
+  while (done < size) {
+    ssize_t n = ::pread(fd_, out + done, size - done,
+                        static_cast<off_t>(offset + done));
+    if (n <= 0) return Status::IOError("fpq: pread failed on " + path_);
+    done += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Reader>> Reader::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("fpq: cannot open " + path);
+  off_t file_size = ::lseek(fd, 0, SEEK_END);
+  if (file_size < 12) {
+    ::close(fd);
+    return Status::IOError("fpq: file too small: " + path);
+  }
+  uint8_t tail[12];
+  if (::pread(fd, tail, 12, file_size - 12) != 12) {
+    ::close(fd);
+    return Status::IOError("fpq: cannot read trailer: " + path);
+  }
+  uint64_t footer_len;
+  uint32_t magic;
+  std::memcpy(&footer_len, tail, 8);
+  std::memcpy(&magic, tail + 8, 4);
+  if (magic != kMagic) {
+    ::close(fd);
+    return Status::IOError("fpq: bad magic in " + path);
+  }
+  std::vector<uint8_t> footer(footer_len);
+  if (::pread(fd, footer.data(), footer_len,
+              file_size - 12 - static_cast<off_t>(footer_len)) !=
+      static_cast<ssize_t>(footer_len)) {
+    ::close(fd);
+    return Status::IOError("fpq: cannot read footer: " + path);
+  }
+
+  ByteReader r(footer.data(), footer.size());
+  FileMeta meta;
+  FUSION_ASSIGN_OR_RAISE(uint32_t num_fields, r.U32());
+  std::vector<Field> fields;
+  for (uint32_t i = 0; i < num_fields; ++i) {
+    FUSION_ASSIGN_OR_RAISE(std::string name, r.Str());
+    FUSION_ASSIGN_OR_RAISE(uint8_t type_id, r.U8());
+    FUSION_ASSIGN_OR_RAISE(uint8_t nullable, r.U8());
+    fields.emplace_back(std::move(name), DataType(static_cast<TypeId>(type_id)),
+                        nullable != 0);
+  }
+  meta.schema = std::make_shared<Schema>(std::move(fields));
+  FUSION_ASSIGN_OR_RAISE(uint64_t num_rows, r.U64());
+  meta.num_rows = static_cast<int64_t>(num_rows);
+  FUSION_ASSIGN_OR_RAISE(uint32_t num_rgs, r.U32());
+  for (uint32_t g = 0; g < num_rgs; ++g) {
+    RowGroupMeta rg;
+    FUSION_ASSIGN_OR_RAISE(uint64_t rg_rows, r.U64());
+    rg.num_rows = static_cast<int64_t>(rg_rows);
+    for (uint32_t c = 0; c < num_fields; ++c) {
+      DataType type = meta.schema->field(static_cast<int>(c)).type();
+      ColumnChunkMeta chunk;
+      FUSION_ASSIGN_OR_RAISE(uint8_t enc, r.U8());
+      chunk.encoding = static_cast<Encoding>(enc);
+      FUSION_ASSIGN_OR_RAISE(chunk.offset, r.U64());
+      FUSION_ASSIGN_OR_RAISE(chunk.size, r.U64());
+      FUSION_ASSIGN_OR_RAISE(chunk.dict_size, r.U64());
+      FUSION_ASSIGN_OR_RAISE(chunk.stats.min, internal::ReadScalar(&r, type));
+      FUSION_ASSIGN_OR_RAISE(chunk.stats.max, internal::ReadScalar(&r, type));
+      FUSION_ASSIGN_OR_RAISE(uint64_t nulls, r.U64());
+      chunk.stats.null_count = static_cast<int64_t>(nulls);
+      chunk.stats.row_count = rg.num_rows;
+      FUSION_ASSIGN_OR_RAISE(chunk.bloom_offset, r.U64());
+      FUSION_ASSIGN_OR_RAISE(chunk.bloom_size, r.U64());
+      FUSION_ASSIGN_OR_RAISE(uint32_t num_pages, r.U32());
+      for (uint32_t p = 0; p < num_pages; ++p) {
+        PageMeta page;
+        FUSION_ASSIGN_OR_RAISE(uint64_t first_row, r.U64());
+        FUSION_ASSIGN_OR_RAISE(uint64_t page_rows, r.U64());
+        page.first_row = static_cast<int64_t>(first_row);
+        page.num_rows = static_cast<int64_t>(page_rows);
+        FUSION_ASSIGN_OR_RAISE(page.offset, r.U64());
+        FUSION_ASSIGN_OR_RAISE(page.size, r.U64());
+        FUSION_ASSIGN_OR_RAISE(page.stats.min, internal::ReadScalar(&r, type));
+        FUSION_ASSIGN_OR_RAISE(page.stats.max, internal::ReadScalar(&r, type));
+        FUSION_ASSIGN_OR_RAISE(uint64_t page_nulls, r.U64());
+        page.stats.null_count = static_cast<int64_t>(page_nulls);
+        page.stats.row_count = page.num_rows;
+        chunk.pages.push_back(std::move(page));
+      }
+      rg.columns.push_back(std::move(chunk));
+    }
+    meta.row_groups.push_back(std::move(rg));
+  }
+  return std::shared_ptr<Reader>(new Reader(path, fd, std::move(meta)));
+}
+
+Result<bool> Reader::RowGroupMayMatch(int rg,
+                                      const std::vector<ColumnPredicate>& preds) {
+  const RowGroupMeta& meta = meta_.row_groups[rg];
+  for (const ColumnPredicate& pred : preds) {
+    int col = meta_.schema->GetFieldIndex(pred.column);
+    if (col < 0) continue;
+    const ColumnChunkMeta& chunk = meta.columns[col];
+    // Step 1a: zone map.
+    if (!StatsMayMatch(pred, chunk.stats)) return false;
+    // Step 1b: Bloom filter for point predicates.
+    if (chunk.bloom_size > 0 &&
+        (pred.op == ColumnPredicate::Op::kEq ||
+         pred.op == ColumnPredicate::Op::kIn)) {
+      std::vector<uint32_t> blocks(chunk.bloom_size / 4);
+      FUSION_RETURN_NOT_OK(ReadAt(chunk.bloom_offset, chunk.bloom_size,
+                                  reinterpret_cast<uint8_t*>(blocks.data())));
+      BloomFilter bloom(std::move(blocks));
+      DataType type = meta_.schema->field(col).type();
+      bool any = false;
+      for (const Scalar& v : pred.values) {
+        if (bloom.MightContain(BloomHashScalar(v, type))) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Decode an entire plain page into an Array.
+Result<ArrayPtr> DecodePlainPage(DataType type, int64_t n, const uint8_t* data,
+                                 size_t size) {
+  ByteReader r(data, size);
+  FUSION_ASSIGN_OR_RAISE(uint8_t has_validity, r.U8());
+  BufferPtr validity;
+  int64_t nulls = 0;
+  if (has_validity) {
+    int64_t vbytes = bit_util::BytesForBits(n);
+    validity = std::make_shared<Buffer>(vbytes);
+    FUSION_RETURN_NOT_OK(r.Raw(validity->mutable_data(), vbytes));
+    nulls = n - bit_util::CountSetBits(validity->data(), n);
+  }
+  switch (type.id()) {
+    case TypeId::kBool: {
+      int64_t vbytes = bit_util::BytesForBits(n);
+      auto values = std::make_shared<Buffer>(vbytes);
+      FUSION_RETURN_NOT_OK(r.Raw(values->mutable_data(), vbytes));
+      return ArrayPtr(std::make_shared<BooleanArray>(n, std::move(values),
+                                                     std::move(validity), nulls));
+    }
+    case TypeId::kString: {
+      auto offsets = std::make_shared<Buffer>((n + 1) * 4);
+      FUSION_RETURN_NOT_OK(r.Raw(offsets->mutable_data(), (n + 1) * 4));
+      FUSION_ASSIGN_OR_RAISE(uint64_t data_len, r.U64());
+      auto bytes = std::make_shared<Buffer>(static_cast<int64_t>(data_len));
+      FUSION_RETURN_NOT_OK(r.Raw(bytes->mutable_data(), data_len));
+      return ArrayPtr(std::make_shared<StringArray>(n, std::move(offsets),
+                                                    std::move(bytes),
+                                                    std::move(validity), nulls));
+    }
+    default: {
+      int width = type.byte_width();
+      auto values = std::make_shared<Buffer>(n * width);
+      FUSION_RETURN_NOT_OK(r.Raw(values->mutable_data(), n * width));
+      if (width == 4) {
+        return ArrayPtr(std::make_shared<Int32Array>(type, n, std::move(values),
+                                                     std::move(validity), nulls));
+      }
+      if (type.id() == TypeId::kFloat64) {
+        return ArrayPtr(std::make_shared<Float64Array>(type, n, std::move(values),
+                                                       std::move(validity), nulls));
+      }
+      return ArrayPtr(std::make_shared<Int64Array>(type, n, std::move(values),
+                                                   std::move(validity), nulls));
+    }
+  }
+}
+
+/// Decode a dictionary page's codes into a StringArray via the dict.
+Result<ArrayPtr> DecodeDictPage(int64_t n, const uint8_t* data, size_t size,
+                                const std::vector<std::string_view>& dict) {
+  ByteReader r(data, size);
+  FUSION_ASSIGN_OR_RAISE(uint8_t has_validity, r.U8());
+  std::vector<uint8_t> validity;
+  if (has_validity) {
+    validity.resize(bit_util::BytesForBits(n));
+    FUSION_RETURN_NOT_OK(r.Raw(validity.data(), validity.size()));
+  }
+  StringBuilder builder;
+  builder.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    bool valid = !has_validity || bit_util::GetBit(validity.data(), i);
+    if (!valid) {
+      builder.AppendNull();
+      continue;
+    }
+    uint32_t code = 0;
+    FUSION_RETURN_NOT_OK(r.Raw(&code, 4));
+    if (code >= dict.size()) return Status::IOError("fpq: dict code out of range");
+    builder.Append(dict[code]);
+  }
+  return builder.Finish();
+}
+
+Result<std::vector<std::string_view>> ParseDict(const uint8_t* data, size_t size) {
+  ByteReader r(data, size);
+  FUSION_ASSIGN_OR_RAISE(uint32_t count, r.U32());
+  std::vector<std::string_view> dict;
+  dict.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FUSION_ASSIGN_OR_RAISE(uint32_t len, r.U32());
+    if (r.remaining() < len) return Status::IOError("fpq: truncated dict");
+    dict.emplace_back(reinterpret_cast<const char*>(r.cursor()), len);
+    FUSION_RETURN_NOT_OK(r.Skip(len));
+  }
+  return dict;
+}
+
+}  // namespace
+
+Result<ArrayPtr> Reader::ReadColumnChunk(int rg, int col,
+                                         const RowSelection* selection,
+                                         ScanMetrics* metrics) {
+  const RowGroupMeta& rg_meta = meta_.row_groups[rg];
+  const ColumnChunkMeta& chunk = rg_meta.columns[col];
+  DataType type = meta_.schema->field(col).type();
+
+  // Load the whole chunk once (dict + pages); page decoding then works
+  // from memory. A more granular reader could load per-page; chunk
+  // granularity keeps syscall count low while still skipping decode work.
+  std::vector<uint8_t> chunk_bytes(chunk.size);
+  FUSION_RETURN_NOT_OK(ReadAt(chunk.offset, chunk.size, chunk_bytes.data()));
+
+  std::vector<std::string_view> dict;
+  if (chunk.encoding == Encoding::kDictionary) {
+    FUSION_ASSIGN_OR_RAISE(dict, ParseDict(chunk_bytes.data(), chunk.dict_size));
+  }
+
+  FUSION_ASSIGN_OR_RAISE(auto builder, MakeBuilder(type));
+  if (selection != nullptr) {
+    builder->Reserve(selection->CountRows());
+  } else {
+    builder->Reserve(rg_meta.num_rows);
+  }
+
+  for (const PageMeta& page : chunk.pages) {
+    const int64_t page_end = page.first_row + page.num_rows;
+    if (selection != nullptr && !selection->Overlaps(page.first_row, page_end)) {
+      if (metrics != nullptr) ++metrics->pages_skipped;
+      continue;
+    }
+    if (metrics != nullptr) ++metrics->pages_read;
+    const uint8_t* page_data = chunk_bytes.data() + chunk.dict_size + page.offset;
+    ArrayPtr decoded;
+    if (chunk.encoding == Encoding::kDictionary) {
+      FUSION_ASSIGN_OR_RAISE(decoded,
+                             DecodeDictPage(page.num_rows, page_data, page.size, dict));
+    } else {
+      FUSION_ASSIGN_OR_RAISE(
+          decoded, DecodePlainPage(type, page.num_rows, page_data, page.size));
+    }
+    if (selection == nullptr) {
+      for (int64_t i = 0; i < decoded->length(); ++i) {
+        builder->AppendFrom(*decoded, i);
+      }
+    } else {
+      for (const auto& range : selection->ranges()) {
+        int64_t start = std::max(range.start, page.first_row);
+        int64_t end = std::min(range.end, page_end);
+        for (int64_t r = start; r < end; ++r) {
+          builder->AppendFrom(*decoded, r - page.first_row);
+        }
+      }
+    }
+  }
+  return builder->Finish();
+}
+
+Result<RecordBatchPtr> Reader::ReadRowGroup(int rg, const std::vector<int>& columns,
+                                            const RowSelection* selection,
+                                            ScanMetrics* metrics) {
+  std::vector<ArrayPtr> out;
+  out.reserve(columns.size());
+  for (int col : columns) {
+    FUSION_ASSIGN_OR_RAISE(auto arr, ReadColumnChunk(rg, col, selection, metrics));
+    out.push_back(std::move(arr));
+  }
+  int64_t rows = selection != nullptr ? selection->CountRows()
+                                      : meta_.row_groups[rg].num_rows;
+  return std::make_shared<RecordBatch>(meta_.schema->Project(columns), rows,
+                                       std::move(out));
+}
+
+Result<RecordBatchPtr> Reader::ScanRowGroup(int rg, const std::vector<int>& projection,
+                                            const std::vector<ColumnPredicate>& preds,
+                                            bool late_materialization,
+                                            ScanMetrics* metrics) {
+  const RowGroupMeta& rg_meta = meta_.row_groups[rg];
+  if (metrics != nullptr) {
+    ++metrics->row_groups_read;
+    metrics->rows_total += rg_meta.num_rows;
+  }
+
+  if (preds.empty() || !late_materialization) {
+    // Decode everything, then filter row-by-row (used as the ablation
+    // baseline and for predicates that could not be pushed).
+    std::vector<int> all_cols = projection;
+    FUSION_ASSIGN_OR_RAISE(auto batch, ReadRowGroup(rg, all_cols, nullptr, metrics));
+    if (preds.empty()) {
+      if (metrics != nullptr) metrics->rows_selected += batch->num_rows();
+      return batch;
+    }
+    // Evaluate predicates over decoded columns.
+    std::vector<bool> mask(static_cast<size_t>(rg_meta.num_rows), true);
+    for (const auto& pred : preds) {
+      int col = meta_.schema->GetFieldIndex(pred.column);
+      if (col < 0) return Status::KeyError("fpq: unknown column " + pred.column);
+      // The predicate column may not be projected; decode if needed.
+      ArrayPtr column;
+      int proj_idx = -1;
+      for (size_t i = 0; i < projection.size(); ++i) {
+        if (projection[i] == col) proj_idx = static_cast<int>(i);
+      }
+      if (proj_idx >= 0) {
+        column = batch->column(proj_idx);
+      } else {
+        FUSION_ASSIGN_OR_RAISE(column, ReadColumnChunk(rg, col, nullptr, metrics));
+      }
+      FUSION_ASSIGN_OR_RAISE(auto pred_mask, EvaluatePredicate(pred, *column));
+      const auto& bm = checked_cast<BooleanArray>(*pred_mask);
+      for (int64_t i = 0; i < rg_meta.num_rows; ++i) {
+        if (!(bm.IsValid(i) && bm.Value(i))) mask[i] = false;
+      }
+    }
+    RowSelection sel = RowSelection::FromMask(mask);
+    if (metrics != nullptr) metrics->rows_selected += sel.CountRows();
+    if (sel.CountRows() == rg_meta.num_rows) return batch;
+    std::vector<int64_t> indices;
+    indices.reserve(sel.CountRows());
+    for (const auto& range : sel.ranges()) {
+      for (int64_t i = range.start; i < range.end; ++i) indices.push_back(i);
+    }
+    std::vector<ArrayPtr> cols;
+    for (int c = 0; c < batch->num_columns(); ++c) {
+      FUSION_ASSIGN_OR_RAISE(auto builder,
+                             MakeBuilder(batch->column(c)->type()));
+      builder->Reserve(static_cast<int64_t>(indices.size()));
+      for (int64_t i : indices) builder->AppendFrom(*batch->column(c), i);
+      FUSION_ASSIGN_OR_RAISE(auto arr, builder->Finish());
+      cols.push_back(std::move(arr));
+    }
+    return std::make_shared<RecordBatch>(batch->schema(),
+                                         static_cast<int64_t>(indices.size()),
+                                         std::move(cols));
+  }
+
+  // Late materialization (paper §6.8 steps 2-4).
+  RowSelection selection = RowSelection::All(rg_meta.num_rows);
+
+  // Step 2-3: evaluate each predicate column against the current
+  // selection, refining it each time. Pages with zone maps that cannot
+  // match are dropped without decoding.
+  for (const auto& pred : preds) {
+    if (selection.empty()) break;
+    int col = meta_.schema->GetFieldIndex(pred.column);
+    if (col < 0) return Status::KeyError("fpq: unknown column " + pred.column);
+    const ColumnChunkMeta& chunk = rg_meta.columns[col];
+
+    // Page-index pruning: restrict the selection to pages that may match.
+    RowSelection page_sel = RowSelection::None();
+    for (const PageMeta& page : chunk.pages) {
+      if (StatsMayMatch(pred, page.stats)) {
+        page_sel.AddRange(page.first_row, page.first_row + page.num_rows);
+      }
+    }
+    selection = selection.Intersect(page_sel);
+    if (selection.empty()) break;
+
+    FUSION_ASSIGN_OR_RAISE(auto values, ReadColumnChunk(rg, col, &selection, metrics));
+    FUSION_ASSIGN_OR_RAISE(auto mask_arr, EvaluatePredicate(pred, *values));
+    const auto& mask = checked_cast<BooleanArray>(*mask_arr);
+
+    // Map mask positions (selection space) back to row-group rows.
+    RowSelection refined = RowSelection::None();
+    int64_t pos = 0;
+    for (const auto& range : selection.ranges()) {
+      for (int64_t r = range.start; r < range.end; ++r, ++pos) {
+        if (mask.IsValid(pos) && mask.Value(pos)) {
+          refined.AddRange(r, r + 1);
+        }
+      }
+    }
+    selection = std::move(refined);
+  }
+
+  if (metrics != nullptr) metrics->rows_selected += selection.CountRows();
+
+  // Step 4: decode projected columns for the final selection only.
+  return ReadRowGroup(rg, projection, &selection, metrics);
+}
+
+}  // namespace fpq
+}  // namespace format
+}  // namespace fusion

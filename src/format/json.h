@@ -1,0 +1,49 @@
+#ifndef FUSION_FORMAT_JSON_H_
+#define FUSION_FORMAT_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "arrow/record_batch.h"
+#include "arrow/type.h"
+#include "common/result.h"
+
+namespace fusion {
+namespace format {
+namespace json {
+
+struct Options {
+  int64_t batch_rows = 8192;
+  int64_t infer_rows = 1000;
+  SchemaPtr schema;  // skip inference when provided
+};
+
+/// Infer a schema from the head of a newline-delimited JSON file. Flat
+/// objects only: the engine's JSON source covers the benchmark surface;
+/// nested values are exposed as their raw JSON text (a documented
+/// simplification vs. DataFusion's fully nested reader, DESIGN.md §5).
+Result<SchemaPtr> InferSchema(const std::string& path, const Options& options);
+
+/// Read a newline-delimited JSON file into batches.
+Result<std::vector<RecordBatchPtr>> ReadFile(const std::string& path,
+                                             const Options& options = {});
+
+/// Parse a single flat JSON object into (key, raw-value) pairs; exposed
+/// for tests. Values are unescaped for strings, raw text otherwise.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kRaw };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  int64_t int_value = 0;
+  double double_value = 0;
+  std::string text;  // string contents or raw nested JSON
+};
+
+Result<std::vector<std::pair<std::string, JsonValue>>> ParseObject(
+    const std::string& line);
+
+}  // namespace json
+}  // namespace format
+}  // namespace fusion
+
+#endif  // FUSION_FORMAT_JSON_H_

@@ -1,0 +1,59 @@
+#ifndef FUSION_FORMAT_PREDICATE_H_
+#define FUSION_FORMAT_PREDICATE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arrow/array.h"
+#include "arrow/scalar.h"
+#include "common/result.h"
+
+namespace fusion {
+namespace format {
+
+/// \brief Simple column-vs-constant predicate understood by data
+/// sources. The physical planner lowers pushable expression subtrees to
+/// a conjunction of these; anything it cannot lower stays in FilterExec.
+///
+/// This is the format-level contract that lets scan implementations
+/// prune row groups / pages (zone maps), probe Bloom filters, and run
+/// the late-materialization pipeline without knowing about the engine's
+/// expression trees.
+struct ColumnPredicate {
+  enum class Op { kEq, kNeq, kLt, kLtEq, kGt, kGtEq, kIn, kIsNull, kIsNotNull };
+
+  std::string column;
+  Op op = Op::kEq;
+  /// Comparison value(s): one for binary ops, many for kIn.
+  std::vector<Scalar> values;
+
+  std::string ToString() const;
+};
+
+/// Column min/max/null statistics as stored in zone maps.
+struct ColumnStats {
+  Scalar min;   // null scalar if unknown
+  Scalar max;   // null scalar if unknown
+  int64_t null_count = 0;
+  int64_t row_count = 0;
+};
+
+/// Zone-map test: can any row with these stats satisfy the predicate?
+/// Conservative: returns true when unsure.
+bool StatsMayMatch(const ColumnPredicate& pred, const ColumnStats& stats);
+
+/// All predicates of a conjunction must possibly match.
+bool ConjunctionMayMatch(const std::vector<ColumnPredicate>& preds,
+                         const std::function<const ColumnStats*(const std::string&)>&
+                             stats_for_column);
+
+/// Row-level evaluation of a predicate against its column's data.
+/// Returns a BooleanArray mask (SQL semantics: null -> not selected).
+Result<ArrayPtr> EvaluatePredicate(const ColumnPredicate& pred, const Array& column);
+
+}  // namespace format
+}  // namespace fusion
+
+#endif  // FUSION_FORMAT_PREDICATE_H_

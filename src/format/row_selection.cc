@@ -1,0 +1,83 @@
+#include "format/row_selection.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fusion {
+namespace format {
+
+RowSelection RowSelection::All(int64_t num_rows) {
+  RowSelection s;
+  if (num_rows > 0) s.ranges_.push_back({0, num_rows});
+  return s;
+}
+
+RowSelection RowSelection::None() { return RowSelection(); }
+
+RowSelection RowSelection::FromMask(const std::vector<bool>& mask) {
+  RowSelection s;
+  int64_t n = static_cast<int64_t>(mask.size());
+  int64_t i = 0;
+  while (i < n) {
+    while (i < n && !mask[i]) ++i;
+    if (i == n) break;
+    int64_t start = i;
+    while (i < n && mask[i]) ++i;
+    s.ranges_.push_back({start, i});
+  }
+  return s;
+}
+
+void RowSelection::AddRange(int64_t start, int64_t end) {
+  if (end <= start) return;
+  if (!ranges_.empty() && ranges_.back().end >= start) {
+    ranges_.back().end = std::max(ranges_.back().end, end);
+    return;
+  }
+  ranges_.push_back({start, end});
+}
+
+int64_t RowSelection::CountRows() const {
+  int64_t total = 0;
+  for (const auto& r : ranges_) total += r.end - r.start;
+  return total;
+}
+
+bool RowSelection::Overlaps(int64_t start, int64_t end) const {
+  // Binary search for the first range ending after `start`.
+  auto it = std::lower_bound(ranges_.begin(), ranges_.end(), start,
+                             [](const Range& r, int64_t v) { return r.end <= v; });
+  return it != ranges_.end() && it->start < end;
+}
+
+RowSelection RowSelection::Intersect(const RowSelection& other) const {
+  RowSelection out;
+  size_t i = 0, j = 0;
+  while (i < ranges_.size() && j < other.ranges_.size()) {
+    const Range& a = ranges_[i];
+    const Range& b = other.ranges_[j];
+    int64_t start = std::max(a.start, b.start);
+    int64_t end = std::min(a.end, b.end);
+    if (start < end) out.AddRange(start, end);
+    if (a.end < b.end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::string RowSelection::ToString() const {
+  std::ostringstream s;
+  s << "[";
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    if (i > 0) s << ", ";
+    s << ranges_[i].start << ".." << ranges_[i].end;
+  }
+  s << "]";
+  return s.str();
+}
+
+}  // namespace format
+}  // namespace fusion

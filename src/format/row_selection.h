@@ -1,0 +1,49 @@
+#ifndef FUSION_FORMAT_ROW_SELECTION_H_
+#define FUSION_FORMAT_ROW_SELECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fusion {
+namespace format {
+
+/// \brief A sorted set of disjoint row ranges within a row group,
+/// produced by predicate evaluation during late materialization
+/// (paper §6.8 steps 2-3) and consumed by selective page decoding.
+class RowSelection {
+ public:
+  struct Range {
+    int64_t start;  // inclusive
+    int64_t end;    // exclusive
+  };
+
+  /// Select-all over `num_rows`.
+  static RowSelection All(int64_t num_rows);
+  /// Empty selection.
+  static RowSelection None();
+  /// From a row-aligned boolean vector.
+  static RowSelection FromMask(const std::vector<bool>& mask);
+
+  void AddRange(int64_t start, int64_t end);
+
+  const std::vector<Range>& ranges() const { return ranges_; }
+  bool empty() const { return ranges_.empty(); }
+  int64_t CountRows() const;
+
+  /// True if any selected row falls within [start, end).
+  bool Overlaps(int64_t start, int64_t end) const;
+
+  /// Intersection with another selection.
+  RowSelection Intersect(const RowSelection& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Range> ranges_;
+};
+
+}  // namespace format
+}  // namespace fusion
+
+#endif  // FUSION_FORMAT_ROW_SELECTION_H_

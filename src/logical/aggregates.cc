@@ -1,0 +1,871 @@
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "arrow/builder.h"
+#include "logical/functions.h"
+
+namespace fusion {
+namespace logical {
+
+namespace {
+
+bool FilterIncludes(const uint8_t* opt_filter, int64_t row) {
+  return opt_filter == nullptr || opt_filter[row] != 0;
+}
+
+// ------------------------------------------------------------------ COUNT
+
+/// COUNT(*) and COUNT(x). State: per-group int64.
+class CountAccumulator : public GroupedAccumulator {
+ public:
+  explicit CountAccumulator(bool count_star) : count_star_(count_star) {}
+
+  void Resize(int64_t num_groups) override {
+    if (static_cast<int64_t>(counts_.size()) < num_groups) counts_.resize(num_groups, 0);
+  }
+
+  Status Update(const std::vector<ArrayPtr>& args,
+                const std::vector<uint32_t>& group_ids,
+                const uint8_t* opt_filter) override {
+    const Array* values = count_star_ || args.empty() ? nullptr : args[0].get();
+    for (size_t i = 0; i < group_ids.size(); ++i) {
+      if (!FilterIncludes(opt_filter, static_cast<int64_t>(i))) continue;
+      if (values != nullptr && values->IsNull(static_cast<int64_t>(i))) continue;
+      ++counts_[group_ids[i]];
+    }
+    return Status::OK();
+  }
+
+  std::vector<DataType> PartialTypes() const override { return {int64()}; }
+
+  Result<std::vector<ArrayPtr>> PartialState() override {
+    return std::vector<ArrayPtr>{MakeInt64Array(counts_)};
+  }
+
+  Status UpdateFromPartial(const std::vector<ArrayPtr>& state,
+                           const std::vector<uint32_t>& group_ids) override {
+    const auto& partial = checked_cast<Int64Array>(*state[0]);
+    for (size_t i = 0; i < group_ids.size(); ++i) {
+      if (partial.IsValid(static_cast<int64_t>(i))) {
+        counts_[group_ids[i]] += partial.Value(static_cast<int64_t>(i));
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<ArrayPtr> Finish() override { return MakeInt64Array(counts_); }
+
+  int64_t SizeBytes() const override {
+    return static_cast<int64_t>(counts_.size()) * 8;
+  }
+
+ private:
+  bool count_star_;
+  std::vector<int64_t> counts_;
+};
+
+// -------------------------------------------------------------------- SUM
+
+template <typename CType, typename Acc>
+class SumAccumulator : public GroupedAccumulator {
+ public:
+  void Resize(int64_t num_groups) override {
+    if (static_cast<int64_t>(sums_.size()) < num_groups) {
+      sums_.resize(num_groups, Acc{});
+      seen_.resize(num_groups, 0);
+    }
+  }
+
+  Status Update(const std::vector<ArrayPtr>& args,
+                const std::vector<uint32_t>& group_ids,
+                const uint8_t* opt_filter) override {
+    const auto& values = checked_cast<NumericArray<CType>>(*args[0]);
+    const CType* raw = values.raw_values();
+    if (values.null_count() == 0 && opt_filter == nullptr) {
+      for (size_t i = 0; i < group_ids.size(); ++i) {
+        sums_[group_ids[i]] += static_cast<Acc>(raw[i]);
+        seen_[group_ids[i]] = 1;
+      }
+    } else {
+      for (size_t i = 0; i < group_ids.size(); ++i) {
+        int64_t row = static_cast<int64_t>(i);
+        if (!FilterIncludes(opt_filter, row) || values.IsNull(row)) continue;
+        sums_[group_ids[i]] += static_cast<Acc>(raw[i]);
+        seen_[group_ids[i]] = 1;
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<DataType> PartialTypes() const override {
+    return {std::is_floating_point_v<Acc> ? float64() : int64()};
+  }
+
+  Result<std::vector<ArrayPtr>> PartialState() override {
+    return std::vector<ArrayPtr>{BuildResult()};
+  }
+
+  Status UpdateFromPartial(const std::vector<ArrayPtr>& state,
+                           const std::vector<uint32_t>& group_ids) override {
+    const auto& partial = checked_cast<NumericArray<Acc>>(*state[0]);
+    for (size_t i = 0; i < group_ids.size(); ++i) {
+      int64_t row = static_cast<int64_t>(i);
+      if (partial.IsNull(row)) continue;
+      sums_[group_ids[i]] += partial.Value(row);
+      seen_[group_ids[i]] = 1;
+    }
+    return Status::OK();
+  }
+
+  Result<ArrayPtr> Finish() override { return BuildResult(); }
+
+  int64_t SizeBytes() const override {
+    return static_cast<int64_t>(sums_.size()) * (sizeof(Acc) + 1);
+  }
+
+ private:
+  ArrayPtr BuildResult() {
+    std::vector<bool> valid(seen_.size());
+    for (size_t i = 0; i < seen_.size(); ++i) valid[i] = seen_[i] != 0;
+    if constexpr (std::is_floating_point_v<Acc>) {
+      return MakeFloat64Array(sums_, valid);
+    } else {
+      return MakeInt64Array(sums_, valid);
+    }
+  }
+
+  std::vector<Acc> sums_;
+  std::vector<uint8_t> seen_;
+};
+
+// ----------------------------------------------------------------- MIN/MAX
+
+template <typename CType, bool kMin>
+class MinMaxAccumulator : public GroupedAccumulator {
+ public:
+  explicit MinMaxAccumulator(DataType type) : type_(type) {}
+
+  void Resize(int64_t num_groups) override {
+    if (static_cast<int64_t>(best_.size()) < num_groups) {
+      best_.resize(num_groups, CType{});
+      seen_.resize(num_groups, 0);
+    }
+  }
+
+  Status Update(const std::vector<ArrayPtr>& args,
+                const std::vector<uint32_t>& group_ids,
+                const uint8_t* opt_filter) override {
+    const auto& values = checked_cast<NumericArray<CType>>(*args[0]);
+    const CType* raw = values.raw_values();
+    for (size_t i = 0; i < group_ids.size(); ++i) {
+      int64_t row = static_cast<int64_t>(i);
+      if (!FilterIncludes(opt_filter, row) || values.IsNull(row)) continue;
+      uint32_t g = group_ids[i];
+      if (!seen_[g] || (kMin ? raw[i] < best_[g] : raw[i] > best_[g])) {
+        best_[g] = raw[i];
+        seen_[g] = 1;
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<DataType> PartialTypes() const override { return {type_}; }
+
+  Result<std::vector<ArrayPtr>> PartialState() override {
+    FUSION_ASSIGN_OR_RAISE(auto arr, BuildResult());
+    return std::vector<ArrayPtr>{std::move(arr)};
+  }
+
+  Status UpdateFromPartial(const std::vector<ArrayPtr>& state,
+                           const std::vector<uint32_t>& group_ids) override {
+    return Update(state, group_ids, nullptr);
+  }
+
+  Result<ArrayPtr> Finish() override { return BuildResult(); }
+
+  int64_t SizeBytes() const override {
+    return static_cast<int64_t>(best_.size()) * (sizeof(CType) + 1);
+  }
+
+ private:
+  Result<ArrayPtr> BuildResult() {
+    FUSION_ASSIGN_OR_RAISE(auto builder, MakeBuilder(type_));
+    auto* typed = static_cast<NumericBuilder<CType>*>(builder.get());
+    for (size_t i = 0; i < best_.size(); ++i) {
+      if (seen_[i]) {
+        typed->Append(best_[i]);
+      } else {
+        typed->AppendNull();
+      }
+    }
+    return builder->Finish();
+  }
+
+  DataType type_;
+  std::vector<CType> best_;
+  std::vector<uint8_t> seen_;
+};
+
+template <bool kMin>
+class MinMaxStringAccumulator : public GroupedAccumulator {
+ public:
+  void Resize(int64_t num_groups) override {
+    if (static_cast<int64_t>(best_.size()) < num_groups) {
+      best_.resize(num_groups);
+      seen_.resize(num_groups, 0);
+    }
+  }
+
+  Status Update(const std::vector<ArrayPtr>& args,
+                const std::vector<uint32_t>& group_ids,
+                const uint8_t* opt_filter) override {
+    const auto& values = checked_cast<StringArray>(*args[0]);
+    for (size_t i = 0; i < group_ids.size(); ++i) {
+      int64_t row = static_cast<int64_t>(i);
+      if (!FilterIncludes(opt_filter, row) || values.IsNull(row)) continue;
+      uint32_t g = group_ids[i];
+      std::string_view v = values.Value(row);
+      if (!seen_[g] || (kMin ? v < best_[g] : v > best_[g])) {
+        best_[g] = std::string(v);
+        seen_[g] = 1;
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<DataType> PartialTypes() const override { return {utf8()}; }
+
+  Result<std::vector<ArrayPtr>> PartialState() override {
+    return std::vector<ArrayPtr>{BuildResult()};
+  }
+
+  Status UpdateFromPartial(const std::vector<ArrayPtr>& state,
+                           const std::vector<uint32_t>& group_ids) override {
+    return Update(state, group_ids, nullptr);
+  }
+
+  Result<ArrayPtr> Finish() override { return BuildResult(); }
+
+  int64_t SizeBytes() const override {
+    int64_t total = 0;
+    for (const auto& s : best_) total += static_cast<int64_t>(s.size()) + 16;
+    return total;
+  }
+
+ private:
+  ArrayPtr BuildResult() {
+    StringBuilder builder;
+    for (size_t i = 0; i < best_.size(); ++i) {
+      if (seen_[i]) {
+        builder.Append(best_[i]);
+      } else {
+        builder.AppendNull();
+      }
+    }
+    return builder.Finish().ValueOrDie();
+  }
+
+  std::vector<std::string> best_;
+  std::vector<uint8_t> seen_;
+};
+
+// -------------------------------------------------------------------- AVG
+
+class AvgAccumulator : public GroupedAccumulator {
+ public:
+  void Resize(int64_t num_groups) override {
+    if (static_cast<int64_t>(sums_.size()) < num_groups) {
+      sums_.resize(num_groups, 0);
+      counts_.resize(num_groups, 0);
+    }
+  }
+
+  Status Update(const std::vector<ArrayPtr>& args,
+                const std::vector<uint32_t>& group_ids,
+                const uint8_t* opt_filter) override {
+    FUSION_RETURN_NOT_OK(ForEachDouble(
+        *args[0], group_ids, opt_filter, [this](uint32_t g, double v) {
+          sums_[g] += v;
+          ++counts_[g];
+        }));
+    return Status::OK();
+  }
+
+  std::vector<DataType> PartialTypes() const override {
+    return {float64(), int64()};
+  }
+
+  Result<std::vector<ArrayPtr>> PartialState() override {
+    return std::vector<ArrayPtr>{MakeFloat64Array(sums_), MakeInt64Array(counts_)};
+  }
+
+  Status UpdateFromPartial(const std::vector<ArrayPtr>& state,
+                           const std::vector<uint32_t>& group_ids) override {
+    const auto& sums = checked_cast<Float64Array>(*state[0]);
+    const auto& counts = checked_cast<Int64Array>(*state[1]);
+    for (size_t i = 0; i < group_ids.size(); ++i) {
+      sums_[group_ids[i]] += sums.Value(static_cast<int64_t>(i));
+      counts_[group_ids[i]] += counts.Value(static_cast<int64_t>(i));
+    }
+    return Status::OK();
+  }
+
+  Result<ArrayPtr> Finish() override {
+    std::vector<double> out(sums_.size());
+    std::vector<bool> valid(sums_.size());
+    for (size_t i = 0; i < sums_.size(); ++i) {
+      valid[i] = counts_[i] > 0;
+      out[i] = valid[i] ? sums_[i] / static_cast<double>(counts_[i]) : 0;
+    }
+    return MakeFloat64Array(out, valid);
+  }
+
+  int64_t SizeBytes() const override {
+    return static_cast<int64_t>(sums_.size()) * 16;
+  }
+
+  /// Apply `fn(group, value)` for each included, non-null row, widening
+  /// any numeric input to double.
+  template <typename Fn>
+  static Status ForEachDouble(const Array& values,
+                              const std::vector<uint32_t>& group_ids,
+                              const uint8_t* opt_filter, Fn&& fn) {
+    auto run = [&](auto getter) {
+      for (size_t i = 0; i < group_ids.size(); ++i) {
+        int64_t row = static_cast<int64_t>(i);
+        if (!FilterIncludes(opt_filter, row) || values.IsNull(row)) continue;
+        fn(group_ids[i], getter(row));
+      }
+    };
+    switch (values.type().id()) {
+      case TypeId::kInt32:
+      case TypeId::kDate32: {
+        const auto& a = checked_cast<Int32Array>(values);
+        run([&](int64_t r) { return static_cast<double>(a.Value(r)); });
+        return Status::OK();
+      }
+      case TypeId::kInt64:
+      case TypeId::kTimestamp: {
+        const auto& a = checked_cast<Int64Array>(values);
+        run([&](int64_t r) { return static_cast<double>(a.Value(r)); });
+        return Status::OK();
+      }
+      case TypeId::kFloat64: {
+        const auto& a = checked_cast<Float64Array>(values);
+        run([&](int64_t r) { return a.Value(r); });
+        return Status::OK();
+      }
+      default:
+        return Status::TypeError("numeric aggregate over non-numeric column");
+    }
+  }
+
+ private:
+  std::vector<double> sums_;
+  std::vector<int64_t> counts_;
+};
+
+// -------------------------------------------------------- VARIANCE/STDDEV
+
+/// Welford online variance per group; merge via Chan's parallel formula.
+class VarianceAccumulator : public GroupedAccumulator {
+ public:
+  explicit VarianceAccumulator(bool stddev) : stddev_(stddev) {}
+
+  void Resize(int64_t num_groups) override {
+    if (static_cast<int64_t>(counts_.size()) < num_groups) {
+      counts_.resize(num_groups, 0);
+      means_.resize(num_groups, 0);
+      m2s_.resize(num_groups, 0);
+    }
+  }
+
+  Status Update(const std::vector<ArrayPtr>& args,
+                const std::vector<uint32_t>& group_ids,
+                const uint8_t* opt_filter) override {
+    return AvgAccumulator::ForEachDouble(
+        *args[0], group_ids, opt_filter, [this](uint32_t g, double v) {
+          ++counts_[g];
+          double delta = v - means_[g];
+          means_[g] += delta / static_cast<double>(counts_[g]);
+          m2s_[g] += delta * (v - means_[g]);
+        });
+  }
+
+  std::vector<DataType> PartialTypes() const override {
+    return {int64(), float64(), float64()};
+  }
+
+  Result<std::vector<ArrayPtr>> PartialState() override {
+    return std::vector<ArrayPtr>{MakeInt64Array(counts_), MakeFloat64Array(means_),
+                                 MakeFloat64Array(m2s_)};
+  }
+
+  Status UpdateFromPartial(const std::vector<ArrayPtr>& state,
+                           const std::vector<uint32_t>& group_ids) override {
+    const auto& counts = checked_cast<Int64Array>(*state[0]);
+    const auto& means = checked_cast<Float64Array>(*state[1]);
+    const auto& m2s = checked_cast<Float64Array>(*state[2]);
+    for (size_t i = 0; i < group_ids.size(); ++i) {
+      int64_t row = static_cast<int64_t>(i);
+      int64_t nb = counts.Value(row);
+      if (nb == 0) continue;
+      uint32_t g = group_ids[i];
+      int64_t na = counts_[g];
+      double delta = means.Value(row) - means_[g];
+      int64_t n = na + nb;
+      means_[g] += delta * static_cast<double>(nb) / static_cast<double>(n);
+      m2s_[g] += m2s.Value(row) + delta * delta *
+                                      static_cast<double>(na) *
+                                      static_cast<double>(nb) /
+                                      static_cast<double>(n);
+      counts_[g] = n;
+    }
+    return Status::OK();
+  }
+
+  Result<ArrayPtr> Finish() override {
+    std::vector<double> out(counts_.size());
+    std::vector<bool> valid(counts_.size());
+    for (size_t i = 0; i < counts_.size(); ++i) {
+      valid[i] = counts_[i] > 1;
+      if (valid[i]) {
+        double var = m2s_[i] / static_cast<double>(counts_[i] - 1);
+        out[i] = stddev_ ? std::sqrt(var) : var;
+      }
+    }
+    return MakeFloat64Array(out, valid);
+  }
+
+  int64_t SizeBytes() const override {
+    return static_cast<int64_t>(counts_.size()) * 24;
+  }
+
+ private:
+  bool stddev_;
+  std::vector<int64_t> counts_;
+  std::vector<double> means_;
+  std::vector<double> m2s_;
+};
+
+// ------------------------------------------------------------------- CORR
+
+class CorrAccumulator : public GroupedAccumulator {
+ public:
+  void Resize(int64_t num_groups) override {
+    if (static_cast<int64_t>(n_.size()) < num_groups) {
+      n_.resize(num_groups, 0);
+      sx_.resize(num_groups, 0);
+      sy_.resize(num_groups, 0);
+      sxx_.resize(num_groups, 0);
+      syy_.resize(num_groups, 0);
+      sxy_.resize(num_groups, 0);
+    }
+  }
+
+  Status Update(const std::vector<ArrayPtr>& args,
+                const std::vector<uint32_t>& group_ids,
+                const uint8_t* opt_filter) override {
+    if (args.size() != 2) return Status::Invalid("corr expects 2 arguments");
+    FUSION_ASSIGN_OR_RAISE(auto xs, ToDoubles(*args[0]));
+    FUSION_ASSIGN_OR_RAISE(auto ys, ToDoubles(*args[1]));
+    for (size_t i = 0; i < group_ids.size(); ++i) {
+      int64_t row = static_cast<int64_t>(i);
+      if (!FilterIncludes(opt_filter, row) || args[0]->IsNull(row) ||
+          args[1]->IsNull(row)) {
+        continue;
+      }
+      uint32_t g = group_ids[i];
+      double x = xs[i];
+      double y = ys[i];
+      ++n_[g];
+      sx_[g] += x;
+      sy_[g] += y;
+      sxx_[g] += x * x;
+      syy_[g] += y * y;
+      sxy_[g] += x * y;
+    }
+    return Status::OK();
+  }
+
+  std::vector<DataType> PartialTypes() const override {
+    return {int64(), float64(), float64(), float64(), float64(), float64()};
+  }
+
+  Result<std::vector<ArrayPtr>> PartialState() override {
+    return std::vector<ArrayPtr>{MakeInt64Array(n_),    MakeFloat64Array(sx_),
+                                 MakeFloat64Array(sy_), MakeFloat64Array(sxx_),
+                                 MakeFloat64Array(syy_), MakeFloat64Array(sxy_)};
+  }
+
+  Status UpdateFromPartial(const std::vector<ArrayPtr>& state,
+                           const std::vector<uint32_t>& group_ids) override {
+    const auto& n = checked_cast<Int64Array>(*state[0]);
+    const auto& sx = checked_cast<Float64Array>(*state[1]);
+    const auto& sy = checked_cast<Float64Array>(*state[2]);
+    const auto& sxx = checked_cast<Float64Array>(*state[3]);
+    const auto& syy = checked_cast<Float64Array>(*state[4]);
+    const auto& sxy = checked_cast<Float64Array>(*state[5]);
+    for (size_t i = 0; i < group_ids.size(); ++i) {
+      int64_t row = static_cast<int64_t>(i);
+      uint32_t g = group_ids[i];
+      n_[g] += n.Value(row);
+      sx_[g] += sx.Value(row);
+      sy_[g] += sy.Value(row);
+      sxx_[g] += sxx.Value(row);
+      syy_[g] += syy.Value(row);
+      sxy_[g] += sxy.Value(row);
+    }
+    return Status::OK();
+  }
+
+  Result<ArrayPtr> Finish() override {
+    std::vector<double> out(n_.size());
+    std::vector<bool> valid(n_.size());
+    for (size_t i = 0; i < n_.size(); ++i) {
+      double n = static_cast<double>(n_[i]);
+      double cov = n * sxy_[i] - sx_[i] * sy_[i];
+      double vx = n * sxx_[i] - sx_[i] * sx_[i];
+      double vy = n * syy_[i] - sy_[i] * sy_[i];
+      valid[i] = n_[i] > 1 && vx > 0 && vy > 0;
+      if (valid[i]) out[i] = cov / std::sqrt(vx * vy);
+    }
+    return MakeFloat64Array(out, valid);
+  }
+
+  int64_t SizeBytes() const override {
+    return static_cast<int64_t>(n_.size()) * 48;
+  }
+
+ private:
+  static Result<std::vector<double>> ToDoubles(const Array& arr) {
+    std::vector<double> out(arr.length(), 0);
+    switch (arr.type().id()) {
+      case TypeId::kInt32:
+      case TypeId::kDate32: {
+        const auto& a = checked_cast<Int32Array>(arr);
+        for (int64_t i = 0; i < arr.length(); ++i) out[i] = a.Value(i);
+        return out;
+      }
+      case TypeId::kInt64:
+      case TypeId::kTimestamp: {
+        const auto& a = checked_cast<Int64Array>(arr);
+        for (int64_t i = 0; i < arr.length(); ++i) {
+          out[i] = static_cast<double>(a.Value(i));
+        }
+        return out;
+      }
+      case TypeId::kFloat64: {
+        const auto& a = checked_cast<Float64Array>(arr);
+        for (int64_t i = 0; i < arr.length(); ++i) out[i] = a.Value(i);
+        return out;
+      }
+      default:
+        return Status::TypeError("corr over non-numeric column");
+    }
+  }
+
+  std::vector<int64_t> n_;
+  std::vector<double> sx_, sy_, sxx_, syy_, sxy_;
+};
+
+// ----------------------------------------------------------------- MEDIAN
+
+/// Exact median: buffers all values per group (single-phase only).
+class MedianAccumulator : public GroupedAccumulator {
+ public:
+  void Resize(int64_t num_groups) override {
+    if (static_cast<int64_t>(values_.size()) < num_groups) values_.resize(num_groups);
+  }
+
+  Status Update(const std::vector<ArrayPtr>& args,
+                const std::vector<uint32_t>& group_ids,
+                const uint8_t* opt_filter) override {
+    return AvgAccumulator::ForEachDouble(
+        *args[0], group_ids, opt_filter,
+        [this](uint32_t g, double v) { values_[g].push_back(v); });
+  }
+
+  std::vector<DataType> PartialTypes() const override { return {float64()}; }
+
+  Result<std::vector<ArrayPtr>> PartialState() override {
+    return Status::NotImplemented("median does not support two-phase execution");
+  }
+
+  Status UpdateFromPartial(const std::vector<ArrayPtr>&,
+                           const std::vector<uint32_t>&) override {
+    return Status::NotImplemented("median does not support two-phase execution");
+  }
+
+  Result<ArrayPtr> Finish() override {
+    std::vector<double> out(values_.size());
+    std::vector<bool> valid(values_.size());
+    for (size_t i = 0; i < values_.size(); ++i) {
+      auto& v = values_[i];
+      valid[i] = !v.empty();
+      if (v.empty()) continue;
+      size_t mid = v.size() / 2;
+      std::nth_element(v.begin(), v.begin() + mid, v.end());
+      if (v.size() % 2 == 1) {
+        out[i] = v[mid];
+      } else {
+        double hi = v[mid];
+        double lo = *std::max_element(v.begin(), v.begin() + mid);
+        out[i] = (lo + hi) / 2;
+      }
+    }
+    return MakeFloat64Array(out, valid);
+  }
+
+  int64_t SizeBytes() const override {
+    int64_t total = 0;
+    for (const auto& v : values_) total += static_cast<int64_t>(v.capacity()) * 8;
+    return total;
+  }
+
+ private:
+  std::vector<std::vector<double>> values_;
+};
+
+// ---------------------------------------------------------- COUNT DISTINCT
+
+/// Exact distinct count via per-group sets of encoded values.
+class CountDistinctAccumulator : public GroupedAccumulator {
+ public:
+  void Resize(int64_t num_groups) override {
+    if (static_cast<int64_t>(sets_.size()) < num_groups) sets_.resize(num_groups);
+  }
+
+  Status Update(const std::vector<ArrayPtr>& args,
+                const std::vector<uint32_t>& group_ids,
+                const uint8_t* opt_filter) override {
+    const Array& values = *args[0];
+    for (size_t i = 0; i < group_ids.size(); ++i) {
+      int64_t row = static_cast<int64_t>(i);
+      if (!FilterIncludes(opt_filter, row) || values.IsNull(row)) continue;
+      sets_[group_ids[i]].insert(EncodeValue(values, row));
+    }
+    return Status::OK();
+  }
+
+  std::vector<DataType> PartialTypes() const override { return {int64()}; }
+
+  Result<std::vector<ArrayPtr>> PartialState() override {
+    return Status::NotImplemented("count distinct does not support two-phase");
+  }
+
+  Status UpdateFromPartial(const std::vector<ArrayPtr>&,
+                           const std::vector<uint32_t>&) override {
+    return Status::NotImplemented("count distinct does not support two-phase");
+  }
+
+  Result<ArrayPtr> Finish() override {
+    std::vector<int64_t> out(sets_.size());
+    for (size_t i = 0; i < sets_.size(); ++i) {
+      out[i] = static_cast<int64_t>(sets_[i].size());
+    }
+    return MakeInt64Array(out);
+  }
+
+  int64_t SizeBytes() const override {
+    int64_t total = 0;
+    for (const auto& s : sets_) total += static_cast<int64_t>(s.size()) * 32;
+    return total;
+  }
+
+ private:
+  static std::string EncodeValue(const Array& values, int64_t row) {
+    switch (values.type().id()) {
+      case TypeId::kString:
+        return std::string(checked_cast<StringArray>(values).Value(row));
+      case TypeId::kFloat64: {
+        double v = checked_cast<Float64Array>(values).Value(row);
+        return std::string(reinterpret_cast<const char*>(&v), 8);
+      }
+      case TypeId::kBool:
+        return checked_cast<BooleanArray>(values).Value(row) ? "1" : "0";
+      case TypeId::kInt32:
+      case TypeId::kDate32: {
+        int32_t v = checked_cast<Int32Array>(values).Value(row);
+        return std::string(reinterpret_cast<const char*>(&v), 4);
+      }
+      default: {
+        int64_t v = checked_cast<Int64Array>(values).Value(row);
+        return std::string(reinterpret_cast<const char*>(&v), 8);
+      }
+    }
+  }
+
+  std::vector<std::unordered_set<std::string>> sets_;
+};
+
+Result<DataType> NumericReturn(const std::vector<DataType>& args, const char* name) {
+  if (args.size() != 1) {
+    return Status::PlanError(std::string(name) + " expects 1 argument");
+  }
+  if (!args[0].is_numeric() && !args[0].is_null()) {
+    return Status::PlanError(std::string(name) + " requires a numeric argument, got " +
+                             args[0].ToString());
+  }
+  return args[0];
+}
+
+}  // namespace
+
+void RegisterBuiltinAggregateFunctions(FunctionRegistry* registry) {
+  auto reg = [registry](AggregateFunctionPtr fn) {
+    registry->RegisterAggregate(std::move(fn)).Abort();
+  };
+
+  {
+    auto fn = std::make_shared<AggregateFunctionDef>();
+    fn->name = "count";
+    fn->return_type = [](const std::vector<DataType>&) -> Result<DataType> {
+      return int64();
+    };
+    fn->create = [](const std::vector<DataType>& args)
+        -> Result<std::unique_ptr<GroupedAccumulator>> {
+      return std::unique_ptr<GroupedAccumulator>(
+          new CountAccumulator(/*count_star=*/args.empty()));
+    };
+    reg(fn);
+  }
+  {
+    auto fn = std::make_shared<AggregateFunctionDef>();
+    fn->name = "count_distinct";
+    fn->return_type = [](const std::vector<DataType>&) -> Result<DataType> {
+      return int64();
+    };
+    fn->supports_two_phase = false;
+    fn->create = [](const std::vector<DataType>&)
+        -> Result<std::unique_ptr<GroupedAccumulator>> {
+      return std::unique_ptr<GroupedAccumulator>(new CountDistinctAccumulator());
+    };
+    reg(fn);
+  }
+  {
+    auto fn = std::make_shared<AggregateFunctionDef>();
+    fn->name = "sum";
+    fn->return_type = [](const std::vector<DataType>& args) -> Result<DataType> {
+      FUSION_ASSIGN_OR_RAISE(DataType t, NumericReturn(args, "sum"));
+      return t.is_floating() ? float64() : int64();
+    };
+    fn->create = [](const std::vector<DataType>& args)
+        -> Result<std::unique_ptr<GroupedAccumulator>> {
+      switch (args[0].id()) {
+        case TypeId::kInt32:
+          return std::unique_ptr<GroupedAccumulator>(
+              new SumAccumulator<int32_t, int64_t>());
+        case TypeId::kInt64:
+          return std::unique_ptr<GroupedAccumulator>(
+              new SumAccumulator<int64_t, int64_t>());
+        case TypeId::kFloat64:
+          return std::unique_ptr<GroupedAccumulator>(
+              new SumAccumulator<double, double>());
+        default:
+          return Status::TypeError("sum: unsupported type " + args[0].ToString());
+      }
+    };
+    reg(fn);
+  }
+  auto reg_minmax = [&](const char* name, bool is_min) {
+    auto fn = std::make_shared<AggregateFunctionDef>();
+    fn->name = name;
+    std::string fname = name;
+    fn->return_type = [fname](const std::vector<DataType>& args) -> Result<DataType> {
+      if (args.size() != 1) return Status::PlanError(fname + " expects 1 argument");
+      return args[0];
+    };
+    fn->create = [is_min](const std::vector<DataType>& args)
+        -> Result<std::unique_ptr<GroupedAccumulator>> {
+      DataType t = args[0];
+      switch (t.id()) {
+        case TypeId::kInt32:
+        case TypeId::kDate32:
+          return is_min ? std::unique_ptr<GroupedAccumulator>(
+                              new MinMaxAccumulator<int32_t, true>(t))
+                        : std::unique_ptr<GroupedAccumulator>(
+                              new MinMaxAccumulator<int32_t, false>(t));
+        case TypeId::kInt64:
+        case TypeId::kTimestamp:
+          return is_min ? std::unique_ptr<GroupedAccumulator>(
+                              new MinMaxAccumulator<int64_t, true>(t))
+                        : std::unique_ptr<GroupedAccumulator>(
+                              new MinMaxAccumulator<int64_t, false>(t));
+        case TypeId::kFloat64:
+          return is_min ? std::unique_ptr<GroupedAccumulator>(
+                              new MinMaxAccumulator<double, true>(t))
+                        : std::unique_ptr<GroupedAccumulator>(
+                              new MinMaxAccumulator<double, false>(t));
+        case TypeId::kString:
+          return is_min ? std::unique_ptr<GroupedAccumulator>(
+                              new MinMaxStringAccumulator<true>())
+                        : std::unique_ptr<GroupedAccumulator>(
+                              new MinMaxStringAccumulator<false>());
+        default:
+          return Status::TypeError("min/max: unsupported type " + t.ToString());
+      }
+    };
+    reg(fn);
+  };
+  reg_minmax("min", true);
+  reg_minmax("max", false);
+  {
+    auto fn = std::make_shared<AggregateFunctionDef>();
+    fn->name = "avg";
+    fn->return_type = [](const std::vector<DataType>& args) -> Result<DataType> {
+      FUSION_RETURN_NOT_OK(NumericReturn(args, "avg").status());
+      return float64();
+    };
+    fn->create = [](const std::vector<DataType>&)
+        -> Result<std::unique_ptr<GroupedAccumulator>> {
+      return std::unique_ptr<GroupedAccumulator>(new AvgAccumulator());
+    };
+    reg(fn);
+  }
+  auto reg_var = [&](const char* name, bool stddev) {
+    auto fn = std::make_shared<AggregateFunctionDef>();
+    fn->name = name;
+    fn->return_type = [](const std::vector<DataType>&) -> Result<DataType> {
+      return float64();
+    };
+    fn->create = [stddev](const std::vector<DataType>&)
+        -> Result<std::unique_ptr<GroupedAccumulator>> {
+      return std::unique_ptr<GroupedAccumulator>(new VarianceAccumulator(stddev));
+    };
+    reg(fn);
+  };
+  reg_var("stddev", true);
+  reg_var("stddev_samp", true);
+  reg_var("var", false);
+  reg_var("var_samp", false);
+  {
+    auto fn = std::make_shared<AggregateFunctionDef>();
+    fn->name = "corr";
+    fn->return_type = [](const std::vector<DataType>&) -> Result<DataType> {
+      return float64();
+    };
+    fn->create = [](const std::vector<DataType>&)
+        -> Result<std::unique_ptr<GroupedAccumulator>> {
+      return std::unique_ptr<GroupedAccumulator>(new CorrAccumulator());
+    };
+    reg(fn);
+  }
+  {
+    auto fn = std::make_shared<AggregateFunctionDef>();
+    fn->name = "median";
+    fn->return_type = [](const std::vector<DataType>&) -> Result<DataType> {
+      return float64();
+    };
+    fn->supports_two_phase = false;
+    fn->create = [](const std::vector<DataType>&)
+        -> Result<std::unique_ptr<GroupedAccumulator>> {
+      return std::unique_ptr<GroupedAccumulator>(new MedianAccumulator());
+    };
+    reg(fn);
+  }
+}
+
+}  // namespace logical
+}  // namespace fusion

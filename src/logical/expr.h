@@ -1,0 +1,236 @@
+#ifndef FUSION_LOGICAL_EXPR_H_
+#define FUSION_LOGICAL_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arrow/scalar.h"
+#include "arrow/type.h"
+#include "common/result.h"
+#include "logical/functions.h"
+#include "row/row_format.h"
+
+namespace fusion {
+namespace logical {
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Output schema of a plan node plus the table qualifier of each field
+/// (paper §5.4.1). Qualifiers disambiguate columns after joins.
+class PlanSchema {
+ public:
+  PlanSchema() : schema_(std::make_shared<Schema>()) {}
+  PlanSchema(SchemaPtr schema, std::vector<std::string> qualifiers)
+      : schema_(std::move(schema)), qualifiers_(std::move(qualifiers)) {
+    qualifiers_.resize(schema_->num_fields());
+  }
+  explicit PlanSchema(SchemaPtr schema)
+      : PlanSchema(std::move(schema), {}) {}
+
+  const SchemaPtr& schema() const { return schema_; }
+  int num_fields() const { return schema_->num_fields(); }
+  const Field& field(int i) const { return schema_->field(i); }
+  const std::string& qualifier(int i) const { return qualifiers_[i]; }
+
+  /// Resolve a (possibly qualified) column reference to a field index.
+  /// Unqualified names that match several fields are an error.
+  Result<int> IndexOf(const std::string& qualifier, const std::string& name) const;
+
+  /// Concatenate (join output).
+  PlanSchema Concat(const PlanSchema& right) const;
+
+  /// Same fields under a new qualifier (subquery alias).
+  PlanSchema WithQualifier(const std::string& qualifier) const;
+
+  std::string ToString() const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<std::string> qualifiers_;
+};
+
+enum class BinaryOp {
+  kAnd, kOr,
+  kEq, kNeq, kLt, kLtEq, kGt, kGtEq,
+  kPlus, kMinus, kMultiply, kDivide, kModulo,
+  kStringConcat,
+};
+
+const char* BinaryOpName(BinaryOp op);
+bool IsComparisonOp(BinaryOp op);
+bool IsArithmeticOp(BinaryOp op);
+
+/// ORDER BY expression with direction/null placement.
+struct SortExpr {
+  ExprPtr expr;
+  row::SortOptions options;
+};
+
+/// Logical window frame (resolved from the SQL AST).
+struct WindowFrame {
+  enum class BoundKind {
+    kUnboundedPreceding, kPreceding, kCurrentRow, kFollowing, kUnboundedFollowing,
+  };
+  bool is_rows = true;
+  BoundKind start = BoundKind::kUnboundedPreceding;
+  int64_t start_offset = 0;
+  BoundKind end = BoundKind::kCurrentRow;
+  int64_t end_offset = 0;
+};
+
+/// OVER(...) clause attached to a window expression.
+struct WindowSpecExpr {
+  std::vector<ExprPtr> partition_by;
+  std::vector<SortExpr> order_by;
+  WindowFrame frame;
+  bool has_explicit_frame = false;
+};
+
+/// \brief Typed logical expression tree (paper §5.4.1). Function and
+/// aggregate nodes carry their registry binding so type resolution and
+/// execution never need a registry lookup after planning.
+class Expr {
+ public:
+  enum class Kind {
+    kColumn,          ///< [qualifier.]name
+    kLiteral,         ///< typed Scalar (includes NULL)
+    kBinary,          ///< left op right
+    kNot,             ///< NOT child
+    kNegative,        ///< - child
+    kIsNull,          ///< child IS NULL
+    kIsNotNull,       ///< child IS NOT NULL
+    kCase,            ///< searched CASE (operand form is desugared)
+    kCast,            ///< CAST(child AS type)
+    kInList,          ///< child [NOT] IN (literals/exprs)
+    kLike,            ///< child [NOT] [I]LIKE pattern
+    kScalarFunction,  ///< bound scalar function call
+    kAggregate,       ///< bound aggregate invocation (only under Aggregate plan)
+    kWindow,          ///< bound window invocation (only under Window plan)
+    kAlias,           ///< child AS name
+    kScalarSubquery,  ///< uncorrelated scalar subquery
+  };
+
+  Kind kind;
+
+  // kColumn
+  std::string qualifier;
+  std::string name;
+
+  // kLiteral
+  Scalar literal;
+
+  // kBinary
+  BinaryOp op = BinaryOp::kEq;
+
+  // children: kBinary{left,right}, unary kinds {child}, kCase{...},
+  // functions {args}
+  std::vector<ExprPtr> children;
+
+  // kCase: children laid out as [when1, then1, when2, then2, ..., else?]
+  bool case_has_else = false;
+
+  // kCast
+  DataType cast_type;
+
+  // kInList / kLike
+  bool negated = false;
+  bool case_insensitive = false;  // ILIKE
+
+  // functions
+  std::string function_name;
+  ScalarFunctionPtr scalar_function;
+  AggregateFunctionPtr aggregate_function;
+  WindowFunctionPtr window_function;
+  bool distinct = false;   // aggregate DISTINCT
+  ExprPtr filter;          // aggregate FILTER (WHERE ...)
+  std::shared_ptr<WindowSpecExpr> window_spec;
+
+  // kAlias
+  std::string alias;
+
+  // kScalarSubquery: plan is stored type-erased to avoid a header cycle
+  // (logical_plan.h includes expr.h); it is a LogicalPlan.
+  std::shared_ptr<void> subquery_plan;
+
+  /// Output type given the input schema.
+  Result<DataType> GetType(const PlanSchema& input) const;
+  /// Output nullability (conservative).
+  Result<bool> Nullable(const PlanSchema& input) const;
+  /// Output field: DisplayName + type + nullability.
+  Result<Field> ToField(const PlanSchema& input) const;
+
+  /// Column name this expression produces (alias, column name, or a
+  /// rendering of the expression).
+  std::string DisplayName() const;
+
+  std::string ToString() const;
+
+  bool Equals(const Expr& other) const { return ToString() == other.ToString(); }
+};
+
+// Construction helpers ---------------------------------------------------
+
+ExprPtr Col(std::string name);
+ExprPtr Col(std::string qualifier, std::string name);
+ExprPtr Lit(Scalar value);
+ExprPtr Lit(int64_t value);
+ExprPtr Lit(double value);
+ExprPtr Lit(const std::string& value);
+ExprPtr Lit(const char* value);
+ExprPtr Binary(ExprPtr left, BinaryOp op, ExprPtr right);
+ExprPtr Eq(ExprPtr l, ExprPtr r);
+ExprPtr And(ExprPtr l, ExprPtr r);
+ExprPtr Or(ExprPtr l, ExprPtr r);
+ExprPtr Not(ExprPtr child);
+ExprPtr IsNullExpr(ExprPtr child);
+ExprPtr IsNotNullExpr(ExprPtr child);
+ExprPtr CastExpr(ExprPtr child, DataType type);
+ExprPtr AliasExpr(ExprPtr child, std::string alias);
+ExprPtr InListExpr(ExprPtr child, std::vector<ExprPtr> list, bool negated);
+ExprPtr LikeExpr(ExprPtr child, ExprPtr pattern, bool negated,
+                 bool case_insensitive);
+ExprPtr CaseExpr(std::vector<std::pair<ExprPtr, ExprPtr>> when_then,
+                 ExprPtr else_expr);
+ExprPtr FunctionCall(ScalarFunctionPtr fn, std::vector<ExprPtr> args);
+ExprPtr AggregateCall(AggregateFunctionPtr fn, std::vector<ExprPtr> args,
+                      bool distinct = false, ExprPtr filter = nullptr);
+ExprPtr WindowCall(WindowFunctionPtr fn, std::vector<ExprPtr> args,
+                   std::shared_ptr<WindowSpecExpr> spec);
+
+/// Conjunction of a predicate list (nullptr for empty).
+ExprPtr Conjunction(const std::vector<ExprPtr>& predicates);
+/// Split nested ANDs into a conjunct list.
+void SplitConjunction(const ExprPtr& expr, std::vector<ExprPtr>* out);
+
+/// Strip aliases off the top of an expression.
+const ExprPtr& Unalias(const ExprPtr& expr);
+
+/// Pre-order visit; `fn` returning false prunes the subtree.
+void VisitExpr(const ExprPtr& expr, const std::function<bool(const ExprPtr&)>& fn);
+
+/// Bottom-up transform: children first, then `fn` applied to the node.
+/// `fn` returns the (possibly unchanged) replacement.
+Result<ExprPtr> TransformExpr(
+    const ExprPtr& expr,
+    const std::function<Result<ExprPtr>(const ExprPtr&)>& fn);
+
+/// Collect distinct column references.
+void CollectColumns(const ExprPtr& expr, std::vector<ExprPtr>* out);
+
+/// True if the subtree contains an aggregate (not inside a window).
+bool ContainsAggregate(const ExprPtr& expr);
+/// True if the subtree contains a window expression.
+bool ContainsWindow(const ExprPtr& expr);
+/// True if the expression is evaluable without input rows (literals only).
+bool IsConstant(const ExprPtr& expr);
+
+/// Deep-copy an expression tree.
+ExprPtr CloneExpr(const ExprPtr& expr);
+
+}  // namespace logical
+}  // namespace fusion
+
+#endif  // FUSION_LOGICAL_EXPR_H_

@@ -1,0 +1,247 @@
+#include "logical/expr_eval.h"
+
+#include <cmath>
+
+#include "compute/cast.h"
+#include "compute/string_kernels.h"
+#include "compute/temporal.h"
+
+namespace fusion {
+namespace logical {
+
+Result<Scalar> AddInterval(const Scalar& temporal, int64_t months, int64_t days,
+                           bool negate) {
+  if (temporal.is_null()) return temporal;
+  if (negate) {
+    months = -months;
+    days = -days;
+  }
+  if (temporal.type().id() == TypeId::kDate32) {
+    int32_t d = static_cast<int32_t>(temporal.int_value());
+    compute::CivilDate c = compute::CivilFromDays(d);
+    int64_t total_months = (c.year * 12LL + (c.month - 1)) + months;
+    int32_t year = static_cast<int32_t>(total_months / 12);
+    int32_t month = static_cast<int32_t>(total_months % 12) + 1;
+    if (month < 1) {
+      month += 12;
+      --year;
+    }
+    // Clamp the day (e.g. Jan 31 + 1 month -> Feb 28/29 handled by clamp).
+    static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+    int32_t max_day = kDays[month - 1];
+    bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    if (month == 2 && leap) max_day = 29;
+    int32_t day = std::min(c.day, max_day);
+    int32_t out = compute::DaysFromCivil(year, month, day) +
+                  static_cast<int32_t>(days);
+    return Scalar::Date32(out);
+  }
+  if (temporal.type().id() == TypeId::kTimestamp) {
+    // Apply month part via date, keep time-of-day, add day part.
+    constexpr int64_t kDayMicros = 86400LL * 1000000LL;
+    int64_t micros = temporal.int_value();
+    int64_t d = micros / kDayMicros;
+    int64_t rem = micros % kDayMicros;
+    if (rem < 0) {
+      rem += kDayMicros;
+      --d;
+    }
+    FUSION_ASSIGN_OR_RAISE(
+        Scalar new_date,
+        AddInterval(Scalar::Date32(static_cast<int32_t>(d)), months, days, false));
+    return Scalar::Timestamp(new_date.int_value() * kDayMicros + rem);
+  }
+  return Status::TypeError("interval arithmetic requires a temporal operand");
+}
+
+Result<Scalar> EvaluateBinaryScalar(BinaryOp op, const Scalar& left,
+                                    const Scalar& right) {
+  // Kleene logic first (null short-circuits differ).
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    auto as_bool = [](const Scalar& s) -> Result<Scalar> {
+      if (s.is_null()) return Scalar::Null(boolean());
+      return s.CastTo(boolean());
+    };
+    FUSION_ASSIGN_OR_RAISE(Scalar l, as_bool(left));
+    FUSION_ASSIGN_OR_RAISE(Scalar r, as_bool(right));
+    if (op == BinaryOp::kAnd) {
+      if ((!l.is_null() && !l.bool_value()) || (!r.is_null() && !r.bool_value())) {
+        return Scalar::Bool(false);
+      }
+      if (l.is_null() || r.is_null()) return Scalar::Null(boolean());
+      return Scalar::Bool(true);
+    }
+    if ((!l.is_null() && l.bool_value()) || (!r.is_null() && r.bool_value())) {
+      return Scalar::Bool(true);
+    }
+    if (l.is_null() || r.is_null()) return Scalar::Null(boolean());
+    return Scalar::Bool(false);
+  }
+  if (left.is_null() || right.is_null()) {
+    if (IsComparisonOp(op)) return Scalar::Null(boolean());
+    FUSION_ASSIGN_OR_RAISE(DataType t, compute::CommonType(left.type(), right.type()));
+    return Scalar::Null(t);
+  }
+  if (IsComparisonOp(op)) {
+    // Compare in a common domain.
+    Scalar l = left;
+    Scalar r = right;
+    if (l.type() != r.type()) {
+      FUSION_ASSIGN_OR_RAISE(DataType t, compute::CommonType(l.type(), r.type()));
+      FUSION_ASSIGN_OR_RAISE(l, l.CastTo(t));
+      FUSION_ASSIGN_OR_RAISE(r, r.CastTo(t));
+    }
+    int cmp = l.Compare(r);
+    switch (op) {
+      case BinaryOp::kEq: return Scalar::Bool(cmp == 0);
+      case BinaryOp::kNeq: return Scalar::Bool(cmp != 0);
+      case BinaryOp::kLt: return Scalar::Bool(cmp < 0);
+      case BinaryOp::kLtEq: return Scalar::Bool(cmp <= 0);
+      case BinaryOp::kGt: return Scalar::Bool(cmp > 0);
+      case BinaryOp::kGtEq: return Scalar::Bool(cmp >= 0);
+      default: break;
+    }
+  }
+  if (op == BinaryOp::kStringConcat) {
+    FUSION_ASSIGN_OR_RAISE(Scalar l, left.CastTo(utf8()));
+    FUSION_ASSIGN_OR_RAISE(Scalar r, right.CastTo(utf8()));
+    return Scalar::String(l.string_value() + r.string_value());
+  }
+  // Arithmetic.
+  FUSION_ASSIGN_OR_RAISE(DataType t, compute::CommonType(left.type(), right.type()));
+  if (t.is_temporal()) {
+    // date +/- integer days.
+    const Scalar& temporal = left.type().is_temporal() ? left : right;
+    const Scalar& amount = left.type().is_temporal() ? right : left;
+    if (op == BinaryOp::kPlus || op == BinaryOp::kMinus) {
+      return AddInterval(temporal, 0, amount.int_value(), op == BinaryOp::kMinus);
+    }
+    return Status::TypeError("unsupported temporal arithmetic");
+  }
+  FUSION_ASSIGN_OR_RAISE(Scalar l, left.CastTo(t));
+  FUSION_ASSIGN_OR_RAISE(Scalar r, right.CastTo(t));
+  if (t.is_floating()) {
+    double a = l.double_value();
+    double b = r.double_value();
+    switch (op) {
+      case BinaryOp::kPlus: return Scalar::Float64(a + b);
+      case BinaryOp::kMinus: return Scalar::Float64(a - b);
+      case BinaryOp::kMultiply: return Scalar::Float64(a * b);
+      case BinaryOp::kDivide: return Scalar::Float64(a / b);
+      case BinaryOp::kModulo: return Scalar::Float64(std::fmod(a, b));
+      default: break;
+    }
+  } else {
+    int64_t a = l.int_value();
+    int64_t b = r.int_value();
+    auto wrap = [&](int64_t v) -> Scalar {
+      return t.id() == TypeId::kInt32 ? Scalar::Int32(static_cast<int32_t>(v))
+                                      : Scalar::Int64(v);
+    };
+    switch (op) {
+      case BinaryOp::kPlus: return wrap(a + b);
+      case BinaryOp::kMinus: return wrap(a - b);
+      case BinaryOp::kMultiply: return wrap(a * b);
+      case BinaryOp::kDivide:
+        if (b == 0) return Scalar::Null(t);
+        return wrap(a / b);
+      case BinaryOp::kModulo:
+        if (b == 0) return Scalar::Null(t);
+        return wrap(a % b);
+      default: break;
+    }
+  }
+  return Status::Internal("unhandled binary operator");
+}
+
+Result<Scalar> EvaluateConstantExpr(const ExprPtr& expr) {
+  switch (expr->kind) {
+    case Expr::Kind::kLiteral:
+      return expr->literal;
+    case Expr::Kind::kAlias:
+      return EvaluateConstantExpr(expr->children[0]);
+    case Expr::Kind::kBinary: {
+      FUSION_ASSIGN_OR_RAISE(Scalar l, EvaluateConstantExpr(expr->children[0]));
+      FUSION_ASSIGN_OR_RAISE(Scalar r, EvaluateConstantExpr(expr->children[1]));
+      return EvaluateBinaryScalar(expr->op, l, r);
+    }
+    case Expr::Kind::kNot: {
+      FUSION_ASSIGN_OR_RAISE(Scalar v, EvaluateConstantExpr(expr->children[0]));
+      if (v.is_null()) return Scalar::Null(boolean());
+      FUSION_ASSIGN_OR_RAISE(Scalar b, v.CastTo(boolean()));
+      return Scalar::Bool(!b.bool_value());
+    }
+    case Expr::Kind::kNegative: {
+      FUSION_ASSIGN_OR_RAISE(Scalar v, EvaluateConstantExpr(expr->children[0]));
+      if (v.is_null()) return v;
+      if (v.type().is_floating()) return Scalar::Float64(-v.double_value());
+      if (v.type().id() == TypeId::kInt32) {
+        return Scalar::Int32(static_cast<int32_t>(-v.int_value()));
+      }
+      return Scalar::Int64(-v.int_value());
+    }
+    case Expr::Kind::kIsNull: {
+      FUSION_ASSIGN_OR_RAISE(Scalar v, EvaluateConstantExpr(expr->children[0]));
+      return Scalar::Bool(expr->negated ? !v.is_null() : v.is_null());
+    }
+    case Expr::Kind::kIsNotNull: {
+      FUSION_ASSIGN_OR_RAISE(Scalar v, EvaluateConstantExpr(expr->children[0]));
+      return Scalar::Bool(!v.is_null());
+    }
+    case Expr::Kind::kCast: {
+      FUSION_ASSIGN_OR_RAISE(Scalar v, EvaluateConstantExpr(expr->children[0]));
+      return v.CastTo(expr->cast_type);
+    }
+    case Expr::Kind::kCase: {
+      size_t num_whens = expr->children.size() / 2;
+      for (size_t i = 0; i < num_whens; ++i) {
+        FUSION_ASSIGN_OR_RAISE(Scalar cond,
+                               EvaluateConstantExpr(expr->children[i * 2]));
+        if (!cond.is_null() && cond.bool_value()) {
+          return EvaluateConstantExpr(expr->children[i * 2 + 1]);
+        }
+      }
+      if (expr->case_has_else) return EvaluateConstantExpr(expr->children.back());
+      return Scalar();
+    }
+    case Expr::Kind::kInList: {
+      FUSION_ASSIGN_OR_RAISE(Scalar v, EvaluateConstantExpr(expr->children[0]));
+      if (v.is_null()) return Scalar::Null(boolean());
+      for (size_t i = 1; i < expr->children.size(); ++i) {
+        FUSION_ASSIGN_OR_RAISE(Scalar item, EvaluateConstantExpr(expr->children[i]));
+        FUSION_ASSIGN_OR_RAISE(Scalar casted, item.CastTo(v.type()));
+        if (!casted.is_null() && v.Compare(casted) == 0) {
+          return Scalar::Bool(!expr->negated);
+        }
+      }
+      return Scalar::Bool(expr->negated);
+    }
+    case Expr::Kind::kLike: {
+      FUSION_ASSIGN_OR_RAISE(Scalar v, EvaluateConstantExpr(expr->children[0]));
+      FUSION_ASSIGN_OR_RAISE(Scalar pattern,
+                             EvaluateConstantExpr(expr->children[1]));
+      if (v.is_null() || pattern.is_null()) return Scalar::Null(boolean());
+      compute::LikeMatcher matcher(pattern.string_value(), expr->case_insensitive);
+      return Scalar::Bool(matcher.Matches(v.string_value()) != expr->negated);
+    }
+    case Expr::Kind::kScalarFunction: {
+      std::vector<ColumnarValue> args;
+      for (const auto& child : expr->children) {
+        FUSION_ASSIGN_OR_RAISE(Scalar v, EvaluateConstantExpr(child));
+        args.emplace_back(std::move(v));
+      }
+      FUSION_ASSIGN_OR_RAISE(ColumnarValue out,
+                             expr->scalar_function->impl(args, /*num_rows=*/1));
+      if (out.is_scalar()) return out.scalar();
+      if (out.array()->length() != 1) {
+        return Status::Internal("constant function produced multiple rows");
+      }
+      return Scalar::FromArray(*out.array(), 0);
+    }
+    default:
+      return Status::Invalid("expression is not constant: " + expr->ToString());
+  }
+}
+
+}  // namespace logical
+}  // namespace fusion

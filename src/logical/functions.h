@@ -1,0 +1,161 @@
+#ifndef FUSION_LOGICAL_FUNCTIONS_H_
+#define FUSION_LOGICAL_FUNCTIONS_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arrow/columnar_value.h"
+#include "arrow/type.h"
+#include "common/result.h"
+
+namespace fusion {
+namespace logical {
+
+/// Computes the return type of a function from its argument types.
+using ReturnTypeFn =
+    std::function<Result<DataType>(const std::vector<DataType>&)>;
+
+/// Scalar function implementation: args are ColumnarValues (arrays or
+/// scalars), `num_rows` is the batch row count for broadcasting.
+using ScalarFunctionImpl = std::function<Result<ColumnarValue>(
+    const std::vector<ColumnarValue>&, int64_t num_rows)>;
+
+/// \brief A (possibly user-defined) scalar function (paper §7.1).
+/// Built-in functions use exactly this structure.
+struct ScalarFunctionDef {
+  std::string name;
+  ReturnTypeFn return_type;
+  ScalarFunctionImpl impl;
+};
+
+using ScalarFunctionPtr = std::shared_ptr<ScalarFunctionDef>;
+
+/// \brief Vectorized grouped-aggregation state (paper §6.3): one
+/// accumulator instance covers *all* groups of a hash-aggregation
+/// partition; updates take a batch of values plus per-row group ids.
+///
+/// Two-phase aggregation contract: the partial phase calls Update and
+/// serializes PartialState() columns; the final phase feeds those
+/// columns back through UpdateFromPartial.
+class GroupedAccumulator {
+ public:
+  virtual ~GroupedAccumulator() = default;
+
+  /// Ensure state exists for group ids < num_groups.
+  virtual void Resize(int64_t num_groups) = 0;
+
+  /// Accumulate `args` rows into groups. `opt_filter` (may be null) is a
+  /// per-row include mask (per-aggregate FILTER clause).
+  virtual Status Update(const std::vector<ArrayPtr>& args,
+                        const std::vector<uint32_t>& group_ids,
+                        const uint8_t* opt_filter) = 0;
+
+  /// Column types of the serialized partial state.
+  virtual std::vector<DataType> PartialTypes() const = 0;
+
+  /// Serialize per-group state (group g -> row g of each column).
+  virtual Result<std::vector<ArrayPtr>> PartialState() = 0;
+
+  /// Merge partial-state rows into groups (the "final" phase).
+  virtual Status UpdateFromPartial(const std::vector<ArrayPtr>& state,
+                                   const std::vector<uint32_t>& group_ids) = 0;
+
+  /// Produce the final per-group results (row g = group g).
+  virtual Result<ArrayPtr> Finish() = 0;
+
+  /// Approximate bytes held (for MemoryPool accounting).
+  virtual int64_t SizeBytes() const = 0;
+};
+
+using AccumulatorFactory = std::function<Result<std::unique_ptr<GroupedAccumulator>>(
+    const std::vector<DataType>& arg_types)>;
+
+/// \brief A (possibly user-defined) aggregate function (paper §7.1).
+struct AggregateFunctionDef {
+  std::string name;
+  ReturnTypeFn return_type;
+  AccumulatorFactory create;
+  /// True when two-phase (partial/final) execution is supported.
+  bool supports_two_phase = true;
+};
+
+using AggregateFunctionPtr = std::shared_ptr<AggregateFunctionDef>;
+
+/// Inputs available to a window function when evaluating one partition.
+struct WindowPartition {
+  /// Argument columns, already restricted to the partition's rows, in
+  /// the window's ORDER BY order.
+  std::vector<ArrayPtr> args;
+  int64_t num_rows = 0;
+  /// peer_group[i] = index of i's peer group (equal ORDER BY keys).
+  std::vector<int64_t> peer_group;
+  /// Frame range per row [frame_start[i], frame_end[i]) — only filled
+  /// for functions that declared uses_frame.
+  std::vector<int64_t> frame_start;
+  std::vector<int64_t> frame_end;
+};
+
+using WindowFunctionImpl =
+    std::function<Result<ArrayPtr>(const WindowPartition&)>;
+
+/// \brief A (possibly user-defined) window function (paper §7.1).
+struct WindowFunctionDef {
+  std::string name;
+  ReturnTypeFn return_type;
+  WindowFunctionImpl eval;
+  /// Whether the implementation consumes frame bounds (aggregate-style
+  /// window functions) or whole-partition ranking semantics.
+  bool uses_frame = false;
+};
+
+using WindowFunctionPtr = std::shared_ptr<WindowFunctionDef>;
+
+/// \brief Registry of scalar/aggregate/window functions. Systems extend
+/// the engine by registering additional functions under their own names
+/// with exactly the same structures the built-ins use (paper §7.1).
+class FunctionRegistry {
+ public:
+  /// Registry pre-populated with the built-in function library (§5.4.3).
+  static std::shared_ptr<FunctionRegistry> Default();
+
+  Status RegisterScalar(ScalarFunctionPtr fn);
+  Status RegisterAggregate(AggregateFunctionPtr fn);
+  Status RegisterWindow(WindowFunctionPtr fn);
+
+  Result<ScalarFunctionPtr> GetScalar(const std::string& name) const;
+  Result<AggregateFunctionPtr> GetAggregate(const std::string& name) const;
+  Result<WindowFunctionPtr> GetWindow(const std::string& name) const;
+
+  bool HasScalar(const std::string& name) const { return scalar_.count(name) != 0; }
+  bool HasAggregate(const std::string& name) const {
+    return aggregate_.count(name) != 0;
+  }
+  bool HasWindow(const std::string& name) const { return window_.count(name) != 0; }
+
+  std::vector<std::string> ScalarNames() const;
+
+ private:
+  std::map<std::string, ScalarFunctionPtr> scalar_;
+  std::map<std::string, AggregateFunctionPtr> aggregate_;
+  std::map<std::string, WindowFunctionPtr> window_;
+};
+
+using FunctionRegistryPtr = std::shared_ptr<FunctionRegistry>;
+
+/// Populate `registry` with built-in scalar functions (math, string,
+/// temporal, conditional).
+void RegisterBuiltinScalarFunctions(FunctionRegistry* registry);
+/// Populate with built-in aggregates (count/sum/min/max/avg/stddev/var/
+/// corr/median/count_distinct).
+void RegisterBuiltinAggregateFunctions(FunctionRegistry* registry);
+/// Populate with built-in window functions (row_number/rank/dense_rank/
+/// lag/lead/first_value/last_value + framed aggregates).
+void RegisterBuiltinWindowFunctions(FunctionRegistry* registry);
+
+}  // namespace logical
+}  // namespace fusion
+
+#endif  // FUSION_LOGICAL_FUNCTIONS_H_

@@ -1,0 +1,175 @@
+#include "logical/interval_analysis.h"
+
+#include <algorithm>
+
+namespace fusion {
+namespace logical {
+
+bool ValueInterval::IsEmpty() const {
+  if (lo.is_null() || hi.is_null()) return false;
+  return lo.Compare(hi) > 0;
+}
+
+std::string ValueInterval::ToString() const {
+  std::string out = "[";
+  out += lo.is_null() ? "-inf" : lo.ToString();
+  out += ", ";
+  out += hi.is_null() ? "+inf" : hi.ToString();
+  out += "]";
+  return out;
+}
+
+namespace {
+
+Scalar AddBound(const Scalar& a, const Scalar& b, int sign) {
+  if (a.is_null() || b.is_null()) return Scalar();  // unbounded
+  double v = a.AsDouble() + sign * b.AsDouble();
+  return Scalar::Float64(v);
+}
+
+}  // namespace
+
+Result<ValueInterval> AnalyzeExprInterval(const ExprPtr& expr,
+                                          const ColumnBounds& bounds) {
+  switch (expr->kind) {
+    case Expr::Kind::kLiteral:
+      if (expr->literal.is_null()) return ValueInterval::Unbounded();
+      return ValueInterval::Point(expr->literal);
+    case Expr::Kind::kColumn: {
+      auto it = bounds.find(expr->name);
+      if (it == bounds.end()) return ValueInterval::Unbounded();
+      return it->second;
+    }
+    case Expr::Kind::kAlias:
+    case Expr::Kind::kCast:
+      return AnalyzeExprInterval(expr->children[0], bounds);
+    case Expr::Kind::kNegative: {
+      FUSION_ASSIGN_OR_RAISE(ValueInterval in,
+                             AnalyzeExprInterval(expr->children[0], bounds));
+      ValueInterval out;
+      if (!in.hi.is_null()) out.lo = Scalar::Float64(-in.hi.AsDouble());
+      if (!in.lo.is_null()) out.hi = Scalar::Float64(-in.lo.AsDouble());
+      return out;
+    }
+    case Expr::Kind::kBinary: {
+      if (!IsArithmeticOp(expr->op)) return ValueInterval::Unbounded();
+      FUSION_ASSIGN_OR_RAISE(ValueInterval l,
+                             AnalyzeExprInterval(expr->children[0], bounds));
+      FUSION_ASSIGN_OR_RAISE(ValueInterval r,
+                             AnalyzeExprInterval(expr->children[1], bounds));
+      ValueInterval out;
+      switch (expr->op) {
+        case BinaryOp::kPlus:
+          out.lo = AddBound(l.lo, r.lo, +1);
+          out.hi = AddBound(l.hi, r.hi, +1);
+          return out;
+        case BinaryOp::kMinus:
+          out.lo = AddBound(l.lo, r.hi, -1);
+          out.hi = AddBound(l.hi, r.lo, -1);
+          return out;
+        case BinaryOp::kMultiply: {
+          if (l.lo.is_null() || l.hi.is_null() || r.lo.is_null() || r.hi.is_null()) {
+            return ValueInterval::Unbounded();
+          }
+          double candidates[4] = {
+              l.lo.AsDouble() * r.lo.AsDouble(), l.lo.AsDouble() * r.hi.AsDouble(),
+              l.hi.AsDouble() * r.lo.AsDouble(), l.hi.AsDouble() * r.hi.AsDouble()};
+          out.lo = Scalar::Float64(*std::min_element(candidates, candidates + 4));
+          out.hi = Scalar::Float64(*std::max_element(candidates, candidates + 4));
+          return out;
+        }
+        default:
+          return ValueInterval::Unbounded();
+      }
+    }
+    default:
+      return ValueInterval::Unbounded();
+  }
+}
+
+Result<bool> PredicateMaySatisfy(const ExprPtr& predicate,
+                                 const ColumnBounds& bounds) {
+  if (predicate == nullptr) return true;
+  const ExprPtr& p = Unalias(predicate);
+  if (p->kind != Expr::Kind::kBinary) return true;
+  if (p->op == BinaryOp::kAnd) {
+    FUSION_ASSIGN_OR_RAISE(bool l, PredicateMaySatisfy(p->children[0], bounds));
+    if (!l) return false;
+    return PredicateMaySatisfy(p->children[1], bounds);
+  }
+  if (p->op == BinaryOp::kOr) {
+    FUSION_ASSIGN_OR_RAISE(bool l, PredicateMaySatisfy(p->children[0], bounds));
+    if (l) return true;
+    return PredicateMaySatisfy(p->children[1], bounds);
+  }
+  if (!IsComparisonOp(p->op)) return true;
+  FUSION_ASSIGN_OR_RAISE(ValueInterval l, AnalyzeExprInterval(p->children[0], bounds));
+  FUSION_ASSIGN_OR_RAISE(ValueInterval r, AnalyzeExprInterval(p->children[1], bounds));
+  if (l.IsUnbounded() || r.IsUnbounded()) return true;
+  auto cmp = [](const Scalar& a, const Scalar& b) -> int {
+    double da = a.AsDouble();
+    double db = b.AsDouble();
+    return da < db ? -1 : (da > db ? 1 : 0);
+  };
+  switch (p->op) {
+    case BinaryOp::kEq:
+      // [l] intersects [r]?
+      if (!l.hi.is_null() && !r.lo.is_null() && cmp(l.hi, r.lo) < 0) return false;
+      if (!l.lo.is_null() && !r.hi.is_null() && cmp(l.lo, r.hi) > 0) return false;
+      return true;
+    case BinaryOp::kLt:
+      // possible iff min(l) < max(r)
+      if (!l.lo.is_null() && !r.hi.is_null()) return cmp(l.lo, r.hi) < 0;
+      return true;
+    case BinaryOp::kLtEq:
+      if (!l.lo.is_null() && !r.hi.is_null()) return cmp(l.lo, r.hi) <= 0;
+      return true;
+    case BinaryOp::kGt:
+      if (!l.hi.is_null() && !r.lo.is_null()) return cmp(l.hi, r.lo) > 0;
+      return true;
+    case BinaryOp::kGtEq:
+      if (!l.hi.is_null() && !r.lo.is_null()) return cmp(l.hi, r.lo) >= 0;
+      return true;
+    default:
+      return true;
+  }
+}
+
+double EstimateSelectivity(const ExprPtr& predicate) {
+  if (predicate == nullptr) return 1.0;
+  const ExprPtr& p = Unalias(predicate);
+  switch (p->kind) {
+    case Expr::Kind::kBinary:
+      switch (p->op) {
+        case BinaryOp::kAnd:
+          return EstimateSelectivity(p->children[0]) *
+                 EstimateSelectivity(p->children[1]);
+        case BinaryOp::kOr: {
+          double a = EstimateSelectivity(p->children[0]);
+          double b = EstimateSelectivity(p->children[1]);
+          return std::min(1.0, a + b - a * b);
+        }
+        case BinaryOp::kEq:
+          return 0.1;
+        case BinaryOp::kNeq:
+          return 0.9;
+        default:
+          return IsComparisonOp(p->op) ? 0.33 : 1.0;
+      }
+    case Expr::Kind::kLike:
+      return p->negated ? 0.75 : 0.25;
+    case Expr::Kind::kInList:
+      return std::min(1.0, 0.1 * static_cast<double>(p->children.size() - 1));
+    case Expr::Kind::kIsNull:
+      return 0.1;
+    case Expr::Kind::kIsNotNull:
+      return 0.9;
+    case Expr::Kind::kNot:
+      return 1.0 - EstimateSelectivity(p->children[0]);
+    default:
+      return 0.5;
+  }
+}
+
+}  // namespace logical
+}  // namespace fusion

@@ -1,0 +1,53 @@
+#ifndef FUSION_LOGICAL_INTERVAL_ANALYSIS_H_
+#define FUSION_LOGICAL_INTERVAL_ANALYSIS_H_
+
+#include <map>
+#include <string>
+
+#include "logical/expr.h"
+
+namespace fusion {
+namespace logical {
+
+/// \brief Closed numeric interval [lo, hi] with optional open bounds;
+/// a null scalar bound means unbounded. The unit of the expression
+/// range-propagation library (paper §5.4.2, after Moore's interval
+/// arithmetic).
+struct ValueInterval {
+  Scalar lo;  // null = -inf
+  Scalar hi;  // null = +inf
+
+  static ValueInterval Unbounded() { return {}; }
+  static ValueInterval Point(Scalar v) { return {v, v}; }
+  static ValueInterval Of(Scalar lo, Scalar hi) { return {std::move(lo), std::move(hi)}; }
+
+  bool IsUnbounded() const { return lo.is_null() && hi.is_null(); }
+  /// True when the interval is provably empty (lo > hi).
+  bool IsEmpty() const;
+
+  std::string ToString() const;
+};
+
+/// Known column bounds, keyed by (unqualified) column name.
+using ColumnBounds = std::map<std::string, ValueInterval>;
+
+/// Compute the value interval of an arithmetic expression from column
+/// bounds; unbounded when unknown. Supports +, -, *, literals, columns,
+/// negation and cast.
+Result<ValueInterval> AnalyzeExprInterval(const ExprPtr& expr,
+                                          const ColumnBounds& bounds);
+
+/// Can a predicate possibly be satisfied under the given bounds?
+/// (Plan-time pruning, e.g. partition elimination.) Conservative: true
+/// when unknown.
+Result<bool> PredicateMaySatisfy(const ExprPtr& predicate,
+                                 const ColumnBounds& bounds);
+
+/// Heuristic selectivity in [0,1] for a predicate (statistics-free
+/// fallback used by the join-reordering rule).
+double EstimateSelectivity(const ExprPtr& predicate);
+
+}  // namespace logical
+}  // namespace fusion
+
+#endif  // FUSION_LOGICAL_INTERVAL_ANALYSIS_H_

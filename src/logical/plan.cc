@@ -1,0 +1,520 @@
+#include "logical/plan.h"
+
+#include <sstream>
+
+namespace fusion {
+namespace logical {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kTableScan: return "TableScan";
+    case PlanKind::kProjection: return "Projection";
+    case PlanKind::kFilter: return "Filter";
+    case PlanKind::kAggregate: return "Aggregate";
+    case PlanKind::kSort: return "Sort";
+    case PlanKind::kLimit: return "Limit";
+    case PlanKind::kJoin: return "Join";
+    case PlanKind::kUnion: return "Union";
+    case PlanKind::kDistinct: return "Distinct";
+    case PlanKind::kWindow: return "Window";
+    case PlanKind::kValues: return "Values";
+    case PlanKind::kSubqueryAlias: return "SubqueryAlias";
+    case PlanKind::kEmptyRelation: return "EmptyRelation";
+    case PlanKind::kExplain: return "Explain";
+  }
+  return "?";
+}
+
+const char* JoinKindName(JoinKind kind) {
+  switch (kind) {
+    case JoinKind::kInner: return "Inner";
+    case JoinKind::kLeft: return "Left";
+    case JoinKind::kRight: return "Right";
+    case JoinKind::kFull: return "Full";
+    case JoinKind::kLeftSemi: return "LeftSemi";
+    case JoinKind::kLeftAnti: return "LeftAnti";
+    case JoinKind::kRightSemi: return "RightSemi";
+    case JoinKind::kRightAnti: return "RightAnti";
+    case JoinKind::kCross: return "Cross";
+  }
+  return "?";
+}
+
+namespace {
+
+PlanPtr NewPlan(PlanKind kind) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = kind;
+  return p;
+}
+
+/// Output fields of a list of expressions against an input schema,
+/// preserving the qualifier for bare column references.
+Result<PlanSchema> SchemaFromExprs(const std::vector<ExprPtr>& exprs,
+                                   const PlanSchema& input) {
+  std::vector<Field> fields;
+  std::vector<std::string> qualifiers;
+  for (const auto& e : exprs) {
+    FUSION_ASSIGN_OR_RAISE(Field f, e->ToField(input));
+    fields.push_back(std::move(f));
+    const ExprPtr& inner = Unalias(e);
+    if (inner->kind == Expr::Kind::kColumn && e->kind != Expr::Kind::kAlias) {
+      FUSION_ASSIGN_OR_RAISE(int idx, input.IndexOf(inner->qualifier, inner->name));
+      qualifiers.push_back(input.qualifier(idx));
+    } else {
+      qualifiers.push_back("");
+    }
+  }
+  return PlanSchema(std::make_shared<Schema>(std::move(fields)),
+                    std::move(qualifiers));
+}
+
+}  // namespace
+
+std::string LogicalPlan::ToString() const {
+  std::ostringstream out;
+  std::function<void(const LogicalPlan&, int)> render = [&](const LogicalPlan& p,
+                                                            int indent) {
+    for (int i = 0; i < indent; ++i) out << "  ";
+    out << PlanKindName(p.kind);
+    switch (p.kind) {
+      case PlanKind::kTableScan: {
+        out << ": " << p.table_name;
+        if (!p.scan_projection.empty()) {
+          out << " projection=[";
+          for (size_t i = 0; i < p.scan_projection.size(); ++i) {
+            if (i > 0) out << ", ";
+            out << p.schema().field(static_cast<int>(i)).name();
+          }
+          out << "]";
+        }
+        if (!p.scan_filters.empty()) {
+          out << " filters=[";
+          for (size_t i = 0; i < p.scan_filters.size(); ++i) {
+            if (i > 0) out << ", ";
+            out << p.scan_filters[i]->ToString();
+          }
+          out << "]";
+        }
+        if (p.scan_limit >= 0) out << " limit=" << p.scan_limit;
+        break;
+      }
+      case PlanKind::kProjection:
+      case PlanKind::kWindow: {
+        out << ": ";
+        for (size_t i = 0; i < p.exprs.size(); ++i) {
+          if (i > 0) out << ", ";
+          out << p.exprs[i]->ToString();
+        }
+        break;
+      }
+      case PlanKind::kFilter:
+        out << ": " << p.predicate->ToString();
+        break;
+      case PlanKind::kAggregate: {
+        out << ": groupBy=[";
+        for (size_t i = 0; i < p.group_exprs.size(); ++i) {
+          if (i > 0) out << ", ";
+          out << p.group_exprs[i]->ToString();
+        }
+        out << "] aggr=[";
+        for (size_t i = 0; i < p.aggr_exprs.size(); ++i) {
+          if (i > 0) out << ", ";
+          out << p.aggr_exprs[i]->ToString();
+        }
+        out << "]";
+        break;
+      }
+      case PlanKind::kSort: {
+        out << ": ";
+        for (size_t i = 0; i < p.sort_exprs.size(); ++i) {
+          if (i > 0) out << ", ";
+          out << p.sort_exprs[i].expr->ToString();
+          if (p.sort_exprs[i].options.descending) out << " DESC";
+          if (p.sort_exprs[i].options.nulls_first) out << " NULLS FIRST";
+        }
+        if (p.fetch >= 0) out << " fetch=" << p.fetch;
+        break;
+      }
+      case PlanKind::kLimit:
+        out << ": skip=" << p.skip << " fetch=" << p.fetch;
+        break;
+      case PlanKind::kJoin: {
+        out << ": " << JoinKindName(p.join_kind);
+        if (!p.join_on.empty()) {
+          out << " on=[";
+          for (size_t i = 0; i < p.join_on.size(); ++i) {
+            if (i > 0) out << ", ";
+            out << p.join_on[i].first->ToString() << " = "
+                << p.join_on[i].second->ToString();
+          }
+          out << "]";
+        }
+        if (p.join_filter != nullptr) {
+          out << " filter=" << p.join_filter->ToString();
+        }
+        break;
+      }
+      case PlanKind::kSubqueryAlias:
+        out << ": " << p.alias;
+        break;
+      case PlanKind::kValues:
+        out << ": " << p.values_rows.size() << " rows";
+        break;
+      case PlanKind::kEmptyRelation:
+        if (p.produce_one_row) out << ": one row";
+        break;
+      default:
+        break;
+    }
+    out << "\n";
+    for (const auto& c : p.children) render(*c, indent + 1);
+  };
+  render(*this, 0);
+  return out.str();
+}
+
+Result<PlanPtr> MakeTableScan(std::string table_name,
+                              catalog::TableProviderPtr provider,
+                              std::vector<int> projection,
+                              std::vector<ExprPtr> filters, int64_t limit) {
+  if (provider == nullptr) return Status::PlanError("scan: null provider");
+  auto plan = NewPlan(PlanKind::kTableScan);
+  SchemaPtr table_schema = provider->schema();
+  SchemaPtr out_schema = projection.empty()
+                             ? table_schema
+                             : table_schema->Project(projection);
+  std::vector<std::string> qualifiers(out_schema->num_fields(), table_name);
+  plan->set_schema(PlanSchema(out_schema, std::move(qualifiers)));
+  plan->table_name = std::move(table_name);
+  plan->provider = std::move(provider);
+  plan->scan_projection = std::move(projection);
+  plan->scan_filters = std::move(filters);
+  plan->scan_limit = limit;
+  return plan;
+}
+
+Result<PlanPtr> MakeProjection(PlanPtr input, std::vector<ExprPtr> exprs) {
+  auto plan = NewPlan(PlanKind::kProjection);
+  FUSION_ASSIGN_OR_RAISE(PlanSchema schema, SchemaFromExprs(exprs, input->schema()));
+  plan->set_schema(std::move(schema));
+  plan->children = {std::move(input)};
+  plan->exprs = std::move(exprs);
+  return plan;
+}
+
+Result<PlanPtr> MakeFilter(PlanPtr input, ExprPtr predicate) {
+  FUSION_ASSIGN_OR_RAISE(DataType t, predicate->GetType(input->schema()));
+  if (!t.is_bool() && !t.is_null()) {
+    return Status::PlanError("filter predicate must be boolean, got " +
+                             t.ToString());
+  }
+  auto plan = NewPlan(PlanKind::kFilter);
+  plan->set_schema(input->schema());
+  plan->children = {std::move(input)};
+  plan->predicate = std::move(predicate);
+  return plan;
+}
+
+Result<PlanPtr> MakeAggregate(PlanPtr input, std::vector<ExprPtr> group_exprs,
+                              std::vector<ExprPtr> aggr_exprs) {
+  auto plan = NewPlan(PlanKind::kAggregate);
+  std::vector<ExprPtr> all = group_exprs;
+  all.insert(all.end(), aggr_exprs.begin(), aggr_exprs.end());
+  FUSION_ASSIGN_OR_RAISE(PlanSchema schema, SchemaFromExprs(all, input->schema()));
+  plan->set_schema(std::move(schema));
+  plan->children = {std::move(input)};
+  plan->group_exprs = std::move(group_exprs);
+  plan->aggr_exprs = std::move(aggr_exprs);
+  return plan;
+}
+
+Result<PlanPtr> MakeSort(PlanPtr input, std::vector<SortExpr> sort_exprs,
+                         int64_t fetch) {
+  for (const auto& s : sort_exprs) {
+    FUSION_RETURN_NOT_OK(s.expr->GetType(input->schema()).status());
+  }
+  auto plan = NewPlan(PlanKind::kSort);
+  plan->set_schema(input->schema());
+  plan->children = {std::move(input)};
+  plan->sort_exprs = std::move(sort_exprs);
+  plan->fetch = fetch;
+  return plan;
+}
+
+Result<PlanPtr> MakeLimit(PlanPtr input, int64_t skip, int64_t fetch) {
+  auto plan = NewPlan(PlanKind::kLimit);
+  plan->set_schema(input->schema());
+  plan->children = {std::move(input)};
+  plan->skip = skip;
+  plan->fetch = fetch;
+  return plan;
+}
+
+Result<PlanPtr> MakeJoin(PlanPtr left, PlanPtr right, JoinKind kind,
+                         std::vector<std::pair<ExprPtr, ExprPtr>> on,
+                         ExprPtr filter) {
+  auto plan = NewPlan(PlanKind::kJoin);
+  // Validate key expressions against their sides.
+  for (const auto& [l, r] : on) {
+    FUSION_RETURN_NOT_OK(l->GetType(left->schema()).status());
+    FUSION_RETURN_NOT_OK(r->GetType(right->schema()).status());
+  }
+  PlanSchema schema;
+  switch (kind) {
+    case JoinKind::kLeftSemi:
+    case JoinKind::kLeftAnti:
+      schema = left->schema();
+      break;
+    case JoinKind::kRightSemi:
+    case JoinKind::kRightAnti:
+      schema = right->schema();
+      break;
+    default: {
+      // Outer joins make the null-extended side nullable.
+      PlanSchema ls = left->schema();
+      PlanSchema rs = right->schema();
+      auto make_nullable = [](const PlanSchema& s) {
+        std::vector<Field> fields;
+        std::vector<std::string> quals;
+        for (int i = 0; i < s.num_fields(); ++i) {
+          fields.push_back(s.field(i).WithNullable(true));
+          quals.push_back(s.qualifier(i));
+        }
+        return PlanSchema(std::make_shared<Schema>(std::move(fields)),
+                          std::move(quals));
+      };
+      if (kind == JoinKind::kRight || kind == JoinKind::kFull) ls = make_nullable(ls);
+      if (kind == JoinKind::kLeft || kind == JoinKind::kFull) rs = make_nullable(rs);
+      schema = ls.Concat(rs);
+    }
+  }
+  plan->set_schema(std::move(schema));
+  plan->children = {std::move(left), std::move(right)};
+  plan->join_kind = kind;
+  plan->join_on = std::move(on);
+  plan->join_filter = std::move(filter);
+  return plan;
+}
+
+Result<PlanPtr> MakeCrossJoin(PlanPtr left, PlanPtr right) {
+  return MakeJoin(std::move(left), std::move(right), JoinKind::kCross, {}, nullptr);
+}
+
+Result<PlanPtr> MakeUnion(std::vector<PlanPtr> inputs) {
+  if (inputs.empty()) return Status::PlanError("union: no inputs");
+  const PlanSchema& first = inputs[0]->schema();
+  for (size_t i = 1; i < inputs.size(); ++i) {
+    if (inputs[i]->schema().num_fields() != first.num_fields()) {
+      return Status::PlanError("union: column count mismatch");
+    }
+  }
+  auto plan = NewPlan(PlanKind::kUnion);
+  plan->set_schema(first);
+  plan->children = std::move(inputs);
+  return plan;
+}
+
+Result<PlanPtr> MakeDistinct(PlanPtr input) {
+  auto plan = NewPlan(PlanKind::kDistinct);
+  plan->set_schema(input->schema());
+  plan->children = {std::move(input)};
+  return plan;
+}
+
+Result<PlanPtr> MakeWindow(PlanPtr input, std::vector<ExprPtr> window_exprs) {
+  auto plan = NewPlan(PlanKind::kWindow);
+  PlanSchema in_schema = input->schema();
+  FUSION_ASSIGN_OR_RAISE(PlanSchema added, SchemaFromExprs(window_exprs, in_schema));
+  plan->set_schema(in_schema.Concat(added));
+  plan->children = {std::move(input)};
+  plan->exprs = std::move(window_exprs);
+  return plan;
+}
+
+Result<PlanPtr> MakeValues(std::vector<std::vector<ExprPtr>> rows) {
+  if (rows.empty() || rows[0].empty()) {
+    return Status::PlanError("values: empty rows");
+  }
+  auto plan = NewPlan(PlanKind::kValues);
+  PlanSchema empty;
+  std::vector<Field> fields;
+  for (size_t c = 0; c < rows[0].size(); ++c) {
+    // Use the first non-null row to type the column.
+    DataType t = null_type();
+    for (const auto& row : rows) {
+      FUSION_ASSIGN_OR_RAISE(DataType rt, row[c]->GetType(empty));
+      if (!rt.is_null()) {
+        t = rt;
+        break;
+      }
+    }
+    fields.emplace_back("column" + std::to_string(c + 1), t, true);
+  }
+  plan->set_schema(PlanSchema(std::make_shared<Schema>(std::move(fields))));
+  plan->values_rows = std::move(rows);
+  return plan;
+}
+
+Result<PlanPtr> MakeSubqueryAlias(PlanPtr input, std::string alias) {
+  auto plan = NewPlan(PlanKind::kSubqueryAlias);
+  plan->set_schema(input->schema().WithQualifier(alias));
+  plan->children = {std::move(input)};
+  plan->alias = std::move(alias);
+  return plan;
+}
+
+Result<PlanPtr> MakeEmptyRelation(bool produce_one_row) {
+  auto plan = NewPlan(PlanKind::kEmptyRelation);
+  plan->set_schema(PlanSchema(std::make_shared<Schema>()));
+  plan->produce_one_row = produce_one_row;
+  return plan;
+}
+
+Result<PlanPtr> MakeExplain(PlanPtr input) {
+  auto plan = NewPlan(PlanKind::kExplain);
+  std::vector<Field> fields = {Field("plan", utf8(), false)};
+  plan->set_schema(PlanSchema(std::make_shared<Schema>(std::move(fields))));
+  plan->children = {std::move(input)};
+  return plan;
+}
+
+Result<PlanPtr> WithNewChildren(const PlanPtr& plan, std::vector<PlanPtr> children) {
+  switch (plan->kind) {
+    case PlanKind::kTableScan:
+    case PlanKind::kValues:
+    case PlanKind::kEmptyRelation:
+      return plan;
+    case PlanKind::kProjection:
+      return MakeProjection(std::move(children[0]), plan->exprs);
+    case PlanKind::kFilter:
+      return MakeFilter(std::move(children[0]), plan->predicate);
+    case PlanKind::kAggregate:
+      return MakeAggregate(std::move(children[0]), plan->group_exprs,
+                           plan->aggr_exprs);
+    case PlanKind::kSort:
+      return MakeSort(std::move(children[0]), plan->sort_exprs, plan->fetch);
+    case PlanKind::kLimit:
+      return MakeLimit(std::move(children[0]), plan->skip, plan->fetch);
+    case PlanKind::kJoin:
+      return MakeJoin(std::move(children[0]), std::move(children[1]),
+                      plan->join_kind, plan->join_on, plan->join_filter);
+    case PlanKind::kUnion:
+      return MakeUnion(std::move(children));
+    case PlanKind::kDistinct:
+      return MakeDistinct(std::move(children[0]));
+    case PlanKind::kWindow:
+      return MakeWindow(std::move(children[0]), plan->exprs);
+    case PlanKind::kSubqueryAlias:
+      return MakeSubqueryAlias(std::move(children[0]), plan->alias);
+    case PlanKind::kExplain:
+      return MakeExplain(std::move(children[0]));
+  }
+  return Status::Internal("WithNewChildren: unhandled plan kind");
+}
+
+Result<PlanPtr> TransformPlan(
+    const PlanPtr& plan,
+    const std::function<Result<PlanPtr>(const PlanPtr&)>& fn) {
+  std::vector<PlanPtr> new_children;
+  bool changed = false;
+  for (const auto& child : plan->children) {
+    FUSION_ASSIGN_OR_RAISE(auto nc, TransformPlan(child, fn));
+    if (nc != child) changed = true;
+    new_children.push_back(std::move(nc));
+  }
+  PlanPtr node = plan;
+  if (changed) {
+    FUSION_ASSIGN_OR_RAISE(node, WithNewChildren(plan, std::move(new_children)));
+  }
+  return fn(node);
+}
+
+// ------------------------------------------------------------- builder
+
+Result<LogicalPlanBuilder> LogicalPlanBuilder::Scan(
+    std::string table_name, catalog::TableProviderPtr provider) {
+  FUSION_ASSIGN_OR_RAISE(auto plan,
+                         MakeTableScan(std::move(table_name), std::move(provider)));
+  return LogicalPlanBuilder(std::move(plan));
+}
+
+Result<LogicalPlanBuilder> LogicalPlanBuilder::Values(
+    std::vector<std::vector<ExprPtr>> rows) {
+  FUSION_ASSIGN_OR_RAISE(auto plan, MakeValues(std::move(rows)));
+  return LogicalPlanBuilder(std::move(plan));
+}
+
+Result<LogicalPlanBuilder> LogicalPlanBuilder::Empty(bool produce_one_row) {
+  FUSION_ASSIGN_OR_RAISE(auto plan, MakeEmptyRelation(produce_one_row));
+  return LogicalPlanBuilder(std::move(plan));
+}
+
+Result<LogicalPlanBuilder> LogicalPlanBuilder::Project(
+    std::vector<ExprPtr> exprs) const {
+  FUSION_ASSIGN_OR_RAISE(auto plan, MakeProjection(plan_, std::move(exprs)));
+  return LogicalPlanBuilder(std::move(plan));
+}
+
+Result<LogicalPlanBuilder> LogicalPlanBuilder::Filter(ExprPtr predicate) const {
+  FUSION_ASSIGN_OR_RAISE(auto plan, MakeFilter(plan_, std::move(predicate)));
+  return LogicalPlanBuilder(std::move(plan));
+}
+
+Result<LogicalPlanBuilder> LogicalPlanBuilder::Aggregate(
+    std::vector<ExprPtr> group_exprs, std::vector<ExprPtr> aggr_exprs) const {
+  FUSION_ASSIGN_OR_RAISE(
+      auto plan, MakeAggregate(plan_, std::move(group_exprs), std::move(aggr_exprs)));
+  return LogicalPlanBuilder(std::move(plan));
+}
+
+Result<LogicalPlanBuilder> LogicalPlanBuilder::Sort(std::vector<SortExpr> sort_exprs,
+                                                    int64_t fetch) const {
+  FUSION_ASSIGN_OR_RAISE(auto plan, MakeSort(plan_, std::move(sort_exprs), fetch));
+  return LogicalPlanBuilder(std::move(plan));
+}
+
+Result<LogicalPlanBuilder> LogicalPlanBuilder::Limit(int64_t skip,
+                                                     int64_t fetch) const {
+  FUSION_ASSIGN_OR_RAISE(auto plan, MakeLimit(plan_, skip, fetch));
+  return LogicalPlanBuilder(std::move(plan));
+}
+
+Result<LogicalPlanBuilder> LogicalPlanBuilder::Join(
+    const LogicalPlanBuilder& right, JoinKind kind,
+    std::vector<std::pair<ExprPtr, ExprPtr>> on, ExprPtr filter) const {
+  FUSION_ASSIGN_OR_RAISE(auto plan, MakeJoin(plan_, right.plan_, kind, std::move(on),
+                                             std::move(filter)));
+  return LogicalPlanBuilder(std::move(plan));
+}
+
+Result<LogicalPlanBuilder> LogicalPlanBuilder::CrossJoin(
+    const LogicalPlanBuilder& right) const {
+  FUSION_ASSIGN_OR_RAISE(auto plan, MakeCrossJoin(plan_, right.plan_));
+  return LogicalPlanBuilder(std::move(plan));
+}
+
+Result<LogicalPlanBuilder> LogicalPlanBuilder::Union(
+    const LogicalPlanBuilder& other) const {
+  FUSION_ASSIGN_OR_RAISE(auto plan, MakeUnion({plan_, other.plan_}));
+  return LogicalPlanBuilder(std::move(plan));
+}
+
+Result<LogicalPlanBuilder> LogicalPlanBuilder::Distinct() const {
+  FUSION_ASSIGN_OR_RAISE(auto plan, MakeDistinct(plan_));
+  return LogicalPlanBuilder(std::move(plan));
+}
+
+Result<LogicalPlanBuilder> LogicalPlanBuilder::Window(
+    std::vector<ExprPtr> window_exprs) const {
+  FUSION_ASSIGN_OR_RAISE(auto plan, MakeWindow(plan_, std::move(window_exprs)));
+  return LogicalPlanBuilder(std::move(plan));
+}
+
+Result<LogicalPlanBuilder> LogicalPlanBuilder::Alias(std::string alias) const {
+  FUSION_ASSIGN_OR_RAISE(auto plan, MakeSubqueryAlias(plan_, std::move(alias)));
+  return LogicalPlanBuilder(std::move(plan));
+}
+
+}  // namespace logical
+}  // namespace fusion

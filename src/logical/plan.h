@@ -1,0 +1,171 @@
+#ifndef FUSION_LOGICAL_PLAN_H_
+#define FUSION_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/table_provider.h"
+#include "logical/expr.h"
+
+namespace fusion {
+namespace logical {
+
+class LogicalPlan;
+using PlanPtr = std::shared_ptr<LogicalPlan>;
+
+enum class PlanKind {
+  kTableScan,
+  kProjection,
+  kFilter,
+  kAggregate,
+  kSort,
+  kLimit,
+  kJoin,
+  kUnion,
+  kDistinct,
+  kWindow,
+  kValues,
+  kSubqueryAlias,
+  kEmptyRelation,
+  kExplain,
+};
+
+enum class JoinKind {
+  kInner, kLeft, kRight, kFull, kLeftSemi, kLeftAnti, kRightSemi, kRightAnti, kCross,
+};
+
+const char* PlanKindName(PlanKind kind);
+const char* JoinKindName(JoinKind kind);
+
+/// \brief A relational operator tree node (paper §5.4.1). Constructed
+/// via the Make* functions below or LogicalPlanBuilder, which compute
+/// and validate the output schema.
+class LogicalPlan {
+ public:
+  PlanKind kind;
+  std::vector<PlanPtr> children;
+
+  // kTableScan
+  std::string table_name;
+  catalog::TableProviderPtr provider;
+  std::vector<int> scan_projection;        // empty = all columns
+  std::vector<ExprPtr> scan_filters;       // pushed-down predicates
+  int64_t scan_limit = -1;
+
+  // kProjection / kWindow: output (window: appended) expressions
+  std::vector<ExprPtr> exprs;
+
+  // kFilter
+  ExprPtr predicate;
+
+  // kAggregate
+  std::vector<ExprPtr> group_exprs;
+  std::vector<ExprPtr> aggr_exprs;  // kAggregate-kind exprs (possibly aliased)
+
+  // kSort
+  std::vector<SortExpr> sort_exprs;
+  int64_t fetch = -1;  // also kLimit's fetch (-1 = unlimited)
+
+  // kLimit
+  int64_t skip = 0;
+
+  // kJoin
+  JoinKind join_kind = JoinKind::kInner;
+  std::vector<std::pair<ExprPtr, ExprPtr>> join_on;  // equi pairs (left, right)
+  ExprPtr join_filter;                                // residual non-equi condition
+
+  // kValues
+  std::vector<std::vector<ExprPtr>> values_rows;
+
+  // kSubqueryAlias
+  std::string alias;
+
+  // kEmptyRelation
+  bool produce_one_row = false;
+
+  const PlanSchema& schema() const { return schema_; }
+  void set_schema(PlanSchema schema) { schema_ = std::move(schema); }
+
+  const PlanPtr& child(int i = 0) const { return children[i]; }
+
+  /// Indented plan tree rendering (EXPLAIN output).
+  std::string ToString() const;
+
+ private:
+  PlanSchema schema_;
+};
+
+// Constructors (schema-computing) -----------------------------------------
+
+Result<PlanPtr> MakeTableScan(std::string table_name,
+                              catalog::TableProviderPtr provider,
+                              std::vector<int> projection = {},
+                              std::vector<ExprPtr> filters = {},
+                              int64_t limit = -1);
+Result<PlanPtr> MakeProjection(PlanPtr input, std::vector<ExprPtr> exprs);
+Result<PlanPtr> MakeFilter(PlanPtr input, ExprPtr predicate);
+Result<PlanPtr> MakeAggregate(PlanPtr input, std::vector<ExprPtr> group_exprs,
+                              std::vector<ExprPtr> aggr_exprs);
+Result<PlanPtr> MakeSort(PlanPtr input, std::vector<SortExpr> sort_exprs,
+                         int64_t fetch = -1);
+Result<PlanPtr> MakeLimit(PlanPtr input, int64_t skip, int64_t fetch);
+Result<PlanPtr> MakeJoin(PlanPtr left, PlanPtr right, JoinKind kind,
+                         std::vector<std::pair<ExprPtr, ExprPtr>> on,
+                         ExprPtr filter = nullptr);
+Result<PlanPtr> MakeCrossJoin(PlanPtr left, PlanPtr right);
+Result<PlanPtr> MakeUnion(std::vector<PlanPtr> inputs);
+Result<PlanPtr> MakeDistinct(PlanPtr input);
+Result<PlanPtr> MakeWindow(PlanPtr input, std::vector<ExprPtr> window_exprs);
+Result<PlanPtr> MakeValues(std::vector<std::vector<ExprPtr>> rows);
+Result<PlanPtr> MakeSubqueryAlias(PlanPtr input, std::string alias);
+Result<PlanPtr> MakeEmptyRelation(bool produce_one_row);
+Result<PlanPtr> MakeExplain(PlanPtr input);
+
+/// Rebuild `plan` with new children (schemas recomputed); used by
+/// optimizer rules.
+Result<PlanPtr> WithNewChildren(const PlanPtr& plan, std::vector<PlanPtr> children);
+
+/// Bottom-up plan transform.
+Result<PlanPtr> TransformPlan(
+    const PlanPtr& plan,
+    const std::function<Result<PlanPtr>(const PlanPtr&)>& fn);
+
+/// \brief Fluent builder mirroring DataFusion's LogicalPlanBuilder
+/// (paper §5.3.3): the Rust-style API for custom query front ends.
+class LogicalPlanBuilder {
+ public:
+  explicit LogicalPlanBuilder(PlanPtr plan) : plan_(std::move(plan)) {}
+
+  static Result<LogicalPlanBuilder> Scan(std::string table_name,
+                                         catalog::TableProviderPtr provider);
+  static Result<LogicalPlanBuilder> Values(std::vector<std::vector<ExprPtr>> rows);
+  static Result<LogicalPlanBuilder> Empty(bool produce_one_row = true);
+
+  Result<LogicalPlanBuilder> Project(std::vector<ExprPtr> exprs) const;
+  Result<LogicalPlanBuilder> Filter(ExprPtr predicate) const;
+  Result<LogicalPlanBuilder> Aggregate(std::vector<ExprPtr> group_exprs,
+                                       std::vector<ExprPtr> aggr_exprs) const;
+  Result<LogicalPlanBuilder> Sort(std::vector<SortExpr> sort_exprs,
+                                  int64_t fetch = -1) const;
+  Result<LogicalPlanBuilder> Limit(int64_t skip, int64_t fetch) const;
+  Result<LogicalPlanBuilder> Join(const LogicalPlanBuilder& right, JoinKind kind,
+                                  std::vector<std::pair<ExprPtr, ExprPtr>> on,
+                                  ExprPtr filter = nullptr) const;
+  Result<LogicalPlanBuilder> CrossJoin(const LogicalPlanBuilder& right) const;
+  Result<LogicalPlanBuilder> Union(const LogicalPlanBuilder& other) const;
+  Result<LogicalPlanBuilder> Distinct() const;
+  Result<LogicalPlanBuilder> Window(std::vector<ExprPtr> window_exprs) const;
+  Result<LogicalPlanBuilder> Alias(std::string alias) const;
+
+  const PlanPtr& Build() const { return plan_; }
+
+ private:
+  PlanPtr plan_;
+};
+
+}  // namespace logical
+}  // namespace fusion
+
+#endif  // FUSION_LOGICAL_PLAN_H_

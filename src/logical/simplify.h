@@ -1,0 +1,18 @@
+#ifndef FUSION_LOGICAL_SIMPLIFY_H_
+#define FUSION_LOGICAL_SIMPLIFY_H_
+
+#include "logical/expr.h"
+
+namespace fusion {
+namespace logical {
+
+/// \brief Expression simplification (paper §5.4.2): constant folding,
+/// boolean algebra (x AND true -> x, x OR false -> x, NOT NOT x -> x),
+/// and null propagation. Idempotent; applied by the optimizer and
+/// available to client systems directly.
+Result<ExprPtr> SimplifyExpr(const ExprPtr& expr);
+
+}  // namespace logical
+}  // namespace fusion
+
+#endif  // FUSION_LOGICAL_SIMPLIFY_H_

@@ -1,0 +1,66 @@
+#ifndef FUSION_LOGICAL_SQL_PLANNER_H_
+#define FUSION_LOGICAL_SQL_PLANNER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "logical/plan.h"
+#include "sql/ast.h"
+#include "sql/parser.h"
+
+namespace fusion {
+namespace logical {
+
+/// Resolves a table name to a provider (backed by the session catalog).
+using TableResolver =
+    std::function<Result<catalog::TableProviderPtr>(const std::string&)>;
+
+/// \brief Binder/planner from the SQL AST to LogicalPlans (paper
+/// §5.3.2): resolves names against the catalog, binds functions from the
+/// registry, coerces types, desugars BETWEEN/IN-subquery/CASE forms and
+/// assembles the relational operator tree.
+class SqlPlanner {
+ public:
+  SqlPlanner(TableResolver resolver, FunctionRegistryPtr registry)
+      : resolver_(std::move(resolver)), registry_(std::move(registry)) {}
+
+  Result<PlanPtr> PlanStatement(const sql::Statement& stmt);
+
+  /// Parse + plan in one step.
+  Result<PlanPtr> PlanSql(const std::string& sql);
+
+ private:
+  using CteScope = std::map<std::string, PlanPtr>;
+
+  Result<PlanPtr> PlanQuery(const sql::AstQuery& query, const CteScope& outer_ctes);
+  Result<PlanPtr> PlanSelectCore(const sql::SelectCore& core, const CteScope& ctes);
+  Result<PlanPtr> PlanTableRef(const sql::TableRef& ref, const CteScope& ctes);
+
+  /// Convert and bind an AST expression against a schema.
+  Result<ExprPtr> ConvertExpr(const sql::AstExprPtr& ast, const PlanSchema& schema,
+                              const CteScope& ctes);
+
+  /// Insert casts so binary operands share a common type.
+  Result<ExprPtr> Coerce(ExprPtr expr, const PlanSchema& schema);
+
+  /// Rewrite `IN (subquery)` / `EXISTS` conjuncts of a WHERE clause into
+  /// semi/anti joins; returns the remaining predicate (may be null).
+  Result<PlanPtr> ApplyWhere(PlanPtr input, const sql::AstExprPtr& where,
+                             const CteScope& ctes);
+
+  TableResolver resolver_;
+  FunctionRegistryPtr registry_;
+};
+
+/// Replace occurrences of `sources[i]` (matched structurally) inside
+/// `expr` with column references named `names[i]`. Used to re-express
+/// SELECT/HAVING/ORDER BY items over aggregate and window outputs.
+Result<ExprPtr> RewriteToColumns(const ExprPtr& expr,
+                                 const std::vector<ExprPtr>& sources,
+                                 const std::vector<std::string>& names);
+
+}  // namespace logical
+}  // namespace fusion
+
+#endif  // FUSION_LOGICAL_SQL_PLANNER_H_

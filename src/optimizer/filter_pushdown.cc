@@ -1,0 +1,360 @@
+#include "logical/expr_eval.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/predicate_lowering.h"
+
+namespace fusion {
+namespace optimizer {
+
+using logical::Expr;
+using logical::ExprPtr;
+using logical::JoinKind;
+using logical::LogicalPlan;
+using logical::PlanKind;
+using logical::PlanPtr;
+
+namespace {
+
+/// Can every column of `expr` be resolved against `schema`?
+bool AllColumnsResolve(const ExprPtr& expr, const logical::PlanSchema& schema) {
+  std::vector<ExprPtr> cols;
+  logical::CollectColumns(expr, &cols);
+  for (const auto& c : cols) {
+    if (!schema.IndexOf(c->qualifier, c->name).ok()) return false;
+  }
+  return !cols.empty() || logical::IsConstant(expr);
+}
+
+/// Substitute column references with the projection expressions that
+/// produce them (to push a predicate below a Projection).
+Result<ExprPtr> SubstituteProjection(const ExprPtr& pred,
+                                     const std::vector<ExprPtr>& proj_exprs,
+                                     const logical::PlanSchema& out_schema) {
+  return logical::TransformExpr(pred, [&](const ExprPtr& e) -> Result<ExprPtr> {
+    if (e->kind != Expr::Kind::kColumn) return e;
+    FUSION_ASSIGN_OR_RAISE(int idx, out_schema.IndexOf(e->qualifier, e->name));
+    return logical::Unalias(proj_exprs[idx]);
+  });
+}
+
+/// Strip the alias qualifier from column references (to push below a
+/// SubqueryAlias node).
+Result<ExprPtr> StripQualifier(const ExprPtr& pred, const std::string& alias,
+                               const logical::PlanSchema& child_schema) {
+  return logical::TransformExpr(pred, [&](const ExprPtr& e) -> Result<ExprPtr> {
+    if (e->kind != Expr::Kind::kColumn) return e;
+    if (e->qualifier != alias && !e->qualifier.empty()) return e;
+    // Recover the child-side qualifier by position.
+    auto idx = child_schema.IndexOf("", e->name);
+    if (!idx.ok()) return e;
+    return logical::Col(child_schema.qualifier(*idx), e->name);
+  });
+}
+
+/// Core recursion: push `preds` into `plan`; returns the rewritten plan,
+/// with unabsorbed predicates appended to `remaining`.
+Result<PlanPtr> PushPredicates(const PlanPtr& plan, std::vector<ExprPtr> preds,
+                               std::vector<ExprPtr>* remaining) {
+  if (preds.empty()) return plan;
+  switch (plan->kind) {
+    case PlanKind::kFilter: {
+      logical::SplitConjunction(plan->predicate, &preds);
+      std::vector<ExprPtr> leftover;
+      FUSION_ASSIGN_OR_RAISE(PlanPtr child,
+                             PushPredicates(plan->child(0), preds, &leftover));
+      if (leftover.empty()) return child;
+      return logical::MakeFilter(std::move(child), logical::Conjunction(leftover));
+    }
+    case PlanKind::kProjection: {
+      std::vector<ExprPtr> pushed;
+      for (const auto& p : preds) {
+        if (!AllColumnsResolve(p, plan->schema())) {
+          remaining->push_back(p);
+          continue;
+        }
+        FUSION_ASSIGN_OR_RAISE(
+            auto rewritten, SubstituteProjection(p, plan->exprs, plan->schema()));
+        if (logical::ContainsAggregate(rewritten) ||
+            logical::ContainsWindow(rewritten)) {
+          remaining->push_back(p);
+        } else {
+          pushed.push_back(std::move(rewritten));
+        }
+      }
+      std::vector<ExprPtr> leftover;
+      FUSION_ASSIGN_OR_RAISE(PlanPtr child,
+                             PushPredicates(plan->child(0), pushed, &leftover));
+      if (!leftover.empty()) {
+        FUSION_ASSIGN_OR_RAISE(child, logical::MakeFilter(std::move(child),
+                                                          logical::Conjunction(
+                                                              leftover)));
+      }
+      return logical::MakeProjection(std::move(child), plan->exprs);
+    }
+    case PlanKind::kSubqueryAlias: {
+      std::vector<ExprPtr> pushed;
+      for (const auto& p : preds) {
+        FUSION_ASSIGN_OR_RAISE(
+            auto rewritten,
+            StripQualifier(p, plan->alias, plan->child(0)->schema()));
+        pushed.push_back(std::move(rewritten));
+      }
+      std::vector<ExprPtr> leftover;
+      FUSION_ASSIGN_OR_RAISE(PlanPtr child,
+                             PushPredicates(plan->child(0), pushed, &leftover));
+      if (!leftover.empty()) {
+        FUSION_ASSIGN_OR_RAISE(child, logical::MakeFilter(std::move(child),
+                                                          logical::Conjunction(
+                                                              leftover)));
+      }
+      return logical::MakeSubqueryAlias(std::move(child), plan->alias);
+    }
+    case PlanKind::kSort: {
+      std::vector<ExprPtr> leftover;
+      FUSION_ASSIGN_OR_RAISE(PlanPtr child,
+                             PushPredicates(plan->child(0), preds, &leftover));
+      if (!leftover.empty()) {
+        FUSION_ASSIGN_OR_RAISE(child, logical::MakeFilter(std::move(child),
+                                                          logical::Conjunction(
+                                                              leftover)));
+      }
+      return logical::MakeSort(std::move(child), plan->sort_exprs, plan->fetch);
+    }
+    case PlanKind::kAggregate: {
+      // Only predicates over group-by outputs may pass.
+      std::vector<std::string> group_names;
+      for (const auto& g : plan->group_exprs) {
+        group_names.push_back(g->DisplayName());
+      }
+      std::vector<ExprPtr> pushed;
+      for (const auto& p : preds) {
+        std::vector<ExprPtr> cols;
+        logical::CollectColumns(p, &cols);
+        bool all_group = !cols.empty();
+        for (const auto& c : cols) {
+          bool found = false;
+          for (size_t i = 0; i < group_names.size(); ++i) {
+            if (c->name == group_names[i]) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            all_group = false;
+            break;
+          }
+        }
+        if (!all_group) {
+          remaining->push_back(p);
+          continue;
+        }
+        // Substitute output names with the group expressions.
+        FUSION_ASSIGN_OR_RAISE(
+            auto rewritten,
+            logical::TransformExpr(p, [&](const ExprPtr& e) -> Result<ExprPtr> {
+              if (e->kind != Expr::Kind::kColumn) return e;
+              for (size_t i = 0; i < group_names.size(); ++i) {
+                if (e->name == group_names[i]) {
+                  return logical::Unalias(plan->group_exprs[i]);
+                }
+              }
+              return e;
+            }));
+        pushed.push_back(std::move(rewritten));
+      }
+      std::vector<ExprPtr> leftover;
+      FUSION_ASSIGN_OR_RAISE(PlanPtr child,
+                             PushPredicates(plan->child(0), pushed, &leftover));
+      if (!leftover.empty()) {
+        FUSION_ASSIGN_OR_RAISE(child, logical::MakeFilter(std::move(child),
+                                                          logical::Conjunction(
+                                                              leftover)));
+      }
+      return logical::MakeAggregate(std::move(child), plan->group_exprs,
+                                    plan->aggr_exprs);
+    }
+    case PlanKind::kJoin: {
+      const PlanPtr& left = plan->child(0);
+      const PlanPtr& right = plan->child(1);
+      const bool inner_like =
+          plan->join_kind == JoinKind::kInner || plan->join_kind == JoinKind::kCross;
+      std::vector<ExprPtr> to_left;
+      std::vector<ExprPtr> to_right;
+      std::vector<std::pair<ExprPtr, ExprPtr>> new_on = plan->join_on;
+      JoinKind kind = plan->join_kind;
+      const bool left_preserved = kind == JoinKind::kInner ||
+                                  kind == JoinKind::kCross ||
+                                  kind == JoinKind::kLeft ||
+                                  kind == JoinKind::kLeftSemi ||
+                                  kind == JoinKind::kLeftAnti;
+      const bool right_preserved = kind == JoinKind::kInner ||
+                                   kind == JoinKind::kCross ||
+                                   kind == JoinKind::kRight;
+      for (const auto& p : preds) {
+        const bool on_left = AllColumnsResolve(p, left->schema());
+        const bool on_right = AllColumnsResolve(p, right->schema());
+        if (on_left && left_preserved) {
+          to_left.push_back(p);
+          continue;
+        }
+        if (on_right && right_preserved &&
+            plan->join_kind != JoinKind::kLeftSemi &&
+            plan->join_kind != JoinKind::kLeftAnti) {
+          to_right.push_back(p);
+          continue;
+        }
+        // Equi predicate across both sides of an inner/cross join
+        // becomes a join key (paper §6.4: join predicate extraction
+        // turns comma joins into hash joins).
+        const ExprPtr& u = logical::Unalias(p);
+        if (inner_like && u->kind == Expr::Kind::kBinary &&
+            u->op == logical::BinaryOp::kEq) {
+          bool l0 = AllColumnsResolve(u->children[0], left->schema());
+          bool r1 = AllColumnsResolve(u->children[1], right->schema());
+          bool l1 = AllColumnsResolve(u->children[1], left->schema());
+          bool r0 = AllColumnsResolve(u->children[0], right->schema());
+          if (l0 && r1 && !logical::IsConstant(u->children[0]) &&
+              !logical::IsConstant(u->children[1])) {
+            new_on.emplace_back(u->children[0], u->children[1]);
+            kind = JoinKind::kInner;
+            continue;
+          }
+          if (l1 && r0 && !logical::IsConstant(u->children[0]) &&
+              !logical::IsConstant(u->children[1])) {
+            new_on.emplace_back(u->children[1], u->children[0]);
+            kind = JoinKind::kInner;
+            continue;
+          }
+        }
+        remaining->push_back(p);
+      }
+      if (kind == JoinKind::kCross && !new_on.empty()) kind = JoinKind::kInner;
+      std::vector<ExprPtr> leftover_l, leftover_r;
+      FUSION_ASSIGN_OR_RAISE(PlanPtr new_left,
+                             PushPredicates(left, to_left, &leftover_l));
+      FUSION_ASSIGN_OR_RAISE(PlanPtr new_right,
+                             PushPredicates(right, to_right, &leftover_r));
+      if (!leftover_l.empty()) {
+        FUSION_ASSIGN_OR_RAISE(
+            new_left,
+            logical::MakeFilter(std::move(new_left),
+                                logical::Conjunction(leftover_l)));
+      }
+      if (!leftover_r.empty()) {
+        FUSION_ASSIGN_OR_RAISE(
+            new_right,
+            logical::MakeFilter(std::move(new_right),
+                                logical::Conjunction(leftover_r)));
+      }
+      return logical::MakeJoin(std::move(new_left), std::move(new_right), kind,
+                               std::move(new_on), plan->join_filter);
+    }
+    case PlanKind::kTableScan: {
+      std::vector<ExprPtr> scan_filters = plan->scan_filters;
+      for (const auto& p : preds) {
+        auto lowered = TryLowerPredicate(p);
+        if (!lowered) {
+          remaining->push_back(p);
+          continue;
+        }
+        switch (plan->provider->SupportsFilterPushdown(*lowered)) {
+          case catalog::FilterPushdown::kExact:
+            scan_filters.push_back(p);
+            break;
+          case catalog::FilterPushdown::kInexact:
+            scan_filters.push_back(p);
+            remaining->push_back(p);
+            break;
+          case catalog::FilterPushdown::kUnsupported:
+            remaining->push_back(p);
+            break;
+        }
+      }
+      return logical::MakeTableScan(plan->table_name, plan->provider,
+                                    plan->scan_projection, std::move(scan_filters),
+                                    plan->scan_limit);
+    }
+    default:
+      for (auto& p : preds) remaining->push_back(std::move(p));
+      return plan;
+  }
+}
+
+class FilterPushdownRule : public OptimizerRule {
+ public:
+  std::string name() const override { return "filter_pushdown"; }
+
+  Result<PlanPtr> Apply(const PlanPtr& plan) override {
+    return logical::TransformPlan(plan, [](const PlanPtr& node) -> Result<PlanPtr> {
+      if (node->kind != PlanKind::kFilter) return node;
+      std::vector<ExprPtr> preds;
+      logical::SplitConjunction(node->predicate, &preds);
+      std::vector<ExprPtr> remaining;
+      FUSION_ASSIGN_OR_RAISE(PlanPtr child,
+                             PushPredicates(node->child(0), preds, &remaining));
+      if (remaining.empty()) return child;
+      return logical::MakeFilter(std::move(child),
+                                 logical::Conjunction(remaining));
+    });
+  }
+};
+
+class LimitPushdownRule : public OptimizerRule {
+ public:
+  std::string name() const override { return "limit_pushdown"; }
+
+  Result<PlanPtr> Apply(const PlanPtr& plan) override {
+    return logical::TransformPlan(plan, [](const PlanPtr& node) -> Result<PlanPtr> {
+      if (node->kind != PlanKind::kLimit || node->fetch < 0) return node;
+      int64_t n = node->skip + node->fetch;
+      FUSION_ASSIGN_OR_RAISE(PlanPtr child, PushLimit(node->child(0), n));
+      if (child == node->child(0)) return node;
+      return logical::MakeLimit(std::move(child), node->skip, node->fetch);
+    });
+  }
+
+ private:
+  /// Propagate a fetch hint downward; the Limit node itself remains.
+  static Result<PlanPtr> PushLimit(const PlanPtr& plan, int64_t n) {
+    switch (plan->kind) {
+      case PlanKind::kSort: {
+        int64_t fetch = plan->fetch < 0 ? n : std::min(plan->fetch, n);
+        if (fetch == plan->fetch) return plan;
+        return logical::MakeSort(plan->child(0), plan->sort_exprs, fetch);
+      }
+      case PlanKind::kProjection: {
+        FUSION_ASSIGN_OR_RAISE(PlanPtr child, PushLimit(plan->child(0), n));
+        if (child == plan->child(0)) return plan;
+        return logical::MakeProjection(std::move(child), plan->exprs);
+      }
+      case PlanKind::kSubqueryAlias: {
+        FUSION_ASSIGN_OR_RAISE(PlanPtr child, PushLimit(plan->child(0), n));
+        if (child == plan->child(0)) return plan;
+        return logical::MakeSubqueryAlias(std::move(child), plan->alias);
+      }
+      case PlanKind::kTableScan: {
+        if (!plan->scan_filters.empty()) return plan;  // limit applies post-filter
+        int64_t limit =
+            plan->scan_limit < 0 ? n : std::min(plan->scan_limit, n);
+        if (limit == plan->scan_limit) return plan;
+        return logical::MakeTableScan(plan->table_name, plan->provider,
+                                      plan->scan_projection, plan->scan_filters,
+                                      limit);
+      }
+      default:
+        return plan;
+    }
+  }
+};
+
+}  // namespace
+
+OptimizerRulePtr MakeFilterPushdownRule() {
+  return std::make_shared<FilterPushdownRule>();
+}
+
+OptimizerRulePtr MakeLimitPushdownRule() {
+  return std::make_shared<LimitPushdownRule>();
+}
+
+}  // namespace optimizer
+}  // namespace fusion

@@ -1,0 +1,102 @@
+#include "optimizer/predicate_lowering.h"
+
+#include "logical/expr_eval.h"
+
+namespace fusion {
+namespace optimizer {
+
+using logical::BinaryOp;
+using logical::Expr;
+using logical::ExprPtr;
+
+namespace {
+
+/// Strip casts/aliases down to a bare column reference, if that is what
+/// this is.
+const ExprPtr* AsColumn(const ExprPtr& expr) {
+  const ExprPtr* e = &expr;
+  while ((*e)->kind == Expr::Kind::kAlias || (*e)->kind == Expr::Kind::kCast) {
+    e = &(*e)->children[0];
+  }
+  if ((*e)->kind == Expr::Kind::kColumn) return e;
+  return nullptr;
+}
+
+std::optional<Scalar> AsConstant(const ExprPtr& expr) {
+  if (!logical::IsConstant(expr)) return std::nullopt;
+  auto v = logical::EvaluateConstantExpr(expr);
+  if (!v.ok()) return std::nullopt;
+  return *v;
+}
+
+format::ColumnPredicate::Op FlipOp(format::ColumnPredicate::Op op) {
+  using Op = format::ColumnPredicate::Op;
+  switch (op) {
+    case Op::kLt: return Op::kGt;
+    case Op::kLtEq: return Op::kGtEq;
+    case Op::kGt: return Op::kLt;
+    case Op::kGtEq: return Op::kLtEq;
+    default: return op;
+  }
+}
+
+}  // namespace
+
+std::optional<format::ColumnPredicate> TryLowerPredicate(const ExprPtr& expr) {
+  using Op = format::ColumnPredicate::Op;
+  const ExprPtr& e = logical::Unalias(expr);
+  switch (e->kind) {
+    case Expr::Kind::kBinary: {
+      Op op;
+      switch (e->op) {
+        case BinaryOp::kEq: op = Op::kEq; break;
+        case BinaryOp::kNeq: op = Op::kNeq; break;
+        case BinaryOp::kLt: op = Op::kLt; break;
+        case BinaryOp::kLtEq: op = Op::kLtEq; break;
+        case BinaryOp::kGt: op = Op::kGt; break;
+        case BinaryOp::kGtEq: op = Op::kGtEq; break;
+        default:
+          return std::nullopt;
+      }
+      const ExprPtr* col = AsColumn(e->children[0]);
+      if (col != nullptr) {
+        // Casts around the column change value domains; only a direct
+        // column reference is lowered.
+        if (e->children[0]->kind != Expr::Kind::kColumn) return std::nullopt;
+        auto value = AsConstant(e->children[1]);
+        if (!value) return std::nullopt;
+        return format::ColumnPredicate{(*col)->name, op, {*value}};
+      }
+      col = AsColumn(e->children[1]);
+      if (col != nullptr && e->children[1]->kind == Expr::Kind::kColumn) {
+        auto value = AsConstant(e->children[0]);
+        if (!value) return std::nullopt;
+        return format::ColumnPredicate{(*col)->name, FlipOp(op), {*value}};
+      }
+      return std::nullopt;
+    }
+    case Expr::Kind::kInList: {
+      if (e->negated) return std::nullopt;
+      if (e->children[0]->kind != Expr::Kind::kColumn) return std::nullopt;
+      std::vector<Scalar> values;
+      for (size_t i = 1; i < e->children.size(); ++i) {
+        auto v = AsConstant(e->children[i]);
+        if (!v) return std::nullopt;
+        values.push_back(std::move(*v));
+      }
+      return format::ColumnPredicate{e->children[0]->name, Op::kIn,
+                                     std::move(values)};
+    }
+    case Expr::Kind::kIsNull:
+      if (e->children[0]->kind != Expr::Kind::kColumn) return std::nullopt;
+      return format::ColumnPredicate{e->children[0]->name, Op::kIsNull, {}};
+    case Expr::Kind::kIsNotNull:
+      if (e->children[0]->kind != Expr::Kind::kColumn) return std::nullopt;
+      return format::ColumnPredicate{e->children[0]->name, Op::kIsNotNull, {}};
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace optimizer
+}  // namespace fusion

@@ -1,0 +1,21 @@
+#ifndef FUSION_OPTIMIZER_PREDICATE_LOWERING_H_
+#define FUSION_OPTIMIZER_PREDICATE_LOWERING_H_
+
+#include <optional>
+
+#include "format/predicate.h"
+#include "logical/expr.h"
+
+namespace fusion {
+namespace optimizer {
+
+/// Try to lower a logical predicate to the format-level ColumnPredicate
+/// contract (column op constant). Returns nullopt when the shape does
+/// not fit (the predicate then stays in FilterExec).
+std::optional<format::ColumnPredicate> TryLowerPredicate(
+    const logical::ExprPtr& expr);
+
+}  // namespace optimizer
+}  // namespace fusion
+
+#endif  // FUSION_OPTIMIZER_PREDICATE_LOWERING_H_

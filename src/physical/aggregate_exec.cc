@@ -1,0 +1,480 @@
+#include "physical/aggregate_exec.h"
+
+#include <unordered_map>
+
+#include "arrow/builder.h"
+#include "arrow/ipc.h"
+#include "compute/cast.h"
+#include "compute/selection.h"
+#include "exec/memory_pool.h"
+#include "row/row_format.h"
+
+namespace fusion {
+namespace physical {
+
+namespace {
+
+using logical::GroupedAccumulator;
+
+/// In-memory grouping state: key -> dense group id plus one accumulator
+/// per aggregate covering all groups.
+struct GroupingState {
+  row::GroupKeyEncoder encoder;
+  std::unordered_map<std::string, uint32_t> groups;
+  std::vector<std::string> group_keys;  // id -> encoded key
+  std::vector<std::unique_ptr<GroupedAccumulator>> accumulators;
+
+  explicit GroupingState(std::vector<DataType> key_types)
+      : encoder(std::move(key_types)) {}
+
+  int64_t num_groups() const { return static_cast<int64_t>(group_keys.size()); }
+
+  int64_t SizeBytes() const {
+    int64_t total = 0;
+    for (const auto& k : group_keys) total += static_cast<int64_t>(k.size()) + 48;
+    for (const auto& acc : accumulators) total += acc->SizeBytes();
+    return total;
+  }
+};
+
+Result<std::vector<uint8_t>> EvaluateFilterMask(const PhysicalExprPtr& filter,
+                                                const RecordBatch& batch) {
+  std::vector<uint8_t> mask;
+  if (filter == nullptr) return mask;
+  FUSION_ASSIGN_OR_RAISE(auto arr, EvaluatePredicateMask(*filter, batch));
+  const auto& bm = checked_cast<BooleanArray>(*arr);
+  mask.resize(static_cast<size_t>(batch.num_rows()), 0);
+  for (int64_t i = 0; i < batch.num_rows(); ++i) {
+    mask[i] = bm.IsValid(i) && bm.Value(i) ? 1 : 0;
+  }
+  return mask;
+}
+
+}  // namespace
+
+std::string HashAggregateExec::ToStringLine() const {
+  std::string mode;
+  switch (mode_) {
+    case AggregateMode::kPartial: mode = "partial"; break;
+    case AggregateMode::kFinal: mode = "final"; break;
+    case AggregateMode::kSingle: mode = "single"; break;
+  }
+  std::string out = "HashAggregateExec(" + mode + "): groups=[";
+  for (size_t i = 0; i < group_names_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group_names_[i];
+  }
+  out += "] aggs=[";
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += aggregates_[i].output_name;
+  }
+  out += "]";
+  return out;
+}
+
+Result<exec::StreamPtr> HashAggregateExec::Execute(int partition,
+                                                   const ExecContextPtr& ctx) {
+  FUSION_ASSIGN_OR_RAISE(auto input, input_->Execute(partition, ctx));
+  SchemaPtr schema = schema_;
+  const bool no_groups = group_exprs_.empty();
+
+  std::vector<DataType> key_types;
+  for (const auto& g : group_exprs_) key_types.push_back(g->type());
+
+  auto make_state = [&]() -> Result<std::unique_ptr<GroupingState>> {
+    auto state = std::make_unique<GroupingState>(key_types);
+    for (const auto& agg : aggregates_) {
+      FUSION_ASSIGN_OR_RAISE(auto acc, agg.function->create(agg.arg_types));
+      state->accumulators.push_back(std::move(acc));
+    }
+    return state;
+  };
+  FUSION_ASSIGN_OR_RAISE(auto state, make_state());
+
+  std::string consumer = "agg-" + std::to_string(ctx->query_id) + "-" +
+                         std::to_string(partition);
+  exec::MemoryReservation reservation(ctx->env->memory_pool, consumer);
+  std::vector<exec::SpillFilePtr> spill_files;
+
+  // Emit (group keys + per-aggregate output) for a state object. When
+  // the column layout does not match schema_ (spill paths emit partial
+  // state from a final-mode operator), an ad-hoc schema is built.
+  auto emit = [&](GroupingState& s, bool partial_output)
+      -> Result<std::vector<RecordBatchPtr>> {
+    int64_t total = s.num_groups();
+    if (total == 0 && no_groups) {
+      // SQL: a global aggregate over empty input still yields one row.
+      for (auto& acc : s.accumulators) acc->Resize(1);
+      s.group_keys.push_back("");
+      total = 1;
+    }
+    std::vector<ArrayPtr> key_columns;
+    if (!no_groups) {
+      FUSION_ASSIGN_OR_RAISE(key_columns, s.encoder.DecodeKeys(s.group_keys));
+    }
+    std::vector<ArrayPtr> agg_columns;
+    for (size_t a = 0; a < s.accumulators.size(); ++a) {
+      s.accumulators[a]->Resize(total);
+      if (partial_output) {
+        FUSION_ASSIGN_OR_RAISE(auto cols, s.accumulators[a]->PartialState());
+        for (auto& c : cols) agg_columns.push_back(std::move(c));
+      } else {
+        FUSION_ASSIGN_OR_RAISE(auto col, s.accumulators[a]->Finish());
+        agg_columns.push_back(std::move(col));
+      }
+    }
+    std::vector<ArrayPtr> columns = std::move(key_columns);
+    for (auto& c : agg_columns) columns.push_back(std::move(c));
+    SchemaPtr out_schema = schema;
+    if (static_cast<int>(columns.size()) != schema->num_fields()) {
+      std::vector<Field> fields;
+      for (size_t i = 0; i < columns.size(); ++i) {
+        std::string field_name = i < group_names_.size()
+                                     ? group_names_[i]
+                                     : "__state_" + std::to_string(i);
+        fields.emplace_back(std::move(field_name), columns[i]->type(), true);
+      }
+      out_schema = std::make_shared<Schema>(std::move(fields));
+    }
+    auto big = std::make_shared<RecordBatch>(out_schema, total, std::move(columns));
+    return SliceBatch(big, ctx->config.batch_size);
+  };
+
+  auto spill = [&]() -> Status {
+    // Serialize the current table as partial state and reset.
+    for (const auto& agg : aggregates_) {
+      if (!agg.function->supports_two_phase) {
+        return Status::OutOfMemory(
+            "aggregate '" + agg.function->name +
+            "' cannot spill (no two-phase support); raise the memory limit");
+      }
+    }
+    FUSION_ASSIGN_OR_RAISE(auto batches, emit(*state, /*partial_output=*/true));
+    FUSION_ASSIGN_OR_RAISE(auto file, ctx->env->disk_manager->CreateTempFile("agg"));
+    // Spilled partial batches use the *partial* schema, which differs
+    // from schema_ in final mode; serialize schemaless via IPC columns.
+    ipc::FileWriter writer(file->path());
+    FUSION_RETURN_NOT_OK(writer.Open());
+    for (const auto& b : batches) {
+      FUSION_RETURN_NOT_OK(writer.WriteBatch(*b));
+    }
+    FUSION_RETURN_NOT_OK(writer.Close());
+    spill_files.push_back(std::move(file));
+    spills_.fetch_add(1);
+    FUSION_ASSIGN_OR_RAISE(state, make_state());
+    return reservation.ResizeTo(0);
+  };
+
+  // Process one input batch into the grouping state.
+  std::vector<uint32_t> group_ids;
+  std::string key_scratch;
+  auto process = [&](GroupingState& s, const RecordBatch& batch,
+                     bool from_partial) -> Status {
+    const int64_t n = batch.num_rows();
+    group_ids.resize(static_cast<size_t>(n));
+    if (no_groups) {
+      std::fill(group_ids.begin(), group_ids.end(), 0);
+      if (s.group_keys.empty()) s.group_keys.push_back("");
+    } else {
+      std::vector<ArrayPtr> keys;
+      if (from_partial) {
+        // Key columns are the leading input columns.
+        for (size_t g = 0; g < group_exprs_.size(); ++g) {
+          keys.push_back(batch.column(static_cast<int>(g)));
+        }
+      } else {
+        FUSION_ASSIGN_OR_RAISE(keys, EvaluateToArrays(group_exprs_, batch));
+      }
+      for (int64_t r = 0; r < n; ++r) {
+        key_scratch.clear();
+        s.encoder.EncodeRow(keys, r, &key_scratch);
+        auto [it, inserted] =
+            s.groups.emplace(key_scratch, static_cast<uint32_t>(s.num_groups()));
+        if (inserted) s.group_keys.push_back(it->first);
+        group_ids[r] = it->second;
+      }
+    }
+    const int64_t num_groups = s.num_groups();
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      const AggregateInfo& agg = aggregates_[a];
+      s.accumulators[a]->Resize(num_groups);
+      if (from_partial) {
+        std::vector<ArrayPtr> state_cols;
+        for (int idx : agg.state_columns) state_cols.push_back(batch.column(idx));
+        FUSION_RETURN_NOT_OK(
+            s.accumulators[a]->UpdateFromPartial(state_cols, group_ids));
+      } else {
+        FUSION_ASSIGN_OR_RAISE(auto args, EvaluateToArrays(agg.args, batch));
+        FUSION_ASSIGN_OR_RAISE(auto filter_mask,
+                               EvaluateFilterMask(agg.filter, batch));
+        FUSION_RETURN_NOT_OK(s.accumulators[a]->Update(
+            args, group_ids, filter_mask.empty() ? nullptr : filter_mask.data()));
+      }
+    }
+    return Status::OK();
+  };
+
+  const bool input_is_partial = mode_ == AggregateMode::kFinal;
+  int64_t batches_since_check = 0;
+  for (;;) {
+    FUSION_ASSIGN_OR_RAISE(auto batch, input->Next());
+    if (batch == nullptr) break;
+    if (batch->num_rows() == 0) continue;
+    FUSION_RETURN_NOT_OK(process(*state, *batch, input_is_partial));
+    // SizeBytes walks per-group state; amortize by checking periodically
+    // (this is what the paper means by tracking "the largest memory
+    // consumers ... but not small ephemeral allocations", §5.5.4).
+    if (++batches_since_check >= 16) {
+      batches_since_check = 0;
+      Status grow = reservation.ResizeTo(state->SizeBytes());
+      if (!grow.ok()) {
+        if (!grow.IsOutOfMemory()) return grow;
+        FUSION_RETURN_NOT_OK(spill());
+      }
+    }
+  }
+
+  if (!spill_files.empty()) {
+    // Re-aggregate the spilled partial runs together with the in-memory
+    // remainder. Group cardinality after partial aggregation is normally
+    // far below the input cardinality, so this pass fits in memory.
+    FUSION_ASSIGN_OR_RAISE(auto mem_batches, emit(*state, /*partial_output=*/true));
+    FUSION_ASSIGN_OR_RAISE(state, make_state());
+    // Final-style merge needs state column indexing; compute it from the
+    // partial layout: keys first, then each aggregate's state columns.
+    std::vector<AggregateInfo> partial_layout = aggregates_;
+    int col = static_cast<int>(group_exprs_.size());
+    for (auto& agg : partial_layout) {
+      agg.state_columns.clear();
+      FUSION_ASSIGN_OR_RAISE(auto acc, agg.function->create(agg.arg_types));
+      for (size_t i = 0; i < acc->PartialTypes().size(); ++i) {
+        agg.state_columns.push_back(col++);
+      }
+    }
+    auto merge_batch = [&](const RecordBatchPtr& batch) -> Status {
+      const int64_t n = batch->num_rows();
+      group_ids.resize(static_cast<size_t>(n));
+      if (no_groups) {
+        std::fill(group_ids.begin(), group_ids.end(), 0);
+        if (state->group_keys.empty()) state->group_keys.push_back("");
+      } else {
+        std::vector<ArrayPtr> keys;
+        for (size_t g = 0; g < group_exprs_.size(); ++g) {
+          keys.push_back(batch->column(static_cast<int>(g)));
+        }
+        for (int64_t r = 0; r < n; ++r) {
+          key_scratch.clear();
+          state->encoder.EncodeRow(keys, r, &key_scratch);
+          auto [it, inserted] = state->groups.emplace(
+              key_scratch, static_cast<uint32_t>(state->num_groups()));
+          if (inserted) state->group_keys.push_back(it->first);
+          group_ids[r] = it->second;
+        }
+      }
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        state->accumulators[a]->Resize(state->num_groups());
+        std::vector<ArrayPtr> state_cols;
+        for (int idx : partial_layout[a].state_columns) {
+          state_cols.push_back(batch->column(idx));
+        }
+        FUSION_RETURN_NOT_OK(
+            state->accumulators[a]->UpdateFromPartial(state_cols, group_ids));
+      }
+      return Status::OK();
+    };
+    for (const auto& b : mem_batches) {
+      // Partial batches from emit() carry schema_, but their layout is
+      // the partial layout; re-wrap is unnecessary because merge_batch
+      // indexes columns positionally.
+      FUSION_RETURN_NOT_OK(merge_batch(b));
+    }
+    for (const auto& file : spill_files) {
+      ipc::FileReader reader(file->path());
+      FUSION_RETURN_NOT_OK(reader.Open());
+      for (;;) {
+        FUSION_ASSIGN_OR_RAISE(auto batch, reader.Next());
+        if (batch == nullptr) break;
+        FUSION_RETURN_NOT_OK(merge_batch(batch));
+      }
+    }
+  }
+
+  const bool partial_output = mode_ == AggregateMode::kPartial && spill_files.empty();
+  // If we spilled in partial mode, the merged state is already final-
+  // grade partial state; emitting partial is still correct.
+  FUSION_ASSIGN_OR_RAISE(auto out_batches,
+                         emit(*state, mode_ == AggregateMode::kPartial));
+  (void)partial_output;
+  return exec::StreamPtr(
+      std::make_unique<exec::VectorStream>(schema, std::move(out_batches)));
+}
+
+std::string StreamingAggregateExec::ToStringLine() const {
+  std::string out = "StreamingAggregateExec(";
+  out += mode_ == AggregateMode::kPartial ? "partial" : "single";
+  out += "): groups=[";
+  for (size_t i = 0; i < group_names_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group_names_[i];
+  }
+  out += "]";
+  return out;
+}
+
+Result<exec::StreamPtr> StreamingAggregateExec::Execute(int partition,
+                                                        const ExecContextPtr& ctx) {
+  FUSION_ASSIGN_OR_RAISE(auto input_stream, input_->Execute(partition, ctx));
+  auto input = std::shared_ptr<exec::RecordBatchStream>(std::move(input_stream));
+  SchemaPtr schema = schema_;
+  const bool partial = mode_ == AggregateMode::kPartial;
+  auto group_exprs = group_exprs_;
+  auto aggregates = aggregates_;
+  int64_t batch_size = ctx->config.batch_size;
+
+  // Shared mutable stream state.
+  struct State {
+    // The in-flight group: one accumulator set sized for a single group,
+    // plus the builders the finished groups are appended to.
+    bool has_current = false;
+    std::vector<ArrayPtr> current_key_arrays;  // single-row key snapshot
+    std::vector<std::unique_ptr<logical::GroupedAccumulator>> accumulators;
+    std::vector<std::unique_ptr<ArrayBuilder>> out_builders;
+    int64_t pending_groups = 0;
+    bool done = false;
+  };
+  auto state = std::make_shared<State>();
+
+  auto make_accumulators = [aggregates]() -> Result<
+      std::vector<std::unique_ptr<logical::GroupedAccumulator>>> {
+    std::vector<std::unique_ptr<logical::GroupedAccumulator>> out;
+    for (const auto& agg : aggregates) {
+      FUSION_ASSIGN_OR_RAISE(auto acc, agg.function->create(agg.arg_types));
+      acc->Resize(1);
+      out.push_back(std::move(acc));
+    }
+    return out;
+  };
+  auto make_builders = [schema]() -> Result<
+      std::vector<std::unique_ptr<ArrayBuilder>>> {
+    std::vector<std::unique_ptr<ArrayBuilder>> out;
+    for (const Field& f : schema->fields()) {
+      FUSION_ASSIGN_OR_RAISE(auto b, MakeBuilder(f.type()));
+      out.push_back(std::move(b));
+    }
+    return out;
+  };
+
+  FUSION_ASSIGN_OR_RAISE(state->out_builders, make_builders());
+
+  // Close the in-flight group: append its key + results to the output
+  // builders.
+  auto flush_current = [state, partial]() -> Status {
+    if (!state->has_current) return Status::OK();
+    size_t col = 0;
+    for (const auto& key : state->current_key_arrays) {
+      state->out_builders[col++]->AppendFrom(*key, 0);
+    }
+    for (auto& acc : state->accumulators) {
+      if (partial) {
+        FUSION_ASSIGN_OR_RAISE(auto cols, acc->PartialState());
+        for (const auto& c : cols) {
+          state->out_builders[col++]->AppendFrom(*c, 0);
+        }
+      } else {
+        FUSION_ASSIGN_OR_RAISE(auto c, acc->Finish());
+        state->out_builders[col++]->AppendFrom(*c, 0);
+      }
+    }
+    state->has_current = false;
+    state->accumulators.clear();
+    ++state->pending_groups;
+    return Status::OK();
+  };
+
+  return exec::StreamPtr(std::make_unique<exec::GeneratorStream>(
+      schema,
+      [=]() mutable -> Result<RecordBatchPtr> {
+        auto emit_pending = [&]() -> Result<RecordBatchPtr> {
+          std::vector<ArrayPtr> columns;
+          for (auto& b : state->out_builders) {
+            FUSION_ASSIGN_OR_RAISE(auto arr, b->Finish());
+            columns.push_back(std::move(arr));
+          }
+          int64_t rows = state->pending_groups;
+          state->pending_groups = 0;
+          FUSION_ASSIGN_OR_RAISE(state->out_builders, make_builders());
+          return std::make_shared<RecordBatch>(schema, rows, std::move(columns));
+        };
+        for (;;) {
+          if (state->done) {
+            if (state->pending_groups > 0) return emit_pending();
+            return RecordBatchPtr(nullptr);
+          }
+          FUSION_ASSIGN_OR_RAISE(auto batch, input->Next());
+          if (batch == nullptr) {
+            state->done = true;
+            FUSION_RETURN_NOT_OK(flush_current());
+            continue;
+          }
+          if (batch->num_rows() == 0) continue;
+          FUSION_ASSIGN_OR_RAISE(auto keys, EvaluateToArrays(group_exprs, *batch));
+          std::vector<std::vector<ArrayPtr>> agg_args(aggregates.size());
+          std::vector<std::vector<uint8_t>> filter_masks(aggregates.size());
+          for (size_t a = 0; a < aggregates.size(); ++a) {
+            FUSION_ASSIGN_OR_RAISE(agg_args[a],
+                                   EvaluateToArrays(aggregates[a].args, *batch));
+            FUSION_ASSIGN_OR_RAISE(filter_masks[a],
+                                   EvaluateFilterMask(aggregates[a].filter, *batch));
+          }
+          const int64_t n = batch->num_rows();
+          auto same_key = [&](int64_t row, const std::vector<ArrayPtr>& other,
+                              int64_t other_row) {
+            for (size_t k = 0; k < keys.size(); ++k) {
+              if (!ArrayElementsEqual(*keys[k], row, *other[k], other_row)) {
+                return false;
+              }
+            }
+            return true;
+          };
+          // Walk key runs within the batch.
+          int64_t start = 0;
+          while (start < n) {
+            int64_t end = start + 1;
+            while (end < n && same_key(end, keys, start)) ++end;
+            const bool continues =
+                state->has_current && same_key(start, state->current_key_arrays, 0);
+            if (!continues) {
+              FUSION_RETURN_NOT_OK(flush_current());
+              FUSION_ASSIGN_OR_RAISE(state->accumulators, make_accumulators());
+              state->current_key_arrays.clear();
+              for (const auto& k : keys) {
+                FUSION_ASSIGN_OR_RAISE(auto one, compute::Take(*k, {start}));
+                state->current_key_arrays.push_back(std::move(one));
+              }
+              state->has_current = true;
+            }
+            // Feed the run's rows into the single-group accumulators.
+            std::vector<uint32_t> zeros(static_cast<size_t>(end - start), 0);
+            for (size_t a = 0; a < aggregates.size(); ++a) {
+              std::vector<ArrayPtr> sliced;
+              for (const auto& arg : agg_args[a]) {
+                sliced.push_back(arg->Slice(start, end - start));
+              }
+              std::vector<uint8_t> mask;
+              if (!filter_masks[a].empty()) {
+                mask.assign(filter_masks[a].begin() + start,
+                            filter_masks[a].begin() + end);
+              }
+              FUSION_RETURN_NOT_OK(state->accumulators[a]->Update(
+                  sliced, zeros, mask.empty() ? nullptr : mask.data()));
+            }
+            start = end;
+          }
+          if (state->pending_groups >= batch_size) return emit_pending();
+        }
+      }));
+}
+
+}  // namespace physical
+}  // namespace fusion

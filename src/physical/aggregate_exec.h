@@ -1,0 +1,108 @@
+#ifndef FUSION_PHYSICAL_AGGREGATE_EXEC_H_
+#define FUSION_PHYSICAL_AGGREGATE_EXEC_H_
+
+#include "logical/functions.h"
+#include "physical/execution_plan.h"
+
+namespace fusion {
+namespace physical {
+
+/// Phase of a (possibly two-phase) aggregation (paper §6.3).
+enum class AggregateMode {
+  kPartial,  ///< per-partition pre-aggregation emitting partial state
+  kFinal,    ///< merges partial state (after hash repartitioning)
+  kSingle,   ///< one-shot aggregation (single partition input)
+};
+
+/// One aggregate computation within a HashAggregateExec.
+struct AggregateInfo {
+  logical::AggregateFunctionPtr function;
+  std::vector<PhysicalExprPtr> args;     // evaluated in kPartial/kSingle
+  PhysicalExprPtr filter;                // optional FILTER(WHERE ...) mask
+  std::vector<DataType> arg_types;
+  DataType output_type;
+  std::string output_name;
+  /// kFinal: indices of this aggregate's state columns in the input.
+  std::vector<int> state_columns;
+};
+
+/// \brief Two-phase parallel partitioned hash aggregation (paper §6.3):
+/// vectorized group-key encoding + accumulator updates, spill-to-disk
+/// when the memory budget is exceeded, and a streaming fast path for
+/// input already ordered on the group keys.
+class HashAggregateExec : public ExecutionPlan {
+ public:
+  HashAggregateExec(ExecPlanPtr input, AggregateMode mode,
+                    std::vector<PhysicalExprPtr> group_exprs,
+                    std::vector<std::string> group_names,
+                    std::vector<AggregateInfo> aggregates, SchemaPtr output_schema)
+      : input_(std::move(input)), mode_(mode), group_exprs_(std::move(group_exprs)),
+        group_names_(std::move(group_names)), aggregates_(std::move(aggregates)),
+        schema_(std::move(output_schema)) {}
+
+  std::string name() const override { return "HashAggregateExec"; }
+  SchemaPtr schema() const override { return schema_; }
+  int output_partitions() const override { return input_->output_partitions(); }
+  std::vector<ExecPlanPtr> children() const override { return {input_}; }
+  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  std::string ToStringLine() const override;
+
+  AggregateMode mode() const { return mode_; }
+  int64_t spill_count() const { return spills_.load(); }
+
+ private:
+  ExecPlanPtr input_;
+  AggregateMode mode_;
+  std::vector<PhysicalExprPtr> group_exprs_;
+  std::vector<std::string> group_names_;
+  std::vector<AggregateInfo> aggregates_;
+  SchemaPtr schema_;
+  std::atomic<int64_t> spills_{0};
+};
+
+/// \brief Streaming aggregation for input already ordered on the group
+/// keys (paper §6.3's "fully ordered group keys" fast path and §6.7's
+/// streaming Hash Aggregation): no hash table, one group in flight,
+/// groups emitted incrementally as their key run ends — bounded memory
+/// regardless of group cardinality.
+class StreamingAggregateExec : public ExecutionPlan {
+ public:
+  StreamingAggregateExec(ExecPlanPtr input, AggregateMode mode,
+                         std::vector<PhysicalExprPtr> group_exprs,
+                         std::vector<std::string> group_names,
+                         std::vector<AggregateInfo> aggregates,
+                         SchemaPtr output_schema)
+      : input_(std::move(input)), mode_(mode), group_exprs_(std::move(group_exprs)),
+        group_names_(std::move(group_names)), aggregates_(std::move(aggregates)),
+        schema_(std::move(output_schema)) {}
+
+  std::string name() const override { return "StreamingAggregateExec"; }
+  SchemaPtr schema() const override { return schema_; }
+  int output_partitions() const override { return input_->output_partitions(); }
+  std::vector<ExecPlanPtr> children() const override { return {input_}; }
+  std::vector<OrderingInfo> output_ordering() const override {
+    // Group columns come out in key order (they are the leading output
+    // columns, one run each).
+    std::vector<OrderingInfo> in = input_->output_ordering();
+    std::vector<OrderingInfo> out;
+    for (size_t i = 0; i < group_exprs_.size() && i < in.size(); ++i) {
+      out.push_back({static_cast<int>(i), in[i].options});
+    }
+    return out;
+  }
+  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  std::string ToStringLine() const override;
+
+ private:
+  ExecPlanPtr input_;
+  AggregateMode mode_;
+  std::vector<PhysicalExprPtr> group_exprs_;
+  std::vector<std::string> group_names_;
+  std::vector<AggregateInfo> aggregates_;
+  SchemaPtr schema_;
+};
+
+}  // namespace physical
+}  // namespace fusion
+
+#endif  // FUSION_PHYSICAL_AGGREGATE_EXEC_H_

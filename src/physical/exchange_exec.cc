@@ -1,0 +1,241 @@
+#include "physical/exchange_exec.h"
+
+#include <limits>
+
+#include "arrow/builder.h"
+#include "compute/hash_kernels.h"
+#include "compute/selection.h"
+
+namespace fusion {
+namespace physical {
+
+void BatchQueue::Push(RecordBatchPtr batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [this] {
+    return queue_.size() < capacity_ || finished_ || closed_.load();
+  });
+  if (finished_ || closed_.load()) return;  // consumer gone: drop
+  queue_.push_back(std::move(batch));
+  not_empty_.notify_one();
+}
+
+void BatchQueue::PushError(Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (error_.ok()) error_ = std::move(status);
+  finished_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+void BatchQueue::ProducerDone() {
+  if (producers_.fetch_sub(1) == 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+}
+
+void BatchQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_.store(true);
+  queue_.clear();
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+Result<RecordBatchPtr> BatchQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock,
+                  [this] { return !queue_.empty() || finished_ || closed_.load(); });
+  if (!error_.ok()) return error_;
+  if (queue_.empty()) return RecordBatchPtr(nullptr);
+  RecordBatchPtr batch = std::move(queue_.front());
+  queue_.pop_front();
+  not_full_.notify_one();
+  return batch;
+}
+
+namespace {
+
+/// Shared state that keeps producer threads alive until the consumer
+/// stream is destroyed; closes the queue first so producers abandoned
+/// mid-stream (e.g. by LIMIT) unblock and exit.
+struct ProducerGroup {
+  std::shared_ptr<BatchQueue> queue;
+  std::vector<std::thread> threads;
+  ~ProducerGroup() {
+    if (queue != nullptr) queue->Close();
+    for (auto& t : threads) {
+      if (t.joinable()) t.join();
+    }
+  }
+};
+
+}  // namespace
+
+Result<exec::StreamPtr> CoalescePartitionsExec::Execute(int partition,
+                                                        const ExecContextPtr& ctx) {
+  if (partition != 0) {
+    return Status::ExecutionError("CoalescePartitionsExec has a single partition");
+  }
+  const int n = input_->output_partitions();
+  if (n == 1) return input_->Execute(0, ctx);
+
+  auto queue = std::make_shared<BatchQueue>(static_cast<size_t>(2 * n));
+  auto group = std::make_shared<ProducerGroup>();
+  group->queue = queue;
+  for (int i = 0; i < n; ++i) queue->AddProducer();
+  for (int i = 0; i < n; ++i) {
+    auto input = input_;
+    group->threads.emplace_back([input, i, ctx, queue]() {
+      auto stream_res = input->Execute(i, ctx);
+      if (!stream_res.ok()) {
+        queue->PushError(stream_res.status());
+        queue->ProducerDone();
+        return;
+      }
+      auto stream = std::move(*stream_res);
+      while (!queue->closed()) {
+        auto batch = stream->Next();
+        if (!batch.ok()) {
+          queue->PushError(batch.status());
+          break;
+        }
+        if (*batch == nullptr) break;
+        queue->Push(std::move(*batch));
+      }
+      queue->ProducerDone();
+    });
+  }
+  SchemaPtr schema = input_->schema();
+  return exec::StreamPtr(std::make_unique<exec::GeneratorStream>(
+      schema, [queue, group]() -> Result<RecordBatchPtr> { return queue->Pop(); }));
+}
+
+RepartitionExec::~RepartitionExec() {
+  // Unblock producers abandoned by early-terminating consumers.
+  for (const auto& q : queues_) q->Close();
+  for (auto& t : producers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+Status RepartitionExec::StartProducers(const ExecContextPtr& ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return start_status_;
+  started_ = true;
+  const int n = input_->output_partitions();
+  queues_.reserve(num_partitions_);
+  for (int i = 0; i < num_partitions_; ++i) {
+    // Repartition queues are unbounded: output partitions may be
+    // consumed serially (e.g. a merge opening sorted inputs one by one),
+    // and a bounded queue for partition B would deadlock producers while
+    // partition A's consumer still waits for end-of-stream. Memory is
+    // bounded by the repartitioned data itself; DataFusion's channels
+    // make the same trade and gate memory via the pool.
+    queues_.push_back(
+        std::make_shared<BatchQueue>(std::numeric_limits<size_t>::max()));
+    for (int p = 0; p < n; ++p) queues_[i]->AddProducer();
+  }
+  auto queues = queues_;
+  for (int i = 0; i < n; ++i) {
+    auto input = input_;
+    Mode mode = mode_;
+    auto hash_keys = hash_keys_;
+    int m = num_partitions_;
+    producers_.emplace_back([input, i, ctx, queues, mode, hash_keys, m]() {
+      auto fail = [&](const Status& st) {
+        for (const auto& q : queues) q->PushError(st);
+      };
+      auto stream_res = input->Execute(i, ctx);
+      if (!stream_res.ok()) {
+        fail(stream_res.status());
+        for (const auto& q : queues) q->ProducerDone();
+        return;
+      }
+      auto stream = std::move(*stream_res);
+      int64_t next = i;  // stagger round-robin start per producer
+      std::vector<uint64_t> hashes;
+      for (;;) {
+        bool all_closed = true;
+        for (const auto& q : queues) {
+          if (!q->closed()) {
+            all_closed = false;
+            break;
+          }
+        }
+        if (all_closed) break;
+        auto batch_res = stream->Next();
+        if (!batch_res.ok()) {
+          fail(batch_res.status());
+          break;
+        }
+        RecordBatchPtr batch = std::move(*batch_res);
+        if (batch == nullptr) break;
+        if (batch->num_rows() == 0) continue;
+        if (mode == Mode::kRoundRobin) {
+          queues[next % m]->Push(std::move(batch));
+          ++next;
+          continue;
+        }
+        // Hash repartitioning: route each row by key hash.
+        std::vector<ArrayPtr> keys;
+        bool ok = true;
+        for (const auto& k : hash_keys) {
+          auto v = k->Evaluate(*batch);
+          if (!v.ok()) {
+            fail(v.status());
+            ok = false;
+            break;
+          }
+          auto arr = v->ToArray(batch->num_rows());
+          if (!arr.ok()) {
+            fail(arr.status());
+            ok = false;
+            break;
+          }
+          keys.push_back(std::move(*arr));
+        }
+        if (!ok) break;
+        Status st = compute::HashColumns(keys, &hashes);
+        if (!st.ok()) {
+          fail(st);
+          break;
+        }
+        std::vector<std::vector<int64_t>> indices(m);
+        for (int64_t r = 0; r < batch->num_rows(); ++r) {
+          indices[hashes[r] % m].push_back(r);
+        }
+        for (int p = 0; p < m; ++p) {
+          if (indices[p].empty()) continue;
+          auto part = compute::TakeBatch(*batch, indices[p]);
+          if (!part.ok()) {
+            fail(part.status());
+            ok = false;
+            break;
+          }
+          queues[p]->Push(std::move(*part));
+        }
+        if (!ok) break;
+      }
+      for (const auto& q : queues) q->ProducerDone();
+    });
+  }
+  return Status::OK();
+}
+
+Result<exec::StreamPtr> RepartitionExec::Execute(int partition,
+                                                 const ExecContextPtr& ctx) {
+  FUSION_RETURN_NOT_OK(StartProducers(ctx));
+  if (partition < 0 || partition >= num_partitions_) {
+    return Status::ExecutionError("RepartitionExec: partition out of range");
+  }
+  auto queue = queues_[partition];
+  SchemaPtr schema = input_->schema();
+  return exec::StreamPtr(std::make_unique<exec::GeneratorStream>(
+      schema, [queue]() -> Result<RecordBatchPtr> { return queue->Pop(); }));
+}
+
+}  // namespace physical
+}  // namespace fusion

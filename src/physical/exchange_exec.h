@@ -1,0 +1,109 @@
+#ifndef FUSION_PHYSICAL_EXCHANGE_EXEC_H_
+#define FUSION_PHYSICAL_EXCHANGE_EXEC_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "physical/execution_plan.h"
+
+namespace fusion {
+namespace physical {
+
+/// Bounded MPSC queue of batches used by the exchange operators.
+/// Producers block when full (backpressure); consumers block when empty.
+class BatchQueue {
+ public:
+  explicit BatchQueue(size_t capacity) : capacity_(capacity) {}
+
+  void Push(RecordBatchPtr batch);
+  /// Report a producer error; consumers see it on the next Pop.
+  void PushError(Status status);
+  /// Called once per producer; the last call unblocks consumers at end.
+  void ProducerDone();
+  void AddProducer() { producers_.fetch_add(1); }
+
+  /// Cancel: unblocks producers (their pushes become no-ops) and
+  /// consumers. Called when a consumer abandons the stream early (e.g.
+  /// LIMIT satisfied).
+  void Close();
+  bool closed() const { return closed_.load(); }
+
+  /// Next batch; nullptr at end; error if any producer failed.
+  Result<RecordBatchPtr> Pop();
+
+ private:
+  size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<RecordBatchPtr> queue_;
+  Status error_;
+  std::atomic<int> producers_{0};
+  std::atomic<bool> closed_{false};
+  bool finished_ = false;
+};
+
+/// \brief N -> 1 exchange: funnels all input partitions into a single
+/// output stream. Input partitions are driven by dedicated producer
+/// threads so they run concurrently (the pull-based analogue of a merge
+/// without ordering).
+class CoalescePartitionsExec : public ExecutionPlan {
+ public:
+  explicit CoalescePartitionsExec(ExecPlanPtr input) : input_(std::move(input)) {}
+
+  std::string name() const override { return "CoalescePartitionsExec"; }
+  SchemaPtr schema() const override { return input_->schema(); }
+  int output_partitions() const override { return 1; }
+  std::vector<ExecPlanPtr> children() const override { return {input_}; }
+  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+
+ private:
+  ExecPlanPtr input_;
+};
+
+/// \brief The Volcano exchange operator (paper §5.5, RepartitionExec):
+/// redistributes N input partitions across M output partitions either
+/// round-robin (load balancing) or by key hash (for partitioned
+/// aggregations/joins).
+class RepartitionExec : public ExecutionPlan {
+ public:
+  enum class Mode { kRoundRobin, kHash };
+
+  RepartitionExec(ExecPlanPtr input, int num_partitions, Mode mode,
+                  std::vector<PhysicalExprPtr> hash_keys = {})
+      : input_(std::move(input)), num_partitions_(num_partitions), mode_(mode),
+        hash_keys_(std::move(hash_keys)) {}
+  ~RepartitionExec() override;
+
+  std::string name() const override { return "RepartitionExec"; }
+  SchemaPtr schema() const override { return input_->schema(); }
+  int output_partitions() const override { return num_partitions_; }
+  std::vector<ExecPlanPtr> children() const override { return {input_}; }
+  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  std::string ToStringLine() const override {
+    return std::string("RepartitionExec: ") +
+           (mode_ == Mode::kHash ? "hash" : "round_robin") + " -> " +
+           std::to_string(num_partitions_);
+  }
+
+ private:
+  Status StartProducers(const ExecContextPtr& ctx);
+
+  ExecPlanPtr input_;
+  int num_partitions_;
+  Mode mode_;
+  std::vector<PhysicalExprPtr> hash_keys_;
+
+  std::mutex mu_;
+  bool started_ = false;
+  Status start_status_;
+  std::vector<std::shared_ptr<BatchQueue>> queues_;
+  std::vector<std::thread> producers_;
+};
+
+}  // namespace physical
+}  // namespace fusion
+
+#endif  // FUSION_PHYSICAL_EXCHANGE_EXEC_H_

@@ -1,0 +1,53 @@
+#include "physical/execution_plan.h"
+
+#include <mutex>
+#include <sstream>
+
+namespace fusion {
+namespace physical {
+
+std::string ExecutionPlan::ToString() const {
+  std::ostringstream out;
+  std::function<void(const ExecutionPlan&, int)> render = [&](const ExecutionPlan& p,
+                                                              int indent) {
+    for (int i = 0; i < indent; ++i) out << "  ";
+    out << p.ToStringLine() << " [" << p.output_partitions() << " partitions]\n";
+    for (const auto& c : p.children()) render(*c, indent + 1);
+  };
+  render(*this, 0);
+  return out.str();
+}
+
+Result<std::vector<RecordBatchPtr>> ExecuteCollect(const ExecPlanPtr& plan,
+                                                   const ExecContextPtr& ctx) {
+  const int partitions = plan->output_partitions();
+  std::vector<std::vector<RecordBatchPtr>> results(partitions);
+  std::mutex error_mu;
+
+  std::vector<std::function<Status()>> tasks;
+  tasks.reserve(partitions);
+  for (int p = 0; p < partitions; ++p) {
+    tasks.push_back([&, p]() -> Status {
+      FUSION_ASSIGN_OR_RAISE(auto stream, plan->Execute(p, ctx));
+      FUSION_ASSIGN_OR_RAISE(results[p], exec::CollectStream(stream.get()));
+      return Status::OK();
+    });
+  }
+  FUSION_RETURN_NOT_OK(ctx->env->pool()->RunAll(std::move(tasks)));
+
+  std::vector<RecordBatchPtr> out;
+  for (auto& part : results) {
+    for (auto& b : part) out.push_back(std::move(b));
+  }
+  return out;
+}
+
+Result<int64_t> ExecuteCountRows(const ExecPlanPtr& plan, const ExecContextPtr& ctx) {
+  FUSION_ASSIGN_OR_RAISE(auto batches, ExecuteCollect(plan, ctx));
+  int64_t rows = 0;
+  for (const auto& b : batches) rows += b->num_rows();
+  return rows;
+}
+
+}  // namespace physical
+}  // namespace fusion

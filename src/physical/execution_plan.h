@@ -1,0 +1,78 @@
+#ifndef FUSION_PHYSICAL_EXECUTION_PLAN_H_
+#define FUSION_PHYSICAL_EXECUTION_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/runtime_env.h"
+#include "exec/stream.h"
+#include "physical/physical_expr.h"
+
+namespace fusion {
+namespace physical {
+
+/// Per-query execution context handed to every Stream.
+struct ExecContext {
+  exec::RuntimeEnvPtr env;
+  exec::SessionConfig config;
+  /// Unique id used to name memory-pool consumers.
+  int64_t query_id = 0;
+};
+
+using ExecContextPtr = std::shared_ptr<ExecContext>;
+
+/// A known output ordering: column index + direction.
+struct OrderingInfo {
+  int column = -1;
+  row::SortOptions options;
+};
+
+/// \brief Physical operator (paper §5.5). Each plan node is annotated
+/// with a partition count chosen by the planner; Execute(i) opens the
+/// Stream for partition i (Figure 4). User-defined operators implement
+/// exactly this interface and are indistinguishable from built-ins
+/// (paper §7.7).
+class ExecutionPlan {
+ public:
+  virtual ~ExecutionPlan() = default;
+
+  virtual std::string name() const = 0;
+  virtual SchemaPtr schema() const = 0;
+  virtual int output_partitions() const = 0;
+  virtual std::vector<std::shared_ptr<ExecutionPlan>> children() const {
+    return {};
+  }
+
+  /// Open partition `partition`'s stream. May be called once per
+  /// partition per plan instance.
+  virtual Result<exec::StreamPtr> Execute(int partition,
+                                          const ExecContextPtr& ctx) = 0;
+
+  /// Sort order each output partition is known to satisfy (paper §6.7);
+  /// empty = unknown.
+  virtual std::vector<OrderingInfo> output_ordering() const { return {}; }
+
+  /// One-line description for EXPLAIN.
+  virtual std::string ToStringLine() const { return name(); }
+
+  /// Indented tree rendering.
+  std::string ToString() const;
+};
+
+using ExecPlanPtr = std::shared_ptr<ExecutionPlan>;
+
+/// Run all partitions of `plan` in parallel on the context's thread
+/// pool and collect the results (the "collect" entry point used by the
+/// session, tests, and benchmarks).
+Result<std::vector<RecordBatchPtr>> ExecuteCollect(const ExecPlanPtr& plan,
+                                                   const ExecContextPtr& ctx);
+
+/// Run all partitions for their side effects, discarding batches but
+/// counting rows.
+Result<int64_t> ExecuteCountRows(const ExecPlanPtr& plan, const ExecContextPtr& ctx);
+
+}  // namespace physical
+}  // namespace fusion
+
+#endif  // FUSION_PHYSICAL_EXECUTION_PLAN_H_

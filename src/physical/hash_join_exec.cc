@@ -1,0 +1,332 @@
+#include "physical/hash_join_exec.h"
+
+#include <unordered_map>
+
+#include "arrow/builder.h"
+#include "compute/hash_kernels.h"
+#include "compute/selection.h"
+#include "exec/memory_pool.h"
+
+namespace fusion {
+namespace physical {
+
+using logical::JoinKind;
+
+/// Collected build side shared by all probe partitions.
+struct HashJoinExec::BuildState {
+  RecordBatchPtr batch;               // concatenated build input
+  std::vector<ArrayPtr> key_arrays;   // evaluated build keys
+  // hash -> first row index; chain via next[] (-1 terminates)
+  std::unordered_map<uint64_t, int64_t> table;
+  std::vector<int64_t> next;
+
+  std::mutex matched_mu;
+  std::vector<uint8_t> matched;  // per build row, for outer/semi/anti
+
+  std::atomic<int> remaining_probe_partitions{0};
+
+  /// Memory-pool reservation for the build table; released when the
+  /// last stream drops the state.
+  std::unique_ptr<exec::MemoryReservation> reservation;
+};
+
+namespace {
+
+bool NeedsBuildMatchTracking(JoinKind kind) {
+  switch (kind) {
+    case JoinKind::kLeft:
+    case JoinKind::kFull:
+    case JoinKind::kLeftSemi:
+    case JoinKind::kLeftAnti:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool KeysMatch(const std::vector<ArrayPtr>& build_keys, int64_t build_row,
+               const std::vector<ArrayPtr>& probe_keys, int64_t probe_row) {
+  for (size_t k = 0; k < build_keys.size(); ++k) {
+    // SQL equi-join: null never matches null.
+    if (build_keys[k]->IsNull(build_row) || probe_keys[k]->IsNull(probe_row)) {
+      return false;
+    }
+    if (!ArrayElementsEqual(*build_keys[k], build_row, *probe_keys[k], probe_row)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string HashJoinExec::ToStringLine() const {
+  std::string out = std::string("HashJoinExec: ") + logical::JoinKindName(kind_);
+  out += " on=[";
+  for (size_t i = 0; i < on_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += on_[i].first->ToString() + " = " + on_[i].second->ToString();
+  }
+  out += "]";
+  if (filter_ != nullptr) out += " filter=" + filter_->ToString();
+  return out;
+}
+
+Status HashJoinExec::EnsureBuilt(const ExecContextPtr& ctx) {
+  std::lock_guard<std::mutex> lock(build_mu_);
+  if (built_) return build_status_;
+  built_ = true;
+  auto run = [&]() -> Status {
+    auto state = std::make_shared<BuildState>();
+    std::vector<RecordBatchPtr> batches;
+    for (int p = 0; p < build_->output_partitions(); ++p) {
+      FUSION_ASSIGN_OR_RAISE(auto stream, build_->Execute(p, ctx));
+      FUSION_ASSIGN_OR_RAISE(auto part, exec::CollectStream(stream.get()));
+      for (auto& b : part) batches.push_back(std::move(b));
+    }
+    FUSION_ASSIGN_OR_RAISE(state->batch,
+                           ConcatenateBatches(build_->schema(), batches));
+    if (ctx->config.max_build_rows > 0 &&
+        state->batch->num_rows() > ctx->config.max_build_rows) {
+      return Status::ExecutionError("hash join build side exceeds max_build_rows");
+    }
+    // Memory accounting for the dominant consumer (the build table);
+    // released when the state is destroyed.
+    state->reservation = std::make_unique<exec::MemoryReservation>(
+        ctx->env->memory_pool, "hashjoin-" + std::to_string(ctx->query_id));
+    FUSION_RETURN_NOT_OK(
+        state->reservation->ResizeTo(state->batch->TotalBufferSize()));
+    std::vector<PhysicalExprPtr> key_exprs;
+    for (const auto& [l, r] : on_) key_exprs.push_back(l);
+    FUSION_ASSIGN_OR_RAISE(state->key_arrays,
+                           EvaluateToArrays(key_exprs, *state->batch));
+    const int64_t rows = state->batch->num_rows();
+    state->next.assign(static_cast<size_t>(rows), -1);
+    std::vector<uint64_t> hashes;
+    if (rows > 0) {
+      FUSION_RETURN_NOT_OK(compute::HashColumns(state->key_arrays, &hashes));
+    }
+    state->table.reserve(static_cast<size_t>(rows));
+    for (int64_t r = 0; r < rows; ++r) {
+      bool has_null_key = false;
+      for (const auto& k : state->key_arrays) {
+        if (k->IsNull(r)) {
+          has_null_key = true;
+          break;
+        }
+      }
+      if (has_null_key) continue;  // null keys never match
+      auto [it, inserted] = state->table.emplace(hashes[r], r);
+      if (!inserted) {
+        state->next[r] = it->second;
+        it->second = r;
+      }
+    }
+    if (NeedsBuildMatchTracking(kind_)) {
+      state->matched.assign(static_cast<size_t>(rows), 0);
+    }
+    state->remaining_probe_partitions.store(probe_->output_partitions());
+    build_state_ = std::move(state);
+    return Status::OK();
+  };
+  build_status_ = run();
+  return build_status_;
+}
+
+Result<exec::StreamPtr> HashJoinExec::Execute(int partition,
+                                              const ExecContextPtr& ctx) {
+  FUSION_RETURN_NOT_OK(EnsureBuilt(ctx));
+  FUSION_ASSIGN_OR_RAISE(auto probe_stream, probe_->Execute(partition, ctx));
+
+  auto state = build_state_;
+  auto probe = std::shared_ptr<exec::RecordBatchStream>(std::move(probe_stream));
+  SchemaPtr schema = schema_;
+  SchemaPtr build_schema = build_->schema();
+  SchemaPtr probe_schema = probe_->schema();
+  auto kind = kind_;
+  auto filter = filter_;
+  std::vector<PhysicalExprPtr> probe_key_exprs;
+  for (const auto& [l, r] : on_) probe_key_exprs.push_back(r);
+
+  const int build_cols = build_schema->num_fields();
+  const int probe_cols = probe_schema->num_fields();
+
+  // Assemble an output batch from (build_idx, probe_idx) pairs; -1 on
+  // either side emits nulls (outer joins).
+  auto assemble = [schema, state, build_cols, probe_cols](
+                      const RecordBatchPtr& probe_batch,
+                      const std::vector<int64_t>& build_idx,
+                      const std::vector<int64_t>& probe_idx)
+      -> Result<RecordBatchPtr> {
+    std::vector<ArrayPtr> columns;
+    columns.reserve(static_cast<size_t>(build_cols + probe_cols));
+    for (int c = 0; c < build_cols; ++c) {
+      FUSION_ASSIGN_OR_RAISE(auto col,
+                             compute::Take(*state->batch->column(c), build_idx));
+      columns.push_back(std::move(col));
+    }
+    for (int c = 0; c < probe_cols; ++c) {
+      FUSION_ASSIGN_OR_RAISE(auto col,
+                             compute::Take(*probe_batch->column(c), probe_idx));
+      columns.push_back(std::move(col));
+    }
+    return std::make_shared<RecordBatch>(
+        schema, static_cast<int64_t>(build_idx.size()), std::move(columns));
+  };
+
+  auto done = std::make_shared<bool>(false);
+  auto emitted_unmatched = std::make_shared<bool>(false);
+
+  return exec::StreamPtr(std::make_unique<exec::GeneratorStream>(
+      schema,
+      [=]() mutable -> Result<RecordBatchPtr> {
+        for (;;) {
+          if (*done) {
+            // End-of-probe: the last finishing partition emits build-side
+            // unmatched rows for left/full/semi/anti kinds.
+            if (*emitted_unmatched) return RecordBatchPtr(nullptr);
+            *emitted_unmatched = true;
+            if (!NeedsBuildMatchTracking(kind)) return RecordBatchPtr(nullptr);
+            if (state->remaining_probe_partitions.fetch_sub(1) != 1) {
+              return RecordBatchPtr(nullptr);  // another partition will emit
+            }
+            std::vector<int64_t> build_idx;
+            {
+              std::lock_guard<std::mutex> lock(state->matched_mu);
+              for (int64_t r = 0;
+                   r < static_cast<int64_t>(state->matched.size()); ++r) {
+                const bool want_matched = kind == JoinKind::kLeftSemi;
+                const bool is_matched = state->matched[r] != 0;
+                if (kind == JoinKind::kLeft || kind == JoinKind::kFull) {
+                  if (!is_matched) build_idx.push_back(r);
+                } else if (is_matched == want_matched &&
+                           (kind == JoinKind::kLeftSemi ||
+                            kind == JoinKind::kLeftAnti)) {
+                  build_idx.push_back(r);
+                }
+              }
+            }
+            if (build_idx.empty()) return RecordBatchPtr(nullptr);
+            if (kind == JoinKind::kLeftSemi || kind == JoinKind::kLeftAnti) {
+              // Output schema is the build side only.
+              std::vector<ArrayPtr> columns;
+              for (int c = 0; c < build_cols; ++c) {
+                FUSION_ASSIGN_OR_RAISE(
+                    auto col, compute::Take(*state->batch->column(c), build_idx));
+                columns.push_back(std::move(col));
+              }
+              return std::make_shared<RecordBatch>(
+                  schema, static_cast<int64_t>(build_idx.size()),
+                  std::move(columns));
+            }
+            std::vector<int64_t> probe_idx(build_idx.size(), -1);
+            RecordBatchPtr empty_probe = RecordBatch::MakeEmpty(probe_schema, 0);
+            // Take() with -1 indices never touches the (empty) probe
+            // columns, but needs columns present:
+            std::vector<ArrayPtr> null_cols;
+            for (const auto& f : probe_schema->fields()) {
+              FUSION_ASSIGN_OR_RAISE(auto arr, MakeArrayOfNulls(f.type(), 0));
+              null_cols.push_back(std::move(arr));
+            }
+            empty_probe = std::make_shared<RecordBatch>(probe_schema, 0,
+                                                        std::move(null_cols));
+            return assemble(empty_probe, build_idx, probe_idx);
+          }
+
+          FUSION_ASSIGN_OR_RAISE(auto probe_batch, probe->Next());
+          if (probe_batch == nullptr) {
+            *done = true;
+            continue;
+          }
+          if (probe_batch->num_rows() == 0) continue;
+
+          // Vectorized probe: hash all keys, then walk chains per row.
+          FUSION_ASSIGN_OR_RAISE(auto probe_keys,
+                                 EvaluateToArrays(probe_key_exprs, *probe_batch));
+          std::vector<uint64_t> hashes;
+          FUSION_RETURN_NOT_OK(compute::HashColumns(probe_keys, &hashes));
+
+          std::vector<int64_t> build_idx;
+          std::vector<int64_t> probe_idx;
+          const int64_t n = probe_batch->num_rows();
+          for (int64_t r = 0; r < n; ++r) {
+            auto it = state->table.find(hashes[r]);
+            if (it == state->table.end()) continue;
+            for (int64_t b = it->second; b >= 0; b = state->next[b]) {
+              if (KeysMatch(state->key_arrays, b, probe_keys, r)) {
+                build_idx.push_back(b);
+                probe_idx.push_back(r);
+              }
+            }
+          }
+
+          // Residual filter over candidate pairs.
+          if (filter != nullptr && !build_idx.empty()) {
+            FUSION_ASSIGN_OR_RAISE(auto candidates,
+                                   assemble(probe_batch, build_idx, probe_idx));
+            FUSION_ASSIGN_OR_RAISE(auto mask,
+                                   EvaluatePredicateMask(*filter, *candidates));
+            const auto& bm = checked_cast<BooleanArray>(*mask);
+            std::vector<int64_t> kept_b, kept_p;
+            for (int64_t i = 0; i < bm.length(); ++i) {
+              if (bm.IsValid(i) && bm.Value(i)) {
+                kept_b.push_back(build_idx[i]);
+                kept_p.push_back(probe_idx[i]);
+              }
+            }
+            build_idx = std::move(kept_b);
+            probe_idx = std::move(kept_p);
+          }
+
+          // Mark build matches for end-emission kinds.
+          if (NeedsBuildMatchTracking(kind) && !build_idx.empty()) {
+            std::lock_guard<std::mutex> lock(state->matched_mu);
+            for (int64_t b : build_idx) state->matched[b] = 1;
+          }
+
+          switch (kind) {
+            case JoinKind::kInner:
+            case JoinKind::kCross:
+            case JoinKind::kLeft: {
+              if (build_idx.empty()) continue;
+              return assemble(probe_batch, build_idx, probe_idx);
+            }
+            case JoinKind::kRight:
+            case JoinKind::kFull: {
+              // Emit matches plus null-extended unmatched probe rows.
+              std::vector<uint8_t> probe_matched(static_cast<size_t>(n), 0);
+              for (int64_t p : probe_idx) probe_matched[p] = 1;
+              for (int64_t r = 0; r < n; ++r) {
+                if (!probe_matched[r]) {
+                  build_idx.push_back(-1);
+                  probe_idx.push_back(r);
+                }
+              }
+              if (build_idx.empty()) continue;
+              return assemble(probe_batch, build_idx, probe_idx);
+            }
+            case JoinKind::kLeftSemi:
+            case JoinKind::kLeftAnti:
+              continue;  // output produced at end from matched bits
+            case JoinKind::kRightSemi:
+            case JoinKind::kRightAnti: {
+              std::vector<uint8_t> probe_matched(static_cast<size_t>(n), 0);
+              for (int64_t p : probe_idx) probe_matched[p] = 1;
+              std::vector<int64_t> keep;
+              const bool want = kind == JoinKind::kRightSemi;
+              for (int64_t r = 0; r < n; ++r) {
+                if ((probe_matched[r] != 0) == want) keep.push_back(r);
+              }
+              if (keep.empty()) continue;
+              FUSION_ASSIGN_OR_RAISE(auto out,
+                                     compute::TakeBatch(*probe_batch, keep));
+              return std::make_shared<RecordBatch>(schema, out->num_rows(),
+                                                   out->columns());
+            }
+          }
+        }
+      }));
+}
+
+}  // namespace physical
+}  // namespace fusion

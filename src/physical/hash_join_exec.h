@@ -1,0 +1,58 @@
+#ifndef FUSION_PHYSICAL_HASH_JOIN_EXEC_H_
+#define FUSION_PHYSICAL_HASH_JOIN_EXEC_H_
+
+#include <atomic>
+#include <mutex>
+
+#include "logical/plan.h"
+#include "physical/execution_plan.h"
+
+namespace fusion {
+namespace physical {
+
+/// \brief Parallel in-memory hash join (paper §6.4): the left child is
+/// the build side (collected once, shared across probe partitions —
+/// DataFusion's CollectLeft mode), the right child streams as the probe
+/// side. Vectorized hashing with chained collision resolution follows
+/// the MonetDB-style scheme the paper cites.
+///
+/// All eight join types are supported; the physical planner swaps
+/// children (and flips the type) so the smaller input builds.
+class HashJoinExec : public ExecutionPlan {
+ public:
+  HashJoinExec(ExecPlanPtr build, ExecPlanPtr probe, logical::JoinKind kind,
+               std::vector<std::pair<PhysicalExprPtr, PhysicalExprPtr>> on,
+               PhysicalExprPtr filter, SchemaPtr output_schema)
+      : build_(std::move(build)), probe_(std::move(probe)), kind_(kind),
+        on_(std::move(on)), filter_(std::move(filter)),
+        schema_(std::move(output_schema)) {}
+
+  std::string name() const override { return "HashJoinExec"; }
+  SchemaPtr schema() const override { return schema_; }
+  int output_partitions() const override { return probe_->output_partitions(); }
+  std::vector<ExecPlanPtr> children() const override { return {build_, probe_}; }
+  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  std::string ToStringLine() const override;
+
+ private:
+  struct BuildState;
+
+  Status EnsureBuilt(const ExecContextPtr& ctx);
+
+  ExecPlanPtr build_;
+  ExecPlanPtr probe_;
+  logical::JoinKind kind_;
+  std::vector<std::pair<PhysicalExprPtr, PhysicalExprPtr>> on_;
+  PhysicalExprPtr filter_;
+  SchemaPtr schema_;
+
+  std::mutex build_mu_;
+  std::shared_ptr<BuildState> build_state_;
+  Status build_status_;
+  bool built_ = false;
+};
+
+}  // namespace physical
+}  // namespace fusion
+
+#endif  // FUSION_PHYSICAL_HASH_JOIN_EXEC_H_

@@ -1,0 +1,349 @@
+#include "physical/other_joins.h"
+
+#include "arrow/builder.h"
+#include "compute/selection.h"
+#include "row/row_format.h"
+
+namespace fusion {
+namespace physical {
+
+using logical::JoinKind;
+
+namespace {
+
+Result<RecordBatchPtr> CollectSide(const ExecPlanPtr& plan,
+                                   const ExecContextPtr& ctx) {
+  std::vector<RecordBatchPtr> batches;
+  for (int p = 0; p < plan->output_partitions(); ++p) {
+    FUSION_ASSIGN_OR_RAISE(auto stream, plan->Execute(p, ctx));
+    FUSION_ASSIGN_OR_RAISE(auto part, exec::CollectStream(stream.get()));
+    for (auto& b : part) batches.push_back(std::move(b));
+  }
+  return ConcatenateBatches(plan->schema(), batches);
+}
+
+/// Build (left ++ right) output from index pairs; -1 emits nulls.
+Result<RecordBatchPtr> AssemblePairs(const SchemaPtr& schema,
+                                     const RecordBatch& left,
+                                     const RecordBatch& right,
+                                     const std::vector<int64_t>& li,
+                                     const std::vector<int64_t>& ri) {
+  std::vector<ArrayPtr> columns;
+  for (int c = 0; c < left.num_columns(); ++c) {
+    FUSION_ASSIGN_OR_RAISE(auto col, compute::Take(*left.column(c), li));
+    columns.push_back(std::move(col));
+  }
+  for (int c = 0; c < right.num_columns(); ++c) {
+    FUSION_ASSIGN_OR_RAISE(auto col, compute::Take(*right.column(c), ri));
+    columns.push_back(std::move(col));
+  }
+  return std::make_shared<RecordBatch>(schema, static_cast<int64_t>(li.size()),
+                                       std::move(columns));
+}
+
+}  // namespace
+
+// ------------------------------------------------------- SortMergeJoin
+
+Result<exec::StreamPtr> SortMergeJoinExec::Execute(int partition,
+                                                   const ExecContextPtr& ctx) {
+  if (partition != 0) {
+    return Status::ExecutionError("SortMergeJoinExec has a single partition");
+  }
+  FUSION_ASSIGN_OR_RAISE(auto left, CollectSide(left_, ctx));
+  FUSION_ASSIGN_OR_RAISE(auto right, CollectSide(right_, ctx));
+
+  std::vector<PhysicalExprPtr> lkeys_e, rkeys_e;
+  for (const auto& [l, r] : on_) {
+    lkeys_e.push_back(l);
+    rkeys_e.push_back(r);
+  }
+  FUSION_ASSIGN_OR_RAISE(auto lkeys, EvaluateToArrays(lkeys_e, *left));
+  FUSION_ASSIGN_OR_RAISE(auto rkeys, EvaluateToArrays(rkeys_e, *right));
+  std::vector<row::SortOptions> options(on_.size());  // ASC, nulls last
+
+  const int64_t ln = left->num_rows();
+  const int64_t rn = right->num_rows();
+  std::vector<int64_t> li, ri;
+  std::vector<uint8_t> left_matched(static_cast<size_t>(ln), 0);
+  std::vector<uint8_t> right_matched(static_cast<size_t>(rn), 0);
+
+  auto key_is_null = [](const std::vector<ArrayPtr>& keys, int64_t row) {
+    for (const auto& k : keys) {
+      if (k->IsNull(row)) return true;
+    }
+    return false;
+  };
+
+  int64_t l = 0, r = 0;
+  while (l < ln && r < rn) {
+    if (key_is_null(lkeys, l)) {
+      ++l;
+      continue;
+    }
+    if (key_is_null(rkeys, r)) {
+      ++r;
+      continue;
+    }
+    int cmp = row::CompareRows(lkeys, l, rkeys, r, options);
+    if (cmp < 0) {
+      ++l;
+    } else if (cmp > 0) {
+      ++r;
+    } else {
+      // Equal-key blocks: emit the cartesian product of the runs.
+      int64_t l_end = l + 1;
+      while (l_end < ln && !key_is_null(lkeys, l_end) &&
+             row::CompareRows(lkeys, l, lkeys, l_end, options) == 0) {
+        ++l_end;
+      }
+      int64_t r_end = r + 1;
+      while (r_end < rn && !key_is_null(rkeys, r_end) &&
+             row::CompareRows(rkeys, r, rkeys, r_end, options) == 0) {
+        ++r_end;
+      }
+      for (int64_t i = l; i < l_end; ++i) {
+        for (int64_t j = r; j < r_end; ++j) {
+          li.push_back(i);
+          ri.push_back(j);
+        }
+      }
+      l = l_end;
+      r = r_end;
+    }
+  }
+
+  // Residual filter.
+  if (filter_ != nullptr && !li.empty()) {
+    SchemaPtr combined = schema_;
+    // For semi/anti kinds schema_ is one side; build a scratch combined
+    // schema for filter evaluation.
+    std::vector<Field> fields = left->schema()->fields();
+    for (const auto& f : right->schema()->fields()) fields.push_back(f);
+    combined = std::make_shared<Schema>(std::move(fields));
+    FUSION_ASSIGN_OR_RAISE(auto candidates,
+                           AssemblePairs(combined, *left, *right, li, ri));
+    FUSION_ASSIGN_OR_RAISE(auto mask, EvaluatePredicateMask(*filter_, *candidates));
+    const auto& bm = checked_cast<BooleanArray>(*mask);
+    std::vector<int64_t> kl, kr;
+    for (int64_t i = 0; i < bm.length(); ++i) {
+      if (bm.IsValid(i) && bm.Value(i)) {
+        kl.push_back(li[i]);
+        kr.push_back(ri[i]);
+      }
+    }
+    li = std::move(kl);
+    ri = std::move(kr);
+  }
+  for (size_t i = 0; i < li.size(); ++i) {
+    left_matched[li[i]] = 1;
+    right_matched[ri[i]] = 1;
+  }
+
+  // Assemble per kind.
+  std::vector<RecordBatchPtr> out;
+  auto push_chunks = [&](const RecordBatchPtr& batch) {
+    for (const auto& c : SliceBatch(batch, ctx->config.batch_size)) {
+      out.push_back(c);
+    }
+  };
+  switch (kind_) {
+    case JoinKind::kInner: {
+      FUSION_ASSIGN_OR_RAISE(auto batch, AssemblePairs(schema_, *left, *right, li, ri));
+      push_chunks(batch);
+      break;
+    }
+    case JoinKind::kLeft:
+    case JoinKind::kRight:
+    case JoinKind::kFull: {
+      if (kind_ != JoinKind::kRight) {
+        for (int64_t i = 0; i < ln; ++i) {
+          if (!left_matched[i]) {
+            li.push_back(i);
+            ri.push_back(-1);
+          }
+        }
+      }
+      if (kind_ != JoinKind::kLeft) {
+        for (int64_t j = 0; j < rn; ++j) {
+          if (!right_matched[j]) {
+            li.push_back(-1);
+            ri.push_back(j);
+          }
+        }
+      }
+      FUSION_ASSIGN_OR_RAISE(auto batch, AssemblePairs(schema_, *left, *right, li, ri));
+      push_chunks(batch);
+      break;
+    }
+    case JoinKind::kLeftSemi:
+    case JoinKind::kLeftAnti: {
+      const bool want = kind_ == JoinKind::kLeftSemi;
+      std::vector<int64_t> keep;
+      for (int64_t i = 0; i < ln; ++i) {
+        if ((left_matched[i] != 0) == want) keep.push_back(i);
+      }
+      FUSION_ASSIGN_OR_RAISE(auto batch, compute::TakeBatch(*left, keep));
+      push_chunks(std::make_shared<RecordBatch>(schema_, batch->num_rows(),
+                                                batch->columns()));
+      break;
+    }
+    default:
+      return Status::NotImplemented(
+          "SortMergeJoinExec does not support this join type; the planner "
+          "should have selected a hash join");
+  }
+  return exec::StreamPtr(
+      std::make_unique<exec::VectorStream>(schema_, std::move(out)));
+}
+
+// ------------------------------------------------------ NestedLoopJoin
+
+Result<exec::StreamPtr> NestedLoopJoinExec::Execute(int partition,
+                                                    const ExecContextPtr& ctx) {
+  if (partition != 0) {
+    return Status::ExecutionError("NestedLoopJoinExec has a single partition");
+  }
+  FUSION_ASSIGN_OR_RAISE(auto left, CollectSide(left_, ctx));
+  FUSION_ASSIGN_OR_RAISE(auto right, CollectSide(right_, ctx));
+  const int64_t ln = left->num_rows();
+  const int64_t rn = right->num_rows();
+
+  std::vector<Field> fields = left->schema()->fields();
+  for (const auto& f : right->schema()->fields()) fields.push_back(f);
+  SchemaPtr combined = std::make_shared<Schema>(std::move(fields));
+
+  std::vector<int64_t> li, ri;
+  std::vector<uint8_t> left_matched(static_cast<size_t>(ln), 0);
+  // Chunked evaluation: pair blocks of left rows with the whole right
+  // side to keep candidate batches bounded.
+  const int64_t block = std::max<int64_t>(1, ctx->config.batch_size / std::max<int64_t>(rn, 1));
+  for (int64_t l0 = 0; l0 < ln; l0 += block) {
+    int64_t l1 = std::min(ln, l0 + block);
+    std::vector<int64_t> cl, cr;
+    for (int64_t i = l0; i < l1; ++i) {
+      for (int64_t j = 0; j < rn; ++j) {
+        cl.push_back(i);
+        cr.push_back(j);
+      }
+    }
+    if (cl.empty()) continue;
+    FUSION_ASSIGN_OR_RAISE(auto candidates,
+                           AssemblePairs(combined, *left, *right, cl, cr));
+    if (filter_ != nullptr) {
+      FUSION_ASSIGN_OR_RAISE(auto mask, EvaluatePredicateMask(*filter_, *candidates));
+      const auto& bm = checked_cast<BooleanArray>(*mask);
+      for (int64_t i = 0; i < bm.length(); ++i) {
+        if (bm.IsValid(i) && bm.Value(i)) {
+          li.push_back(cl[i]);
+          ri.push_back(cr[i]);
+          left_matched[cl[i]] = 1;
+        }
+      }
+    } else {
+      for (size_t i = 0; i < cl.size(); ++i) {
+        li.push_back(cl[i]);
+        ri.push_back(cr[i]);
+        left_matched[cl[i]] = 1;
+      }
+    }
+  }
+
+  std::vector<RecordBatchPtr> out;
+  switch (kind_) {
+    case JoinKind::kInner:
+    case JoinKind::kCross:
+      break;
+    case JoinKind::kLeft:
+      for (int64_t i = 0; i < ln; ++i) {
+        if (!left_matched[i]) {
+          li.push_back(i);
+          ri.push_back(-1);
+        }
+      }
+      break;
+    case JoinKind::kLeftSemi:
+    case JoinKind::kLeftAnti: {
+      const bool want = kind_ == JoinKind::kLeftSemi;
+      std::vector<int64_t> keep;
+      for (int64_t i = 0; i < ln; ++i) {
+        if ((left_matched[i] != 0) == want) keep.push_back(i);
+      }
+      FUSION_ASSIGN_OR_RAISE(auto batch, compute::TakeBatch(*left, keep));
+      auto rebatch = std::make_shared<RecordBatch>(schema_, batch->num_rows(),
+                                                   batch->columns());
+      return exec::StreamPtr(std::make_unique<exec::VectorStream>(
+          schema_, SliceBatch(rebatch, ctx->config.batch_size)));
+    }
+    default:
+      return Status::NotImplemented(
+          "NestedLoopJoinExec does not support this join type");
+  }
+  FUSION_ASSIGN_OR_RAISE(auto batch, AssemblePairs(schema_, *left, *right, li, ri));
+  return exec::StreamPtr(std::make_unique<exec::VectorStream>(
+      schema_, SliceBatch(batch, ctx->config.batch_size)));
+}
+
+// ---------------------------------------------------------- CrossJoin
+
+Status CrossJoinExec::EnsureCollected(const ExecContextPtr& ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (collected_) return collect_status_;
+  collected_ = true;
+  auto res = CollectSide(left_, ctx);
+  if (!res.ok()) {
+    collect_status_ = res.status();
+  } else {
+    left_batch_ = std::move(*res);
+  }
+  return collect_status_;
+}
+
+Result<exec::StreamPtr> CrossJoinExec::Execute(int partition,
+                                               const ExecContextPtr& ctx) {
+  FUSION_RETURN_NOT_OK(EnsureCollected(ctx));
+  FUSION_ASSIGN_OR_RAISE(auto right_stream, right_->Execute(partition, ctx));
+  auto right = std::shared_ptr<exec::RecordBatchStream>(std::move(right_stream));
+  auto left = left_batch_;
+  SchemaPtr schema = schema_;
+  int64_t batch_size = ctx->config.batch_size;
+  // State: current right batch and position within the cross product.
+  auto right_batch = std::make_shared<RecordBatchPtr>();
+  auto l_pos = std::make_shared<int64_t>(0);
+  return exec::StreamPtr(std::make_unique<exec::GeneratorStream>(
+      schema,
+      [=]() -> Result<RecordBatchPtr> {
+        for (;;) {
+          if (*right_batch == nullptr || *l_pos >= left->num_rows()) {
+            FUSION_ASSIGN_OR_RAISE(*right_batch, right->Next());
+            *l_pos = 0;
+            if (*right_batch == nullptr) return RecordBatchPtr(nullptr);
+            if ((*right_batch)->num_rows() == 0) {
+              *right_batch = nullptr;
+              continue;
+            }
+            if (left->num_rows() == 0) {
+              *right_batch = nullptr;
+              continue;
+            }
+          }
+          // Pair a block of left rows with the current right batch.
+          const int64_t rn = (*right_batch)->num_rows();
+          int64_t block = std::max<int64_t>(1, batch_size / rn);
+          int64_t l_end = std::min(left->num_rows(), *l_pos + block);
+          std::vector<int64_t> li, ri;
+          li.reserve(static_cast<size_t>((l_end - *l_pos) * rn));
+          for (int64_t i = *l_pos; i < l_end; ++i) {
+            for (int64_t j = 0; j < rn; ++j) {
+              li.push_back(i);
+              ri.push_back(j);
+            }
+          }
+          *l_pos = l_end;
+          return AssemblePairs(schema, *left, **right_batch, li, ri);
+        }
+      }));
+}
+
+}  // namespace physical
+}  // namespace fusion

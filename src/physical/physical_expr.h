@@ -1,0 +1,84 @@
+#ifndef FUSION_PHYSICAL_PHYSICAL_EXPR_H_
+#define FUSION_PHYSICAL_PHYSICAL_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arrow/columnar_value.h"
+#include "arrow/record_batch.h"
+#include "common/result.h"
+#include "compute/string_kernels.h"
+#include "logical/expr.h"
+
+namespace fusion {
+namespace physical {
+
+/// \brief Executable expression bound to concrete column indices
+/// (paper §5.4.1's PhysicalExpr). Custom PhysicalExprs implement the
+/// same interface as built-ins.
+class PhysicalExpr {
+ public:
+  virtual ~PhysicalExpr() = default;
+
+  virtual DataType type() const = 0;
+  virtual Result<ColumnarValue> Evaluate(const RecordBatch& batch) const = 0;
+  virtual std::string ToString() const = 0;
+};
+
+using PhysicalExprPtr = std::shared_ptr<PhysicalExpr>;
+
+/// Direct column reference by index.
+class ColumnExpr : public PhysicalExpr {
+ public:
+  ColumnExpr(std::string name, int index, DataType type)
+      : name_(std::move(name)), index_(index), type_(type) {}
+
+  DataType type() const override { return type_; }
+  int index() const { return index_; }
+  const std::string& name() const { return name_; }
+
+  Result<ColumnarValue> Evaluate(const RecordBatch& batch) const override {
+    if (index_ >= batch.num_columns()) {
+      return Status::ExecutionError("column index out of range: " + name_);
+    }
+    return ColumnarValue(batch.column(index_));
+  }
+
+  std::string ToString() const override {
+    return name_ + "@" + std::to_string(index_);
+  }
+
+ private:
+  std::string name_;
+  int index_;
+  DataType type_;
+};
+
+/// Compile a bound logical expression against the physical input schema
+/// of an operator. `input` carries qualifiers for name resolution.
+Result<PhysicalExprPtr> CreatePhysicalExpr(const logical::ExprPtr& expr,
+                                           const logical::PlanSchema& input);
+
+/// Wrap an expression in a runtime cast (used by the planner for key
+/// type alignment).
+PhysicalExprPtr MakeCastExpr(PhysicalExprPtr child, DataType target);
+
+/// Evaluate an expression list into output arrays of `batch.num_rows()`.
+Result<std::vector<ArrayPtr>> EvaluateToArrays(
+    const std::vector<PhysicalExprPtr>& exprs, const RecordBatch& batch);
+
+/// Evaluate a boolean predicate into a selection mask.
+Result<ArrayPtr> EvaluatePredicateMask(const PhysicalExpr& predicate,
+                                       const RecordBatch& batch);
+
+/// A sort key bound to physical columns.
+struct PhysicalSortExpr {
+  PhysicalExprPtr expr;
+  row::SortOptions options;
+};
+
+}  // namespace physical
+}  // namespace fusion
+
+#endif  // FUSION_PHYSICAL_PHYSICAL_EXPR_H_

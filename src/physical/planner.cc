@@ -1,0 +1,653 @@
+#include "physical/planner.h"
+
+#include <set>
+
+#include "arrow/builder.h"
+#include "compute/cast.h"
+#include "logical/expr_eval.h"
+#include "logical/interval_analysis.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/predicate_lowering.h"
+#include "physical/aggregate_exec.h"
+#include "physical/exchange_exec.h"
+#include "physical/hash_join_exec.h"
+#include "physical/other_joins.h"
+#include "physical/scan_exec.h"
+#include "physical/simple_exec.h"
+#include "physical/sort_exec.h"
+#include "physical/symmetric_hash_join_exec.h"
+#include "physical/window_exec.h"
+
+namespace fusion {
+namespace physical {
+
+using logical::Expr;
+using logical::ExprPtr;
+using logical::JoinKind;
+using logical::LogicalPlan;
+using logical::PlanKind;
+using logical::PlanPtr;
+using logical::PlanSchema;
+
+namespace {
+
+/// Physical output schema from a logical plan schema.
+SchemaPtr PhysicalSchema(const PlanSchema& schema) { return schema.schema(); }
+
+ExecPlanPtr CoalesceToOne(ExecPlanPtr input) {
+  if (input->output_partitions() == 1) return input;
+  return std::make_shared<CoalescePartitionsExec>(std::move(input));
+}
+
+/// Does the input's known ordering satisfy the requested sort prefix?
+bool OrderingSatisfies(const std::vector<OrderingInfo>& have,
+                       const std::vector<PhysicalSortExpr>& want) {
+  if (want.size() > have.size()) return false;
+  for (size_t i = 0; i < want.size(); ++i) {
+    auto* col = dynamic_cast<const ColumnExpr*>(want[i].expr.get());
+    if (col == nullptr) return false;
+    if (have[i].column != col->index()) return false;
+    if (have[i].options.descending != want[i].options.descending) return false;
+    if (have[i].options.nulls_first != want[i].options.nulls_first) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ExprPtr> PhysicalPlanner::ResolveSubqueries(const ExprPtr& expr) {
+  return logical::TransformExpr(expr, [this](const ExprPtr& e) -> Result<ExprPtr> {
+    if (e->kind != Expr::Kind::kScalarSubquery) return e;
+    auto subplan = std::static_pointer_cast<LogicalPlan>(e->subquery_plan);
+    // Subquery plans are stored unoptimized; run the default rule set
+    // (critically: filter pushdown turns comma joins into hash joins).
+    FUSION_ASSIGN_OR_RAISE(subplan,
+                           optimizer::Optimizer::Default().Optimize(subplan));
+    PhysicalPlanner sub_planner(ctx_);
+    FUSION_ASSIGN_OR_RAISE(auto exec_plan, sub_planner.CreatePlan(subplan));
+    FUSION_ASSIGN_OR_RAISE(auto batches, ExecuteCollect(exec_plan, ctx_));
+    int64_t rows = 0;
+    Scalar value = Scalar::Null(e->cast_type);
+    for (const auto& b : batches) {
+      for (int64_t r = 0; r < b->num_rows(); ++r) {
+        if (++rows > 1) {
+          return Status::ExecutionError("scalar subquery produced more than one row");
+        }
+        value = Scalar::FromArray(*b->column(0), r);
+      }
+    }
+    return logical::Lit(std::move(value));
+  });
+}
+
+Result<ExecPlanPtr> PhysicalPlanner::CreatePlan(const PlanPtr& plan) {
+  return Plan(plan);
+}
+
+Result<ExecPlanPtr> PhysicalPlanner::Plan(const PlanPtr& plan) {
+  switch (plan->kind) {
+    case PlanKind::kTableScan:
+      return PlanScan(plan);
+    case PlanKind::kProjection: {
+      FUSION_ASSIGN_OR_RAISE(auto input, Plan(plan->child(0)));
+      std::vector<PhysicalExprPtr> exprs;
+      for (const auto& e : plan->exprs) {
+        FUSION_ASSIGN_OR_RAISE(auto resolved, ResolveSubqueries(e));
+        FUSION_ASSIGN_OR_RAISE(auto pe,
+                               CreatePhysicalExpr(resolved,
+                                                  plan->child(0)->schema()));
+        exprs.push_back(std::move(pe));
+      }
+      return ExecPlanPtr(std::make_shared<ProjectionExec>(
+          std::move(input), std::move(exprs), PhysicalSchema(plan->schema())));
+    }
+    case PlanKind::kFilter: {
+      FUSION_ASSIGN_OR_RAISE(auto input, Plan(plan->child(0)));
+      FUSION_ASSIGN_OR_RAISE(auto resolved, ResolveSubqueries(plan->predicate));
+      FUSION_ASSIGN_OR_RAISE(
+          auto predicate, CreatePhysicalExpr(resolved, plan->child(0)->schema()));
+      ExecPlanPtr filter =
+          std::make_shared<FilterExec>(std::move(input), std::move(predicate));
+      // Selective filters shrink batches; re-chunk for downstream ops.
+      return ExecPlanPtr(std::make_shared<CoalesceBatchesExec>(std::move(filter)));
+    }
+    case PlanKind::kLimit: {
+      FUSION_ASSIGN_OR_RAISE(auto input, Plan(plan->child(0)));
+      return ExecPlanPtr(std::make_shared<LimitExec>(CoalesceToOne(std::move(input)),
+                                                     plan->skip, plan->fetch));
+    }
+    case PlanKind::kSort:
+      return PlanSort(plan);
+    case PlanKind::kAggregate:
+      return PlanAggregate(plan);
+    case PlanKind::kDistinct:
+      return PlanDistinct(plan);
+    case PlanKind::kJoin:
+      return PlanJoin(plan);
+    case PlanKind::kWindow:
+      return PlanWindow(plan);
+    case PlanKind::kUnion: {
+      std::vector<ExecPlanPtr> inputs;
+      for (const auto& c : plan->children) {
+        FUSION_ASSIGN_OR_RAISE(auto input, Plan(c));
+        inputs.push_back(std::move(input));
+      }
+      return ExecPlanPtr(std::make_shared<UnionExec>(std::move(inputs)));
+    }
+    case PlanKind::kSubqueryAlias:
+      return Plan(plan->child(0));
+    case PlanKind::kValues: {
+      std::vector<std::unique_ptr<ArrayBuilder>> builders;
+      SchemaPtr schema = PhysicalSchema(plan->schema());
+      for (const Field& f : schema->fields()) {
+        FUSION_ASSIGN_OR_RAISE(auto b, MakeBuilder(f.type()));
+        builders.push_back(std::move(b));
+      }
+      for (const auto& row : plan->values_rows) {
+        for (size_t c = 0; c < row.size(); ++c) {
+          FUSION_ASSIGN_OR_RAISE(Scalar v, logical::EvaluateConstantExpr(row[c]));
+          FUSION_ASSIGN_OR_RAISE(v, v.CastTo(schema->field(static_cast<int>(c)).type()));
+          if (v.is_null()) {
+            builders[c]->AppendNull();
+          } else {
+            FUSION_ASSIGN_OR_RAISE(auto arr, v.MakeArray(1));
+            builders[c]->AppendFrom(*arr, 0);
+          }
+        }
+      }
+      std::vector<ArrayPtr> columns;
+      for (auto& b : builders) {
+        FUSION_ASSIGN_OR_RAISE(auto arr, b->Finish());
+        columns.push_back(std::move(arr));
+      }
+      auto batch = std::make_shared<RecordBatch>(
+          schema, static_cast<int64_t>(plan->values_rows.size()),
+          std::move(columns));
+      return ExecPlanPtr(std::make_shared<ValuesExec>(schema, std::move(batch)));
+    }
+    case PlanKind::kEmptyRelation:
+      return ExecPlanPtr(std::make_shared<EmptyExec>(PhysicalSchema(plan->schema()),
+                                                     plan->produce_one_row));
+    case PlanKind::kExplain: {
+      FUSION_ASSIGN_OR_RAISE(auto child_exec, Plan(plan->child(0)));
+      return ExecPlanPtr(std::make_shared<ExplainExec>(
+          PhysicalSchema(plan->schema()), plan->child(0)->ToString(),
+          child_exec->ToString()));
+    }
+  }
+  return Status::Internal("unhandled logical plan kind");
+}
+
+Result<ExecPlanPtr> PhysicalPlanner::PlanScan(const PlanPtr& plan) {
+  catalog::ScanRequest request;
+  request.projection = plan->scan_projection;
+  request.limit = plan->scan_limit;
+  request.target_partitions = ctx_->config.target_partitions;
+  if (ctx_->config.enable_predicate_pushdown) {
+    for (const auto& f : plan->scan_filters) {
+      auto lowered = optimizer::TryLowerPredicate(f);
+      if (lowered) request.predicates.push_back(std::move(*lowered));
+    }
+  }
+  return ExecPlanPtr(std::make_shared<ScanExec>(plan->table_name, plan->provider,
+                                                std::move(request),
+                                                PhysicalSchema(plan->schema())));
+}
+
+Result<ExecPlanPtr> PhysicalPlanner::PlanSort(const PlanPtr& plan) {
+  FUSION_ASSIGN_OR_RAISE(auto input, Plan(plan->child(0)));
+  std::vector<PhysicalSortExpr> sort_exprs;
+  for (const auto& se : plan->sort_exprs) {
+    PhysicalSortExpr pse;
+    FUSION_ASSIGN_OR_RAISE(pse.expr,
+                           CreatePhysicalExpr(se.expr, plan->child(0)->schema()));
+    pse.options = se.options;
+    sort_exprs.push_back(std::move(pse));
+  }
+  // Sort elimination (paper §6.7): skip the sort if the input already
+  // delivers the requested order in a single partition.
+  if (input->output_partitions() == 1 &&
+      OrderingSatisfies(input->output_ordering(), sort_exprs)) {
+    if (plan->fetch >= 0) {
+      return ExecPlanPtr(
+          std::make_shared<LimitExec>(std::move(input), 0, plan->fetch));
+    }
+    return input;
+  }
+  ExecPlanPtr sorted = std::make_shared<SortExec>(std::move(input), sort_exprs,
+                                                  plan->fetch);
+  if (sorted->output_partitions() > 1) {
+    sorted = std::make_shared<SortPreservingMergeExec>(std::move(sorted),
+                                                       sort_exprs);
+    if (plan->fetch >= 0) {
+      // Per-partition TopK keeps fetch rows each; enforce globally.
+      sorted = std::make_shared<LimitExec>(std::move(sorted), 0, plan->fetch);
+    }
+  }
+  return sorted;
+}
+
+Result<ExecPlanPtr> PhysicalPlanner::PlanAggregate(const PlanPtr& plan) {
+  FUSION_ASSIGN_OR_RAISE(auto input, Plan(plan->child(0)));
+  const PlanSchema& in_schema = plan->child(0)->schema();
+
+  std::vector<PhysicalExprPtr> group_exprs;
+  std::vector<std::string> group_names;
+  for (const auto& g : plan->group_exprs) {
+    FUSION_ASSIGN_OR_RAISE(auto pe, CreatePhysicalExpr(g, in_schema));
+    group_exprs.push_back(std::move(pe));
+    group_names.push_back(g->DisplayName());
+  }
+
+  std::vector<AggregateInfo> aggregates;
+  bool all_two_phase = true;
+  for (const auto& a : plan->aggr_exprs) {
+    const ExprPtr& agg = logical::Unalias(a);
+    AggregateInfo info;
+    info.function = agg->aggregate_function;
+    info.output_name = a->DisplayName();
+    for (const auto& arg : agg->children) {
+      FUSION_ASSIGN_OR_RAISE(auto resolved, ResolveSubqueries(arg));
+      FUSION_ASSIGN_OR_RAISE(auto pe, CreatePhysicalExpr(resolved, in_schema));
+      info.arg_types.push_back(pe->type());
+      info.args.push_back(std::move(pe));
+    }
+    if (agg->filter != nullptr) {
+      FUSION_ASSIGN_OR_RAISE(info.filter, CreatePhysicalExpr(agg->filter, in_schema));
+    }
+    FUSION_ASSIGN_OR_RAISE(info.output_type, agg->GetType(in_schema));
+    if (!info.function->supports_two_phase) all_two_phase = false;
+    aggregates.push_back(std::move(info));
+  }
+
+  SchemaPtr final_schema = PhysicalSchema(plan->schema());
+
+  // Ordered-group fast path (paper §6.3/§6.7): when the input already
+  // delivers rows grouped by the key columns (its ordering prefix covers
+  // the group columns), aggregate streaming with one group in flight.
+  auto groups_ordered = [&](const ExecPlanPtr& in) {
+    if (group_exprs.empty()) return false;
+    auto ordering = in->output_ordering();
+    if (ordering.size() < group_exprs.size()) return false;
+    std::set<int> group_cols;
+    for (const auto& g : group_exprs) {
+      auto* col = dynamic_cast<const ColumnExpr*>(g.get());
+      if (col == nullptr) return false;
+      group_cols.insert(col->index());
+    }
+    std::set<int> prefix_cols;
+    for (size_t i = 0; i < group_exprs.size(); ++i) {
+      prefix_cols.insert(ordering[i].column);
+    }
+    return group_cols == prefix_cols;
+  };
+
+  const bool two_phase = all_two_phase && ctx_->config.enable_partial_aggregation &&
+                         input->output_partitions() > 1;
+  if (!two_phase) {
+    ExecPlanPtr single_input = CoalesceToOne(std::move(input));
+    if (groups_ordered(single_input)) {
+      return ExecPlanPtr(std::make_shared<StreamingAggregateExec>(
+          std::move(single_input), AggregateMode::kSingle, group_exprs,
+          group_names, aggregates, final_schema));
+    }
+    // Single-phase over a single stream.
+    return ExecPlanPtr(std::make_shared<HashAggregateExec>(
+        std::move(single_input), AggregateMode::kSingle, group_exprs,
+        group_names, aggregates, final_schema));
+  }
+
+  // Partial schema: group columns followed by each aggregate's state.
+  std::vector<Field> partial_fields;
+  for (size_t g = 0; g < group_exprs.size(); ++g) {
+    partial_fields.emplace_back(group_names[g], group_exprs[g]->type(), true);
+  }
+  std::vector<AggregateInfo> final_aggs = aggregates;
+  int state_col = static_cast<int>(group_exprs.size());
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    FUSION_ASSIGN_OR_RAISE(auto acc,
+                           aggregates[a].function->create(aggregates[a].arg_types));
+    final_aggs[a].state_columns.clear();
+    for (DataType t : acc->PartialTypes()) {
+      partial_fields.emplace_back("__state_" + std::to_string(state_col), t, true);
+      final_aggs[a].state_columns.push_back(state_col++);
+    }
+  }
+  auto partial_schema = std::make_shared<Schema>(std::move(partial_fields));
+
+  ExecPlanPtr partial = std::make_shared<HashAggregateExec>(
+      std::move(input), AggregateMode::kPartial, group_exprs, group_names,
+      aggregates, partial_schema);
+
+  ExecPlanPtr distributed;
+  if (group_exprs.empty()) {
+    distributed = CoalesceToOne(std::move(partial));
+  } else {
+    // Hash-repartition on the group keys (now the leading columns).
+    std::vector<PhysicalExprPtr> keys;
+    for (size_t g = 0; g < group_exprs.size(); ++g) {
+      keys.push_back(std::make_shared<ColumnExpr>(
+          group_names[g], static_cast<int>(g), group_exprs[g]->type()));
+    }
+    distributed = std::make_shared<RepartitionExec>(
+        std::move(partial), ctx_->config.target_partitions,
+        RepartitionExec::Mode::kHash, std::move(keys));
+  }
+
+  // Final-mode group exprs reference the leading partial columns.
+  std::vector<PhysicalExprPtr> final_groups;
+  for (size_t g = 0; g < group_exprs.size(); ++g) {
+    final_groups.push_back(std::make_shared<ColumnExpr>(
+        group_names[g], static_cast<int>(g), group_exprs[g]->type()));
+  }
+  return ExecPlanPtr(std::make_shared<HashAggregateExec>(
+      std::move(distributed), AggregateMode::kFinal, final_groups, group_names,
+      final_aggs, final_schema));
+}
+
+Result<ExecPlanPtr> PhysicalPlanner::PlanDistinct(const PlanPtr& plan) {
+  FUSION_ASSIGN_OR_RAISE(auto input, Plan(plan->child(0)));
+  SchemaPtr schema = PhysicalSchema(plan->schema());
+  std::vector<PhysicalExprPtr> group_exprs;
+  std::vector<std::string> group_names;
+  for (int i = 0; i < schema->num_fields(); ++i) {
+    group_exprs.push_back(std::make_shared<ColumnExpr>(
+        schema->field(i).name(), i, schema->field(i).type()));
+    group_names.push_back(schema->field(i).name());
+  }
+  if (input->output_partitions() > 1) {
+    ExecPlanPtr partial = std::make_shared<HashAggregateExec>(
+        std::move(input), AggregateMode::kPartial, group_exprs, group_names,
+        std::vector<AggregateInfo>{}, schema);
+    std::vector<PhysicalExprPtr> keys = group_exprs;
+    ExecPlanPtr repart = std::make_shared<RepartitionExec>(
+        std::move(partial), ctx_->config.target_partitions,
+        RepartitionExec::Mode::kHash, std::move(keys));
+    return ExecPlanPtr(std::make_shared<HashAggregateExec>(
+        std::move(repart), AggregateMode::kFinal, group_exprs, group_names,
+        std::vector<AggregateInfo>{}, schema));
+  }
+  return ExecPlanPtr(std::make_shared<HashAggregateExec>(
+      std::move(input), AggregateMode::kSingle, group_exprs, group_names,
+      std::vector<AggregateInfo>{}, schema));
+}
+
+Result<ExecPlanPtr> PhysicalPlanner::PlanJoin(const PlanPtr& plan) {
+  const PlanPtr& left = plan->child(0);
+  const PlanPtr& right = plan->child(1);
+  FUSION_ASSIGN_OR_RAISE(auto left_exec, Plan(left));
+  FUSION_ASSIGN_OR_RAISE(auto right_exec, Plan(right));
+  SchemaPtr out_schema = PhysicalSchema(plan->schema());
+
+  if (plan->join_kind == JoinKind::kCross && plan->join_on.empty() &&
+      plan->join_filter == nullptr) {
+    return ExecPlanPtr(std::make_shared<CrossJoinExec>(
+        std::move(left_exec), std::move(right_exec), out_schema));
+  }
+
+  PlanSchema combined = left->schema().Concat(right->schema());
+
+  if (plan->join_on.empty()) {
+    // Non-equi join: nested loops.
+    PhysicalExprPtr filter;
+    if (plan->join_filter != nullptr) {
+      FUSION_ASSIGN_OR_RAISE(filter, CreatePhysicalExpr(plan->join_filter, combined));
+    }
+    return ExecPlanPtr(std::make_shared<NestedLoopJoinExec>(
+        std::move(left_exec), std::move(right_exec), plan->join_kind,
+        std::move(filter), out_schema));
+  }
+
+  // Equi join: hash join. Build on the smaller side (paper §6.4).
+  auto estimate = [](const PlanPtr& p) -> double {
+    // Statistics-backed size estimate walking down to the scans.
+    std::function<double(const PlanPtr&)> walk = [&](const PlanPtr& n) -> double {
+      if (n->kind == PlanKind::kTableScan) {
+        auto stats = n->provider->statistics();
+        double rows = stats.num_rows.has_value()
+                          ? static_cast<double>(*stats.num_rows)
+                          : 1e6;
+        for (const auto& f : n->scan_filters) {
+          rows *= logical::EstimateSelectivity(f);
+        }
+        return rows;
+      }
+      double acc = 0;
+      for (const auto& c : n->children) acc = std::max(acc, walk(c));
+      if (n->kind == PlanKind::kFilter) {
+        acc *= logical::EstimateSelectivity(n->predicate);
+      }
+      if (n->kind == PlanKind::kAggregate) acc *= 0.1;
+      return std::max(acc, 1.0);
+    };
+    return walk(p);
+  };
+
+  // Streaming symmetric hash join (paper §6.4), opt-in: both sides
+  // stream, neither is fully buffered before output begins.
+  if (ctx_->config.enable_symmetric_hash_join &&
+      plan->join_kind == JoinKind::kInner && !plan->join_on.empty()) {
+    std::vector<std::pair<PhysicalExprPtr, PhysicalExprPtr>> on;
+    for (const auto& [l, r] : plan->join_on) {
+      FUSION_ASSIGN_OR_RAISE(auto lk, CreatePhysicalExpr(l, left->schema()));
+      FUSION_ASSIGN_OR_RAISE(auto rk, CreatePhysicalExpr(r, right->schema()));
+      if (lk->type() != rk->type()) {
+        FUSION_ASSIGN_OR_RAISE(DataType common,
+                               compute::CommonType(lk->type(), rk->type()));
+        if (lk->type() != common) lk = MakeCastExpr(std::move(lk), common);
+        if (rk->type() != common) rk = MakeCastExpr(std::move(rk), common);
+      }
+      on.emplace_back(std::move(lk), std::move(rk));
+    }
+    PhysicalExprPtr filter;
+    if (plan->join_filter != nullptr) {
+      FUSION_ASSIGN_OR_RAISE(filter, CreatePhysicalExpr(plan->join_filter, combined));
+    }
+    return ExecPlanPtr(std::make_shared<SymmetricHashJoinExec>(
+        CoalesceToOne(std::move(left_exec)), CoalesceToOne(std::move(right_exec)),
+        std::move(on), std::move(filter), out_schema));
+  }
+
+  // Join algorithm selection (paper §6.4/§6.7): when both inputs already
+  // deliver the key columns in ascending order (e.g. scans of key-sorted
+  // files), a merge join avoids building a hash table.
+  {
+    auto keys_ordered = [&](const ExecPlanPtr& input, const PlanPtr& side,
+                            bool use_right_keys) {
+      std::vector<PhysicalSortExpr> want;
+      for (const auto& [l, r] : plan->join_on) {
+        PhysicalSortExpr pse;
+        auto pe = CreatePhysicalExpr(use_right_keys ? r : l, side->schema());
+        if (!pe.ok()) return false;
+        pse.expr = *pe;
+        want.push_back(std::move(pse));
+      }
+      return OrderingSatisfies(input->output_ordering(), want);
+    };
+    const bool smj_kind = plan->join_kind == JoinKind::kInner ||
+                          plan->join_kind == JoinKind::kLeft ||
+                          plan->join_kind == JoinKind::kRight ||
+                          plan->join_kind == JoinKind::kFull ||
+                          plan->join_kind == JoinKind::kLeftSemi ||
+                          plan->join_kind == JoinKind::kLeftAnti;
+    if (smj_kind && !plan->join_on.empty() &&
+        left_exec->output_partitions() == 1 &&
+        right_exec->output_partitions() == 1 &&
+        keys_ordered(left_exec, left, false) &&
+        keys_ordered(right_exec, right, true)) {
+      std::vector<std::pair<PhysicalExprPtr, PhysicalExprPtr>> on;
+      for (const auto& [l, r] : plan->join_on) {
+        FUSION_ASSIGN_OR_RAISE(auto lk, CreatePhysicalExpr(l, left->schema()));
+        FUSION_ASSIGN_OR_RAISE(auto rk, CreatePhysicalExpr(r, right->schema()));
+        on.emplace_back(std::move(lk), std::move(rk));
+      }
+      PhysicalExprPtr filter;
+      if (plan->join_filter != nullptr) {
+        FUSION_ASSIGN_OR_RAISE(filter,
+                               CreatePhysicalExpr(plan->join_filter, combined));
+      }
+      return ExecPlanPtr(std::make_shared<SortMergeJoinExec>(
+          std::move(left_exec), std::move(right_exec), plan->join_kind,
+          std::move(on), std::move(filter), out_schema));
+    }
+  }
+
+  JoinKind kind = plan->join_kind;
+  bool build_is_left = true;
+  switch (kind) {
+    case JoinKind::kLeftSemi:
+    case JoinKind::kLeftAnti:
+      // Preserved side is left; stream it, build on right.
+      build_is_left = false;
+      break;
+    case JoinKind::kRightSemi:
+    case JoinKind::kRightAnti:
+      build_is_left = true;
+      break;
+    default:
+      build_is_left = estimate(left) <= estimate(right);
+      break;
+  }
+
+  std::vector<std::pair<PhysicalExprPtr, PhysicalExprPtr>> on;
+  PhysicalExprPtr filter;
+  ExecPlanPtr build_exec, probe_exec;
+  JoinKind exec_kind = kind;
+  bool needs_restore_projection = false;
+  PlanSchema exec_combined = combined;
+
+  auto compile_keys = [&](const PlanSchema& build_schema,
+                          const PlanSchema& probe_schema,
+                          bool keys_flipped) -> Status {
+    for (const auto& [l, r] : plan->join_on) {
+      const ExprPtr& build_key = keys_flipped ? r : l;
+      const ExprPtr& probe_key = keys_flipped ? l : r;
+      FUSION_ASSIGN_OR_RAISE(auto bk, CreatePhysicalExpr(build_key, build_schema));
+      FUSION_ASSIGN_OR_RAISE(auto pk, CreatePhysicalExpr(probe_key, probe_schema));
+      if (bk->type() != pk->type()) {
+        FUSION_ASSIGN_OR_RAISE(DataType common,
+                               compute::CommonType(bk->type(), pk->type()));
+        if (bk->type() != common) {
+          bk = MakeCastExpr(std::move(bk), common);
+        }
+        if (pk->type() != common) {
+          pk = MakeCastExpr(std::move(pk), common);
+        }
+      }
+      on.emplace_back(std::move(bk), std::move(pk));
+    }
+    return Status::OK();
+  };
+
+  if (build_is_left) {
+    build_exec = left_exec;
+    probe_exec = right_exec;
+    FUSION_RETURN_NOT_OK(compile_keys(left->schema(), right->schema(), false));
+    exec_combined = left->schema().Concat(right->schema());
+  } else {
+    build_exec = right_exec;
+    probe_exec = left_exec;
+    FUSION_RETURN_NOT_OK(compile_keys(right->schema(), left->schema(), true));
+    exec_combined = right->schema().Concat(left->schema());
+    // Flip the join type to match the swapped orientation.
+    switch (kind) {
+      case JoinKind::kInner:
+      case JoinKind::kCross:
+      case JoinKind::kFull:
+        break;
+      case JoinKind::kLeft: exec_kind = JoinKind::kRight; break;
+      case JoinKind::kRight: exec_kind = JoinKind::kLeft; break;
+      case JoinKind::kLeftSemi: exec_kind = JoinKind::kRightSemi; break;
+      case JoinKind::kLeftAnti: exec_kind = JoinKind::kRightAnti; break;
+      case JoinKind::kRightSemi: exec_kind = JoinKind::kLeftSemi; break;
+      case JoinKind::kRightAnti: exec_kind = JoinKind::kLeftAnti; break;
+    }
+    needs_restore_projection = kind == JoinKind::kInner || kind == JoinKind::kLeft ||
+                               kind == JoinKind::kRight || kind == JoinKind::kFull ||
+                               kind == JoinKind::kCross;
+  }
+
+  if (plan->join_filter != nullptr) {
+    FUSION_ASSIGN_OR_RAISE(filter,
+                           CreatePhysicalExpr(plan->join_filter, exec_combined));
+  }
+
+  // Exec output schema is build ++ probe (or the preserved side for
+  // semi/anti joins).
+  SchemaPtr exec_schema;
+  switch (exec_kind) {
+    case JoinKind::kLeftSemi:
+    case JoinKind::kLeftAnti:
+      exec_schema = build_exec->schema();
+      break;
+    case JoinKind::kRightSemi:
+    case JoinKind::kRightAnti:
+      exec_schema = probe_exec->schema();
+      break;
+    default:
+      exec_schema = exec_combined.schema();
+  }
+
+  ExecPlanPtr join = std::make_shared<HashJoinExec>(
+      std::move(build_exec), std::move(probe_exec), exec_kind, std::move(on),
+      std::move(filter), exec_schema);
+
+  if (needs_restore_projection) {
+    // Reorder (right ++ left) back to (left ++ right).
+    std::vector<PhysicalExprPtr> restore;
+    const int right_cols = right->schema().num_fields();
+    const int left_cols = left->schema().num_fields();
+    for (int i = 0; i < left_cols; ++i) {
+      restore.push_back(std::make_shared<ColumnExpr>(
+          exec_schema->field(right_cols + i).name(), right_cols + i,
+          exec_schema->field(right_cols + i).type()));
+    }
+    for (int i = 0; i < right_cols; ++i) {
+      restore.push_back(std::make_shared<ColumnExpr>(
+          exec_schema->field(i).name(), i, exec_schema->field(i).type()));
+    }
+    join = std::make_shared<ProjectionExec>(std::move(join), std::move(restore),
+                                            out_schema);
+  }
+  return join;
+}
+
+Result<ExecPlanPtr> PhysicalPlanner::PlanWindow(const PlanPtr& plan) {
+  FUSION_ASSIGN_OR_RAISE(auto input, Plan(plan->child(0)));
+  const PlanSchema& in_schema = plan->child(0)->schema();
+  std::vector<WindowExprInfo> infos;
+  for (const auto& e : plan->exprs) {
+    const ExprPtr& w = logical::Unalias(e);
+    if (w->kind != Expr::Kind::kWindow) {
+      return Status::PlanError("Window node contains non-window expression");
+    }
+    WindowExprInfo info;
+    info.function = w->window_function;
+    info.output_name = e->DisplayName();
+    FUSION_ASSIGN_OR_RAISE(info.output_type, w->GetType(in_schema));
+    for (const auto& arg : w->children) {
+      FUSION_ASSIGN_OR_RAISE(auto pe, CreatePhysicalExpr(arg, in_schema));
+      info.args.push_back(std::move(pe));
+    }
+    if (w->window_spec != nullptr) {
+      for (const auto& p : w->window_spec->partition_by) {
+        FUSION_ASSIGN_OR_RAISE(auto pe, CreatePhysicalExpr(p, in_schema));
+        info.partition_by.push_back(std::move(pe));
+      }
+      for (const auto& o : w->window_spec->order_by) {
+        PhysicalSortExpr pse;
+        FUSION_ASSIGN_OR_RAISE(pse.expr, CreatePhysicalExpr(o.expr, in_schema));
+        pse.options = o.options;
+        info.order_by.push_back(std::move(pse));
+      }
+      info.frame = w->window_spec->frame;
+    }
+    infos.push_back(std::move(info));
+  }
+  return ExecPlanPtr(std::make_shared<WindowExec>(
+      CoalesceToOne(std::move(input)), std::move(infos),
+      PhysicalSchema(plan->schema())));
+}
+
+}  // namespace physical
+}  // namespace fusion

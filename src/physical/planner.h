@@ -1,0 +1,42 @@
+#ifndef FUSION_PHYSICAL_PLANNER_H_
+#define FUSION_PHYSICAL_PLANNER_H_
+
+#include "logical/plan.h"
+#include "physical/execution_plan.h"
+
+namespace fusion {
+namespace physical {
+
+/// \brief Lowers an optimized LogicalPlan to an ExecutionPlan (paper
+/// §5.1 step 4): selects join algorithms and build sides from
+/// statistics, plans two-phase aggregations, inserts exchange operators
+/// (Repartition/Coalesce) to satisfy distribution requirements, elides
+/// sorts satisfied by existing orderings (§6.7), and executes
+/// uncorrelated scalar subqueries.
+class PhysicalPlanner {
+ public:
+  explicit PhysicalPlanner(ExecContextPtr ctx) : ctx_(std::move(ctx)) {}
+
+  Result<ExecPlanPtr> CreatePlan(const logical::PlanPtr& plan);
+
+ private:
+  Result<ExecPlanPtr> Plan(const logical::PlanPtr& plan);
+
+  Result<ExecPlanPtr> PlanScan(const logical::PlanPtr& plan);
+  Result<ExecPlanPtr> PlanAggregate(const logical::PlanPtr& plan);
+  Result<ExecPlanPtr> PlanDistinct(const logical::PlanPtr& plan);
+  Result<ExecPlanPtr> PlanJoin(const logical::PlanPtr& plan);
+  Result<ExecPlanPtr> PlanSort(const logical::PlanPtr& plan);
+  Result<ExecPlanPtr> PlanWindow(const logical::PlanPtr& plan);
+
+  /// Replace scalar-subquery expressions with literals by executing the
+  /// subquery plans.
+  Result<logical::ExprPtr> ResolveSubqueries(const logical::ExprPtr& expr);
+
+  ExecContextPtr ctx_;
+};
+
+}  // namespace physical
+}  // namespace fusion
+
+#endif  // FUSION_PHYSICAL_PLANNER_H_

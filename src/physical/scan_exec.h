@@ -1,0 +1,106 @@
+#ifndef FUSION_PHYSICAL_SCAN_EXEC_H_
+#define FUSION_PHYSICAL_SCAN_EXEC_H_
+
+#include <mutex>
+
+#include "catalog/table_provider.h"
+#include "physical/execution_plan.h"
+
+namespace fusion {
+namespace physical {
+
+/// \brief Leaf operator wrapping a TableProvider scan. The provider
+/// receives the pushed projection/predicates/limit and decides its own
+/// partitioning (paper §7.3).
+class ScanExec : public ExecutionPlan {
+ public:
+  ScanExec(std::string table_name, catalog::TableProviderPtr provider,
+           catalog::ScanRequest request, SchemaPtr output_schema)
+      : table_name_(std::move(table_name)), provider_(std::move(provider)),
+        request_(std::move(request)), schema_(std::move(output_schema)) {}
+
+  std::string name() const override { return "ScanExec"; }
+  SchemaPtr schema() const override { return schema_; }
+
+  int output_partitions() const override {
+    const_cast<ScanExec*>(this)->EnsureOpened().Abort();
+    return static_cast<int>(iterators_.size());
+  }
+
+  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr&) override {
+    FUSION_RETURN_NOT_OK(EnsureOpened());
+    std::lock_guard<std::mutex> lock(mu_);
+    if (partition < 0 || partition >= static_cast<int>(iterators_.size()) ||
+        iterators_[partition] == nullptr) {
+      return Status::ExecutionError("scan partition already consumed or invalid");
+    }
+    return exec::StreamPtr(std::make_unique<exec::IteratorStream>(
+        schema_, std::move(iterators_[partition])));
+  }
+
+  std::vector<OrderingInfo> output_ordering() const override {
+    // Map the provider's declared order (paper §6.7) through the scan's
+    // projection; each scan partition individually satisfies it.
+    std::vector<OrderingInfo> out;
+    for (const catalog::OrderedColumn& oc : provider_->sort_order()) {
+      int idx = schema_->GetFieldIndex(oc.column);
+      if (idx < 0) break;
+      out.push_back({idx, oc.options});
+    }
+    return out;
+  }
+
+  std::string ToStringLine() const override {
+    std::string out = "ScanExec: " + table_name_;
+    if (!request_.predicates.empty()) {
+      out += " pushdown=[";
+      for (size_t i = 0; i < request_.predicates.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += request_.predicates[i].ToString();
+      }
+      out += "]";
+    }
+    if (request_.limit >= 0) out += " limit=" + std::to_string(request_.limit);
+    return out;
+  }
+
+  const catalog::ScanRequest& request() const { return request_; }
+  const catalog::TableProviderPtr& provider() const { return provider_; }
+
+ private:
+  Status EnsureOpened() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (opened_) return open_status_;
+    opened_ = true;
+    auto result = provider_->Scan(request_);
+    if (!result.ok()) {
+      open_status_ = result.status();
+      return open_status_;
+    }
+    iterators_ = std::move(*result);
+    if (iterators_.empty()) {
+      // Always expose at least one (empty) partition.
+      class EmptyIterator : public catalog::BatchIterator {
+       public:
+        Result<RecordBatchPtr> Next() override { return RecordBatchPtr(nullptr); }
+      };
+      iterators_.push_back(std::make_unique<EmptyIterator>());
+    }
+    return Status::OK();
+  }
+
+  std::string table_name_;
+  catalog::TableProviderPtr provider_;
+  catalog::ScanRequest request_;
+  SchemaPtr schema_;
+
+  std::mutex mu_;
+  bool opened_ = false;
+  Status open_status_;
+  std::vector<catalog::BatchIteratorPtr> iterators_;
+};
+
+}  // namespace physical
+}  // namespace fusion
+
+#endif  // FUSION_PHYSICAL_SCAN_EXEC_H_

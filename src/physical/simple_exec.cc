@@ -1,0 +1,174 @@
+#include "physical/simple_exec.h"
+
+#include "arrow/builder.h"
+#include "compute/selection.h"
+
+namespace fusion {
+namespace physical {
+
+Result<exec::StreamPtr> FilterExec::Execute(int partition,
+                                            const ExecContextPtr& ctx) {
+  FUSION_ASSIGN_OR_RAISE(auto input, input_->Execute(partition, ctx));
+  auto input_shared = std::shared_ptr<exec::RecordBatchStream>(std::move(input));
+  auto predicate = predicate_;
+  SchemaPtr schema = input_shared->schema();
+  return exec::StreamPtr(std::make_unique<exec::GeneratorStream>(
+      schema, [input_shared, predicate]() -> Result<RecordBatchPtr> {
+        for (;;) {
+          FUSION_ASSIGN_OR_RAISE(auto batch, input_shared->Next());
+          if (batch == nullptr) return RecordBatchPtr(nullptr);
+          FUSION_ASSIGN_OR_RAISE(auto mask,
+                                 EvaluatePredicateMask(*predicate, *batch));
+          const auto& bmask = checked_cast<BooleanArray>(*mask);
+          int64_t selected = bmask.TrueCount();
+          if (selected == 0) continue;
+          if (selected == batch->num_rows()) return batch;
+          FUSION_ASSIGN_OR_RAISE(auto filtered,
+                                 compute::FilterBatch(*batch, bmask));
+          return filtered;
+        }
+      }));
+}
+
+std::vector<OrderingInfo> ProjectionExec::output_ordering() const {
+  // Map the input ordering through pass-through column expressions.
+  std::vector<OrderingInfo> in_order = input_->output_ordering();
+  std::vector<OrderingInfo> out;
+  for (const OrderingInfo& o : in_order) {
+    bool found = false;
+    for (size_t i = 0; i < exprs_.size(); ++i) {
+      auto* col = dynamic_cast<const ColumnExpr*>(exprs_[i].get());
+      if (col != nullptr && col->index() == o.column) {
+        out.push_back({static_cast<int>(i), o.options});
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;  // prefix orderings only
+  }
+  return out;
+}
+
+Result<exec::StreamPtr> ProjectionExec::Execute(int partition,
+                                                const ExecContextPtr& ctx) {
+  FUSION_ASSIGN_OR_RAISE(auto input, input_->Execute(partition, ctx));
+  auto input_shared = std::shared_ptr<exec::RecordBatchStream>(std::move(input));
+  auto exprs = exprs_;
+  SchemaPtr schema = schema_;
+  return exec::StreamPtr(std::make_unique<exec::GeneratorStream>(
+      schema, [input_shared, exprs, schema]() -> Result<RecordBatchPtr> {
+        FUSION_ASSIGN_OR_RAISE(auto batch, input_shared->Next());
+        if (batch == nullptr) return RecordBatchPtr(nullptr);
+        FUSION_ASSIGN_OR_RAISE(auto columns, EvaluateToArrays(exprs, *batch));
+        return std::make_shared<RecordBatch>(schema, batch->num_rows(),
+                                             std::move(columns));
+      }));
+}
+
+std::string ProjectionExec::ToStringLine() const {
+  std::string out = "ProjectionExec: ";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString();
+  }
+  return out;
+}
+
+Result<exec::StreamPtr> LimitExec::Execute(int partition, const ExecContextPtr& ctx) {
+  if (partition != 0) {
+    return Status::ExecutionError("LimitExec expects a single partition");
+  }
+  if (input_->output_partitions() != 1) {
+    return Status::ExecutionError(
+        "LimitExec input must be coalesced to one partition");
+  }
+  FUSION_ASSIGN_OR_RAISE(auto input, input_->Execute(0, ctx));
+  auto input_shared = std::shared_ptr<exec::RecordBatchStream>(std::move(input));
+  SchemaPtr schema = input_shared->schema();
+  auto skip = std::make_shared<int64_t>(skip_);
+  auto remaining = std::make_shared<int64_t>(fetch_ < 0 ? INT64_MAX : fetch_);
+  return exec::StreamPtr(std::make_unique<exec::GeneratorStream>(
+      schema, [input_shared, skip, remaining]() -> Result<RecordBatchPtr> {
+        for (;;) {
+          if (*remaining <= 0) return RecordBatchPtr(nullptr);
+          FUSION_ASSIGN_OR_RAISE(auto batch, input_shared->Next());
+          if (batch == nullptr) return RecordBatchPtr(nullptr);
+          if (*skip > 0) {
+            if (batch->num_rows() <= *skip) {
+              *skip -= batch->num_rows();
+              continue;
+            }
+            batch = batch->Slice(*skip, batch->num_rows() - *skip);
+            *skip = 0;
+          }
+          if (batch->num_rows() > *remaining) {
+            batch = batch->Slice(0, *remaining);
+          }
+          *remaining -= batch->num_rows();
+          return batch;
+        }
+      }));
+}
+
+Result<exec::StreamPtr> CoalesceBatchesExec::Execute(int partition,
+                                                     const ExecContextPtr& ctx) {
+  FUSION_ASSIGN_OR_RAISE(auto input, input_->Execute(partition, ctx));
+  auto input_shared = std::shared_ptr<exec::RecordBatchStream>(std::move(input));
+  SchemaPtr schema = input_shared->schema();
+  int64_t target = ctx->config.batch_size;
+  auto pending = std::make_shared<std::vector<RecordBatchPtr>>();
+  auto pending_rows = std::make_shared<int64_t>(0);
+  auto done = std::make_shared<bool>(false);
+  return exec::StreamPtr(std::make_unique<exec::GeneratorStream>(
+      schema,
+      [input_shared, schema, target, pending, pending_rows,
+       done]() -> Result<RecordBatchPtr> {
+        if (*done && pending->empty()) return RecordBatchPtr(nullptr);
+        while (!*done && *pending_rows < target) {
+          FUSION_ASSIGN_OR_RAISE(auto batch, input_shared->Next());
+          if (batch == nullptr) {
+            *done = true;
+            break;
+          }
+          if (batch->num_rows() == 0) continue;
+          *pending_rows += batch->num_rows();
+          pending->push_back(std::move(batch));
+        }
+        if (pending->empty()) return RecordBatchPtr(nullptr);
+        if (pending->size() == 1) {
+          auto out = std::move(pending->front());
+          pending->clear();
+          *pending_rows = 0;
+          return out;
+        }
+        FUSION_ASSIGN_OR_RAISE(auto merged, ConcatenateBatches(schema, *pending));
+        pending->clear();
+        *pending_rows = 0;
+        return merged;
+      }));
+}
+
+Result<exec::StreamPtr> UnionExec::Execute(int partition, const ExecContextPtr& ctx) {
+  int p = partition;
+  for (const auto& input : inputs_) {
+    if (p < input->output_partitions()) {
+      return input->Execute(p, ctx);
+    }
+    p -= input->output_partitions();
+  }
+  return Status::ExecutionError("UnionExec: partition out of range");
+}
+
+Result<exec::StreamPtr> ExplainExec::Execute(int, const ExecContextPtr&) {
+  StringBuilder builder;
+  builder.Append("== Logical Plan ==\n" + logical_text_ + "== Physical Plan ==\n" +
+                 physical_text_);
+  FUSION_ASSIGN_OR_RAISE(auto arr, builder.Finish());
+  auto batch = std::make_shared<RecordBatch>(schema_, 1,
+                                             std::vector<ArrayPtr>{std::move(arr)});
+  return exec::StreamPtr(std::make_unique<exec::VectorStream>(
+      schema_, std::vector<RecordBatchPtr>{std::move(batch)}));
+}
+
+}  // namespace physical
+}  // namespace fusion

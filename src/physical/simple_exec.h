@@ -1,0 +1,185 @@
+#ifndef FUSION_PHYSICAL_SIMPLE_EXEC_H_
+#define FUSION_PHYSICAL_SIMPLE_EXEC_H_
+
+#include <atomic>
+
+#include "physical/execution_plan.h"
+
+namespace fusion {
+namespace physical {
+
+/// Streaming WHERE: evaluates a boolean PhysicalExpr per batch and keeps
+/// selected rows.
+class FilterExec : public ExecutionPlan {
+ public:
+  FilterExec(ExecPlanPtr input, PhysicalExprPtr predicate)
+      : input_(std::move(input)), predicate_(std::move(predicate)) {}
+
+  std::string name() const override { return "FilterExec"; }
+  SchemaPtr schema() const override { return input_->schema(); }
+  int output_partitions() const override { return input_->output_partitions(); }
+  std::vector<ExecPlanPtr> children() const override { return {input_}; }
+  std::vector<OrderingInfo> output_ordering() const override {
+    return input_->output_ordering();  // filtering preserves order
+  }
+  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  std::string ToStringLine() const override {
+    return "FilterExec: " + predicate_->ToString();
+  }
+
+ private:
+  ExecPlanPtr input_;
+  PhysicalExprPtr predicate_;
+};
+
+/// Streaming SELECT-list evaluation.
+class ProjectionExec : public ExecutionPlan {
+ public:
+  ProjectionExec(ExecPlanPtr input, std::vector<PhysicalExprPtr> exprs,
+                 SchemaPtr output_schema)
+      : input_(std::move(input)), exprs_(std::move(exprs)),
+        schema_(std::move(output_schema)) {}
+
+  std::string name() const override { return "ProjectionExec"; }
+  SchemaPtr schema() const override { return schema_; }
+  int output_partitions() const override { return input_->output_partitions(); }
+  std::vector<ExecPlanPtr> children() const override { return {input_}; }
+  std::vector<OrderingInfo> output_ordering() const override;
+  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  std::string ToStringLine() const override;
+
+  const std::vector<PhysicalExprPtr>& exprs() const { return exprs_; }
+
+ private:
+  ExecPlanPtr input_;
+  std::vector<PhysicalExprPtr> exprs_;
+  SchemaPtr schema_;
+};
+
+/// skip/fetch on a single input partition.
+class LimitExec : public ExecutionPlan {
+ public:
+  LimitExec(ExecPlanPtr input, int64_t skip, int64_t fetch)
+      : input_(std::move(input)), skip_(skip), fetch_(fetch) {}
+
+  std::string name() const override { return "LimitExec"; }
+  SchemaPtr schema() const override { return input_->schema(); }
+  int output_partitions() const override { return 1; }
+  std::vector<ExecPlanPtr> children() const override { return {input_}; }
+  std::vector<OrderingInfo> output_ordering() const override {
+    return input_->output_ordering();
+  }
+  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  std::string ToStringLine() const override {
+    return "LimitExec: skip=" + std::to_string(skip_) +
+           " fetch=" + std::to_string(fetch_);
+  }
+
+ private:
+  ExecPlanPtr input_;
+  int64_t skip_;
+  int64_t fetch_;
+};
+
+/// Re-chunks small batches (e.g. after selective filters) up to the
+/// session batch size, reducing per-batch overhead downstream.
+class CoalesceBatchesExec : public ExecutionPlan {
+ public:
+  explicit CoalesceBatchesExec(ExecPlanPtr input) : input_(std::move(input)) {}
+
+  std::string name() const override { return "CoalesceBatchesExec"; }
+  SchemaPtr schema() const override { return input_->schema(); }
+  int output_partitions() const override { return input_->output_partitions(); }
+  std::vector<ExecPlanPtr> children() const override { return {input_}; }
+  std::vector<OrderingInfo> output_ordering() const override {
+    return input_->output_ordering();
+  }
+  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+
+ private:
+  ExecPlanPtr input_;
+};
+
+/// Concatenates children partition lists (UNION ALL).
+class UnionExec : public ExecutionPlan {
+ public:
+  explicit UnionExec(std::vector<ExecPlanPtr> inputs) : inputs_(std::move(inputs)) {}
+
+  std::string name() const override { return "UnionExec"; }
+  SchemaPtr schema() const override { return inputs_[0]->schema(); }
+  int output_partitions() const override {
+    int total = 0;
+    for (const auto& i : inputs_) total += i->output_partitions();
+    return total;
+  }
+  std::vector<ExecPlanPtr> children() const override { return inputs_; }
+  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+
+ private:
+  std::vector<ExecPlanPtr> inputs_;
+};
+
+/// Literal VALUES rows.
+class ValuesExec : public ExecutionPlan {
+ public:
+  ValuesExec(SchemaPtr schema, RecordBatchPtr batch)
+      : schema_(std::move(schema)), batch_(std::move(batch)) {}
+
+  std::string name() const override { return "ValuesExec"; }
+  SchemaPtr schema() const override { return schema_; }
+  int output_partitions() const override { return 1; }
+  Result<exec::StreamPtr> Execute(int, const ExecContextPtr&) override {
+    return exec::StreamPtr(
+        std::make_unique<exec::VectorStream>(schema_, std::vector{batch_}));
+  }
+
+ private:
+  SchemaPtr schema_;
+  RecordBatchPtr batch_;
+};
+
+/// Zero- or one-row empty relation (SELECT without FROM).
+class EmptyExec : public ExecutionPlan {
+ public:
+  EmptyExec(SchemaPtr schema, bool produce_one_row)
+      : schema_(std::move(schema)), produce_one_row_(produce_one_row) {}
+
+  std::string name() const override { return "EmptyExec"; }
+  SchemaPtr schema() const override { return schema_; }
+  int output_partitions() const override { return 1; }
+  Result<exec::StreamPtr> Execute(int, const ExecContextPtr&) override {
+    std::vector<RecordBatchPtr> batches;
+    if (produce_one_row_) {
+      batches.push_back(RecordBatch::MakeEmpty(schema_, 1));
+    }
+    return exec::StreamPtr(
+        std::make_unique<exec::VectorStream>(schema_, std::move(batches)));
+  }
+
+ private:
+  SchemaPtr schema_;
+  bool produce_one_row_;
+};
+
+/// Emits the plan description for EXPLAIN.
+class ExplainExec : public ExecutionPlan {
+ public:
+  ExplainExec(SchemaPtr schema, std::string logical_text, std::string physical_text)
+      : schema_(std::move(schema)), logical_text_(std::move(logical_text)),
+        physical_text_(std::move(physical_text)) {}
+
+  std::string name() const override { return "ExplainExec"; }
+  SchemaPtr schema() const override { return schema_; }
+  int output_partitions() const override { return 1; }
+  Result<exec::StreamPtr> Execute(int, const ExecContextPtr&) override;
+
+ private:
+  SchemaPtr schema_;
+  std::string logical_text_;
+  std::string physical_text_;
+};
+
+}  // namespace physical
+}  // namespace fusion
+
+#endif  // FUSION_PHYSICAL_SIMPLE_EXEC_H_

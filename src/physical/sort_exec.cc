@@ -1,0 +1,351 @@
+#include "physical/sort_exec.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "arrow/builder.h"
+#include "arrow/ipc.h"
+#include "compute/selection.h"
+#include "exec/memory_pool.h"
+#include "row/row_format.h"
+
+namespace fusion {
+namespace physical {
+
+namespace {
+
+/// Evaluate sort keys of a batch and encode per-row normalized keys.
+Result<std::vector<std::string>> EncodeSortKeys(
+    const RecordBatch& batch, const std::vector<PhysicalSortExpr>& sort_exprs) {
+  std::vector<ArrayPtr> keys;
+  std::vector<DataType> types;
+  std::vector<row::SortOptions> options;
+  keys.reserve(sort_exprs.size());
+  for (const auto& se : sort_exprs) {
+    FUSION_ASSIGN_OR_RAISE(ColumnarValue v, se.expr->Evaluate(batch));
+    FUSION_ASSIGN_OR_RAISE(auto arr, v.ToArray(batch.num_rows()));
+    types.push_back(arr->type());
+    keys.push_back(std::move(arr));
+    options.push_back(se.options);
+  }
+  row::RowEncoder encoder(std::move(types), std::move(options));
+  std::vector<std::string> encoded;
+  encoded.reserve(static_cast<size_t>(batch.num_rows()));
+  FUSION_RETURN_NOT_OK(encoder.EncodeColumns(keys, &encoded));
+  return encoded;
+}
+
+/// Sort a fully materialized batch, returning it re-ordered.
+Result<RecordBatchPtr> SortBatch(const RecordBatchPtr& batch,
+                                 const std::vector<PhysicalSortExpr>& sort_exprs) {
+  FUSION_ASSIGN_OR_RAISE(auto keys, EncodeSortKeys(*batch, sort_exprs));
+  std::vector<int64_t> indices(static_cast<size_t>(batch->num_rows()));
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = static_cast<int64_t>(i);
+  std::stable_sort(indices.begin(), indices.end(),
+                   [&](int64_t a, int64_t b) { return keys[a] < keys[b]; });
+  return compute::TakeBatch(*batch, indices);
+}
+
+/// Cursor over one sorted stream for the k-way merge.
+struct MergeCursor {
+  std::shared_ptr<exec::RecordBatchStream> stream;
+  RecordBatchPtr batch;
+  std::vector<std::string> keys;
+  int64_t row = 0;
+
+  Status Advance(const std::vector<PhysicalSortExpr>& sort_exprs) {
+    ++row;
+    if (batch != nullptr && row < batch->num_rows()) return Status::OK();
+    return LoadNext(sort_exprs);
+  }
+
+  Status LoadNext(const std::vector<PhysicalSortExpr>& sort_exprs) {
+    for (;;) {
+      FUSION_ASSIGN_OR_RAISE(batch, stream->Next());
+      row = 0;
+      if (batch == nullptr) return Status::OK();
+      if (batch->num_rows() == 0) continue;
+      FUSION_ASSIGN_OR_RAISE(keys, EncodeSortKeys(*batch, sort_exprs));
+      return Status::OK();
+    }
+  }
+
+  bool exhausted() const { return batch == nullptr; }
+  const std::string& key() const { return keys[row]; }
+};
+
+/// A stream over spilled IPC batches.
+class SpillStream : public exec::RecordBatchStream {
+ public:
+  SpillStream(SchemaPtr schema, exec::SpillFilePtr file)
+      : schema_(std::move(schema)), file_(std::move(file)),
+        reader_(file_->path()) {}
+
+  const SchemaPtr& schema() const override { return schema_; }
+
+  Result<RecordBatchPtr> Next() override {
+    if (!opened_) {
+      FUSION_RETURN_NOT_OK(reader_.Open());
+      opened_ = true;
+    }
+    return reader_.Next();
+  }
+
+ private:
+  SchemaPtr schema_;
+  exec::SpillFilePtr file_;
+  ipc::FileReader reader_;
+  bool opened_ = false;
+};
+
+}  // namespace
+
+std::vector<OrderingInfo> OrderingFromSortExprs(
+    const std::vector<PhysicalSortExpr>& sort_exprs) {
+  std::vector<OrderingInfo> out;
+  for (const auto& se : sort_exprs) {
+    auto* col = dynamic_cast<const ColumnExpr*>(se.expr.get());
+    if (col == nullptr) break;
+    out.push_back({col->index(), se.options});
+  }
+  return out;
+}
+
+Result<exec::StreamPtr> MergeSortedStreams(
+    SchemaPtr schema, std::vector<std::shared_ptr<exec::RecordBatchStream>> inputs,
+    std::vector<PhysicalSortExpr> sort_exprs, int64_t batch_size) {
+  auto cursors = std::make_shared<std::vector<MergeCursor>>();
+  cursors->reserve(inputs.size());
+  for (auto& in : inputs) {
+    MergeCursor c;
+    c.stream = std::move(in);
+    cursors->push_back(std::move(c));
+  }
+  auto exprs = std::make_shared<std::vector<PhysicalSortExpr>>(std::move(sort_exprs));
+  auto initialized = std::make_shared<bool>(false);
+  // Min-heap of cursor indices ordered by current normalized key; this
+  // plays the role of the tree of losers in [Graefe 2006].
+  auto cmp = [cursors](size_t a, size_t b) {
+    return (*cursors)[a].key() > (*cursors)[b].key();
+  };
+  using Heap = std::priority_queue<size_t, std::vector<size_t>, decltype(cmp)>;
+  auto heap = std::make_shared<Heap>(cmp);
+
+  return exec::StreamPtr(std::make_unique<exec::GeneratorStream>(
+      schema,
+      [schema, cursors, exprs, initialized, heap,
+       batch_size]() -> Result<RecordBatchPtr> {
+        if (!*initialized) {
+          *initialized = true;
+          for (size_t i = 0; i < cursors->size(); ++i) {
+            FUSION_RETURN_NOT_OK((*cursors)[i].LoadNext(*exprs));
+            if (!(*cursors)[i].exhausted()) heap->push(i);
+          }
+        }
+        if (heap->empty()) return RecordBatchPtr(nullptr);
+        std::vector<std::unique_ptr<ArrayBuilder>> builders;
+        for (const Field& f : schema->fields()) {
+          FUSION_ASSIGN_OR_RAISE(auto b, MakeBuilder(f.type()));
+          b->Reserve(batch_size);
+          builders.push_back(std::move(b));
+        }
+        int64_t rows = 0;
+        while (rows < batch_size && !heap->empty()) {
+          size_t i = heap->top();
+          heap->pop();
+          MergeCursor& cur = (*cursors)[i];
+          for (int c = 0; c < schema->num_fields(); ++c) {
+            builders[c]->AppendFrom(*cur.batch->column(c), cur.row);
+          }
+          ++rows;
+          FUSION_RETURN_NOT_OK(cur.Advance(*exprs));
+          if (!cur.exhausted()) heap->push(i);
+        }
+        if (rows == 0) return RecordBatchPtr(nullptr);
+        std::vector<ArrayPtr> columns;
+        for (auto& b : builders) {
+          FUSION_ASSIGN_OR_RAISE(auto arr, b->Finish());
+          columns.push_back(std::move(arr));
+        }
+        return std::make_shared<RecordBatch>(schema, rows, std::move(columns));
+      }));
+}
+
+std::vector<OrderingInfo> SortExec::output_ordering() const {
+  return OrderingFromSortExprs(sort_exprs_);
+}
+
+std::string SortExec::ToStringLine() const {
+  std::string out = "SortExec: ";
+  for (size_t i = 0; i < sort_exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += sort_exprs_[i].expr->ToString();
+    if (sort_exprs_[i].options.descending) out += " DESC";
+  }
+  if (fetch_ >= 0) out += " fetch=" + std::to_string(fetch_) + " (TopK)";
+  return out;
+}
+
+Result<exec::StreamPtr> SortExec::Execute(int partition, const ExecContextPtr& ctx) {
+  FUSION_ASSIGN_OR_RAISE(auto input, input_->Execute(partition, ctx));
+  SchemaPtr schema = input_->schema();
+
+  const bool use_topk = fetch_ >= 0 && ctx->config.enable_topk &&
+                        fetch_ <= 100000;
+
+  if (use_topk) {
+    // Top-K: keep only the best `fetch_` rows, compacting the candidate
+    // buffer whenever it doubles (paper §6.2 "specialized
+    // implementations for LIMIT").
+    std::vector<RecordBatchPtr> buffer;
+    int64_t buffered_rows = 0;
+    std::string cutoff;  // largest key currently in the top K (if full)
+    bool have_cutoff = false;
+    auto compact = [&]() -> Status {
+      FUSION_ASSIGN_OR_RAISE(auto merged, ConcatenateBatches(schema, buffer));
+      FUSION_ASSIGN_OR_RAISE(auto sorted, SortBatch(merged, sort_exprs_));
+      if (sorted->num_rows() > fetch_) {
+        sorted = sorted->Slice(0, fetch_);
+      }
+      buffer.clear();
+      buffer.push_back(sorted);
+      buffered_rows = sorted->num_rows();
+      if (buffered_rows == fetch_) {
+        FUSION_ASSIGN_OR_RAISE(auto keys, EncodeSortKeys(*sorted, sort_exprs_));
+        cutoff = keys.back();
+        have_cutoff = true;
+      }
+      return Status::OK();
+    };
+    for (;;) {
+      FUSION_ASSIGN_OR_RAISE(auto batch, input->Next());
+      if (batch == nullptr) break;
+      if (batch->num_rows() == 0) continue;
+      if (have_cutoff) {
+        // Pre-filter rows that cannot enter the top K.
+        FUSION_ASSIGN_OR_RAISE(auto keys, EncodeSortKeys(*batch, sort_exprs_));
+        std::vector<int64_t> keep;
+        for (int64_t r = 0; r < batch->num_rows(); ++r) {
+          if (keys[r] < cutoff) keep.push_back(r);
+        }
+        if (keep.empty()) continue;
+        if (static_cast<int64_t>(keep.size()) < batch->num_rows()) {
+          FUSION_ASSIGN_OR_RAISE(batch, compute::TakeBatch(*batch, keep));
+        }
+      }
+      buffered_rows += batch->num_rows();
+      buffer.push_back(std::move(batch));
+      if (buffered_rows > 2 * fetch_ + 8192) {
+        FUSION_RETURN_NOT_OK(compact());
+      }
+    }
+    if (buffer.empty()) {
+      return exec::StreamPtr(std::make_unique<exec::VectorStream>(
+          schema, std::vector<RecordBatchPtr>{}));
+    }
+    FUSION_RETURN_NOT_OK(compact());
+    return exec::StreamPtr(std::make_unique<exec::VectorStream>(
+        schema, std::move(buffer)));
+  }
+
+  // Full (external) sort.
+  std::string consumer =
+      "sort-" + std::to_string(ctx->query_id) + "-" + std::to_string(partition);
+  exec::MemoryReservation reservation(ctx->env->memory_pool, consumer);
+  std::vector<RecordBatchPtr> buffer;
+  std::vector<exec::SpillFilePtr> spills;
+  int64_t buffered_bytes = 0;
+
+  auto spill_run = [&]() -> Status {
+    FUSION_ASSIGN_OR_RAISE(auto merged, ConcatenateBatches(schema, buffer));
+    FUSION_ASSIGN_OR_RAISE(auto sorted, SortBatch(merged, sort_exprs_));
+    FUSION_ASSIGN_OR_RAISE(auto file,
+                           ctx->env->disk_manager->CreateTempFile("sort"));
+    ipc::FileWriter writer(file->path());
+    FUSION_RETURN_NOT_OK(writer.Open());
+    for (const auto& chunk : SliceBatch(sorted, ctx->config.batch_size)) {
+      FUSION_RETURN_NOT_OK(writer.WriteBatch(*chunk));
+    }
+    FUSION_RETURN_NOT_OK(writer.Close());
+    spills.push_back(std::move(file));
+    spills_.fetch_add(1);
+    buffer.clear();
+    buffered_bytes = 0;
+    FUSION_RETURN_NOT_OK(reservation.ResizeTo(0));
+    return Status::OK();
+  };
+
+  for (;;) {
+    FUSION_ASSIGN_OR_RAISE(auto batch, input->Next());
+    if (batch == nullptr) break;
+    if (batch->num_rows() == 0) continue;
+    int64_t bytes = batch->TotalBufferSize();
+    Status grow = reservation.ResizeTo(buffered_bytes + bytes);
+    if (!grow.ok()) {
+      if (!grow.IsOutOfMemory() || buffer.empty()) return grow;
+      FUSION_RETURN_NOT_OK(spill_run());
+      FUSION_RETURN_NOT_OK(reservation.ResizeTo(bytes));
+    }
+    buffered_bytes += bytes;
+    buffer.push_back(std::move(batch));
+  }
+
+  if (spills.empty()) {
+    if (buffer.empty()) {
+      return exec::StreamPtr(std::make_unique<exec::VectorStream>(
+          schema, std::vector<RecordBatchPtr>{}));
+    }
+    FUSION_ASSIGN_OR_RAISE(auto merged, ConcatenateBatches(schema, buffer));
+    FUSION_ASSIGN_OR_RAISE(auto sorted, SortBatch(merged, sort_exprs_));
+    std::vector<RecordBatchPtr> chunks = SliceBatch(sorted, ctx->config.batch_size);
+    if (fetch_ >= 0) {
+      std::vector<RecordBatchPtr> limited;
+      int64_t remaining = fetch_;
+      for (auto& c : chunks) {
+        if (remaining <= 0) break;
+        if (c->num_rows() > remaining) c = c->Slice(0, remaining);
+        remaining -= c->num_rows();
+        limited.push_back(std::move(c));
+      }
+      chunks = std::move(limited);
+    }
+    return exec::StreamPtr(
+        std::make_unique<exec::VectorStream>(schema, std::move(chunks)));
+  }
+
+  // Merge spilled runs (+ the final in-memory run).
+  if (!buffer.empty()) {
+    FUSION_RETURN_NOT_OK(spill_run());
+  }
+  std::vector<std::shared_ptr<exec::RecordBatchStream>> runs;
+  runs.reserve(spills.size());
+  for (auto& file : spills) {
+    runs.push_back(std::make_shared<SpillStream>(schema, std::move(file)));
+  }
+  return MergeSortedStreams(schema, std::move(runs), sort_exprs_,
+                            ctx->config.batch_size);
+}
+
+std::vector<OrderingInfo> SortPreservingMergeExec::output_ordering() const {
+  return OrderingFromSortExprs(sort_exprs_);
+}
+
+Result<exec::StreamPtr> SortPreservingMergeExec::Execute(
+    int partition, const ExecContextPtr& ctx) {
+  if (partition != 0) {
+    return Status::ExecutionError("SortPreservingMergeExec has a single partition");
+  }
+  const int n = input_->output_partitions();
+  if (n == 1) return input_->Execute(0, ctx);
+  std::vector<std::shared_ptr<exec::RecordBatchStream>> inputs;
+  inputs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    FUSION_ASSIGN_OR_RAISE(auto stream, input_->Execute(i, ctx));
+    inputs.push_back(std::move(stream));
+  }
+  return MergeSortedStreams(input_->schema(), std::move(inputs), sort_exprs_,
+                            ctx->config.batch_size);
+}
+
+}  // namespace physical
+}  // namespace fusion

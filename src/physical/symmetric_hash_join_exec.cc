@@ -1,0 +1,169 @@
+#include "physical/symmetric_hash_join_exec.h"
+
+#include <unordered_map>
+
+#include "arrow/builder.h"
+#include "compute/hash_kernels.h"
+#include "compute/selection.h"
+
+namespace fusion {
+namespace physical {
+
+namespace {
+
+/// One side's accumulated state: all batches seen so far plus a hash
+/// table of (key hash -> (batch index, row)) entries.
+struct SideState {
+  std::vector<RecordBatchPtr> batches;
+  std::vector<std::vector<ArrayPtr>> keys;  // per batch, evaluated key columns
+  std::unordered_multimap<uint64_t, std::pair<int32_t, int32_t>> table;
+  bool exhausted = false;
+};
+
+bool RowKeysEqual(const std::vector<ArrayPtr>& a, int64_t ai,
+                  const std::vector<ArrayPtr>& b, int64_t bi) {
+  for (size_t k = 0; k < a.size(); ++k) {
+    if (a[k]->IsNull(ai) || b[k]->IsNull(bi)) return false;
+    if (!ArrayElementsEqual(*a[k], ai, *b[k], bi)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<exec::StreamPtr> SymmetricHashJoinExec::Execute(int partition,
+                                                       const ExecContextPtr& ctx) {
+  if (partition != 0) {
+    return Status::ExecutionError("SymmetricHashJoinExec has a single partition");
+  }
+  FUSION_ASSIGN_OR_RAISE(auto left_stream, left_->Execute(0, ctx));
+  FUSION_ASSIGN_OR_RAISE(auto right_stream, right_->Execute(0, ctx));
+
+  struct State {
+    std::shared_ptr<exec::RecordBatchStream> inputs[2];
+    SideState sides[2];
+    int next_side = 0;  // alternate pulls for balanced progress
+  };
+  auto state = std::make_shared<State>();
+  state->inputs[0] = std::move(left_stream);
+  state->inputs[1] = std::move(right_stream);
+
+  std::vector<PhysicalExprPtr> key_exprs[2];
+  for (const auto& [l, r] : on_) {
+    key_exprs[0].push_back(l);
+    key_exprs[1].push_back(r);
+  }
+  auto keys0 = key_exprs[0];
+  auto keys1 = key_exprs[1];
+  SchemaPtr schema = schema_;
+  auto filter = filter_;
+  const int left_cols = left_->schema()->num_fields();
+  const int right_cols = right_->schema()->num_fields();
+
+  return exec::StreamPtr(std::make_unique<exec::GeneratorStream>(
+      schema,
+      [state, keys0, keys1, schema, filter, left_cols,
+       right_cols]() -> Result<RecordBatchPtr> {
+        for (;;) {
+          if (state->sides[0].exhausted && state->sides[1].exhausted) {
+            return RecordBatchPtr(nullptr);
+          }
+          // Pull from the next non-exhausted side.
+          int side = state->next_side;
+          if (state->sides[side].exhausted) side ^= 1;
+          state->next_side = side ^ 1;
+
+          FUSION_ASSIGN_OR_RAISE(auto batch, state->inputs[side]->Next());
+          if (batch == nullptr) {
+            state->sides[side].exhausted = true;
+            continue;
+          }
+          if (batch->num_rows() == 0) continue;
+
+          const auto& my_keys_exprs = side == 0 ? keys0 : keys1;
+          FUSION_ASSIGN_OR_RAISE(auto my_keys,
+                                 EvaluateToArrays(my_keys_exprs, *batch));
+          std::vector<uint64_t> hashes;
+          FUSION_RETURN_NOT_OK(compute::HashColumns(my_keys, &hashes));
+
+          // 1. Probe the other side's accumulated table.
+          SideState& other = state->sides[side ^ 1];
+          std::vector<int64_t> my_idx;
+          std::vector<std::pair<int32_t, int32_t>> other_idx;
+          for (int64_t r = 0; r < batch->num_rows(); ++r) {
+            auto range = other.table.equal_range(hashes[r]);
+            for (auto it = range.first; it != range.second; ++it) {
+              auto [ob, orow] = it->second;
+              if (RowKeysEqual(my_keys, r, other.keys[ob], orow)) {
+                my_idx.push_back(r);
+                other_idx.push_back(it->second);
+              }
+            }
+          }
+
+          // 2. Insert this batch into our own table.
+          SideState& mine = state->sides[side];
+          int32_t my_batch_index = static_cast<int32_t>(mine.batches.size());
+          mine.batches.push_back(batch);
+          mine.keys.push_back(my_keys);
+          for (int64_t r = 0; r < batch->num_rows(); ++r) {
+            bool null_key = false;
+            for (const auto& k : my_keys) {
+              if (k->IsNull(r)) {
+                null_key = true;
+                break;
+              }
+            }
+            if (!null_key) {
+              mine.table.emplace(hashes[r],
+                                 std::make_pair(my_batch_index,
+                                                static_cast<int32_t>(r)));
+            }
+          }
+
+          if (my_idx.empty()) continue;
+
+          // 3. Assemble output rows in (left ++ right) order.
+          std::vector<std::unique_ptr<ArrayBuilder>> builders;
+          for (const Field& f : schema->fields()) {
+            FUSION_ASSIGN_OR_RAISE(auto b, MakeBuilder(f.type()));
+            builders.push_back(std::move(b));
+          }
+          for (size_t i = 0; i < my_idx.size(); ++i) {
+            const RecordBatchPtr& other_batch =
+                other.batches[other_idx[i].first];
+            int64_t other_row = other_idx[i].second;
+            const RecordBatchPtr& left_batch = side == 0 ? batch : other_batch;
+            int64_t left_row = side == 0 ? my_idx[i] : other_row;
+            const RecordBatchPtr& right_batch = side == 0 ? other_batch : batch;
+            int64_t right_row = side == 0 ? other_row : my_idx[i];
+            for (int c = 0; c < left_cols; ++c) {
+              builders[c]->AppendFrom(*left_batch->column(c), left_row);
+            }
+            for (int c = 0; c < right_cols; ++c) {
+              builders[left_cols + c]->AppendFrom(*right_batch->column(c),
+                                                  right_row);
+            }
+          }
+          std::vector<ArrayPtr> columns;
+          for (auto& b : builders) {
+            FUSION_ASSIGN_OR_RAISE(auto arr, b->Finish());
+            columns.push_back(std::move(arr));
+          }
+          auto out = std::make_shared<RecordBatch>(
+              schema, static_cast<int64_t>(my_idx.size()), std::move(columns));
+
+          // Residual filter.
+          if (filter != nullptr) {
+            FUSION_ASSIGN_OR_RAISE(auto mask, EvaluatePredicateMask(*filter, *out));
+            const auto& bm = checked_cast<BooleanArray>(*mask);
+            if (bm.TrueCount() == 0) continue;
+            FUSION_ASSIGN_OR_RAISE(out, compute::FilterBatch(*out, bm));
+          }
+          return out;
+        }
+      }));
+}
+
+}  // namespace physical
+}  // namespace fusion

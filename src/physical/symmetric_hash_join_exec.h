@@ -1,0 +1,46 @@
+#ifndef FUSION_PHYSICAL_SYMMETRIC_HASH_JOIN_EXEC_H_
+#define FUSION_PHYSICAL_SYMMETRIC_HASH_JOIN_EXEC_H_
+
+#include "logical/plan.h"
+#include "physical/execution_plan.h"
+
+namespace fusion {
+namespace physical {
+
+/// \brief Symmetric hash join (paper §6.4): both inputs stream; each
+/// incoming batch probes the hash table accumulated from the *other*
+/// side and is then inserted into its own side's table. Produces output
+/// incrementally without waiting for either input to finish — the
+/// streaming-engine join (Synnada/Arroyo use cases in §3).
+///
+/// Inner equi-joins only; selected when
+/// SessionConfig::enable_symmetric_hash_join is set.
+class SymmetricHashJoinExec : public ExecutionPlan {
+ public:
+  SymmetricHashJoinExec(ExecPlanPtr left, ExecPlanPtr right,
+                        std::vector<std::pair<PhysicalExprPtr, PhysicalExprPtr>> on,
+                        PhysicalExprPtr filter, SchemaPtr output_schema)
+      : left_(std::move(left)), right_(std::move(right)), on_(std::move(on)),
+        filter_(std::move(filter)), schema_(std::move(output_schema)) {}
+
+  std::string name() const override { return "SymmetricHashJoinExec"; }
+  SchemaPtr schema() const override { return schema_; }
+  int output_partitions() const override { return 1; }
+  std::vector<ExecPlanPtr> children() const override { return {left_, right_}; }
+  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  std::string ToStringLine() const override {
+    return "SymmetricHashJoinExec: Inner (streaming both sides)";
+  }
+
+ private:
+  ExecPlanPtr left_;
+  ExecPlanPtr right_;
+  std::vector<std::pair<PhysicalExprPtr, PhysicalExprPtr>> on_;
+  PhysicalExprPtr filter_;
+  SchemaPtr schema_;
+};
+
+}  // namespace physical
+}  // namespace fusion
+
+#endif  // FUSION_PHYSICAL_SYMMETRIC_HASH_JOIN_EXEC_H_

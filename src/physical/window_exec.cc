@@ -1,0 +1,220 @@
+#include "physical/window_exec.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "arrow/builder.h"
+#include "compute/selection.h"
+#include "row/row_format.h"
+
+namespace fusion {
+namespace physical {
+
+namespace {
+
+using logical::WindowFrame;
+using logical::WindowPartition;
+
+/// Compute frame bounds per row within one partition, given peer groups
+/// (for RANGE frames peers share bounds).
+void ComputeFrames(const WindowFrame& frame, int64_t n,
+                   const std::vector<int64_t>& peer_group,
+                   const std::vector<int64_t>& peer_start,
+                   const std::vector<int64_t>& peer_end,
+                   std::vector<int64_t>* starts, std::vector<int64_t>* ends) {
+  starts->resize(n);
+  ends->resize(n);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t start = 0;
+    int64_t end = n;
+    switch (frame.start) {
+      case WindowFrame::BoundKind::kUnboundedPreceding:
+        start = 0;
+        break;
+      case WindowFrame::BoundKind::kPreceding:
+        start = frame.is_rows ? std::max<int64_t>(0, i - frame.start_offset) : 0;
+        break;
+      case WindowFrame::BoundKind::kCurrentRow:
+        start = frame.is_rows ? i : peer_start[peer_group[i]];
+        break;
+      case WindowFrame::BoundKind::kFollowing:
+        start = frame.is_rows ? std::min(n, i + frame.start_offset) : i;
+        break;
+      case WindowFrame::BoundKind::kUnboundedFollowing:
+        start = n;
+        break;
+    }
+    switch (frame.end) {
+      case WindowFrame::BoundKind::kUnboundedPreceding:
+        end = 0;
+        break;
+      case WindowFrame::BoundKind::kPreceding:
+        end = frame.is_rows ? std::max<int64_t>(0, i - frame.end_offset + 1) : i + 1;
+        break;
+      case WindowFrame::BoundKind::kCurrentRow:
+        end = frame.is_rows ? i + 1 : peer_end[peer_group[i]];
+        break;
+      case WindowFrame::BoundKind::kFollowing:
+        end = frame.is_rows ? std::min(n, i + frame.end_offset + 1)
+                            : peer_end[peer_group[i]];
+        break;
+      case WindowFrame::BoundKind::kUnboundedFollowing:
+        end = n;
+        break;
+    }
+    (*starts)[i] = std::min(start, n);
+    (*ends)[i] = std::max((*starts)[i], std::min(end, n));
+  }
+}
+
+}  // namespace
+
+std::string WindowExec::ToStringLine() const {
+  std::string out = "WindowExec: ";
+  for (size_t i = 0; i < window_exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += window_exprs_[i].output_name;
+  }
+  return out;
+}
+
+Result<exec::StreamPtr> WindowExec::Execute(int partition,
+                                            const ExecContextPtr& ctx) {
+  if (partition != 0) {
+    return Status::ExecutionError("WindowExec has a single partition");
+  }
+  // Materialize the input: window evaluation is a pipeline breaker.
+  FUSION_ASSIGN_OR_RAISE(auto stream, input_->Execute(0, ctx));
+  FUSION_ASSIGN_OR_RAISE(auto batches, exec::CollectStream(stream.get()));
+  FUSION_ASSIGN_OR_RAISE(auto input, ConcatenateBatches(input_->schema(), batches));
+  const int64_t n = input->num_rows();
+
+  std::vector<ArrayPtr> extra_columns;
+
+  for (const WindowExprInfo& we : window_exprs_) {
+    // 1. Sort rows by (partition keys, order keys).
+    std::vector<ArrayPtr> sort_cols;
+    std::vector<row::SortOptions> sort_opts;
+    size_t num_part_keys = we.partition_by.size();
+    for (const auto& p : we.partition_by) {
+      FUSION_ASSIGN_OR_RAISE(ColumnarValue v, p->Evaluate(*input));
+      FUSION_ASSIGN_OR_RAISE(auto arr, v.ToArray(n));
+      sort_cols.push_back(std::move(arr));
+      sort_opts.push_back({});
+    }
+    for (const auto& o : we.order_by) {
+      FUSION_ASSIGN_OR_RAISE(ColumnarValue v, o.expr->Evaluate(*input));
+      FUSION_ASSIGN_OR_RAISE(auto arr, v.ToArray(n));
+      sort_cols.push_back(std::move(arr));
+      sort_opts.push_back(o.options);
+    }
+    std::vector<int64_t> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    // Reuse a pre-existing input order when it already covers
+    // (PARTITION BY..., ORDER BY...) — paper §6.5: "minimizes resorting
+    // by reusing existing sort orders".
+    bool already_ordered = false;
+    {
+      auto have = input_->output_ordering();
+      std::vector<PhysicalSortExpr> want;
+      for (const auto& p : we.partition_by) want.push_back({p, {}});
+      for (const auto& o : we.order_by) want.push_back(o);
+      already_ordered = !want.empty() && want.size() <= have.size();
+      for (size_t i = 0; already_ordered && i < want.size(); ++i) {
+        auto* col = dynamic_cast<const ColumnExpr*>(want[i].expr.get());
+        if (col == nullptr || have[i].column != col->index() ||
+            have[i].options.descending != want[i].options.descending ||
+            have[i].options.nulls_first != want[i].options.nulls_first) {
+          already_ordered = false;
+        }
+      }
+    }
+    if (!sort_cols.empty() && !already_ordered) {
+      FUSION_ASSIGN_OR_RAISE(order, row::SortIndices(sort_cols, sort_opts));
+    }
+
+    // 2. Partition boundaries + peer groups in sorted order.
+    std::vector<row::SortOptions> part_opts(num_part_keys);
+    std::vector<ArrayPtr> part_cols(sort_cols.begin(),
+                                    sort_cols.begin() + num_part_keys);
+    auto same_partition = [&](int64_t a, int64_t b) {
+      if (num_part_keys == 0) return true;
+      return row::CompareRows(part_cols, a, part_cols, b, part_opts) == 0;
+    };
+    auto same_peers = [&](int64_t a, int64_t b) {
+      return row::CompareRows(sort_cols, a, sort_cols, b, sort_opts) == 0;
+    };
+
+    // 3. Evaluate argument expressions once over the full input, then
+    //    gather per partition in sorted order.
+    FUSION_ASSIGN_OR_RAISE(auto arg_arrays, EvaluateToArrays(we.args, *input));
+
+    std::vector<ArrayPtr> results_per_partition;
+    std::vector<int64_t> partition_rows;  // original row per sorted pos
+    ArrayPtr out_column;
+    FUSION_ASSIGN_OR_RAISE(auto out_builder, MakeBuilder(we.output_type));
+    out_builder->Reserve(n);
+    // Output values indexed by original row.
+    std::vector<int64_t> result_slot(static_cast<size_t>(n), -1);
+    std::vector<ArrayPtr> partition_outputs;
+    std::vector<std::pair<int64_t, std::pair<int, int64_t>>> scatter;
+    scatter.reserve(static_cast<size_t>(n));
+
+    int64_t start = 0;
+    while (start < n) {
+      int64_t end = start + 1;
+      while (end < n && same_partition(order[start], order[end])) ++end;
+
+      WindowPartition wp;
+      wp.num_rows = end - start;
+      std::vector<int64_t> rows(order.begin() + start, order.begin() + end);
+      for (const auto& arg : arg_arrays) {
+        FUSION_ASSIGN_OR_RAISE(auto gathered, compute::Take(*arg, rows));
+        wp.args.push_back(std::move(gathered));
+      }
+      // Peer groups within the partition.
+      wp.peer_group.resize(wp.num_rows);
+      std::vector<int64_t> peer_start, peer_end;
+      int64_t group = 0;
+      for (int64_t i = 0; i < wp.num_rows; ++i) {
+        if (i > 0 && !same_peers(order[start + i - 1], order[start + i])) ++group;
+        if (static_cast<int64_t>(peer_start.size()) == group) {
+          peer_start.push_back(i);
+          peer_end.push_back(i + 1);
+        } else {
+          peer_end[group] = i + 1;
+        }
+        wp.peer_group[i] = group;
+      }
+      if (we.function->uses_frame) {
+        ComputeFrames(we.frame, wp.num_rows, wp.peer_group, peer_start, peer_end,
+                      &wp.frame_start, &wp.frame_end);
+      }
+      FUSION_ASSIGN_OR_RAISE(auto result, we.function->eval(wp));
+      int part_index = static_cast<int>(partition_outputs.size());
+      partition_outputs.push_back(std::move(result));
+      for (int64_t i = 0; i < wp.num_rows; ++i) {
+        scatter.emplace_back(order[start + i], std::make_pair(part_index, i));
+      }
+      start = end;
+    }
+    // Scatter results back into original row order.
+    std::sort(scatter.begin(), scatter.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [row, loc] : scatter) {
+      (void)row;
+      out_builder->AppendFrom(*partition_outputs[loc.first], loc.second);
+    }
+    FUSION_ASSIGN_OR_RAISE(out_column, out_builder->Finish());
+    extra_columns.push_back(std::move(out_column));
+  }
+
+  std::vector<ArrayPtr> columns = input->columns();
+  for (auto& c : extra_columns) columns.push_back(std::move(c));
+  auto out = std::make_shared<RecordBatch>(schema_, n, std::move(columns));
+  return exec::StreamPtr(std::make_unique<exec::VectorStream>(
+      schema_, SliceBatch(out, ctx->config.batch_size)));
+}
+
+}  // namespace physical
+}  // namespace fusion

@@ -1,0 +1,49 @@
+#ifndef FUSION_PHYSICAL_WINDOW_EXEC_H_
+#define FUSION_PHYSICAL_WINDOW_EXEC_H_
+
+#include "logical/expr.h"
+#include "logical/functions.h"
+#include "physical/execution_plan.h"
+
+namespace fusion {
+namespace physical {
+
+/// One window computation within a WindowExec.
+struct WindowExprInfo {
+  logical::WindowFunctionPtr function;
+  std::vector<PhysicalExprPtr> args;
+  std::vector<PhysicalExprPtr> partition_by;
+  std::vector<PhysicalSortExpr> order_by;
+  logical::WindowFrame frame;
+  DataType output_type;
+  std::string output_name;
+};
+
+/// \brief SQL window functions (paper §6.5): sorts each hash partition
+/// by (PARTITION BY, ORDER BY) — reusing any pre-existing order — and
+/// evaluates functions incrementally per partition, appending one output
+/// column per window expression.
+class WindowExec : public ExecutionPlan {
+ public:
+  WindowExec(ExecPlanPtr input, std::vector<WindowExprInfo> window_exprs,
+             SchemaPtr output_schema)
+      : input_(std::move(input)), window_exprs_(std::move(window_exprs)),
+        schema_(std::move(output_schema)) {}
+
+  std::string name() const override { return "WindowExec"; }
+  SchemaPtr schema() const override { return schema_; }
+  int output_partitions() const override { return 1; }
+  std::vector<ExecPlanPtr> children() const override { return {input_}; }
+  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  std::string ToStringLine() const override;
+
+ private:
+  ExecPlanPtr input_;
+  std::vector<WindowExprInfo> window_exprs_;
+  SchemaPtr schema_;
+};
+
+}  // namespace physical
+}  // namespace fusion
+
+#endif  // FUSION_PHYSICAL_WINDOW_EXEC_H_

@@ -1,0 +1,347 @@
+#include "row/row_format.h"
+
+#include <algorithm>
+#include <functional>
+#include <cstring>
+#include <numeric>
+
+#include "arrow/builder.h"
+
+namespace fusion {
+namespace row {
+
+namespace {
+
+// Marker bytes chosen so memcmp places nulls per SortOptions.
+constexpr char kNullFirstMarker = '\x00';
+constexpr char kValidAfterNullMarker = '\x01';
+constexpr char kValidBeforeNullMarker = '\x00';
+constexpr char kNullLastMarker = '\x01';
+
+void AppendBigEndian(uint64_t bits, int width, bool invert, std::string* out) {
+  for (int b = width - 1; b >= 0; --b) {
+    char byte = static_cast<char>((bits >> (b * 8)) & 0xff);
+    out->push_back(invert ? static_cast<char>(~byte) : byte);
+  }
+}
+
+uint64_t OrderableBitsInt(int64_t v, int width) {
+  // Flip the sign bit so negative values order below positive ones.
+  uint64_t bits = static_cast<uint64_t>(v);
+  bits ^= uint64_t(1) << (width * 8 - 1);
+  return bits;
+}
+
+uint64_t OrderableBitsDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  // Negative floats: invert all bits; positives: set the sign bit.
+  if (bits & (uint64_t(1) << 63)) {
+    return ~bits;
+  }
+  return bits | (uint64_t(1) << 63);
+}
+
+void AppendEscapedString(std::string_view s, bool invert, std::string* out) {
+  // 0x00 -> 0x00 0xFF, terminator 0x00 0x00 so "a" sorts before "ab".
+  for (char c : s) {
+    if (c == '\x00') {
+      out->push_back(invert ? static_cast<char>(~'\x00') : '\x00');
+      out->push_back(invert ? static_cast<char>(~'\xff') : '\xff');
+    } else {
+      out->push_back(invert ? static_cast<char>(~c) : c);
+    }
+  }
+  out->push_back(invert ? static_cast<char>(~'\x00') : '\x00');
+  out->push_back(invert ? static_cast<char>(~'\x00') : '\x00');
+}
+
+Status EncodeValue(const Array& col, int64_t row, const SortOptions& opt,
+                   std::string* key) {
+  const bool null = col.IsNull(row);
+  if (opt.nulls_first) {
+    key->push_back(null ? kNullFirstMarker : kValidAfterNullMarker);
+  } else {
+    key->push_back(null ? kNullLastMarker : kValidBeforeNullMarker);
+  }
+  if (null) return Status::OK();
+  const bool inv = opt.descending;
+  switch (col.type().id()) {
+    case TypeId::kBool: {
+      char b = checked_cast<BooleanArray>(col).Value(row) ? '\x01' : '\x00';
+      key->push_back(inv ? static_cast<char>(~b) : b);
+      return Status::OK();
+    }
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      AppendBigEndian(
+          OrderableBitsInt(checked_cast<Int32Array>(col).Value(row), 4), 4, inv, key);
+      return Status::OK();
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      AppendBigEndian(
+          OrderableBitsInt(checked_cast<Int64Array>(col).Value(row), 8), 8, inv, key);
+      return Status::OK();
+    case TypeId::kFloat64:
+      AppendBigEndian(OrderableBitsDouble(checked_cast<Float64Array>(col).Value(row)),
+                      8, inv, key);
+      return Status::OK();
+    case TypeId::kString:
+      AppendEscapedString(checked_cast<StringArray>(col).Value(row), inv, key);
+      return Status::OK();
+    case TypeId::kNull:
+      return Status::OK();
+  }
+  return Status::TypeError("RowEncoder: unsupported type " + col.type().ToString());
+}
+
+}  // namespace
+
+RowEncoder::RowEncoder(std::vector<DataType> types, std::vector<SortOptions> options)
+    : types_(std::move(types)), options_(std::move(options)) {
+  if (options_.size() < types_.size()) options_.resize(types_.size());
+}
+
+Status RowEncoder::EncodeRow(const std::vector<ArrayPtr>& columns, int64_t row,
+                             std::string* key) const {
+  for (size_t c = 0; c < columns.size(); ++c) {
+    FUSION_RETURN_NOT_OK(EncodeValue(*columns[c], row, options_[c], key));
+  }
+  return Status::OK();
+}
+
+Status RowEncoder::EncodeColumns(const std::vector<ArrayPtr>& columns,
+                                 std::vector<std::string>* keys) const {
+  if (columns.empty()) return Status::Invalid("RowEncoder: no columns");
+  const int64_t rows = columns[0]->length();
+  size_t base = keys->size();
+  keys->resize(base + rows);
+  // Estimate per-row width to reserve and avoid growth in the hot loop.
+  size_t fixed = 0;
+  for (const auto& t : types_) fixed += 1 + t.byte_width();
+  for (int64_t r = 0; r < rows; ++r) {
+    std::string& key = (*keys)[base + r];
+    key.reserve(fixed + 16);
+    FUSION_RETURN_NOT_OK(EncodeRow(columns, r, &key));
+  }
+  return Status::OK();
+}
+
+GroupKeyEncoder::GroupKeyEncoder(std::vector<DataType> types)
+    : types_(std::move(types)) {}
+
+void GroupKeyEncoder::EncodeRow(const std::vector<ArrayPtr>& columns, int64_t row,
+                                std::string* key) const {
+  for (size_t c = 0; c < columns.size(); ++c) {
+    const Array& col = *columns[c];
+    if (col.IsNull(row)) {
+      key->push_back('\x00');
+      continue;
+    }
+    key->push_back('\x01');
+    switch (col.type().id()) {
+      case TypeId::kBool:
+        key->push_back(checked_cast<BooleanArray>(col).Value(row) ? '\x01' : '\x00');
+        break;
+      case TypeId::kInt32:
+      case TypeId::kDate32: {
+        int32_t v = checked_cast<Int32Array>(col).Value(row);
+        key->append(reinterpret_cast<const char*>(&v), 4);
+        break;
+      }
+      case TypeId::kInt64:
+      case TypeId::kTimestamp: {
+        int64_t v = checked_cast<Int64Array>(col).Value(row);
+        key->append(reinterpret_cast<const char*>(&v), 8);
+        break;
+      }
+      case TypeId::kFloat64: {
+        double v = checked_cast<Float64Array>(col).Value(row);
+        key->append(reinterpret_cast<const char*>(&v), 8);
+        break;
+      }
+      case TypeId::kString: {
+        std::string_view v = checked_cast<StringArray>(col).Value(row);
+        uint32_t len = static_cast<uint32_t>(v.size());
+        key->append(reinterpret_cast<const char*>(&len), 4);
+        key->append(v.data(), v.size());
+        break;
+      }
+      case TypeId::kNull:
+        break;
+    }
+  }
+}
+
+namespace {
+
+Result<std::vector<ArrayPtr>> DecodeKeysImpl(
+    const std::vector<DataType>& types,
+    const std::function<std::string_view(size_t)>& get, size_t num_keys) {
+  std::vector<std::unique_ptr<ArrayBuilder>> builders;
+  builders.reserve(types.size());
+  for (DataType t : types) {
+    FUSION_ASSIGN_OR_RAISE(auto b, MakeBuilder(t));
+    builders.push_back(std::move(b));
+  }
+  for (size_t k = 0; k < num_keys; ++k) {
+    std::string_view key = get(k);
+    size_t pos = 0;
+    for (size_t c = 0; c < types.size(); ++c) {
+      if (pos >= key.size()) return Status::Internal("GroupKeyEncoder: short key");
+      const bool valid = key[pos++] == '\x01';
+      if (!valid) {
+        builders[c]->AppendNull();
+        continue;
+      }
+      switch (types[c].id()) {
+        case TypeId::kBool:
+          static_cast<BooleanBuilder*>(builders[c].get())
+              ->Append(key[pos++] == '\x01');
+          break;
+        case TypeId::kInt32:
+        case TypeId::kDate32: {
+          int32_t v;
+          std::memcpy(&v, key.data() + pos, 4);
+          pos += 4;
+          static_cast<NumericBuilder<int32_t>*>(builders[c].get())->Append(v);
+          break;
+        }
+        case TypeId::kInt64:
+        case TypeId::kTimestamp: {
+          int64_t v;
+          std::memcpy(&v, key.data() + pos, 8);
+          pos += 8;
+          static_cast<NumericBuilder<int64_t>*>(builders[c].get())->Append(v);
+          break;
+        }
+        case TypeId::kFloat64: {
+          double v;
+          std::memcpy(&v, key.data() + pos, 8);
+          pos += 8;
+          static_cast<Float64Builder*>(builders[c].get())->Append(v);
+          break;
+        }
+        case TypeId::kString: {
+          uint32_t len;
+          std::memcpy(&len, key.data() + pos, 4);
+          pos += 4;
+          static_cast<StringBuilder*>(builders[c].get())
+              ->Append(key.substr(pos, len));
+          pos += len;
+          break;
+        }
+        case TypeId::kNull:
+          builders[c]->AppendNull();
+          break;
+      }
+    }
+  }
+  std::vector<ArrayPtr> out;
+  out.reserve(builders.size());
+  for (auto& b : builders) {
+    FUSION_ASSIGN_OR_RAISE(auto arr, b->Finish());
+    out.push_back(std::move(arr));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<ArrayPtr>> GroupKeyEncoder::DecodeKeys(
+    const std::vector<std::string>& keys) const {
+  return DecodeKeysImpl(types_, [&](size_t i) { return std::string_view(keys[i]); },
+                        keys.size());
+}
+
+Result<std::vector<ArrayPtr>> GroupKeyEncoder::DecodeKeyViews(
+    const std::vector<std::string_view>& keys) const {
+  return DecodeKeysImpl(types_, [&](size_t i) { return keys[i]; }, keys.size());
+}
+
+int CompareRows(const std::vector<ArrayPtr>& left_cols, int64_t li,
+                const std::vector<ArrayPtr>& right_cols, int64_t ri,
+                const std::vector<SortOptions>& options) {
+  for (size_t c = 0; c < left_cols.size(); ++c) {
+    const SortOptions opt = c < options.size() ? options[c] : SortOptions{};
+    const Array& l = *left_cols[c];
+    const Array& r = *right_cols[c];
+    const bool ln = l.IsNull(li);
+    const bool rn = r.IsNull(ri);
+    if (ln || rn) {
+      if (ln && rn) continue;
+      int null_cmp = ln ? -1 : 1;               // null "smaller" if nulls_first
+      if (!opt.nulls_first) null_cmp = -null_cmp;  // nulls last: null "larger"
+      if (null_cmp != 0) return null_cmp;
+      continue;
+    }
+    int cmp = 0;
+    switch (l.type().id()) {
+      case TypeId::kBool: {
+        int a = checked_cast<BooleanArray>(l).Value(li);
+        int b = checked_cast<BooleanArray>(r).Value(ri);
+        cmp = a - b;
+        break;
+      }
+      case TypeId::kInt32:
+      case TypeId::kDate32: {
+        int32_t a = checked_cast<Int32Array>(l).Value(li);
+        int32_t b = checked_cast<Int32Array>(r).Value(ri);
+        cmp = a < b ? -1 : (a > b ? 1 : 0);
+        break;
+      }
+      case TypeId::kInt64:
+      case TypeId::kTimestamp: {
+        int64_t a = checked_cast<Int64Array>(l).Value(li);
+        int64_t b = checked_cast<Int64Array>(r).Value(ri);
+        cmp = a < b ? -1 : (a > b ? 1 : 0);
+        break;
+      }
+      case TypeId::kFloat64: {
+        double a = checked_cast<Float64Array>(l).Value(li);
+        double b = checked_cast<Float64Array>(r).Value(ri);
+        cmp = a < b ? -1 : (a > b ? 1 : 0);
+        break;
+      }
+      case TypeId::kString: {
+        int c3 = checked_cast<StringArray>(l).Value(li).compare(
+            checked_cast<StringArray>(r).Value(ri));
+        cmp = c3 < 0 ? -1 : (c3 > 0 ? 1 : 0);
+        break;
+      }
+      case TypeId::kNull:
+        cmp = 0;
+        break;
+    }
+    if (cmp != 0) return opt.descending ? -cmp : cmp;
+  }
+  return 0;
+}
+
+Result<std::vector<int64_t>> SortIndices(const std::vector<ArrayPtr>& columns,
+                                         const std::vector<SortOptions>& options) {
+  if (columns.empty()) return Status::Invalid("SortIndices: no sort columns");
+  const int64_t rows = columns[0]->length();
+  std::vector<int64_t> indices(static_cast<size_t>(rows));
+  std::iota(indices.begin(), indices.end(), 0);
+  if (rows < 64) {
+    // Small inputs: direct comparisons beat key materialization.
+    std::stable_sort(indices.begin(), indices.end(), [&](int64_t a, int64_t b) {
+      return CompareRows(columns, a, columns, b, options) < 0;
+    });
+    return indices;
+  }
+  std::vector<DataType> types;
+  types.reserve(columns.size());
+  for (const auto& c : columns) types.push_back(c->type());
+  RowEncoder encoder(std::move(types), options);
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<size_t>(rows));
+  FUSION_RETURN_NOT_OK(encoder.EncodeColumns(columns, &keys));
+  std::stable_sort(indices.begin(), indices.end(),
+                   [&](int64_t a, int64_t b) { return keys[a] < keys[b]; });
+  return indices;
+}
+
+}  // namespace row
+}  // namespace fusion

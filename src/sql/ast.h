@@ -1,0 +1,178 @@
+#ifndef FUSION_SQL_AST_H_
+#define FUSION_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fusion {
+namespace sql {
+
+struct AstExpr;
+struct AstQuery;
+using AstExprPtr = std::shared_ptr<AstExpr>;
+using AstQueryPtr = std::shared_ptr<AstQuery>;
+
+/// ORDER BY item.
+struct OrderItem {
+  AstExprPtr expr;
+  bool descending = false;
+  bool nulls_first = false;
+  bool nulls_specified = false;  // explicit NULLS FIRST/LAST given
+};
+
+/// Window frame bound.
+struct FrameBound {
+  enum class Kind {
+    kUnboundedPreceding,
+    kPreceding,
+    kCurrentRow,
+    kFollowing,
+    kUnboundedFollowing,
+  };
+  Kind kind = Kind::kUnboundedPreceding;
+  int64_t offset = 0;  // for kPreceding / kFollowing
+};
+
+/// OVER (...) specification.
+struct WindowSpec {
+  std::vector<AstExprPtr> partition_by;
+  std::vector<OrderItem> order_by;
+  bool has_frame = false;
+  bool frame_is_rows = true;  // ROWS vs RANGE
+  FrameBound frame_start;
+  FrameBound frame_end;
+};
+
+/// Untyped expression tree produced by the parser; the SQL planner
+/// (logical/sql_planner.h) resolves names and types into logical Exprs.
+struct AstExpr {
+  enum class Kind {
+    kColumn,         // [qualifier.]name
+    kNumber,         // numeric literal (text)
+    kString,         // string literal
+    kBool,           // TRUE/FALSE
+    kNull,           // NULL
+    kDate,           // DATE 'yyyy-mm-dd'
+    kTimestampLit,   // TIMESTAMP 'yyyy-mm-dd hh:mm:ss'
+    kInterval,       // INTERVAL 'n' unit
+    kStar,           // * or qualifier.* (argument of COUNT(*))
+    kBinary,         // left op right (arith/compare/AND/OR/||)
+    kUnary,          // op input (NOT, -)
+    kIsNull,         // input IS [NOT] NULL
+    kBetween,        // input [NOT] BETWEEN low AND high
+    kInList,         // input [NOT] IN (exprs)
+    kInSubquery,     // input [NOT] IN (query)
+    kLike,           // input [NOT] LIKE pattern  (case_insensitive: ILIKE)
+    kCase,           // CASE [operand] WHEN.. THEN.. [ELSE..] END
+    kCast,           // CAST(input AS type)
+    kFunction,       // name(args) [FILTER(WHERE..)] [OVER(..)]
+    kScalarSubquery, // (query)
+    kExists,         // [NOT] EXISTS (query)
+  };
+
+  Kind kind;
+
+  // kColumn
+  std::string qualifier;
+  std::string name;
+
+  // literals
+  std::string text;        // number/string/date text
+  bool bool_value = false; // kBool
+  int64_t interval_months = 0;
+  int64_t interval_days = 0;
+
+  // composite
+  std::string op;        // kBinary / kUnary operator text
+  AstExprPtr left;       // binary lhs / unary+isnull+between+in+like input
+  AstExprPtr right;      // binary rhs / like pattern
+  AstExprPtr low, high;  // between bounds
+  std::vector<AstExprPtr> list;  // IN list
+  bool negated = false;          // NOT LIKE / NOT IN / IS NOT NULL / NOT EXISTS
+  bool case_insensitive = false; // ILIKE
+
+  // kCase
+  AstExprPtr case_operand;
+  std::vector<std::pair<AstExprPtr, AstExprPtr>> when_clauses;
+  AstExprPtr else_expr;
+
+  // kCast
+  std::string cast_type;
+
+  // kFunction
+  std::string func_name;
+  std::vector<AstExprPtr> args;
+  bool distinct = false;  // COUNT(DISTINCT x)
+  AstExprPtr filter;      // FILTER (WHERE ...)
+  std::shared_ptr<WindowSpec> window;  // non-null for window invocation
+
+  // subqueries
+  AstQueryPtr subquery;
+};
+
+/// FROM-clause relation (table, derived table, or join tree).
+struct TableRef {
+  enum class Kind { kTable, kSubquery, kJoin };
+  enum class JoinKind { kInner, kLeft, kRight, kFull, kCross, kLeftSemi, kLeftAnti };
+
+  Kind kind = Kind::kTable;
+
+  // kTable
+  std::string name;
+  // kSubquery
+  AstQueryPtr subquery;
+  // all kinds
+  std::string alias;
+
+  // kJoin
+  JoinKind join_kind = JoinKind::kInner;
+  std::shared_ptr<TableRef> left;
+  std::shared_ptr<TableRef> right;
+  AstExprPtr on;
+  std::vector<std::string> using_columns;
+};
+
+struct SelectItem {
+  AstExprPtr expr;       // null when is_star
+  std::string alias;
+  bool is_star = false;
+  std::string star_qualifier;  // "t.*"
+};
+
+/// One SELECT core (a UNION operand).
+struct SelectCore {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::shared_ptr<TableRef> from;  // null = no FROM (SELECT 1)
+  AstExprPtr where;
+  std::vector<AstExprPtr> group_by;
+  AstExprPtr having;
+};
+
+/// Set operation combining adjacent SELECT cores.
+enum class SetOp { kUnionAll, kUnionDistinct, kIntersect, kExcept };
+
+/// Full query: CTEs + set-operation chain + ORDER BY/LIMIT.
+struct AstQuery {
+  std::vector<std::pair<std::string, AstQueryPtr>> ctes;
+  std::vector<SelectCore> cores;  // >= 1
+  std::vector<SetOp> set_ops;     // size = cores.size()-1
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;
+  int64_t offset = 0;
+};
+
+/// Top-level statement.
+struct Statement {
+  enum class Kind { kQuery, kExplain };
+  Kind kind = Kind::kQuery;
+  AstQueryPtr query;
+};
+
+}  // namespace sql
+}  // namespace fusion
+
+#endif  // FUSION_SQL_AST_H_

@@ -1,0 +1,142 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+namespace fusion {
+namespace sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+      "OFFSET", "AS", "AND", "OR", "NOT", "NULL", "TRUE", "FALSE", "IS",
+      "IN", "BETWEEN", "LIKE", "ILIKE", "CASE", "WHEN", "THEN", "ELSE", "END",
+      "CAST", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS",
+      "ON", "USING", "UNION", "ALL", "DISTINCT", "ASC", "DESC", "NULLS",
+      "FIRST", "LAST", "WITH", "OVER", "PARTITION", "ROWS", "RANGE",
+      "PRECEDING", "FOLLOWING", "UNBOUNDED", "CURRENT", "ROW", "EXTRACT",
+      "INTERVAL", "DATE", "TIMESTAMP", "EXISTS", "ANY", "SOME", "FILTER",
+      "EXPLAIN", "VALUES", "SUBSTRING", "FOR", "SEMI", "ANTI", "INTERSECT",
+      "EXCEPT",
+  };
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(sql[i] == '*' && sql[i + 1] == '/')) ++i;
+      i = std::min(n, i + 2);
+      continue;
+    }
+    // String literal.
+    if (c == '\'') {
+      std::string text;
+      size_t start = i++;
+      for (;;) {
+        if (i >= n) return Status::ParseError("unterminated string literal");
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        text.push_back(sql[i++]);
+      }
+      tokens.push_back({TokenType::kString, std::move(text), start});
+      continue;
+    }
+    // Quoted identifier.
+    if (c == '"') {
+      std::string text;
+      size_t start = i++;
+      while (i < n && sql[i] != '"') text.push_back(sql[i++]);
+      if (i >= n) return Status::ParseError("unterminated quoted identifier");
+      ++i;
+      tokens.push_back({TokenType::kIdentifier, std::move(text), start});
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
+                       ((sql[i] == '+' || sql[i] == '-') && i > start &&
+                        (sql[i - 1] == 'e' || sql[i - 1] == 'E')))) {
+        ++i;
+      }
+      tokens.push_back({TokenType::kNumber, sql.substr(start, i - start), start});
+      continue;
+    }
+    // Word: keyword or identifier.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word = sql.substr(start, i - start);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(),
+                     [](char ch) { return std::toupper(static_cast<unsigned char>(ch)); });
+      if (Keywords().count(upper) != 0) {
+        tokens.push_back({TokenType::kKeyword, std::move(upper), start});
+      } else {
+        std::string lower = word;
+        std::transform(lower.begin(), lower.end(), lower.begin(), [](char ch) {
+          return std::tolower(static_cast<unsigned char>(ch));
+        });
+        tokens.push_back({TokenType::kIdentifier, std::move(lower), start});
+      }
+      continue;
+    }
+    // Multi-char operators.
+    auto two = [&](const char* op) {
+      return i + 1 < n && sql[i] == op[0] && sql[i + 1] == op[1];
+    };
+    if (two("<>") || two("!=") || two("<=") || two(">=") || two("||")) {
+      tokens.push_back({TokenType::kOperator, sql.substr(i, 2), i});
+      i += 2;
+      continue;
+    }
+    if (std::string("=<>+-*/%(),.;").find(c) != std::string::npos) {
+      tokens.push_back({TokenType::kOperator, std::string(1, c), i});
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(i));
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace fusion

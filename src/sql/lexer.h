@@ -1,0 +1,42 @@
+#ifndef FUSION_SQL_LEXER_H_
+#define FUSION_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fusion {
+namespace sql {
+
+enum class TokenType {
+  kKeyword,     // normalized upper-case SQL keyword
+  kIdentifier,  // bare or "quoted" identifier
+  kNumber,      // integer or decimal literal text
+  kString,      // 'quoted' string literal (unescaped)
+  kOperator,    // symbols: = <> != < <= > >= + - * / % ( ) , . ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // keyword text is upper-cased; identifiers keep case
+  size_t offset = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsOp(const char* op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+/// Tokenize SQL text. Comments (-- and /* */) are skipped. Keywords are
+/// recognized case-insensitively from a fixed list; all other words are
+/// identifiers (lower-cased unless double-quoted).
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace sql
+}  // namespace fusion
+
+#endif  // FUSION_SQL_LEXER_H_

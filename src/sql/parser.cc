@@ -1,0 +1,794 @@
+#include "sql/parser.h"
+
+#include <charconv>
+
+#include "common/macros.h"
+
+namespace fusion {
+namespace sql {
+
+namespace {
+AstExprPtr MakeExpr(AstExpr::Kind kind) {
+  auto e = std::make_shared<AstExpr>();
+  e->kind = kind;
+  return e;
+}
+}  // namespace
+
+Result<Statement> Parser::Parse(const std::string& sql) {
+  FUSION_ASSIGN_OR_RAISE(auto tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  FUSION_ASSIGN_OR_RAISE(Statement stmt, parser.ParseStatement());
+  // Allow a trailing semicolon.
+  parser.ConsumeOp(";");
+  if (parser.Peek().type != TokenType::kEnd) {
+    return parser.Error("unexpected trailing input");
+  }
+  return stmt;
+}
+
+const Token& Parser::Peek(int ahead) const {
+  size_t i = pos_ + static_cast<size_t>(ahead);
+  if (i >= tokens_.size()) return tokens_.back();
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& t = Peek();
+  if (pos_ < tokens_.size() - 1) ++pos_;
+  return t;
+}
+
+bool Parser::ConsumeKeyword(const char* kw) {
+  if (Peek().IsKeyword(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::ConsumeOp(const char* op) {
+  if (Peek().IsOp(op)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ExpectKeyword(const char* kw) {
+  if (!ConsumeKeyword(kw)) {
+    return Error(std::string("expected keyword ") + kw);
+  }
+  return Status::OK();
+}
+
+Status Parser::ExpectOp(const char* op) {
+  if (!ConsumeOp(op)) {
+    return Error(std::string("expected '") + op + "'");
+  }
+  return Status::OK();
+}
+
+Status Parser::Error(const std::string& message) const {
+  const Token& t = Peek();
+  return Status::ParseError(message + " (near '" + t.text + "' at offset " +
+                            std::to_string(t.offset) + ")");
+}
+
+Result<Statement> Parser::ParseStatement() {
+  Statement stmt;
+  if (ConsumeKeyword("EXPLAIN")) {
+    stmt.kind = Statement::Kind::kExplain;
+  }
+  FUSION_ASSIGN_OR_RAISE(stmt.query, ParseQuery());
+  return stmt;
+}
+
+Result<AstQueryPtr> Parser::ParseQuery() {
+  auto query = std::make_shared<AstQuery>();
+  if (ConsumeKeyword("WITH")) {
+    for (;;) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected CTE name");
+      }
+      std::string name = Advance().text;
+      FUSION_RETURN_NOT_OK(ExpectKeyword("AS"));
+      FUSION_RETURN_NOT_OK(ExpectOp("("));
+      FUSION_ASSIGN_OR_RAISE(auto cte, ParseQuery());
+      FUSION_RETURN_NOT_OK(ExpectOp(")"));
+      query->ctes.emplace_back(std::move(name), std::move(cte));
+      if (!ConsumeOp(",")) break;
+    }
+  }
+  FUSION_ASSIGN_OR_RAISE(SelectCore core, ParseSelectCore());
+  query->cores.push_back(std::move(core));
+  while (Peek().IsKeyword("UNION") || Peek().IsKeyword("INTERSECT") ||
+         Peek().IsKeyword("EXCEPT")) {
+    SetOp op;
+    if (ConsumeKeyword("UNION")) {
+      op = ConsumeKeyword("ALL") ? SetOp::kUnionAll : SetOp::kUnionDistinct;
+      ConsumeKeyword("DISTINCT");
+    } else if (ConsumeKeyword("INTERSECT")) {
+      ConsumeKeyword("DISTINCT");
+      op = SetOp::kIntersect;
+    } else {
+      FUSION_RETURN_NOT_OK(ExpectKeyword("EXCEPT"));
+      ConsumeKeyword("DISTINCT");
+      op = SetOp::kExcept;
+    }
+    FUSION_ASSIGN_OR_RAISE(SelectCore next, ParseSelectCore());
+    query->cores.push_back(std::move(next));
+    query->set_ops.push_back(op);
+  }
+  if (ConsumeKeyword("ORDER")) {
+    FUSION_RETURN_NOT_OK(ExpectKeyword("BY"));
+    FUSION_ASSIGN_OR_RAISE(query->order_by, ParseOrderByList());
+  }
+  if (ConsumeKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kNumber) return Error("expected LIMIT count");
+    query->limit = std::stoll(Advance().text);
+  }
+  if (ConsumeKeyword("OFFSET")) {
+    if (Peek().type != TokenType::kNumber) return Error("expected OFFSET count");
+    query->offset = std::stoll(Advance().text);
+  }
+  return query;
+}
+
+Result<std::vector<OrderItem>> Parser::ParseOrderByList() {
+  std::vector<OrderItem> items;
+  for (;;) {
+    OrderItem item;
+    FUSION_ASSIGN_OR_RAISE(item.expr, ParseExpr());
+    if (ConsumeKeyword("ASC")) {
+      item.descending = false;
+    } else if (ConsumeKeyword("DESC")) {
+      item.descending = true;
+    }
+    if (ConsumeKeyword("NULLS")) {
+      item.nulls_specified = true;
+      if (ConsumeKeyword("FIRST")) {
+        item.nulls_first = true;
+      } else {
+        FUSION_RETURN_NOT_OK(ExpectKeyword("LAST"));
+        item.nulls_first = false;
+      }
+    }
+    items.push_back(std::move(item));
+    if (!ConsumeOp(",")) break;
+  }
+  return items;
+}
+
+Result<SelectCore> Parser::ParseSelectCore() {
+  SelectCore core;
+  FUSION_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  if (ConsumeKeyword("DISTINCT")) core.distinct = true;
+  ConsumeKeyword("ALL");
+  for (;;) {
+    SelectItem item;
+    if (Peek().IsOp("*")) {
+      Advance();
+      item.is_star = true;
+    } else if (Peek().type == TokenType::kIdentifier && Peek(1).IsOp(".") &&
+               Peek(2).IsOp("*")) {
+      item.is_star = true;
+      item.star_qualifier = Advance().text;
+      Advance();  // .
+      Advance();  // *
+    } else {
+      FUSION_ASSIGN_OR_RAISE(item.expr, ParseExpr());
+      if (ConsumeKeyword("AS")) {
+        if (Peek().type != TokenType::kIdentifier &&
+            Peek().type != TokenType::kString) {
+          return Error("expected alias after AS");
+        }
+        item.alias = Advance().text;
+      } else if (Peek().type == TokenType::kIdentifier) {
+        // Bare alias.
+        item.alias = Advance().text;
+      }
+    }
+    core.items.push_back(std::move(item));
+    if (!ConsumeOp(",")) break;
+  }
+  if (ConsumeKeyword("FROM")) {
+    FUSION_ASSIGN_OR_RAISE(core.from, ParseFromClause());
+  }
+  if (ConsumeKeyword("WHERE")) {
+    FUSION_ASSIGN_OR_RAISE(core.where, ParseExpr());
+  }
+  if (ConsumeKeyword("GROUP")) {
+    FUSION_RETURN_NOT_OK(ExpectKeyword("BY"));
+    for (;;) {
+      FUSION_ASSIGN_OR_RAISE(auto e, ParseExpr());
+      core.group_by.push_back(std::move(e));
+      if (!ConsumeOp(",")) break;
+    }
+  }
+  if (ConsumeKeyword("HAVING")) {
+    FUSION_ASSIGN_OR_RAISE(core.having, ParseExpr());
+  }
+  return core;
+}
+
+Result<std::shared_ptr<TableRef>> Parser::ParseFromClause() {
+  FUSION_ASSIGN_OR_RAISE(auto left, ParseTableRef());
+  // Comma joins (implicit cross joins).
+  while (ConsumeOp(",")) {
+    FUSION_ASSIGN_OR_RAISE(auto right, ParseTableRef());
+    auto join = std::make_shared<TableRef>();
+    join->kind = TableRef::Kind::kJoin;
+    join->join_kind = TableRef::JoinKind::kCross;
+    join->left = std::move(left);
+    join->right = std::move(right);
+    left = std::move(join);
+  }
+  return left;
+}
+
+Result<std::shared_ptr<TableRef>> Parser::ParseTableRef() {
+  FUSION_ASSIGN_OR_RAISE(auto left, ParseTablePrimary());
+  for (;;) {
+    TableRef::JoinKind kind;
+    bool has_condition = true;
+    if (ConsumeKeyword("CROSS")) {
+      FUSION_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      kind = TableRef::JoinKind::kCross;
+      has_condition = false;
+    } else if (ConsumeKeyword("INNER")) {
+      FUSION_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      kind = TableRef::JoinKind::kInner;
+    } else if (ConsumeKeyword("LEFT")) {
+      if (ConsumeKeyword("SEMI")) {
+        kind = TableRef::JoinKind::kLeftSemi;
+      } else if (ConsumeKeyword("ANTI")) {
+        kind = TableRef::JoinKind::kLeftAnti;
+      } else {
+        ConsumeKeyword("OUTER");
+        kind = TableRef::JoinKind::kLeft;
+      }
+      FUSION_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+    } else if (ConsumeKeyword("RIGHT")) {
+      ConsumeKeyword("OUTER");
+      FUSION_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      kind = TableRef::JoinKind::kRight;
+    } else if (ConsumeKeyword("FULL")) {
+      ConsumeKeyword("OUTER");
+      FUSION_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      kind = TableRef::JoinKind::kFull;
+    } else if (Peek().IsKeyword("JOIN")) {
+      Advance();
+      kind = TableRef::JoinKind::kInner;
+    } else {
+      break;
+    }
+    FUSION_ASSIGN_OR_RAISE(auto right, ParseTablePrimary());
+    auto join = std::make_shared<TableRef>();
+    join->kind = TableRef::Kind::kJoin;
+    join->join_kind = kind;
+    join->left = std::move(left);
+    join->right = std::move(right);
+    if (has_condition) {
+      if (ConsumeKeyword("ON")) {
+        FUSION_ASSIGN_OR_RAISE(join->on, ParseExpr());
+      } else if (ConsumeKeyword("USING")) {
+        FUSION_RETURN_NOT_OK(ExpectOp("("));
+        for (;;) {
+          if (Peek().type != TokenType::kIdentifier) {
+            return Error("expected column in USING");
+          }
+          join->using_columns.push_back(Advance().text);
+          if (!ConsumeOp(",")) break;
+        }
+        FUSION_RETURN_NOT_OK(ExpectOp(")"));
+      } else {
+        return Error("expected ON or USING after JOIN");
+      }
+    }
+    left = std::move(join);
+  }
+  return left;
+}
+
+Result<std::shared_ptr<TableRef>> Parser::ParseTablePrimary() {
+  auto ref = std::make_shared<TableRef>();
+  if (ConsumeOp("(")) {
+    FUSION_ASSIGN_OR_RAISE(ref->subquery, ParseQuery());
+    ref->kind = TableRef::Kind::kSubquery;
+    FUSION_RETURN_NOT_OK(ExpectOp(")"));
+  } else {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected table name");
+    }
+    ref->kind = TableRef::Kind::kTable;
+    ref->name = Advance().text;
+    // Qualified name a.b (we flatten to "a.b").
+    while (ConsumeOp(".")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected identifier after '.'");
+      }
+      ref->name += "." + Advance().text;
+    }
+  }
+  if (ConsumeKeyword("AS")) {
+    if (Peek().type != TokenType::kIdentifier) return Error("expected alias");
+    ref->alias = Advance().text;
+  } else if (Peek().type == TokenType::kIdentifier) {
+    ref->alias = Advance().text;
+  }
+  return ref;
+}
+
+// --------------------------------------------------------------- exprs
+
+Result<AstExprPtr> Parser::ParseExpr() {
+  FUSION_ASSIGN_OR_RAISE(auto left, ParseAnd());
+  while (ConsumeKeyword("OR")) {
+    FUSION_ASSIGN_OR_RAISE(auto right, ParseAnd());
+    auto e = MakeExpr(AstExpr::Kind::kBinary);
+    e->op = "OR";
+    e->left = std::move(left);
+    e->right = std::move(right);
+    left = std::move(e);
+  }
+  return left;
+}
+
+Result<AstExprPtr> Parser::ParseAnd() {
+  FUSION_ASSIGN_OR_RAISE(auto left, ParseNot());
+  while (ConsumeKeyword("AND")) {
+    FUSION_ASSIGN_OR_RAISE(auto right, ParseNot());
+    auto e = MakeExpr(AstExpr::Kind::kBinary);
+    e->op = "AND";
+    e->left = std::move(left);
+    e->right = std::move(right);
+    left = std::move(e);
+  }
+  return left;
+}
+
+Result<AstExprPtr> Parser::ParseNot() {
+  if (ConsumeKeyword("NOT")) {
+    FUSION_ASSIGN_OR_RAISE(auto input, ParseNot());
+    auto e = MakeExpr(AstExpr::Kind::kUnary);
+    e->op = "NOT";
+    e->left = std::move(input);
+    return e;
+  }
+  return ParsePredicate();
+}
+
+Result<AstExprPtr> Parser::ParsePredicate() {
+  if (Peek().IsKeyword("EXISTS") && Peek(1).IsOp("(")) {
+    Advance();
+    Advance();
+    auto e = MakeExpr(AstExpr::Kind::kExists);
+    FUSION_ASSIGN_OR_RAISE(e->subquery, ParseQuery());
+    FUSION_RETURN_NOT_OK(ExpectOp(")"));
+    return e;
+  }
+  FUSION_ASSIGN_OR_RAISE(auto left, ParseAddSub());
+  for (;;) {
+    // IS [NOT] NULL
+    if (ConsumeKeyword("IS")) {
+      bool negated = ConsumeKeyword("NOT");
+      FUSION_RETURN_NOT_OK(ExpectKeyword("NULL"));
+      auto e = MakeExpr(AstExpr::Kind::kIsNull);
+      e->left = std::move(left);
+      e->negated = negated;
+      left = std::move(e);
+      continue;
+    }
+    bool negated = false;
+    if (Peek().IsKeyword("NOT") &&
+        (Peek(1).IsKeyword("BETWEEN") || Peek(1).IsKeyword("IN") ||
+         Peek(1).IsKeyword("LIKE") || Peek(1).IsKeyword("ILIKE"))) {
+      Advance();
+      negated = true;
+    }
+    if (ConsumeKeyword("BETWEEN")) {
+      auto e = MakeExpr(AstExpr::Kind::kBetween);
+      e->left = std::move(left);
+      e->negated = negated;
+      FUSION_ASSIGN_OR_RAISE(e->low, ParseAddSub());
+      FUSION_RETURN_NOT_OK(ExpectKeyword("AND"));
+      FUSION_ASSIGN_OR_RAISE(e->high, ParseAddSub());
+      left = std::move(e);
+      continue;
+    }
+    if (ConsumeKeyword("IN")) {
+      FUSION_RETURN_NOT_OK(ExpectOp("("));
+      if (Peek().IsKeyword("SELECT") || Peek().IsKeyword("WITH")) {
+        auto e = MakeExpr(AstExpr::Kind::kInSubquery);
+        e->left = std::move(left);
+        e->negated = negated;
+        FUSION_ASSIGN_OR_RAISE(e->subquery, ParseQuery());
+        FUSION_RETURN_NOT_OK(ExpectOp(")"));
+        left = std::move(e);
+      } else {
+        auto e = MakeExpr(AstExpr::Kind::kInList);
+        e->left = std::move(left);
+        e->negated = negated;
+        for (;;) {
+          FUSION_ASSIGN_OR_RAISE(auto item, ParseExpr());
+          e->list.push_back(std::move(item));
+          if (!ConsumeOp(",")) break;
+        }
+        FUSION_RETURN_NOT_OK(ExpectOp(")"));
+        left = std::move(e);
+      }
+      continue;
+    }
+    if (Peek().IsKeyword("LIKE") || Peek().IsKeyword("ILIKE")) {
+      bool ci = Peek().IsKeyword("ILIKE");
+      Advance();
+      auto e = MakeExpr(AstExpr::Kind::kLike);
+      e->left = std::move(left);
+      e->negated = negated;
+      e->case_insensitive = ci;
+      FUSION_ASSIGN_OR_RAISE(e->right, ParseAddSub());
+      left = std::move(e);
+      continue;
+    }
+    // Comparisons.
+    static const char* kCompareOps[] = {"=", "<>", "!=", "<", "<=", ">", ">="};
+    bool matched = false;
+    for (const char* op : kCompareOps) {
+      if (Peek().IsOp(op)) {
+        Advance();
+        FUSION_ASSIGN_OR_RAISE(auto right, ParseAddSub());
+        auto e = MakeExpr(AstExpr::Kind::kBinary);
+        e->op = op;
+        e->left = std::move(left);
+        e->right = std::move(right);
+        left = std::move(e);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) break;
+  }
+  return left;
+}
+
+Result<AstExprPtr> Parser::ParseAddSub() {
+  FUSION_ASSIGN_OR_RAISE(auto left, ParseMulDiv());
+  for (;;) {
+    std::string op;
+    if (Peek().IsOp("+")) {
+      op = "+";
+    } else if (Peek().IsOp("-")) {
+      op = "-";
+    } else if (Peek().IsOp("||")) {
+      op = "||";
+    } else {
+      break;
+    }
+    Advance();
+    FUSION_ASSIGN_OR_RAISE(auto right, ParseMulDiv());
+    auto e = MakeExpr(AstExpr::Kind::kBinary);
+    e->op = op;
+    e->left = std::move(left);
+    e->right = std::move(right);
+    left = std::move(e);
+  }
+  return left;
+}
+
+Result<AstExprPtr> Parser::ParseMulDiv() {
+  FUSION_ASSIGN_OR_RAISE(auto left, ParseUnary());
+  for (;;) {
+    std::string op;
+    if (Peek().IsOp("*")) {
+      op = "*";
+    } else if (Peek().IsOp("/")) {
+      op = "/";
+    } else if (Peek().IsOp("%")) {
+      op = "%";
+    } else {
+      break;
+    }
+    Advance();
+    FUSION_ASSIGN_OR_RAISE(auto right, ParseUnary());
+    auto e = MakeExpr(AstExpr::Kind::kBinary);
+    e->op = op;
+    e->left = std::move(left);
+    e->right = std::move(right);
+    left = std::move(e);
+  }
+  return left;
+}
+
+Result<AstExprPtr> Parser::ParseUnary() {
+  if (ConsumeOp("-")) {
+    FUSION_ASSIGN_OR_RAISE(auto input, ParseUnary());
+    auto e = MakeExpr(AstExpr::Kind::kUnary);
+    e->op = "-";
+    e->left = std::move(input);
+    return e;
+  }
+  if (ConsumeOp("+")) {
+    return ParseUnary();
+  }
+  return ParsePrimary();
+}
+
+Result<AstExprPtr> Parser::ParseCase() {
+  auto e = MakeExpr(AstExpr::Kind::kCase);
+  if (!Peek().IsKeyword("WHEN")) {
+    FUSION_ASSIGN_OR_RAISE(e->case_operand, ParseExpr());
+  }
+  while (ConsumeKeyword("WHEN")) {
+    FUSION_ASSIGN_OR_RAISE(auto cond, ParseExpr());
+    FUSION_RETURN_NOT_OK(ExpectKeyword("THEN"));
+    FUSION_ASSIGN_OR_RAISE(auto value, ParseExpr());
+    e->when_clauses.emplace_back(std::move(cond), std::move(value));
+  }
+  if (e->when_clauses.empty()) return Error("CASE requires at least one WHEN");
+  if (ConsumeKeyword("ELSE")) {
+    FUSION_ASSIGN_OR_RAISE(e->else_expr, ParseExpr());
+  }
+  FUSION_RETURN_NOT_OK(ExpectKeyword("END"));
+  return e;
+}
+
+Result<std::shared_ptr<WindowSpec>> Parser::ParseWindowSpec() {
+  auto spec = std::make_shared<WindowSpec>();
+  FUSION_RETURN_NOT_OK(ExpectOp("("));
+  if (ConsumeKeyword("PARTITION")) {
+    FUSION_RETURN_NOT_OK(ExpectKeyword("BY"));
+    for (;;) {
+      FUSION_ASSIGN_OR_RAISE(auto e, ParseExpr());
+      spec->partition_by.push_back(std::move(e));
+      if (!ConsumeOp(",")) break;
+    }
+  }
+  if (ConsumeKeyword("ORDER")) {
+    FUSION_RETURN_NOT_OK(ExpectKeyword("BY"));
+    FUSION_ASSIGN_OR_RAISE(spec->order_by, ParseOrderByList());
+  }
+  if (Peek().IsKeyword("ROWS") || Peek().IsKeyword("RANGE")) {
+    spec->has_frame = true;
+    spec->frame_is_rows = Peek().IsKeyword("ROWS");
+    Advance();
+    if (ConsumeKeyword("BETWEEN")) {
+      FUSION_ASSIGN_OR_RAISE(spec->frame_start, ParseFrameBound());
+      FUSION_RETURN_NOT_OK(ExpectKeyword("AND"));
+      FUSION_ASSIGN_OR_RAISE(spec->frame_end, ParseFrameBound());
+    } else {
+      FUSION_ASSIGN_OR_RAISE(spec->frame_start, ParseFrameBound());
+      spec->frame_end.kind = FrameBound::Kind::kCurrentRow;
+    }
+  }
+  FUSION_RETURN_NOT_OK(ExpectOp(")"));
+  return spec;
+}
+
+Result<FrameBound> Parser::ParseFrameBound() {
+  FrameBound bound;
+  if (ConsumeKeyword("UNBOUNDED")) {
+    if (ConsumeKeyword("PRECEDING")) {
+      bound.kind = FrameBound::Kind::kUnboundedPreceding;
+    } else {
+      FUSION_RETURN_NOT_OK(ExpectKeyword("FOLLOWING"));
+      bound.kind = FrameBound::Kind::kUnboundedFollowing;
+    }
+    return bound;
+  }
+  if (ConsumeKeyword("CURRENT")) {
+    FUSION_RETURN_NOT_OK(ExpectKeyword("ROW"));
+    bound.kind = FrameBound::Kind::kCurrentRow;
+    return bound;
+  }
+  if (Peek().type != TokenType::kNumber) {
+    return Error("expected frame bound");
+  }
+  bound.offset = std::stoll(Advance().text);
+  if (ConsumeKeyword("PRECEDING")) {
+    bound.kind = FrameBound::Kind::kPreceding;
+  } else {
+    FUSION_RETURN_NOT_OK(ExpectKeyword("FOLLOWING"));
+    bound.kind = FrameBound::Kind::kFollowing;
+  }
+  return bound;
+}
+
+Result<AstExprPtr> Parser::ParseFunctionCall(std::string name) {
+  auto e = MakeExpr(AstExpr::Kind::kFunction);
+  e->func_name = std::move(name);
+  // '(' already consumed by caller.
+  if (!Peek().IsOp(")")) {
+    if (ConsumeKeyword("DISTINCT")) e->distinct = true;
+    for (;;) {
+      if (Peek().IsOp("*")) {
+        Advance();
+        e->args.push_back(MakeExpr(AstExpr::Kind::kStar));
+      } else {
+        FUSION_ASSIGN_OR_RAISE(auto arg, ParseExpr());
+        e->args.push_back(std::move(arg));
+      }
+      if (!ConsumeOp(",")) break;
+    }
+  }
+  FUSION_RETURN_NOT_OK(ExpectOp(")"));
+  if (ConsumeKeyword("FILTER")) {
+    FUSION_RETURN_NOT_OK(ExpectOp("("));
+    FUSION_RETURN_NOT_OK(ExpectKeyword("WHERE"));
+    FUSION_ASSIGN_OR_RAISE(e->filter, ParseExpr());
+    FUSION_RETURN_NOT_OK(ExpectOp(")"));
+  }
+  if (ConsumeKeyword("OVER")) {
+    FUSION_ASSIGN_OR_RAISE(e->window, ParseWindowSpec());
+  }
+  return e;
+}
+
+Result<AstExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  // Literals.
+  if (t.type == TokenType::kNumber) {
+    auto e = MakeExpr(AstExpr::Kind::kNumber);
+    e->text = Advance().text;
+    return e;
+  }
+  if (t.type == TokenType::kString) {
+    auto e = MakeExpr(AstExpr::Kind::kString);
+    e->text = Advance().text;
+    return e;
+  }
+  if (t.IsKeyword("NULL")) {
+    Advance();
+    return MakeExpr(AstExpr::Kind::kNull);
+  }
+  if (t.IsKeyword("TRUE") || t.IsKeyword("FALSE")) {
+    auto e = MakeExpr(AstExpr::Kind::kBool);
+    e->bool_value = t.IsKeyword("TRUE");
+    Advance();
+    return e;
+  }
+  if (t.IsKeyword("DATE")) {
+    Advance();
+    if (Peek().type != TokenType::kString) return Error("expected date string");
+    auto e = MakeExpr(AstExpr::Kind::kDate);
+    e->text = Advance().text;
+    return e;
+  }
+  if (t.IsKeyword("TIMESTAMP")) {
+    Advance();
+    if (Peek().type != TokenType::kString) return Error("expected timestamp string");
+    auto e = MakeExpr(AstExpr::Kind::kTimestampLit);
+    e->text = Advance().text;
+    return e;
+  }
+  if (t.IsKeyword("INTERVAL")) {
+    Advance();
+    if (Peek().type != TokenType::kString && Peek().type != TokenType::kNumber) {
+      return Error("expected interval quantity");
+    }
+    int64_t quantity = std::stoll(Advance().text);
+    if (Peek().type != TokenType::kIdentifier && Peek().type != TokenType::kKeyword) {
+      return Error("expected interval unit");
+    }
+    std::string unit = Advance().text;
+    for (auto& ch : unit) ch = std::tolower(static_cast<unsigned char>(ch));
+    auto e = MakeExpr(AstExpr::Kind::kInterval);
+    if (unit == "year" || unit == "years") {
+      e->interval_months = quantity * 12;
+    } else if (unit == "month" || unit == "months") {
+      e->interval_months = quantity;
+    } else if (unit == "day" || unit == "days") {
+      e->interval_days = quantity;
+    } else if (unit == "week" || unit == "weeks") {
+      e->interval_days = quantity * 7;
+    } else {
+      return Error("unsupported interval unit '" + unit + "'");
+    }
+    return e;
+  }
+  if (t.IsKeyword("CASE")) {
+    Advance();
+    return ParseCase();
+  }
+  if (t.IsKeyword("CAST")) {
+    Advance();
+    FUSION_RETURN_NOT_OK(ExpectOp("("));
+    auto e = MakeExpr(AstExpr::Kind::kCast);
+    FUSION_ASSIGN_OR_RAISE(e->left, ParseExpr());
+    FUSION_RETURN_NOT_OK(ExpectKeyword("AS"));
+    // Type name: identifier or DATE/TIMESTAMP keyword, possibly with
+    // ignored precision like decimal(12,2).
+    if (Peek().type == TokenType::kIdentifier || Peek().IsKeyword("DATE") ||
+        Peek().IsKeyword("TIMESTAMP")) {
+      e->cast_type = Advance().text;
+      for (auto& ch : e->cast_type) {
+        ch = std::tolower(static_cast<unsigned char>(ch));
+      }
+      if (ConsumeOp("(")) {
+        while (!Peek().IsOp(")") && Peek().type != TokenType::kEnd) Advance();
+        FUSION_RETURN_NOT_OK(ExpectOp(")"));
+      }
+    } else {
+      return Error("expected type name in CAST");
+    }
+    FUSION_RETURN_NOT_OK(ExpectOp(")"));
+    return e;
+  }
+  if (t.IsKeyword("EXTRACT")) {
+    Advance();
+    FUSION_RETURN_NOT_OK(ExpectOp("("));
+    if (Peek().type != TokenType::kIdentifier && Peek().type != TokenType::kKeyword) {
+      return Error("expected field in EXTRACT");
+    }
+    std::string field = Advance().text;
+    for (auto& ch : field) ch = std::tolower(static_cast<unsigned char>(ch));
+    FUSION_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    auto e = MakeExpr(AstExpr::Kind::kFunction);
+    e->func_name = "date_part";
+    auto field_lit = MakeExpr(AstExpr::Kind::kString);
+    field_lit->text = field;
+    e->args.push_back(std::move(field_lit));
+    FUSION_ASSIGN_OR_RAISE(auto from, ParseExpr());
+    e->args.push_back(std::move(from));
+    FUSION_RETURN_NOT_OK(ExpectOp(")"));
+    return e;
+  }
+  if (t.IsKeyword("SUBSTRING")) {
+    Advance();
+    FUSION_RETURN_NOT_OK(ExpectOp("("));
+    auto e = MakeExpr(AstExpr::Kind::kFunction);
+    e->func_name = "substr";
+    FUSION_ASSIGN_OR_RAISE(auto input, ParseExpr());
+    e->args.push_back(std::move(input));
+    if (ConsumeKeyword("FROM")) {
+      FUSION_ASSIGN_OR_RAISE(auto start, ParseExpr());
+      e->args.push_back(std::move(start));
+      if (ConsumeKeyword("FOR")) {
+        FUSION_ASSIGN_OR_RAISE(auto len, ParseExpr());
+        e->args.push_back(std::move(len));
+      }
+    } else {
+      while (ConsumeOp(",")) {
+        FUSION_ASSIGN_OR_RAISE(auto arg, ParseExpr());
+        e->args.push_back(std::move(arg));
+      }
+    }
+    FUSION_RETURN_NOT_OK(ExpectOp(")"));
+    return e;
+  }
+  // Parenthesized expression or scalar subquery.
+  if (t.IsOp("(")) {
+    Advance();
+    if (Peek().IsKeyword("SELECT") || Peek().IsKeyword("WITH")) {
+      auto e = MakeExpr(AstExpr::Kind::kScalarSubquery);
+      FUSION_ASSIGN_OR_RAISE(e->subquery, ParseQuery());
+      FUSION_RETURN_NOT_OK(ExpectOp(")"));
+      return e;
+    }
+    FUSION_ASSIGN_OR_RAISE(auto inner, ParseExpr());
+    FUSION_RETURN_NOT_OK(ExpectOp(")"));
+    return inner;
+  }
+  // Identifier: column or function call.
+  if (t.type == TokenType::kIdentifier) {
+    std::string first = Advance().text;
+    if (ConsumeOp("(")) {
+      return ParseFunctionCall(std::move(first));
+    }
+    auto e = MakeExpr(AstExpr::Kind::kColumn);
+    if (ConsumeOp(".")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected column name after '.'");
+      }
+      e->qualifier = std::move(first);
+      e->name = Advance().text;
+    } else {
+      e->name = std::move(first);
+    }
+    return e;
+  }
+  return Error("unexpected token in expression");
+}
+
+}  // namespace sql
+}  // namespace fusion

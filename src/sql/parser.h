@@ -1,0 +1,64 @@
+#ifndef FUSION_SQL_PARSER_H_
+#define FUSION_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace fusion {
+namespace sql {
+
+/// \brief Recursive-descent SQL parser covering the dialect subset the
+/// paper enumerates in §5.3.2: WHERE / GROUP BY (with per-aggregate
+/// FILTER) / HAVING / ORDER BY / LIMIT / OFFSET / DISTINCT, all join
+/// kinds, UNION [ALL], CTEs, window functions with ROWS/RANGE frames,
+/// CASE, CAST, BETWEEN, IN (list and subquery), LIKE/ILIKE, EXTRACT,
+/// scalar subqueries and EXISTS.
+class Parser {
+ public:
+  /// Parse a single statement (query or EXPLAIN query).
+  static Result<Statement> Parse(const std::string& sql);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(int ahead = 0) const;
+  const Token& Advance();
+  bool ConsumeKeyword(const char* kw);
+  bool ConsumeOp(const char* op);
+  Status ExpectKeyword(const char* kw);
+  Status ExpectOp(const char* op);
+  Status Error(const std::string& message) const;
+
+  Result<Statement> ParseStatement();
+  Result<AstQueryPtr> ParseQuery();
+  Result<SelectCore> ParseSelectCore();
+  Result<std::shared_ptr<TableRef>> ParseFromClause();
+  Result<std::shared_ptr<TableRef>> ParseTableRef();
+  Result<std::shared_ptr<TableRef>> ParseTablePrimary();
+  Result<std::vector<OrderItem>> ParseOrderByList();
+
+  // Expression precedence climbing.
+  Result<AstExprPtr> ParseExpr();            // OR level
+  Result<AstExprPtr> ParseAnd();
+  Result<AstExprPtr> ParseNot();
+  Result<AstExprPtr> ParsePredicate();       // comparisons, BETWEEN, IN, LIKE, IS
+  Result<AstExprPtr> ParseAddSub();
+  Result<AstExprPtr> ParseMulDiv();
+  Result<AstExprPtr> ParseUnary();
+  Result<AstExprPtr> ParsePrimary();
+  Result<AstExprPtr> ParseFunctionCall(std::string name);
+  Result<std::shared_ptr<WindowSpec>> ParseWindowSpec();
+  Result<FrameBound> ParseFrameBound();
+  Result<AstExprPtr> ParseCase();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sql
+}  // namespace fusion
+
+#endif  // FUSION_SQL_PARSER_H_

@@ -1,0 +1,192 @@
+// Tests for the catalog layer: file-backed TableProviders, directory
+// listings, extension dispatch, and scan-request handling.
+
+#include "tests/test_util.h"
+
+#include <sys/stat.h>
+
+#include "arrow/ipc.h"
+#include "catalog/file_tables.h"
+#include "format/csv.h"
+#include "format/fpq.h"
+
+namespace fusion {
+namespace test {
+namespace {
+
+std::string TestDir() {
+  std::string dir = "/tmp/fusion_test_catalog";
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+RecordBatchPtr SmallBatch(int64_t start, int64_t n) {
+  Int64Builder id;
+  StringBuilder name;
+  for (int64_t i = start; i < start + n; ++i) {
+    id.Append(i);
+    name.Append("n" + std::to_string(i));
+  }
+  auto schema = fusion::schema({Field("id", int64(), false),
+                                Field("name", utf8(), false)});
+  std::vector<ArrayPtr> cols = {id.Finish().ValueOrDie(),
+                                name.Finish().ValueOrDie()};
+  return std::make_shared<RecordBatch>(schema, n, std::move(cols));
+}
+
+TEST(FpqTableTest, MultipleFilesArePartitions) {
+  auto dir = TestDir();
+  auto b1 = SmallBatch(0, 100);
+  auto b2 = SmallBatch(100, 100);
+  ASSERT_OK(format::fpq::WriteFile(dir + "/part1.fpq", b1->schema(), {b1}));
+  ASSERT_OK(format::fpq::WriteFile(dir + "/part2.fpq", b2->schema(), {b2}));
+  ASSERT_OK_AND_ASSIGN(auto table, catalog::FpqTable::Open(
+                                       {dir + "/part1.fpq", dir + "/part2.fpq"}));
+  auto stats = table->statistics();
+  EXPECT_EQ(*stats.num_rows, 200);
+  EXPECT_EQ(stats.column_stats[0].min.int_value(), 0);
+  EXPECT_EQ(stats.column_stats[0].max.int_value(), 199);
+
+  catalog::ScanRequest request;
+  request.target_partitions = 2;
+  ASSERT_OK_AND_ASSIGN(auto iterators, table->Scan(request));
+  EXPECT_EQ(iterators.size(), 2u);
+  int64_t total = 0;
+  for (auto& it : iterators) {
+    for (;;) {
+      ASSERT_OK_AND_ASSIGN(auto batch, it->Next());
+      if (batch == nullptr) break;
+      total += batch->num_rows();
+    }
+  }
+  EXPECT_EQ(total, 200);
+}
+
+TEST(FpqTableTest, SchemaMismatchRejected) {
+  auto dir = TestDir();
+  auto b1 = SmallBatch(0, 10);
+  ASSERT_OK(format::fpq::WriteFile(dir + "/good.fpq", b1->schema(), {b1}));
+  auto other_schema = fusion::schema({Field("zzz", float64(), false)});
+  auto other = std::make_shared<RecordBatch>(
+      other_schema, 1, std::vector<ArrayPtr>{MakeFloat64Array({1.0})});
+  ASSERT_OK(format::fpq::WriteFile(dir + "/bad.fpq", other_schema, {other}));
+  EXPECT_RAISES(
+      catalog::FpqTable::Open({dir + "/good.fpq", dir + "/bad.fpq"}).status());
+}
+
+TEST(FpqTableTest, LimitPushdownStopsEarly) {
+  auto dir = TestDir();
+  auto b = SmallBatch(0, 1000);
+  format::fpq::WriteOptions options;
+  options.row_group_rows = 100;
+  ASSERT_OK(format::fpq::WriteFile(dir + "/limited.fpq", b->schema(), {b},
+                                   options));
+  ASSERT_OK_AND_ASSIGN(auto table, catalog::FpqTable::Open({dir + "/limited.fpq"}));
+  catalog::ScanRequest request;
+  request.limit = 42;
+  ASSERT_OK_AND_ASSIGN(auto iterators, table->Scan(request));
+  int64_t total = 0;
+  for (auto& it : iterators) {
+    for (;;) {
+      ASSERT_OK_AND_ASSIGN(auto batch, it->Next());
+      if (batch == nullptr) break;
+      total += batch->num_rows();
+    }
+  }
+  EXPECT_EQ(total, 42);
+}
+
+TEST(CsvTableTest, PartitionPerFile) {
+  auto dir = TestDir();
+  for (int f = 0; f < 3; ++f) {
+    std::FILE* file =
+        std::fopen((dir + "/c" + std::to_string(f) + ".csv").c_str(), "wb");
+    std::fputs("x\n1\n2\n", file);
+    std::fclose(file);
+  }
+  ASSERT_OK_AND_ASSIGN(
+      auto table,
+      catalog::CsvTable::Open(
+          {dir + "/c0.csv", dir + "/c1.csv", dir + "/c2.csv"}));
+  catalog::ScanRequest request;
+  ASSERT_OK_AND_ASSIGN(auto iterators, table->Scan(request));
+  EXPECT_EQ(iterators.size(), 3u);
+  EXPECT_EQ(table->paths().size(), 3u);
+}
+
+TEST(ListingTest, ListFilesFiltersAndSorts) {
+  std::string dir = "/tmp/fusion_test_listing";
+  ::mkdir(dir.c_str(), 0755);
+  for (const char* name : {"b.fpq", "a.fpq", "ignore.txt"}) {
+    std::FILE* f = std::fopen((dir + "/" + name).c_str(), "wb");
+    std::fputs("x", f);
+    std::fclose(f);
+  }
+  ASSERT_OK_AND_ASSIGN(auto files, catalog::ListFiles(dir, ".fpq"));
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_NE(files[0].find("a.fpq"), std::string::npos);
+  EXPECT_NE(files[1].find("b.fpq"), std::string::npos);
+  EXPECT_RAISES(catalog::ListFiles("/no/such/dir", ".fpq").status());
+}
+
+TEST(OpenTableTest, DispatchesOnExtension) {
+  std::string dir = "/tmp/fusion_test_open";
+  ::mkdir(dir.c_str(), 0755);
+  auto b = SmallBatch(0, 5);
+  ASSERT_OK(format::fpq::WriteFile(dir + "/data.fpq", b->schema(), {b}));
+  ASSERT_OK_AND_ASSIGN(auto fpq, catalog::OpenTable(dir + "/data.fpq"));
+  EXPECT_EQ(fpq->schema()->num_fields(), 2);
+  // Directory form discovers the .fpq file.
+  ASSERT_OK_AND_ASSIGN(auto from_dir, catalog::OpenTable(dir));
+  EXPECT_EQ(from_dir->schema()->num_fields(), 2);
+  EXPECT_RAISES(catalog::OpenTable("/tmp/nonexistent_path_xyz").status());
+  std::FILE* f = std::fopen((dir + "/odd.xyz").c_str(), "wb");
+  std::fclose(f);
+  EXPECT_RAISES(catalog::OpenTable(dir + "/odd.xyz").status());
+}
+
+TEST(IpcTableTest, EndToEndThroughSession) {
+  std::string path = "/tmp/fusion_test_catalog_ipc.ipc";
+  auto b = SmallBatch(0, 20);
+  ASSERT_OK(ipc::WriteFile(path, {b}));
+  auto ctx = core::SessionContext::Make();
+  ASSERT_OK(ctx->RegisterIpc("arrows", path));
+  ASSERT_OK_AND_ASSIGN(auto rows,
+                       ctx->ExecuteSql("SELECT count(*), max(id) FROM arrows"));
+  auto r = ToStringRows(rows);
+  EXPECT_EQ(r[0][0], "20");
+  EXPECT_EQ(r[0][1], "19");
+}
+
+TEST(MemoryTableTest, AppendGrowsTable) {
+  auto b = SmallBatch(0, 5);
+  ASSERT_OK_AND_ASSIGN(auto table,
+                       catalog::MemoryTable::Make(b->schema(), {b}));
+  ASSERT_OK(table->Append(SmallBatch(5, 5)));
+  EXPECT_EQ(*table->statistics().num_rows, 10);
+  EXPECT_RAISES(table->Append(std::make_shared<RecordBatch>(
+      fusion::schema({Field("other", int64(), false)}), 1,
+      std::vector<ArrayPtr>{MakeInt64Array({1})})));
+}
+
+TEST(FpqScanMetricsTest, PruningObservableThroughSession) {
+  auto dir = TestDir();
+  auto b = SmallBatch(0, 4000);
+  format::fpq::WriteOptions options;
+  options.row_group_rows = 500;
+  ASSERT_OK(format::fpq::WriteFile(dir + "/metrics.fpq", b->schema(), {b},
+                                   options));
+  ASSERT_OK_AND_ASSIGN(auto table,
+                       catalog::FpqTable::Open({dir + "/metrics.fpq"}));
+  auto ctx = core::SessionContext::Make();
+  ctx->RegisterTable("m", table).Abort();
+  ASSERT_OK_AND_ASSIGN(auto rows,
+                       ctx->ExecuteSql("SELECT count(*) FROM m WHERE id < 250"));
+  EXPECT_EQ(ToStringRows(rows)[0][0], "250");
+  auto metrics = table->ConsumeMetrics();
+  EXPECT_EQ(metrics.row_groups_pruned, 7);  // 8 row groups, 1 matches
+}
+
+}  // namespace
+}  // namespace test
+}  // namespace fusion

@@ -1,0 +1,206 @@
+// Tests for the built-in function library (paper §5.4.3) evaluated
+// through SQL, plus interval analysis / range propagation (§5.4.2).
+
+#include "tests/test_util.h"
+
+#include "logical/interval_analysis.h"
+#include "logical/expr_eval.h"
+
+namespace fusion {
+namespace test {
+namespace {
+
+/// Evaluate a constant SQL expression and return its single value.
+std::string Eval(core::SessionContextPtr& ctx, const std::string& expr) {
+  auto batches = ctx->ExecuteSql("SELECT " + expr);
+  batches.status().Abort();
+  return ToStringRows(*batches)[0][0];
+}
+
+TEST(FunctionTest, Math) {
+  auto ctx = MakeTestSession(1);
+  EXPECT_EQ(Eval(ctx, "abs(-7)"), "7");
+  EXPECT_EQ(Eval(ctx, "abs(-1.5)"), "1.5");
+  EXPECT_EQ(Eval(ctx, "sqrt(16)"), "4");
+  EXPECT_EQ(Eval(ctx, "power(2, 10)"), "1024");
+  EXPECT_EQ(Eval(ctx, "ceil(1.2)"), "2");
+  EXPECT_EQ(Eval(ctx, "floor(1.8)"), "1");
+  EXPECT_EQ(Eval(ctx, "round(2.567, 2)"), "2.57");
+  EXPECT_EQ(Eval(ctx, "round(2.4)"), "2");
+  EXPECT_EQ(Eval(ctx, "sign(-3)"), "-1");
+  EXPECT_EQ(Eval(ctx, "exp(0)"), "1");
+  EXPECT_EQ(Eval(ctx, "ln(1)"), "0");
+  EXPECT_EQ(Eval(ctx, "log10(1000)"), "3");
+}
+
+TEST(FunctionTest, Strings) {
+  auto ctx = MakeTestSession(1);
+  EXPECT_EQ(Eval(ctx, "upper('abc')"), "ABC");
+  EXPECT_EQ(Eval(ctx, "lower('AbC')"), "abc");
+  EXPECT_EQ(Eval(ctx, "length('hello')"), "5");
+  EXPECT_EQ(Eval(ctx, "char_length('hello')"), "5");
+  EXPECT_EQ(Eval(ctx, "substr('hello', 2, 3)"), "ell");
+  EXPECT_EQ(Eval(ctx, "trim('  x  ')"), "x");
+  EXPECT_EQ(Eval(ctx, "concat('a', 'b', 'c')"), "abc");
+  EXPECT_EQ(Eval(ctx, "concat('n=', 42)"), "n=42");
+  EXPECT_EQ(Eval(ctx, "replace('aXbXc', 'X', '-')"), "a-b-c");
+  EXPECT_EQ(Eval(ctx, "starts_with('hello', 'he')"), "true");
+  EXPECT_EQ(Eval(ctx, "ends_with('hello', 'lo')"), "true");
+  EXPECT_EQ(Eval(ctx, "contains('hello', 'ell')"), "true");
+  EXPECT_EQ(Eval(ctx, "'a' || 'b' || 3"), "ab3");
+}
+
+TEST(FunctionTest, Temporal) {
+  auto ctx = MakeTestSession(1);
+  EXPECT_EQ(Eval(ctx, "date_part('year', date '2024-03-15')"), "2024");
+  EXPECT_EQ(Eval(ctx, "EXTRACT(month FROM date '2024-03-15')"), "3");
+  EXPECT_EQ(Eval(ctx, "EXTRACT(day FROM date '2024-03-15')"), "15");
+  EXPECT_EQ(Eval(ctx, "EXTRACT(hour FROM timestamp '2024-03-15 13:45:10')"),
+            "13");
+  EXPECT_EQ(Eval(ctx, "EXTRACT(minute FROM timestamp '2024-03-15 13:45:10')"),
+            "45");
+  // to_date parses into the date32 domain.
+  EXPECT_EQ(Eval(ctx, "date_part('year', to_date('1999-12-31'))"), "1999");
+}
+
+TEST(FunctionTest, Conditional) {
+  auto ctx = MakeTestSession(1);
+  EXPECT_EQ(Eval(ctx, "coalesce(NULL, NULL, 5)"), "5");
+  EXPECT_EQ(Eval(ctx, "coalesce(NULL, 'x')"), "x");
+  EXPECT_EQ(Eval(ctx, "nullif(3, 3)"), "null");
+  EXPECT_EQ(Eval(ctx, "nullif(3, 4)"), "3");
+}
+
+TEST(FunctionTest, NullPropagation) {
+  auto ctx = MakeTestSession(1);
+  EXPECT_EQ(Eval(ctx, "upper(NULL)"), "null");
+  EXPECT_EQ(Eval(ctx, "abs(NULL)"), "null");
+  EXPECT_EQ(Eval(ctx, "NULL + 1"), "null");
+  EXPECT_EQ(Eval(ctx, "1 = NULL"), "null");
+  EXPECT_EQ(Eval(ctx, "NULL IS NULL"), "true");
+}
+
+TEST(FunctionTest, DateArithmeticWithIntervals) {
+  auto ctx = MakeTestSession(1);
+  EXPECT_EQ(Eval(ctx, "date_part('year', date '1998-12-01' - interval '90' day)"),
+            "1998");
+  EXPECT_EQ(Eval(ctx, "date_part('month', date '1998-12-01' - interval '90' day)"),
+            "9");
+  EXPECT_EQ(Eval(ctx, "date_part('day', date '1998-12-01' - interval '90' day)"),
+            "2");
+  EXPECT_EQ(Eval(ctx, "date_part('month', date '2000-01-31' + interval '1' month)"),
+            "2");
+  // Day clamps: Jan 31 + 1 month -> Feb 29 (2000 is a leap year).
+  EXPECT_EQ(Eval(ctx, "date_part('day', date '2000-01-31' + interval '1' month)"),
+            "29");
+  EXPECT_EQ(Eval(ctx, "date_part('year', date '1995-06-15' + interval '2' year)"),
+            "1997");
+}
+
+TEST(FunctionTest, UnknownFunctionErrors) {
+  auto ctx = MakeTestSession(1);
+  EXPECT_FALSE(ctx->ExecuteSql("SELECT frobnicate(1)").ok());
+  EXPECT_FALSE(ctx->ExecuteSql("SELECT substr('x')").ok());  // arity
+}
+
+TEST(IntervalAnalysisTest, ArithmeticPropagation) {
+  using logical::AnalyzeExprInterval;
+  using logical::ValueInterval;
+  logical::ColumnBounds bounds;
+  bounds["x"] = ValueInterval::Of(Scalar::Int64(0), Scalar::Int64(10));
+  bounds["y"] = ValueInterval::Of(Scalar::Int64(-5), Scalar::Int64(5));
+
+  ASSERT_OK_AND_ASSIGN(
+      auto sum, AnalyzeExprInterval(logical::Binary(logical::Col("x"),
+                                                    logical::BinaryOp::kPlus,
+                                                    logical::Col("y")),
+                                    bounds));
+  EXPECT_DOUBLE_EQ(sum.lo.AsDouble(), -5);
+  EXPECT_DOUBLE_EQ(sum.hi.AsDouble(), 15);
+
+  ASSERT_OK_AND_ASSIGN(
+      auto prod, AnalyzeExprInterval(logical::Binary(logical::Col("x"),
+                                                     logical::BinaryOp::kMultiply,
+                                                     logical::Col("y")),
+                                     bounds));
+  EXPECT_DOUBLE_EQ(prod.lo.AsDouble(), -50);
+  EXPECT_DOUBLE_EQ(prod.hi.AsDouble(), 50);
+
+  ASSERT_OK_AND_ASSIGN(auto unknown,
+                       AnalyzeExprInterval(logical::Col("zzz"), bounds));
+  EXPECT_TRUE(unknown.IsUnbounded());
+}
+
+TEST(IntervalAnalysisTest, PredicatePruning) {
+  using logical::PredicateMaySatisfy;
+  using logical::ValueInterval;
+  logical::ColumnBounds bounds;
+  bounds["x"] = ValueInterval::Of(Scalar::Int64(100), Scalar::Int64(200));
+
+  auto pred = [&](logical::BinaryOp op, int64_t v) {
+    return logical::Binary(logical::Col("x"), op, logical::Lit(v));
+  };
+  // x in [100,200]: x > 300 impossible, x > 150 possible.
+  ASSERT_OK_AND_ASSIGN(bool impossible,
+                       PredicateMaySatisfy(pred(logical::BinaryOp::kGt, 300),
+                                           bounds));
+  EXPECT_FALSE(impossible);
+  ASSERT_OK_AND_ASSIGN(bool possible,
+                       PredicateMaySatisfy(pred(logical::BinaryOp::kGt, 150),
+                                           bounds));
+  EXPECT_TRUE(possible);
+  ASSERT_OK_AND_ASSIGN(bool eq_out,
+                       PredicateMaySatisfy(pred(logical::BinaryOp::kEq, 99),
+                                           bounds));
+  EXPECT_FALSE(eq_out);
+  // Conjunction: one impossible arm kills it; disjunction survives.
+  ASSERT_OK_AND_ASSIGN(
+      bool conj,
+      PredicateMaySatisfy(logical::And(pred(logical::BinaryOp::kGt, 300),
+                                       pred(logical::BinaryOp::kLt, 150)),
+                          bounds));
+  EXPECT_FALSE(conj);
+  ASSERT_OK_AND_ASSIGN(
+      bool disj,
+      PredicateMaySatisfy(logical::Or(pred(logical::BinaryOp::kGt, 300),
+                                      pred(logical::BinaryOp::kLt, 150)),
+                          bounds));
+  EXPECT_TRUE(disj);
+}
+
+TEST(IntervalAnalysisTest, SelectivityHeuristics) {
+  using logical::EstimateSelectivity;
+  auto eq = logical::Binary(logical::Col("x"), logical::BinaryOp::kEq,
+                            logical::Lit(int64_t{1}));
+  auto range = logical::Binary(logical::Col("x"), logical::BinaryOp::kLt,
+                               logical::Lit(int64_t{1}));
+  EXPECT_LT(EstimateSelectivity(eq), EstimateSelectivity(range));
+  EXPECT_LT(EstimateSelectivity(logical::And(eq, range)),
+            EstimateSelectivity(eq));
+  EXPECT_GE(EstimateSelectivity(logical::Or(eq, range)),
+            EstimateSelectivity(range));
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(nullptr), 1.0);
+}
+
+TEST(ConstantEvalTest, EvaluateBinaryScalar) {
+  using logical::EvaluateBinaryScalar;
+  ASSERT_OK_AND_ASSIGN(auto sum, EvaluateBinaryScalar(logical::BinaryOp::kPlus,
+                                                      Scalar::Int64(2),
+                                                      Scalar::Float64(0.5)));
+  EXPECT_DOUBLE_EQ(sum.double_value(), 2.5);
+  ASSERT_OK_AND_ASSIGN(auto div0, EvaluateBinaryScalar(logical::BinaryOp::kDivide,
+                                                       Scalar::Int64(1),
+                                                       Scalar::Int64(0)));
+  EXPECT_TRUE(div0.is_null());
+  // Kleene: false AND null = false.
+  ASSERT_OK_AND_ASSIGN(auto kleene,
+                       EvaluateBinaryScalar(logical::BinaryOp::kAnd,
+                                            Scalar::Bool(false),
+                                            Scalar::Null(boolean())));
+  EXPECT_FALSE(kleene.is_null());
+  EXPECT_FALSE(kleene.bool_value());
+}
+
+}  // namespace
+}  // namespace test
+}  // namespace fusion

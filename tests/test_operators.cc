@@ -1,0 +1,563 @@
+// Physical operator and runtime tests: spilling under memory pressure,
+// Top-K vs full sort, exchange operators, window frames, memory pools,
+// disk manager and cache manager.
+
+#include "tests/test_util.h"
+
+#include "exec/cache_manager.h"
+#include "exec/disk_manager.h"
+#include "exec/memory_pool.h"
+
+namespace fusion {
+namespace test {
+namespace {
+
+TEST(MemoryPoolTest, GreedyEnforcesLimit) {
+  exec::GreedyMemoryPool pool(1000);
+  ASSERT_OK(pool.Grow("a", 600));
+  EXPECT_RAISES(pool.Grow("b", 600));
+  pool.Shrink("a", 600);
+  ASSERT_OK(pool.Grow("b", 600));
+  EXPECT_EQ(pool.bytes_allocated(), 600);
+}
+
+TEST(MemoryPoolTest, FairDividesBudget) {
+  exec::FairMemoryPool pool(1000);
+  pool.RegisterConsumer("a");
+  pool.RegisterConsumer("b");
+  // Each consumer gets 500.
+  ASSERT_OK(pool.Grow("a", 400));
+  EXPECT_RAISES(pool.Grow("a", 200));
+  ASSERT_OK(pool.Grow("b", 500));
+  pool.Shrink("a", 400);
+  ASSERT_OK(pool.Grow("a", 500));
+}
+
+TEST(MemoryPoolTest, ReservationRaii) {
+  auto pool = std::make_shared<exec::GreedyMemoryPool>(100);
+  {
+    exec::MemoryReservation res(pool, "x");
+    ASSERT_OK(res.ResizeTo(80));
+    EXPECT_EQ(pool->bytes_allocated(), 80);
+    ASSERT_OK(res.ResizeTo(30));
+    EXPECT_EQ(pool->bytes_allocated(), 30);
+  }
+  EXPECT_EQ(pool->bytes_allocated(), 0);
+}
+
+TEST(DiskManagerTest, SpillFileRemovedOnRelease) {
+  exec::DiskManager dm("/tmp");
+  std::string path;
+  {
+    auto file = dm.CreateTempFile("test").ValueOrDie();
+    path = file->path();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("spill", f);
+    std::fclose(f);
+    EXPECT_EQ(::access(path.c_str(), F_OK), 0);
+  }
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+  EXPECT_EQ(dm.files_created(), 1);
+}
+
+TEST(CacheManagerTest, LruEvictionAndHitTracking) {
+  exec::CacheManager cache(2);
+  cache.PutListing("d1", {"a"});
+  cache.PutListing("d2", {"b"});
+  EXPECT_TRUE(cache.GetListing("d1").has_value());  // d1 now most recent
+  cache.PutListing("d3", {"c"});                    // evicts d2
+  EXPECT_FALSE(cache.GetListing("d2").has_value());
+  EXPECT_TRUE(cache.GetListing("d1").has_value());
+  EXPECT_TRUE(cache.GetListing("d3").has_value());
+  EXPECT_GT(cache.hits(), 0);
+  EXPECT_GT(cache.misses(), 0);
+  catalog::TableStatistics stats;
+  stats.num_rows = 42;
+  cache.PutFileStats("f", stats);
+  EXPECT_EQ(cache.GetFileStats("f")->num_rows, 42);
+}
+
+TEST(SortSpillTest, ExternalSortMatchesInMemory) {
+  // A tight memory budget forces spilled runs + k-way merge; results
+  // must be identical to the unconstrained sort.
+  exec::SessionConfig config;
+  auto env_small = std::make_shared<exec::RuntimeEnv>();
+  env_small->memory_pool = std::make_shared<exec::GreedyMemoryPool>(512 * 1024);
+  auto small_ctx = core::SessionContext::Make(config, env_small);
+  auto big_ctx = core::SessionContext::Make(config);
+
+  // 50k rows of shuffled data (several MB as strings).
+  std::mt19937 rng(11);
+  Int64Builder key;
+  StringBuilder payload;
+  for (int64_t i = 0; i < 50000; ++i) {
+    key.Append(static_cast<int64_t>(rng()));
+    payload.Append("payload-" + std::to_string(rng() % 100000));
+  }
+  auto schema = fusion::schema({Field("k", int64(), false),
+                                Field("p", utf8(), false)});
+  std::vector<ArrayPtr> cols = {key.Finish().ValueOrDie(),
+                                payload.Finish().ValueOrDie()};
+  auto batch = std::make_shared<RecordBatch>(schema, 50000, std::move(cols));
+  auto table =
+      catalog::MemoryTable::Make(schema, SliceBatch(batch, 4096)).ValueOrDie();
+  small_ctx->RegisterTable("data", table).Abort();
+  big_ctx->RegisterTable("data", table).Abort();
+
+  const char* q = "SELECT k, p FROM data ORDER BY k";
+  ASSERT_OK_AND_ASSIGN(auto spilled, small_ctx->ExecuteSql(q));
+  ASSERT_OK_AND_ASSIGN(auto in_memory, big_ctx->ExecuteSql(q));
+  EXPECT_EQ(ToStringRows(spilled), ToStringRows(in_memory));
+}
+
+TEST(AggSpillTest, SpilledAggregationMatchesInMemory) {
+  exec::SessionConfig config;
+  config.target_partitions = 2;
+  auto env_small = std::make_shared<exec::RuntimeEnv>();
+  env_small->memory_pool = std::make_shared<exec::GreedyMemoryPool>(256 * 1024);
+  auto small_ctx = core::SessionContext::Make(config, env_small);
+  auto big_ctx = core::SessionContext::Make(config);
+
+  std::mt19937 rng(13);
+  Int64Builder key, value;
+  for (int64_t i = 0; i < 80000; ++i) {
+    key.Append(static_cast<int64_t>(rng() % 40000));  // many groups
+    value.Append(static_cast<int64_t>(rng() % 100));
+  }
+  auto schema = fusion::schema({Field("k", int64(), false),
+                                Field("v", int64(), false)});
+  std::vector<ArrayPtr> cols = {key.Finish().ValueOrDie(),
+                                value.Finish().ValueOrDie()};
+  auto batch = std::make_shared<RecordBatch>(schema, 80000, std::move(cols));
+  auto table =
+      catalog::MemoryTable::Make(schema, SliceBatch(batch, 8192)).ValueOrDie();
+  small_ctx->RegisterTable("data", table).Abort();
+  big_ctx->RegisterTable("data", table).Abort();
+
+  const char* q = "SELECT k, count(*), sum(v), min(v), max(v), avg(v) "
+                  "FROM data GROUP BY k";
+  ASSERT_OK_AND_ASSIGN(auto spilled, small_ctx->ExecuteSql(q));
+  ASSERT_OK_AND_ASSIGN(auto in_memory, big_ctx->ExecuteSql(q));
+  EXPECT_EQ(SortedStringRows(spilled), SortedStringRows(in_memory));
+}
+
+TEST(TopKTest, MatchesFullSortProperty) {
+  std::mt19937 rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto ctx_topk = MakeTestSession(2000);
+    exec::SessionConfig no_topk;
+    no_topk.enable_topk = false;
+    auto ctx_full = MakeTestSession(2000, no_topk);
+    int64_t limit = 1 + static_cast<int64_t>(rng() % 50);
+    std::string q = "SELECT id, v FROM t ORDER BY v DESC NULLS LAST, id LIMIT " +
+                    std::to_string(limit);
+    ASSERT_OK_AND_ASSIGN(auto topk, ctx_topk->ExecuteSql(q));
+    ASSERT_OK_AND_ASSIGN(auto full, ctx_full->ExecuteSql(q));
+    EXPECT_EQ(ToStringRows(topk), ToStringRows(full)) << q;
+  }
+}
+
+TEST(ExchangeTest, RepartitionPreservesAllRows) {
+  exec::SessionConfig config;
+  config.target_partitions = 4;
+  auto ctx = MakeTestSession(1000, config);
+  // Two-phase aggregation exercises hash repartitioning end to end.
+  ASSERT_OK_AND_ASSIGN(
+      auto batches,
+      ctx->ExecuteSql("SELECT grp, count(*) AS c FROM t GROUP BY grp"));
+  int64_t total = 0;
+  for (const auto& row : ToStringRows(batches)) {
+    total += std::stoll(row[1]);
+  }
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(ExchangeTest, LimitAbandonsExchangeWithoutHanging) {
+  // Regression: LIMIT above a repartitioned aggregation must terminate
+  // even though the exchange producers still hold batches.
+  exec::SessionConfig config;
+  config.target_partitions = 4;
+  auto ctx = MakeTestSession(5000, config);
+  ASSERT_OK_AND_ASSIGN(
+      auto batches,
+      ctx->ExecuteSql("SELECT id, count(*) FROM t GROUP BY id LIMIT 3"));
+  EXPECT_EQ(TotalRows(batches), 3);
+}
+
+
+TEST(ExchangeTest, SeriallyConsumedRepartitionDoesNotDeadlock) {
+  // Regression: per-partition sorts above a hash repartition are opened
+  // one at a time by the sort-preserving merge; with bounded exchange
+  // queues the producers deadlocked once partition B's queue filled
+  // while partition A's consumer still awaited end-of-stream.
+  exec::SessionConfig config;
+  config.target_partitions = 3;
+  auto ctx = MakeTestSession(60000, config);
+  ASSERT_OK_AND_ASSIGN(
+      auto batches,
+      ctx->ExecuteSql("SELECT id, count(*) AS c FROM t GROUP BY id "
+                      "ORDER BY c DESC, id LIMIT 5"));
+  auto rows = ToStringRows(batches);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0][1], "1");  // ids are unique
+}
+
+
+TEST(WindowTest, SortReuseMatchesExplicitSort) {
+  // Table t is declared sorted by id: the window can reuse the input
+  // order (paper Â§6.5). A derived (order-destroying) source forces the
+  // sort path; results must agree.
+  auto ctx = MakeTestSession(200);
+  const char* reuse =
+      "SELECT id, sum(v) OVER (ORDER BY id) AS rs FROM t";
+  const char* resort =
+      "SELECT id, sum(v) OVER (ORDER BY id) AS rs "
+      "FROM (SELECT * FROM t WHERE id >= 0 OR v > 0) u";
+  ASSERT_OK_AND_ASSIGN(auto a, ctx->ExecuteSql(reuse));
+  ASSERT_OK_AND_ASSIGN(auto b, ctx->ExecuteSql(resort));
+  EXPECT_EQ(SortedStringRows(a), SortedStringRows(b));
+}
+
+TEST(WindowTest, RunningAggregatesAndRanks) {
+  auto ctx = MakeTestSession(12);
+  ASSERT_OK_AND_ASSIGN(
+      auto batches,
+      ctx->ExecuteSql(
+          "SELECT id, rank() OVER (PARTITION BY grp ORDER BY v DESC) AS r, "
+          "dense_rank() OVER (PARTITION BY grp ORDER BY v DESC) AS dr, "
+          "avg(v) OVER (PARTITION BY grp) AS gavg "
+          "FROM t ORDER BY id"));
+  EXPECT_EQ(TotalRows(batches), 12);
+}
+
+TEST(WindowTest, ExplicitRowsFrame) {
+  auto ctx = MakeTestSession(6);
+  ASSERT_OK_AND_ASSIGN(
+      auto batches,
+      ctx->ExecuteSql("SELECT id, sum(id) OVER (ORDER BY id ROWS BETWEEN 1 "
+                      "PRECEDING AND 1 FOLLOWING) AS s FROM t ORDER BY id"));
+  auto rows = ToStringRows(batches);
+  // id: 0..5; s[0]=0+1=1, s[1]=0+1+2=3, ..., s[5]=4+5=9
+  EXPECT_EQ(rows[0][1], "1");
+  EXPECT_EQ(rows[1][1], "3");
+  EXPECT_EQ(rows[5][1], "9");
+}
+
+TEST(WindowTest, LagLeadFirstLast) {
+  auto ctx = MakeTestSession(5);
+  ASSERT_OK_AND_ASSIGN(
+      auto batches,
+      ctx->ExecuteSql(
+          "SELECT id, lag(id) OVER (ORDER BY id) AS prev, "
+          "lead(id) OVER (ORDER BY id) AS next, "
+          "first_value(id) OVER (ORDER BY id) AS f, "
+          "last_value(id) OVER (ORDER BY id ROWS BETWEEN UNBOUNDED PRECEDING "
+          "AND UNBOUNDED FOLLOWING) AS l FROM t ORDER BY id"));
+  auto rows = ToStringRows(batches);
+  EXPECT_EQ(rows[0][1], "null");
+  EXPECT_EQ(rows[1][1], "0");
+  EXPECT_EQ(rows[0][2], "1");
+  EXPECT_EQ(rows[4][2], "null");
+  EXPECT_EQ(rows[3][3], "0");
+  EXPECT_EQ(rows[3][4], "4");
+}
+
+TEST(AggregateTest, StddevVarCorrMedian) {
+  auto ctx = core::SessionContext::Make();
+  Float64Builder x, y;
+  for (int i = 1; i <= 5; ++i) {
+    x.Append(i);
+    y.Append(2.0 * i + 1);
+  }
+  auto schema = fusion::schema({Field("x", float64(), false),
+                                Field("y", float64(), false)});
+  std::vector<ArrayPtr> cols = {x.Finish().ValueOrDie(), y.Finish().ValueOrDie()};
+  auto batch = std::make_shared<RecordBatch>(schema, 5, std::move(cols));
+  ctx->RegisterTable("pts", catalog::MemoryTable::Make(schema, {batch})
+                                .ValueOrDie())
+      .Abort();
+  ASSERT_OK_AND_ASSIGN(
+      auto batches,
+      ctx->ExecuteSql("SELECT stddev(x), var(x), corr(x, y), median(x) FROM pts"));
+  auto rows = ToStringRows(batches);
+  // x = 1..5: var = 2.5, stddev ~ 1.5811; y = 2x+1 -> corr = 1; median = 3.
+  EXPECT_NEAR(std::stod(rows[0][0]), 1.58114, 1e-4);
+  EXPECT_NEAR(std::stod(rows[0][1]), 2.5, 1e-9);
+  EXPECT_NEAR(std::stod(rows[0][2]), 1.0, 1e-9);
+  EXPECT_NEAR(std::stod(rows[0][3]), 3.0, 1e-9);
+}
+
+TEST(AggregateTest, TwoPhaseMatchesSinglePhaseProperty) {
+  std::mt19937 rng(23);
+  for (int trial = 0; trial < 3; ++trial) {
+    exec::SessionConfig two_phase;
+    two_phase.target_partitions = 3;
+    two_phase.enable_partial_aggregation = true;
+    exec::SessionConfig single;
+    single.target_partitions = 3;
+    single.enable_partial_aggregation = false;
+    int64_t n = 500 + static_cast<int64_t>(rng() % 1000);
+    auto ctx2 = MakeTestSession(n, two_phase);
+    auto ctx1 = MakeTestSession(n, single);
+    const char* q =
+        "SELECT grp, count(*), count(v), sum(v), min(f), max(f), avg(v), "
+        "stddev(f) FROM t GROUP BY grp";
+    ASSERT_OK_AND_ASSIGN(auto a, ctx2->ExecuteSql(q));
+    ASSERT_OK_AND_ASSIGN(auto b, ctx1->ExecuteSql(q));
+    EXPECT_EQ(SortedStringRows(a), SortedStringRows(b)) << "n=" << n;
+  }
+}
+
+TEST(HashJoinTest, NullKeysNeverMatch) {
+  auto ctx = core::SessionContext::Make();
+  auto schema = fusion::schema({Field("k", int64(), true)});
+  auto left = std::make_shared<RecordBatch>(
+      schema, 3,
+      std::vector<ArrayPtr>{MakeInt64Array({1, 2, 3}, {true, false, true})});
+  auto right = std::make_shared<RecordBatch>(
+      schema, 3,
+      std::vector<ArrayPtr>{MakeInt64Array({1, 2, 3}, {true, false, true})});
+  ctx->RegisterTable("l", catalog::MemoryTable::Make(schema, {left}).ValueOrDie())
+      .Abort();
+  ctx->RegisterTable("r", catalog::MemoryTable::Make(schema, {right}).ValueOrDie())
+      .Abort();
+  ASSERT_OK_AND_ASSIGN(auto inner,
+                       ctx->ExecuteSql("SELECT count(*) FROM l JOIN r ON l.k = r.k"));
+  EXPECT_EQ(ToStringRows(inner)[0][0], "2");  // nulls don't join
+  ASSERT_OK_AND_ASSIGN(
+      auto outer, ctx->ExecuteSql("SELECT count(*) FROM l LEFT JOIN r ON l.k = r.k"));
+  EXPECT_EQ(ToStringRows(outer)[0][0], "3");  // null row survives as unmatched
+}
+
+TEST(HashJoinTest, FullOuterJoin) {
+  auto ctx = core::SessionContext::Make();
+  auto schema = fusion::schema({Field("k", int64(), false)});
+  auto l = std::make_shared<RecordBatch>(
+      schema, 3, std::vector<ArrayPtr>{MakeInt64Array({1, 2, 3})});
+  auto r = std::make_shared<RecordBatch>(
+      schema, 3, std::vector<ArrayPtr>{MakeInt64Array({2, 3, 4})});
+  ctx->RegisterTable("l", catalog::MemoryTable::Make(schema, {l}).ValueOrDie())
+      .Abort();
+  ctx->RegisterTable("r", catalog::MemoryTable::Make(schema, {r}).ValueOrDie())
+      .Abort();
+  ASSERT_OK_AND_ASSIGN(
+      auto batches,
+      ctx->ExecuteSql("SELECT l.k, r.k FROM l FULL JOIN r ON l.k = r.k"));
+  auto rows = SortedStringRows(batches);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0], (StringRow{"1", "null"}));
+  EXPECT_EQ(rows[3], (StringRow{"null", "4"}));
+}
+
+TEST(ScalarSubqueryTest, MultiRowSubqueryErrors) {
+  auto ctx = MakeTestSession(10);
+  auto result =
+      ctx->ExecuteSql("SELECT count(*) FROM t WHERE id > (SELECT id FROM t)");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(FairPoolTest, QueryFailsCleanlyWhenShareExceeded) {
+  exec::SessionConfig config;
+  auto env = std::make_shared<exec::RuntimeEnv>();
+  // A pool so small the sort cannot even hold one batch and has no
+  // room to spill incrementally (single batch > share).
+  auto pool = std::make_shared<exec::GreedyMemoryPool>(16);
+  env->memory_pool = pool;
+  auto ctx = core::SessionContext::Make(config, env);
+  StringBuilder s;
+  for (int i = 0; i < 10000; ++i) s.Append("some-payload-" + std::to_string(i));
+  auto schema = fusion::schema({Field("s", utf8(), false)});
+  std::vector<ArrayPtr> cols = {s.Finish().ValueOrDie()};
+  auto batch = std::make_shared<RecordBatch>(schema, 10000, std::move(cols));
+  ctx->RegisterTable("data", catalog::MemoryTable::Make(schema, {batch})
+                                 .ValueOrDie())
+      .Abort();
+  auto result = ctx->ExecuteSql("SELECT s FROM data ORDER BY s");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfMemory()) << result.status().ToString();
+}
+
+
+TEST(StreamingAggTest, SelectedForKeyOrderedInput) {
+  auto ctx = MakeTestSession(100);  // t is sorted by id
+  ASSERT_OK_AND_ASSIGN(
+      auto plan, ctx->CreateLogicalPlan("SELECT id, count(*) FROM t GROUP BY id"));
+  ASSERT_OK_AND_ASSIGN(auto optimized, ctx->OptimizePlan(plan));
+  ASSERT_OK_AND_ASSIGN(auto exec_plan, ctx->CreatePhysicalPlan(optimized));
+  EXPECT_NE(exec_plan->ToString().find("StreamingAggregateExec"),
+            std::string::npos)
+      << exec_plan->ToString();
+}
+
+TEST(StreamingAggTest, MatchesHashAggregation) {
+  auto ctx = MakeTestSession(500);
+  // Sorted key (id) -> streaming; unsorted key (grp) -> hash. Compare a
+  // streaming aggregation against the same computed via a derived
+  // (order-destroying) table.
+  const char* streaming = "SELECT id % 10 AS k, count(*), sum(v), avg(f) "
+                          "FROM t GROUP BY id % 10";
+  (void)streaming;
+  ASSERT_OK_AND_ASSIGN(
+      auto by_id,
+      ctx->ExecuteSql("SELECT id, count(*) AS c, sum(v) AS s, min(f) AS m "
+                      "FROM t GROUP BY id"));
+  ASSERT_OK_AND_ASSIGN(
+      auto by_id_hash,
+      ctx->ExecuteSql("SELECT id, count(*) AS c, sum(v) AS s, min(f) AS m "
+                      "FROM (SELECT * FROM t WHERE id >= 0 OR v > 0) u "
+                      "GROUP BY id"));
+  EXPECT_EQ(SortedStringRows(by_id), SortedStringRows(by_id_hash));
+}
+
+TEST(StreamingAggTest, GroupRunsAcrossBatchBoundaries) {
+  // 100 rows in batches of 32; ids repeat in runs of 7 so runs straddle
+  // batch boundaries.
+  auto ctx = core::SessionContext::Make();
+  Int64Builder k;
+  Int64Builder v;
+  for (int i = 0; i < 100; ++i) {
+    k.Append(i / 7);
+    v.Append(i);
+  }
+  auto schema = fusion::schema({Field("k", int64(), false),
+                                Field("v", int64(), false)});
+  std::vector<ArrayPtr> cols = {k.Finish().ValueOrDie(), v.Finish().ValueOrDie()};
+  auto batch = std::make_shared<RecordBatch>(schema, 100, std::move(cols));
+  auto table =
+      catalog::MemoryTable::Make(schema, SliceBatch(batch, 32)).ValueOrDie();
+  table->SetSortOrder({{"k", {}}});
+  ctx->RegisterTable("runs", table).Abort();
+  ASSERT_OK_AND_ASSIGN(auto plan,
+                       ctx->CreateLogicalPlan(
+                           "SELECT k, count(*), sum(v) FROM runs GROUP BY k"));
+  ASSERT_OK_AND_ASSIGN(auto optimized, ctx->OptimizePlan(plan));
+  ASSERT_OK_AND_ASSIGN(auto exec_plan, ctx->CreatePhysicalPlan(optimized));
+  ASSERT_NE(exec_plan->ToString().find("StreamingAggregateExec"),
+            std::string::npos);
+  ASSERT_OK_AND_ASSIGN(auto batches, ctx->ExecutePhysical(exec_plan));
+  auto rows = SortedStringRows(batches);
+  ASSERT_EQ(rows.size(), 15u);  // ceil(100/7)
+  // Group 0 = rows 0..6: count 7, sum 21.
+  EXPECT_EQ(rows[0], (StringRow{"0", "7", "21"}));
+  // Last group 14 = rows 98,99: count 2, sum 197.
+  EXPECT_EQ(rows[6], (StringRow{"14", "2", "197"}));
+}
+
+
+TEST(SymmetricHashJoinTest, MatchesHashJoinResults) {
+  exec::SessionConfig config;
+  config.enable_symmetric_hash_join = true;
+  auto sym_ctx = MakeTestSession(80, config);
+  auto ref_ctx = MakeTestSession(80);
+  const char* q =
+      "SELECT a.id, b.v FROM t a JOIN t b ON a.grp = b.grp AND a.id = b.id";
+  ASSERT_OK_AND_ASSIGN(auto plan, sym_ctx->CreateLogicalPlan(q));
+  ASSERT_OK_AND_ASSIGN(auto optimized, sym_ctx->OptimizePlan(plan));
+  ASSERT_OK_AND_ASSIGN(auto exec_plan, sym_ctx->CreatePhysicalPlan(optimized));
+  EXPECT_NE(exec_plan->ToString().find("SymmetricHashJoinExec"),
+            std::string::npos)
+      << exec_plan->ToString();
+  ASSERT_OK_AND_ASSIGN(auto sym_rows, sym_ctx->ExecutePhysical(exec_plan));
+  ASSERT_OK_AND_ASSIGN(auto ref_rows, ref_ctx->ExecuteSql(q));
+  EXPECT_EQ(SortedStringRows(sym_rows), SortedStringRows(ref_rows));
+}
+
+TEST(SymmetricHashJoinTest, ProducesOutputIncrementally) {
+  // With both sides streaming, output appears before either input is
+  // drained; verify through a LIMIT that stops the join early.
+  exec::SessionConfig config;
+  config.enable_symmetric_hash_join = true;
+  auto ctx = MakeTestSession(5000, config);
+  ASSERT_OK_AND_ASSIGN(
+      auto batches,
+      ctx->ExecuteSql("SELECT a.id FROM t a JOIN t b ON a.id = b.id LIMIT 5"));
+  EXPECT_EQ(TotalRows(batches), 5);
+}
+
+TEST(SortMergeJoinTest, SelectedForKeySortedInputs) {
+  auto ctx = MakeTestSession(20);  // table t declares sort order (id)
+  ASSERT_OK_AND_ASSIGN(
+      auto plan,
+      ctx->CreateLogicalPlan("SELECT count(*) FROM t a JOIN t b ON a.id = b.id"));
+  ASSERT_OK_AND_ASSIGN(auto optimized, ctx->OptimizePlan(plan));
+  ASSERT_OK_AND_ASSIGN(auto exec_plan, ctx->CreatePhysicalPlan(optimized));
+  EXPECT_NE(exec_plan->ToString().find("SortMergeJoinExec"), std::string::npos);
+}
+
+TEST(SortMergeJoinTest, MatchesHashJoinResults) {
+  // Sorted inputs -> SMJ; the same join via unsorted derived tables ->
+  // hash join. Results must agree, including outer-join null extension.
+  auto ctx = MakeTestSession(40);
+  const char* smj =
+      "SELECT a.id, b.v FROM t a LEFT JOIN t b ON a.id = b.id";
+  const char* hash =
+      "SELECT a.id, b.v FROM (SELECT * FROM t WHERE id >= 0) a "
+      "LEFT JOIN (SELECT * FROM t WHERE id >= 0) b ON a.id = b.id";
+  ASSERT_OK_AND_ASSIGN(auto smj_rows, ctx->ExecuteSql(smj));
+  ASSERT_OK_AND_ASSIGN(auto hash_rows, ctx->ExecuteSql(hash));
+  EXPECT_EQ(SortedStringRows(smj_rows), SortedStringRows(hash_rows));
+}
+
+TEST(SortMergeJoinTest, DuplicateKeyBlocks) {
+  // grp has duplicates; join on grp via sorted-by-grp derived tables.
+  auto ctx = core::SessionContext::Make();
+  StringBuilder g;
+  Int64Builder v;
+  for (int i = 0; i < 9; ++i) {
+    g.Append(std::string(1, static_cast<char>('a' + i / 3)));
+    v.Append(i);
+  }
+  auto schema = fusion::schema({Field("g", utf8(), false),
+                                Field("v", int64(), false)});
+  std::vector<ArrayPtr> cols = {g.Finish().ValueOrDie(), v.Finish().ValueOrDie()};
+  auto batch = std::make_shared<RecordBatch>(schema, 9, std::move(cols));
+  auto table = catalog::MemoryTable::Make(schema, {batch}).ValueOrDie();
+  table->SetSortOrder({{"g", {}}});
+  ctx->RegisterTable("s", table).Abort();
+  ASSERT_OK_AND_ASSIGN(
+      auto batches,
+      ctx->ExecuteSql("SELECT count(*) FROM s a JOIN s b ON a.g = b.g"));
+  // 3 groups x 3x3 pairs = 27.
+  EXPECT_EQ(ToStringRows(batches)[0][0], "27");
+}
+
+TEST(NestedLoopJoinTest, NonEquiJoin) {
+  auto ctx = MakeTestSession(10);
+  ASSERT_OK_AND_ASSIGN(
+      auto plan,
+      ctx->CreateLogicalPlan("SELECT count(*) FROM t a JOIN t b ON a.id < b.id"));
+  ASSERT_OK_AND_ASSIGN(auto optimized, ctx->OptimizePlan(plan));
+  ASSERT_OK_AND_ASSIGN(auto exec_plan, ctx->CreatePhysicalPlan(optimized));
+  EXPECT_NE(exec_plan->ToString().find("NestedLoopJoinExec"), std::string::npos);
+  ASSERT_OK_AND_ASSIGN(auto batches, ctx->ExecutePhysical(exec_plan));
+  // pairs with a.id < b.id among 10 ids: C(10,2) = 45.
+  EXPECT_EQ(ToStringRows(batches)[0][0], "45");
+}
+
+TEST(SortEliminationTest, RedundantSortRemoved) {
+  auto ctx = MakeTestSession(10);
+  ASSERT_OK_AND_ASSIGN(auto plan,
+                       ctx->CreateLogicalPlan("SELECT id FROM t ORDER BY id"));
+  ASSERT_OK_AND_ASSIGN(auto optimized, ctx->OptimizePlan(plan));
+  ASSERT_OK_AND_ASSIGN(auto exec_plan, ctx->CreatePhysicalPlan(optimized));
+  // Input is already sorted by id (declared table order): no SortExec.
+  EXPECT_EQ(exec_plan->ToString().find("SortExec"), std::string::npos)
+      << exec_plan->ToString();
+  ASSERT_OK_AND_ASSIGN(auto batches, ctx->ExecutePhysical(exec_plan));
+  auto rows = ToStringRows(batches);
+  EXPECT_EQ(rows.front()[0], "0");
+  EXPECT_EQ(rows.back()[0], "9");
+}
+
+TEST(SortEliminationTest, DescendingStillSorts) {
+  auto ctx = MakeTestSession(10);
+  ASSERT_OK_AND_ASSIGN(auto plan,
+                       ctx->CreateLogicalPlan("SELECT id FROM t ORDER BY id DESC"));
+  ASSERT_OK_AND_ASSIGN(auto optimized, ctx->OptimizePlan(plan));
+  ASSERT_OK_AND_ASSIGN(auto exec_plan, ctx->CreatePhysicalPlan(optimized));
+  EXPECT_NE(exec_plan->ToString().find("SortExec"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace test
+}  // namespace fusion

@@ -1,0 +1,294 @@
+// Tests for the logical optimizer rules: each rule's structural effect
+// on the plan tree, plus end-to-end result invariance.
+
+#include "tests/test_util.h"
+
+#include "logical/simplify.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/predicate_lowering.h"
+
+namespace fusion {
+namespace test {
+namespace {
+
+using logical::Expr;
+using logical::ExprPtr;
+using logical::PlanKind;
+using logical::PlanPtr;
+
+/// Count nodes of a kind in a plan tree.
+int CountNodes(const PlanPtr& plan, PlanKind kind) {
+  int count = plan->kind == kind ? 1 : 0;
+  for (const auto& c : plan->children) count += CountNodes(c, kind);
+  return count;
+}
+
+/// Find the first node of a kind (pre-order).
+PlanPtr FindNode(const PlanPtr& plan, PlanKind kind) {
+  if (plan->kind == kind) return plan;
+  for (const auto& c : plan->children) {
+    auto found = FindNode(c, kind);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+PlanPtr PlanFor(core::SessionContext* ctx, const std::string& sql,
+                bool optimized = true) {
+  auto plan = ctx->CreateLogicalPlan(sql);
+  plan.status().Abort();
+  if (!optimized) return *plan;
+  auto result = ctx->OptimizePlan(*plan);
+  result.status().Abort();
+  return *result;
+}
+
+TEST(SimplifyTest, ConstantFolding) {
+  ASSERT_OK_AND_ASSIGN(
+      auto e, logical::SimplifyExpr(logical::Binary(
+                  logical::Lit(int64_t{2}), logical::BinaryOp::kPlus,
+                  logical::Binary(logical::Lit(int64_t{3}),
+                                  logical::BinaryOp::kMultiply,
+                                  logical::Lit(int64_t{4})))));
+  ASSERT_EQ(e->kind, Expr::Kind::kLiteral);
+  EXPECT_EQ(e->literal.int_value(), 14);
+}
+
+TEST(SimplifyTest, BooleanAlgebra) {
+  auto col = logical::Col("x");
+  ASSERT_OK_AND_ASSIGN(auto and_true,
+                       logical::SimplifyExpr(logical::And(
+                           col, logical::Lit(Scalar::Bool(true)))));
+  EXPECT_EQ(and_true->ToString(), "x");
+  ASSERT_OK_AND_ASSIGN(auto and_false,
+                       logical::SimplifyExpr(logical::And(
+                           col, logical::Lit(Scalar::Bool(false)))));
+  EXPECT_EQ(and_false->literal.bool_value(), false);
+  ASSERT_OK_AND_ASSIGN(auto or_true, logical::SimplifyExpr(logical::Or(
+                                         col, logical::Lit(Scalar::Bool(true)))));
+  EXPECT_TRUE(or_true->literal.bool_value());
+  ASSERT_OK_AND_ASSIGN(auto notnot,
+                       logical::SimplifyExpr(logical::Not(logical::Not(col))));
+  EXPECT_EQ(notnot->ToString(), "x");
+}
+
+TEST(OptimizerTest, FilterPushedIntoMemoryScanStaysAsFilter) {
+  // MemoryTable doesn't absorb filters, so the Filter survives but lands
+  // directly above the scan.
+  auto ctx = MakeTestSession(10);
+  auto plan = PlanFor(ctx.get(), "SELECT id FROM t WHERE id > 3");
+  auto filter = FindNode(plan, PlanKind::kFilter);
+  ASSERT_NE(filter, nullptr);
+  EXPECT_EQ(filter->child(0)->kind, PlanKind::kTableScan);
+}
+
+TEST(OptimizerTest, ProjectionPushdownShrinksScan) {
+  auto ctx = MakeTestSession(10);
+  auto plan = PlanFor(ctx.get(), "SELECT grp FROM t");
+  auto scan = FindNode(plan, PlanKind::kTableScan);
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->schema().num_fields(), 1);
+  EXPECT_EQ(scan->schema().field(0).name(), "grp");
+}
+
+TEST(OptimizerTest, ProjectionPushdownKeepsFilterColumns) {
+  auto ctx = MakeTestSession(10);
+  auto plan = PlanFor(ctx.get(), "SELECT grp FROM t WHERE id > 3");
+  auto scan = FindNode(plan, PlanKind::kTableScan);
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->schema().num_fields(), 2);  // grp + id
+}
+
+TEST(OptimizerTest, CountStarScanKeepsOneColumn) {
+  auto ctx = MakeTestSession(10);
+  auto plan = PlanFor(ctx.get(), "SELECT count(*) FROM t");
+  auto scan = FindNode(plan, PlanKind::kTableScan);
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->schema().num_fields(), 1);
+}
+
+TEST(OptimizerTest, LimitPushedIntoSortAsFetch) {
+  auto ctx = MakeTestSession(10);
+  auto plan = PlanFor(ctx.get(), "SELECT id FROM t ORDER BY id LIMIT 5");
+  auto sort = FindNode(plan, PlanKind::kSort);
+  ASSERT_NE(sort, nullptr);
+  EXPECT_EQ(sort->fetch, 5);
+}
+
+TEST(OptimizerTest, LimitPushedIntoScan) {
+  auto ctx = MakeTestSession(10);
+  auto plan = PlanFor(ctx.get(), "SELECT id FROM t LIMIT 5");
+  auto scan = FindNode(plan, PlanKind::kTableScan);
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->scan_limit, 5);
+}
+
+TEST(OptimizerTest, CommaJoinBecomesEquiJoin) {
+  auto ctx = MakeTestSession(10);
+  auto plan = PlanFor(ctx.get(),
+                      "SELECT count(*) FROM t a, t b WHERE a.id = b.id");
+  auto join = FindNode(plan, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->join_kind, logical::JoinKind::kInner);
+  EXPECT_EQ(join->join_on.size(), 1u);
+}
+
+TEST(OptimizerTest, OuterToInnerWhenFilterRejectsNulls) {
+  auto ctx = MakeTestSession(10);
+  auto plan = PlanFor(ctx.get(),
+                      "SELECT count(*) FROM t a LEFT JOIN t b ON a.id = b.id "
+                      "WHERE b.v > 0");
+  auto join = FindNode(plan, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->join_kind, logical::JoinKind::kInner);
+}
+
+TEST(OptimizerTest, LeftJoinKeptWhenFilterOnPreservedSide) {
+  auto ctx = MakeTestSession(10);
+  auto plan = PlanFor(ctx.get(),
+                      "SELECT count(*) FROM t a LEFT JOIN t b ON a.id = b.id "
+                      "WHERE a.id > 0");
+  auto join = FindNode(plan, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->join_kind, logical::JoinKind::kLeft);
+}
+
+TEST(OptimizerTest, FilterSplitAcrossJoinSides) {
+  auto ctx = MakeTestSession(10);
+  auto plan = PlanFor(ctx.get(),
+                      "SELECT count(*) FROM t a JOIN t b ON a.id = b.id "
+                      "WHERE a.v > 2 AND b.v < 100");
+  // Both conjuncts pushed below the join (and below each side's alias
+  // node): a filter sits directly above each scan.
+  auto join = FindNode(plan, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  for (int side = 0; side < 2; ++side) {
+    auto filter = FindNode(join->child(side), PlanKind::kFilter);
+    ASSERT_NE(filter, nullptr) << "side " << side;
+    EXPECT_EQ(filter->child(0)->kind, PlanKind::kTableScan);
+  }
+}
+
+TEST(OptimizerTest, CseFactorsRepeatedSubexpr) {
+  auto ctx = MakeTestSession(10);
+  auto plan = PlanFor(ctx.get(),
+                      "SELECT (v * 37 + 1) AS a, (v * 37 + 1) * 2 AS b FROM t");
+  // Two stacked projections: the lower one computes the shared subtree.
+  EXPECT_GE(CountNodes(plan, PlanKind::kProjection), 2);
+}
+
+TEST(OptimizerTest, JoinReorderStartsFromSmallest) {
+  // big (300 rows) JOIN small (3 rows) JOIN medium (30 rows) in SQL
+  // order; the reorder should not begin with `big`.
+  auto ctx = core::SessionContext::Make();
+  auto make_table = [&](const std::string& name, int64_t n) {
+    Int64Builder k;
+    for (int64_t i = 0; i < n; ++i) k.Append(i);
+    auto schema = fusion::schema({Field(name + "_key", int64(), false)});
+    std::vector<ArrayPtr> cols = {k.Finish().ValueOrDie()};
+    auto batch = std::make_shared<RecordBatch>(schema, n, std::move(cols));
+    ctx->RegisterTable(name, catalog::MemoryTable::Make(schema, {batch})
+                                 .ValueOrDie())
+        .Abort();
+  };
+  make_table("big", 300);
+  make_table("small", 3);
+  make_table("medium", 30);
+  auto plan = PlanFor(ctx.get(),
+                      "SELECT count(*) FROM big, small, medium "
+                      "WHERE big_key = small_key AND small_key = medium_key");
+  // Walk to the deepest left leaf of the join tree.
+  PlanPtr node = FindNode(plan, PlanKind::kJoin);
+  ASSERT_NE(node, nullptr);
+  while (node->kind == PlanKind::kJoin) node = node->child(0);
+  while (!node->children.empty()) node = node->child(0);
+  ASSERT_EQ(node->kind, PlanKind::kTableScan);
+  EXPECT_NE(node->table_name, "big");
+}
+
+TEST(OptimizerTest, OptimizationPreservesResults) {
+  // Property: the optimizer must never change query results.
+  auto ctx = MakeTestSession(60);
+  const char* queries[] = {
+      "SELECT grp, count(*), sum(v) FROM t GROUP BY grp",
+      "SELECT id FROM t WHERE id % 2 = 0 AND grp = 'a'",
+      "SELECT a.id, b.grp FROM t a JOIN t b ON a.id = b.id WHERE a.id < 10",
+      "SELECT grp FROM t ORDER BY id DESC LIMIT 7",
+      "SELECT id * 2 + 1, id * 2 + 1 FROM t WHERE v IS NOT NULL",
+  };
+  for (const char* q : queries) {
+    ASSERT_OK_AND_ASSIGN(auto raw_plan, ctx->CreateLogicalPlan(q));
+    ASSERT_OK_AND_ASSIGN(auto raw_exec, ctx->CreatePhysicalPlan(raw_plan));
+    auto exec_ctx = ctx->MakeExecContext();
+    ASSERT_OK_AND_ASSIGN(auto unopt,
+                         physical::ExecuteCollect(raw_exec, exec_ctx));
+    ASSERT_OK_AND_ASSIGN(auto opt, ctx->ExecuteSql(q));
+    EXPECT_EQ(SortedStringRows(unopt), SortedStringRows(opt)) << q;
+  }
+}
+
+TEST(PredicateLoweringTest, ShapesThatLower) {
+  auto lowered =
+      optimizer::TryLowerPredicate(logical::Binary(logical::Col("x"),
+                                                   logical::BinaryOp::kGt,
+                                                   logical::Lit(int64_t{5})));
+  ASSERT_TRUE(lowered.has_value());
+  EXPECT_EQ(lowered->column, "x");
+  EXPECT_EQ(lowered->op, format::ColumnPredicate::Op::kGt);
+  // Flipped: 5 < x -> x > 5
+  auto flipped =
+      optimizer::TryLowerPredicate(logical::Binary(logical::Lit(int64_t{5}),
+                                                   logical::BinaryOp::kLt,
+                                                   logical::Col("x")));
+  ASSERT_TRUE(flipped.has_value());
+  EXPECT_EQ(flipped->op, format::ColumnPredicate::Op::kGt);
+  // IS NULL
+  auto isnull = optimizer::TryLowerPredicate(logical::IsNullExpr(logical::Col("x")));
+  ASSERT_TRUE(isnull.has_value());
+  EXPECT_EQ(isnull->op, format::ColumnPredicate::Op::kIsNull);
+}
+
+TEST(PredicateLoweringTest, ShapesThatDoNot) {
+  // column-vs-column
+  EXPECT_FALSE(optimizer::TryLowerPredicate(
+                   logical::Binary(logical::Col("x"), logical::BinaryOp::kEq,
+                                   logical::Col("y")))
+                   .has_value());
+  // expression on the column side
+  EXPECT_FALSE(
+      optimizer::TryLowerPredicate(
+          logical::Binary(logical::Binary(logical::Col("x"),
+                                          logical::BinaryOp::kPlus,
+                                          logical::Lit(int64_t{1})),
+                          logical::BinaryOp::kGt, logical::Lit(int64_t{5})))
+          .has_value());
+  // OR is not a conjunct
+  EXPECT_FALSE(optimizer::TryLowerPredicate(
+                   logical::Or(logical::Col("a"), logical::Col("b")))
+                   .has_value());
+}
+
+TEST(OptimizerTest, CustomRuleRuns) {
+  // A rule that rewrites every Limit fetch to at most 3.
+  class ClampLimitRule : public optimizer::OptimizerRule {
+   public:
+    std::string name() const override { return "clamp_limit"; }
+    Result<PlanPtr> Apply(const PlanPtr& plan) override {
+      return logical::TransformPlan(plan, [](const PlanPtr& node) -> Result<PlanPtr> {
+        if (node->kind == PlanKind::kLimit && node->fetch > 3) {
+          return logical::MakeLimit(node->child(0), node->skip, 3);
+        }
+        return node;
+      });
+    }
+  };
+  auto ctx = MakeTestSession(50);
+  ctx->AddOptimizerRule(std::make_shared<ClampLimitRule>());
+  ASSERT_OK_AND_ASSIGN(auto batches,
+                       ctx->ExecuteSql("SELECT id FROM t LIMIT 10"));
+  EXPECT_EQ(TotalRows(batches), 3);
+}
+
+}  // namespace
+}  // namespace test
+}  // namespace fusion

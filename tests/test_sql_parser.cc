@@ -1,0 +1,269 @@
+// Unit tests for the SQL lexer and recursive-descent parser.
+
+#include "tests/test_util.h"
+
+#include "sql/parser.h"
+
+namespace fusion {
+namespace test {
+namespace {
+
+using sql::AstExpr;
+using sql::Parser;
+using sql::Statement;
+using sql::TableRef;
+
+Statement MustParse(const std::string& text) {
+  auto result = Parser::Parse(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString() << " for: " << text;
+  return std::move(result).ValueOrDie();
+}
+
+TEST(LexerTest, TokenKinds) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, sql::Tokenize("SELECT x, 'str''ing', 1.5e3"));
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].type, sql::TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[3].type, sql::TokenType::kString);
+  EXPECT_EQ(tokens[3].text, "str'ing");
+  EXPECT_EQ(tokens[5].type, sql::TokenType::kNumber);
+  EXPECT_EQ(tokens[5].text, "1.5e3");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  ASSERT_OK_AND_ASSIGN(auto tokens,
+                       sql::Tokenize("SELECT -- comment\n1 /* block */ + 2"));
+  // SELECT 1 + 2 END
+  EXPECT_EQ(tokens.size(), 5u);
+}
+
+TEST(LexerTest, QuotedIdentifierKeepsCase) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, sql::Tokenize("\"MyCol\" mycol MYCOL"));
+  EXPECT_EQ(tokens[0].text, "MyCol");
+  EXPECT_EQ(tokens[1].text, "mycol");
+  EXPECT_EQ(tokens[2].text, "mycol");  // unquoted lower-cased
+}
+
+TEST(LexerTest, UnterminatedStringErrors) {
+  EXPECT_RAISES(sql::Tokenize("SELECT 'oops").status());
+  EXPECT_RAISES(sql::Tokenize("SELECT \"oops").status());
+}
+
+TEST(ParserTest, SelectCoreShape) {
+  auto stmt = MustParse(
+      "SELECT a, b AS bee, count(*) c FROM t WHERE a > 1 GROUP BY a "
+      "HAVING count(*) > 2 ORDER BY a DESC NULLS FIRST LIMIT 7 OFFSET 2");
+  const auto& q = *stmt.query;
+  ASSERT_EQ(q.cores.size(), 1u);
+  const auto& core = q.cores[0];
+  ASSERT_EQ(core.items.size(), 3u);
+  EXPECT_EQ(core.items[1].alias, "bee");
+  EXPECT_EQ(core.items[2].alias, "c");
+  EXPECT_NE(core.where, nullptr);
+  EXPECT_EQ(core.group_by.size(), 1u);
+  EXPECT_NE(core.having, nullptr);
+  ASSERT_EQ(q.order_by.size(), 1u);
+  EXPECT_TRUE(q.order_by[0].descending);
+  EXPECT_TRUE(q.order_by[0].nulls_first);
+  EXPECT_EQ(q.limit, 7);
+  EXPECT_EQ(q.offset, 2);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = MustParse("SELECT 1 + 2 * 3 = 7 AND NOT false OR true");
+  // top: OR(AND(=(1+2*3,7), NOT false), true)
+  const auto& e = *stmt.query->cores[0].items[0].expr;
+  EXPECT_EQ(e.kind, AstExpr::Kind::kBinary);
+  EXPECT_EQ(e.op, "OR");
+  EXPECT_EQ(e.left->op, "AND");
+  EXPECT_EQ(e.left->left->op, "=");
+  EXPECT_EQ(e.left->left->left->op, "+");
+  EXPECT_EQ(e.left->left->left->right->op, "*");
+}
+
+TEST(ParserTest, BetweenInLikeIs) {
+  auto stmt = MustParse(
+      "SELECT * FROM t WHERE a BETWEEN 1 AND 2 AND b NOT IN (1,2,3) AND "
+      "c LIKE 'x%' AND d NOT LIKE '%y' AND e IS NOT NULL AND f ILIKE 'Q'");
+  const auto& w = stmt.query->cores[0].where;
+  ASSERT_NE(w, nullptr);
+  // Count predicate kinds by walking the conjunct tree.
+  int betweens = 0, inlists = 0, likes = 0, isnulls = 0;
+  std::function<void(const sql::AstExprPtr&)> walk = [&](const sql::AstExprPtr& e) {
+    if (e == nullptr) return;
+    switch (e->kind) {
+      case AstExpr::Kind::kBetween: ++betweens; break;
+      case AstExpr::Kind::kInList: ++inlists; break;
+      case AstExpr::Kind::kLike: ++likes; break;
+      case AstExpr::Kind::kIsNull: ++isnulls; break;
+      default: break;
+    }
+    walk(e->left);
+    walk(e->right);
+  };
+  walk(w);
+  EXPECT_EQ(betweens, 1);
+  EXPECT_EQ(inlists, 1);
+  EXPECT_EQ(likes, 3);  // LIKE + NOT LIKE + ILIKE
+  EXPECT_EQ(isnulls, 1);
+}
+
+TEST(ParserTest, JoinTree) {
+  auto stmt = MustParse(
+      "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y "
+      "CROSS JOIN d");
+  const auto& from = stmt.query->cores[0].from;
+  ASSERT_EQ(from->kind, TableRef::Kind::kJoin);
+  EXPECT_EQ(from->join_kind, TableRef::JoinKind::kCross);
+  EXPECT_EQ(from->left->join_kind, TableRef::JoinKind::kLeft);
+  EXPECT_EQ(from->left->left->join_kind, TableRef::JoinKind::kInner);
+}
+
+TEST(ParserTest, CommaJoinAndAliases) {
+  auto stmt = MustParse("SELECT * FROM orders o, lineitem AS l");
+  const auto& from = stmt.query->cores[0].from;
+  ASSERT_EQ(from->kind, TableRef::Kind::kJoin);
+  EXPECT_EQ(from->join_kind, TableRef::JoinKind::kCross);
+  EXPECT_EQ(from->left->alias, "o");
+  EXPECT_EQ(from->right->alias, "l");
+}
+
+TEST(ParserTest, SubqueryAndCte) {
+  auto stmt = MustParse(
+      "WITH x AS (SELECT 1 AS one), y AS (SELECT 2) "
+      "SELECT * FROM (SELECT * FROM x) sub");
+  EXPECT_EQ(stmt.query->ctes.size(), 2u);
+  EXPECT_EQ(stmt.query->ctes[0].first, "x");
+  EXPECT_EQ(stmt.query->cores[0].from->kind, TableRef::Kind::kSubquery);
+  EXPECT_EQ(stmt.query->cores[0].from->alias, "sub");
+}
+
+TEST(ParserTest, UnionChain) {
+  auto stmt = MustParse("SELECT 1 UNION ALL SELECT 2 UNION SELECT 3");
+  EXPECT_EQ(stmt.query->cores.size(), 3u);
+  ASSERT_EQ(stmt.query->set_ops.size(), 2u);
+  EXPECT_EQ(stmt.query->set_ops[0], sql::SetOp::kUnionAll);
+  EXPECT_EQ(stmt.query->set_ops[1], sql::SetOp::kUnionDistinct);
+}
+
+TEST(ParserTest, IntersectExcept) {
+  auto stmt = MustParse("SELECT 1 INTERSECT SELECT 2 EXCEPT SELECT 3");
+  ASSERT_EQ(stmt.query->set_ops.size(), 2u);
+  EXPECT_EQ(stmt.query->set_ops[0], sql::SetOp::kIntersect);
+  EXPECT_EQ(stmt.query->set_ops[1], sql::SetOp::kExcept);
+}
+
+TEST(ParserTest, WindowSpecWithFrame) {
+  auto stmt = MustParse(
+      "SELECT sum(x) OVER (PARTITION BY a, b ORDER BY c DESC "
+      "ROWS BETWEEN 2 PRECEDING AND CURRENT ROW) FROM t");
+  const auto& e = stmt.query->cores[0].items[0].expr;
+  ASSERT_EQ(e->kind, AstExpr::Kind::kFunction);
+  ASSERT_NE(e->window, nullptr);
+  EXPECT_EQ(e->window->partition_by.size(), 2u);
+  EXPECT_EQ(e->window->order_by.size(), 1u);
+  EXPECT_TRUE(e->window->order_by[0].descending);
+  ASSERT_TRUE(e->window->has_frame);
+  EXPECT_TRUE(e->window->frame_is_rows);
+  EXPECT_EQ(e->window->frame_start.kind, sql::FrameBound::Kind::kPreceding);
+  EXPECT_EQ(e->window->frame_start.offset, 2);
+  EXPECT_EQ(e->window->frame_end.kind, sql::FrameBound::Kind::kCurrentRow);
+}
+
+TEST(ParserTest, UnboundedFrame) {
+  auto stmt = MustParse(
+      "SELECT sum(x) OVER (ORDER BY c RANGE BETWEEN UNBOUNDED PRECEDING AND "
+      "UNBOUNDED FOLLOWING) FROM t");
+  const auto& w = stmt.query->cores[0].items[0].expr->window;
+  EXPECT_FALSE(w->frame_is_rows);
+  EXPECT_EQ(w->frame_start.kind, sql::FrameBound::Kind::kUnboundedPreceding);
+  EXPECT_EQ(w->frame_end.kind, sql::FrameBound::Kind::kUnboundedFollowing);
+}
+
+TEST(ParserTest, CaseForms) {
+  auto searched = MustParse("SELECT CASE WHEN a THEN 1 WHEN b THEN 2 ELSE 3 END");
+  const auto& e1 = searched.query->cores[0].items[0].expr;
+  EXPECT_EQ(e1->when_clauses.size(), 2u);
+  EXPECT_NE(e1->else_expr, nullptr);
+  EXPECT_EQ(e1->case_operand, nullptr);
+  auto simple = MustParse("SELECT CASE x WHEN 1 THEN 'a' END");
+  const auto& e2 = simple.query->cores[0].items[0].expr;
+  EXPECT_NE(e2->case_operand, nullptr);
+  EXPECT_EQ(e2->else_expr, nullptr);
+}
+
+TEST(ParserTest, CastAndLiterals) {
+  auto stmt = MustParse(
+      "SELECT CAST(a AS bigint), CAST(b AS decimal(12,2)), date '2024-01-01', "
+      "timestamp '2024-01-01 10:00:00', interval '3' month + date '2000-06-01', "
+      "NULL, TRUE");
+  const auto& items = stmt.query->cores[0].items;
+  EXPECT_EQ(items[0].expr->kind, AstExpr::Kind::kCast);
+  EXPECT_EQ(items[0].expr->cast_type, "bigint");
+  EXPECT_EQ(items[1].expr->cast_type, "decimal");
+  EXPECT_EQ(items[2].expr->kind, AstExpr::Kind::kDate);
+  EXPECT_EQ(items[3].expr->kind, AstExpr::Kind::kTimestampLit);
+  EXPECT_EQ(items[5].expr->kind, AstExpr::Kind::kNull);
+  EXPECT_EQ(items[6].expr->kind, AstExpr::Kind::kBool);
+}
+
+TEST(ParserTest, IntervalUnits) {
+  auto stmt = MustParse("SELECT date '2000-01-01' + interval '90' day");
+  const auto& e = stmt.query->cores[0].items[0].expr;
+  EXPECT_EQ(e->right->kind, AstExpr::Kind::kInterval);
+  EXPECT_EQ(e->right->interval_days, 90);
+  auto stmt2 = MustParse("SELECT date '2000-01-01' - interval '1' year");
+  EXPECT_EQ(stmt2.query->cores[0].items[0].expr->right->interval_months, 12);
+}
+
+TEST(ParserTest, FunctionsExtractSubstring) {
+  auto stmt = MustParse(
+      "SELECT EXTRACT(year FROM d), SUBSTRING(s FROM 2 FOR 3), substr(s, 1, 2), "
+      "count(DISTINCT x), sum(x) FILTER (WHERE x > 0)");
+  const auto& items = stmt.query->cores[0].items;
+  EXPECT_EQ(items[0].expr->func_name, "date_part");
+  EXPECT_EQ(items[1].expr->func_name, "substr");
+  EXPECT_EQ(items[1].expr->args.size(), 3u);
+  EXPECT_TRUE(items[3].expr->distinct);
+  EXPECT_NE(items[4].expr->filter, nullptr);
+}
+
+TEST(ParserTest, InSubqueryAndScalarSubquery) {
+  auto stmt = MustParse(
+      "SELECT (SELECT max(x) FROM t) FROM u WHERE a IN (SELECT b FROM v)");
+  EXPECT_EQ(stmt.query->cores[0].items[0].expr->kind,
+            AstExpr::Kind::kScalarSubquery);
+  EXPECT_EQ(stmt.query->cores[0].where->kind, AstExpr::Kind::kInSubquery);
+}
+
+TEST(ParserTest, ExplainAndSemicolon) {
+  auto stmt = MustParse("EXPLAIN SELECT 1;");
+  EXPECT_EQ(stmt.kind, Statement::Kind::kExplain);
+}
+
+TEST(ParserTest, QualifiedStarAndOrdinals) {
+  auto stmt = MustParse("SELECT t.*, 1 FROM t GROUP BY 2 ORDER BY 1");
+  EXPECT_TRUE(stmt.query->cores[0].items[0].is_star);
+  EXPECT_EQ(stmt.query->cores[0].items[0].star_qualifier, "t");
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_RAISES(Parser::Parse("SELECT FROM t").status());
+  EXPECT_RAISES(Parser::Parse("SELECT * FROM").status());
+  EXPECT_RAISES(Parser::Parse("SELECT a WHERE").status());
+  EXPECT_RAISES(Parser::Parse("SELECT (1 + ) FROM t").status());
+  EXPECT_RAISES(Parser::Parse("SELECT * FROM t JOIN u").status());
+  EXPECT_RAISES(Parser::Parse("SELECT CASE END").status());
+  EXPECT_RAISES(Parser::Parse("SELECT 1 2 3 oops extra").status());
+}
+
+TEST(ParserTest, StringConcatOperator) {
+  auto stmt = MustParse("SELECT a || b || 'x'");
+  const auto& e = stmt.query->cores[0].items[0].expr;
+  EXPECT_EQ(e->op, "||");
+  EXPECT_EQ(e->left->op, "||");
+}
+
+}  // namespace
+}  // namespace test
+}  // namespace fusion

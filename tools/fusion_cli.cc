@@ -1,0 +1,111 @@
+// fusion-cli — interactive SQL shell over the engine (the analogue of
+// datafusion-cli).
+//
+// Usage:
+//   fusion_cli [--table NAME=PATH ...] [-c "SQL"] [--partitions N]
+//
+// PATH may be a .csv/.fpq/.json/.ipc file or a directory of same-typed
+// files. Without -c, reads semicolon-terminated statements from stdin.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <chrono>
+#include <string>
+
+#include "core/fusion.h"
+
+using namespace fusion;  // NOLINT
+
+namespace {
+
+void RunStatement(core::SessionContext* ctx, const std::string& sql) {
+  auto start = std::chrono::steady_clock::now();
+  auto result = ctx->ExecuteSql(sql);
+  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count();
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::fputs(core::FormatBatches(*result, /*max_rows=*/100).c_str(), stdout);
+  int64_t rows = 0;
+  for (const auto& b : *result) rows += b->num_rows();
+  std::printf("%lld row(s) in %.3fs\n\n", static_cast<long long>(rows), secs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exec::SessionConfig config;
+  std::vector<std::pair<std::string, std::string>> tables;
+  std::string command;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--table" && i + 1 < argc) {
+      std::string spec = argv[++i];
+      auto eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--table expects NAME=PATH\n");
+        return 1;
+      }
+      tables.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "-c" && i + 1 < argc) {
+      command = argv[++i];
+    } else if (arg == "--partitions" && i + 1 < argc) {
+      config.target_partitions = std::atoi(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: fusion_cli [--table NAME=PATH ...] [-c SQL] "
+          "[--partitions N]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  auto ctx = core::SessionContext::Make(config);
+  for (const auto& [name, path] : tables) {
+    auto table = catalog::OpenTable(path);
+    if (!table.ok()) {
+      std::fprintf(stderr, "cannot open %s: %s\n", path.c_str(),
+                   table.status().ToString().c_str());
+      return 1;
+    }
+    ctx->RegisterTable(name, *table).Abort();
+    std::printf("registered table '%s' (%s)\n", name.c_str(),
+                (*table)->ToString().c_str());
+  }
+
+  if (!command.empty()) {
+    RunStatement(ctx.get(), command);
+    return 0;
+  }
+
+  std::printf("fusion-cli — type SQL terminated by ';', or \\q to quit\n");
+  std::string buffer;
+  std::string line;
+  std::printf("fusion> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (line == "\\q" || line == "quit" || line == "exit") break;
+    buffer += line;
+    buffer += "\n";
+    auto semi = buffer.find(';');
+    while (semi != std::string::npos) {
+      std::string stmt = buffer.substr(0, semi);
+      buffer.erase(0, semi + 1);
+      bool only_space = true;
+      for (char c : stmt) {
+        if (!std::isspace(static_cast<unsigned char>(c))) only_space = false;
+      }
+      if (!only_space) RunStatement(ctx.get(), stmt);
+      semi = buffer.find(';');
+    }
+    std::printf("fusion> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}
