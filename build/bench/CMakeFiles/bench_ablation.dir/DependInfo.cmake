@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation.cc" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cc.o" "gcc" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/fusion_bench_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fusion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fusion_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/physical/CMakeFiles/fusion_physical.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/fusion_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/fusion_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/logical/CMakeFiles/fusion_logical.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/fusion_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/fusion_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/fusion_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/fusion_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/row/CMakeFiles/fusion_row.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrow/CMakeFiles/fusion_arrow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

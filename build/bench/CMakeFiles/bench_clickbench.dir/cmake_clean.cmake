@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clickbench.dir/bench_clickbench.cc.o"
+  "CMakeFiles/bench_clickbench.dir/bench_clickbench.cc.o.d"
+  "bench_clickbench"
+  "bench_clickbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clickbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_h2o.dir/bench_h2o.cc.o"
+  "CMakeFiles/bench_h2o.dir/bench_h2o.cc.o.d"
+  "bench_h2o"
+  "bench_h2o.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_h2o.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch.dir/bench_tpch.cc.o"
+  "CMakeFiles/bench_tpch.dir/bench_tpch.cc.o.d"
+  "bench_tpch"
+  "bench_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

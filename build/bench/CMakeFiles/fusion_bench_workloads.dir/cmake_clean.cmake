@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_bench_workloads.dir/bench_harness.cc.o"
+  "CMakeFiles/fusion_bench_workloads.dir/bench_harness.cc.o.d"
+  "CMakeFiles/fusion_bench_workloads.dir/workloads/clickbench.cc.o"
+  "CMakeFiles/fusion_bench_workloads.dir/workloads/clickbench.cc.o.d"
+  "CMakeFiles/fusion_bench_workloads.dir/workloads/h2o.cc.o"
+  "CMakeFiles/fusion_bench_workloads.dir/workloads/h2o.cc.o.d"
+  "CMakeFiles/fusion_bench_workloads.dir/workloads/tpch.cc.o"
+  "CMakeFiles/fusion_bench_workloads.dir/workloads/tpch.cc.o.d"
+  "CMakeFiles/fusion_bench_workloads.dir/workloads/workload_util.cc.o"
+  "CMakeFiles/fusion_bench_workloads.dir/workloads/workload_util.cc.o.d"
+  "libfusion_bench_workloads.a"
+  "libfusion_bench_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_bench_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_data_source.dir/custom_data_source.cpp.o"
+  "CMakeFiles/custom_data_source.dir/custom_data_source.cpp.o.d"
+  "custom_data_source"
+  "custom_data_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_data_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_functions.dir/custom_functions.cpp.o"
+  "CMakeFiles/custom_functions.dir/custom_functions.cpp.o.d"
+  "custom_functions"
+  "custom_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

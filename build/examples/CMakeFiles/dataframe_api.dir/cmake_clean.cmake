@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataframe_api.dir/dataframe_api.cpp.o"
+  "CMakeFiles/dataframe_api.dir/dataframe_api.cpp.o.d"
+  "dataframe_api"
+  "dataframe_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataframe_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

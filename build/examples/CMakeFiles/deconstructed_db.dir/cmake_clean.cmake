@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deconstructed_db.dir/deconstructed_db.cpp.o"
+  "CMakeFiles/deconstructed_db.dir/deconstructed_db.cpp.o.d"
+  "deconstructed_db"
+  "deconstructed_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deconstructed_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

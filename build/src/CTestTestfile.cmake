@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("arrow")
+subdirs("compute")
+subdirs("row")
+subdirs("format")
+subdirs("catalog")
+subdirs("sql")
+subdirs("logical")
+subdirs("optimizer")
+subdirs("exec")
+subdirs("physical")
+subdirs("core")
+subdirs("baseline")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arrow/array.cc" "src/arrow/CMakeFiles/fusion_arrow.dir/array.cc.o" "gcc" "src/arrow/CMakeFiles/fusion_arrow.dir/array.cc.o.d"
+  "/root/repo/src/arrow/builder.cc" "src/arrow/CMakeFiles/fusion_arrow.dir/builder.cc.o" "gcc" "src/arrow/CMakeFiles/fusion_arrow.dir/builder.cc.o.d"
+  "/root/repo/src/arrow/ipc.cc" "src/arrow/CMakeFiles/fusion_arrow.dir/ipc.cc.o" "gcc" "src/arrow/CMakeFiles/fusion_arrow.dir/ipc.cc.o.d"
+  "/root/repo/src/arrow/record_batch.cc" "src/arrow/CMakeFiles/fusion_arrow.dir/record_batch.cc.o" "gcc" "src/arrow/CMakeFiles/fusion_arrow.dir/record_batch.cc.o.d"
+  "/root/repo/src/arrow/scalar.cc" "src/arrow/CMakeFiles/fusion_arrow.dir/scalar.cc.o" "gcc" "src/arrow/CMakeFiles/fusion_arrow.dir/scalar.cc.o.d"
+  "/root/repo/src/arrow/type.cc" "src/arrow/CMakeFiles/fusion_arrow.dir/type.cc.o" "gcc" "src/arrow/CMakeFiles/fusion_arrow.dir/type.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fusion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_arrow.dir/array.cc.o"
+  "CMakeFiles/fusion_arrow.dir/array.cc.o.d"
+  "CMakeFiles/fusion_arrow.dir/builder.cc.o"
+  "CMakeFiles/fusion_arrow.dir/builder.cc.o.d"
+  "CMakeFiles/fusion_arrow.dir/ipc.cc.o"
+  "CMakeFiles/fusion_arrow.dir/ipc.cc.o.d"
+  "CMakeFiles/fusion_arrow.dir/record_batch.cc.o"
+  "CMakeFiles/fusion_arrow.dir/record_batch.cc.o.d"
+  "CMakeFiles/fusion_arrow.dir/scalar.cc.o"
+  "CMakeFiles/fusion_arrow.dir/scalar.cc.o.d"
+  "CMakeFiles/fusion_arrow.dir/type.cc.o"
+  "CMakeFiles/fusion_arrow.dir/type.cc.o.d"
+  "libfusion_arrow.a"
+  "libfusion_arrow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_arrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

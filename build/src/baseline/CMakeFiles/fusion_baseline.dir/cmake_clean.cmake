@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_baseline.dir/tie_engine.cc.o"
+  "CMakeFiles/fusion_baseline.dir/tie_engine.cc.o.d"
+  "libfusion_baseline.a"
+  "libfusion_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/catalog/CMakeFiles/fusion_catalog.dir/catalog.cc.o" "gcc" "src/catalog/CMakeFiles/fusion_catalog.dir/catalog.cc.o.d"
+  "/root/repo/src/catalog/file_tables.cc" "src/catalog/CMakeFiles/fusion_catalog.dir/file_tables.cc.o" "gcc" "src/catalog/CMakeFiles/fusion_catalog.dir/file_tables.cc.o.d"
+  "/root/repo/src/catalog/memory_table.cc" "src/catalog/CMakeFiles/fusion_catalog.dir/memory_table.cc.o" "gcc" "src/catalog/CMakeFiles/fusion_catalog.dir/memory_table.cc.o.d"
+  "/root/repo/src/catalog/table_provider.cc" "src/catalog/CMakeFiles/fusion_catalog.dir/table_provider.cc.o" "gcc" "src/catalog/CMakeFiles/fusion_catalog.dir/table_provider.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/format/CMakeFiles/fusion_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/row/CMakeFiles/fusion_row.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/fusion_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrow/CMakeFiles/fusion_arrow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_catalog.dir/catalog.cc.o"
+  "CMakeFiles/fusion_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/fusion_catalog.dir/file_tables.cc.o"
+  "CMakeFiles/fusion_catalog.dir/file_tables.cc.o.d"
+  "CMakeFiles/fusion_catalog.dir/memory_table.cc.o"
+  "CMakeFiles/fusion_catalog.dir/memory_table.cc.o.d"
+  "CMakeFiles/fusion_catalog.dir/table_provider.cc.o"
+  "CMakeFiles/fusion_catalog.dir/table_provider.cc.o.d"
+  "libfusion_catalog.a"
+  "libfusion_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_common.dir/status.cc.o"
+  "CMakeFiles/fusion_common.dir/status.cc.o.d"
+  "CMakeFiles/fusion_common.dir/thread_pool.cc.o"
+  "CMakeFiles/fusion_common.dir/thread_pool.cc.o.d"
+  "libfusion_common.a"
+  "libfusion_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compute/aggregate_kernels.cc" "src/compute/CMakeFiles/fusion_compute.dir/aggregate_kernels.cc.o" "gcc" "src/compute/CMakeFiles/fusion_compute.dir/aggregate_kernels.cc.o.d"
+  "/root/repo/src/compute/arithmetic.cc" "src/compute/CMakeFiles/fusion_compute.dir/arithmetic.cc.o" "gcc" "src/compute/CMakeFiles/fusion_compute.dir/arithmetic.cc.o.d"
+  "/root/repo/src/compute/boolean.cc" "src/compute/CMakeFiles/fusion_compute.dir/boolean.cc.o" "gcc" "src/compute/CMakeFiles/fusion_compute.dir/boolean.cc.o.d"
+  "/root/repo/src/compute/cast.cc" "src/compute/CMakeFiles/fusion_compute.dir/cast.cc.o" "gcc" "src/compute/CMakeFiles/fusion_compute.dir/cast.cc.o.d"
+  "/root/repo/src/compute/compare.cc" "src/compute/CMakeFiles/fusion_compute.dir/compare.cc.o" "gcc" "src/compute/CMakeFiles/fusion_compute.dir/compare.cc.o.d"
+  "/root/repo/src/compute/hash_kernels.cc" "src/compute/CMakeFiles/fusion_compute.dir/hash_kernels.cc.o" "gcc" "src/compute/CMakeFiles/fusion_compute.dir/hash_kernels.cc.o.d"
+  "/root/repo/src/compute/kernel_util.cc" "src/compute/CMakeFiles/fusion_compute.dir/kernel_util.cc.o" "gcc" "src/compute/CMakeFiles/fusion_compute.dir/kernel_util.cc.o.d"
+  "/root/repo/src/compute/selection.cc" "src/compute/CMakeFiles/fusion_compute.dir/selection.cc.o" "gcc" "src/compute/CMakeFiles/fusion_compute.dir/selection.cc.o.d"
+  "/root/repo/src/compute/string_kernels.cc" "src/compute/CMakeFiles/fusion_compute.dir/string_kernels.cc.o" "gcc" "src/compute/CMakeFiles/fusion_compute.dir/string_kernels.cc.o.d"
+  "/root/repo/src/compute/temporal.cc" "src/compute/CMakeFiles/fusion_compute.dir/temporal.cc.o" "gcc" "src/compute/CMakeFiles/fusion_compute.dir/temporal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arrow/CMakeFiles/fusion_arrow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

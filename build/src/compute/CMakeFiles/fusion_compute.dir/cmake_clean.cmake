@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_compute.dir/aggregate_kernels.cc.o"
+  "CMakeFiles/fusion_compute.dir/aggregate_kernels.cc.o.d"
+  "CMakeFiles/fusion_compute.dir/arithmetic.cc.o"
+  "CMakeFiles/fusion_compute.dir/arithmetic.cc.o.d"
+  "CMakeFiles/fusion_compute.dir/boolean.cc.o"
+  "CMakeFiles/fusion_compute.dir/boolean.cc.o.d"
+  "CMakeFiles/fusion_compute.dir/cast.cc.o"
+  "CMakeFiles/fusion_compute.dir/cast.cc.o.d"
+  "CMakeFiles/fusion_compute.dir/compare.cc.o"
+  "CMakeFiles/fusion_compute.dir/compare.cc.o.d"
+  "CMakeFiles/fusion_compute.dir/hash_kernels.cc.o"
+  "CMakeFiles/fusion_compute.dir/hash_kernels.cc.o.d"
+  "CMakeFiles/fusion_compute.dir/kernel_util.cc.o"
+  "CMakeFiles/fusion_compute.dir/kernel_util.cc.o.d"
+  "CMakeFiles/fusion_compute.dir/selection.cc.o"
+  "CMakeFiles/fusion_compute.dir/selection.cc.o.d"
+  "CMakeFiles/fusion_compute.dir/string_kernels.cc.o"
+  "CMakeFiles/fusion_compute.dir/string_kernels.cc.o.d"
+  "CMakeFiles/fusion_compute.dir/temporal.cc.o"
+  "CMakeFiles/fusion_compute.dir/temporal.cc.o.d"
+  "libfusion_compute.a"
+  "libfusion_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_core.dir/session_context.cc.o"
+  "CMakeFiles/fusion_core.dir/session_context.cc.o.d"
+  "libfusion_core.a"
+  "libfusion_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

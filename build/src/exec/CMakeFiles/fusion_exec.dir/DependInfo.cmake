@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/cache_manager.cc" "src/exec/CMakeFiles/fusion_exec.dir/cache_manager.cc.o" "gcc" "src/exec/CMakeFiles/fusion_exec.dir/cache_manager.cc.o.d"
+  "/root/repo/src/exec/disk_manager.cc" "src/exec/CMakeFiles/fusion_exec.dir/disk_manager.cc.o" "gcc" "src/exec/CMakeFiles/fusion_exec.dir/disk_manager.cc.o.d"
+  "/root/repo/src/exec/memory_pool.cc" "src/exec/CMakeFiles/fusion_exec.dir/memory_pool.cc.o" "gcc" "src/exec/CMakeFiles/fusion_exec.dir/memory_pool.cc.o.d"
+  "/root/repo/src/exec/stream.cc" "src/exec/CMakeFiles/fusion_exec.dir/stream.cc.o" "gcc" "src/exec/CMakeFiles/fusion_exec.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/fusion_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusion_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/fusion_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/fusion_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/row/CMakeFiles/fusion_row.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrow/CMakeFiles/fusion_arrow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

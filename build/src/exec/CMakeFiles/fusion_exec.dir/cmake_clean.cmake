@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_exec.dir/cache_manager.cc.o"
+  "CMakeFiles/fusion_exec.dir/cache_manager.cc.o.d"
+  "CMakeFiles/fusion_exec.dir/disk_manager.cc.o"
+  "CMakeFiles/fusion_exec.dir/disk_manager.cc.o.d"
+  "CMakeFiles/fusion_exec.dir/memory_pool.cc.o"
+  "CMakeFiles/fusion_exec.dir/memory_pool.cc.o.d"
+  "CMakeFiles/fusion_exec.dir/stream.cc.o"
+  "CMakeFiles/fusion_exec.dir/stream.cc.o.d"
+  "libfusion_exec.a"
+  "libfusion_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

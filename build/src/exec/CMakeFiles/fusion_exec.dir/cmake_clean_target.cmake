@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfusion_exec.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/bloom.cc" "src/format/CMakeFiles/fusion_format.dir/bloom.cc.o" "gcc" "src/format/CMakeFiles/fusion_format.dir/bloom.cc.o.d"
+  "/root/repo/src/format/csv.cc" "src/format/CMakeFiles/fusion_format.dir/csv.cc.o" "gcc" "src/format/CMakeFiles/fusion_format.dir/csv.cc.o.d"
+  "/root/repo/src/format/fpq_reader.cc" "src/format/CMakeFiles/fusion_format.dir/fpq_reader.cc.o" "gcc" "src/format/CMakeFiles/fusion_format.dir/fpq_reader.cc.o.d"
+  "/root/repo/src/format/fpq_writer.cc" "src/format/CMakeFiles/fusion_format.dir/fpq_writer.cc.o" "gcc" "src/format/CMakeFiles/fusion_format.dir/fpq_writer.cc.o.d"
+  "/root/repo/src/format/json.cc" "src/format/CMakeFiles/fusion_format.dir/json.cc.o" "gcc" "src/format/CMakeFiles/fusion_format.dir/json.cc.o.d"
+  "/root/repo/src/format/predicate.cc" "src/format/CMakeFiles/fusion_format.dir/predicate.cc.o" "gcc" "src/format/CMakeFiles/fusion_format.dir/predicate.cc.o.d"
+  "/root/repo/src/format/row_selection.cc" "src/format/CMakeFiles/fusion_format.dir/row_selection.cc.o" "gcc" "src/format/CMakeFiles/fusion_format.dir/row_selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compute/CMakeFiles/fusion_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrow/CMakeFiles/fusion_arrow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

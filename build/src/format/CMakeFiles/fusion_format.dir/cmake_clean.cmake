@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_format.dir/bloom.cc.o"
+  "CMakeFiles/fusion_format.dir/bloom.cc.o.d"
+  "CMakeFiles/fusion_format.dir/csv.cc.o"
+  "CMakeFiles/fusion_format.dir/csv.cc.o.d"
+  "CMakeFiles/fusion_format.dir/fpq_reader.cc.o"
+  "CMakeFiles/fusion_format.dir/fpq_reader.cc.o.d"
+  "CMakeFiles/fusion_format.dir/fpq_writer.cc.o"
+  "CMakeFiles/fusion_format.dir/fpq_writer.cc.o.d"
+  "CMakeFiles/fusion_format.dir/json.cc.o"
+  "CMakeFiles/fusion_format.dir/json.cc.o.d"
+  "CMakeFiles/fusion_format.dir/predicate.cc.o"
+  "CMakeFiles/fusion_format.dir/predicate.cc.o.d"
+  "CMakeFiles/fusion_format.dir/row_selection.cc.o"
+  "CMakeFiles/fusion_format.dir/row_selection.cc.o.d"
+  "libfusion_format.a"
+  "libfusion_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logical/aggregates.cc" "src/logical/CMakeFiles/fusion_logical.dir/aggregates.cc.o" "gcc" "src/logical/CMakeFiles/fusion_logical.dir/aggregates.cc.o.d"
+  "/root/repo/src/logical/expr.cc" "src/logical/CMakeFiles/fusion_logical.dir/expr.cc.o" "gcc" "src/logical/CMakeFiles/fusion_logical.dir/expr.cc.o.d"
+  "/root/repo/src/logical/expr_eval.cc" "src/logical/CMakeFiles/fusion_logical.dir/expr_eval.cc.o" "gcc" "src/logical/CMakeFiles/fusion_logical.dir/expr_eval.cc.o.d"
+  "/root/repo/src/logical/functions.cc" "src/logical/CMakeFiles/fusion_logical.dir/functions.cc.o" "gcc" "src/logical/CMakeFiles/fusion_logical.dir/functions.cc.o.d"
+  "/root/repo/src/logical/interval_analysis.cc" "src/logical/CMakeFiles/fusion_logical.dir/interval_analysis.cc.o" "gcc" "src/logical/CMakeFiles/fusion_logical.dir/interval_analysis.cc.o.d"
+  "/root/repo/src/logical/plan.cc" "src/logical/CMakeFiles/fusion_logical.dir/plan.cc.o" "gcc" "src/logical/CMakeFiles/fusion_logical.dir/plan.cc.o.d"
+  "/root/repo/src/logical/plan_serde.cc" "src/logical/CMakeFiles/fusion_logical.dir/plan_serde.cc.o" "gcc" "src/logical/CMakeFiles/fusion_logical.dir/plan_serde.cc.o.d"
+  "/root/repo/src/logical/simplify.cc" "src/logical/CMakeFiles/fusion_logical.dir/simplify.cc.o" "gcc" "src/logical/CMakeFiles/fusion_logical.dir/simplify.cc.o.d"
+  "/root/repo/src/logical/sql_planner.cc" "src/logical/CMakeFiles/fusion_logical.dir/sql_planner.cc.o" "gcc" "src/logical/CMakeFiles/fusion_logical.dir/sql_planner.cc.o.d"
+  "/root/repo/src/logical/window_functions.cc" "src/logical/CMakeFiles/fusion_logical.dir/window_functions.cc.o" "gcc" "src/logical/CMakeFiles/fusion_logical.dir/window_functions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/fusion_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/fusion_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/fusion_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/fusion_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/row/CMakeFiles/fusion_row.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrow/CMakeFiles/fusion_arrow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

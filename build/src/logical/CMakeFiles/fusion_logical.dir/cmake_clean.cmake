@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_logical.dir/aggregates.cc.o"
+  "CMakeFiles/fusion_logical.dir/aggregates.cc.o.d"
+  "CMakeFiles/fusion_logical.dir/expr.cc.o"
+  "CMakeFiles/fusion_logical.dir/expr.cc.o.d"
+  "CMakeFiles/fusion_logical.dir/expr_eval.cc.o"
+  "CMakeFiles/fusion_logical.dir/expr_eval.cc.o.d"
+  "CMakeFiles/fusion_logical.dir/functions.cc.o"
+  "CMakeFiles/fusion_logical.dir/functions.cc.o.d"
+  "CMakeFiles/fusion_logical.dir/interval_analysis.cc.o"
+  "CMakeFiles/fusion_logical.dir/interval_analysis.cc.o.d"
+  "CMakeFiles/fusion_logical.dir/plan.cc.o"
+  "CMakeFiles/fusion_logical.dir/plan.cc.o.d"
+  "CMakeFiles/fusion_logical.dir/plan_serde.cc.o"
+  "CMakeFiles/fusion_logical.dir/plan_serde.cc.o.d"
+  "CMakeFiles/fusion_logical.dir/simplify.cc.o"
+  "CMakeFiles/fusion_logical.dir/simplify.cc.o.d"
+  "CMakeFiles/fusion_logical.dir/sql_planner.cc.o"
+  "CMakeFiles/fusion_logical.dir/sql_planner.cc.o.d"
+  "CMakeFiles/fusion_logical.dir/window_functions.cc.o"
+  "CMakeFiles/fusion_logical.dir/window_functions.cc.o.d"
+  "libfusion_logical.a"
+  "libfusion_logical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_logical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

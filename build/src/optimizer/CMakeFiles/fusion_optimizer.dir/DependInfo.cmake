@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/filter_pushdown.cc" "src/optimizer/CMakeFiles/fusion_optimizer.dir/filter_pushdown.cc.o" "gcc" "src/optimizer/CMakeFiles/fusion_optimizer.dir/filter_pushdown.cc.o.d"
+  "/root/repo/src/optimizer/join_rules.cc" "src/optimizer/CMakeFiles/fusion_optimizer.dir/join_rules.cc.o" "gcc" "src/optimizer/CMakeFiles/fusion_optimizer.dir/join_rules.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/optimizer/CMakeFiles/fusion_optimizer.dir/optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/fusion_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/predicate_lowering.cc" "src/optimizer/CMakeFiles/fusion_optimizer.dir/predicate_lowering.cc.o" "gcc" "src/optimizer/CMakeFiles/fusion_optimizer.dir/predicate_lowering.cc.o.d"
+  "/root/repo/src/optimizer/projection_pushdown.cc" "src/optimizer/CMakeFiles/fusion_optimizer.dir/projection_pushdown.cc.o" "gcc" "src/optimizer/CMakeFiles/fusion_optimizer.dir/projection_pushdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logical/CMakeFiles/fusion_logical.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/fusion_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/fusion_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/fusion_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/row/CMakeFiles/fusion_row.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrow/CMakeFiles/fusion_arrow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/fusion_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_optimizer.dir/filter_pushdown.cc.o"
+  "CMakeFiles/fusion_optimizer.dir/filter_pushdown.cc.o.d"
+  "CMakeFiles/fusion_optimizer.dir/join_rules.cc.o"
+  "CMakeFiles/fusion_optimizer.dir/join_rules.cc.o.d"
+  "CMakeFiles/fusion_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/fusion_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/fusion_optimizer.dir/predicate_lowering.cc.o"
+  "CMakeFiles/fusion_optimizer.dir/predicate_lowering.cc.o.d"
+  "CMakeFiles/fusion_optimizer.dir/projection_pushdown.cc.o"
+  "CMakeFiles/fusion_optimizer.dir/projection_pushdown.cc.o.d"
+  "libfusion_optimizer.a"
+  "libfusion_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physical/aggregate_exec.cc" "src/physical/CMakeFiles/fusion_physical.dir/aggregate_exec.cc.o" "gcc" "src/physical/CMakeFiles/fusion_physical.dir/aggregate_exec.cc.o.d"
+  "/root/repo/src/physical/exchange_exec.cc" "src/physical/CMakeFiles/fusion_physical.dir/exchange_exec.cc.o" "gcc" "src/physical/CMakeFiles/fusion_physical.dir/exchange_exec.cc.o.d"
+  "/root/repo/src/physical/execution_plan.cc" "src/physical/CMakeFiles/fusion_physical.dir/execution_plan.cc.o" "gcc" "src/physical/CMakeFiles/fusion_physical.dir/execution_plan.cc.o.d"
+  "/root/repo/src/physical/hash_join_exec.cc" "src/physical/CMakeFiles/fusion_physical.dir/hash_join_exec.cc.o" "gcc" "src/physical/CMakeFiles/fusion_physical.dir/hash_join_exec.cc.o.d"
+  "/root/repo/src/physical/other_joins.cc" "src/physical/CMakeFiles/fusion_physical.dir/other_joins.cc.o" "gcc" "src/physical/CMakeFiles/fusion_physical.dir/other_joins.cc.o.d"
+  "/root/repo/src/physical/physical_expr.cc" "src/physical/CMakeFiles/fusion_physical.dir/physical_expr.cc.o" "gcc" "src/physical/CMakeFiles/fusion_physical.dir/physical_expr.cc.o.d"
+  "/root/repo/src/physical/planner.cc" "src/physical/CMakeFiles/fusion_physical.dir/planner.cc.o" "gcc" "src/physical/CMakeFiles/fusion_physical.dir/planner.cc.o.d"
+  "/root/repo/src/physical/simple_exec.cc" "src/physical/CMakeFiles/fusion_physical.dir/simple_exec.cc.o" "gcc" "src/physical/CMakeFiles/fusion_physical.dir/simple_exec.cc.o.d"
+  "/root/repo/src/physical/sort_exec.cc" "src/physical/CMakeFiles/fusion_physical.dir/sort_exec.cc.o" "gcc" "src/physical/CMakeFiles/fusion_physical.dir/sort_exec.cc.o.d"
+  "/root/repo/src/physical/symmetric_hash_join_exec.cc" "src/physical/CMakeFiles/fusion_physical.dir/symmetric_hash_join_exec.cc.o" "gcc" "src/physical/CMakeFiles/fusion_physical.dir/symmetric_hash_join_exec.cc.o.d"
+  "/root/repo/src/physical/window_exec.cc" "src/physical/CMakeFiles/fusion_physical.dir/window_exec.cc.o" "gcc" "src/physical/CMakeFiles/fusion_physical.dir/window_exec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/fusion_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/fusion_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/row/CMakeFiles/fusion_row.dir/DependInfo.cmake"
+  "/root/repo/build/src/logical/CMakeFiles/fusion_logical.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/fusion_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/fusion_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/fusion_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrow/CMakeFiles/fusion_arrow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/fusion_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

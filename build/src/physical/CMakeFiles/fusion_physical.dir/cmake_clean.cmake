@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_physical.dir/aggregate_exec.cc.o"
+  "CMakeFiles/fusion_physical.dir/aggregate_exec.cc.o.d"
+  "CMakeFiles/fusion_physical.dir/exchange_exec.cc.o"
+  "CMakeFiles/fusion_physical.dir/exchange_exec.cc.o.d"
+  "CMakeFiles/fusion_physical.dir/execution_plan.cc.o"
+  "CMakeFiles/fusion_physical.dir/execution_plan.cc.o.d"
+  "CMakeFiles/fusion_physical.dir/hash_join_exec.cc.o"
+  "CMakeFiles/fusion_physical.dir/hash_join_exec.cc.o.d"
+  "CMakeFiles/fusion_physical.dir/other_joins.cc.o"
+  "CMakeFiles/fusion_physical.dir/other_joins.cc.o.d"
+  "CMakeFiles/fusion_physical.dir/physical_expr.cc.o"
+  "CMakeFiles/fusion_physical.dir/physical_expr.cc.o.d"
+  "CMakeFiles/fusion_physical.dir/planner.cc.o"
+  "CMakeFiles/fusion_physical.dir/planner.cc.o.d"
+  "CMakeFiles/fusion_physical.dir/simple_exec.cc.o"
+  "CMakeFiles/fusion_physical.dir/simple_exec.cc.o.d"
+  "CMakeFiles/fusion_physical.dir/sort_exec.cc.o"
+  "CMakeFiles/fusion_physical.dir/sort_exec.cc.o.d"
+  "CMakeFiles/fusion_physical.dir/symmetric_hash_join_exec.cc.o"
+  "CMakeFiles/fusion_physical.dir/symmetric_hash_join_exec.cc.o.d"
+  "CMakeFiles/fusion_physical.dir/window_exec.cc.o"
+  "CMakeFiles/fusion_physical.dir/window_exec.cc.o.d"
+  "libfusion_physical.a"
+  "libfusion_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_row.dir/row_format.cc.o"
+  "CMakeFiles/fusion_row.dir/row_format.cc.o.d"
+  "libfusion_row.a"
+  "libfusion_row.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_row.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

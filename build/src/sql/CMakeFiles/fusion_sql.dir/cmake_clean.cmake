@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_sql.dir/lexer.cc.o"
+  "CMakeFiles/fusion_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/fusion_sql.dir/parser.cc.o"
+  "CMakeFiles/fusion_sql.dir/parser.cc.o.d"
+  "libfusion_sql.a"
+  "libfusion_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arrow.dir/test_arrow.cc.o"
+  "CMakeFiles/test_arrow.dir/test_arrow.cc.o.d"
+  "test_arrow"
+  "test_arrow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compute.dir/test_compute.cc.o"
+  "CMakeFiles/test_compute.dir/test_compute.cc.o.d"
+  "test_compute"
+  "test_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

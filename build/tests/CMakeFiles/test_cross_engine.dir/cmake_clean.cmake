@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_engine.dir/test_cross_engine.cc.o"
+  "CMakeFiles/test_cross_engine.dir/test_cross_engine.cc.o.d"
+  "test_cross_engine"
+  "test_cross_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

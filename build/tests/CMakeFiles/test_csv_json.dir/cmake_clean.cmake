@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csv_json.dir/test_csv_json.cc.o"
+  "CMakeFiles/test_csv_json.dir/test_csv_json.cc.o.d"
+  "test_csv_json"
+  "test_csv_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csv_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataframe.dir/test_dataframe.cc.o"
+  "CMakeFiles/test_dataframe.dir/test_dataframe.cc.o.d"
+  "test_dataframe"
+  "test_dataframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpq.dir/test_fpq.cc.o"
+  "CMakeFiles/test_fpq.dir/test_fpq.cc.o.d"
+  "test_fpq"
+  "test_fpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

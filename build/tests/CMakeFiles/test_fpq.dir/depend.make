@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fpq.
+# This may be replaced when dependencies are built.

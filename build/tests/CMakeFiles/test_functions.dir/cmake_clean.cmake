@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_functions.dir/test_functions.cc.o"
+  "CMakeFiles/test_functions.dir/test_functions.cc.o.d"
+  "test_functions"
+  "test_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

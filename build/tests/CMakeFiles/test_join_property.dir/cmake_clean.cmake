@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_join_property.dir/test_join_property.cc.o"
+  "CMakeFiles/test_join_property.dir/test_join_property.cc.o.d"
+  "test_join_property"
+  "test_join_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_join_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_operators.dir/test_operators.cc.o"
+  "CMakeFiles/test_operators.dir/test_operators.cc.o.d"
+  "test_operators"
+  "test_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_serde.dir/test_plan_serde.cc.o"
+  "CMakeFiles/test_plan_serde.dir/test_plan_serde.cc.o.d"
+  "test_plan_serde"
+  "test_plan_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_plan_serde.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_row_format.dir/test_row_format.cc.o"
+  "CMakeFiles/test_row_format.dir/test_row_format.cc.o.d"
+  "test_row_format"
+  "test_row_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_row_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

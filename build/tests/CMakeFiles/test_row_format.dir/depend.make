@@ -1,0 +1,2 @@
+# Empty dependencies file for test_row_format.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sql_end_to_end.dir/test_sql_end_to_end.cc.o"
+  "CMakeFiles/test_sql_end_to_end.dir/test_sql_end_to_end.cc.o.d"
+  "test_sql_end_to_end"
+  "test_sql_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sql_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

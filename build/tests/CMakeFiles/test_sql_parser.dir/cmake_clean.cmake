@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sql_parser.dir/test_sql_parser.cc.o"
+  "CMakeFiles/test_sql_parser.dir/test_sql_parser.cc.o.d"
+  "test_sql_parser"
+  "test_sql_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sql_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

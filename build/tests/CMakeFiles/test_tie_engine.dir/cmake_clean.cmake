@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tie_engine.dir/test_tie_engine.cc.o"
+  "CMakeFiles/test_tie_engine.dir/test_tie_engine.cc.o.d"
+  "test_tie_engine"
+  "test_tie_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tie_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_cli.dir/fusion_cli.cc.o"
+  "CMakeFiles/fusion_cli.dir/fusion_cli.cc.o.d"
+  "fusion_cli"
+  "fusion_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
