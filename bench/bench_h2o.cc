@@ -10,7 +10,8 @@
 using namespace fusion;          // NOLINT
 using namespace fusion::bench;   // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport report(ParseJsonReportArg(argc, argv));
   H2oSpec spec;
   spec.rows = EnvScale("FUSION_BENCH_H2O_ROWS", 1'000'000);
   spec.dir = BenchDataDir();
@@ -37,13 +38,16 @@ int main() {
   PrintComparisonHeader();
   double fusion_total = 0, tie_total = 0;
   for (const auto& q : H2oQueries()) {
-    QueryTiming fusion = RunFusion(fusion_ctx.get(), q.sql);
+    QueryTiming fusion = report.enabled()
+                             ? RunFusionWithMetrics(fusion_ctx.get(), q.sql)
+                             : RunFusion(fusion_ctx.get(), q.sql);
     QueryTiming tie = RunTie(tie_ctx.get(), q.sql);
     PrintComparison(q.number, fusion, tie);
+    report.Add(q.number, fusion);
     if (fusion.ok) fusion_total += fusion.seconds;
     if (tie.ok) tie_total += tie.seconds;
   }
   std::printf("-----------------------------------------------\n");
   std::printf("%-6s %9.3fs %9.3fs\n", "total", fusion_total, tie_total);
-  return 0;
+  return report.Finish() ? 0 : 1;
 }

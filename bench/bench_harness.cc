@@ -1,8 +1,10 @@
 #include "bench/bench_harness.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "catalog/file_tables.h"
+#include "physical/execution_plan.h"
 
 namespace fusion {
 namespace bench {
@@ -24,6 +26,113 @@ QueryTiming RunFusion(core::SessionContext* ctx, const std::string& sql, int run
   }
   out.ok = true;
   return out;
+}
+
+QueryTiming RunFusionWithMetrics(core::SessionContext* ctx,
+                                 const std::string& sql, int runs) {
+  QueryTiming out;
+  for (int i = 0; i < runs; ++i) {
+    Timer timer;
+    auto result = ctx->ExecuteSqlWithMetrics(sql);
+    double secs = timer.Seconds();
+    if (!result.ok()) {
+      out.error = result.status().ToString();
+      return out;
+    }
+    int64_t rows = 0;
+    for (const auto& b : result->batches) rows += b->num_rows();
+    if (i == 0 || secs < out.seconds) {
+      out.seconds = secs;
+      out.metrics_json = physical::PlanMetricsToJson(result->metrics);
+    }
+    out.rows = rows;
+  }
+  out.ok = true;
+  return out;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void JsonReport::Add(int query, const QueryTiming& timing) {
+  if (!enabled()) return;
+  std::string e = "{\"query\": " + std::to_string(query);
+  e += ", \"ok\": ";
+  e += timing.ok ? "true" : "false";
+  if (timing.ok) {
+    char secs[32];
+    std::snprintf(secs, sizeof(secs), "%.6f", timing.seconds);
+    e += std::string(", \"seconds\": ") + secs;
+    e += ", \"rows\": " + std::to_string(timing.rows);
+    if (!timing.metrics_json.empty()) {
+      e += ", \"metrics\": " + timing.metrics_json;
+    }
+  } else {
+    e += ", \"error\": ";
+    AppendJsonString(&e, timing.error);
+  }
+  e += "}";
+  entries_.push_back(std::move(e));
+}
+
+bool JsonReport::Finish() const {
+  if (!enabled()) return true;
+  std::string out = "[\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out += "  " + entries_[i];
+    if (i + 1 < entries_.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n";
+  if (path_ == "-") {
+    std::fputs(out.c_str(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path_.c_str());
+    return false;
+  }
+  std::fputs(out.c_str(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote per-operator metrics to %s\n", path_.c_str());
+  return true;
+}
+
+std::string ParseJsonReportArg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s [--json FILE]  (FILE may be -)\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+  }
+  return "";
 }
 
 QueryTiming RunTie(core::SessionContext* ctx, const std::string& sql, int runs) {

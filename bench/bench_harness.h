@@ -17,11 +17,43 @@ struct QueryTiming {
   int64_t rows = 0;
   bool ok = false;
   std::string error;
+  /// Per-operator metrics tree of the fastest run (JSON); only filled
+  /// by RunFusionWithMetrics.
+  std::string metrics_json;
 };
 
 /// Run a SQL query on the Fusion engine; best of `runs` runs.
 QueryTiming RunFusion(core::SessionContext* ctx, const std::string& sql,
                       int runs = 1);
+
+/// Like RunFusion, but also captures the per-operator metrics tree
+/// (output rows/batches, exclusive time, spills, memory) of the fastest
+/// run as JSON in QueryTiming::metrics_json.
+QueryTiming RunFusionWithMetrics(core::SessionContext* ctx,
+                                 const std::string& sql, int runs = 1);
+
+/// Accumulates per-query results and writes them as a JSON array to a
+/// file ("-" = stdout). Used by the bench binaries' --json flag so CI
+/// can archive per-operator breakdowns.
+class JsonReport {
+ public:
+  /// Empty path disables the report (Add/Finish become no-ops).
+  explicit JsonReport(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+  void Add(int query, const QueryTiming& timing);
+  /// Write the accumulated array; returns false on I/O failure.
+  bool Finish() const;
+
+ private:
+  std::string path_;
+  std::vector<std::string> entries_;
+};
+
+/// Parses a bench binary's command line: recognises `--json FILE`.
+/// Returns the report path ("" when the flag is absent) or exits with a
+/// usage message on malformed arguments.
+std::string ParseJsonReportArg(int argc, char** argv);
 
 /// Run a SQL query on the TIE baseline: the plan comes from `ctx`'s
 /// frontend/optimizer (with scan pushdown disabled via the registered

@@ -28,7 +28,7 @@ class GapFillExec : public physical::ExecutionPlan {
   int output_partitions() const override { return 1; }
   std::vector<physical::ExecPlanPtr> children() const override { return {input_}; }
 
-  Result<exec::StreamPtr> Execute(int partition,
+  Result<exec::StreamPtr> ExecuteImpl(int partition,
                                   const physical::ExecContextPtr& ctx) override {
     if (partition != 0) return Status::ExecutionError("single partition only");
     // Gap filling is a pipeline breaker: gather, then emit densified rows.

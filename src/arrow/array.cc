@@ -184,8 +184,10 @@ Result<ArrayPtr> ConcatenateNumeric(DataType type,
   int64_t pos = 0;
   for (const auto& arr : arrays) {
     const auto& na = checked_cast<NumericArray<CType>>(*arr);
-    std::memcpy(values->mutable_data_as<CType>() + pos, na.raw_values(),
-                static_cast<size_t>(arr->length()) * sizeof(CType));
+    if (arr->length() > 0) {
+      std::memcpy(values->mutable_data_as<CType>() + pos, na.raw_values(),
+                  static_cast<size_t>(arr->length()) * sizeof(CType));
+    }
     if (nulls > 0) {
       for (int64_t i = 0; i < arr->length(); ++i) {
         if (arr->IsNull(i)) bit_util::ClearBit(validity->mutable_data(), pos + i);
@@ -265,8 +267,10 @@ Result<ArrayPtr> Concatenate(const std::vector<ArrayPtr>& arrays) {
         const auto& sa = checked_cast<StringArray>(*arr);
         const int32_t* offs = sa.raw_offsets();
         int32_t len_bytes = offs[arr->length()];
-        std::memcpy(data->mutable_data() + byte_pos, sa.data()->data(),
-                    static_cast<size_t>(len_bytes));
+        if (len_bytes > 0) {
+          std::memcpy(data->mutable_data() + byte_pos, sa.data()->data(),
+                      static_cast<size_t>(len_bytes));
+        }
         for (int64_t i = 0; i < arr->length(); ++i) {
           off_out[pos + i + 1] = byte_pos + offs[i + 1];
           if (nulls > 0 && arr->IsNull(i)) {

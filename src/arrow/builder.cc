@@ -43,7 +43,9 @@ Result<ArrayPtr> StringBuilder::Finish() {
   auto offsets = std::make_shared<Buffer>((length_ + 1) * sizeof(int32_t));
   int32_t* off = offsets->mutable_data_as<int32_t>();
   off[0] = 0;
-  std::memcpy(off + 1, offsets_.data(), offsets_.size() * sizeof(int32_t));
+  if (!offsets_.empty()) {
+    std::memcpy(off + 1, offsets_.data(), offsets_.size() * sizeof(int32_t));
+  }
   auto data = Buffer::CopyOf(data_.data(), static_cast<int64_t>(data_.size()));
   int64_t len = length_;
   int64_t nulls = null_count_;

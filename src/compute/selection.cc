@@ -103,7 +103,7 @@ Result<ArrayPtr> Take(const Array& input, const std::vector<int64_t>& indices) {
           ++nulls;
         } else {
           std::string_view sv = in.Value(idx);
-          std::memcpy(bytes + pos, sv.data(), sv.size());
+          if (!sv.empty()) std::memcpy(bytes + pos, sv.data(), sv.size());
           pos += static_cast<int32_t>(sv.size());
         }
         off[i + 1] = pos;

@@ -109,6 +109,19 @@ Result<std::vector<RecordBatchPtr>> SessionContext::ExecuteSql(
   return df.Collect();
 }
 
+Result<QueryResult> SessionContext::ExecuteSqlWithMetrics(const std::string& sql) {
+  FUSION_ASSIGN_OR_RAISE(auto plan, CreateLogicalPlan(sql));
+  FUSION_ASSIGN_OR_RAISE(auto optimized, OptimizePlan(plan));
+  auto ctx = MakeExecContext();
+  physical::PhysicalPlanner planner(ctx);
+  FUSION_ASSIGN_OR_RAISE(auto exec_plan, planner.CreatePlan(optimized));
+  QueryResult out;
+  FUSION_ASSIGN_OR_RAISE(out.batches, physical::ExecuteCollect(exec_plan, ctx));
+  out.metrics = physical::CollectMetrics(*exec_plan);
+  out.physical_plan = std::move(exec_plan);
+  return out;
+}
+
 Result<DataFrame> SessionContext::Table(const std::string& name) {
   FUSION_ASSIGN_OR_RAISE(auto provider, GetTable(name));
   FUSION_ASSIGN_OR_RAISE(auto plan,

@@ -16,6 +16,17 @@ namespace core {
 
 class DataFrame;
 
+/// Result of ExecuteSqlWithMetrics: the data plus the instrumented
+/// physical plan and its per-operator runtime metrics tree.
+struct QueryResult {
+  std::vector<RecordBatchPtr> batches;
+  /// The executed (instrumented) plan; metrics stay live on its nodes.
+  physical::ExecPlanPtr physical_plan;
+  /// Structured per-operator metrics, snapshotted after execution
+  /// (paper §8's per-operator time attribution).
+  physical::PlanMetricsNode metrics;
+};
+
 /// \brief The engine's public entry point (the analogue of DataFusion's
 /// SessionContext): owns the catalog, function registry, optimizer,
 /// configuration and runtime environment, and turns SQL or DataFrame
@@ -71,6 +82,10 @@ class SessionContext : public std::enable_shared_from_this<SessionContext> {
   Result<DataFrame> Sql(const std::string& sql);
   /// Convenience: run SQL to completion.
   Result<std::vector<RecordBatchPtr>> ExecuteSql(const std::string& sql);
+  /// Run SQL to completion and keep the instrumented physical plan so
+  /// callers can attribute time/rows/spills to individual operators
+  /// (programmatic EXPLAIN ANALYZE).
+  Result<QueryResult> ExecuteSqlWithMetrics(const std::string& sql);
 
   /// DataFrame entry points (paper §5.3.3).
   Result<DataFrame> Table(const std::string& name);

@@ -1,0 +1,119 @@
+#include "exec/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace fusion {
+namespace exec {
+
+MetricValuePtr MetricsSet::GetOrCreate(const std::string& name, MetricKind kind,
+                                       int partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Metric& m : metrics_) {
+    if (m.partition == partition && m.name == name) return m.value;
+  }
+  Metric m;
+  m.name = name;
+  m.kind = kind;
+  m.partition = partition;
+  m.value = std::make_shared<MetricValue>();
+  metrics_.push_back(m);
+  return metrics_.back().value;
+}
+
+std::vector<Metric> MetricsSet::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_;
+}
+
+int64_t MetricsSet::AggregatedValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t sum = 0;
+  int64_t max = 0;
+  bool is_gauge = false;
+  for (const Metric& m : metrics_) {
+    if (m.name != name) continue;
+    int64_t v = m.value->value();
+    sum += v;
+    max = std::max(max, v);
+    if (m.kind == MetricKind::kGauge) is_gauge = true;
+  }
+  return is_gauge ? max : sum;
+}
+
+int64_t MetricsSet::Sum(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t sum = 0;
+  for (const Metric& m : metrics_) {
+    if (m.name == name) sum += m.value->value();
+  }
+  return sum;
+}
+
+int64_t MetricsSet::Max(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t max = 0;
+  for (const Metric& m : metrics_) {
+    if (m.name == name) max = std::max(max, m.value->value());
+  }
+  return max;
+}
+
+std::vector<std::string> MetricsSet::Names() const {
+  std::set<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Metric& m : metrics_) names.insert(m.name);
+  }
+  return {names.begin(), names.end()};
+}
+
+std::string MetricsSet::Summary() const {
+  // name -> (aggregated value, kind); aggregation mirrors
+  // AggregatedValue but in one pass.
+  std::map<std::string, std::pair<int64_t, MetricKind>> agg;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Metric& m : metrics_) {
+      auto it = agg.find(m.name);
+      int64_t v = m.value->value();
+      if (it == agg.end()) {
+        agg.emplace(m.name, std::make_pair(v, m.kind));
+      } else if (m.kind == MetricKind::kGauge) {
+        it->second.first = std::max(it->second.first, v);
+      } else {
+        it->second.first += v;
+      }
+    }
+  }
+  std::string out;
+  for (const auto& [name, vk] : agg) {
+    if (!out.empty()) out += ", ";
+    out += name + "=";
+    if (vk.second == MetricKind::kTime) {
+      out += FormatDuration(vk.first);
+    } else {
+      out += std::to_string(vk.first);
+    }
+  }
+  return out;
+}
+
+std::string FormatDuration(int64_t nanos) {
+  char buf[32];
+  if (nanos < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(nanos));
+  } else if (nanos < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fµs", nanos / 1e3);
+  } else if (nanos < 1000LL * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", nanos / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", nanos / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace exec
+}  // namespace fusion

@@ -225,11 +225,16 @@ Result<Scalar> EvaluateConstantExpr(const ExprPtr& expr) {
       return Scalar::Bool(matcher.Matches(v.string_value()) != expr->negated);
     }
     case Expr::Kind::kScalarFunction: {
+      std::vector<DataType> arg_types;
       std::vector<ColumnarValue> args;
       for (const auto& child : expr->children) {
         FUSION_ASSIGN_OR_RAISE(Scalar v, EvaluateConstantExpr(child));
+        arg_types.push_back(v.type());
         args.emplace_back(std::move(v));
       }
+      // Validate arity/types before calling the implementation: impls
+      // are allowed to index args without re-checking.
+      FUSION_RETURN_NOT_OK(expr->scalar_function->return_type(arg_types).status());
       FUSION_ASSIGN_OR_RAISE(ColumnarValue out,
                              expr->scalar_function->impl(args, /*num_rows=*/1));
       if (out.is_scalar()) return out.scalar();

@@ -371,11 +371,12 @@ Result<PlanPtr> MakeEmptyRelation(bool produce_one_row) {
   return plan;
 }
 
-Result<PlanPtr> MakeExplain(PlanPtr input) {
+Result<PlanPtr> MakeExplain(PlanPtr input, bool analyze) {
   auto plan = NewPlan(PlanKind::kExplain);
   std::vector<Field> fields = {Field("plan", utf8(), false)};
   plan->set_schema(PlanSchema(std::make_shared<Schema>(std::move(fields))));
   plan->children = {std::move(input)};
+  plan->explain_analyze = analyze;
   return plan;
 }
 
@@ -408,7 +409,7 @@ Result<PlanPtr> WithNewChildren(const PlanPtr& plan, std::vector<PlanPtr> childr
     case PlanKind::kSubqueryAlias:
       return MakeSubqueryAlias(std::move(children[0]), plan->alias);
     case PlanKind::kExplain:
-      return MakeExplain(std::move(children[0]));
+      return MakeExplain(std::move(children[0]), plan->explain_analyze);
   }
   return Status::Internal("WithNewChildren: unhandled plan kind");
 }

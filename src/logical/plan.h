@@ -85,6 +85,10 @@ class LogicalPlan {
   // kEmptyRelation
   bool produce_one_row = false;
 
+  // kExplain: execute the input and annotate the plan with runtime
+  // metrics (EXPLAIN ANALYZE) instead of printing the static plan.
+  bool explain_analyze = false;
+
   const PlanSchema& schema() const { return schema_; }
   void set_schema(PlanSchema schema) { schema_ = std::move(schema); }
 
@@ -121,7 +125,7 @@ Result<PlanPtr> MakeWindow(PlanPtr input, std::vector<ExprPtr> window_exprs);
 Result<PlanPtr> MakeValues(std::vector<std::vector<ExprPtr>> rows);
 Result<PlanPtr> MakeSubqueryAlias(PlanPtr input, std::string alias);
 Result<PlanPtr> MakeEmptyRelation(bool produce_one_row);
-Result<PlanPtr> MakeExplain(PlanPtr input);
+Result<PlanPtr> MakeExplain(PlanPtr input, bool analyze = false);
 
 /// Rebuild `plan` with new children (schemas recomputed); used by
 /// optimizer rules.

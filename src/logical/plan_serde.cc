@@ -247,6 +247,7 @@ Status WritePlanTree(Writer* w, const PlanPtr& plan) {
   }
   w->Str(plan->alias);
   w->Bool(plan->produce_one_row);
+  w->Bool(plan->explain_analyze);
   return Status::OK();
 }
 
@@ -424,6 +425,7 @@ Result<PlanPtr> ReadPlanTree(Reader* r, const DeserializeContext& ctx) {
   }
   FUSION_ASSIGN_OR_RAISE(std::string alias, r->Str());
   FUSION_ASSIGN_OR_RAISE(bool produce_one_row, r->Bool());
+  FUSION_ASSIGN_OR_RAISE(bool explain_analyze, r->Bool());
 
   // Reconstruct with validation through the Make* constructors.
   switch (kind) {
@@ -459,7 +461,7 @@ Result<PlanPtr> ReadPlanTree(Reader* r, const DeserializeContext& ctx) {
     case PlanKind::kEmptyRelation:
       return MakeEmptyRelation(produce_one_row);
     case PlanKind::kExplain:
-      return MakeExplain(std::move(children[0]));
+      return MakeExplain(std::move(children[0]), explain_analyze);
   }
   return Status::IOError("plan serde: unknown plan kind");
 }

@@ -147,7 +147,7 @@ Result<ExprPtr> RewriteToColumns(const ExprPtr& expr,
 Result<PlanPtr> SqlPlanner::PlanStatement(const sql::Statement& stmt) {
   FUSION_ASSIGN_OR_RAISE(PlanPtr plan, PlanQuery(*stmt.query, {}));
   if (stmt.kind == sql::Statement::Kind::kExplain) {
-    return MakeExplain(std::move(plan));
+    return MakeExplain(std::move(plan), stmt.analyze);
   }
   return plan;
 }

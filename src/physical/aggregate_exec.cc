@@ -73,7 +73,7 @@ std::string HashAggregateExec::ToStringLine() const {
   return out;
 }
 
-Result<exec::StreamPtr> HashAggregateExec::Execute(int partition,
+Result<exec::StreamPtr> HashAggregateExec::ExecuteImpl(int partition,
                                                    const ExecContextPtr& ctx) {
   FUSION_ASSIGN_OR_RAISE(auto input, input_->Execute(partition, ctx));
   SchemaPtr schema = schema_;
@@ -96,6 +96,9 @@ Result<exec::StreamPtr> HashAggregateExec::Execute(int partition,
                          std::to_string(partition);
   exec::MemoryReservation reservation(ctx->env->memory_pool, consumer);
   std::vector<exec::SpillFilePtr> spill_files;
+  auto spill_count = metrics_->Counter(exec::metric::kSpillCount, partition);
+  auto spill_bytes = metrics_->Counter(exec::metric::kSpillBytes, partition);
+  auto mem_reserved = metrics_->Gauge(exec::metric::kMemReservedBytes, partition);
 
   // Emit (group keys + per-aggregate output) for a state object. When
   // the column layout does not match schema_ (spill paths emit partial
@@ -162,6 +165,8 @@ Result<exec::StreamPtr> HashAggregateExec::Execute(int partition,
     FUSION_RETURN_NOT_OK(writer.Close());
     spill_files.push_back(std::move(file));
     spills_.fetch_add(1);
+    spill_count->Add(1);
+    for (const auto& b : batches) spill_bytes->Add(b->TotalBufferSize());
     FUSION_ASSIGN_OR_RAISE(state, make_state());
     return reservation.ResizeTo(0);
   };
@@ -232,6 +237,7 @@ Result<exec::StreamPtr> HashAggregateExec::Execute(int partition,
         if (!grow.IsOutOfMemory()) return grow;
         FUSION_RETURN_NOT_OK(spill());
       }
+      mem_reserved->SetMax(reservation.held());
     }
   }
 
@@ -322,7 +328,7 @@ std::string StreamingAggregateExec::ToStringLine() const {
   return out;
 }
 
-Result<exec::StreamPtr> StreamingAggregateExec::Execute(int partition,
+Result<exec::StreamPtr> StreamingAggregateExec::ExecuteImpl(int partition,
                                                         const ExecContextPtr& ctx) {
   FUSION_ASSIGN_OR_RAISE(auto input_stream, input_->Execute(partition, ctx));
   auto input = std::shared_ptr<exec::RecordBatchStream>(std::move(input_stream));

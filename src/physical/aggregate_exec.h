@@ -44,7 +44,7 @@ class HashAggregateExec : public ExecutionPlan {
   SchemaPtr schema() const override { return schema_; }
   int output_partitions() const override { return input_->output_partitions(); }
   std::vector<ExecPlanPtr> children() const override { return {input_}; }
-  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr& ctx) override;
   std::string ToStringLine() const override;
 
   AggregateMode mode() const { return mode_; }
@@ -90,7 +90,7 @@ class StreamingAggregateExec : public ExecutionPlan {
     }
     return out;
   }
-  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr& ctx) override;
   std::string ToStringLine() const override;
 
  private:

@@ -74,7 +74,7 @@ struct ProducerGroup {
 
 }  // namespace
 
-Result<exec::StreamPtr> CoalescePartitionsExec::Execute(int partition,
+Result<exec::StreamPtr> CoalescePartitionsExec::ExecuteImpl(int partition,
                                                         const ExecContextPtr& ctx) {
   if (partition != 0) {
     return Status::ExecutionError("CoalescePartitionsExec has a single partition");
@@ -225,7 +225,7 @@ Status RepartitionExec::StartProducers(const ExecContextPtr& ctx) {
   return Status::OK();
 }
 
-Result<exec::StreamPtr> RepartitionExec::Execute(int partition,
+Result<exec::StreamPtr> RepartitionExec::ExecuteImpl(int partition,
                                                  const ExecContextPtr& ctx) {
   FUSION_RETURN_NOT_OK(StartProducers(ctx));
   if (partition < 0 || partition >= num_partitions_) {

@@ -57,7 +57,7 @@ class CoalescePartitionsExec : public ExecutionPlan {
   SchemaPtr schema() const override { return input_->schema(); }
   int output_partitions() const override { return 1; }
   std::vector<ExecPlanPtr> children() const override { return {input_}; }
-  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr& ctx) override;
 
  private:
   ExecPlanPtr input_;
@@ -81,7 +81,7 @@ class RepartitionExec : public ExecutionPlan {
   SchemaPtr schema() const override { return input_->schema(); }
   int output_partitions() const override { return num_partitions_; }
   std::vector<ExecPlanPtr> children() const override { return {input_}; }
-  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr& ctx) override;
   std::string ToStringLine() const override {
     return std::string("RepartitionExec: ") +
            (mode_ == Mode::kHash ? "hash" : "round_robin") + " -> " +

@@ -1,10 +1,27 @@
 #include "physical/execution_plan.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <functional>
 #include <mutex>
 #include <sstream>
 
 namespace fusion {
 namespace physical {
+
+Result<exec::StreamPtr> ExecutionPlan::Execute(int partition,
+                                               const ExecContextPtr& ctx) {
+  auto rows = metrics_->Counter(exec::metric::kOutputRows, partition);
+  auto batches = metrics_->Counter(exec::metric::kOutputBatches, partition);
+  auto elapsed = metrics_->Time(exec::metric::kElapsedNs, partition);
+  // Opening the stream can itself be heavy (hash join builds, sorts);
+  // charge it to the same elapsed metric as Next().
+  exec::ScopedTimer open_timer(elapsed);
+  FUSION_ASSIGN_OR_RAISE(auto stream, ExecuteImpl(partition, ctx));
+  open_timer.Stop();
+  return exec::StreamPtr(std::make_unique<exec::InstrumentedStream>(
+      std::move(stream), std::move(rows), std::move(batches), std::move(elapsed)));
+}
 
 std::string ExecutionPlan::ToString() const {
   std::ostringstream out;
@@ -39,6 +56,106 @@ Result<std::vector<RecordBatchPtr>> ExecuteCollect(const ExecPlanPtr& plan,
   for (auto& part : results) {
     for (auto& b : part) out.push_back(std::move(b));
   }
+  return out;
+}
+
+PlanMetricsNode CollectMetrics(const ExecutionPlan& plan) {
+  PlanMetricsNode node;
+  node.name = plan.name();
+  node.description = plan.ToStringLine();
+  const auto& m = *plan.metrics();
+  node.output_rows = m.AggregatedValue(exec::metric::kOutputRows);
+  node.output_batches = m.AggregatedValue(exec::metric::kOutputBatches);
+  node.elapsed_ns = m.AggregatedValue(exec::metric::kElapsedNs);
+  node.spill_count = m.AggregatedValue(exec::metric::kSpillCount);
+  node.spill_bytes = m.AggregatedValue(exec::metric::kSpillBytes);
+  node.mem_reserved_bytes = m.AggregatedValue(exec::metric::kMemReservedBytes);
+  int64_t children_elapsed = 0;
+  for (const auto& c : plan.children()) {
+    node.children.push_back(CollectMetrics(*c));
+    children_elapsed += node.children.back().elapsed_ns;
+  }
+  // Pull-based streams nest their children's time; the difference is
+  // this operator's own compute. Operators that overlap children on
+  // producer threads (exchanges) can measure less than their children —
+  // clamp to zero rather than report negative time.
+  node.elapsed_compute_ns = std::max<int64_t>(0, node.elapsed_ns - children_elapsed);
+  return node;
+}
+
+std::string RenderAnnotatedPlan(const ExecutionPlan& plan) {
+  std::ostringstream out;
+  std::function<void(const ExecutionPlan&, int)> render =
+      [&](const ExecutionPlan& p, int indent) {
+        PlanMetricsNode m = CollectMetrics(p);
+        for (int i = 0; i < indent; ++i) out << "  ";
+        out << p.ToStringLine() << ", metrics=[output_rows=" << m.output_rows
+            << ", output_batches=" << m.output_batches << ", elapsed_compute="
+            << exec::FormatDuration(m.elapsed_compute_ns);
+        if (m.spill_count > 0) {
+          out << ", spill_count=" << m.spill_count
+              << ", spill_bytes=" << m.spill_bytes;
+        }
+        if (m.mem_reserved_bytes > 0) {
+          out << ", mem_reserved_bytes=" << m.mem_reserved_bytes;
+        }
+        out << "]\n";
+        for (const auto& c : p.children()) render(*c, indent + 1);
+      };
+  render(plan, 0);
+  return out.str();
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void MetricsNodeToJson(const PlanMetricsNode& node, std::string* out) {
+  *out += "{\"operator\":\"";
+  AppendJsonEscaped(out, node.name);
+  *out += "\",\"description\":\"";
+  AppendJsonEscaped(out, node.description);
+  *out += "\",\"output_rows\":" + std::to_string(node.output_rows);
+  *out += ",\"output_batches\":" + std::to_string(node.output_batches);
+  *out += ",\"elapsed_ns\":" + std::to_string(node.elapsed_ns);
+  *out += ",\"elapsed_compute_ns\":" + std::to_string(node.elapsed_compute_ns);
+  if (node.spill_count > 0) {
+    *out += ",\"spill_count\":" + std::to_string(node.spill_count);
+    *out += ",\"spill_bytes\":" + std::to_string(node.spill_bytes);
+  }
+  if (node.mem_reserved_bytes > 0) {
+    *out += ",\"mem_reserved_bytes\":" + std::to_string(node.mem_reserved_bytes);
+  }
+  *out += ",\"children\":[";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) *out += ",";
+    MetricsNodeToJson(node.children[i], out);
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string PlanMetricsToJson(const PlanMetricsNode& node) {
+  std::string out;
+  MetricsNodeToJson(node, &out);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/metrics.h"
 #include "exec/runtime_env.h"
 #include "exec/stream.h"
 #include "physical/physical_expr.h"
@@ -45,9 +46,20 @@ class ExecutionPlan {
   }
 
   /// Open partition `partition`'s stream. May be called once per
-  /// partition per plan instance.
-  virtual Result<exec::StreamPtr> Execute(int partition,
-                                          const ExecContextPtr& ctx) = 0;
+  /// partition per plan instance. Non-virtual: wraps ExecuteImpl's
+  /// stream so every operator — built-in or user-defined — records
+  /// output_rows / output_batches / elapsed_ns without opting in.
+  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx);
+
+  /// The operator's actual stream-opening logic (paper Figure 4).
+  /// User-defined operators implement exactly this and are
+  /// indistinguishable from built-ins (paper §7.7).
+  virtual Result<exec::StreamPtr> ExecuteImpl(int partition,
+                                              const ExecContextPtr& ctx) = 0;
+
+  /// Runtime metrics recorded by this node (per partition; aggregate
+  /// with MetricsSet::AggregatedValue or CollectMetrics below).
+  const exec::MetricsSetPtr& metrics() const { return metrics_; }
 
   /// Sort order each output partition is known to satisfy (paper §6.7);
   /// empty = unknown.
@@ -58,6 +70,12 @@ class ExecutionPlan {
 
   /// Indented tree rendering.
   std::string ToString() const;
+
+ protected:
+  /// Operators with operator-specific metrics (spills, memory) record
+  /// into this set directly; the standard stream metrics are recorded by
+  /// the Execute wrapper.
+  exec::MetricsSetPtr metrics_ = exec::MetricsSet::Make();
 };
 
 using ExecPlanPtr = std::shared_ptr<ExecutionPlan>;
@@ -71,6 +89,34 @@ Result<std::vector<RecordBatchPtr>> ExecuteCollect(const ExecPlanPtr& plan,
 /// Run all partitions for their side effects, discarding batches but
 /// counting rows.
 Result<int64_t> ExecuteCountRows(const ExecPlanPtr& plan, const ExecContextPtr& ctx);
+
+/// \brief Aggregated metrics for one plan node, mirroring the plan tree
+/// (the structured form behind EXPLAIN ANALYZE and the bench JSON dump).
+struct PlanMetricsNode {
+  std::string name;         ///< operator name(), e.g. "HashAggregateExec"
+  std::string description;  ///< ToStringLine()
+  int64_t output_rows = 0;
+  int64_t output_batches = 0;
+  /// Wall time inside this subtree's streams (includes children).
+  int64_t elapsed_ns = 0;
+  /// elapsed_ns minus the children's elapsed_ns, clamped at 0: the time
+  /// attributable to this operator alone.
+  int64_t elapsed_compute_ns = 0;
+  int64_t spill_count = 0;
+  int64_t spill_bytes = 0;
+  int64_t mem_reserved_bytes = 0;
+  std::vector<PlanMetricsNode> children;
+};
+
+/// Snapshot the metrics of `plan` and its children as a structured tree.
+PlanMetricsNode CollectMetrics(const ExecutionPlan& plan);
+
+/// Indented plan rendering with per-operator metrics annotations — the
+/// body of EXPLAIN ANALYZE. Call after the plan has executed.
+std::string RenderAnnotatedPlan(const ExecutionPlan& plan);
+
+/// Compact single-line JSON for a metrics tree (bench_harness --json).
+std::string PlanMetricsToJson(const PlanMetricsNode& node);
 
 }  // namespace physical
 }  // namespace fusion

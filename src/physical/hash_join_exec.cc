@@ -96,6 +96,8 @@ Status HashJoinExec::EnsureBuilt(const ExecContextPtr& ctx) {
         ctx->env->memory_pool, "hashjoin-" + std::to_string(ctx->query_id));
     FUSION_RETURN_NOT_OK(
         state->reservation->ResizeTo(state->batch->TotalBufferSize()));
+    metrics_->Gauge(exec::metric::kMemReservedBytes)
+        ->SetMax(state->reservation->held());
     std::vector<PhysicalExprPtr> key_exprs;
     for (const auto& [l, r] : on_) key_exprs.push_back(l);
     FUSION_ASSIGN_OR_RAISE(state->key_arrays,
@@ -133,7 +135,7 @@ Status HashJoinExec::EnsureBuilt(const ExecContextPtr& ctx) {
   return build_status_;
 }
 
-Result<exec::StreamPtr> HashJoinExec::Execute(int partition,
+Result<exec::StreamPtr> HashJoinExec::ExecuteImpl(int partition,
                                               const ExecContextPtr& ctx) {
   FUSION_RETURN_NOT_OK(EnsureBuilt(ctx));
   FUSION_ASSIGN_OR_RAISE(auto probe_stream, probe_->Execute(partition, ctx));

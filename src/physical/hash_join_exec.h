@@ -31,7 +31,7 @@ class HashJoinExec : public ExecutionPlan {
   SchemaPtr schema() const override { return schema_; }
   int output_partitions() const override { return probe_->output_partitions(); }
   std::vector<ExecPlanPtr> children() const override { return {build_, probe_}; }
-  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr& ctx) override;
   std::string ToStringLine() const override;
 
  private:

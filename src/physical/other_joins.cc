@@ -45,7 +45,7 @@ Result<RecordBatchPtr> AssemblePairs(const SchemaPtr& schema,
 
 // ------------------------------------------------------- SortMergeJoin
 
-Result<exec::StreamPtr> SortMergeJoinExec::Execute(int partition,
+Result<exec::StreamPtr> SortMergeJoinExec::ExecuteImpl(int partition,
                                                    const ExecContextPtr& ctx) {
   if (partition != 0) {
     return Status::ExecutionError("SortMergeJoinExec has a single partition");
@@ -199,7 +199,7 @@ Result<exec::StreamPtr> SortMergeJoinExec::Execute(int partition,
 
 // ------------------------------------------------------ NestedLoopJoin
 
-Result<exec::StreamPtr> NestedLoopJoinExec::Execute(int partition,
+Result<exec::StreamPtr> NestedLoopJoinExec::ExecuteImpl(int partition,
                                                     const ExecContextPtr& ctx) {
   if (partition != 0) {
     return Status::ExecutionError("NestedLoopJoinExec has a single partition");
@@ -299,7 +299,7 @@ Status CrossJoinExec::EnsureCollected(const ExecContextPtr& ctx) {
   return collect_status_;
 }
 
-Result<exec::StreamPtr> CrossJoinExec::Execute(int partition,
+Result<exec::StreamPtr> CrossJoinExec::ExecuteImpl(int partition,
                                                const ExecContextPtr& ctx) {
   FUSION_RETURN_NOT_OK(EnsureCollected(ctx));
   FUSION_ASSIGN_OR_RAISE(auto right_stream, right_->Execute(partition, ctx));

@@ -26,7 +26,7 @@ class SortMergeJoinExec : public ExecutionPlan {
   SchemaPtr schema() const override { return schema_; }
   int output_partitions() const override { return 1; }
   std::vector<ExecPlanPtr> children() const override { return {left_, right_}; }
-  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr& ctx) override;
   std::string ToStringLine() const override {
     return std::string("SortMergeJoinExec: ") + logical::JoinKindName(kind_);
   }
@@ -53,7 +53,7 @@ class NestedLoopJoinExec : public ExecutionPlan {
   SchemaPtr schema() const override { return schema_; }
   int output_partitions() const override { return 1; }
   std::vector<ExecPlanPtr> children() const override { return {left_, right_}; }
-  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr& ctx) override;
   std::string ToStringLine() const override {
     return std::string("NestedLoopJoinExec: ") + logical::JoinKindName(kind_);
   }
@@ -77,7 +77,7 @@ class CrossJoinExec : public ExecutionPlan {
   SchemaPtr schema() const override { return schema_; }
   int output_partitions() const override { return right_->output_partitions(); }
   std::vector<ExecPlanPtr> children() const override { return {left_, right_}; }
-  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr& ctx) override;
 
  private:
   Status EnsureCollected(const ExecContextPtr& ctx);

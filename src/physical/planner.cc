@@ -170,6 +170,10 @@ Result<ExecPlanPtr> PhysicalPlanner::Plan(const PlanPtr& plan) {
                                                      plan->produce_one_row));
     case PlanKind::kExplain: {
       FUSION_ASSIGN_OR_RAISE(auto child_exec, Plan(plan->child(0)));
+      if (plan->explain_analyze) {
+        return ExecPlanPtr(std::make_shared<AnalyzeExec>(
+            PhysicalSchema(plan->schema()), std::move(child_exec)));
+      }
       return ExecPlanPtr(std::make_shared<ExplainExec>(
           PhysicalSchema(plan->schema()), plan->child(0)->ToString(),
           child_exec->ToString()));

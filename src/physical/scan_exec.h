@@ -27,7 +27,7 @@ class ScanExec : public ExecutionPlan {
     return static_cast<int>(iterators_.size());
   }
 
-  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr&) override {
+  Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr&) override {
     FUSION_RETURN_NOT_OK(EnsureOpened());
     std::lock_guard<std::mutex> lock(mu_);
     if (partition < 0 || partition >= static_cast<int>(iterators_.size()) ||

@@ -6,7 +6,7 @@
 namespace fusion {
 namespace physical {
 
-Result<exec::StreamPtr> FilterExec::Execute(int partition,
+Result<exec::StreamPtr> FilterExec::ExecuteImpl(int partition,
                                             const ExecContextPtr& ctx) {
   FUSION_ASSIGN_OR_RAISE(auto input, input_->Execute(partition, ctx));
   auto input_shared = std::shared_ptr<exec::RecordBatchStream>(std::move(input));
@@ -49,7 +49,7 @@ std::vector<OrderingInfo> ProjectionExec::output_ordering() const {
   return out;
 }
 
-Result<exec::StreamPtr> ProjectionExec::Execute(int partition,
+Result<exec::StreamPtr> ProjectionExec::ExecuteImpl(int partition,
                                                 const ExecContextPtr& ctx) {
   FUSION_ASSIGN_OR_RAISE(auto input, input_->Execute(partition, ctx));
   auto input_shared = std::shared_ptr<exec::RecordBatchStream>(std::move(input));
@@ -74,7 +74,7 @@ std::string ProjectionExec::ToStringLine() const {
   return out;
 }
 
-Result<exec::StreamPtr> LimitExec::Execute(int partition, const ExecContextPtr& ctx) {
+Result<exec::StreamPtr> LimitExec::ExecuteImpl(int partition, const ExecContextPtr& ctx) {
   if (partition != 0) {
     return Status::ExecutionError("LimitExec expects a single partition");
   }
@@ -110,7 +110,7 @@ Result<exec::StreamPtr> LimitExec::Execute(int partition, const ExecContextPtr& 
       }));
 }
 
-Result<exec::StreamPtr> CoalesceBatchesExec::Execute(int partition,
+Result<exec::StreamPtr> CoalesceBatchesExec::ExecuteImpl(int partition,
                                                      const ExecContextPtr& ctx) {
   FUSION_ASSIGN_OR_RAISE(auto input, input_->Execute(partition, ctx));
   auto input_shared = std::shared_ptr<exec::RecordBatchStream>(std::move(input));
@@ -148,7 +148,7 @@ Result<exec::StreamPtr> CoalesceBatchesExec::Execute(int partition,
       }));
 }
 
-Result<exec::StreamPtr> UnionExec::Execute(int partition, const ExecContextPtr& ctx) {
+Result<exec::StreamPtr> UnionExec::ExecuteImpl(int partition, const ExecContextPtr& ctx) {
   int p = partition;
   for (const auto& input : inputs_) {
     if (p < input->output_partitions()) {
@@ -159,10 +159,29 @@ Result<exec::StreamPtr> UnionExec::Execute(int partition, const ExecContextPtr& 
   return Status::ExecutionError("UnionExec: partition out of range");
 }
 
-Result<exec::StreamPtr> ExplainExec::Execute(int, const ExecContextPtr&) {
+Result<exec::StreamPtr> ExplainExec::ExecuteImpl(int, const ExecContextPtr&) {
   StringBuilder builder;
   builder.Append("== Logical Plan ==\n" + logical_text_ + "== Physical Plan ==\n" +
                  physical_text_);
+  FUSION_ASSIGN_OR_RAISE(auto arr, builder.Finish());
+  auto batch = std::make_shared<RecordBatch>(schema_, 1,
+                                             std::vector<ArrayPtr>{std::move(arr)});
+  return exec::StreamPtr(std::make_unique<exec::VectorStream>(
+      schema_, std::vector<RecordBatchPtr>{std::move(batch)}));
+}
+
+Result<exec::StreamPtr> AnalyzeExec::ExecuteImpl(int partition,
+                                                 const ExecContextPtr& ctx) {
+  if (partition != 0) {
+    return Status::ExecutionError("AnalyzeExec has a single partition");
+  }
+  // Run the query to completion (all partitions, normal parallelism);
+  // only then are the metrics complete enough to render.
+  FUSION_ASSIGN_OR_RAISE(int64_t rows, ExecuteCountRows(input_, ctx));
+  (void)rows;
+  StringBuilder builder;
+  builder.Append("== Physical Plan (EXPLAIN ANALYZE) ==\n" +
+                 RenderAnnotatedPlan(*input_));
   FUSION_ASSIGN_OR_RAISE(auto arr, builder.Finish());
   auto batch = std::make_shared<RecordBatch>(schema_, 1,
                                              std::vector<ArrayPtr>{std::move(arr)});

@@ -22,7 +22,7 @@ class FilterExec : public ExecutionPlan {
   std::vector<OrderingInfo> output_ordering() const override {
     return input_->output_ordering();  // filtering preserves order
   }
-  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr& ctx) override;
   std::string ToStringLine() const override {
     return "FilterExec: " + predicate_->ToString();
   }
@@ -45,7 +45,7 @@ class ProjectionExec : public ExecutionPlan {
   int output_partitions() const override { return input_->output_partitions(); }
   std::vector<ExecPlanPtr> children() const override { return {input_}; }
   std::vector<OrderingInfo> output_ordering() const override;
-  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr& ctx) override;
   std::string ToStringLine() const override;
 
   const std::vector<PhysicalExprPtr>& exprs() const { return exprs_; }
@@ -69,7 +69,7 @@ class LimitExec : public ExecutionPlan {
   std::vector<OrderingInfo> output_ordering() const override {
     return input_->output_ordering();
   }
-  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr& ctx) override;
   std::string ToStringLine() const override {
     return "LimitExec: skip=" + std::to_string(skip_) +
            " fetch=" + std::to_string(fetch_);
@@ -94,7 +94,7 @@ class CoalesceBatchesExec : public ExecutionPlan {
   std::vector<OrderingInfo> output_ordering() const override {
     return input_->output_ordering();
   }
-  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr& ctx) override;
 
  private:
   ExecPlanPtr input_;
@@ -113,7 +113,7 @@ class UnionExec : public ExecutionPlan {
     return total;
   }
   std::vector<ExecPlanPtr> children() const override { return inputs_; }
-  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr& ctx) override;
 
  private:
   std::vector<ExecPlanPtr> inputs_;
@@ -128,7 +128,7 @@ class ValuesExec : public ExecutionPlan {
   std::string name() const override { return "ValuesExec"; }
   SchemaPtr schema() const override { return schema_; }
   int output_partitions() const override { return 1; }
-  Result<exec::StreamPtr> Execute(int, const ExecContextPtr&) override {
+  Result<exec::StreamPtr> ExecuteImpl(int, const ExecContextPtr&) override {
     return exec::StreamPtr(
         std::make_unique<exec::VectorStream>(schema_, std::vector{batch_}));
   }
@@ -147,7 +147,7 @@ class EmptyExec : public ExecutionPlan {
   std::string name() const override { return "EmptyExec"; }
   SchemaPtr schema() const override { return schema_; }
   int output_partitions() const override { return 1; }
-  Result<exec::StreamPtr> Execute(int, const ExecContextPtr&) override {
+  Result<exec::StreamPtr> ExecuteImpl(int, const ExecContextPtr&) override {
     std::vector<RecordBatchPtr> batches;
     if (produce_one_row_) {
       batches.push_back(RecordBatch::MakeEmpty(schema_, 1));
@@ -171,12 +171,33 @@ class ExplainExec : public ExecutionPlan {
   std::string name() const override { return "ExplainExec"; }
   SchemaPtr schema() const override { return schema_; }
   int output_partitions() const override { return 1; }
-  Result<exec::StreamPtr> Execute(int, const ExecContextPtr&) override;
+  Result<exec::StreamPtr> ExecuteImpl(int, const ExecContextPtr&) override;
 
  private:
   SchemaPtr schema_;
   std::string logical_text_;
   std::string physical_text_;
+};
+
+/// \brief EXPLAIN ANALYZE (the analogue of DataFusion's AnalyzeExec):
+/// executes its input to completion, discards the result rows, and
+/// emits the physical plan annotated with each operator's runtime
+/// metrics (output_rows, elapsed_compute, spills).
+class AnalyzeExec : public ExecutionPlan {
+ public:
+  AnalyzeExec(SchemaPtr schema, ExecPlanPtr input)
+      : schema_(std::move(schema)), input_(std::move(input)) {}
+
+  std::string name() const override { return "AnalyzeExec"; }
+  SchemaPtr schema() const override { return schema_; }
+  int output_partitions() const override { return 1; }
+  std::vector<ExecPlanPtr> children() const override { return {input_}; }
+  Result<exec::StreamPtr> ExecuteImpl(int, const ExecContextPtr& ctx) override;
+  std::string ToStringLine() const override { return "AnalyzeExec"; }
+
+ private:
+  SchemaPtr schema_;
+  ExecPlanPtr input_;
 };
 
 }  // namespace physical

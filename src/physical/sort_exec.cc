@@ -186,7 +186,7 @@ std::string SortExec::ToStringLine() const {
   return out;
 }
 
-Result<exec::StreamPtr> SortExec::Execute(int partition, const ExecContextPtr& ctx) {
+Result<exec::StreamPtr> SortExec::ExecuteImpl(int partition, const ExecContextPtr& ctx) {
   FUSION_ASSIGN_OR_RAISE(auto input, input_->Execute(partition, ctx));
   SchemaPtr schema = input_->schema();
 
@@ -255,6 +255,9 @@ Result<exec::StreamPtr> SortExec::Execute(int partition, const ExecContextPtr& c
   std::vector<RecordBatchPtr> buffer;
   std::vector<exec::SpillFilePtr> spills;
   int64_t buffered_bytes = 0;
+  auto spill_count = metrics_->Counter(exec::metric::kSpillCount, partition);
+  auto spill_bytes = metrics_->Counter(exec::metric::kSpillBytes, partition);
+  auto mem_reserved = metrics_->Gauge(exec::metric::kMemReservedBytes, partition);
 
   auto spill_run = [&]() -> Status {
     FUSION_ASSIGN_OR_RAISE(auto merged, ConcatenateBatches(schema, buffer));
@@ -269,6 +272,8 @@ Result<exec::StreamPtr> SortExec::Execute(int partition, const ExecContextPtr& c
     FUSION_RETURN_NOT_OK(writer.Close());
     spills.push_back(std::move(file));
     spills_.fetch_add(1);
+    spill_count->Add(1);
+    spill_bytes->Add(sorted->TotalBufferSize());
     buffer.clear();
     buffered_bytes = 0;
     FUSION_RETURN_NOT_OK(reservation.ResizeTo(0));
@@ -286,6 +291,7 @@ Result<exec::StreamPtr> SortExec::Execute(int partition, const ExecContextPtr& c
       FUSION_RETURN_NOT_OK(spill_run());
       FUSION_RETURN_NOT_OK(reservation.ResizeTo(bytes));
     }
+    mem_reserved->SetMax(reservation.held());
     buffered_bytes += bytes;
     buffer.push_back(std::move(batch));
   }
@@ -330,7 +336,7 @@ std::vector<OrderingInfo> SortPreservingMergeExec::output_ordering() const {
   return OrderingFromSortExprs(sort_exprs_);
 }
 
-Result<exec::StreamPtr> SortPreservingMergeExec::Execute(
+Result<exec::StreamPtr> SortPreservingMergeExec::ExecuteImpl(
     int partition, const ExecContextPtr& ctx) {
   if (partition != 0) {
     return Status::ExecutionError("SortPreservingMergeExec has a single partition");

@@ -20,7 +20,7 @@ class SortExec : public ExecutionPlan {
   int output_partitions() const override { return input_->output_partitions(); }
   std::vector<ExecPlanPtr> children() const override { return {input_}; }
   std::vector<OrderingInfo> output_ordering() const override;
-  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr& ctx) override;
   std::string ToStringLine() const override;
 
   const std::vector<PhysicalSortExpr>& sort_exprs() const { return sort_exprs_; }
@@ -50,7 +50,7 @@ class SortPreservingMergeExec : public ExecutionPlan {
   int output_partitions() const override { return 1; }
   std::vector<ExecPlanPtr> children() const override { return {input_}; }
   std::vector<OrderingInfo> output_ordering() const override;
-  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr& ctx) override;
 
  private:
   ExecPlanPtr input_;

@@ -31,7 +31,7 @@ bool RowKeysEqual(const std::vector<ArrayPtr>& a, int64_t ai,
 
 }  // namespace
 
-Result<exec::StreamPtr> SymmetricHashJoinExec::Execute(int partition,
+Result<exec::StreamPtr> SymmetricHashJoinExec::ExecuteImpl(int partition,
                                                        const ExecContextPtr& ctx) {
   if (partition != 0) {
     return Status::ExecutionError("SymmetricHashJoinExec has a single partition");

@@ -27,7 +27,7 @@ class SymmetricHashJoinExec : public ExecutionPlan {
   SchemaPtr schema() const override { return schema_; }
   int output_partitions() const override { return 1; }
   std::vector<ExecPlanPtr> children() const override { return {left_, right_}; }
-  Result<exec::StreamPtr> Execute(int partition, const ExecContextPtr& ctx) override;
+  Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr& ctx) override;
   std::string ToStringLine() const override {
     return "SymmetricHashJoinExec: Inner (streaming both sides)";
   }

@@ -78,7 +78,7 @@ std::string WindowExec::ToStringLine() const {
   return out;
 }
 
-Result<exec::StreamPtr> WindowExec::Execute(int partition,
+Result<exec::StreamPtr> WindowExec::ExecuteImpl(int partition,
                                             const ExecContextPtr& ctx) {
   if (partition != 0) {
     return Status::ExecutionError("WindowExec has a single partition");

@@ -169,6 +169,8 @@ struct AstQuery {
 struct Statement {
   enum class Kind { kQuery, kExplain };
   Kind kind = Kind::kQuery;
+  /// EXPLAIN ANALYZE: execute the query and report per-operator metrics.
+  bool analyze = false;
   AstQueryPtr query;
 };
 

@@ -19,8 +19,8 @@ const std::unordered_set<std::string>& Keywords() {
       "FIRST", "LAST", "WITH", "OVER", "PARTITION", "ROWS", "RANGE",
       "PRECEDING", "FOLLOWING", "UNBOUNDED", "CURRENT", "ROW", "EXTRACT",
       "INTERVAL", "DATE", "TIMESTAMP", "EXISTS", "ANY", "SOME", "FILTER",
-      "EXPLAIN", "VALUES", "SUBSTRING", "FOR", "SEMI", "ANTI", "INTERSECT",
-      "EXCEPT",
+      "EXPLAIN", "ANALYZE", "VALUES", "SUBSTRING", "FOR", "SEMI", "ANTI",
+      "INTERSECT", "EXCEPT",
   };
   return kKeywords;
 }

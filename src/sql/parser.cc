@@ -79,6 +79,7 @@ Result<Statement> Parser::ParseStatement() {
   Statement stmt;
   if (ConsumeKeyword("EXPLAIN")) {
     stmt.kind = Statement::Kind::kExplain;
+    stmt.analyze = ConsumeKeyword("ANALYZE");
   }
   FUSION_ASSIGN_OR_RAISE(stmt.query, ParseQuery());
   return stmt;

@@ -348,6 +348,43 @@ TEST(SqlEndToEnd, Explain) {
   EXPECT_NE(rows[0][0].find("Physical Plan"), std::string::npos);
 }
 
+TEST(SqlEndToEnd, ExplainAnalyze) {
+  auto ctx = MakeTestSession(30);
+  // groups cycle a,b,c -> exactly 3 output rows; the scan sees all 30.
+  ASSERT_OK_AND_ASSIGN(
+      auto batches,
+      ctx->ExecuteSql("EXPLAIN ANALYZE SELECT grp, count(*) FROM t GROUP BY grp"));
+  auto rows = ToStringRows(batches);
+  ASSERT_EQ(rows.size(), 1u);
+  const std::string& plan = rows[0][0];
+  EXPECT_NE(plan.find("EXPLAIN ANALYZE"), std::string::npos) << plan;
+
+  // Every operator line carries metrics with real row counts.
+  bool saw_aggregate = false;
+  bool saw_scan = false;
+  size_t pos = 0;
+  while (pos < plan.size()) {
+    size_t eol = plan.find('\n', pos);
+    if (eol == std::string::npos) eol = plan.size();
+    std::string line = plan.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find("Exec") == std::string::npos) continue;
+    EXPECT_NE(line.find("metrics=["), std::string::npos) << line;
+    EXPECT_NE(line.find("output_rows="), std::string::npos) << line;
+    EXPECT_NE(line.find("elapsed_compute="), std::string::npos) << line;
+    if (line.find("AggregateExec") != std::string::npos) {
+      saw_aggregate = true;
+      EXPECT_NE(line.find("output_rows=3"), std::string::npos) << line;
+    }
+    if (line.find("ScanExec") != std::string::npos) {
+      saw_scan = true;
+      EXPECT_NE(line.find("output_rows=30"), std::string::npos) << line;
+    }
+  }
+  EXPECT_TRUE(saw_aggregate) << plan;
+  EXPECT_TRUE(saw_scan) << plan;
+}
+
 TEST(SqlEndToEnd, ErrorUnknownTable) {
   auto ctx = MakeTestSession(5);
   auto result = ctx->ExecuteSql("SELECT * FROM missing_table");
