@@ -12,12 +12,13 @@ using namespace fusion::bench;   // NOLINT
 
 int main(int argc, char** argv) {
   JsonReport report(ParseJsonReportArg(argc, argv));
+  const int partitions = ParsePartitionsArg(argc, argv, 1);
   ClickBenchSpec spec;
   spec.rows = EnvScale("FUSION_BENCH_ROWS", 2'000'000);
   spec.num_files = static_cast<int>(EnvScale("FUSION_BENCH_FILES", 20));
   spec.dir = BenchDataDir();
 
-  std::printf("== Table 1: ClickBench, single core ==\n");
+  std::printf("== Table 1: ClickBench, %d partition(s) ==\n", partitions);
   std::printf("dataset: %lld rows across %d FPQ files in %s\n",
               static_cast<long long>(spec.rows), spec.num_files,
               spec.dir.c_str());
@@ -30,8 +31,8 @@ int main(int argc, char** argv) {
   }
   std::printf("generation/reuse: %.1fs\n\n", gen_timer.Seconds());
 
-  auto fusion_ctx = MakeBenchSession(/*target_partitions=*/1);
-  auto tie_ctx = MakeBenchSession(/*target_partitions=*/1);
+  auto fusion_ctx = MakeBenchSession(partitions);
+  auto tie_ctx = MakeBenchSession(1);  // TIE is single-threaded by design
   auto st = RegisterHits(fusion_ctx.get(), tie_ctx.get(), *paths);
   if (!st.ok()) {
     std::fprintf(stderr, "register failed: %s\n", st.ToString().c_str());

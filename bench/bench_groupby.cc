@@ -1,0 +1,113 @@
+// GROUP BY microbenchmark: low/high cardinality × int/string/multi-column
+// keys over an in-memory table. Isolates the hash-grouping substrate
+// (key encoding, group table, accumulators) from scan and I/O cost.
+//
+// Defaults to a single partition so the numbers measure the table itself
+// rather than parallel speedup; pass --partitions N to measure both.
+// FUSION_BENCH_GROUPBY_ROWS scales the input (CI smoke uses a small
+// value). --json FILE dumps per-case timings + per-operator metrics for
+// trajectory tracking against bench_results/groupby_seed.json.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arrow/builder.h"
+#include "bench/bench_harness.h"
+#include "bench/workloads/workload_util.h"
+#include "catalog/memory_table.h"
+
+using namespace fusion;          // NOLINT
+using namespace fusion::bench;   // NOLINT
+
+namespace {
+
+struct GroupByCase {
+  int number;
+  const char* name;
+  const char* table;
+  std::string sql;
+};
+
+Status RegisterInputs(core::SessionContext* ctx, int64_t rows) {
+  Rng rng(42);
+  Int64Builder int_low, int_high, v;
+  StringBuilder str_low, str_high;
+  for (int64_t i = 0; i < rows; ++i) {
+    // Low cardinality: 100 groups; high cardinality: ~one group per
+    // 2 rows (stresses insert + resize instead of lookup).
+    int64_t low = static_cast<int64_t>(rng.Next() % 100);
+    int64_t high = static_cast<int64_t>(rng.Next() % (rows / 2 + 1));
+    int_low.Append(low);
+    int_high.Append(high);
+    str_low.Append("grp" + std::to_string(low));
+    str_high.Append("user" + std::to_string(high));
+    v.Append(static_cast<int64_t>(rng.Next() % 1000));
+  }
+  auto schema = fusion::schema({Field("int_low", int64(), false),
+                                Field("int_high", int64(), false),
+                                Field("str_low", utf8(), false),
+                                Field("str_high", utf8(), false),
+                                Field("v", int64(), false)});
+  std::vector<ArrayPtr> cols = {
+      int_low.Finish().ValueOrDie(), int_high.Finish().ValueOrDie(),
+      str_low.Finish().ValueOrDie(), str_high.Finish().ValueOrDie(),
+      v.Finish().ValueOrDie()};
+  auto batch = std::make_shared<RecordBatch>(schema, rows, std::move(cols));
+  FUSION_ASSIGN_OR_RAISE(
+      auto table, catalog::MemoryTable::Make(schema, SliceBatch(batch, 8192)));
+  return ctx->RegisterTable("t", table);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReport report(ParseJsonReportArg(argc, argv));
+  const int partitions = ParsePartitionsArg(argc, argv, /*default=*/1);
+  const int64_t rows = EnvScale("FUSION_BENCH_GROUPBY_ROWS", 2'000'000);
+  const int runs = static_cast<int>(EnvScale("FUSION_BENCH_GROUPBY_RUNS", 3));
+
+  std::printf("== GROUP BY microbenchmark: %lld rows, %d partition(s) ==\n",
+              static_cast<long long>(rows), partitions);
+  auto ctx = MakeBenchSession(partitions);
+  Timer gen_timer;
+  auto st = RegisterInputs(ctx.get(), rows);
+  if (!st.ok()) {
+    std::fprintf(stderr, "input generation failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("generation: %.1fs\n\n", gen_timer.Seconds());
+
+  const std::vector<GroupByCase> cases = {
+      {1, "int_low", "t",
+       "SELECT int_low, count(*), sum(v) FROM t GROUP BY int_low"},
+      {2, "int_high", "t",
+       "SELECT int_high, count(*), sum(v) FROM t GROUP BY int_high"},
+      {3, "str_low", "t",
+       "SELECT str_low, count(*), sum(v) FROM t GROUP BY str_low"},
+      {4, "str_high", "t",
+       "SELECT str_high, count(*), sum(v) FROM t GROUP BY str_high"},
+      {5, "multi_col", "t",
+       "SELECT int_low, str_low, count(*), sum(v) FROM t "
+       "GROUP BY int_low, str_low"},
+  };
+
+  std::printf("%-10s %10s %10s %12s\n", "case", "groups", "time", "Mrows/s");
+  std::printf("---------------------------------------------\n");
+  bool all_ok = true;
+  for (const auto& c : cases) {
+    QueryTiming timing = report.enabled()
+                             ? RunFusionWithMetrics(ctx.get(), c.sql, runs)
+                             : RunFusion(ctx.get(), c.sql, runs);
+    if (!timing.ok) {
+      std::printf("%-10s FAIL %s\n", c.name, timing.error.c_str());
+      all_ok = false;
+    } else {
+      double mrows = rows / timing.seconds / 1e6;
+      std::printf("%-10s %10lld %9.3fs %12.2f\n", c.name,
+                  static_cast<long long>(timing.rows), timing.seconds, mrows);
+    }
+    report.Add(c.number, timing);
+  }
+  return report.Finish() && all_ok ? 0 : 1;
+}

@@ -12,11 +12,13 @@ using namespace fusion::bench;   // NOLINT
 
 int main(int argc, char** argv) {
   JsonReport report(ParseJsonReportArg(argc, argv));
+  const int partitions = ParsePartitionsArg(argc, argv, 1);
   H2oSpec spec;
   spec.rows = EnvScale("FUSION_BENCH_H2O_ROWS", 1'000'000);
   spec.dir = BenchDataDir();
 
-  std::printf("== Figure 6: H2O-G groupby over CSV, single core ==\n");
+  std::printf("== Figure 6: H2O-G groupby over CSV, %d partition(s) ==\n",
+              partitions);
   Timer gen_timer;
   auto path = GenerateH2o(spec);
   if (!path.ok()) {
@@ -30,8 +32,8 @@ int main(int argc, char** argv) {
 
   // Both engines scan the same CSV; Fusion uses the vectorized reader,
   // TIE its own line-by-line parser (DESIGN.md §5.1).
-  auto fusion_ctx = MakeBenchSession(1);
-  auto tie_ctx = MakeBenchSession(1);
+  auto fusion_ctx = MakeBenchSession(partitions);
+  auto tie_ctx = MakeBenchSession(1);  // TIE is single-threaded by design
   fusion_ctx->RegisterCsv("h2o", *path).Abort();
   tie_ctx->RegisterCsv("h2o", *path).Abort();
 

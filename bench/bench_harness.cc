@@ -135,6 +135,20 @@ std::string ParseJsonReportArg(int argc, char** argv) {
   return "";
 }
 
+int ParsePartitionsArg(int argc, char** argv, int default_partitions) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--partitions") {
+      int n = i + 1 < argc ? std::atoi(argv[i + 1]) : 0;
+      if (n <= 0) {
+        std::fprintf(stderr, "usage: %s [--partitions N]  (N >= 1)\n", argv[0]);
+        std::exit(2);
+      }
+      return n;
+    }
+  }
+  return default_partitions;
+}
+
 QueryTiming RunTie(core::SessionContext* ctx, const std::string& sql, int runs) {
   QueryTiming out;
   for (int i = 0; i < runs; ++i) {

@@ -55,6 +55,12 @@ class JsonReport {
 /// usage message on malformed arguments.
 std::string ParseJsonReportArg(int argc, char** argv);
 
+/// Parses `--partitions N` from a bench binary's command line. The
+/// comparison benches default to 1 (the paper's single-core
+/// architectural comparison) rather than the session default of one
+/// partition per core; pass the flag to measure parallel execution.
+int ParsePartitionsArg(int argc, char** argv, int default_partitions = 1);
+
 /// Run a SQL query on the TIE baseline: the plan comes from `ctx`'s
 /// frontend/optimizer (with scan pushdown disabled via the registered
 /// tables), execution is TIE's.

@@ -12,11 +12,13 @@ using namespace fusion::bench;   // NOLINT
 
 int main(int argc, char** argv) {
   JsonReport report(ParseJsonReportArg(argc, argv));
+  const int partitions = ParsePartitionsArg(argc, argv, 1);
   TpchSpec spec;
   spec.scale_factor = EnvScaleDouble("FUSION_BENCH_SF", 0.05);
   spec.dir = BenchDataDir();
 
-  std::printf("== Figure 5: TPC-H SF=%.3f, single core ==\n", spec.scale_factor);
+  std::printf("== Figure 5: TPC-H SF=%.3f, %d partition(s) ==\n",
+              spec.scale_factor, partitions);
   Timer gen_timer;
   auto tables = GenerateTpch(spec);
   if (!tables.ok()) {
@@ -25,8 +27,8 @@ int main(int argc, char** argv) {
   }
   std::printf("dbgen/reuse: %.1fs\n\n", gen_timer.Seconds());
 
-  auto fusion_ctx = MakeBenchSession(1);
-  auto tie_ctx = MakeBenchSession(1);
+  auto fusion_ctx = MakeBenchSession(partitions);
+  auto tie_ctx = MakeBenchSession(1);  // TIE is single-threaded by design
   for (const auto& [name, path] : *tables) {
     auto ft = catalog::FpqTable::Open({path});
     auto tt = catalog::FpqTable::Open({path});

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <string_view>
 
 namespace fusion {
@@ -45,6 +46,16 @@ inline uint64_t HashString(std::string_view s, uint64_t seed = 0) {
 /// Combine two hashes (boost::hash_combine style, 64-bit).
 inline uint64_t CombineHashes(uint64_t a, uint64_t b) {
   return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+/// Canonical double for grouping/hashing: -0.0 and 0.0 must land in the
+/// same group, and every NaN payload must form one group, so both the
+/// hash kernels and the group-key encoding normalize values through
+/// this before touching raw IEEE bits.
+inline double CanonicalizeDouble(double v) {
+  if (v == 0.0) return 0.0;                               // collapses -0.0
+  if (v != v) return std::numeric_limits<double>::quiet_NaN();
+  return v;
 }
 
 }  // namespace hash_util

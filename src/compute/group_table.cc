@@ -1,0 +1,154 @@
+#include "compute/group_table.h"
+
+#include <cstring>
+
+namespace fusion {
+namespace compute {
+
+namespace {
+
+constexpr uint32_t kEmptySlot = 0xffffffffu;
+constexpr size_t kInitialCapacity = 64;
+
+int ShiftFor(size_t capacity) {
+  int log2 = 0;
+  while ((size_t(1) << log2) < capacity) ++log2;
+  return 64 - log2;
+}
+
+}  // namespace
+
+GroupTable::GroupTable(std::vector<DataType> key_types)
+    : encoder_(std::move(key_types)),
+      slots_(kInitialCapacity, kEmptySlot),
+      capacity_(kInitialCapacity),
+      shift_(ShiftFor(kInitialCapacity)) {}
+
+void GroupTable::Grow() {
+  capacity_ *= 2;
+  shift_ = ShiftFor(capacity_);
+  slots_.assign(capacity_, kEmptySlot);
+  // Rehash by reinserting every group's stored hash; keys stay put in
+  // the arena.
+  for (uint32_t g = 0; g < groups_.size(); ++g) {
+    size_t slot = SlotFor(groups_[g].hash);
+    while (slots_[slot] != kEmptySlot) slot = (slot + 1) & (capacity_ - 1);
+    slots_[slot] = g;
+  }
+}
+
+Status GroupTable::MapBatch(const std::vector<ArrayPtr>& key_columns,
+                            const std::vector<uint64_t>& hashes,
+                            std::vector<uint32_t>* group_ids) {
+  scratch_arena_.clear();
+  FUSION_RETURN_NOT_OK(encoder_.EncodeColumnsToArena(key_columns, &scratch_arena_,
+                                                     &scratch_slices_));
+  const int64_t rows = static_cast<int64_t>(scratch_slices_.size());
+  if (static_cast<int64_t>(hashes.size()) != rows) {
+    return Status::Invalid("GroupTable: hash count does not match row count");
+  }
+  group_ids->resize(static_cast<size_t>(rows));
+
+  for (int64_t r = 0; r < rows; ++r) {
+    // Keep the load factor below 1/2 even if every remaining row is a
+    // new group (checked per row: the probe loop relies on a free slot).
+    if ((groups_.size() + 1) * 2 > capacity_) Grow();
+
+    const uint64_t hash = hashes[r];
+    const row::KeySlice probe = scratch_slices_[r];
+    const uint8_t* probe_key = scratch_arena_.data() + probe.offset;
+    size_t slot = SlotFor(hash);
+    for (;;) {
+      const uint32_t g = slots_[slot];
+      if (g == kEmptySlot) {
+        // New group: copy the scratch-encoded key into the arena.
+        const uint32_t id = static_cast<uint32_t>(groups_.size());
+        GroupEntry entry;
+        entry.hash = hash;
+        entry.key.offset = arena_.size();
+        entry.key.length = probe.length;
+        arena_.insert(arena_.end(), probe_key, probe_key + probe.length);
+        groups_.push_back(entry);
+        slots_[slot] = id;
+        (*group_ids)[r] = id;
+        break;
+      }
+      const GroupEntry& entry = groups_[g];
+      if (entry.hash == hash && entry.key.length == probe.length &&
+          std::memcmp(arena_.data() + entry.key.offset, probe_key,
+                      probe.length) == 0) {
+        (*group_ids)[r] = g;
+        break;
+      }
+      slot = (slot + 1) & (capacity_ - 1);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ArrayPtr>> GroupTable::DecodeGroupKeys() const {
+  std::vector<std::string_view> keys;
+  keys.reserve(groups_.size());
+  const char* base = reinterpret_cast<const char*>(arena_.data());
+  for (const GroupEntry& entry : groups_) {
+    keys.emplace_back(base + entry.key.offset, entry.key.length);
+  }
+  return encoder_.DecodeKeyViews(keys);
+}
+
+int64_t GroupTable::SizeBytes() const {
+  return static_cast<int64_t>(slots_.capacity() * sizeof(uint32_t) +
+                              groups_.capacity() * sizeof(GroupEntry) +
+                              arena_.capacity() + scratch_arena_.capacity() +
+                              scratch_slices_.capacity() * sizeof(row::KeySlice));
+}
+
+HashChainTable::HashChainTable()
+    : hashes_(kInitialCapacity, 0),
+      heads_(kInitialCapacity, -1),
+      capacity_(kInitialCapacity),
+      shift_(ShiftFor(kInitialCapacity)) {}
+
+void HashChainTable::Reserve(int64_t distinct_hashes) {
+  size_t needed = kInitialCapacity;
+  while (static_cast<int64_t>(needed) < 2 * distinct_hashes) needed *= 2;
+  if (needed <= capacity_) return;
+  std::vector<uint64_t> old_hashes = std::move(hashes_);
+  std::vector<int64_t> old_heads = std::move(heads_);
+  const size_t old_capacity = capacity_;
+  capacity_ = needed;
+  shift_ = ShiftFor(capacity_);
+  hashes_.assign(capacity_, 0);
+  heads_.assign(capacity_, -1);
+  for (size_t s = 0; s < old_capacity; ++s) {
+    if (old_heads[s] < 0) continue;
+    size_t slot = SlotFor(old_hashes[s]);
+    while (heads_[slot] >= 0) slot = (slot + 1) & (capacity_ - 1);
+    hashes_[slot] = old_hashes[s];
+    heads_[slot] = old_heads[s];
+  }
+}
+
+void HashChainTable::Grow() { Reserve(static_cast<int64_t>(size_ + 1)); }
+
+int64_t HashChainTable::Insert(uint64_t hash, int64_t id) {
+  if ((size_ + 1) * 2 > capacity_) Grow();
+  size_t slot = SlotFor(hash);
+  for (;;) {
+    if (heads_[slot] < 0) {
+      hashes_[slot] = hash;
+      heads_[slot] = id;
+      ++size_;
+      return -1;
+    }
+    if (hashes_[slot] == hash) {
+      int64_t prev = heads_[slot];
+      heads_[slot] = id;
+      return prev;
+    }
+    slot = (slot + 1) & (capacity_ - 1);
+  }
+}
+
+}  // namespace compute
+}  // namespace fusion

@@ -36,6 +36,26 @@ void HashPrimitive(const Array& input, bool combine, std::vector<uint64_t>* hash
   }
 }
 
+// Doubles canonicalize -0.0/NaN first so grouping equality (which
+// compares canonicalized key bytes) agrees with the hash.
+void HashDouble(const Array& input, bool combine, std::vector<uint64_t>* hashes) {
+  const auto& arr = checked_cast<Float64Array>(input);
+  const double* values = arr.raw_values();
+  const int64_t n = input.length();
+  for (int64_t i = 0; i < n; ++i) {
+    uint64_t h;
+    if (input.IsNull(i)) {
+      h = kNullHash;
+    } else {
+      const double v = hash_util::CanonicalizeDouble(values[i]);
+      uint64_t bits;
+      std::memcpy(&bits, &v, sizeof(double));
+      h = hash_util::HashInt64(bits);
+    }
+    (*hashes)[i] = combine ? hash_util::CombineHashes((*hashes)[i], h) : h;
+  }
+}
+
 }  // namespace
 
 Status HashArray(const Array& input, uint64_t seed, std::vector<uint64_t>* hashes) {
@@ -52,7 +72,7 @@ Status HashArray(const Array& input, uint64_t seed, std::vector<uint64_t>* hashe
       HashPrimitive<int64_t>(input, combine, hashes);
       return Status::OK();
     case TypeId::kFloat64:
-      HashPrimitive<double>(input, combine, hashes);
+      HashDouble(input, combine, hashes);
       return Status::OK();
     case TypeId::kBool: {
       const auto& arr = checked_cast<BooleanArray>(input);

@@ -1,7 +1,9 @@
 #ifndef FUSION_EXEC_RUNTIME_ENV_H_
 #define FUSION_EXEC_RUNTIME_ENV_H_
 
+#include <cstdlib>
 #include <memory>
+#include <thread>
 
 #include "common/thread_pool.h"
 #include "exec/cache_manager.h"
@@ -28,13 +30,31 @@ struct RuntimeEnv {
 
 using RuntimeEnvPtr = std::shared_ptr<RuntimeEnv>;
 
+/// Default `target_partitions`: one per hardware thread, like
+/// DataFusion. Overridable via FUSION_TARGET_PARTITIONS (tests and
+/// benchmarks that need deterministic parallelism without plumbing a
+/// config everywhere).
+inline int DefaultTargetPartitions() {
+  static const int value = [] {
+    if (const char* env = std::getenv("FUSION_TARGET_PARTITIONS")) {
+      int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+  }();
+  return value;
+}
+
 /// Per-session tunables (paper §5.5: batch size, partitioning).
 struct SessionConfig {
   /// Target rows per batch flowing between Streams.
   int64_t batch_size = 8192;
   /// Parallelism: number of partitions planned for repartitioning
-  /// operators (DataFusion's `target_partitions`).
-  int target_partitions = 1;
+  /// operators (DataFusion's `target_partitions`). Parallel by default;
+  /// the TIE baseline stays pinned at one partition so the paper's
+  /// single-threaded architectural comparison is preserved.
+  int target_partitions = DefaultTargetPartitions();
   /// Memory budget for pipeline breakers before spilling (0 = unbounded).
   int64_t memory_limit = 0;
   /// Rows a hash join's build side may hold before spilling is refused

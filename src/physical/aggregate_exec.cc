@@ -1,13 +1,12 @@
 #include "physical/aggregate_exec.h"
 
-#include <unordered_map>
-
 #include "arrow/builder.h"
 #include "arrow/ipc.h"
 #include "compute/cast.h"
+#include "compute/group_table.h"
+#include "compute/hash_kernels.h"
 #include "compute/selection.h"
 #include "exec/memory_pool.h"
-#include "row/row_format.h"
 
 namespace fusion {
 namespace physical {
@@ -16,22 +15,26 @@ namespace {
 
 using logical::GroupedAccumulator;
 
-/// In-memory grouping state: key -> dense group id plus one accumulator
-/// per aggregate covering all groups.
+/// In-memory grouping state: the vectorized group table (key -> dense
+/// group id, keys arena-allocated) plus one accumulator per aggregate
+/// covering all groups.
 struct GroupingState {
-  row::GroupKeyEncoder encoder;
-  std::unordered_map<std::string, uint32_t> groups;
-  std::vector<std::string> group_keys;  // id -> encoded key
+  compute::GroupTable table;
+  /// Global (no GROUP BY) aggregates bypass the table: one implicit
+  /// group that exists once input has been seen.
+  bool global_group = false;
   std::vector<std::unique_ptr<GroupedAccumulator>> accumulators;
 
   explicit GroupingState(std::vector<DataType> key_types)
-      : encoder(std::move(key_types)) {}
+      : table(std::move(key_types)) {}
 
-  int64_t num_groups() const { return static_cast<int64_t>(group_keys.size()); }
+  int64_t num_groups() const {
+    if (table.key_types().empty()) return global_group ? 1 : 0;
+    return table.num_groups();
+  }
 
   int64_t SizeBytes() const {
-    int64_t total = 0;
-    for (const auto& k : group_keys) total += static_cast<int64_t>(k.size()) + 48;
+    int64_t total = table.SizeBytes();
     for (const auto& acc : accumulators) total += acc->SizeBytes();
     return total;
   }
@@ -109,12 +112,12 @@ Result<exec::StreamPtr> HashAggregateExec::ExecuteImpl(int partition,
     if (total == 0 && no_groups) {
       // SQL: a global aggregate over empty input still yields one row.
       for (auto& acc : s.accumulators) acc->Resize(1);
-      s.group_keys.push_back("");
+      s.global_group = true;
       total = 1;
     }
     std::vector<ArrayPtr> key_columns;
     if (!no_groups) {
-      FUSION_ASSIGN_OR_RAISE(key_columns, s.encoder.DecodeKeys(s.group_keys));
+      FUSION_ASSIGN_OR_RAISE(key_columns, s.table.DecodeGroupKeys());
     }
     std::vector<ArrayPtr> agg_columns;
     for (size_t a = 0; a < s.accumulators.size(); ++a) {
@@ -171,16 +174,20 @@ Result<exec::StreamPtr> HashAggregateExec::ExecuteImpl(int partition,
     return reservation.ResizeTo(0);
   };
 
-  // Process one input batch into the grouping state.
+  // Process one input batch into the grouping state. The same path
+  // serves direct input (`from_partial` false), partial-state input in
+  // final mode, and the spill-merge pass (which supplies its own
+  // state-column `layout`). Scratch vectors persist across batches so
+  // the per-batch work is hash + MapBatch with no allocation churn.
   std::vector<uint32_t> group_ids;
-  std::string key_scratch;
+  std::vector<uint64_t> hashes;
   auto process = [&](GroupingState& s, const RecordBatch& batch,
-                     bool from_partial) -> Status {
+                     bool from_partial,
+                     const std::vector<AggregateInfo>& layout) -> Status {
     const int64_t n = batch.num_rows();
-    group_ids.resize(static_cast<size_t>(n));
     if (no_groups) {
-      std::fill(group_ids.begin(), group_ids.end(), 0);
-      if (s.group_keys.empty()) s.group_keys.push_back("");
+      group_ids.assign(static_cast<size_t>(n), 0);
+      s.global_group = true;
     } else {
       std::vector<ArrayPtr> keys;
       if (from_partial) {
@@ -191,25 +198,21 @@ Result<exec::StreamPtr> HashAggregateExec::ExecuteImpl(int partition,
       } else {
         FUSION_ASSIGN_OR_RAISE(keys, EvaluateToArrays(group_exprs_, batch));
       }
-      for (int64_t r = 0; r < n; ++r) {
-        key_scratch.clear();
-        s.encoder.EncodeRow(keys, r, &key_scratch);
-        auto [it, inserted] =
-            s.groups.emplace(key_scratch, static_cast<uint32_t>(s.num_groups()));
-        if (inserted) s.group_keys.push_back(it->first);
-        group_ids[r] = it->second;
-      }
+      FUSION_RETURN_NOT_OK(compute::HashColumns(keys, &hashes));
+      FUSION_RETURN_NOT_OK(s.table.MapBatch(keys, hashes, &group_ids));
     }
     const int64_t num_groups = s.num_groups();
     for (size_t a = 0; a < aggregates_.size(); ++a) {
-      const AggregateInfo& agg = aggregates_[a];
       s.accumulators[a]->Resize(num_groups);
       if (from_partial) {
         std::vector<ArrayPtr> state_cols;
-        for (int idx : agg.state_columns) state_cols.push_back(batch.column(idx));
+        for (int idx : layout[a].state_columns) {
+          state_cols.push_back(batch.column(idx));
+        }
         FUSION_RETURN_NOT_OK(
             s.accumulators[a]->UpdateFromPartial(state_cols, group_ids));
       } else {
+        const AggregateInfo& agg = layout[a];
         FUSION_ASSIGN_OR_RAISE(auto args, EvaluateToArrays(agg.args, batch));
         FUSION_ASSIGN_OR_RAISE(auto filter_mask,
                                EvaluateFilterMask(agg.filter, batch));
@@ -226,7 +229,7 @@ Result<exec::StreamPtr> HashAggregateExec::ExecuteImpl(int partition,
     FUSION_ASSIGN_OR_RAISE(auto batch, input->Next());
     if (batch == nullptr) break;
     if (batch->num_rows() == 0) continue;
-    FUSION_RETURN_NOT_OK(process(*state, *batch, input_is_partial));
+    FUSION_RETURN_NOT_OK(process(*state, *batch, input_is_partial, aggregates_));
     // SizeBytes walks per-group state; amortize by checking periodically
     // (this is what the paper means by tracking "the largest memory
     // consumers ... but not small ephemeral allocations", §5.5.4).
@@ -258,42 +261,12 @@ Result<exec::StreamPtr> HashAggregateExec::ExecuteImpl(int partition,
         agg.state_columns.push_back(col++);
       }
     }
-    auto merge_batch = [&](const RecordBatchPtr& batch) -> Status {
-      const int64_t n = batch->num_rows();
-      group_ids.resize(static_cast<size_t>(n));
-      if (no_groups) {
-        std::fill(group_ids.begin(), group_ids.end(), 0);
-        if (state->group_keys.empty()) state->group_keys.push_back("");
-      } else {
-        std::vector<ArrayPtr> keys;
-        for (size_t g = 0; g < group_exprs_.size(); ++g) {
-          keys.push_back(batch->column(static_cast<int>(g)));
-        }
-        for (int64_t r = 0; r < n; ++r) {
-          key_scratch.clear();
-          state->encoder.EncodeRow(keys, r, &key_scratch);
-          auto [it, inserted] = state->groups.emplace(
-              key_scratch, static_cast<uint32_t>(state->num_groups()));
-          if (inserted) state->group_keys.push_back(it->first);
-          group_ids[r] = it->second;
-        }
-      }
-      for (size_t a = 0; a < aggregates_.size(); ++a) {
-        state->accumulators[a]->Resize(state->num_groups());
-        std::vector<ArrayPtr> state_cols;
-        for (int idx : partial_layout[a].state_columns) {
-          state_cols.push_back(batch->column(idx));
-        }
-        FUSION_RETURN_NOT_OK(
-            state->accumulators[a]->UpdateFromPartial(state_cols, group_ids));
-      }
-      return Status::OK();
-    };
     for (const auto& b : mem_batches) {
       // Partial batches from emit() carry schema_, but their layout is
-      // the partial layout; re-wrap is unnecessary because merge_batch
+      // the partial layout; re-wrap is unnecessary because the merge
       // indexes columns positionally.
-      FUSION_RETURN_NOT_OK(merge_batch(b));
+      FUSION_RETURN_NOT_OK(process(*state, *b, /*from_partial=*/true,
+                                   partial_layout));
     }
     for (const auto& file : spill_files) {
       ipc::FileReader reader(file->path());
@@ -301,7 +274,8 @@ Result<exec::StreamPtr> HashAggregateExec::ExecuteImpl(int partition,
       for (;;) {
         FUSION_ASSIGN_OR_RAISE(auto batch, reader.Next());
         if (batch == nullptr) break;
-        FUSION_RETURN_NOT_OK(merge_batch(batch));
+        FUSION_RETURN_NOT_OK(process(*state, *batch, /*from_partial=*/true,
+                                     partial_layout));
       }
     }
   }

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "arrow/builder.h"
+#include "common/hash_util.h"
 #include "compute/hash_kernels.h"
 #include "compute/selection.h"
 
@@ -205,7 +206,11 @@ Status RepartitionExec::StartProducers(const ExecContextPtr& ctx) {
         }
         std::vector<std::vector<int64_t>> indices(m);
         for (int64_t r = 0; r < batch->num_rows(); ++r) {
-          indices[hashes[r] % m].push_back(r);
+          // Remix before the modulo: downstream group/join tables index
+          // slots by these same hashes, and routing on the raw value
+          // would hand each final-phase table keys from a single residue
+          // class, clustering its open-addressing probes.
+          indices[hash_util::HashInt64(hashes[r]) % m].push_back(r);
         }
         for (int p = 0; p < m; ++p) {
           if (indices[p].empty()) continue;

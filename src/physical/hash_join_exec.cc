@@ -1,8 +1,7 @@
 #include "physical/hash_join_exec.h"
 
-#include <unordered_map>
-
 #include "arrow/builder.h"
+#include "compute/group_table.h"
 #include "compute/hash_kernels.h"
 #include "compute/selection.h"
 #include "exec/memory_pool.h"
@@ -17,7 +16,7 @@ struct HashJoinExec::BuildState {
   RecordBatchPtr batch;               // concatenated build input
   std::vector<ArrayPtr> key_arrays;   // evaluated build keys
   // hash -> first row index; chain via next[] (-1 terminates)
-  std::unordered_map<uint64_t, int64_t> table;
+  compute::HashChainTable table;
   std::vector<int64_t> next;
 
   std::mutex matched_mu;
@@ -108,7 +107,7 @@ Status HashJoinExec::EnsureBuilt(const ExecContextPtr& ctx) {
     if (rows > 0) {
       FUSION_RETURN_NOT_OK(compute::HashColumns(state->key_arrays, &hashes));
     }
-    state->table.reserve(static_cast<size_t>(rows));
+    state->table.Reserve(rows);
     for (int64_t r = 0; r < rows; ++r) {
       bool has_null_key = false;
       for (const auto& k : state->key_arrays) {
@@ -118,11 +117,7 @@ Status HashJoinExec::EnsureBuilt(const ExecContextPtr& ctx) {
         }
       }
       if (has_null_key) continue;  // null keys never match
-      auto [it, inserted] = state->table.emplace(hashes[r], r);
-      if (!inserted) {
-        state->next[r] = it->second;
-        it->second = r;
-      }
+      state->next[r] = state->table.Insert(hashes[r], r);
     }
     if (NeedsBuildMatchTracking(kind_)) {
       state->matched.assign(static_cast<size_t>(rows), 0);
@@ -252,9 +247,8 @@ Result<exec::StreamPtr> HashJoinExec::ExecuteImpl(int partition,
           std::vector<int64_t> probe_idx;
           const int64_t n = probe_batch->num_rows();
           for (int64_t r = 0; r < n; ++r) {
-            auto it = state->table.find(hashes[r]);
-            if (it == state->table.end()) continue;
-            for (int64_t b = it->second; b >= 0; b = state->next[b]) {
+            for (int64_t b = state->table.Find(hashes[r]); b >= 0;
+                 b = state->next[b]) {
               if (KeysMatch(state->key_arrays, b, probe_keys, r)) {
                 build_idx.push_back(b);
                 probe_idx.push_back(r);

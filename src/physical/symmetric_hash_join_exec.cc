@@ -1,8 +1,7 @@
 #include "physical/symmetric_hash_join_exec.h"
 
-#include <unordered_map>
-
 #include "arrow/builder.h"
+#include "compute/group_table.h"
 #include "compute/hash_kernels.h"
 #include "compute/selection.h"
 
@@ -11,12 +10,14 @@ namespace physical {
 
 namespace {
 
-/// One side's accumulated state: all batches seen so far plus a hash
-/// table of (key hash -> (batch index, row)) entries.
+/// One side's accumulated state: all batches seen so far plus a flat
+/// hash table over (batch index, row) entries, chained per key hash.
 struct SideState {
   std::vector<RecordBatchPtr> batches;
   std::vector<std::vector<ArrayPtr>> keys;  // per batch, evaluated key columns
-  std::unordered_multimap<uint64_t, std::pair<int32_t, int32_t>> table;
+  compute::HashChainTable table;
+  std::vector<std::pair<int32_t, int32_t>> entries;  // id -> (batch, row)
+  std::vector<int64_t> next;                         // id -> chain link
   bool exhausted = false;
 };
 
@@ -91,12 +92,12 @@ Result<exec::StreamPtr> SymmetricHashJoinExec::ExecuteImpl(int partition,
           std::vector<int64_t> my_idx;
           std::vector<std::pair<int32_t, int32_t>> other_idx;
           for (int64_t r = 0; r < batch->num_rows(); ++r) {
-            auto range = other.table.equal_range(hashes[r]);
-            for (auto it = range.first; it != range.second; ++it) {
-              auto [ob, orow] = it->second;
+            for (int64_t e = other.table.Find(hashes[r]); e >= 0;
+                 e = other.next[e]) {
+              auto [ob, orow] = other.entries[e];
               if (RowKeysEqual(my_keys, r, other.keys[ob], orow)) {
                 my_idx.push_back(r);
-                other_idx.push_back(it->second);
+                other_idx.push_back(other.entries[e]);
               }
             }
           }
@@ -115,9 +116,9 @@ Result<exec::StreamPtr> SymmetricHashJoinExec::ExecuteImpl(int partition,
               }
             }
             if (!null_key) {
-              mine.table.emplace(hashes[r],
-                                 std::make_pair(my_batch_index,
-                                                static_cast<int32_t>(r)));
+              const int64_t id = static_cast<int64_t>(mine.entries.size());
+              mine.entries.emplace_back(my_batch_index, static_cast<int32_t>(r));
+              mine.next.push_back(mine.table.Insert(hashes[r], id));
             }
           }
 

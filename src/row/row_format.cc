@@ -4,8 +4,10 @@
 #include <functional>
 #include <cstring>
 #include <numeric>
+#include <type_traits>
 
 #include "arrow/builder.h"
+#include "common/hash_util.h"
 
 namespace fusion {
 namespace row {
@@ -156,7 +158,8 @@ void GroupKeyEncoder::EncodeRow(const std::vector<ArrayPtr>& columns, int64_t ro
         break;
       }
       case TypeId::kFloat64: {
-        double v = checked_cast<Float64Array>(col).Value(row);
+        double v = hash_util::CanonicalizeDouble(
+            checked_cast<Float64Array>(col).Value(row));
         key->append(reinterpret_cast<const char*>(&v), 8);
         break;
       }
@@ -171,6 +174,152 @@ void GroupKeyEncoder::EncodeRow(const std::vector<ArrayPtr>& columns, int64_t ro
         break;
     }
   }
+}
+
+namespace {
+
+/// Add each row's encoded width for one column (validity byte + payload).
+void AddColumnWidths(const Array& col, std::vector<uint64_t>* widths) {
+  const int64_t rows = col.length();
+  uint32_t fixed = 0;
+  switch (col.type().id()) {
+    case TypeId::kBool: fixed = 1; break;
+    case TypeId::kInt32:
+    case TypeId::kDate32: fixed = 4; break;
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+    case TypeId::kFloat64: fixed = 8; break;
+    case TypeId::kString: {
+      const auto& arr = checked_cast<StringArray>(col);
+      const int32_t* offs = arr.raw_offsets();
+      if (col.null_count() == 0) {
+        for (int64_t r = 0; r < rows; ++r) {
+          (*widths)[r] += 5 + static_cast<uint32_t>(offs[r + 1] - offs[r]);
+        }
+      } else {
+        for (int64_t r = 0; r < rows; ++r) {
+          (*widths)[r] +=
+              col.IsNull(r) ? 1 : 5 + static_cast<uint32_t>(offs[r + 1] - offs[r]);
+        }
+      }
+      return;
+    }
+    case TypeId::kNull:
+      for (int64_t r = 0; r < rows; ++r) (*widths)[r] += 1;
+      return;
+  }
+  if (col.null_count() == 0) {
+    for (int64_t r = 0; r < rows; ++r) (*widths)[r] += 1 + fixed;
+  } else {
+    for (int64_t r = 0; r < rows; ++r) {
+      (*widths)[r] += col.IsNull(r) ? 1 : 1 + fixed;
+    }
+  }
+}
+
+template <typename CType>
+void FillFixedColumn(const NumericArray<CType>& arr, uint8_t* data,
+                     std::vector<uint64_t>* cursors) {
+  const CType* values = arr.raw_values();
+  const int64_t rows = arr.length();
+  for (int64_t r = 0; r < rows; ++r) {
+    uint64_t& cur = (*cursors)[r];
+    if (arr.IsNull(r)) {
+      data[cur++] = 0;
+      continue;
+    }
+    data[cur++] = 1;
+    CType v = values[r];
+    if constexpr (std::is_same_v<CType, double>) {
+      v = hash_util::CanonicalizeDouble(v);
+    }
+    std::memcpy(data + cur, &v, sizeof(CType));
+    cur += sizeof(CType);
+  }
+}
+
+}  // namespace
+
+Status GroupKeyEncoder::EncodeColumnsToArena(const std::vector<ArrayPtr>& columns,
+                                             std::vector<uint8_t>* arena,
+                                             std::vector<KeySlice>* slices) const {
+  if (columns.size() != types_.size()) {
+    return Status::Invalid("GroupKeyEncoder: column count mismatch");
+  }
+  if (columns.empty()) return Status::Invalid("GroupKeyEncoder: no key columns");
+  const int64_t rows = columns[0]->length();
+  slices->assign(static_cast<size_t>(rows), KeySlice{});
+  if (rows == 0) return Status::OK();
+
+  // Pass 1: per-row widths, accumulated column-at-a-time.
+  std::vector<uint64_t> cursors(static_cast<size_t>(rows), 0);
+  for (const auto& col : columns) AddColumnWidths(*col, &cursors);
+
+  // Turn widths into arena offsets; `cursors` becomes each row's write
+  // position for pass 2.
+  const uint64_t base = arena->size();
+  uint64_t total = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    (*slices)[r].offset = base + total;
+    (*slices)[r].length = static_cast<uint32_t>(cursors[r]);
+    total += cursors[r];
+    cursors[r] = (*slices)[r].offset;
+  }
+  arena->resize(base + total);
+  uint8_t* data = arena->data();
+
+  // Pass 2: fill values column-at-a-time through the running cursors.
+  for (const auto& colp : columns) {
+    const Array& col = *colp;
+    switch (col.type().id()) {
+      case TypeId::kBool: {
+        const auto& arr = checked_cast<BooleanArray>(col);
+        for (int64_t r = 0; r < rows; ++r) {
+          uint64_t& cur = cursors[r];
+          if (col.IsNull(r)) {
+            data[cur++] = 0;
+          } else {
+            data[cur++] = 1;
+            data[cur++] = arr.Value(r) ? 1 : 0;
+          }
+        }
+        break;
+      }
+      case TypeId::kInt32:
+      case TypeId::kDate32:
+        FillFixedColumn(checked_cast<Int32Array>(col), data, &cursors);
+        break;
+      case TypeId::kInt64:
+      case TypeId::kTimestamp:
+        FillFixedColumn(checked_cast<Int64Array>(col), data, &cursors);
+        break;
+      case TypeId::kFloat64:
+        FillFixedColumn(checked_cast<Float64Array>(col), data, &cursors);
+        break;
+      case TypeId::kString: {
+        const auto& arr = checked_cast<StringArray>(col);
+        for (int64_t r = 0; r < rows; ++r) {
+          uint64_t& cur = cursors[r];
+          if (col.IsNull(r)) {
+            data[cur++] = 0;
+            continue;
+          }
+          data[cur++] = 1;
+          std::string_view v = arr.Value(r);
+          uint32_t len = static_cast<uint32_t>(v.size());
+          std::memcpy(data + cur, &len, 4);
+          cur += 4;
+          std::memcpy(data + cur, v.data(), v.size());
+          cur += v.size();
+        }
+        break;
+      }
+      case TypeId::kNull:
+        for (int64_t r = 0; r < rows; ++r) data[cursors[r]++] = 0;
+        break;
+    }
+  }
+  return Status::OK();
 }
 
 namespace {

@@ -52,10 +52,18 @@ class RowEncoder {
   std::vector<SortOptions> options_;
 };
 
+/// An encoded key's position inside a bump-allocated arena buffer.
+struct KeySlice {
+  uint64_t offset = 0;
+  uint32_t length = 0;
+};
+
 /// \brief Equality-only row encoding for grouping and join keys: faster
 /// than the sortable encoding (no escaping), not memcmp-ordered.
 /// Layout per column: 1 null byte, then fixed-width raw value or
-/// u32 length + bytes for strings.
+/// u32 length + bytes for strings. Doubles are canonicalized
+/// (-0.0 -> 0.0, any NaN -> one quiet NaN) so byte equality matches
+/// grouping equality.
 class GroupKeyEncoder {
  public:
   explicit GroupKeyEncoder(std::vector<DataType> types);
@@ -63,6 +71,16 @@ class GroupKeyEncoder {
   /// Append the encoded key for `row` to `*key` (caller clears).
   void EncodeRow(const std::vector<ArrayPtr>& columns, int64_t row,
                  std::string* key) const;
+
+  /// Bulk path for the vectorized group table: encode every row of
+  /// `columns` into `*arena` (appended; existing bytes are kept) and
+  /// record each row's (offset,len) slot in `*slices` (overwritten).
+  /// Column-at-a-time fill: per-row widths are sized in one pass per
+  /// column, then values are written through running cursors, so the
+  /// hot loop performs no heap allocation.
+  Status EncodeColumnsToArena(const std::vector<ArrayPtr>& columns,
+                              std::vector<uint8_t>* arena,
+                              std::vector<KeySlice>* slices) const;
 
   /// Decode `num_keys` keys back into one array per key column.
   Result<std::vector<ArrayPtr>> DecodeKeys(const std::vector<std::string>& keys) const;

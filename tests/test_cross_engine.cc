@@ -95,7 +95,12 @@ TEST(ClickBenchCrossEngine, AllQueriesAgree) {
   spec.dir = "/tmp/fusion_test_hits";
   ::mkdir(spec.dir.c_str(), 0755);
   ASSERT_OK_AND_ASSIGN(auto paths, bench::GenerateClickBench(spec));
-  auto fusion_ctx = core::SessionContext::Make();
+  // Several ClickBench queries end in ORDER BY ... LIMIT with heavy
+  // ties; which tied rows survive the limit depends on execution order,
+  // so row-for-row agreement requires single-partition determinism.
+  exec::SessionConfig config;
+  config.target_partitions = 1;
+  auto fusion_ctx = core::SessionContext::Make(config);
   auto tie_ctx = core::SessionContext::Make();
   ASSERT_OK(bench::RegisterHits(fusion_ctx.get(), tie_ctx.get(), paths));
   for (const auto& q : bench::ClickBenchQueries()) {

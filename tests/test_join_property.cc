@@ -6,6 +6,7 @@
 
 #include <map>
 #include <set>
+#include <unordered_map>
 
 namespace fusion {
 namespace test {
@@ -190,6 +191,89 @@ TEST(JoinPropertyTest, CrossJoinCount) {
   ASSERT_OK_AND_ASSIGN(auto batches,
                        ctx->ExecuteSql("SELECT count(*) FROM t a CROSS JOIN t b"));
   EXPECT_EQ(ToStringRows(batches)[0][0], "169");
+}
+
+TEST(GroupByPropertyTest, MatchesMapOracle) {
+  // Random multi-column GROUP BY cross-checked against an
+  // unordered_map oracle, at 1 and 4 target partitions (the latter
+  // exercising the partial -> repartition -> final plan).
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int64_t n = 50 + rng() % 400;
+    const int64_t key_range = 1 + rng() % 60;
+    Int64Builder kb;
+    StringBuilder gb;
+    Int64Builder vb;
+    std::vector<std::optional<int64_t>> ks;
+    std::vector<std::string> gs;
+    std::vector<std::optional<int64_t>> vs;
+    for (int64_t i = 0; i < n; ++i) {
+      if (rng() % 11 == 0) {
+        ks.push_back(std::nullopt);
+        kb.AppendNull();
+      } else {
+        ks.push_back(static_cast<int64_t>(rng() % key_range));
+        kb.Append(*ks.back());
+      }
+      gs.push_back(std::string(1, static_cast<char>('a' + rng() % 4)));
+      gb.Append(gs.back());
+      if (rng() % 9 == 0) {
+        vs.push_back(std::nullopt);
+        vb.AppendNull();
+      } else {
+        vs.push_back(static_cast<int64_t>(rng() % 1000));
+        vb.Append(*vs.back());
+      }
+    }
+    auto schema = fusion::schema({Field("k", int64(), true),
+                                  Field("g", utf8(), false),
+                                  Field("v", int64(), true)});
+    std::vector<ArrayPtr> cols = {kb.Finish().ValueOrDie(),
+                                  gb.Finish().ValueOrDie(),
+                                  vb.Finish().ValueOrDie()};
+    auto batch = std::make_shared<RecordBatch>(schema, n, std::move(cols));
+
+    // Oracle: (k,g) -> (count(*), count(v), sum(v)).
+    struct Agg {
+      int64_t count_star = 0;
+      int64_t count_v = 0;
+      int64_t sum_v = 0;
+    };
+    std::unordered_map<std::string, Agg> oracle;
+    for (int64_t i = 0; i < n; ++i) {
+      std::string key =
+          (ks[i].has_value() ? std::to_string(*ks[i]) : "null") + "|" + gs[i];
+      Agg& a = oracle[key];
+      a.count_star++;
+      if (vs[i].has_value()) {
+        a.count_v++;
+        a.sum_v += *vs[i];
+      }
+    }
+    std::vector<StringRow> expected;
+    for (const auto& [key, a] : oracle) {
+      auto sep = key.find('|');
+      expected.push_back({key.substr(0, sep), key.substr(sep + 1),
+                          std::to_string(a.count_star), std::to_string(a.count_v),
+                          a.count_v == 0 ? "null" : std::to_string(a.sum_v)});
+    }
+    std::sort(expected.begin(), expected.end());
+
+    for (int partitions : {1, 4}) {
+      exec::SessionConfig config;
+      config.target_partitions = partitions;
+      auto ctx = core::SessionContext::Make(config);
+      ASSERT_OK(ctx->RegisterTable(
+          "gt", catalog::MemoryTable::Make(schema, SliceBatch(batch, 33))
+                    .ValueOrDie()));
+      ASSERT_OK_AND_ASSIGN(
+          auto batches,
+          ctx->ExecuteSql("SELECT k, g, count(*), count(v), sum(v) "
+                          "FROM gt GROUP BY k, g"));
+      EXPECT_EQ(SortedStringRows(batches), expected)
+          << "trial " << trial << " partitions " << partitions;
+    }
+  }
 }
 
 }  // namespace

@@ -379,7 +379,11 @@ TEST(FairPoolTest, QueryFailsCleanlyWhenShareExceeded) {
 
 
 TEST(StreamingAggTest, SelectedForKeyOrderedInput) {
-  auto ctx = MakeTestSession(100);  // t is sorted by id
+  // Order-based plan selection: pin to one partition, since hash
+  // repartitioning discards the declared sort order.
+  exec::SessionConfig config;
+  config.target_partitions = 1;
+  auto ctx = MakeTestSession(100, config);  // t is sorted by id
   ASSERT_OK_AND_ASSIGN(
       auto plan, ctx->CreateLogicalPlan("SELECT id, count(*) FROM t GROUP BY id"));
   ASSERT_OK_AND_ASSIGN(auto optimized, ctx->OptimizePlan(plan));
@@ -411,8 +415,10 @@ TEST(StreamingAggTest, MatchesHashAggregation) {
 
 TEST(StreamingAggTest, GroupRunsAcrossBatchBoundaries) {
   // 100 rows in batches of 32; ids repeat in runs of 7 so runs straddle
-  // batch boundaries.
-  auto ctx = core::SessionContext::Make();
+  // batch boundaries. One partition so the streaming plan is chosen.
+  exec::SessionConfig config;
+  config.target_partitions = 1;
+  auto ctx = core::SessionContext::Make(config);
   Int64Builder k;
   Int64Builder v;
   for (int i = 0; i < 100; ++i) {
@@ -475,7 +481,10 @@ TEST(SymmetricHashJoinTest, ProducesOutputIncrementally) {
 }
 
 TEST(SortMergeJoinTest, SelectedForKeySortedInputs) {
-  auto ctx = MakeTestSession(20);  // table t declares sort order (id)
+  // Order-based plan selection requires unpartitioned inputs.
+  exec::SessionConfig config;
+  config.target_partitions = 1;
+  auto ctx = MakeTestSession(20, config);  // table t declares sort order (id)
   ASSERT_OK_AND_ASSIGN(
       auto plan,
       ctx->CreateLogicalPlan("SELECT count(*) FROM t a JOIN t b ON a.id = b.id"));
@@ -535,7 +544,11 @@ TEST(NestedLoopJoinTest, NonEquiJoin) {
 }
 
 TEST(SortEliminationTest, RedundantSortRemoved) {
-  auto ctx = MakeTestSession(10);
+  // Sort elimination relies on the declared table order surviving to
+  // the sort node, which partitioning would break.
+  exec::SessionConfig config;
+  config.target_partitions = 1;
+  auto ctx = MakeTestSession(10, config);
   ASSERT_OK_AND_ASSIGN(auto plan,
                        ctx->CreateLogicalPlan("SELECT id FROM t ORDER BY id"));
   ASSERT_OK_AND_ASSIGN(auto optimized, ctx->OptimizePlan(plan));

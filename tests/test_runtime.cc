@@ -141,6 +141,9 @@ TEST(CoalesceBatchesTest, SmallBatchesMergedToTarget) {
   // CoalesceBatches should re-chunk to the session batch size.
   exec::SessionConfig config;
   config.batch_size = 32;
+  // One partition: coalescing happens per partition, and splitting 100
+  // rows across several would leave each below the 32-row target.
+  config.target_partitions = 1;
   auto ctx = core::SessionContext::Make(config);
   auto schema = fusion::schema({Field("x", int64(), false)});
   std::vector<RecordBatchPtr> tiny;
