@@ -80,6 +80,46 @@ std::string StringArray::ValueToString(int64_t i) const {
   return std::string(Value(i));
 }
 
+ArrayPtr DictionaryArray::Densify() const {
+  const int32_t* codes = raw_codes();
+  int64_t total_bytes = 0;
+  for (int64_t i = 0; i < length_; ++i) {
+    if (IsValid(i)) total_bytes += static_cast<int64_t>(Value(i).size());
+  }
+  auto offsets = std::make_shared<Buffer>((length_ + 1) * sizeof(int32_t));
+  auto data = std::make_shared<Buffer>(total_bytes);
+  int32_t* offs = offsets->mutable_data_as<int32_t>();
+  uint8_t* out = data->mutable_data();
+  int32_t pos = 0;
+  offs[0] = 0;
+  for (int64_t i = 0; i < length_; ++i) {
+    if (IsValid(i)) {
+      std::string_view v = dictionary_->Value(codes[i]);
+      std::memcpy(out + pos, v.data(), v.size());
+      pos += static_cast<int32_t>(v.size());
+    }
+    offs[i + 1] = pos;
+  }
+  BufferPtr validity =
+      validity_ ? Buffer::CopyOf(validity_->data(), validity_->size()) : nullptr;
+  return std::make_shared<StringArray>(length_, std::move(offsets), std::move(data),
+                                       std::move(validity), null_count_);
+}
+
+ArrayPtr DictionaryArray::Slice(int64_t offset, int64_t length) const {
+  auto codes = Buffer::CopyOf(raw_codes() + offset, length * sizeof(int32_t));
+  BufferPtr validity = SliceValidity(validity_, offset, length);
+  int64_t nulls =
+      validity ? length - bit_util::CountSetBits(validity->data(), length) : 0;
+  return std::make_shared<DictionaryArray>(length, std::move(codes), dictionary_,
+                                           std::move(validity), nulls);
+}
+
+std::string DictionaryArray::ValueToString(int64_t i) const {
+  if (IsNull(i)) return "null";
+  return std::string(Value(i));
+}
+
 NullArray::NullArray(int64_t length)
     : Array(null_type(), length, nullptr, length) {
   // A NullArray's validity is implicit: every slot is null. We keep a
@@ -121,7 +161,10 @@ Result<ArrayPtr> MakeArrayOfNulls(DataType type, int64_t length) {
       return ArrayPtr(std::make_shared<Float64Array>(type, length, std::move(values),
                                                      std::move(validity), length));
     }
-    case TypeId::kString: {
+    // An all-null string-like array has no values to encode; the dense
+    // representation is the canonical choice.
+    case TypeId::kString:
+    case TypeId::kDictionary: {
       auto offsets = std::make_shared<Buffer>((length + 1) * sizeof(int32_t));
       auto data = std::make_shared<Buffer>(0);
       return ArrayPtr(std::make_shared<StringArray>(length, std::move(offsets),
@@ -136,6 +179,13 @@ bool ArrayElementsEqual(const Array& a, int64_t ai, const Array& b, int64_t bi) 
   const bool a_null = a.IsNull(ai);
   const bool b_null = b.IsNull(bi);
   if (a_null || b_null) return a_null == b_null;
+  // Strings compare by logical value across physical encodings (a
+  // dictionary array from one FPQ row group vs a dense array from
+  // another must still test equal).
+  if (a.type().is_string_like() || b.type().is_string_like()) {
+    return a.type().is_string_like() && b.type().is_string_like() &&
+           StringLikeValue(a, ai) == StringLikeValue(b, bi);
+  }
   switch (a.type().id()) {
     case TypeId::kNull:
       return true;
@@ -154,14 +204,18 @@ bool ArrayElementsEqual(const Array& a, int64_t ai, const Array& b, int64_t bi) 
       return checked_cast<Float64Array>(a).Value(ai) ==
              checked_cast<Float64Array>(b).Value(bi);
     case TypeId::kString:
-      return checked_cast<StringArray>(a).Value(ai) ==
-             checked_cast<StringArray>(b).Value(bi);
+    case TypeId::kDictionary:
+      return false;  // string-like pairs handled above
   }
   return false;
 }
 
 bool ArraysEqual(const Array& a, const Array& b) {
-  if (a.type() != b.type() || a.length() != b.length()) return false;
+  if (a.length() != b.length()) return false;
+  if (a.type() != b.type() &&
+      !(a.type().is_string_like() && b.type().is_string_like())) {
+    return false;
+  }
   for (int64_t i = 0; i < a.length(); ++i) {
     if (!ArrayElementsEqual(a, i, b, i)) return false;
   }
@@ -208,9 +262,68 @@ Result<ArrayPtr> Concatenate(const std::vector<ArrayPtr>& arrays) {
   int64_t total = 0;
   int64_t nulls = 0;
   for (const auto& a : arrays) {
-    if (a->type() != type) return Status::TypeError("Concatenate: mixed types");
+    if (a->type() != type &&
+        !(a->type().is_string_like() && type.is_string_like())) {
+      return Status::TypeError("Concatenate: mixed types");
+    }
     total += a->length();
     nulls += a->null_count();
+  }
+  if (type.is_dictionary()) {
+    // When every input shares one dictionary instance, only the 4-byte
+    // codes are copied and the result stays encoded. Mixed encodings or
+    // distinct dictionaries (e.g. different FPQ chunks) fall back to
+    // the dense representation below.
+    const auto& first = checked_cast<DictionaryArray>(*arrays[0]);
+    bool same_dict = true;
+    for (const auto& a : arrays) {
+      if (!a->type().is_dictionary() ||
+          checked_cast<DictionaryArray>(*a).dictionary() != first.dictionary()) {
+        same_dict = false;
+        break;
+      }
+    }
+    if (same_dict) {
+      auto codes = std::make_shared<Buffer>(total * sizeof(int32_t));
+      BufferPtr validity;
+      if (nulls > 0) {
+        validity = std::make_shared<Buffer>(bit_util::BytesForBits(total));
+        std::memset(validity->mutable_data(), 0xff,
+                    static_cast<size_t>(validity->size()));
+      }
+      int64_t pos = 0;
+      for (const auto& arr : arrays) {
+        const auto& da = checked_cast<DictionaryArray>(*arr);
+        if (arr->length() > 0) {
+          std::memcpy(codes->mutable_data_as<int32_t>() + pos, da.raw_codes(),
+                      static_cast<size_t>(arr->length()) * sizeof(int32_t));
+        }
+        if (nulls > 0) {
+          for (int64_t i = 0; i < arr->length(); ++i) {
+            if (arr->IsNull(i)) {
+              bit_util::ClearBit(validity->mutable_data(), pos + i);
+            }
+          }
+        }
+        pos += arr->length();
+      }
+      return ArrayPtr(std::make_shared<DictionaryArray>(
+          total, std::move(codes), first.dictionary(), std::move(validity), nulls));
+    }
+  }
+  if (type.is_string_like()) {
+    bool any_dict = false;
+    for (const auto& a : arrays) any_dict |= a->type().is_dictionary();
+    if (any_dict) {
+      std::vector<ArrayPtr> dense;
+      dense.reserve(arrays.size());
+      for (const auto& a : arrays) {
+        dense.push_back(a->type().is_dictionary()
+                            ? checked_cast<DictionaryArray>(*a).Densify()
+                            : a);
+      }
+      return Concatenate(dense);
+    }
   }
   switch (type.id()) {
     case TypeId::kNull:
@@ -284,6 +397,8 @@ Result<ArrayPtr> Concatenate(const std::vector<ArrayPtr>& arrays) {
                                                     std::move(data),
                                                     std::move(validity), nulls));
     }
+    case TypeId::kDictionary:
+      break;  // fully handled by the encoding-aware paths above
   }
   return Status::TypeError("Concatenate: unsupported type " + type.ToString());
 }

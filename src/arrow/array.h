@@ -143,6 +143,50 @@ class StringArray : public Array {
   BufferPtr data_;
 };
 
+/// \brief Dictionary-encoded string array: int32 codes into a shared
+/// dense StringArray of distinct values (paper §4.2: encodings survive
+/// across operators instead of being decoded at the scan boundary).
+///
+/// The dictionary is shared by pointer — slicing or taking rows copies
+/// only the 4-byte codes. A null row is marked in the validity bitmap
+/// like every other array; its code is meaningless (readers write 0).
+/// The dictionary itself contains no nulls and need not be sorted or
+/// deduplicated for correctness, only for compactness.
+class DictionaryArray : public Array {
+ public:
+  DictionaryArray(int64_t length, BufferPtr codes,
+                  std::shared_ptr<StringArray> dictionary, BufferPtr validity,
+                  int64_t null_count)
+      : Array(fusion::dictionary(), length, std::move(validity), null_count),
+        codes_(std::move(codes)), dictionary_(std::move(dictionary)) {
+    FUSION_DCHECK(codes_ != nullptr);
+    FUSION_DCHECK(dictionary_ != nullptr);
+  }
+
+  /// The string a (valid) row refers to.
+  std::string_view Value(int64_t i) const {
+    return dictionary_->Value(raw_codes()[i]);
+  }
+  int32_t Code(int64_t i) const { return raw_codes()[i]; }
+  const int32_t* raw_codes() const { return codes_->data_as<int32_t>(); }
+  const BufferPtr& codes() const { return codes_; }
+  const std::shared_ptr<StringArray>& dictionary() const { return dictionary_; }
+  int64_t dict_size() const { return dictionary_->length(); }
+
+  /// Decode into a dense StringArray (the universal fallback for
+  /// operators without a dictionary fast path). Total control stays
+  /// with compute::EnsureDense; this lives in the arrow layer so
+  /// Status-free paths (IPC serialization) can also densify.
+  ArrayPtr Densify() const;
+
+  ArrayPtr Slice(int64_t offset, int64_t length) const override;
+  std::string ValueToString(int64_t i) const override;
+
+ private:
+  BufferPtr codes_;
+  std::shared_ptr<StringArray> dictionary_;
+};
+
 /// \brief All-null array used for untyped NULL literals.
 class NullArray : public Array {
  public:
@@ -171,6 +215,14 @@ struct CTypeOf<TypeId::kTimestamp> { using type = int64_t; };
 template <typename ArrayType>
 const ArrayType& checked_cast(const Array& arr) {
   return static_cast<const ArrayType&>(arr);
+}
+
+/// String accessor spanning both physical encodings (dense UTF-8 and
+/// dictionary codes). The array must be string-like and row `i` valid.
+inline std::string_view StringLikeValue(const Array& arr, int64_t i) {
+  return arr.type().is_dictionary()
+             ? checked_cast<DictionaryArray>(arr).Value(i)
+             : checked_cast<StringArray>(arr).Value(i);
 }
 
 /// Make an all-valid / all-null primitive array of the given type.

@@ -57,6 +57,62 @@ Result<ArrayPtr> StringBuilder::Finish() {
                                                 nulls));
 }
 
+int32_t DictionaryBuilder::InternValue(std::string_view value) {
+  auto it = dict_index_.find(std::string(value));
+  if (it != dict_index_.end()) return it->second;
+  int32_t code = static_cast<int32_t>(dict_values_.size());
+  dict_values_.emplace_back(value);
+  dict_index_.emplace(dict_values_.back(), code);
+  return code;
+}
+
+void DictionaryBuilder::Append(std::string_view value) {
+  codes_.push_back(InternValue(value));
+  AppendValidity(true);
+}
+
+void DictionaryBuilder::AppendFrom(const Array& src, int64_t i) {
+  if (src.IsNull(i)) {
+    AppendNull();
+    return;
+  }
+  if (src.type().is_dictionary()) {
+    const auto& da = checked_cast<DictionaryArray>(src);
+    const StringArray* src_dict = da.dictionary().get();
+    if (remap_src_ != src_dict) {
+      // Intern the source dictionary once; subsequent rows from any
+      // array sharing it are a single table lookup.
+      remap_src_ = src_dict;
+      remap_.resize(static_cast<size_t>(src_dict->length()));
+      for (int64_t c = 0; c < src_dict->length(); ++c) {
+        remap_[static_cast<size_t>(c)] = InternValue(src_dict->Value(c));
+      }
+    }
+    codes_.push_back(remap_[static_cast<size_t>(da.Code(i))]);
+    AppendValidity(true);
+    return;
+  }
+  Append(checked_cast<StringArray>(src).Value(i));
+}
+
+Result<ArrayPtr> DictionaryBuilder::Finish() {
+  auto codes = Buffer::CopyOf(codes_.data(), codes_.size() * sizeof(int32_t));
+  StringBuilder dict_builder;
+  for (const auto& v : dict_values_) dict_builder.Append(v);
+  FUSION_ASSIGN_OR_RAISE(ArrayPtr dict_arr, dict_builder.Finish());
+  auto dict = std::static_pointer_cast<StringArray>(dict_arr);
+  int64_t len = length_;
+  int64_t nulls = null_count_;
+  BufferPtr validity = FinishValidity();
+  codes_.clear();
+  dict_values_.clear();
+  dict_index_.clear();
+  remap_src_ = nullptr;
+  remap_.clear();
+  return ArrayPtr(std::make_shared<DictionaryArray>(
+      len, std::move(codes), std::move(dict), std::move(validity), nulls));
+}
+
 Result<std::unique_ptr<ArrayBuilder>> MakeBuilder(DataType type) {
   switch (type.id()) {
     case TypeId::kBool:
@@ -71,6 +127,8 @@ Result<std::unique_ptr<ArrayBuilder>> MakeBuilder(DataType type) {
       return std::unique_ptr<ArrayBuilder>(new Float64Builder());
     case TypeId::kString:
       return std::unique_ptr<ArrayBuilder>(new StringBuilder());
+    case TypeId::kDictionary:
+      return std::unique_ptr<ArrayBuilder>(new DictionaryBuilder());
     default:
       return Status::TypeError("MakeBuilder: unsupported type " + type.ToString());
   }

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "arrow/array.h"
@@ -152,7 +153,7 @@ class StringBuilder : public ArrayBuilder {
     if (src.IsNull(i)) {
       AppendNull();
     } else {
-      Append(checked_cast<StringArray>(src).Value(i));
+      Append(StringLikeValue(src, i));
     }
   }
   void Reserve(int64_t n) override { offsets_.reserve(offsets_.size() + n); }
@@ -162,6 +163,35 @@ class StringBuilder : public ArrayBuilder {
  private:
   std::vector<int32_t> offsets_;  // end offsets; implicit leading 0
   std::vector<char> data_;
+};
+
+/// \brief Builder for dictionary-encoded string arrays. Interns each
+/// appended value; AppendFrom a DictionaryArray with a previously seen
+/// dictionary remaps codes through a cached per-dictionary table
+/// instead of re-hashing strings.
+class DictionaryBuilder : public ArrayBuilder {
+ public:
+  DataType type() const override { return dictionary(); }
+
+  void Append(std::string_view value);
+  void AppendNull() override {
+    codes_.push_back(0);
+    AppendValidity(false);
+  }
+  void AppendFrom(const Array& src, int64_t i) override;
+  void Reserve(int64_t n) override { codes_.reserve(codes_.size() + n); }
+
+  Result<ArrayPtr> Finish() override;
+
+ private:
+  int32_t InternValue(std::string_view value);
+
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dict_values_;
+  std::unordered_map<std::string, int32_t> dict_index_;
+  /// Cache: source dictionary instance -> per-code remap into our dict.
+  const StringArray* remap_src_ = nullptr;
+  std::vector<int32_t> remap_;
 };
 
 /// Create a builder for any supported type.

@@ -97,7 +97,12 @@ std::vector<uint8_t> SerializeBatch(const RecordBatch& batch) {
   PutU64(&out, static_cast<uint64_t>(batch.num_rows()));
   const int64_t rows = batch.num_rows();
   for (int i = 0; i < batch.num_columns(); ++i) {
-    const auto& col = batch.column(i);
+    ArrayPtr col = batch.column(i);
+    // IPC stays encoding-free: dictionary columns densify at this
+    // boundary so spill files and shuffles round-trip as plain strings.
+    if (col->type().is_dictionary()) {
+      col = checked_cast<DictionaryArray>(*col).Densify();
+    }
     const bool has_validity = col->validity() != nullptr;
     out.push_back(has_validity ? 1 : 0);
     if (has_validity) {

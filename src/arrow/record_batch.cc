@@ -14,8 +14,12 @@ Result<RecordBatchPtr> RecordBatch::Make(SchemaPtr schema,
     if (columns[i]->length() != rows) {
       return Status::Invalid("RecordBatch: columns have differing lengths");
     }
+    // A dictionary-encoded column satisfies a utf8 schema field: the
+    // schema describes the logical type, the array the physical one.
     if (columns[i]->type() != schema->field(static_cast<int>(i)).type() &&
-        !columns[i]->type().is_null()) {
+        !columns[i]->type().is_null() &&
+        !(columns[i]->type().is_dictionary() &&
+          schema->field(static_cast<int>(i)).type().is_string())) {
       return Status::TypeError(
           "RecordBatch: column '" + schema->field(static_cast<int>(i)).name() +
           "' type " + columns[i]->type().ToString() + " does not match schema type " +
@@ -71,6 +75,12 @@ int64_t RecordBatch::TotalBufferSize() const {
       case TypeId::kString: {
         const auto& sa = checked_cast<StringArray>(*c);
         total += sa.offsets()->size() + sa.data()->size();
+        break;
+      }
+      case TypeId::kDictionary: {
+        const auto& da = checked_cast<DictionaryArray>(*c);
+        total += da.codes()->size() + da.dictionary()->offsets()->size() +
+                 da.dictionary()->data()->size();
         break;
       }
       case TypeId::kBool:

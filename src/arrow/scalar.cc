@@ -10,7 +10,11 @@
 namespace fusion {
 
 Scalar Scalar::FromArray(const Array& arr, int64_t i) {
-  if (arr.IsNull(i)) return Scalar::Null(arr.type());
+  if (arr.IsNull(i)) {
+    // Scalars are always logical values; dictionary encoding does not
+    // survive extraction.
+    return Scalar::Null(arr.type().is_dictionary() ? utf8() : arr.type());
+  }
   switch (arr.type().id()) {
     case TypeId::kNull:
       return Scalar();
@@ -27,7 +31,8 @@ Scalar Scalar::FromArray(const Array& arr, int64_t i) {
     case TypeId::kFloat64:
       return Scalar::Float64(checked_cast<Float64Array>(arr).Value(i));
     case TypeId::kString:
-      return Scalar::String(std::string(checked_cast<StringArray>(arr).Value(i)));
+    case TypeId::kDictionary:
+      return Scalar::String(std::string(StringLikeValue(arr, i)));
   }
   return Scalar();
 }
@@ -117,7 +122,10 @@ int Scalar::Compare(const Scalar& other) const {
       double b = other.double_value();
       return a < b ? -1 : (a > b ? 1 : 0);
     }
+    // Scalars are always materialized values; a dictionary-typed scalar
+    // never exists, but compare as a string if one ever does.
     case TypeId::kString:
+    case TypeId::kDictionary:
       return string_value().compare(other.string_value());
   }
   return 0;
@@ -166,6 +174,7 @@ std::string Scalar::ToString() const {
       return out.str();
     }
     case TypeId::kString:
+    case TypeId::kDictionary:
       return string_value();
   }
   return "?";

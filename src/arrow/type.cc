@@ -36,6 +36,8 @@ std::string DataType::ToString() const {
       return "date32";
     case TypeId::kTimestamp:
       return "timestamp";
+    case TypeId::kDictionary:
+      return "dictionary";
   }
   return "unknown";
 }
@@ -49,6 +51,7 @@ Result<DataType> TypeFromString(const std::string& name) {
   if (name == "string") return utf8();
   if (name == "date32") return date32();
   if (name == "timestamp") return timestamp();
+  if (name == "dictionary") return dictionary();
   return Status::Invalid("unknown type name: " + name);
 }
 

@@ -25,6 +25,7 @@ enum class TypeId : uint8_t {
   kString,     ///< variable-length UTF-8, int32 offsets
   kDate32,     ///< days since UNIX epoch, stored as int32
   kTimestamp,  ///< microseconds since UNIX epoch, stored as int64
+  kDictionary,  ///< int32 codes into a shared UTF-8 dictionary
 };
 
 /// \brief Lightweight value type describing a column's data type.
@@ -50,8 +51,14 @@ class DataType {
   }
   bool is_string() const { return id_ == TypeId::kString; }
   bool is_bool() const { return id_ == TypeId::kBool; }
+  bool is_dictionary() const { return id_ == TypeId::kDictionary; }
+  /// True for logically-string columns regardless of physical encoding
+  /// (dense UTF-8 or dictionary codes).
+  bool is_string_like() const { return is_string() || is_dictionary(); }
   /// True if values are stored in fixed-width primitive buffers.
-  bool is_primitive() const { return !is_string() && !is_null(); }
+  bool is_primitive() const {
+    return !is_string_like() && !is_null();
+  }
 
   /// Width in bytes of the fixed-size value representation (0 for
   /// bool/string/null).
@@ -71,6 +78,9 @@ constexpr DataType float64() { return DataType(TypeId::kFloat64); }
 constexpr DataType utf8() { return DataType(TypeId::kString); }
 constexpr DataType date32() { return DataType(TypeId::kDate32); }
 constexpr DataType timestamp() { return DataType(TypeId::kTimestamp); }
+/// Physical type of dictionary-encoded string arrays. Schema fields
+/// keep the logical utf8() type; only arrays carry kDictionary.
+constexpr DataType dictionary() { return DataType(TypeId::kDictionary); }
 
 /// Parse a type from its ToString() form ("int64", "string", ...).
 Result<DataType> TypeFromString(const std::string& name);

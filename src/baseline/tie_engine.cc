@@ -9,6 +9,7 @@
 #include "arrow/builder.h"
 #include "catalog/file_tables.h"
 #include "common/bit_util.h"
+#include "compute/cast.h"
 #include "compute/hash_kernels.h"
 #include "compute/selection.h"
 #include "logical/expr_eval.h"
@@ -336,6 +337,9 @@ Result<TieEngine::Table> TieEngine::Scan(const PlanPtr& plan) {
       FUSION_ASSIGN_OR_RAISE(auto batch, it->Next());
       if (batch == nullptr) break;
       if (batch->num_rows() == 0) continue;
+      // TIE is the decode-eagerly baseline: densify at the handoff so the
+      // tuple-at-a-time interpreter never sees encoded columns.
+      batch = compute::EnsureDenseBatch(batch);
       out.num_rows += batch->num_rows();
       out.batches.push_back(std::move(batch));
     }

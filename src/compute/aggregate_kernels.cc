@@ -65,12 +65,11 @@ Result<Scalar> MinMaxImpl(const Array& input) {
 
 template <bool kMin>
 Result<Scalar> MinMaxString(const Array& input) {
-  const auto& arr = checked_cast<StringArray>(input);
   bool seen = false;
   std::string_view best;
   for (int64_t i = 0; i < input.length(); ++i) {
     if (input.IsNull(i)) continue;
-    std::string_view v = arr.Value(i);
+    std::string_view v = StringLikeValue(input, i);
     if (!seen || (kMin ? v < best : v > best)) {
       best = v;
       seen = true;
@@ -92,6 +91,7 @@ Result<Scalar> MinMaxDispatch(const Array& input) {
     case TypeId::kFloat64:
       return MinMaxImpl<double, kMin>(input);
     case TypeId::kString:
+    case TypeId::kDictionary:
       return MinMaxString<kMin>(input);
     case TypeId::kNull:
       return Scalar();

@@ -118,6 +118,13 @@ Result<ArrayPtr> Cast(const Array& input, DataType target) {
     return input.Slice(0, input.length());
   }
   if (input.type().is_null()) return MakeArrayOfNulls(target, input.length());
+  if (input.type().is_dictionary()) {
+    // The universal fallback: decode once, then cast the dense form if
+    // the target is anything other than the logical string type.
+    ArrayPtr dense = checked_cast<DictionaryArray>(input).Densify();
+    if (target.is_string()) return dense;
+    return Cast(*dense, target);
+  }
   switch (input.type().id()) {
     case TypeId::kInt32:
     case TypeId::kDate32:
@@ -161,7 +168,31 @@ Result<ArrayPtr> Cast(const Array& input, DataType target) {
                            " -> " + target.ToString());
 }
 
+ArrayPtr EnsureDense(const ArrayPtr& input) {
+  if (!input->type().is_dictionary()) return input;
+  return checked_cast<DictionaryArray>(*input).Densify();
+}
+
+RecordBatchPtr EnsureDenseBatch(const RecordBatchPtr& batch) {
+  bool any_dict = false;
+  for (int i = 0; i < batch->num_columns(); ++i) {
+    any_dict |= batch->column(i)->type().is_dictionary();
+  }
+  if (!any_dict) return batch;
+  std::vector<ArrayPtr> cols;
+  cols.reserve(static_cast<size_t>(batch->num_columns()));
+  for (int i = 0; i < batch->num_columns(); ++i) {
+    cols.push_back(EnsureDense(batch->column(i)));
+  }
+  return std::make_shared<RecordBatch>(batch->schema(), batch->num_rows(),
+                                       std::move(cols));
+}
+
 Result<DataType> CommonType(DataType a, DataType b) {
+  // Dictionary is a physical encoding of string; coercion rules only
+  // see logical types.
+  if (a.is_dictionary()) a = utf8();
+  if (b.is_dictionary()) b = utf8();
   if (a == b) return a;
   if (a.is_null()) return b;
   if (b.is_null()) return a;

@@ -2,6 +2,7 @@
 #define FUSION_COMPUTE_CAST_H_
 
 #include "arrow/array.h"
+#include "arrow/record_batch.h"
 #include "common/result.h"
 
 namespace fusion {
@@ -11,6 +12,16 @@ namespace compute {
 /// numeric, numeric -> string, string -> numeric (unparsable -> null),
 /// date32 <-> timestamp, bool <-> numeric, null -> anything, identity.
 Result<ArrayPtr> Cast(const Array& input, DataType target);
+
+/// Decode a dictionary-encoded array into its dense representation;
+/// any other array passes through unchanged. This is the single
+/// densify boundary for operators without a dictionary fast path
+/// (sort normalized keys, window frames, scalar functions, writers).
+ArrayPtr EnsureDense(const ArrayPtr& input);
+
+/// EnsureDense over every column; returns the input batch pointer
+/// unchanged when no column is dictionary-encoded.
+RecordBatchPtr EnsureDenseBatch(const RecordBatchPtr& batch);
 
 /// Implicit-coercion result type for binary operations, following the
 /// SQL numeric tower (int32 < int64 < float64); temporal types coerce

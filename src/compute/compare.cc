@@ -46,10 +46,29 @@ ArrayPtr CompareLoop(CompareOp op, int64_t length, BufferPtr validity, int64_t n
   return nullptr;
 }
 
+bool CompareValues(CompareOp op, std::string_view a, std::string_view b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNeq:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLtEq:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGtEq:
+      return a >= b;
+  }
+  return false;
+}
+
 }  // namespace
 
 Result<ArrayPtr> Compare(CompareOp op, const Array& lhs, const Array& rhs) {
-  if (lhs.type() != rhs.type()) {
+  if (lhs.type() != rhs.type() &&
+      !(lhs.type().is_string_like() && rhs.type().is_string_like())) {
     return Status::TypeError("Compare: mismatched types " + lhs.type().ToString() +
                              " vs " + rhs.type().ToString());
   }
@@ -58,6 +77,16 @@ Result<ArrayPtr> Compare(CompareOp op, const Array& lhs, const Array& rhs) {
   }
   auto [validity, nulls] = IntersectValidity(lhs, rhs);
   const int64_t n = lhs.length();
+  // String comparisons work on logical values whatever the physical
+  // encoding of either side (dense vs dictionary, including mixed).
+  if (lhs.type().is_string_like()) {
+    return CompareLoop<std::string_view>(
+        op, n, std::move(validity), nulls,
+        [&](int64_t i) { return lhs.IsValid(i) ? StringLikeValue(lhs, i)
+                                               : std::string_view(); },
+        [&](int64_t i) { return rhs.IsValid(i) ? StringLikeValue(rhs, i)
+                                               : std::string_view(); });
+  }
   switch (lhs.type().id()) {
     case TypeId::kInt32:
     case TypeId::kDate32: {
@@ -105,6 +134,28 @@ Result<ArrayPtr> CompareScalar(CompareOp op, const Array& lhs, const Scalar& rhs
   if (rhs.is_null()) {
     // Comparison with NULL is NULL for every row.
     return MakeArrayOfNulls(boolean(), lhs.length());
+  }
+  if (lhs.type().is_dictionary()) {
+    // Constant predicate fast path: resolve the comparison against each
+    // distinct dictionary entry once, then answer per row by code.
+    const auto& da = checked_cast<DictionaryArray>(lhs);
+    Scalar coerced = rhs;
+    if (!rhs.type().is_string()) {
+      FUSION_ASSIGN_OR_RAISE(coerced, rhs.CastTo(utf8()));
+    }
+    const std::string_view b = coerced.string_value();
+    const StringArray& dict = *da.dictionary();
+    std::vector<bool> match(static_cast<size_t>(dict.length()));
+    for (int64_t c = 0; c < dict.length(); ++c) {
+      match[static_cast<size_t>(c)] = CompareValues(op, dict.Value(c), b);
+    }
+    auto [validity, nulls] = CopyValidity(lhs);
+    const int32_t* codes = da.raw_codes();
+    return MakeBoolResult(lhs.length(), std::move(validity), nulls,
+                          [&](int64_t i) {
+                            return da.IsValid(i) &&
+                                   match[static_cast<size_t>(codes[i])];
+                          });
   }
   Scalar coerced = rhs;
   if (rhs.type() != lhs.type()) {
@@ -201,17 +252,35 @@ Result<ArrayPtr> InList(const Array& input, const std::vector<Scalar>& set) {
     return ArrayPtr(std::make_shared<BooleanArray>(n, std::move(bits),
                                                    std::move(validity), nulls));
   }
-  if (input.type().is_string()) {
+  if (input.type().is_string_like()) {
     std::unordered_set<std::string> values;
     for (const auto& s : set) {
       FUSION_ASSIGN_OR_RAISE(Scalar c, s.CastTo(utf8()));
       values.insert(c.string_value());
     }
-    const auto& sa = checked_cast<StringArray>(input);
     auto bits = std::make_shared<Buffer>(bit_util::BytesForBits(n));
-    for (int64_t i = 0; i < n; ++i) {
-      if (values.count(std::string(sa.Value(i))) != 0) {
-        bit_util::SetBit(bits->mutable_data(), i);
+    if (input.type().is_dictionary()) {
+      // Membership resolves once per dictionary entry, then per row by
+      // code.
+      const auto& da = checked_cast<DictionaryArray>(input);
+      const StringArray& dict = *da.dictionary();
+      std::vector<bool> match(static_cast<size_t>(dict.length()));
+      for (int64_t c = 0; c < dict.length(); ++c) {
+        match[static_cast<size_t>(c)] =
+            values.count(std::string(dict.Value(c))) != 0;
+      }
+      const int32_t* codes = da.raw_codes();
+      for (int64_t i = 0; i < n; ++i) {
+        if (da.IsValid(i) && match[static_cast<size_t>(codes[i])]) {
+          bit_util::SetBit(bits->mutable_data(), i);
+        }
+      }
+    } else {
+      const auto& sa = checked_cast<StringArray>(input);
+      for (int64_t i = 0; i < n; ++i) {
+        if (values.count(std::string(sa.Value(i))) != 0) {
+          bit_util::SetBit(bits->mutable_data(), i);
+        }
       }
     }
     return ArrayPtr(std::make_shared<BooleanArray>(n, std::move(bits),

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/hash_util.h"
+
 namespace fusion {
 namespace compute {
 
@@ -37,9 +39,94 @@ void GroupTable::Grow() {
   }
 }
 
+uint32_t GroupTable::FindOrInsert(uint64_t hash, const uint8_t* key,
+                                  uint32_t len) {
+  // Keep the load factor below 1/2 even if every remaining row is a
+  // new group (checked per probe: the loop relies on a free slot).
+  if ((groups_.size() + 1) * 2 > capacity_) Grow();
+  size_t slot = SlotFor(hash);
+  for (;;) {
+    const uint32_t g = slots_[slot];
+    if (g == kEmptySlot) {
+      // New group: copy the encoded key into the arena.
+      const uint32_t id = static_cast<uint32_t>(groups_.size());
+      GroupEntry entry;
+      entry.hash = hash;
+      entry.key.offset = arena_.size();
+      entry.key.length = len;
+      arena_.insert(arena_.end(), key, key + len);
+      groups_.push_back(entry);
+      slots_[slot] = id;
+      return id;
+    }
+    const GroupEntry& entry = groups_[g];
+    if (entry.hash == hash && entry.key.length == len &&
+        std::memcmp(arena_.data() + entry.key.offset, key, len) == 0) {
+      return g;
+    }
+    slot = (slot + 1) & (capacity_ - 1);
+  }
+}
+
+Status GroupTable::MapDictBatch(const DictionaryArray& keys,
+                                std::vector<uint32_t>* group_ids) {
+  const int64_t rows = keys.length();
+  group_ids->resize(static_cast<size_t>(rows));
+  if (rows == 0) return Status::OK();
+
+  const std::shared_ptr<StringArray>& dict = keys.dictionary();
+  if (cached_dict_ != dict) {
+    cached_dict_ = dict;
+    cached_dict_group_ids_.assign(static_cast<size_t>(dict->length()),
+                                  kEmptySlot);
+  }
+  uint32_t* code_gids = cached_dict_group_ids_.data();
+  const int32_t* codes = keys.raw_codes();
+  const bool has_nulls = keys.null_count() > 0;
+  uint32_t null_gid = kEmptySlot;
+  std::string scratch;
+  for (int64_t r = 0; r < rows; ++r) {
+    if (has_nulls && keys.IsNull(r)) {
+      if (null_gid == kEmptySlot) {
+        const uint8_t null_key = 0;  // '\x00': same bytes as EncodeColumnsToArena
+        null_gid = FindOrInsert(0x9e3779b97f4a7c15ULL, &null_key, 1);
+      }
+      (*group_ids)[r] = null_gid;
+      continue;
+    }
+    const int32_t code = codes[r];
+    uint32_t gid = code_gids[code];
+    if (gid == kEmptySlot) {
+      // First time this code appears: encode '\x01' + u32 len + bytes
+      // (identical to the generic arena encoding) and probe once.
+      std::string_view v = dict->Value(code);
+      const uint32_t len = static_cast<uint32_t>(v.size());
+      scratch.clear();
+      scratch.push_back('\x01');
+      scratch.append(reinterpret_cast<const char*>(&len), 4);
+      scratch.append(v.data(), v.size());
+      gid = FindOrInsert(hash_util::HashString(v),
+                         reinterpret_cast<const uint8_t*>(scratch.data()),
+                         static_cast<uint32_t>(scratch.size()));
+      code_gids[code] = gid;
+    }
+    (*group_ids)[r] = gid;
+  }
+  return Status::OK();
+}
+
 Status GroupTable::MapBatch(const std::vector<ArrayPtr>& key_columns,
                             const std::vector<uint64_t>& hashes,
                             std::vector<uint32_t>* group_ids) {
+  // Single dictionary key: group ids resolve per distinct code, not per
+  // row, and the per-row loop degenerates to a gather (paper §6.6's
+  // "group on codes" optimization). Hashes are per-entry HashString
+  // values, matching what HashColumns produced for the same rows.
+  if (key_columns.size() == 1 && key_columns[0]->type().is_dictionary()) {
+    return MapDictBatch(checked_cast<DictionaryArray>(*key_columns[0]),
+                        group_ids);
+  }
+
   scratch_arena_.clear();
   FUSION_RETURN_NOT_OK(encoder_.EncodeColumnsToArena(key_columns, &scratch_arena_,
                                                      &scratch_slices_));
@@ -50,38 +137,9 @@ Status GroupTable::MapBatch(const std::vector<ArrayPtr>& key_columns,
   group_ids->resize(static_cast<size_t>(rows));
 
   for (int64_t r = 0; r < rows; ++r) {
-    // Keep the load factor below 1/2 even if every remaining row is a
-    // new group (checked per row: the probe loop relies on a free slot).
-    if ((groups_.size() + 1) * 2 > capacity_) Grow();
-
-    const uint64_t hash = hashes[r];
     const row::KeySlice probe = scratch_slices_[r];
-    const uint8_t* probe_key = scratch_arena_.data() + probe.offset;
-    size_t slot = SlotFor(hash);
-    for (;;) {
-      const uint32_t g = slots_[slot];
-      if (g == kEmptySlot) {
-        // New group: copy the scratch-encoded key into the arena.
-        const uint32_t id = static_cast<uint32_t>(groups_.size());
-        GroupEntry entry;
-        entry.hash = hash;
-        entry.key.offset = arena_.size();
-        entry.key.length = probe.length;
-        arena_.insert(arena_.end(), probe_key, probe_key + probe.length);
-        groups_.push_back(entry);
-        slots_[slot] = id;
-        (*group_ids)[r] = id;
-        break;
-      }
-      const GroupEntry& entry = groups_[g];
-      if (entry.hash == hash && entry.key.length == probe.length &&
-          std::memcmp(arena_.data() + entry.key.offset, probe_key,
-                      probe.length) == 0) {
-        (*group_ids)[r] = g;
-        break;
-      }
-      slot = (slot + 1) & (capacity_ - 1);
-    }
+    (*group_ids)[r] = FindOrInsert(hashes[r], scratch_arena_.data() + probe.offset,
+                                   probe.length);
   }
   return Status::OK();
 }
@@ -100,7 +158,8 @@ int64_t GroupTable::SizeBytes() const {
   return static_cast<int64_t>(slots_.capacity() * sizeof(uint32_t) +
                               groups_.capacity() * sizeof(GroupEntry) +
                               arena_.capacity() + scratch_arena_.capacity() +
-                              scratch_slices_.capacity() * sizeof(row::KeySlice));
+                              scratch_slices_.capacity() * sizeof(row::KeySlice) +
+                              cached_dict_group_ids_.capacity() * sizeof(uint32_t));
 }
 
 HashChainTable::HashChainTable()

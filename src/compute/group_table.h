@@ -63,6 +63,14 @@ class GroupTable {
 
   void Grow();
 
+  /// Probe/insert one encoded key; shared by the generic arena path and
+  /// the dictionary fast path.
+  uint32_t FindOrInsert(uint64_t hash, const uint8_t* key, uint32_t len);
+
+  /// Single dictionary key column: resolve each distinct code to a group
+  /// id once per dictionary instance, then map rows by gather.
+  Status MapDictBatch(const DictionaryArray& keys, std::vector<uint32_t>* group_ids);
+
   row::GroupKeyEncoder encoder_;
   /// Open-addressing slots: group id per slot (kEmptySlot = vacant).
   /// The slot's key hash lives in its GroupEntry.
@@ -75,6 +83,12 @@ class GroupTable {
   /// rows are copied into the persistent arena).
   std::vector<uint8_t> scratch_arena_;
   std::vector<row::KeySlice> scratch_slices_;
+  /// Dictionary fast-path cache: group id per code of the most recent
+  /// dictionary instance (codes resolve lazily, so unreferenced entries
+  /// never create groups). The shared_ptr keeps the pointer-identity
+  /// check sound across batches.
+  std::shared_ptr<StringArray> cached_dict_;
+  std::vector<uint32_t> cached_dict_group_ids_;
 };
 
 /// \brief The same flat-table core specialized for hash joins: an

@@ -92,6 +92,32 @@ Status HashArray(const Array& input, uint64_t seed, std::vector<uint64_t>* hashe
       }
       return Status::OK();
     }
+    case TypeId::kDictionary: {
+      // Hash each distinct dictionary entry once, then gather per row.
+      // Produces bytes identical to the dense kString path, so grouping
+      // and join probes mix encodings freely.
+      const auto& arr = checked_cast<DictionaryArray>(input);
+      const StringArray& dict = *arr.dictionary();
+      std::vector<uint64_t> dict_hashes(static_cast<size_t>(dict.length()));
+      for (int64_t c = 0; c < dict.length(); ++c) {
+        dict_hashes[static_cast<size_t>(c)] = hash_util::HashString(dict.Value(c));
+      }
+      const int32_t* codes = arr.raw_codes();
+      if (input.null_count() == 0) {
+        for (int64_t i = 0; i < n; ++i) {
+          uint64_t h = dict_hashes[static_cast<size_t>(codes[i])];
+          (*hashes)[i] = combine ? hash_util::CombineHashes((*hashes)[i], h) : h;
+        }
+      } else {
+        for (int64_t i = 0; i < n; ++i) {
+          uint64_t h = input.IsNull(i)
+                           ? kNullHash
+                           : dict_hashes[static_cast<size_t>(codes[i])];
+          (*hashes)[i] = combine ? hash_util::CombineHashes((*hashes)[i], h) : h;
+        }
+      }
+      return Status::OK();
+    }
     case TypeId::kNull:
       for (int64_t i = 0; i < n; ++i) {
         (*hashes)[i] = combine ? hash_util::CombineHashes((*hashes)[i], kNullHash)

@@ -5,7 +5,9 @@ namespace compute {
 
 BufferPtr AllSetBitmap(int64_t length) {
   auto buf = std::make_shared<Buffer>(bit_util::BytesForBits(length));
-  std::memset(buf->mutable_data(), 0xff, static_cast<size_t>(buf->size()));
+  if (buf->size() > 0) {
+    std::memset(buf->mutable_data(), 0xff, static_cast<size_t>(buf->size()));
+  }
   return buf;
 }
 

@@ -112,6 +112,30 @@ Result<ArrayPtr> Take(const Array& input, const std::vector<int64_t>& indices) {
                                                     std::move(data),
                                                     std::move(validity), nulls));
     }
+    case TypeId::kDictionary: {
+      // The dictionary fast path: gather 4-byte codes and share the
+      // dictionary; no string bytes move.
+      const auto& in = checked_cast<DictionaryArray>(input);
+      const int32_t* in_codes = in.raw_codes();
+      const int64_t n = static_cast<int64_t>(indices.size());
+      auto codes = std::make_shared<Buffer>(n * sizeof(int32_t));
+      int32_t* out = codes->mutable_data_as<int32_t>();
+      BufferPtr validity;
+      int64_t nulls = 0;
+      for (int64_t i = 0; i < n; ++i) {
+        int64_t idx = indices[i];
+        if (idx < 0 || in.IsNull(idx)) {
+          if (validity == nullptr) validity = AllSetBitmap(n);
+          bit_util::ClearBit(validity->mutable_data(), i);
+          ++nulls;
+          out[i] = 0;
+        } else {
+          out[i] = in_codes[idx];
+        }
+      }
+      return ArrayPtr(std::make_shared<DictionaryArray>(
+          n, std::move(codes), in.dictionary(), std::move(validity), nulls));
+    }
     case TypeId::kNull:
       return ArrayPtr(
           std::make_shared<NullArray>(static_cast<int64_t>(indices.size())));

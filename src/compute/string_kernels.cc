@@ -116,8 +116,9 @@ bool LikeMatcher::Matches(std::string_view value) const {
 namespace {
 Status CheckString(const Array& input, const char* kernel) {
   // Null-typed inputs (NULL literals) are accepted; every kernel
-  // propagates them as all-null outputs.
-  if (!input.type().is_string() && !input.type().is_null()) {
+  // propagates them as all-null outputs. Dictionary arrays are strings
+  // under a different physical encoding.
+  if (!input.type().is_string_like() && !input.type().is_null()) {
     return Status::TypeError(std::string(kernel) + ": requires string input");
   }
   return Status::OK();
@@ -126,13 +127,31 @@ Status CheckString(const Array& input, const char* kernel) {
 template <typename Pred>
 Result<ArrayPtr> StringPredicate(const Array& input, Pred&& pred) {
   if (input.type().is_null()) return MakeArrayOfNulls(boolean(), input.length());
-  const auto& sa = checked_cast<StringArray>(input);
   const int64_t n = input.length();
   auto values = std::make_shared<Buffer>(bit_util::BytesForBits(n));
   auto [validity, nulls] = CopyValidity(input);
-  for (int64_t i = 0; i < n; ++i) {
-    if (input.IsValid(i) && pred(sa.Value(i))) {
-      bit_util::SetBit(values->mutable_data(), i);
+  if (input.type().is_dictionary()) {
+    // Evaluate the predicate once per distinct dictionary entry, then
+    // answer per row by code — LIKE and friends become O(dict) string
+    // work plus an O(rows) table lookup.
+    const auto& da = checked_cast<DictionaryArray>(input);
+    const StringArray& dict = *da.dictionary();
+    std::vector<bool> match(static_cast<size_t>(dict.length()));
+    for (int64_t c = 0; c < dict.length(); ++c) {
+      match[static_cast<size_t>(c)] = pred(dict.Value(c));
+    }
+    const int32_t* codes = da.raw_codes();
+    for (int64_t i = 0; i < n; ++i) {
+      if (da.IsValid(i) && match[static_cast<size_t>(codes[i])]) {
+        bit_util::SetBit(values->mutable_data(), i);
+      }
+    }
+  } else {
+    const auto& sa = checked_cast<StringArray>(input);
+    for (int64_t i = 0; i < n; ++i) {
+      if (input.IsValid(i) && pred(sa.Value(i))) {
+        bit_util::SetBit(values->mutable_data(), i);
+      }
     }
   }
   return ArrayPtr(std::make_shared<BooleanArray>(n, std::move(values),
@@ -142,6 +161,28 @@ Result<ArrayPtr> StringPredicate(const Array& input, Pred&& pred) {
 template <typename Transform>
 Result<ArrayPtr> StringTransform(const Array& input, Transform&& transform) {
   if (input.type().is_null()) return MakeArrayOfNulls(utf8(), input.length());
+  if (input.type().is_dictionary()) {
+    // Transform the dictionary once and keep the codes; the result
+    // stays encoded for downstream operators.
+    const auto& da = checked_cast<DictionaryArray>(input);
+    const StringArray& dict = *da.dictionary();
+    StringBuilder dict_builder;
+    dict_builder.Reserve(dict.length());
+    for (int64_t c = 0; c < dict.length(); ++c) {
+      dict_builder.Append(transform(dict.Value(c)));
+    }
+    FUSION_ASSIGN_OR_RAISE(ArrayPtr new_dict, dict_builder.Finish());
+    BufferPtr validity =
+        input.validity()
+            ? Buffer::CopyOf(input.validity()->data(), input.validity()->size())
+            : nullptr;
+    auto codes = Buffer::CopyOf(da.raw_codes(),
+                                input.length() * static_cast<int64_t>(sizeof(int32_t)));
+    return ArrayPtr(std::make_shared<DictionaryArray>(
+        input.length(), std::move(codes),
+        std::static_pointer_cast<StringArray>(new_dict), std::move(validity),
+        input.null_count()));
+  }
   const auto& sa = checked_cast<StringArray>(input);
   StringBuilder builder;
   builder.Reserve(input.length());
@@ -186,11 +227,21 @@ Result<ArrayPtr> Lower(const Array& input) {
 Result<ArrayPtr> Length(const Array& input) {
   FUSION_RETURN_NOT_OK(CheckString(input, "Length"));
   if (input.type().is_null()) return MakeArrayOfNulls(int64(), input.length());
-  const auto& sa = checked_cast<StringArray>(input);
   const int64_t n = input.length();
   auto [validity, nulls] = CopyValidity(input);
   auto values = std::make_shared<Buffer>(n * 8);
   int64_t* out = values->mutable_data_as<int64_t>();
+  if (input.type().is_dictionary()) {
+    const auto& da = checked_cast<DictionaryArray>(input);
+    const int32_t* doffs = da.dictionary()->raw_offsets();
+    const int32_t* codes = da.raw_codes();
+    for (int64_t i = 0; i < n; ++i) {
+      out[i] = da.IsValid(i) ? doffs[codes[i] + 1] - doffs[codes[i]] : 0;
+    }
+    return ArrayPtr(std::make_shared<Int64Array>(int64(), n, std::move(values),
+                                                 std::move(validity), nulls));
+  }
+  const auto& sa = checked_cast<StringArray>(input);
   const int32_t* offs = sa.raw_offsets();
   for (int64_t i = 0; i < n; ++i) {
     out[i] = offs[i + 1] - offs[i];
@@ -216,16 +267,14 @@ Result<ArrayPtr> ConcatStrings(const Array& lhs, const Array& rhs) {
   if (lhs.length() != rhs.length()) {
     return Status::Invalid("Concat: mismatched lengths");
   }
-  const auto& a = checked_cast<StringArray>(lhs);
-  const auto& b = checked_cast<StringArray>(rhs);
   StringBuilder builder;
   builder.Reserve(lhs.length());
   for (int64_t i = 0; i < lhs.length(); ++i) {
     if (lhs.IsNull(i) || rhs.IsNull(i)) {
       builder.AppendNull();
     } else {
-      std::string out(a.Value(i));
-      out += b.Value(i);
+      std::string out(StringLikeValue(lhs, i));
+      out += StringLikeValue(rhs, i);
       builder.Append(out);
     }
   }

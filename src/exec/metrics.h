@@ -69,6 +69,10 @@ inline constexpr const char kElapsedNs[] = "elapsed_ns";
 inline constexpr const char kMemReservedBytes[] = "mem_reserved_bytes";
 inline constexpr const char kSpillCount[] = "spill_count";
 inline constexpr const char kSpillBytes[] = "spill_bytes";
+/// Rows emitted with at least one column still dictionary-encoded.
+/// output_rows - dict_rows is how many rows went out fully dense, so
+/// EXPLAIN ANALYZE shows exactly where encodings survive or get decoded.
+inline constexpr const char kDictRows[] = "dict_rows";
 }  // namespace metric
 
 /// \brief The set of metrics recorded by one plan node across all of its
@@ -152,10 +156,11 @@ class ScopedTimer {
 class InstrumentedStream : public RecordBatchStream {
  public:
   InstrumentedStream(StreamPtr inner, MetricValuePtr output_rows,
-                     MetricValuePtr output_batches, MetricValuePtr elapsed_ns)
+                     MetricValuePtr output_batches, MetricValuePtr elapsed_ns,
+                     MetricValuePtr dict_rows = nullptr)
       : inner_(std::move(inner)), output_rows_(std::move(output_rows)),
         output_batches_(std::move(output_batches)),
-        elapsed_ns_(std::move(elapsed_ns)) {}
+        elapsed_ns_(std::move(elapsed_ns)), dict_rows_(std::move(dict_rows)) {}
 
   const SchemaPtr& schema() const override { return inner_->schema(); }
 
@@ -165,6 +170,14 @@ class InstrumentedStream : public RecordBatchStream {
     if (batch != nullptr) {
       output_rows_->Add(batch->num_rows());
       output_batches_->Add(1);
+      if (dict_rows_ != nullptr) {
+        for (int c = 0; c < batch->num_columns(); ++c) {
+          if (batch->column(c)->type().is_dictionary()) {
+            dict_rows_->Add(batch->num_rows());
+            break;
+          }
+        }
+      }
     }
     return batch;
   }
@@ -174,6 +187,7 @@ class InstrumentedStream : public RecordBatchStream {
   MetricValuePtr output_rows_;
   MetricValuePtr output_batches_;
   MetricValuePtr elapsed_ns_;
+  MetricValuePtr dict_rows_;
 };
 
 /// "823ns" / "12.3µs" / "4.56ms" / "1.23s".

@@ -421,8 +421,8 @@ Status WriteFile(const std::string& path, const std::vector<RecordBatchPtr>& bat
         if (col.IsNull(r)) continue;
         if (col.type().id() == TypeId::kDate32) {
           out += compute::FormatDate32(checked_cast<Int32Array>(col).Value(r));
-        } else if (col.type().is_string()) {
-          std::string_view v = checked_cast<StringArray>(col).Value(r);
+        } else if (col.type().is_string_like()) {
+          std::string_view v = StringLikeValue(col, r);
           bool needs_quotes =
               v.find(options.delimiter) != std::string_view::npos ||
               v.find('"') != std::string_view::npos ||

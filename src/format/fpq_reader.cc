@@ -4,6 +4,7 @@
 #include <algorithm>
 
 #include "arrow/builder.h"
+#include "compute/selection.h"
 #include "format/fpq.h"
 #include "format/fpq_internal.h"
 
@@ -196,30 +197,28 @@ Result<ArrayPtr> DecodePlainPage(DataType type, int64_t n, const uint8_t* data,
   }
 }
 
-/// Decode a dictionary page's codes into a StringArray via the dict.
-Result<ArrayPtr> DecodeDictPage(int64_t n, const uint8_t* data, size_t size,
-                                const std::vector<std::string_view>& dict) {
-  ByteReader r(data, size);
-  FUSION_ASSIGN_OR_RAISE(uint8_t has_validity, r.U8());
-  std::vector<uint8_t> validity;
-  if (has_validity) {
-    validity.resize(bit_util::BytesForBits(n));
-    FUSION_RETURN_NOT_OK(r.Raw(validity.data(), validity.size()));
+/// Materialize the per-chunk dictionary as a shared dense StringArray
+/// (bytes copied out of the transient chunk buffer; every page of the
+/// chunk and every downstream batch shares this one array).
+std::shared_ptr<StringArray> BuildSharedDict(
+    const std::vector<std::string_view>& dict) {
+  int64_t total_bytes = 0;
+  for (const auto& v : dict) total_bytes += static_cast<int64_t>(v.size());
+  const int64_t count = static_cast<int64_t>(dict.size());
+  auto offsets = std::make_shared<Buffer>((count + 1) * sizeof(int32_t));
+  auto data = std::make_shared<Buffer>(total_bytes);
+  int32_t* offs = offsets->mutable_data_as<int32_t>();
+  uint8_t* out = data->mutable_data();
+  int32_t pos = 0;
+  offs[0] = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    std::string_view v = dict[static_cast<size_t>(i)];
+    std::memcpy(out + pos, v.data(), v.size());
+    pos += static_cast<int32_t>(v.size());
+    offs[i + 1] = pos;
   }
-  StringBuilder builder;
-  builder.Reserve(n);
-  for (int64_t i = 0; i < n; ++i) {
-    bool valid = !has_validity || bit_util::GetBit(validity.data(), i);
-    if (!valid) {
-      builder.AppendNull();
-      continue;
-    }
-    uint32_t code = 0;
-    FUSION_RETURN_NOT_OK(r.Raw(&code, 4));
-    if (code >= dict.size()) return Status::IOError("fpq: dict code out of range");
-    builder.Append(dict[code]);
-  }
-  return builder.Finish();
+  return std::make_shared<StringArray>(count, std::move(offsets), std::move(data),
+                                       nullptr, 0);
 }
 
 Result<std::vector<std::string_view>> ParseDict(const uint8_t* data, size_t size) {
@@ -251,9 +250,76 @@ Result<ArrayPtr> Reader::ReadColumnChunk(int rg, int col,
   std::vector<uint8_t> chunk_bytes(chunk.size);
   FUSION_RETURN_NOT_OK(ReadAt(chunk.offset, chunk.size, chunk_bytes.data()));
 
-  std::vector<std::string_view> dict;
   if (chunk.encoding == Encoding::kDictionary) {
-    FUSION_ASSIGN_OR_RAISE(dict, ParseDict(chunk_bytes.data(), chunk.dict_size));
+    // Dictionary chunks stay encoded end-to-end: the chunk's dictionary
+    // is materialized once as a shared StringArray and pages contribute
+    // only int32 codes, gathered straight from the raw page bytes
+    // (RowSelection take paths touch codes, never string data).
+    FUSION_ASSIGN_OR_RAISE(auto dict,
+                           ParseDict(chunk_bytes.data(), chunk.dict_size));
+    std::shared_ptr<StringArray> shared_dict = BuildSharedDict(dict);
+    const int64_t out_rows =
+        selection != nullptr ? selection->CountRows() : rg_meta.num_rows;
+    auto codes =
+        std::make_shared<Buffer>(out_rows * static_cast<int64_t>(sizeof(int32_t)));
+    int32_t* codes_out = codes->mutable_data_as<int32_t>();
+    BufferPtr validity;
+    int64_t nulls = 0;
+    int64_t out_pos = 0;
+    for (const PageMeta& page : chunk.pages) {
+      const int64_t page_end = page.first_row + page.num_rows;
+      if (selection != nullptr && !selection->Overlaps(page.first_row, page_end)) {
+        if (metrics != nullptr) ++metrics->pages_skipped;
+        continue;
+      }
+      if (metrics != nullptr) ++metrics->pages_read;
+      const uint8_t* page_data = chunk_bytes.data() + chunk.dict_size + page.offset;
+      if (page.size < 1) return Status::IOError("fpq: truncated dict page");
+      const bool has_validity = page_data[0] != 0;
+      const int64_t vbytes =
+          has_validity ? bit_util::BytesForBits(page.num_rows) : 0;
+      if (static_cast<uint64_t>(1 + vbytes + page.num_rows * 4) > page.size) {
+        return Status::IOError("fpq: truncated dict page");
+      }
+      const uint8_t* page_validity = has_validity ? page_data + 1 : nullptr;
+      const uint8_t* page_codes = page_data + 1 + vbytes;
+      auto emit = [&](int64_t first, int64_t end_row) -> Status {
+        for (int64_t r = first; r < end_row; ++r) {
+          const int64_t i = r - page.first_row;
+          uint32_t code;
+          std::memcpy(&code, page_codes + i * 4, 4);
+          const bool valid = !has_validity || bit_util::GetBit(page_validity, i);
+          if (valid && code >= dict.size()) {
+            return Status::IOError("fpq: dict code out of range");
+          }
+          codes_out[out_pos] = valid ? static_cast<int32_t>(code) : 0;
+          if (!valid) {
+            if (validity == nullptr) {
+              validity =
+                  std::make_shared<Buffer>(bit_util::BytesForBits(out_rows));
+              std::memset(validity->mutable_data(), 0xff,
+                          static_cast<size_t>(validity->size()));
+            }
+            bit_util::ClearBit(validity->mutable_data(), out_pos);
+            ++nulls;
+          }
+          ++out_pos;
+        }
+        return Status::OK();
+      };
+      if (selection == nullptr) {
+        FUSION_RETURN_NOT_OK(emit(page.first_row, page_end));
+      } else {
+        for (const auto& range : selection->ranges()) {
+          int64_t start = std::max(range.start, page.first_row);
+          int64_t end = std::min(range.end, page_end);
+          if (start < end) FUSION_RETURN_NOT_OK(emit(start, end));
+        }
+      }
+    }
+    return ArrayPtr(std::make_shared<DictionaryArray>(out_rows, std::move(codes),
+                                                      std::move(shared_dict),
+                                                      std::move(validity), nulls));
   }
 
   FUSION_ASSIGN_OR_RAISE(auto builder, MakeBuilder(type));
@@ -272,13 +338,8 @@ Result<ArrayPtr> Reader::ReadColumnChunk(int rg, int col,
     if (metrics != nullptr) ++metrics->pages_read;
     const uint8_t* page_data = chunk_bytes.data() + chunk.dict_size + page.offset;
     ArrayPtr decoded;
-    if (chunk.encoding == Encoding::kDictionary) {
-      FUSION_ASSIGN_OR_RAISE(decoded,
-                             DecodeDictPage(page.num_rows, page_data, page.size, dict));
-    } else {
-      FUSION_ASSIGN_OR_RAISE(
-          decoded, DecodePlainPage(type, page.num_rows, page_data, page.size));
-    }
+    FUSION_ASSIGN_OR_RAISE(
+        decoded, DecodePlainPage(type, page.num_rows, page_data, page.size));
     if (selection == nullptr) {
       for (int64_t i = 0; i < decoded->length(); ++i) {
         builder->AppendFrom(*decoded, i);
@@ -360,18 +421,8 @@ Result<RecordBatchPtr> Reader::ScanRowGroup(int rg, const std::vector<int>& proj
     for (const auto& range : sel.ranges()) {
       for (int64_t i = range.start; i < range.end; ++i) indices.push_back(i);
     }
-    std::vector<ArrayPtr> cols;
-    for (int c = 0; c < batch->num_columns(); ++c) {
-      FUSION_ASSIGN_OR_RAISE(auto builder,
-                             MakeBuilder(batch->column(c)->type()));
-      builder->Reserve(static_cast<int64_t>(indices.size()));
-      for (int64_t i : indices) builder->AppendFrom(*batch->column(c), i);
-      FUSION_ASSIGN_OR_RAISE(auto arr, builder->Finish());
-      cols.push_back(std::move(arr));
-    }
-    return std::make_shared<RecordBatch>(batch->schema(),
-                                         static_cast<int64_t>(indices.size()),
-                                         std::move(cols));
+    // Take keeps dictionary columns encoded (codes move, bytes do not).
+    return compute::TakeBatch(*batch, indices);
   }
 
   // Late materialization (paper §6.8 steps 2-4).

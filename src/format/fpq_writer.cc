@@ -2,6 +2,7 @@
 
 #include "arrow/builder.h"
 #include "compute/aggregate_kernels.h"
+#include "compute/cast.h"
 #include "compute/hash_kernels.h"
 #include "common/hash_util.h"
 #include "format/fpq.h"
@@ -141,9 +142,12 @@ Status Writer::WriteBatch(const RecordBatch& batch) {
   if (!batch.schema()->Equals(*schema_)) {
     return Status::Invalid("fpq: batch schema does not match file schema");
   }
-  buffered_.push_back(
-      std::make_shared<RecordBatch>(batch.schema(), batch.num_rows(),
-                                    batch.columns()));
+  // The encoder chooses its own per-chunk dictionaries, so incoming
+  // dictionary columns are densified here rather than threaded through
+  // every stats/bloom/page path below.
+  auto dense = compute::EnsureDenseBatch(std::make_shared<RecordBatch>(
+      batch.schema(), batch.num_rows(), batch.columns()));
+  buffered_.push_back(std::move(dense));
   buffered_rows_ += batch.num_rows();
   while (buffered_rows_ >= options_.row_group_rows) {
     FUSION_RETURN_NOT_OK(FlushRowGroup());

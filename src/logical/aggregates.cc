@@ -220,12 +220,12 @@ class MinMaxStringAccumulator : public GroupedAccumulator {
   Status Update(const std::vector<ArrayPtr>& args,
                 const std::vector<uint32_t>& group_ids,
                 const uint8_t* opt_filter) override {
-    const auto& values = checked_cast<StringArray>(*args[0]);
+    const Array& values = *args[0];
     for (size_t i = 0; i < group_ids.size(); ++i) {
       int64_t row = static_cast<int64_t>(i);
       if (!FilterIncludes(opt_filter, row) || values.IsNull(row)) continue;
       uint32_t g = group_ids[i];
-      std::string_view v = values.Value(row);
+      std::string_view v = StringLikeValue(values, row);
       if (!seen_[g] || (kMin ? v < best_[g] : v > best_[g])) {
         best_[g] = std::string(v);
         seen_[g] = 1;
@@ -678,7 +678,8 @@ class CountDistinctAccumulator : public GroupedAccumulator {
   static std::string EncodeValue(const Array& values, int64_t row) {
     switch (values.type().id()) {
       case TypeId::kString:
-        return std::string(checked_cast<StringArray>(values).Value(row));
+      case TypeId::kDictionary:
+        return std::string(StringLikeValue(values, row));
       case TypeId::kFloat64: {
         double v = checked_cast<Float64Array>(values).Value(row);
         return std::string(reinterpret_cast<const char*>(&v), 8);

@@ -412,14 +412,14 @@ void RegisterBuiltinScalarFunctions(FunctionRegistry* registry) {
     to_date_fn->impl = [](const std::vector<ColumnarValue>& args,
                           int64_t num_rows) -> Result<ColumnarValue> {
       FUSION_ASSIGN_OR_RAISE(auto arr, args[0].ToArray(num_rows));
-      const auto& sa = checked_cast<StringArray>(*arr);
+      const Array& sa = *arr;
       Date32Builder builder;
       for (int64_t i = 0; i < sa.length(); ++i) {
         if (sa.IsNull(i)) {
           builder.AppendNull();
           continue;
         }
-        auto days = compute::ParseDate32(std::string(sa.Value(i)));
+        auto days = compute::ParseDate32(std::string(StringLikeValue(sa, i)));
         if (!days.ok()) {
           builder.AppendNull();
         } else {

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "compute/cast.h"
+
 namespace fusion {
 namespace physical {
 
@@ -14,13 +16,15 @@ Result<exec::StreamPtr> ExecutionPlan::Execute(int partition,
   auto rows = metrics_->Counter(exec::metric::kOutputRows, partition);
   auto batches = metrics_->Counter(exec::metric::kOutputBatches, partition);
   auto elapsed = metrics_->Time(exec::metric::kElapsedNs, partition);
+  auto dict_rows = metrics_->Counter(exec::metric::kDictRows, partition);
   // Opening the stream can itself be heavy (hash join builds, sorts);
   // charge it to the same elapsed metric as Next().
   exec::ScopedTimer open_timer(elapsed);
   FUSION_ASSIGN_OR_RAISE(auto stream, ExecuteImpl(partition, ctx));
   open_timer.Stop();
   return exec::StreamPtr(std::make_unique<exec::InstrumentedStream>(
-      std::move(stream), std::move(rows), std::move(batches), std::move(elapsed)));
+      std::move(stream), std::move(rows), std::move(batches), std::move(elapsed),
+      std::move(dict_rows)));
 }
 
 std::string ExecutionPlan::ToString() const {
@@ -54,7 +58,10 @@ Result<std::vector<RecordBatchPtr>> ExecuteCollect(const ExecPlanPtr& plan,
 
   std::vector<RecordBatchPtr> out;
   for (auto& part : results) {
-    for (auto& b : part) out.push_back(std::move(b));
+    // Query results leave the engine here; consumers (result comparison,
+    // CSV/IPC export, clients) expect plain arrays, so any columns still
+    // carrying dictionary codes are densified at this final boundary.
+    for (auto& b : part) out.push_back(compute::EnsureDenseBatch(std::move(b)));
   }
   return out;
 }
@@ -70,6 +77,7 @@ PlanMetricsNode CollectMetrics(const ExecutionPlan& plan) {
   node.spill_count = m.AggregatedValue(exec::metric::kSpillCount);
   node.spill_bytes = m.AggregatedValue(exec::metric::kSpillBytes);
   node.mem_reserved_bytes = m.AggregatedValue(exec::metric::kMemReservedBytes);
+  node.dict_rows = m.AggregatedValue(exec::metric::kDictRows);
   int64_t children_elapsed = 0;
   for (const auto& c : plan.children()) {
     node.children.push_back(CollectMetrics(*c));
@@ -98,6 +106,10 @@ std::string RenderAnnotatedPlan(const ExecutionPlan& plan) {
         }
         if (m.mem_reserved_bytes > 0) {
           out << ", mem_reserved_bytes=" << m.mem_reserved_bytes;
+        }
+        if (m.dict_rows > 0) {
+          out << ", dict_rows=" << m.dict_rows
+              << ", dense_rows=" << (m.output_rows - m.dict_rows);
         }
         out << "]\n";
         for (const auto& c : p.children()) render(*c, indent + 1);
@@ -142,6 +154,10 @@ void MetricsNodeToJson(const PlanMetricsNode& node, std::string* out) {
   }
   if (node.mem_reserved_bytes > 0) {
     *out += ",\"mem_reserved_bytes\":" + std::to_string(node.mem_reserved_bytes);
+  }
+  if (node.dict_rows > 0) {
+    *out += ",\"dict_rows\":" + std::to_string(node.dict_rows);
+    *out += ",\"dense_rows\":" + std::to_string(node.output_rows - node.dict_rows);
   }
   *out += ",\"children\":[";
   for (size_t i = 0; i < node.children.size(); ++i) {

@@ -105,6 +105,9 @@ struct PlanMetricsNode {
   int64_t spill_count = 0;
   int64_t spill_bytes = 0;
   int64_t mem_reserved_bytes = 0;
+  /// Rows emitted with at least one dictionary-encoded column still in
+  /// code form; output_rows - dict_rows is the densified remainder.
+  int64_t dict_rows = 0;
   std::vector<PlanMetricsNode> children;
 };
 

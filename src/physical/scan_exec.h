@@ -23,7 +23,10 @@ class ScanExec : public ExecutionPlan {
   SchemaPtr schema() const override { return schema_; }
 
   int output_partitions() const override {
-    const_cast<ScanExec*>(this)->EnsureOpened().Abort();
+    // A failed open is not dropped here: EnsureOpened caches the status
+    // and the first ExecuteImpl returns it. Until the scan opens cleanly
+    // this node reports a single partition.
+    if (!EnsureOpened().ok()) return 1;
     return static_cast<int>(iterators_.size());
   }
 
@@ -68,7 +71,7 @@ class ScanExec : public ExecutionPlan {
   const catalog::TableProviderPtr& provider() const { return provider_; }
 
  private:
-  Status EnsureOpened() {
+  Status EnsureOpened() const {
     std::lock_guard<std::mutex> lock(mu_);
     if (opened_) return open_status_;
     opened_ = true;
@@ -94,10 +97,10 @@ class ScanExec : public ExecutionPlan {
   catalog::ScanRequest request_;
   SchemaPtr schema_;
 
-  std::mutex mu_;
-  bool opened_ = false;
-  Status open_status_;
-  std::vector<catalog::BatchIteratorPtr> iterators_;
+  mutable std::mutex mu_;
+  mutable bool opened_ = false;
+  mutable Status open_status_;
+  mutable std::vector<catalog::BatchIteratorPtr> iterators_;
 };
 
 }  // namespace physical

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "arrow/builder.h"
+#include "compute/cast.h"
 #include "compute/selection.h"
 #include "row/row_format.h"
 
@@ -87,6 +88,10 @@ Result<exec::StreamPtr> WindowExec::ExecuteImpl(int partition,
   FUSION_ASSIGN_OR_RAISE(auto stream, input_->Execute(0, ctx));
   FUSION_ASSIGN_OR_RAISE(auto batches, exec::CollectStream(stream.get()));
   FUSION_ASSIGN_OR_RAISE(auto input, ConcatenateBatches(input_->schema(), batches));
+  // Window evaluation indexes values row-at-a-time in arbitrary frame
+  // order; densify once at this pipeline breaker instead of teaching
+  // every frame function about codes.
+  input = compute::EnsureDenseBatch(input);
   const int64_t n = input->num_rows();
 
   std::vector<ArrayPtr> extra_columns;

@@ -89,7 +89,8 @@ Status EncodeValue(const Array& col, int64_t row, const SortOptions& opt,
                       8, inv, key);
       return Status::OK();
     case TypeId::kString:
-      AppendEscapedString(checked_cast<StringArray>(col).Value(row), inv, key);
+    case TypeId::kDictionary:
+      AppendEscapedString(StringLikeValue(col, row), inv, key);
       return Status::OK();
     case TypeId::kNull:
       return Status::OK();
@@ -163,8 +164,11 @@ void GroupKeyEncoder::EncodeRow(const std::vector<ArrayPtr>& columns, int64_t ro
         key->append(reinterpret_cast<const char*>(&v), 8);
         break;
       }
-      case TypeId::kString: {
-        std::string_view v = checked_cast<StringArray>(col).Value(row);
+      // Dictionary rows encode the referenced string so key bytes are
+      // identical whichever physical encoding a batch arrived in.
+      case TypeId::kString:
+      case TypeId::kDictionary: {
+        std::string_view v = StringLikeValue(col, row);
         uint32_t len = static_cast<uint32_t>(v.size());
         key->append(reinterpret_cast<const char*>(&len), 4);
         key->append(v.data(), v.size());
@@ -200,6 +204,26 @@ void AddColumnWidths(const Array& col, std::vector<uint64_t>* widths) {
         for (int64_t r = 0; r < rows; ++r) {
           (*widths)[r] +=
               col.IsNull(r) ? 1 : 5 + static_cast<uint32_t>(offs[r + 1] - offs[r]);
+        }
+      }
+      return;
+    }
+    case TypeId::kDictionary: {
+      // Width per distinct entry computed once; rows index the table.
+      const auto& arr = checked_cast<DictionaryArray>(col);
+      const int32_t* doffs = arr.dictionary()->raw_offsets();
+      const int32_t* codes = arr.raw_codes();
+      if (col.null_count() == 0) {
+        for (int64_t r = 0; r < rows; ++r) {
+          (*widths)[r] +=
+              5 + static_cast<uint32_t>(doffs[codes[r] + 1] - doffs[codes[r]]);
+        }
+      } else {
+        for (int64_t r = 0; r < rows; ++r) {
+          (*widths)[r] +=
+              col.IsNull(r)
+                  ? 1
+                  : 5 + static_cast<uint32_t>(doffs[codes[r] + 1] - doffs[codes[r]]);
         }
       }
       return;
@@ -314,6 +338,31 @@ Status GroupKeyEncoder::EncodeColumnsToArena(const std::vector<ArrayPtr>& column
         }
         break;
       }
+      case TypeId::kDictionary: {
+        // Dictionary-aware path: resolve each entry's bytes once, then
+        // copy per row by code. Emits bytes identical to the kString
+        // case, so dictionary and dense batches group together.
+        const auto& arr = checked_cast<DictionaryArray>(col);
+        const StringArray& dict = *arr.dictionary();
+        const int32_t* doffs = dict.raw_offsets();
+        const char* dbytes = reinterpret_cast<const char*>(dict.data()->data());
+        const int32_t* codes = arr.raw_codes();
+        for (int64_t r = 0; r < rows; ++r) {
+          uint64_t& cur = cursors[r];
+          if (col.IsNull(r)) {
+            data[cur++] = 0;
+            continue;
+          }
+          data[cur++] = 1;
+          const int32_t code = codes[r];
+          const uint32_t len = static_cast<uint32_t>(doffs[code + 1] - doffs[code]);
+          std::memcpy(data + cur, &len, 4);
+          cur += 4;
+          std::memcpy(data + cur, dbytes + doffs[code], len);
+          cur += len;
+        }
+        break;
+      }
       case TypeId::kNull:
         for (int64_t r = 0; r < rows; ++r) data[cursors[r]++] = 0;
         break;
@@ -380,6 +429,16 @@ Result<std::vector<ArrayPtr>> DecodeKeysImpl(
           pos += len;
           break;
         }
+        case TypeId::kDictionary: {
+          // Same key bytes as kString; re-intern on decode.
+          uint32_t len;
+          std::memcpy(&len, key.data() + pos, 4);
+          pos += 4;
+          static_cast<DictionaryBuilder*>(builders[c].get())
+              ->Append(key.substr(pos, len));
+          pos += len;
+          break;
+        }
         case TypeId::kNull:
           builders[c]->AppendNull();
           break;
@@ -425,6 +484,11 @@ int CompareRows(const std::vector<ArrayPtr>& left_cols, int64_t li,
       continue;
     }
     int cmp = 0;
+    if (l.type().is_string_like()) {
+      int c3 = StringLikeValue(l, li).compare(StringLikeValue(r, ri));
+      if (c3 != 0) return opt.descending ? (c3 < 0 ? 1 : -1) : (c3 < 0 ? -1 : 1);
+      continue;
+    }
     switch (l.type().id()) {
       case TypeId::kBool: {
         int a = checked_cast<BooleanArray>(l).Value(li);
@@ -452,12 +516,9 @@ int CompareRows(const std::vector<ArrayPtr>& left_cols, int64_t li,
         cmp = a < b ? -1 : (a > b ? 1 : 0);
         break;
       }
-      case TypeId::kString: {
-        int c3 = checked_cast<StringArray>(l).Value(li).compare(
-            checked_cast<StringArray>(r).Value(ri));
-        cmp = c3 < 0 ? -1 : (c3 > 0 ? 1 : 0);
-        break;
-      }
+      case TypeId::kString:
+      case TypeId::kDictionary:
+        break;  // string-like columns handled above the switch
       case TypeId::kNull:
         cmp = 0;
         break;
