@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "arrow/builder.h"
+#include "common/fault_injector.h"
 
 namespace fusion {
 namespace ipc {
@@ -226,12 +227,14 @@ Status FileWriter::Open() {
 }
 
 Status FileWriter::WriteBatch(const RecordBatch& batch) {
+  FUSION_RETURN_NOT_OK(FaultInjector::Maybe("ipc.write"));
   std::vector<uint8_t> blob = SerializeBatch(batch);
   uint64_t len = blob.size();
   if (std::fwrite(&len, 8, 1, file_) != 1 ||
       std::fwrite(blob.data(), 1, blob.size(), file_) != blob.size()) {
     return Status::IOError("short write to " + path_);
   }
+  bytes_written_ += static_cast<int64_t>(8 + blob.size());
   return Status::OK();
 }
 
@@ -254,6 +257,7 @@ Status FileReader::Open() {
 }
 
 Result<RecordBatchPtr> FileReader::Next() {
+  FUSION_RETURN_NOT_OK(FaultInjector::Maybe("ipc.read"));
   uint64_t len = 0;
   size_t n = std::fread(&len, 1, 8, file_);
   if (n == 0) return RecordBatchPtr(nullptr);  // clean EOF

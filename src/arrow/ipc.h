@@ -29,9 +29,14 @@ class FileWriter {
   Status WriteBatch(const RecordBatch& batch);
   Status Close();
 
+  /// Serialized bytes written so far (length prefixes included); spill
+  /// sites charge this against the DiskManager budget.
+  int64_t bytes_written() const { return bytes_written_; }
+
  private:
   std::string path_;
   std::FILE* file_ = nullptr;
+  int64_t bytes_written_ = 0;
 };
 
 /// \brief Reader for files produced by FileWriter; batches are read

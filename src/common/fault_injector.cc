@@ -1,0 +1,124 @@
+#include "common/fault_injector.h"
+
+#include <cstdlib>
+
+namespace fusion {
+
+std::shared_ptr<FaultInjector> FaultInjector::keeper_;
+std::atomic<FaultInjector*> FaultInjector::global_{nullptr};
+std::atomic<bool> FaultInjector::env_checked_{false};
+std::mutex FaultInjector::install_mu_;
+
+namespace {
+
+StatusCode DefaultCodeFor(const std::string& site) {
+  if (site.rfind("pool.", 0) == 0) return StatusCode::kOutOfMemory;
+  return StatusCode::kIoError;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<FaultInjector>> FaultInjector::Make(
+    const std::string& spec, uint64_t seed) {
+  std::map<std::string, Site> sites;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == entry.size()) {
+      return Status::Invalid("fault spec entry '" + entry +
+                             "' is not of the form site:probability");
+    }
+    std::string name = entry.substr(0, colon);
+    char* parse_end = nullptr;
+    double prob = std::strtod(entry.c_str() + colon + 1, &parse_end);
+    if (parse_end == nullptr || *parse_end != '\0' || prob < 0.0 || prob > 1.0) {
+      return Status::Invalid("fault spec entry '" + entry +
+                             "' has an invalid probability (want [0,1])");
+    }
+    Site site;
+    site.probability = prob;
+    site.code = DefaultCodeFor(name);
+    sites[std::move(name)] = site;
+  }
+  if (sites.empty()) {
+    return Status::Invalid("fault spec '" + spec + "' names no sites");
+  }
+  return std::shared_ptr<FaultInjector>(
+      new FaultInjector(std::move(sites), seed));
+}
+
+void FaultInjector::Install(std::shared_ptr<FaultInjector> injector) {
+  std::lock_guard<std::mutex> lock(install_mu_);
+  // Publish the raw pointer last so Maybe never observes a pointer whose
+  // owner has been dropped.
+  global_.store(nullptr, std::memory_order_release);
+  keeper_ = std::move(injector);
+  global_.store(keeper_.get(), std::memory_order_release);
+  env_checked_.store(true, std::memory_order_release);
+}
+
+std::shared_ptr<FaultInjector> FaultInjector::Current() {
+  if (!env_checked_.load(std::memory_order_acquire)) InitFromEnv();
+  std::lock_guard<std::mutex> lock(install_mu_);
+  return keeper_;
+}
+
+void FaultInjector::InitFromEnv() {
+  std::lock_guard<std::mutex> lock(install_mu_);
+  if (env_checked_.load(std::memory_order_acquire)) return;
+  const char* spec = std::getenv("FUSION_FAULTS");
+  if (spec != nullptr && spec[0] != '\0') {
+    uint64_t seed = 0;
+    if (const char* s = std::getenv("FUSION_FAULTS_SEED")) {
+      seed = std::strtoull(s, nullptr, 10);
+    }
+    auto injector = Make(spec, seed);
+    if (injector.ok()) {
+      keeper_ = std::move(*injector);
+      global_.store(keeper_.get(), std::memory_order_release);
+    } else {
+      // A malformed spec must not be silently ignored in a testing tool:
+      // fail loudly at startup rather than run a "stress" job with no
+      // faults enabled.
+      injector.status().Abort();
+    }
+  }
+  env_checked_.store(true, std::memory_order_release);
+}
+
+Status FaultInjector::MaybeInject(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || it->second.probability <= 0.0) return Status::OK();
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  if (dist(rng_) >= it->second.probability) return Status::OK();
+  ++it->second.injected;
+  return Status(it->second.code,
+                "fault-injected: site '" + site + "' (fault #" +
+                    std::to_string(it->second.injected) + ")");
+}
+
+int64_t FaultInjector::injected(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.injected;
+}
+
+int64_t FaultInjector::total_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [name, site] : sites_) total += site.injected;
+  return total;
+}
+
+void FaultInjector::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_.seed(seed);
+}
+
+}  // namespace fusion

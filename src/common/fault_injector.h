@@ -1,0 +1,109 @@
+#ifndef FUSION_COMMON_FAULT_INJECTOR_H_
+#define FUSION_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fusion {
+
+/// \brief Scripted fault injection for resource and I/O error paths.
+///
+/// The engine promises that every query either returns a correct result
+/// or a clean error — no crash, hang, or leak — even when memory pools
+/// deny growth, temp files cannot be created, or spill files come back
+/// truncated. Those paths are nearly unreachable in normal test runs, so
+/// the injector makes them reachable on demand: named sites in the
+/// runtime (`pool.grow`, `disk.create`, `ipc.write`, `ipc.read`,
+/// `csv.read`, `fpq.read`) call `FaultInjector::Maybe(site)` and receive
+/// an error Status with the configured probability.
+///
+/// Scripting is env-var based so any binary (tests, benchmarks, the CLI)
+/// can run under faults without code changes:
+///
+///   FUSION_FAULTS="pool.grow:0.05,disk.create:0.1,ipc.write:0.02"
+///   FUSION_FAULTS_SEED=42   # optional, defaults to 0 (deterministic)
+///
+/// Tests install injectors programmatically via `Install`. The injector
+/// is process-global (the sites live below RuntimeEnv, in the arrow and
+/// format layers); `RuntimeEnv::fault_injector` surfaces the active one
+/// for introspection. When no injector is installed — the production
+/// default — `Maybe` is two relaxed loads and returns immediately.
+class FaultInjector {
+ public:
+  /// One scripted site: probability per call and the Status code an
+  /// injected fault carries (chosen to match what the real failure would
+  /// produce, e.g. OutOfMemory for pool.grow, IOError for ipc.*).
+  struct Site {
+    double probability = 0.0;
+    StatusCode code = StatusCode::kIoError;
+    int64_t injected = 0;  ///< faults fired at this site so far
+  };
+
+  /// Parse a spec like "pool.grow:0.05,ipc.write:0.02". Probabilities
+  /// must be in [0, 1]. Unknown site names are allowed (user-defined
+  /// operators may add their own sites); they default to kIoError unless
+  /// the name starts with "pool." (kOutOfMemory).
+  static Result<std::shared_ptr<FaultInjector>> Make(const std::string& spec,
+                                                     uint64_t seed = 0);
+
+  /// Install as the process-global injector (nullptr disables injection).
+  static void Install(std::shared_ptr<FaultInjector> injector);
+
+  /// The active injector: the installed one, else one parsed from
+  /// FUSION_FAULTS on first use, else nullptr.
+  static std::shared_ptr<FaultInjector> Current();
+
+  /// The per-site hook. Returns OK unless an injector is installed and
+  /// the site's dice roll fires. Fast path (no injector) is two loads.
+  static Status Maybe(const char* site) {
+    FaultInjector* g = global_.load(std::memory_order_acquire);
+    if (g == nullptr) {
+      if (!env_checked_.load(std::memory_order_acquire)) InitFromEnv();
+      g = global_.load(std::memory_order_acquire);
+      if (g == nullptr) return Status::OK();
+    }
+    return g->MaybeInject(site);
+  }
+
+  Status MaybeInject(const std::string& site);
+
+  /// Faults fired at `site` so far (0 for unknown sites).
+  int64_t injected(const std::string& site) const;
+  /// Total faults fired across all sites.
+  int64_t total_injected() const;
+  /// Re-seed the RNG (e.g. between stress trials) without re-parsing.
+  void Reseed(uint64_t seed);
+
+  const std::map<std::string, Site>& sites() const { return sites_; }
+
+ private:
+  FaultInjector(std::map<std::string, Site> sites, uint64_t seed)
+      : sites_(std::move(sites)), rng_(seed) {}
+
+  static void InitFromEnv();
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site> sites_;
+  std::mt19937_64 rng_;
+
+  // Keeper owns the installed injector; global_ is the raw fast-path
+  // pointer (loaded on every Maybe call, so it must be a trivial load).
+  static std::shared_ptr<FaultInjector> keeper_;
+  static std::atomic<FaultInjector*> global_;
+  static std::atomic<bool> env_checked_;
+  static std::mutex install_mu_;
+};
+
+using FaultInjectorPtr = std::shared_ptr<FaultInjector>;
+
+}  // namespace fusion
+
+#endif  // FUSION_COMMON_FAULT_INJECTOR_H_

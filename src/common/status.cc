@@ -32,6 +32,8 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kResourcesExhausted:
+      return "ResourcesExhausted";
   }
   return "Unknown";
 }

@@ -21,6 +21,7 @@ enum class StatusCode {
   kExecutionError,
   kInternal,
   kCancelled,
+  kResourcesExhausted,
 };
 
 /// \brief Arrow-style status object: cheap to return, carries an error
@@ -73,6 +74,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status ResourcesExhausted(std::string msg) {
+    return Status(StatusCode::kResourcesExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -90,6 +94,10 @@ class Status {
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsPlanError() const { return code() == StatusCode::kPlanError; }
   bool IsExecutionError() const { return code() == StatusCode::kExecutionError; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsResourcesExhausted() const {
+    return code() == StatusCode::kResourcesExhausted;
+  }
 
   /// Human-readable "<CODE>: <message>" string.
   std::string ToString() const;

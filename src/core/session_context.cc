@@ -84,11 +84,18 @@ Result<logical::PlanPtr> SessionContext::OptimizePlan(
   return optimizer_.Optimize(plan);
 }
 
-physical::ExecContextPtr SessionContext::MakeExecContext() {
+physical::ExecContextPtr SessionContext::MakeExecContext(
+    exec::CancellationTokenPtr token) {
   auto ctx = std::make_shared<physical::ExecContext>();
   ctx->env = env_;
   ctx->config = config_;
   ctx->query_id = next_query_id_.fetch_add(1);
+  if (config_.timeout_ms > 0) {
+    // The session-wide deadline starts when the query starts executing.
+    if (token == nullptr) token = exec::CancellationToken::Make();
+    token->SetTimeout(config_.timeout_ms);
+  }
+  ctx->cancel = std::move(token);
   return ctx;
 }
 
@@ -104,9 +111,14 @@ Result<DataFrame> SessionContext::Sql(const std::string& sql) {
 }
 
 Result<std::vector<RecordBatchPtr>> SessionContext::ExecuteSql(
-    const std::string& sql) {
+    const std::string& sql, exec::CancellationTokenPtr token) {
   FUSION_ASSIGN_OR_RAISE(auto df, Sql(sql));
-  return df.Collect();
+  return df.Collect(std::move(token));
+}
+
+Result<std::vector<RecordBatchPtr>> SessionContext::ExecuteSqlWithTimeout(
+    const std::string& sql, int64_t timeout_ms) {
+  return ExecuteSql(sql, exec::CancellationToken::WithTimeout(timeout_ms));
 }
 
 Result<QueryResult> SessionContext::ExecuteSqlWithMetrics(const std::string& sql) {
@@ -150,17 +162,17 @@ Result<DataFrame> SessionContext::ReadJson(const std::string& path) {
 }
 
 Result<std::vector<RecordBatchPtr>> SessionContext::ExecutePlan(
-    const logical::PlanPtr& plan) {
+    const logical::PlanPtr& plan, exec::CancellationTokenPtr token) {
   FUSION_ASSIGN_OR_RAISE(auto optimized, OptimizePlan(plan));
-  auto ctx = MakeExecContext();
+  auto ctx = MakeExecContext(std::move(token));
   physical::PhysicalPlanner planner(ctx);
   FUSION_ASSIGN_OR_RAISE(auto exec_plan, planner.CreatePlan(optimized));
   return physical::ExecuteCollect(exec_plan, ctx);
 }
 
 Result<std::vector<RecordBatchPtr>> SessionContext::ExecutePhysical(
-    const physical::ExecPlanPtr& plan) {
-  return physical::ExecuteCollect(plan, MakeExecContext());
+    const physical::ExecPlanPtr& plan, exec::CancellationTokenPtr token) {
+  return physical::ExecuteCollect(plan, MakeExecContext(std::move(token)));
 }
 
 // ----------------------------------------------------------- DataFrame
@@ -245,8 +257,9 @@ Result<DataFrame> DataFrame::Window(
   return DataFrame(ctx_, std::move(plan));
 }
 
-Result<std::vector<RecordBatchPtr>> DataFrame::Collect() const {
-  return ctx_->ExecutePlan(plan_);
+Result<std::vector<RecordBatchPtr>> DataFrame::Collect(
+    exec::CancellationTokenPtr token) const {
+  return ctx_->ExecutePlan(plan_, std::move(token));
 }
 
 Result<int64_t> DataFrame::Count() const {

@@ -80,8 +80,14 @@ class SessionContext : public std::enable_shared_from_this<SessionContext> {
   /// Parse, plan, optimize and return a DataFrame for further
   /// composition or collection.
   Result<DataFrame> Sql(const std::string& sql);
-  /// Convenience: run SQL to completion.
-  Result<std::vector<RecordBatchPtr>> ExecuteSql(const std::string& sql);
+  /// Convenience: run SQL to completion. An optional cancellation token
+  /// lets another thread abort the query (Status::Cancelled) mid-flight.
+  Result<std::vector<RecordBatchPtr>> ExecuteSql(
+      const std::string& sql, exec::CancellationTokenPtr token = nullptr);
+  /// Run SQL with a per-query deadline; returns Status::Cancelled if the
+  /// query is still executing when `timeout_ms` elapses.
+  Result<std::vector<RecordBatchPtr>> ExecuteSqlWithTimeout(const std::string& sql,
+                                                            int64_t timeout_ms);
   /// Run SQL to completion and keep the instrumented physical plan so
   /// callers can attribute time/rows/spills to individual operators
   /// (programmatic EXPLAIN ANALYZE).
@@ -95,15 +101,21 @@ class SessionContext : public std::enable_shared_from_this<SessionContext> {
   Result<DataFrame> ReadJson(const std::string& path);
 
   /// Execute an arbitrary plan built via LogicalPlanBuilder.
-  Result<std::vector<RecordBatchPtr>> ExecutePlan(const logical::PlanPtr& plan);
+  Result<std::vector<RecordBatchPtr>> ExecutePlan(
+      const logical::PlanPtr& plan, exec::CancellationTokenPtr token = nullptr);
   /// Execute a raw ExecutionPlan (e.g. a user-defined operator tree).
   Result<std::vector<RecordBatchPtr>> ExecutePhysical(
-      const physical::ExecPlanPtr& plan);
+      const physical::ExecPlanPtr& plan,
+      exec::CancellationTokenPtr token = nullptr);
 
   exec::SessionConfig& config() { return config_; }
   const exec::RuntimeEnvPtr& env() const { return env_; }
 
-  physical::ExecContextPtr MakeExecContext();
+  /// Build the per-query execution context. A session-level
+  /// config().timeout_ms starts counting here; an explicit token is
+  /// shared with the caller so it can Cancel() concurrently.
+  physical::ExecContextPtr MakeExecContext(
+      exec::CancellationTokenPtr token = nullptr);
 
  private:
   SessionContext(exec::SessionConfig config, exec::RuntimeEnvPtr env);
@@ -146,8 +158,9 @@ class DataFrame {
                                logical::ExprPtr expr) const;
   Result<DataFrame> Window(std::vector<logical::ExprPtr> window_exprs) const;
 
-  /// Execute and gather all batches.
-  Result<std::vector<RecordBatchPtr>> Collect() const;
+  /// Execute and gather all batches; a token makes the run cancellable.
+  Result<std::vector<RecordBatchPtr>> Collect(
+      exec::CancellationTokenPtr token = nullptr) const;
   /// Execute and count rows.
   Result<int64_t> Count() const;
   /// Render results as an aligned table (testing/demos).

@@ -1,0 +1,124 @@
+#ifndef FUSION_EXEC_CANCELLATION_H_
+#define FUSION_EXEC_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "exec/stream.h"
+
+namespace fusion {
+namespace exec {
+
+/// \brief Cooperative cancellation for a running query.
+///
+/// DataFusion inherits cancellation from Tokio — dropping a stream stops
+/// its task at the next await point. Our blocking thread-pool analogue
+/// (DESIGN.md §5.6) needs an explicit signal instead: a token shared by
+/// the client and every stream/partition of one query. Streams check it
+/// at each operator boundary (the instrumented Execute() wrapper) and in
+/// the blocking waits of the exchange queues, so both pull loops and
+/// push-style producer threads observe cancellation within one batch.
+///
+/// Two trigger paths, one latch:
+///  - `Cancel()`: explicit client cancellation (abandoning a query).
+///  - a deadline (`SetTimeout`/`SetDeadline`): checked lazily on every
+///    `CheckStatus`; the first check past the deadline latches the token
+///    so later checks are a single atomic load.
+class CancellationToken {
+ public:
+  /// Why the token fired; doubles as the latch state.
+  enum Reason : int { kNone = 0, kCancelled = 1, kDeadlineExceeded = 2 };
+
+  CancellationToken() = default;
+
+  static std::shared_ptr<CancellationToken> Make() {
+    return std::make_shared<CancellationToken>();
+  }
+  /// Token that self-cancels `timeout_ms` from now.
+  static std::shared_ptr<CancellationToken> WithTimeout(int64_t timeout_ms) {
+    auto token = Make();
+    token->SetTimeout(timeout_ms);
+    return token;
+  }
+
+  void Cancel() { Latch(kCancelled); }
+
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_release);
+  }
+  void SetTimeout(int64_t timeout_ms) {
+    SetDeadline(std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(timeout_ms));
+  }
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_acquire) != 0;
+  }
+
+  bool IsCancelled() const { return ReasonNow() != kNone; }
+
+  /// OK, or Status::Cancelled naming the trigger. This is the per-batch
+  /// hook: one atomic load once latched (or with no deadline), plus a
+  /// steady_clock read while an unexpired deadline is armed.
+  Status CheckStatus() const {
+    switch (ReasonNow()) {
+      case kNone:
+        return Status::OK();
+      case kDeadlineExceeded:
+        return Status::Cancelled("query deadline exceeded");
+      default:
+        return Status::Cancelled("query cancelled");
+    }
+  }
+
+ private:
+  Reason ReasonNow() const {
+    int r = reason_.load(std::memory_order_acquire);
+    if (r != kNone) return static_cast<Reason>(r);
+    int64_t d = deadline_ns_.load(std::memory_order_acquire);
+    if (d != 0 && std::chrono::steady_clock::now().time_since_epoch().count() >= d) {
+      Latch(kDeadlineExceeded);
+      return static_cast<Reason>(reason_.load(std::memory_order_acquire));
+    }
+    return kNone;
+  }
+
+  void Latch(Reason reason) const {
+    int expected = kNone;
+    reason_.compare_exchange_strong(expected, reason, std::memory_order_acq_rel);
+  }
+
+  mutable std::atomic<int> reason_{kNone};
+  std::atomic<int64_t> deadline_ns_{0};
+};
+
+using CancellationTokenPtr = std::shared_ptr<CancellationToken>;
+
+/// Stream wrapper that fails fast with Status::Cancelled once the
+/// query's token fires; installed by ExecutionPlan::Execute around every
+/// operator's stream when the ExecContext carries a token.
+class CancelCheckStream : public RecordBatchStream {
+ public:
+  CancelCheckStream(StreamPtr inner, CancellationTokenPtr token)
+      : inner_(std::move(inner)), token_(std::move(token)) {}
+
+  const SchemaPtr& schema() const override { return inner_->schema(); }
+
+  Result<RecordBatchPtr> Next() override {
+    FUSION_RETURN_NOT_OK(token_->CheckStatus());
+    return inner_->Next();
+  }
+
+ private:
+  StreamPtr inner_;
+  CancellationTokenPtr token_;
+};
+
+}  // namespace exec
+}  // namespace fusion
+
+#endif  // FUSION_EXEC_CANCELLATION_H_

@@ -1,27 +1,113 @@
 #include "exec/disk_manager.h"
 
+#include <sys/stat.h>
+#include <sys/types.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#include "common/fault_injector.h"
+#include "common/macros.h"
 
 namespace fusion {
 namespace exec {
 
-SpillFile::~SpillFile() { std::remove(path_.c_str()); }
-
-DiskManager::DiskManager(std::string base_dir) : base_dir_(std::move(base_dir)) {
-  if (base_dir_.empty()) {
-    const char* tmp = std::getenv("TMPDIR");
-    base_dir_ = tmp != nullptr ? tmp : "/tmp";
+SpillFile::~SpillFile() {
+  std::remove(path_.c_str());
+  if (manager_ != nullptr && reserved_ > 0) {
+    manager_->ReleaseSpillBytes(reserved_);
   }
 }
 
+Status SpillFile::Reserve(int64_t bytes) {
+  if (bytes <= 0) return Status::OK();
+  if (manager_ != nullptr) {
+    FUSION_RETURN_NOT_OK(manager_->ReserveSpillBytes(bytes));
+  }
+  reserved_ += bytes;
+  return Status::OK();
+}
+
+DiskManager::DiskManager(std::string base_dir, int64_t max_spill_bytes)
+    : base_dir_(std::move(base_dir)) {
+  if (base_dir_.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    base_dir_ = tmp != nullptr && tmp[0] != '\0' ? tmp : "/tmp";
+  }
+  if (max_spill_bytes < 0) {
+    max_spill_bytes = 0;
+    if (const char* env = std::getenv("FUSION_MAX_SPILL_BYTES")) {
+      max_spill_bytes = std::strtoll(env, nullptr, 10);
+      if (max_spill_bytes < 0) max_spill_bytes = 0;
+    }
+  }
+  max_spill_bytes_.store(max_spill_bytes);
+}
+
+Status DiskManager::EnsureBaseDir() {
+  std::lock_guard<std::mutex> lock(dir_mu_);
+  if (dir_checked_) return dir_status_;
+  dir_checked_ = true;
+  dir_status_ = [&]() -> Status {
+    // mkdir -p: create each missing component so a nested spill dir
+    // (e.g. TMPDIR=/tmp/fusion/spill) works out of the box.
+    for (size_t pos = 1; pos <= base_dir_.size(); ++pos) {
+      if (pos != base_dir_.size() && base_dir_[pos] != '/') continue;
+      std::string prefix = base_dir_.substr(0, pos);
+      if (prefix.empty()) continue;
+      if (::mkdir(prefix.c_str(), 0700) != 0 && errno != EEXIST) {
+        return Status::IOError("disk manager: cannot create spill directory '" +
+                               base_dir_ + "': mkdir('" + prefix +
+                               "') failed: " + std::strerror(errno));
+      }
+    }
+    struct stat st;
+    if (::stat(base_dir_.c_str(), &st) != 0) {
+      return Status::IOError("disk manager: spill directory '" + base_dir_ +
+                             "' is not accessible: " + std::strerror(errno));
+    }
+    if (!S_ISDIR(st.st_mode)) {
+      return Status::IOError("disk manager: spill path '" + base_dir_ +
+                             "' exists but is not a directory");
+    }
+    if (::access(base_dir_.c_str(), W_OK | X_OK) != 0) {
+      return Status::IOError("disk manager: spill directory '" + base_dir_ +
+                             "' is not writable: " + std::strerror(errno));
+    }
+    return Status::OK();
+  }();
+  return dir_status_;
+}
+
 Result<SpillFilePtr> DiskManager::CreateTempFile(const std::string& hint) {
+  FUSION_RETURN_NOT_OK(FaultInjector::Maybe("disk.create"));
+  FUSION_RETURN_NOT_OK(EnsureBaseDir());
   int64_t id = counter_.fetch_add(1);
   std::string path = base_dir_ + "/fusion-" + std::to_string(::getpid()) + "-" +
                      hint + "-" + std::to_string(id) + ".spill";
-  return std::make_shared<SpillFile>(std::move(path));
+  // weak_from_this: a stack-allocated DiskManager (tests) simply skips
+  // budget tracking rather than throwing bad_weak_ptr.
+  return std::make_shared<SpillFile>(std::move(path), weak_from_this().lock());
+}
+
+Status DiskManager::ReserveSpillBytes(int64_t bytes) {
+  int64_t limit = max_spill_bytes_.load();
+  int64_t now = spill_bytes_.fetch_add(bytes) + bytes;
+  if (limit > 0 && now > limit) {
+    spill_bytes_.fetch_sub(bytes);
+    return Status::ResourcesExhausted(
+        "disk manager: spill limit exceeded: " + std::to_string(now - bytes) +
+        " bytes in use + " + std::to_string(bytes) + " requested > limit " +
+        std::to_string(limit) + " (spill dir '" + base_dir_ + "')");
+  }
+  return Status::OK();
+}
+
+void DiskManager::ReleaseSpillBytes(int64_t bytes) {
+  spill_bytes_.fetch_sub(bytes);
 }
 
 }  // namespace exec

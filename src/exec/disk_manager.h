@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/result.h"
@@ -13,16 +14,30 @@ namespace exec {
 class DiskManager;
 
 /// \brief A temporary spill file removed from disk when the last
-/// reference drops (paper §7.4: "reference counted spill files").
+/// reference drops (paper §7.4: "reference counted spill files"). Bytes
+/// reserved against the owning DiskManager's spill budget are returned
+/// when the file is dropped.
 class SpillFile {
  public:
-  SpillFile(std::string path) : path_(std::move(path)) {}
+  SpillFile(std::string path, std::shared_ptr<DiskManager> manager = nullptr)
+      : path_(std::move(path)), manager_(std::move(manager)) {}
   ~SpillFile();
 
   const std::string& path() const { return path_; }
 
+  /// Charge `bytes` about to be written to this file against the disk
+  /// manager's spill budget; ResourcesExhausted when the budget is
+  /// spent. Callers reserve before writing so a runaway spill fails
+  /// cleanly instead of filling the disk.
+  Status Reserve(int64_t bytes);
+
+  /// Bytes currently charged to this file.
+  int64_t reserved_bytes() const { return reserved_; }
+
  private:
   std::string path_;
+  std::shared_ptr<DiskManager> manager_;
+  int64_t reserved_ = 0;
 };
 
 using SpillFilePtr = std::shared_ptr<SpillFile>;
@@ -30,20 +45,45 @@ using SpillFilePtr = std::shared_ptr<SpillFile>;
 /// \brief Creates spill files in a configurable temp directory. Systems
 /// with tailored policies (quotas, fast local disks) substitute their
 /// own implementation.
-class DiskManager {
+///
+/// The spill directory is created and validated on first use, so a bad
+/// TMPDIR fails fast with the offending path in the message instead of
+/// surfacing as a confusing mid-query IPC write error. Total bytes
+/// reserved by live spill files are tracked against `max_spill_bytes`
+/// (default from FUSION_MAX_SPILL_BYTES; 0 = unlimited) and further
+/// spills fail with Status::ResourcesExhausted once it is spent.
+class DiskManager : public std::enable_shared_from_this<DiskManager> {
  public:
-  /// `base_dir` defaults to $TMPDIR or /tmp.
-  explicit DiskManager(std::string base_dir = "");
+  /// `base_dir` defaults to $TMPDIR or /tmp; `max_spill_bytes` defaults
+  /// to FUSION_MAX_SPILL_BYTES (0 = unlimited).
+  explicit DiskManager(std::string base_dir = "", int64_t max_spill_bytes = -1);
 
   /// New unique spill file path (file created lazily by the writer).
+  /// Creates + validates the spill directory on first call.
   Result<SpillFilePtr> CreateTempFile(const std::string& hint);
 
   const std::string& base_dir() const { return base_dir_; }
   int64_t files_created() const { return counter_.load(); }
 
+  /// Spill budget accounting (used via SpillFile::Reserve).
+  Status ReserveSpillBytes(int64_t bytes);
+  void ReleaseSpillBytes(int64_t bytes);
+  int64_t spill_bytes_in_use() const { return spill_bytes_.load(); }
+  int64_t max_spill_bytes() const { return max_spill_bytes_.load(); }
+  void set_max_spill_bytes(int64_t bytes) { max_spill_bytes_.store(bytes); }
+
  private:
+  /// Create the spill directory if missing and verify it is a writable
+  /// directory; the result is computed once and cached.
+  Status EnsureBaseDir();
+
   std::string base_dir_;
   std::atomic<int64_t> counter_{0};
+  std::atomic<int64_t> spill_bytes_{0};
+  std::atomic<int64_t> max_spill_bytes_{0};
+  std::mutex dir_mu_;
+  bool dir_checked_ = false;
+  Status dir_status_;
 };
 
 using DiskManagerPtr = std::shared_ptr<DiskManager>;

@@ -1,9 +1,12 @@
 #include "exec/memory_pool.h"
 
+#include <algorithm>
+
 namespace fusion {
 namespace exec {
 
 Status GreedyMemoryPool::Grow(const std::string& consumer, int64_t bytes) {
+  FUSION_RETURN_NOT_OK(FaultInjector::Maybe("pool.grow"));
   int64_t now = used_.fetch_add(bytes) + bytes;
   if (now > limit_) {
     used_.fetch_sub(bytes);
@@ -21,47 +24,55 @@ void GreedyMemoryPool::Shrink(const std::string&, int64_t bytes) {
 
 void FairMemoryPool::RegisterConsumer(const std::string& consumer) {
   std::lock_guard<std::mutex> lock(mu_);
-  used_.emplace(consumer, 0);
-  num_consumers_ = static_cast<int64_t>(used_.size());
+  consumers_[consumer].registrations += 1;
 }
 
 void FairMemoryPool::DeregisterConsumer(const std::string& consumer) {
   std::lock_guard<std::mutex> lock(mu_);
-  used_.erase(consumer);
-  num_consumers_ = static_cast<int64_t>(used_.size());
+  auto it = consumers_.find(consumer);
+  if (it == consumers_.end()) return;
+  if (--it->second.registrations <= 0) consumers_.erase(it);
 }
 
 Status FairMemoryPool::Grow(const std::string& consumer, int64_t bytes) {
+  FUSION_RETURN_NOT_OK(FaultInjector::Maybe("pool.grow"));
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = used_.find(consumer);
-  if (it == used_.end()) {
-    it = used_.emplace(consumer, 0).first;
-    num_consumers_ = static_cast<int64_t>(used_.size());
+  auto it = consumers_.find(consumer);
+  if (it == consumers_.end()) {
+    // Growing without a registration (no MemoryReservation) still works,
+    // but the implicit registration lives until a matching Deregister.
+    it = consumers_.emplace(consumer, ConsumerState{0, 1}).first;
   }
-  int64_t share = limit_ / std::max<int64_t>(1, num_consumers_);
-  if (it->second + bytes > share) {
+  int64_t share =
+      limit_ / std::max<int64_t>(1, static_cast<int64_t>(consumers_.size()));
+  if (it->second.used + bytes > share) {
     return Status::OutOfMemory("fair pool: consumer '" + consumer +
                                "' exceeded its share of " + std::to_string(share) +
                                " bytes");
   }
-  it->second += bytes;
+  it->second.used += bytes;
   return Status::OK();
 }
 
 void FairMemoryPool::Shrink(const std::string& consumer, int64_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = used_.find(consumer);
-  if (it != used_.end()) {
-    it->second -= bytes;
-    if (it->second < 0) it->second = 0;
+  auto it = consumers_.find(consumer);
+  if (it != consumers_.end()) {
+    it->second.used -= bytes;
+    if (it->second.used < 0) it->second.used = 0;
   }
 }
 
 int64_t FairMemoryPool::bytes_allocated() const {
   std::lock_guard<std::mutex> lock(mu_);
   int64_t total = 0;
-  for (const auto& [consumer, used] : used_) total += used;
+  for (const auto& [consumer, state] : consumers_) total += state.used;
   return total;
+}
+
+int64_t FairMemoryPool::num_consumers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(consumers_.size());
 }
 
 }  // namespace exec

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/fault_injector.h"
 #include "common/macros.h"
 #include "common/result.h"
 
@@ -32,6 +33,14 @@ class MemoryPool {
   /// Release a previous reservation (never fails).
   virtual void Shrink(const std::string& consumer, int64_t bytes) = 0;
 
+  /// Consumer lifecycle hooks, driven RAII-style by MemoryReservation:
+  /// registered on construction, deregistered on destruction. Pools that
+  /// divide the budget per consumer (FairMemoryPool) override these so a
+  /// finished query's consumers stop diluting everyone else's share;
+  /// the default pools ignore them.
+  virtual void RegisterConsumer(const std::string& /*consumer*/) {}
+  virtual void DeregisterConsumer(const std::string& /*consumer*/) {}
+
   virtual int64_t bytes_allocated() const = 0;
   virtual int64_t limit() const = 0;
 };
@@ -41,7 +50,9 @@ using MemoryPoolPtr = std::shared_ptr<MemoryPool>;
 /// No limit: always grants (the default for benchmarks).
 class UnboundedMemoryPool : public MemoryPool {
  public:
-  Status Grow(const std::string&, int64_t bytes) override {
+  Status Grow(const std::string& consumer, int64_t bytes) override {
+    FUSION_RETURN_NOT_OK(FaultInjector::Maybe("pool.grow"));
+    (void)consumer;
     used_.fetch_add(bytes);
     return Status::OK();
   }
@@ -77,27 +88,45 @@ class FairMemoryPool : public MemoryPool {
   explicit FairMemoryPool(int64_t limit) : limit_(limit) {}
 
   /// Consumers register so the per-consumer share can be computed.
-  void RegisterConsumer(const std::string& consumer);
-  void DeregisterConsumer(const std::string& consumer);
+  /// MemoryReservation drives these RAII-style; a consumer's entry is
+  /// removed on deregistration so per-query consumer names (e.g.
+  /// "sort-<query>-<partition>") do not accumulate across queries and
+  /// permanently shrink every later query's share.
+  void RegisterConsumer(const std::string& consumer) override;
+  void DeregisterConsumer(const std::string& consumer) override;
 
   Status Grow(const std::string& consumer, int64_t bytes) override;
   void Shrink(const std::string& consumer, int64_t bytes) override;
   int64_t bytes_allocated() const override;
   int64_t limit() const override { return limit_; }
+  /// Currently registered consumers (for tests and introspection).
+  int64_t num_consumers() const;
 
  private:
   int64_t limit_;
   mutable std::mutex mu_;
-  std::map<std::string, int64_t> used_;
-  int64_t num_consumers_ = 0;
+  /// consumer -> (bytes used, registration count). The count makes
+  /// register/deregister pairs from same-named reservations nest.
+  struct ConsumerState {
+    int64_t used = 0;
+    int64_t registrations = 0;
+  };
+  std::map<std::string, ConsumerState> consumers_;
 };
 
 /// RAII reservation helper.
 class MemoryReservation {
  public:
   MemoryReservation(MemoryPoolPtr pool, std::string consumer)
-      : pool_(std::move(pool)), consumer_(std::move(consumer)) {}
-  ~MemoryReservation() { Free(); }
+      : pool_(std::move(pool)), consumer_(std::move(consumer)) {
+    if (pool_ != nullptr) pool_->RegisterConsumer(consumer_);
+  }
+  ~MemoryReservation() {
+    Free();
+    if (pool_ != nullptr) pool_->DeregisterConsumer(consumer_);
+  }
+
+  FUSION_DISALLOW_COPY_AND_ASSIGN(MemoryReservation);
 
   /// Resize the reservation to `bytes` total.
   Status ResizeTo(int64_t bytes) {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <thread>
 
+#include "common/fault_injector.h"
 #include "common/thread_pool.h"
 #include "exec/cache_manager.h"
 #include "exec/disk_manager.h"
@@ -22,6 +23,10 @@ struct RuntimeEnv {
   CacheManagerPtr cache_manager = std::make_shared<CacheManager>();
   /// Worker pool for partitioned execution; null = process default.
   ThreadPool* thread_pool = nullptr;
+  /// The active fault injector (nullptr outside fault-injection runs).
+  /// Injection sites live below this layer and consult the process
+  /// global; this member surfaces it for introspection and tests.
+  FaultInjectorPtr fault_injector = FaultInjector::Current();
 
   ThreadPool* pool() const {
     return thread_pool != nullptr ? thread_pool : ThreadPool::Default();
@@ -60,6 +65,11 @@ struct SessionConfig {
   /// Rows a hash join's build side may hold before spilling is refused
   /// (safety valve; 0 = unlimited).
   int64_t max_build_rows = 0;
+  /// Per-query deadline applied at execution start (0 = none). Queries
+  /// exceeding it fail with Status::Cancelled("query deadline
+  /// exceeded"). Explicit tokens passed to ExecuteSql get the same
+  /// deadline armed on top of client-driven Cancel().
+  int64_t timeout_ms = 0;
   /// Enable/disable specific optimizations (ablation switches).
   bool enable_predicate_pushdown = true;
   bool enable_late_materialization = true;

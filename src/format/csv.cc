@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "arrow/builder.h"
+#include "common/fault_injector.h"
 #include "compute/temporal.h"
 
 namespace fusion {
@@ -273,6 +274,7 @@ Result<bool> CsvReader::FillBuffer() {
 }
 
 Result<RecordBatchPtr> CsvReader::Next() {
+  FUSION_RETURN_NOT_OK(FaultInjector::Maybe("csv.read"));
   std::vector<std::unique_ptr<ArrayBuilder>> builders;
   for (const Field& f : schema_->fields()) {
     FUSION_ASSIGN_OR_RAISE(auto b, MakeBuilder(f.type()));

@@ -4,6 +4,7 @@
 #include <algorithm>
 
 #include "arrow/builder.h"
+#include "common/fault_injector.h"
 #include "compute/selection.h"
 #include "format/fpq.h"
 #include "format/fpq_internal.h"
@@ -19,6 +20,7 @@ Reader::~Reader() {
 }
 
 Status Reader::ReadAt(uint64_t offset, uint64_t size, uint8_t* out) const {
+  FUSION_RETURN_NOT_OK(FaultInjector::Maybe("fpq.read"));
   uint64_t done = 0;
   while (done < size) {
     ssize_t n = ::pread(fd_, out + done, size - done,

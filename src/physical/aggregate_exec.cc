@@ -158,6 +158,11 @@ Result<exec::StreamPtr> HashAggregateExec::ExecuteImpl(int partition,
     }
     FUSION_ASSIGN_OR_RAISE(auto batches, emit(*state, /*partial_output=*/true));
     FUSION_ASSIGN_OR_RAISE(auto file, ctx->env->disk_manager->CreateTempFile("agg"));
+    // Charge the run against the spill quota before writing so a full
+    // disk surfaces as ResourcesExhausted rather than a short write.
+    int64_t run_bytes = 0;
+    for (const auto& b : batches) run_bytes += b->TotalBufferSize();
+    FUSION_RETURN_NOT_OK(file->Reserve(run_bytes));
     // Spilled partial batches use the *partial* schema, which differs
     // from schema_ in final mode; serialize schemaless via IPC columns.
     ipc::FileWriter writer(file->path());

@@ -12,10 +12,11 @@ namespace physical {
 
 void BatchQueue::Push(RecordBatchPtr batch) {
   std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock, [this] {
+  Wait(not_full_, lock, [this] {
     return queue_.size() < capacity_ || finished_ || closed_.load();
   });
-  if (finished_ || closed_.load()) return;  // consumer gone: drop
+  // Consumer gone or query cancelled: drop so the producer can wind down.
+  if (finished_ || closed_.load() || Cancelled()) return;
   queue_.push_back(std::move(batch));
   not_empty_.notify_one();
 }
@@ -47,9 +48,12 @@ void BatchQueue::Close() {
 
 Result<RecordBatchPtr> BatchQueue::Pop() {
   std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock,
-                  [this] { return !queue_.empty() || finished_ || closed_.load(); });
+  Wait(not_empty_, lock,
+       [this] { return !queue_.empty() || finished_ || closed_.load(); });
   if (!error_.ok()) return error_;
+  // A producer error (the root cause) wins over cancellation; otherwise
+  // surface Cancelled promptly instead of draining remaining batches.
+  if (Cancelled()) return token_->CheckStatus();
   if (queue_.empty()) return RecordBatchPtr(nullptr);
   RecordBatchPtr batch = std::move(queue_.front());
   queue_.pop_front();
@@ -83,7 +87,8 @@ Result<exec::StreamPtr> CoalescePartitionsExec::ExecuteImpl(int partition,
   const int n = input_->output_partitions();
   if (n == 1) return input_->Execute(0, ctx);
 
-  auto queue = std::make_shared<BatchQueue>(static_cast<size_t>(2 * n));
+  auto queue =
+      std::make_shared<BatchQueue>(static_cast<size_t>(2 * n), ctx->cancel);
   auto group = std::make_shared<ProducerGroup>();
   group->queue = queue;
   for (int i = 0; i < n; ++i) queue->AddProducer();
@@ -135,8 +140,8 @@ Status RepartitionExec::StartProducers(const ExecContextPtr& ctx) {
     // partition A's consumer still waits for end-of-stream. Memory is
     // bounded by the repartitioned data itself; DataFusion's channels
     // make the same trade and gate memory via the pool.
-    queues_.push_back(
-        std::make_shared<BatchQueue>(std::numeric_limits<size_t>::max()));
+    queues_.push_back(std::make_shared<BatchQueue>(
+        std::numeric_limits<size_t>::max(), ctx->cancel));
     for (int p = 0; p < n; ++p) queues_[i]->AddProducer();
   }
   auto queues = queues_;

@@ -1,6 +1,7 @@
 #ifndef FUSION_PHYSICAL_EXCHANGE_EXEC_H_
 #define FUSION_PHYSICAL_EXCHANGE_EXEC_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -13,9 +14,12 @@ namespace physical {
 
 /// Bounded MPSC queue of batches used by the exchange operators.
 /// Producers block when full (backpressure); consumers block when empty.
+/// With a cancellation token attached, blocked waits poll the token so
+/// both Cancel() and deadline expiry unblock stuck producers/consumers.
 class BatchQueue {
  public:
-  explicit BatchQueue(size_t capacity) : capacity_(capacity) {}
+  explicit BatchQueue(size_t capacity, exec::CancellationTokenPtr token = nullptr)
+      : capacity_(capacity), token_(std::move(token)) {}
 
   void Push(RecordBatchPtr batch);
   /// Report a producer error; consumers see it on the next Pop.
@@ -34,7 +38,25 @@ class BatchQueue {
   Result<RecordBatchPtr> Pop();
 
  private:
+  /// True once the query's token has fired (never true without a token).
+  bool Cancelled() const { return token_ != nullptr && token_->IsCancelled(); }
+  /// Block until `ready()` holds; polls when a token is attached because
+  /// nothing notifies the condvars on an external Cancel() or an expired
+  /// deadline.
+  template <typename Pred>
+  void Wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+            Pred ready) {
+    if (token_ == nullptr) {
+      cv.wait(lock, ready);
+    } else {
+      while (!ready() && !Cancelled()) {
+        cv.wait_for(lock, std::chrono::milliseconds(10));
+      }
+    }
+  }
+
   size_t capacity_;
+  exec::CancellationTokenPtr token_;
   std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;

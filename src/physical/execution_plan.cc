@@ -13,6 +13,9 @@ namespace physical {
 
 Result<exec::StreamPtr> ExecutionPlan::Execute(int partition,
                                                const ExecContextPtr& ctx) {
+  // Don't start opening (which may collect an entire build side) for a
+  // query that is already cancelled or past its deadline.
+  FUSION_RETURN_NOT_OK(ctx->CheckCancelled());
   auto rows = metrics_->Counter(exec::metric::kOutputRows, partition);
   auto batches = metrics_->Counter(exec::metric::kOutputBatches, partition);
   auto elapsed = metrics_->Time(exec::metric::kElapsedNs, partition);
@@ -22,9 +25,15 @@ Result<exec::StreamPtr> ExecutionPlan::Execute(int partition,
   exec::ScopedTimer open_timer(elapsed);
   FUSION_ASSIGN_OR_RAISE(auto stream, ExecuteImpl(partition, ctx));
   open_timer.Stop();
-  return exec::StreamPtr(std::make_unique<exec::InstrumentedStream>(
+  exec::StreamPtr out = std::make_unique<exec::InstrumentedStream>(
       std::move(stream), std::move(rows), std::move(batches), std::move(elapsed),
-      std::move(dict_rows)));
+      std::move(dict_rows));
+  // Every operator boundary of a cancellable query checks the token, so
+  // a Cancel() lands within one batch wherever execution currently is.
+  if (ctx->cancel != nullptr) {
+    out = std::make_unique<exec::CancelCheckStream>(std::move(out), ctx->cancel);
+  }
+  return out;
 }
 
 std::string ExecutionPlan::ToString() const {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/cancellation.h"
 #include "exec/metrics.h"
 #include "exec/runtime_env.h"
 #include "exec/stream.h"
@@ -19,6 +20,15 @@ struct ExecContext {
   exec::SessionConfig config;
   /// Unique id used to name memory-pool consumers.
   int64_t query_id = 0;
+  /// Cancellation/deadline signal shared by every stream and producer
+  /// thread of this query (nullptr = not cancellable). Checked in the
+  /// Execute() stream wrapper and the exchange queues' blocking waits.
+  exec::CancellationTokenPtr cancel;
+
+  /// OK, or Status::Cancelled once the query's token has fired.
+  Status CheckCancelled() const {
+    return cancel != nullptr ? cancel->CheckStatus() : Status::OK();
+  }
 };
 
 using ExecContextPtr = std::shared_ptr<ExecContext>;

@@ -264,6 +264,9 @@ Result<exec::StreamPtr> SortExec::ExecuteImpl(int partition, const ExecContextPt
     FUSION_ASSIGN_OR_RAISE(auto sorted, SortBatch(merged, sort_exprs_));
     FUSION_ASSIGN_OR_RAISE(auto file,
                            ctx->env->disk_manager->CreateTempFile("sort"));
+    // Charge the run against the disk manager's spill quota before
+    // writing; ResourcesExhausted here is the clean "disk full" path.
+    FUSION_RETURN_NOT_OK(file->Reserve(sorted->TotalBufferSize()));
     ipc::FileWriter writer(file->path());
     FUSION_RETURN_NOT_OK(writer.Open());
     for (const auto& chunk : SliceBatch(sorted, ctx->config.batch_size)) {
@@ -328,8 +331,23 @@ Result<exec::StreamPtr> SortExec::ExecuteImpl(int partition, const ExecContextPt
   for (auto& file : spills) {
     runs.push_back(std::make_shared<SpillStream>(schema, std::move(file)));
   }
-  return MergeSortedStreams(schema, std::move(runs), sort_exprs_,
-                            ctx->config.batch_size);
+  FUSION_ASSIGN_OR_RAISE(auto merged_stream,
+                         MergeSortedStreams(schema, std::move(runs), sort_exprs_,
+                                            ctx->config.batch_size));
+  if (fetch_ < 0) return merged_stream;
+  // A top-k sort that spilled must still honour its fetch: cap the
+  // merged output just like the in-memory path above.
+  std::shared_ptr<exec::RecordBatchStream> inner = std::move(merged_stream);
+  auto remaining = std::make_shared<int64_t>(fetch_);
+  return exec::StreamPtr(std::make_unique<exec::GeneratorStream>(
+      schema, [inner, remaining]() -> Result<RecordBatchPtr> {
+        if (*remaining <= 0) return RecordBatchPtr(nullptr);
+        FUSION_ASSIGN_OR_RAISE(auto batch, inner->Next());
+        if (batch == nullptr) return batch;
+        if (batch->num_rows() > *remaining) batch = batch->Slice(0, *remaining);
+        *remaining -= batch->num_rows();
+        return batch;
+      }));
 }
 
 std::vector<OrderingInfo> SortPreservingMergeExec::output_ordering() const {
