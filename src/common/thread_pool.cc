@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace fusion {
 
@@ -51,6 +52,18 @@ std::future<Status> ThreadPool::Submit(std::function<Status()> task) {
   return fut;
 }
 
+bool ThreadPool::RunOneQueuedTask() {
+  std::packaged_task<Status()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
 Status ThreadPool::RunAll(std::vector<std::function<Status()>> tasks) {
   if (tasks.empty()) return Status::OK();
   // Run the final task inline: this keeps single-partition plans on the
@@ -62,6 +75,18 @@ Status ThreadPool::RunAll(std::vector<std::function<Status()>> tasks) {
   }
   Status first_error = tasks.back()();
   for (auto& f : futures) {
+    // Help-drain while waiting: if every worker is occupied by a task
+    // that itself called RunAll (nested collect), the queued subtasks
+    // would otherwise never get a thread and both levels would wait
+    // forever. Draining the queue from the blocked caller guarantees
+    // progress on any pool size. When the queue is empty, our task is
+    // already running on a worker and a plain wait is safe.
+    while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!RunOneQueuedTask()) {
+        f.wait();
+        break;
+      }
+    }
     Status st = f.get();
     if (first_error.ok() && !st.ok()) first_error = st;
   }

@@ -32,8 +32,9 @@ class ThreadPool {
   std::future<Status> Submit(std::function<Status()> task);
 
   /// Run all tasks, wait for completion, and return the first error (if
-  /// any). Tasks run on pool threads; if the pool has one thread and the
-  /// caller would deadlock, the caller thread also drains the queue.
+  /// any). Tasks run on pool threads; the caller runs the last task
+  /// inline and help-drains the queue while its futures are pending, so
+  /// RunAll nested inside a pool task cannot deadlock a saturated pool.
   Status RunAll(std::vector<std::function<Status()>> tasks);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
@@ -43,6 +44,8 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  /// Pop and run one queued task on the calling thread (false = empty).
+  bool RunOneQueuedTask();
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -96,8 +96,30 @@ physical::ExecContextPtr SessionContext::MakeExecContext(
     token->SetTimeout(config_.timeout_ms);
   }
   ctx->cancel = std::move(token);
+  // Every parallel piece of this query — partition drivers, exchange
+  // producers, nested collects — runs as a task in this group on the
+  // shared scheduler; CollectAndFinish joins them all at the end.
+  ctx->task_group = env_->scheduler()->MakeGroup();
   return ctx;
 }
+
+namespace {
+
+/// Top-level collect: after the results (or the error) are in, unwind
+/// the query's task group so no task of this query outlives its
+/// ExecuteSql call — cancellation, deadline expiry, and early-LIMIT
+/// teardown all join through TaskGroup::Finish here.
+Result<std::vector<RecordBatchPtr>> CollectAndFinish(
+    const physical::ExecPlanPtr& plan, const physical::ExecContextPtr& ctx) {
+  auto result = physical::ExecuteCollect(plan, ctx);
+  Status join =
+      ctx->task_group != nullptr ? ctx->task_group->Finish() : Status::OK();
+  if (!result.ok()) return result;
+  FUSION_RETURN_NOT_OK(join);
+  return result;
+}
+
+}  // namespace
 
 Result<physical::ExecPlanPtr> SessionContext::CreatePhysicalPlan(
     const logical::PlanPtr& plan) {
@@ -128,7 +150,9 @@ Result<QueryResult> SessionContext::ExecuteSqlWithMetrics(const std::string& sql
   physical::PhysicalPlanner planner(ctx);
   FUSION_ASSIGN_OR_RAISE(auto exec_plan, planner.CreatePlan(optimized));
   QueryResult out;
-  FUSION_ASSIGN_OR_RAISE(out.batches, physical::ExecuteCollect(exec_plan, ctx));
+  // Finish (inside CollectAndFinish) runs before the metrics snapshot,
+  // so producer-task metrics are final when collected.
+  FUSION_ASSIGN_OR_RAISE(out.batches, CollectAndFinish(exec_plan, ctx));
   out.metrics = physical::CollectMetrics(*exec_plan);
   out.physical_plan = std::move(exec_plan);
   return out;
@@ -167,12 +191,12 @@ Result<std::vector<RecordBatchPtr>> SessionContext::ExecutePlan(
   auto ctx = MakeExecContext(std::move(token));
   physical::PhysicalPlanner planner(ctx);
   FUSION_ASSIGN_OR_RAISE(auto exec_plan, planner.CreatePlan(optimized));
-  return physical::ExecuteCollect(exec_plan, ctx);
+  return CollectAndFinish(exec_plan, ctx);
 }
 
 Result<std::vector<RecordBatchPtr>> SessionContext::ExecutePhysical(
     const physical::ExecPlanPtr& plan, exec::CancellationTokenPtr token) {
-  return physical::ExecuteCollect(plan, MakeExecContext(std::move(token)));
+  return CollectAndFinish(plan, MakeExecContext(std::move(token)));
 }
 
 // ----------------------------------------------------------- DataFrame

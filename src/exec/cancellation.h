@@ -4,7 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/result.h"
@@ -58,8 +62,50 @@ class CancellationToken {
   bool has_deadline() const {
     return deadline_ns_.load(std::memory_order_acquire) != 0;
   }
+  /// The armed deadline (only meaningful when has_deadline()). Blocked
+  /// waits sleep until this instant instead of polling, then re-check.
+  std::chrono::steady_clock::time_point deadline_time() const {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::steady_clock::duration(
+            deadline_ns_.load(std::memory_order_acquire)));
+  }
 
   bool IsCancelled() const { return ReasonNow() != kNone; }
+
+  using ListenerId = int64_t;
+
+  /// Register a callback fired exactly once when the token latches
+  /// (explicit Cancel or first check past the deadline). Blocked queue
+  /// waits register a notification here so cancellation wakes them
+  /// immediately instead of being noticed on a poll tick. If the token
+  /// already fired, `fn` runs before AddListener returns.
+  ///
+  /// Listeners run under the token's listener mutex (possibly on the
+  /// cancelling thread): they must only notify — no token re-entry.
+  ListenerId AddListener(std::function<void()> fn) {
+    std::lock_guard<std::mutex> lock(listener_mu_);
+    if (reason_.load(std::memory_order_acquire) != kNone) {
+      fn();
+      return 0;
+    }
+    ListenerId id = ++next_listener_id_;
+    listeners_.emplace_back(id, std::move(fn));
+    return id;
+  }
+
+  /// Unregister; safe against a concurrent Latch — returns only after
+  /// any in-flight listener invocation completed, so the caller may
+  /// destroy the state `fn` captures.
+  void RemoveListener(ListenerId id) {
+    if (id == 0) return;
+    std::lock_guard<std::mutex> lock(listener_mu_);
+    for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+      if (it->first == id) {
+        listeners_.erase(it);
+        return;
+      }
+    }
+  }
 
   /// OK, or Status::Cancelled naming the trigger. This is the per-batch
   /// hook: one atomic load once latched (or with no deadline), plus a
@@ -89,11 +135,20 @@ class CancellationToken {
 
   void Latch(Reason reason) const {
     int expected = kNone;
-    reason_.compare_exchange_strong(expected, reason, std::memory_order_acq_rel);
+    if (reason_.compare_exchange_strong(expected, reason,
+                                        std::memory_order_acq_rel)) {
+      std::lock_guard<std::mutex> lock(listener_mu_);
+      for (auto& listener : listeners_) listener.second();
+      listeners_.clear();
+    }
   }
 
   mutable std::atomic<int> reason_{kNone};
   std::atomic<int64_t> deadline_ns_{0};
+
+  mutable std::mutex listener_mu_;
+  mutable std::vector<std::pair<ListenerId, std::function<void()>>> listeners_;
+  ListenerId next_listener_id_ = 0;
 };
 
 using CancellationTokenPtr = std::shared_ptr<CancellationToken>;

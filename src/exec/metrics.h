@@ -73,6 +73,11 @@ inline constexpr const char kSpillBytes[] = "spill_bytes";
 /// output_rows - dict_rows is how many rows went out fully dense, so
 /// EXPLAIN ANALYZE shows exactly where encodings survive or get decoded.
 inline constexpr const char kDictRows[] = "dict_rows";
+/// Nanoseconds a consumer spent blocked on an exchange queue with no
+/// batch available (scheduler pressure / producer-consumer imbalance).
+inline constexpr const char kQueueWaitNs[] = "queue_wait_ns";
+/// Tasks this operator submitted to the query scheduler.
+inline constexpr const char kTasksSpawned[] = "tasks_spawned";
 }  // namespace metric
 
 /// \brief The set of metrics recorded by one plan node across all of its

@@ -10,6 +10,7 @@
 #include "exec/cache_manager.h"
 #include "exec/disk_manager.h"
 #include "exec/memory_pool.h"
+#include "exec/scheduler.h"
 
 namespace fusion {
 namespace exec {
@@ -23,6 +24,10 @@ struct RuntimeEnv {
   CacheManagerPtr cache_manager = std::make_shared<CacheManager>();
   /// Worker pool for partitioned execution; null = process default.
   ThreadPool* thread_pool = nullptr;
+  /// The shared query scheduler all parallel work (top-level partition
+  /// drivers and exchange producers) runs on; null = process default.
+  /// Swap in a dedicated QueryScheduler to bound or isolate a session.
+  QuerySchedulerPtr query_scheduler = nullptr;
   /// The active fault injector (nullptr outside fault-injection runs).
   /// Injection sites live below this layer and consult the process
   /// global; this member surfaces it for introspection and tests.
@@ -30,6 +35,10 @@ struct RuntimeEnv {
 
   ThreadPool* pool() const {
     return thread_pool != nullptr ? thread_pool : ThreadPool::Default();
+  }
+  QueryScheduler* scheduler() const {
+    return query_scheduler != nullptr ? query_scheduler.get()
+                                      : QueryScheduler::Default();
   }
 };
 

@@ -1,0 +1,371 @@
+#include "exec/scheduler.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace fusion {
+namespace exec {
+
+namespace internal {
+
+/// Per-task control block. The state machine is what makes Waker safe
+/// from any thread at any time:
+///
+///   kQueued   in a group's ready deque, waiting for a thread
+///   kRunning  being polled
+///   kParked   returned kParked; waiting for a Wake()
+///   kNotified Wake() arrived while kRunning; re-enqueue instead of park
+///   kDone     finished; all further wakes are no-ops
+struct TaskCtl {
+  enum State { kQueued, kRunning, kParked, kNotified, kDone };
+
+  std::atomic<int> state{kQueued};
+  std::function<TaskStatus(const Waker&)> poll;
+  std::shared_ptr<TaskGroup> group;
+};
+
+}  // namespace internal
+
+using internal::TaskCtl;
+using internal::TaskCtlPtr;
+
+// ---------------------------------------------------------------------------
+// Waker
+
+void Waker::Wake() const {
+  if (ctl_ == nullptr) return;
+  int state = ctl_->state.load(std::memory_order_acquire);
+  for (;;) {
+    switch (state) {
+      case TaskCtl::kParked:
+        // Parked -> ready. The acquire CAS pairs with the parker's
+        // release CAS so the next runner sees the task's state.
+        if (ctl_->state.compare_exchange_weak(state, TaskCtl::kQueued,
+                                              std::memory_order_acq_rel)) {
+          ctl_->group->scheduler()->EnqueueReady(ctl_);
+          return;
+        }
+        break;  // re-examine `state`
+      case TaskCtl::kRunning:
+        // The task is mid-poll; flag the wake so the runner re-enqueues
+        // instead of parking (the edge may have fired between the
+        // task's registration and its kParked return).
+        if (ctl_->state.compare_exchange_weak(state, TaskCtl::kNotified,
+                                              std::memory_order_acq_rel)) {
+          return;
+        }
+        break;
+      default:
+        // kQueued / kNotified: a wake is already pending. kDone: no-op.
+        return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+
+TaskGroup::~TaskGroup() {
+  Status st = Finish();
+  (void)st;  // errors were already delivered through the query's streams
+}
+
+void TaskGroup::Spawn(std::function<Status()> fn) {
+  auto self = shared_from_this();
+  SpawnResumable([self, fn = std::move(fn)](const Waker&) {
+    self->RecordStatus(fn());
+    return TaskStatus::kDone;
+  });
+}
+
+void TaskGroup::SpawnResumable(std::function<TaskStatus(const Waker&)> fn) {
+  auto ctl = std::make_shared<TaskCtl>();
+  ctl->poll = std::move(fn);
+  ctl->group = shared_from_this();
+  tasks_spawned_.fetch_add(1, std::memory_order_relaxed);
+  scheduler_->total_tasks_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(scheduler_->mu_);
+    ++outstanding_;
+  }
+  scheduler_->EnqueueReady(ctl);
+}
+
+namespace {
+/// Shared completion state for one RunAll call.
+struct RunAllState {
+  std::atomic<int64_t> remaining;
+  std::mutex mu;
+  Status first_error;
+
+  explicit RunAllState(int64_t n) : remaining(n) {}
+
+  void Record(const Status& st) {
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) first_error = st;
+    }
+  }
+};
+}  // namespace
+
+Status TaskGroup::RunAll(std::vector<std::function<Status()>> tasks) {
+  if (tasks.empty()) return Status::OK();
+  auto state = std::make_shared<RunAllState>(static_cast<int64_t>(tasks.size()));
+  auto self = shared_from_this();
+  for (auto& task : tasks) {
+    SpawnResumable([self, state, fn = std::move(task)](const Waker&) {
+      Status st = fn();
+      self->RecordStatus(st);
+      state->Record(st);
+      // release: the caller's acquire load of `remaining` below must see
+      // everything the task wrote (e.g. its slot of a results vector).
+      state->remaining.fetch_sub(1, std::memory_order_release);
+      return TaskStatus::kDone;
+    });
+  }
+  // Lend this thread to the group until all tasks settle. Even on error
+  // we wait for every task: callers pass closures that reference stack
+  // storage.
+  for (;;) {
+    uint64_t epoch = progress_epoch();
+    if (state->remaining.load(std::memory_order_acquire) == 0) break;
+    HelpOrWait(epoch, nullptr);
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  return state->first_error;
+}
+
+void TaskGroup::AddUnwindHook(std::function<void()> hook) {
+  bool run_now = false;
+  {
+    std::lock_guard<std::mutex> lock(scheduler_->mu_);
+    if (unwound_) {
+      run_now = true;  // group already unwinding; fire immediately
+    } else {
+      unwind_hooks_.push_back(std::move(hook));
+    }
+  }
+  if (run_now) hook();
+}
+
+Status TaskGroup::Finish() {
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(scheduler_->mu_);
+    unwound_ = true;
+    hooks.swap(unwind_hooks_);
+  }
+  for (auto& hook : hooks) hook();
+  for (;;) {
+    uint64_t epoch = progress_epoch();
+    {
+      std::lock_guard<std::mutex> lock(scheduler_->mu_);
+      if (outstanding_ == 0) return first_error_;
+    }
+    HelpOrWait(epoch, nullptr);
+  }
+}
+
+bool TaskGroup::RunOneReadyTask() {
+  TaskCtlPtr ctl;
+  {
+    std::lock_guard<std::mutex> lock(scheduler_->mu_);
+    if (ready_.empty()) return false;
+    ctl = std::move(ready_.front());
+    ready_.pop_front();
+    --scheduler_->ready_count_;
+  }
+  scheduler_->RunTask(std::move(ctl));
+  return true;
+}
+
+uint64_t TaskGroup::progress_epoch() const {
+  return scheduler_->epoch_.load(std::memory_order_acquire);
+}
+
+void TaskGroup::HelpOrWait(uint64_t epoch, const CancellationToken* token) {
+  if (RunOneReadyTask()) return;
+  scheduler_->WaitEpoch(epoch, token);
+}
+
+void TaskGroup::NotifyProgress() { scheduler_->BumpEpoch(); }
+
+void TaskGroup::RecordStatus(const Status& st) {
+  if (st.ok()) return;
+  std::lock_guard<std::mutex> lock(scheduler_->mu_);
+  if (first_error_.ok()) first_error_ = st;
+}
+
+void TaskGroup::TaskFinished() {
+  {
+    std::lock_guard<std::mutex> lock(scheduler_->mu_);
+    --outstanding_;
+  }
+  scheduler_->BumpEpoch();
+}
+
+// ---------------------------------------------------------------------------
+// QueryScheduler
+
+QueryScheduler::QueryScheduler(int num_workers) {
+  num_workers = std::max(1, num_workers);
+  peak_threads_.store(num_workers, std::memory_order_relaxed);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryScheduler::~QueryScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    // Drop queued-but-never-run closures so task->queue->waker->task
+    // reference cycles cannot outlive the scheduler.
+    for (auto& weak : run_queue_) {
+      if (auto group = weak.lock()) {
+        for (auto& ctl : group->ready_) {
+          ctl->state.store(TaskCtl::kDone, std::memory_order_release);
+          ctl->poll = nullptr;
+        }
+        group->ready_.clear();
+        group->in_run_queue_ = false;
+      }
+    }
+    run_queue_.clear();
+    ready_count_ = 0;
+  }
+  cv_work_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+TaskGroupPtr QueryScheduler::MakeGroup() {
+  // make_shared needs a public ctor; use new with the private one.
+  return TaskGroupPtr(new TaskGroup(this));
+}
+
+void QueryScheduler::WorkerLoop() {
+  for (;;) {
+    TaskCtlPtr ctl;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] { return shutdown_ || ready_count_ > 0; });
+      if (shutdown_) return;
+      // Round-robin across groups: take the front group's next ready
+      // task, then rotate the group to the back if it has more. One
+      // group with a deep backlog interleaves with everyone else.
+      while (!run_queue_.empty()) {
+        auto group = run_queue_.front().lock();
+        run_queue_.pop_front();
+        if (group == nullptr) continue;  // query finished; stale entry
+        if (group->ready_.empty()) {
+          group->in_run_queue_ = false;
+          continue;
+        }
+        ctl = std::move(group->ready_.front());
+        group->ready_.pop_front();
+        --ready_count_;
+        if (!group->ready_.empty()) {
+          run_queue_.push_back(group);
+        } else {
+          group->in_run_queue_ = false;
+        }
+        break;
+      }
+    }
+    if (ctl != nullptr) RunTask(std::move(ctl));
+  }
+}
+
+void QueryScheduler::RunTask(TaskCtlPtr ctl) {
+  ctl->state.store(TaskCtl::kRunning, std::memory_order_release);
+  TaskStatus result = ctl->poll(Waker(ctl));
+  if (result == TaskStatus::kDone) {
+    ctl->state.store(TaskCtl::kDone, std::memory_order_release);
+    auto group = ctl->group;
+    ctl->poll = nullptr;  // drop captures (queues, streams) promptly
+    ctl->group = nullptr;
+    ctl.reset();
+    group->TaskFinished();
+    return;
+  }
+  // kParked: the task registered its waker before returning. If a wake
+  // already arrived (kNotified), it must not be lost — re-enqueue now.
+  int expected = TaskCtl::kRunning;
+  if (!ctl->state.compare_exchange_strong(expected, TaskCtl::kParked,
+                                          std::memory_order_acq_rel)) {
+    // expected == kNotified
+    ctl->state.store(TaskCtl::kQueued, std::memory_order_release);
+    EnqueueReady(ctl);
+  }
+}
+
+void QueryScheduler::EnqueueReady(const TaskCtlPtr& ctl) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      // Late wake during teardown; mark done so the cycle breaks.
+      ctl->state.store(TaskCtl::kDone, std::memory_order_release);
+      return;
+    }
+    TaskGroup* group = ctl->group.get();
+    group->ready_.push_back(ctl);
+    ++ready_count_;
+    int64_t peak = peak_ready_tasks_.load(std::memory_order_relaxed);
+    while (ready_count_ > peak &&
+           !peak_ready_tasks_.compare_exchange_weak(
+               peak, ready_count_, std::memory_order_relaxed)) {
+    }
+    if (!group->in_run_queue_) {
+      group->in_run_queue_ = true;
+      run_queue_.push_back(group->weak_from_this());
+    }
+  }
+  cv_work_.notify_one();
+  BumpEpoch();  // helpers waiting in WaitEpoch may claim this task
+}
+
+void QueryScheduler::BumpEpoch() {
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  if (epoch_waiters_.load(std::memory_order_seq_cst) > 0) {
+    // Taking the mutex pairs with waiters: anyone who registered before
+    // the bump is either about to re-check the epoch or inside wait().
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    cv_epoch_.notify_all();
+  }
+}
+
+void QueryScheduler::WaitEpoch(uint64_t epoch, const CancellationToken* token) {
+  std::unique_lock<std::mutex> lock(epoch_mu_);
+  epoch_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  while (epoch_.load(std::memory_order_acquire) == epoch) {
+    if (token != nullptr && token->has_deadline()) {
+      if (token->IsCancelled()) break;
+      if (cv_epoch_.wait_until(lock, token->deadline_time()) ==
+          std::cv_status::timeout) {
+        break;  // caller re-checks the token
+      }
+    } else {
+      cv_epoch_.wait(lock);
+    }
+  }
+  epoch_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+QueryScheduler* QueryScheduler::Default() {
+  static QueryScheduler* scheduler = [] {
+    int n = static_cast<int>(std::thread::hardware_concurrency());
+    if (const char* env = std::getenv("FUSION_SCHEDULER_THREADS")) {
+      int parsed = std::atoi(env);
+      if (parsed > 0) n = parsed;
+    }
+    return new QueryScheduler(std::max(1, n));
+  }();
+  return scheduler;
+}
+
+}  // namespace exec
+}  // namespace fusion

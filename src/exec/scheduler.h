@@ -1,0 +1,237 @@
+#ifndef FUSION_EXEC_SCHEDULER_H_
+#define FUSION_EXEC_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "exec/cancellation.h"
+
+namespace fusion {
+namespace exec {
+
+/// \brief Shared query scheduler: one bounded worker pool per RuntimeEnv
+/// onto which *all* parallel work of every query is submitted, replacing
+/// the seed design's thread-per-exchange-partition model (paper §5.5's
+/// shared Tokio runtime, rebuilt for blocking C++ streams).
+///
+/// Work is organised as tasks owned by a per-query TaskGroup. Workers
+/// dispatch round-robin across groups with ready tasks, so one heavy
+/// query cannot starve others of pool slots.
+///
+/// Invariants (the deadlock-avoidance and fairness contract):
+///
+///  1. No worker ever blocks on a queue edge while holding its thread
+///     hostage. A *producer* that would block pushing into a full
+///     exchange queue instead parks: it registers its Waker on the
+///     queue's not_full edge and returns kParked, freeing the worker.
+///     A *consumer* blocked popping an empty queue lends its thread to
+///     its query's other ready tasks (TaskGroup::HelpOrWait) until the
+///     queue has data, so the producers it waits for can run even on a
+///     saturated — or single-worker — pool.
+///
+///  2. Every started query keeps at least one runnable task (the
+///     fairness floor): the thread that called Collect drives its own
+///     group's ready tasks while it waits (TaskGroup::RunAll), so a
+///     query always makes progress even if every pool worker is busy
+///     with other queries. Combined with (1) this makes the scheduler
+///     deadlock-free regardless of pool size or concurrent query count.
+///
+///  3. TaskGroup::Finish() is the single unwind point: it closes the
+///     query's registered exchange queues (unwind hooks), which wakes
+///     parked producers and stops running ones, then joins every task.
+///     Cancellation, deadline expiry, and early-LIMIT teardown all
+///     funnel through it.
+class QueryScheduler;
+class TaskGroup;
+using TaskGroupPtr = std::shared_ptr<TaskGroup>;
+using QuerySchedulerPtr = std::shared_ptr<QueryScheduler>;
+
+/// Outcome of polling a resumable task.
+enum class TaskStatus {
+  kDone,    ///< finished; the task is never polled again
+  kParked,  ///< waiting on an edge; re-polled after its Waker fires
+};
+
+namespace internal {
+struct TaskCtl;
+using TaskCtlPtr = std::shared_ptr<TaskCtl>;
+}  // namespace internal
+
+/// \brief Handle that re-enqueues a parked task. A resumable task that
+/// returns kParked must first have registered its Waker on the edge it
+/// waits for (e.g. a BatchQueue's not_full edge). Wake() is safe from
+/// any thread, any number of times: wakes coalesce, a wake racing the
+/// task's own park lands as an immediate re-enqueue, and wakes after
+/// completion are no-ops.
+class Waker {
+ public:
+  Waker() = default;
+
+  void Wake() const;
+  bool valid() const { return ctl_ != nullptr; }
+
+ private:
+  friend class QueryScheduler;
+  explicit Waker(internal::TaskCtlPtr ctl) : ctl_(std::move(ctl)) {}
+
+  internal::TaskCtlPtr ctl_;
+};
+
+/// \brief All tasks of one query. Created per execution context
+/// (SessionContext::MakeExecContext); exchange producers, top-level
+/// partition drivers, and nested collects all spawn here.
+class TaskGroup : public std::enable_shared_from_this<TaskGroup> {
+ public:
+  ~TaskGroup();
+
+  FUSION_DISALLOW_COPY_AND_ASSIGN(TaskGroup);
+
+  /// Spawn a run-to-completion task. It may block pulling from exchange
+  /// queues (the queue lends the thread to this group meanwhile); its
+  /// status is folded into Finish()'s result.
+  void Spawn(std::function<Status()> fn);
+
+  /// Spawn a resumable task. `fn` is polled with a Waker; it returns
+  /// kParked after registering the waker on the edge it waits for, and
+  /// kDone when finished (errors travel through the queues it feeds).
+  void SpawnResumable(std::function<TaskStatus(const Waker&)> fn);
+
+  /// Run `tasks` as group tasks and wait for all of them, lending the
+  /// calling thread to this group's ready tasks meanwhile (the fairness
+  /// floor: every query's collector drives its own work). Returns the
+  /// first error; always waits for every task to settle.
+  Status RunAll(std::vector<std::function<Status()>> tasks);
+
+  /// Register a hook run when the group unwinds (first Finish call).
+  /// Exchange queues register their Close() here so parked producers
+  /// wake and running ones stop.
+  void AddUnwindHook(std::function<void()> hook);
+
+  /// Unwind and join: run the unwind hooks, then help/wait until every
+  /// task of the group has finished. Idempotent. Returns the first
+  /// error reported by a Spawn/RunAll task.
+  Status Finish();
+
+  /// Run one of this group's ready tasks on the calling thread.
+  /// Returns false if none was ready.
+  bool RunOneReadyTask();
+
+  /// Scheduler progress epoch; read it *before* checking the condition
+  /// you wait on, then pass it to HelpOrWait.
+  uint64_t progress_epoch() const;
+
+  /// Either run one of this group's ready tasks, or sleep until the
+  /// progress epoch advances past `epoch` (bounded by `token`'s
+  /// deadline when one is armed). Used by scheduler-aware blocking
+  /// waits (BatchQueue::Pop) to lend the thread instead of holding it.
+  void HelpOrWait(uint64_t epoch, const CancellationToken* token);
+
+  /// Bump the progress epoch and wake helpers/waiters; called by queue
+  /// edges (push/finish/close/cancel) attached to this group.
+  void NotifyProgress();
+
+  /// Tasks spawned into this group over its lifetime.
+  int64_t tasks_spawned() const {
+    return tasks_spawned_.load(std::memory_order_relaxed);
+  }
+
+  QueryScheduler* scheduler() const { return scheduler_; }
+
+ private:
+  friend class QueryScheduler;
+
+  explicit TaskGroup(QueryScheduler* scheduler) : scheduler_(scheduler) {}
+
+  void Enqueue(internal::TaskCtlPtr ctl);
+  void RecordStatus(const Status& st);
+  void TaskFinished();
+
+  QueryScheduler* scheduler_;
+  std::atomic<int64_t> tasks_spawned_{0};
+
+  // The fields below are guarded by the scheduler's run-queue mutex.
+  std::deque<internal::TaskCtlPtr> ready_;
+  bool in_run_queue_ = false;
+  int64_t outstanding_ = 0;
+  Status first_error_;
+  bool unwound_ = false;
+  std::vector<std::function<void()>> unwind_hooks_;
+};
+
+class QueryScheduler {
+ public:
+  explicit QueryScheduler(int num_workers);
+  ~QueryScheduler();
+
+  FUSION_DISALLOW_COPY_AND_ASSIGN(QueryScheduler);
+
+  /// Create a task group (one per query execution).
+  TaskGroupPtr MakeGroup();
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Gauge: worker threads this scheduler ever created. The pool is
+  /// fixed, so this equals num_workers() — the point of the gauge is
+  /// that tests and CI can assert it stays <= pool_size + 1 no matter
+  /// how many queries run concurrently.
+  int64_t peak_threads() const {
+    return peak_threads_.load(std::memory_order_relaxed);
+  }
+  /// Gauge: high-watermark of ready (runnable but not running) tasks.
+  int64_t peak_ready_tasks() const {
+    return peak_ready_tasks_.load(std::memory_order_relaxed);
+  }
+  /// Tasks spawned across all groups over the scheduler's lifetime.
+  int64_t total_tasks() const {
+    return total_tasks_.load(std::memory_order_relaxed);
+  }
+
+  /// Process-wide scheduler sized to the hardware concurrency
+  /// (FUSION_SCHEDULER_THREADS overrides, for tests and benchmarks).
+  static QueryScheduler* Default();
+
+ private:
+  friend class TaskGroup;
+  friend class Waker;
+
+  void WorkerLoop();
+  /// Run one task to completion or park; never called with locks held.
+  void RunTask(internal::TaskCtlPtr ctl);
+  /// Re-enqueue path shared by Spawn and Waker::Wake.
+  void EnqueueReady(const internal::TaskCtlPtr& ctl);
+  void BumpEpoch();
+  void WaitEpoch(uint64_t epoch, const CancellationToken* token);
+
+  std::mutex mu_;  ///< guards run_queue_, group task state, shutdown_
+  std::condition_variable cv_work_;
+  std::deque<std::weak_ptr<TaskGroup>> run_queue_;
+  bool shutdown_ = false;
+  int64_t ready_count_ = 0;
+
+  /// Progress epoch: bumped on every enqueue, task completion, and
+  /// queue edge; epoch sleepers (helping waiters) wake on any change.
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<int> epoch_waiters_{0};
+  std::mutex epoch_mu_;
+  std::condition_variable cv_epoch_;
+
+  std::atomic<int64_t> peak_threads_{0};
+  std::atomic<int64_t> peak_ready_tasks_{0};
+  std::atomic<int64_t> total_tasks_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace exec
+}  // namespace fusion
+
+#endif  // FUSION_EXEC_SCHEDULER_H_

@@ -1,6 +1,8 @@
 #include "physical/exchange_exec.h"
 
+#include <chrono>
 #include <limits>
+#include <utility>
 
 #include "arrow/builder.h"
 #include "common/hash_util.h"
@@ -10,70 +12,230 @@
 namespace fusion {
 namespace physical {
 
+BatchQueue::BatchQueue(size_t capacity, exec::CancellationTokenPtr token,
+                       exec::TaskGroupPtr group,
+                       exec::MetricValuePtr queue_wait_ns)
+    : capacity_(capacity), token_(std::move(token)), group_(std::move(group)),
+      queue_wait_ns_(std::move(queue_wait_ns)) {
+  if (token_ != nullptr) {
+    // Event-driven cancellation: Cancel()/deadline latch notifies every
+    // blocked wait and parked producer immediately (no poll ticks).
+    listener_id_ = token_->AddListener([this] {
+      std::vector<exec::Waker> wakers;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        WakeAllLocked(&wakers);
+      }
+      for (auto& w : wakers) w.Wake();
+      if (group_ != nullptr) group_->NotifyProgress();
+    });
+  }
+}
+
+BatchQueue::~BatchQueue() {
+  // Returns only after any in-flight listener call completed, so the
+  // callback's `this` capture cannot dangle.
+  if (token_ != nullptr) token_->RemoveListener(listener_id_);
+}
+
+void BatchQueue::WakeAllLocked(std::vector<exec::Waker>* wakers) {
+  not_full_.notify_all();
+  not_empty_.notify_all();
+  wakers->swap(push_waiters_);
+}
+
 void BatchQueue::Push(RecordBatchPtr batch) {
-  std::unique_lock<std::mutex> lock(mu_);
-  Wait(not_full_, lock, [this] {
-    return queue_.size() < capacity_ || finished_ || closed_.load();
-  });
-  // Consumer gone or query cancelled: drop so the producer can wind down.
-  if (finished_ || closed_.load() || Cancelled()) return;
-  queue_.push_back(std::move(batch));
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (queue_.size() >= capacity_ && !finished_ && !closed_.load() &&
+           !Cancelled()) {
+      if (token_ != nullptr && token_->has_deadline()) {
+        not_full_.wait_until(lock, token_->deadline_time());
+      } else {
+        not_full_.wait(lock);
+      }
+    }
+    // Consumer gone or query cancelled: drop so the producer winds down.
+    if (finished_ || closed_.load() || Cancelled()) return;
+    queue_.push_back(std::move(batch));
+  }
   not_empty_.notify_one();
+  if (group_ != nullptr) group_->NotifyProgress();
+}
+
+bool BatchQueue::PushOrPark(RecordBatchPtr* batch, const exec::Waker& waker) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (finished_ || closed_.load() || Cancelled()) {
+      batch->reset();  // consumer gone; drop and wind down
+      return true;
+    }
+    if (queue_.size() >= capacity_) {
+      // Full: park instead of holding a scheduler worker. The waker is
+      // registered under the queue lock, so the consumer edge that
+      // frees a slot cannot miss it.
+      push_waiters_.push_back(waker);
+      return false;
+    }
+    queue_.push_back(std::move(*batch));
+    batch->reset();
+  }
+  not_empty_.notify_one();
+  if (group_ != nullptr) group_->NotifyProgress();
+  return true;
 }
 
 void BatchQueue::PushError(Status status) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (error_.ok()) error_ = std::move(status);
-  finished_ = true;
-  not_empty_.notify_all();
-  not_full_.notify_all();
+  std::vector<exec::Waker> wakers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error_.ok()) error_ = std::move(status);
+    finished_ = true;
+    WakeAllLocked(&wakers);
+  }
+  for (auto& w : wakers) w.Wake();
+  if (group_ != nullptr) group_->NotifyProgress();
 }
 
 void BatchQueue::ProducerDone() {
   if (producers_.fetch_sub(1) == 1) {
-    std::lock_guard<std::mutex> lock(mu_);
-    finished_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    std::vector<exec::Waker> wakers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      finished_ = true;
+      WakeAllLocked(&wakers);
+    }
+    for (auto& w : wakers) w.Wake();
+    if (group_ != nullptr) group_->NotifyProgress();
   }
 }
 
 void BatchQueue::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
-  closed_.store(true);
-  queue_.clear();
-  not_empty_.notify_all();
-  not_full_.notify_all();
+  std::vector<exec::Waker> wakers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_.store(true);
+    queue_.clear();
+    WakeAllLocked(&wakers);
+  }
+  for (auto& w : wakers) w.Wake();
+  if (group_ != nullptr) group_->NotifyProgress();
 }
 
 Result<RecordBatchPtr> BatchQueue::Pop() {
+  int64_t waited_ns = 0;
+  auto record_wait = [&] {
+    if (queue_wait_ns_ != nullptr && waited_ns > 0) {
+      queue_wait_ns_->Add(waited_ns);
+    }
+  };
   std::unique_lock<std::mutex> lock(mu_);
-  Wait(not_empty_, lock,
-       [this] { return !queue_.empty() || finished_ || closed_.load(); });
-  if (!error_.ok()) return error_;
-  // A producer error (the root cause) wins over cancellation; otherwise
-  // surface Cancelled promptly instead of draining remaining batches.
-  if (Cancelled()) return token_->CheckStatus();
-  if (queue_.empty()) return RecordBatchPtr(nullptr);
-  RecordBatchPtr batch = std::move(queue_.front());
-  queue_.pop_front();
-  not_full_.notify_one();
-  return batch;
+  for (;;) {
+    // Epoch first, predicate second: an edge firing after the predicate
+    // check bumps the epoch past `epoch`, so HelpOrWait below returns
+    // immediately instead of sleeping through the wakeup.
+    uint64_t epoch = group_ != nullptr ? group_->progress_epoch() : 0;
+    if (!error_.ok()) {
+      record_wait();
+      return error_;
+    }
+    // A producer error (the root cause) wins over cancellation;
+    // otherwise surface Cancelled promptly instead of draining batches.
+    if (Cancelled()) {
+      record_wait();
+      return token_->CheckStatus();
+    }
+    if (!queue_.empty()) {
+      RecordBatchPtr batch = std::move(queue_.front());
+      queue_.pop_front();
+      exec::Waker waker;
+      if (!push_waiters_.empty()) {
+        // not_full edge: hand the freed slot to the oldest parked
+        // producer.
+        waker = push_waiters_.front();
+        push_waiters_.erase(push_waiters_.begin());
+      }
+      lock.unlock();
+      not_full_.notify_one();
+      if (waker.valid()) waker.Wake();
+      record_wait();
+      return batch;
+    }
+    if (finished_ || closed_.load()) {
+      record_wait();
+      return RecordBatchPtr(nullptr);
+    }
+    // Empty and still producing: lend this thread to the query's other
+    // tasks (usually the producers we are waiting on) or sleep until an
+    // edge fires; with an armed deadline the sleep is bounded by it.
+    auto start = std::chrono::steady_clock::now();
+    if (group_ != nullptr) {
+      lock.unlock();
+      group_->HelpOrWait(epoch, token_.get());
+      lock.lock();
+    } else if (token_ != nullptr && token_->has_deadline()) {
+      not_empty_.wait_until(lock, token_->deadline_time());
+    } else {
+      not_empty_.wait(lock);
+    }
+    waited_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  }
 }
 
 namespace {
 
-/// Shared state that keeps producer threads alive until the consumer
-/// stream is destroyed; closes the queue first so producers abandoned
-/// mid-stream (e.g. by LIMIT) unblock and exit.
-struct ProducerGroup {
+/// Closes the queue when the consumer stream is destroyed, so producer
+/// tasks abandoned mid-stream (e.g. by LIMIT) drop their batches and
+/// wind down instead of filling a queue nobody reads.
+struct QueueCloser {
   std::shared_ptr<BatchQueue> queue;
-  std::vector<std::thread> threads;
-  ~ProducerGroup() {
+  ~QueueCloser() {
     if (queue != nullptr) queue->Close();
-    for (auto& t : threads) {
-      if (t.joinable()) t.join();
+  }
+};
+
+/// State of one coalesce producer task: pulls its input partition and
+/// pushes into the shared bounded queue, parking on backpressure.
+struct CoalesceProducer {
+  ExecPlanPtr input;
+  ExecContextPtr ctx;
+  int partition = 0;
+  std::shared_ptr<BatchQueue> queue;
+  exec::StreamPtr stream;
+  bool opened = false;
+  RecordBatchPtr pending;  // batch awaiting a queue slot while parked
+
+  exec::TaskStatus Poll(const exec::Waker& waker) {
+    if (!opened) {
+      auto stream_res = input->Execute(partition, ctx);
+      if (!stream_res.ok()) {
+        queue->PushError(stream_res.status());
+        queue->ProducerDone();
+        return exec::TaskStatus::kDone;
+      }
+      stream = std::move(*stream_res);
+      opened = true;
     }
+    for (;;) {
+      if (pending != nullptr) {
+        if (!queue->PushOrPark(&pending, waker)) {
+          return exec::TaskStatus::kParked;
+        }
+      }
+      if (queue->closed()) break;
+      auto batch = stream->Next();
+      if (!batch.ok()) {
+        queue->PushError(batch.status());
+        break;
+      }
+      if (*batch == nullptr) break;
+      pending = std::move(*batch);
+    }
+    stream.reset();
+    queue->ProducerDone();
+    return exec::TaskStatus::kDone;
   }
 };
 
@@ -87,70 +249,81 @@ Result<exec::StreamPtr> CoalescePartitionsExec::ExecuteImpl(int partition,
   const int n = input_->output_partitions();
   if (n == 1) return input_->Execute(0, ctx);
 
-  auto queue =
-      std::make_shared<BatchQueue>(static_cast<size_t>(2 * n), ctx->cancel);
-  auto group = std::make_shared<ProducerGroup>();
-  group->queue = queue;
-  for (int i = 0; i < n; ++i) queue->AddProducer();
-  for (int i = 0; i < n; ++i) {
-    auto input = input_;
-    group->threads.emplace_back([input, i, ctx, queue]() {
-      auto stream_res = input->Execute(i, ctx);
-      if (!stream_res.ok()) {
-        queue->PushError(stream_res.status());
-        queue->ProducerDone();
-        return;
-      }
-      auto stream = std::move(*stream_res);
-      while (!queue->closed()) {
-        auto batch = stream->Next();
-        if (!batch.ok()) {
-          queue->PushError(batch.status());
-          break;
-        }
-        if (*batch == nullptr) break;
-        queue->Push(std::move(*batch));
-      }
-      queue->ProducerDone();
+  const auto& group = ctx->EnsureTaskGroup();
+  auto queue = std::make_shared<BatchQueue>(
+      static_cast<size_t>(2 * n), ctx->cancel, group,
+      metrics_->Time(exec::metric::kQueueWaitNs, 0));
+  {
+    // Unwind hook: TaskGroup::Finish() closes the queue so parked
+    // producers wake (and drop) even if the consumer never drained it.
+    std::weak_ptr<BatchQueue> weak_queue = queue;
+    group->AddUnwindHook([weak_queue] {
+      if (auto q = weak_queue.lock()) q->Close();
     });
   }
+  metrics_->Counter(exec::metric::kTasksSpawned, 0)->Add(n);
+  for (int i = 0; i < n; ++i) queue->AddProducer();
+  for (int i = 0; i < n; ++i) {
+    auto state = std::make_shared<CoalesceProducer>();
+    state->input = input_;
+    state->ctx = ctx;
+    state->partition = i;
+    state->queue = queue;
+    group->SpawnResumable(
+        [state](const exec::Waker& waker) { return state->Poll(waker); });
+  }
+  auto closer = std::make_shared<QueueCloser>();
+  closer->queue = queue;
   SchemaPtr schema = input_->schema();
   return exec::StreamPtr(std::make_unique<exec::GeneratorStream>(
-      schema, [queue, group]() -> Result<RecordBatchPtr> { return queue->Pop(); }));
+      schema, [queue, closer]() -> Result<RecordBatchPtr> { return queue->Pop(); }));
 }
 
 RepartitionExec::~RepartitionExec() {
-  // Unblock producers abandoned by early-terminating consumers.
+  // Unblock producers abandoned by early-terminating consumers; the
+  // queues (and any still-running producer tasks) hold shared_ptrs, so
+  // this only signals, never dangles.
   for (const auto& q : queues_) q->Close();
-  for (auto& t : producers_) {
-    if (t.joinable()) t.join();
-  }
 }
 
 Status RepartitionExec::StartProducers(const ExecContextPtr& ctx) {
   std::lock_guard<std::mutex> lock(mu_);
   if (started_) return start_status_;
   started_ = true;
+  const auto& group = ctx->EnsureTaskGroup();
   const int n = input_->output_partitions();
   queues_.reserve(num_partitions_);
   for (int i = 0; i < num_partitions_; ++i) {
     // Repartition queues are unbounded: output partitions may be
     // consumed serially (e.g. a merge opening sorted inputs one by one),
-    // and a bounded queue for partition B would deadlock producers while
-    // partition A's consumer still waits for end-of-stream. Memory is
-    // bounded by the repartitioned data itself; DataFusion's channels
-    // make the same trade and gate memory via the pool.
+    // and bounded backpressure for partition B would park producers
+    // forever while partition A's consumer still waits for
+    // end-of-stream. Memory is bounded by the repartitioned data itself;
+    // DataFusion's channels make the same trade and gate memory via the
+    // pool. Push on an unbounded queue never blocks, so these producers
+    // run to completion without parking.
     queues_.push_back(std::make_shared<BatchQueue>(
-        std::numeric_limits<size_t>::max(), ctx->cancel));
+        std::numeric_limits<size_t>::max(), ctx->cancel, group,
+        metrics_->Time(exec::metric::kQueueWaitNs, i)));
     for (int p = 0; p < n; ++p) queues_[i]->AddProducer();
   }
+  {
+    std::vector<std::weak_ptr<BatchQueue>> weak_queues(queues_.begin(),
+                                                       queues_.end());
+    group->AddUnwindHook([weak_queues] {
+      for (const auto& wq : weak_queues) {
+        if (auto q = wq.lock()) q->Close();
+      }
+    });
+  }
+  metrics_->Counter(exec::metric::kTasksSpawned)->Add(n);
   auto queues = queues_;
   for (int i = 0; i < n; ++i) {
     auto input = input_;
     Mode mode = mode_;
     auto hash_keys = hash_keys_;
     int m = num_partitions_;
-    producers_.emplace_back([input, i, ctx, queues, mode, hash_keys, m]() {
+    group->Spawn([input, i, ctx, queues, mode, hash_keys, m]() -> Status {
       auto fail = [&](const Status& st) {
         for (const auto& q : queues) q->PushError(st);
       };
@@ -158,7 +331,7 @@ Status RepartitionExec::StartProducers(const ExecContextPtr& ctx) {
       if (!stream_res.ok()) {
         fail(stream_res.status());
         for (const auto& q : queues) q->ProducerDone();
-        return;
+        return Status::OK();  // the error travels through the queues
       }
       auto stream = std::move(*stream_res);
       int64_t next = i;  // stagger round-robin start per producer
@@ -230,6 +403,7 @@ Status RepartitionExec::StartProducers(const ExecContextPtr& ctx) {
         if (!ok) break;
       }
       for (const auto& q : queues) q->ProducerDone();
+      return Status::OK();
     });
   }
   return Status::OK();

@@ -1,27 +1,49 @@
 #ifndef FUSION_PHYSICAL_EXCHANGE_EXEC_H_
 #define FUSION_PHYSICAL_EXCHANGE_EXEC_H_
 
-#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
-#include <thread>
+#include <vector>
 
+#include "exec/scheduler.h"
 #include "physical/execution_plan.h"
 
 namespace fusion {
 namespace physical {
 
 /// Bounded MPSC queue of batches used by the exchange operators.
-/// Producers block when full (backpressure); consumers block when empty.
-/// With a cancellation token attached, blocked waits poll the token so
-/// both Cancel() and deadline expiry unblock stuck producers/consumers.
+///
+/// Scheduler-aware: producers are tasks on the shared QueryScheduler,
+/// so a producer facing a full queue must not block a worker thread —
+/// it calls PushOrPark, which registers its Waker on the queue's
+/// not_full edge and lets the task park (cooperative yield). A consumer
+/// facing an empty queue lends its thread to the query's other tasks
+/// (TaskGroup::HelpOrWait) instead of sleeping, which is what lets a
+/// whole query run on a single worker — or on none, driven entirely by
+/// the collecting thread.
+///
+/// All blocking waits are event-driven: a cancellation listener on the
+/// query's token notifies them the moment Cancel() fires, and armed
+/// deadlines bound the sleeps directly (no polling).
 class BatchQueue {
  public:
-  explicit BatchQueue(size_t capacity, exec::CancellationTokenPtr token = nullptr)
-      : capacity_(capacity), token_(std::move(token)) {}
+  explicit BatchQueue(size_t capacity,
+                      exec::CancellationTokenPtr token = nullptr,
+                      exec::TaskGroupPtr group = nullptr,
+                      exec::MetricValuePtr queue_wait_ns = nullptr);
+  ~BatchQueue();
 
+  /// Blocking push (backpressure); used by non-task producers (tests)
+  /// and by unbounded queues, where it never waits.
   void Push(RecordBatchPtr batch);
+
+  /// Task-producer push: either consumes `*batch` (true — pushed, or
+  /// dropped because the queue closed/finished/cancelled) or leaves it
+  /// in place, registers `waker` on the not_full edge and returns false
+  /// — the caller must return TaskStatus::kParked and retry when woken.
+  bool PushOrPark(RecordBatchPtr* batch, const exec::Waker& waker);
+
   /// Report a producer error; consumers see it on the next Pop.
   void PushError(Status status);
   /// Called once per producer; the last call unblocks consumers at end.
@@ -30,37 +52,32 @@ class BatchQueue {
 
   /// Cancel: unblocks producers (their pushes become no-ops) and
   /// consumers. Called when a consumer abandons the stream early (e.g.
-  /// LIMIT satisfied).
+  /// LIMIT satisfied) and by the task group's unwind hook.
   void Close();
   bool closed() const { return closed_.load(); }
 
-  /// Next batch; nullptr at end; error if any producer failed.
+  /// Next batch; nullptr at end; error if any producer failed. With a
+  /// task group attached, an empty-queue wait helps run the group's
+  /// ready tasks (typically the very producers this consumer waits on).
   Result<RecordBatchPtr> Pop();
 
  private:
   /// True once the query's token has fired (never true without a token).
   bool Cancelled() const { return token_ != nullptr && token_->IsCancelled(); }
-  /// Block until `ready()` holds; polls when a token is attached because
-  /// nothing notifies the condvars on an external Cancel() or an expired
-  /// deadline.
-  template <typename Pred>
-  void Wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
-            Pred ready) {
-    if (token_ == nullptr) {
-      cv.wait(lock, ready);
-    } else {
-      while (!ready() && !Cancelled()) {
-        cv.wait_for(lock, std::chrono::milliseconds(10));
-      }
-    }
-  }
+  /// Wake every parked producer and any cv sleeper (queue edge fired).
+  void WakeAllLocked(std::vector<exec::Waker>* wakers);
 
   size_t capacity_;
   exec::CancellationTokenPtr token_;
+  exec::TaskGroupPtr group_;
+  exec::MetricValuePtr queue_wait_ns_;
+  exec::CancellationToken::ListenerId listener_id_ = 0;
   std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<RecordBatchPtr> queue_;
+  /// Producer tasks parked on the not_full edge.
+  std::vector<exec::Waker> push_waiters_;
   Status error_;
   std::atomic<int> producers_{0};
   std::atomic<bool> closed_{false};
@@ -68,9 +85,10 @@ class BatchQueue {
 };
 
 /// \brief N -> 1 exchange: funnels all input partitions into a single
-/// output stream. Input partitions are driven by dedicated producer
-/// threads so they run concurrently (the pull-based analogue of a merge
-/// without ordering).
+/// output stream. Input partitions are driven by producer tasks in the
+/// query's group on the shared scheduler (the pull-based analogue of a
+/// merge without ordering); a producer blocked by backpressure parks
+/// instead of holding a worker.
 class CoalescePartitionsExec : public ExecutionPlan {
  public:
   explicit CoalescePartitionsExec(ExecPlanPtr input) : input_(std::move(input)) {}
@@ -88,7 +106,8 @@ class CoalescePartitionsExec : public ExecutionPlan {
 /// \brief The Volcano exchange operator (paper §5.5, RepartitionExec):
 /// redistributes N input partitions across M output partitions either
 /// round-robin (load balancing) or by key hash (for partitioned
-/// aggregations/joins).
+/// aggregations/joins). Producers are scheduler tasks, one per input
+/// partition.
 class RepartitionExec : public ExecutionPlan {
  public:
   enum class Mode { kRoundRobin, kHash };
@@ -122,7 +141,6 @@ class RepartitionExec : public ExecutionPlan {
   bool started_ = false;
   Status start_status_;
   std::vector<std::shared_ptr<BatchQueue>> queues_;
-  std::vector<std::thread> producers_;
 };
 
 }  // namespace physical

@@ -11,6 +11,13 @@
 namespace fusion {
 namespace physical {
 
+const exec::TaskGroupPtr& ExecContext::EnsureTaskGroup() {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  if (task_group == nullptr) task_group = env->scheduler()->MakeGroup();
+  return task_group;
+}
+
 Result<exec::StreamPtr> ExecutionPlan::Execute(int partition,
                                                const ExecContextPtr& ctx) {
   // Don't start opening (which may collect an entire build side) for a
@@ -52,18 +59,28 @@ Result<std::vector<RecordBatchPtr>> ExecuteCollect(const ExecPlanPtr& plan,
                                                    const ExecContextPtr& ctx) {
   const int partitions = plan->output_partitions();
   std::vector<std::vector<RecordBatchPtr>> results(partitions);
-  std::mutex error_mu;
 
-  std::vector<std::function<Status()>> tasks;
-  tasks.reserve(partitions);
-  for (int p = 0; p < partitions; ++p) {
-    tasks.push_back([&, p]() -> Status {
-      FUSION_ASSIGN_OR_RAISE(auto stream, plan->Execute(p, ctx));
-      FUSION_ASSIGN_OR_RAISE(results[p], exec::CollectStream(stream.get()));
-      return Status::OK();
-    });
+  auto drive = [&](int p) -> Status {
+    FUSION_ASSIGN_OR_RAISE(auto stream, plan->Execute(p, ctx));
+    FUSION_ASSIGN_OR_RAISE(results[p], exec::CollectStream(stream.get()));
+    return Status::OK();
+  };
+  if (partitions == 1) {
+    // Single partition: drive it inline; no scheduler round-trip.
+    FUSION_RETURN_NOT_OK(drive(0));
+  } else {
+    // Partition drivers are tasks in the query's group on the shared
+    // scheduler. RunAll lends this thread to the group while it waits
+    // (the fairness floor), so collect works — and stays deadlock-free —
+    // from any thread, including nested inside another group task
+    // (subquery resolution, EXPLAIN ANALYZE).
+    std::vector<std::function<Status()>> tasks;
+    tasks.reserve(partitions);
+    for (int p = 0; p < partitions; ++p) {
+      tasks.push_back([&drive, p] { return drive(p); });
+    }
+    FUSION_RETURN_NOT_OK(ctx->EnsureTaskGroup()->RunAll(std::move(tasks)));
   }
-  FUSION_RETURN_NOT_OK(ctx->env->pool()->RunAll(std::move(tasks)));
 
   std::vector<RecordBatchPtr> out;
   for (auto& part : results) {
@@ -87,6 +104,8 @@ PlanMetricsNode CollectMetrics(const ExecutionPlan& plan) {
   node.spill_bytes = m.AggregatedValue(exec::metric::kSpillBytes);
   node.mem_reserved_bytes = m.AggregatedValue(exec::metric::kMemReservedBytes);
   node.dict_rows = m.AggregatedValue(exec::metric::kDictRows);
+  node.queue_wait_ns = m.AggregatedValue(exec::metric::kQueueWaitNs);
+  node.tasks_spawned = m.AggregatedValue(exec::metric::kTasksSpawned);
   int64_t children_elapsed = 0;
   for (const auto& c : plan.children()) {
     node.children.push_back(CollectMetrics(*c));
@@ -119,6 +138,10 @@ std::string RenderAnnotatedPlan(const ExecutionPlan& plan) {
         if (m.dict_rows > 0) {
           out << ", dict_rows=" << m.dict_rows
               << ", dense_rows=" << (m.output_rows - m.dict_rows);
+        }
+        if (m.tasks_spawned > 0) {
+          out << ", tasks_spawned=" << m.tasks_spawned
+              << ", queue_wait=" << exec::FormatDuration(m.queue_wait_ns);
         }
         out << "]\n";
         for (const auto& c : p.children()) render(*c, indent + 1);
@@ -167,6 +190,10 @@ void MetricsNodeToJson(const PlanMetricsNode& node, std::string* out) {
   if (node.dict_rows > 0) {
     *out += ",\"dict_rows\":" + std::to_string(node.dict_rows);
     *out += ",\"dense_rows\":" + std::to_string(node.output_rows - node.dict_rows);
+  }
+  if (node.tasks_spawned > 0) {
+    *out += ",\"tasks_spawned\":" + std::to_string(node.tasks_spawned);
+    *out += ",\"queue_wait_ns\":" + std::to_string(node.queue_wait_ns);
   }
   *out += ",\"children\":[";
   for (size_t i = 0; i < node.children.size(); ++i) {

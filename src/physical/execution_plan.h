@@ -21,14 +21,25 @@ struct ExecContext {
   /// Unique id used to name memory-pool consumers.
   int64_t query_id = 0;
   /// Cancellation/deadline signal shared by every stream and producer
-  /// thread of this query (nullptr = not cancellable). Checked in the
+  /// task of this query (nullptr = not cancellable). Checked in the
   /// Execute() stream wrapper and the exchange queues' blocking waits.
   exec::CancellationTokenPtr cancel;
+  /// The query's task group on the shared scheduler: every partition
+  /// driver and exchange producer of this query spawns here, so
+  /// TaskGroup::Finish() unwinds all of them through one mechanism.
+  /// Created by SessionContext::MakeExecContext; EnsureTaskGroup covers
+  /// contexts built by hand (tests).
+  exec::TaskGroupPtr task_group;
 
   /// OK, or Status::Cancelled once the query's token has fired.
   Status CheckCancelled() const {
     return cancel != nullptr ? cancel->CheckStatus() : Status::OK();
   }
+
+  /// The query's task group, creating one on the env's scheduler on
+  /// first use. Thread-safe: exchange operators may race here when a
+  /// bare context is used directly in tests.
+  const exec::TaskGroupPtr& EnsureTaskGroup();
 };
 
 using ExecContextPtr = std::shared_ptr<ExecContext>;
@@ -118,6 +129,11 @@ struct PlanMetricsNode {
   /// Rows emitted with at least one dictionary-encoded column still in
   /// code form; output_rows - dict_rows is the densified remainder.
   int64_t dict_rows = 0;
+  /// Time this operator's consumers spent blocked on an exchange queue
+  /// with nothing to pop (scheduler pressure; exchange operators only).
+  int64_t queue_wait_ns = 0;
+  /// Tasks this operator submitted to the query scheduler.
+  int64_t tasks_spawned = 0;
   std::vector<PlanMetricsNode> children;
 };
 

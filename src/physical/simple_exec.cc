@@ -179,9 +179,18 @@ Result<exec::StreamPtr> AnalyzeExec::ExecuteImpl(int partition,
   // only then are the metrics complete enough to render.
   FUSION_ASSIGN_OR_RAISE(int64_t rows, ExecuteCountRows(input_, ctx));
   (void)rows;
+  exec::QueryScheduler* sched = ctx->env->scheduler();
+  std::string footer = "== Scheduler ==\nworkers=" +
+                       std::to_string(sched->num_workers()) +
+                       ", peak_threads=" + std::to_string(sched->peak_threads()) +
+                       ", peak_ready_tasks=" +
+                       std::to_string(sched->peak_ready_tasks());
+  if (ctx->task_group != nullptr) {
+    footer += ", query_tasks=" + std::to_string(ctx->task_group->tasks_spawned());
+  }
   StringBuilder builder;
   builder.Append("== Physical Plan (EXPLAIN ANALYZE) ==\n" +
-                 RenderAnnotatedPlan(*input_));
+                 RenderAnnotatedPlan(*input_) + footer + "\n");
   FUSION_ASSIGN_OR_RAISE(auto arr, builder.Finish());
   auto batch = std::make_shared<RecordBatch>(schema_, 1,
                                              std::vector<ArrayPtr>{std::move(arr)});

@@ -163,7 +163,8 @@ TEST(BatchQueueTest, CancelUnblocksConsumerAndProducer) {
   auto queue = std::make_shared<physical::BatchQueue>(1, token);
   queue->AddProducer();
 
-  // Blocked consumer (empty queue) observes Cancel within the poll tick.
+  // Blocked consumer (empty queue) is woken by the cancellation
+  // listener the moment Cancel latches — no polling tick to wait out.
   std::thread canceller([token] {
     std::this_thread::sleep_for(std::chrono::milliseconds(30));
     token->Cancel();
@@ -173,7 +174,7 @@ TEST(BatchQueueTest, CancelUnblocksConsumerAndProducer) {
   canceller.join();
   ASSERT_FALSE(res.ok());
   EXPECT_TRUE(res.status().IsCancelled());
-  EXPECT_LT(ElapsedMs(start), 5000);
+  EXPECT_LT(ElapsedMs(start), 1000);
 
   // Blocked producer (full queue) also unblocks; its push is dropped.
   queue->Push(MakeIntBatch(0, 1));
@@ -274,9 +275,9 @@ TEST(CoalesceTest, ConsumerAbandonsMidStream) {
     ASSERT_OK_AND_ASSIGN(auto batch, stream->Next());
     EXPECT_NE(batch, nullptr);
     // Stream dropped here with ~4M batches unproduced; the producer
-    // group must close the queue and join promptly, not drain.
+    // tasks must see the closed queue and finish promptly, not drain.
   }
-  EXPECT_LT(ElapsedMs(start), 30000);
+  EXPECT_LT(ElapsedMs(start), 5000);
 }
 
 TEST(RepartitionTest, AbandonMidStream) {
@@ -290,9 +291,10 @@ TEST(RepartitionTest, AbandonMidStream) {
     ASSERT_OK_AND_ASSIGN(auto batch, stream->Next());
     EXPECT_NE(batch, nullptr);
     // Plan + stream destroyed with 3 partitions never consumed; the
-    // RepartitionExec destructor closes the queues and joins producers.
+    // RepartitionExec destructor closes the queues so the producer
+    // tasks stop at the next push.
   }
-  EXPECT_LT(ElapsedMs(start), 30000);
+  EXPECT_LT(ElapsedMs(start), 5000);
 }
 
 // --------------------------------------------------- SQL-level cancellation
@@ -315,9 +317,11 @@ TEST(CancelSqlTest, TokenCancelsCrossJoin) {
   token->Cancel();
   auto start = Clock::now();
   runner.join();
-  // All partitions and producer threads wound down promptly after the
-  // cancel (join returned), and the query surfaced Status::Cancelled.
-  EXPECT_LT(ElapsedMs(start), 30000);
+  // All partition drivers and producer tasks wound down promptly after
+  // the cancel (join returned), and the query surfaced Status::Cancelled.
+  // Cancellation is event-driven (no polling slack), so the unwind is
+  // bounded by one batch of compute per task, not a poll interval.
+  EXPECT_LT(ElapsedMs(start), 5000);
   EXPECT_TRUE(st.IsCancelled()) << st.ToString();
 }
 
@@ -328,7 +332,10 @@ TEST(CancelSqlTest, DeadlineCancelsCrossJoin) {
   ASSERT_FALSE(res.ok());
   EXPECT_TRUE(res.status().IsCancelled()) << res.status().ToString();
   EXPECT_NE(res.status().message().find("deadline"), std::string::npos);
-  EXPECT_LT(ElapsedMs(start), 30000);
+  // 100 ms deadline + event-driven wakeup: blocked waits use
+  // wait_until(deadline), so the whole query (deadline included) fits
+  // well inside a few seconds even under sanitizers.
+  EXPECT_LT(ElapsedMs(start), 5000);
 }
 
 TEST(CancelSqlTest, SessionTimeoutConfig) {

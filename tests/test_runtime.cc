@@ -77,6 +77,30 @@ TEST(ThreadPoolTest, SubmitReturnsFuture) {
   EXPECT_EQ(fut.get().code(), StatusCode::kCancelled);
 }
 
+TEST(ThreadPoolTest, NestedRunAllDoesNotDeadlockSaturatedPool) {
+  // Regression: with a 2-worker pool, outer tasks occupy every worker
+  // and each calls RunAll again (nested collect); the inner tasks used
+  // to sit in the queue forever while the workers blocked on their
+  // futures. RunAll now help-drains the queue while waiting.
+  ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  std::vector<std::function<Status()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back([&pool, &inner_runs]() -> Status {
+      std::vector<std::function<Status()>> inner;
+      for (int j = 0; j < 4; ++j) {
+        inner.push_back([&inner_runs]() -> Status {
+          inner_runs.fetch_add(1);
+          return Status::OK();
+        });
+      }
+      return pool.RunAll(std::move(inner));
+    });
+  }
+  ASSERT_OK(pool.RunAll(std::move(outer)));
+  EXPECT_EQ(inner_runs.load(), 16);
+}
+
 TEST(BatchQueueTest, ProducerConsumerEndToEnd) {
   physical::BatchQueue queue(4);
   queue.AddProducer();

@@ -1,0 +1,246 @@
+// Tests for the shared query scheduler: task groups, cooperative
+// parking/waking through the exchange queues, fairness across
+// concurrent queries, and bounded thread usage.
+
+#include "tests/test_util.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "exec/scheduler.h"
+#include "physical/exchange_exec.h"
+
+namespace fusion {
+namespace test {
+namespace {
+
+using exec::QueryScheduler;
+using exec::TaskStatus;
+
+exec::SessionConfig FourPartitionConfig() {
+  exec::SessionConfig config;
+  config.target_partitions = 4;
+  return config;
+}
+
+/// MakeTestSession on a dedicated scheduler instead of the process one.
+core::SessionContextPtr MakeScheduledSession(
+    int64_t rows, exec::SessionConfig config,
+    const std::shared_ptr<QueryScheduler>& sched) {
+  auto session = MakeTestSession(rows, config);
+  session->env()->query_scheduler = sched;
+  return session;
+}
+
+TEST(TaskGroupTest, RunAllRunsEverythingAndReportsFirstError) {
+  QueryScheduler sched(2);
+  auto group = sched.MakeGroup();
+  std::atomic<int> counter{0};
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back([&counter, i]() -> Status {
+      counter.fetch_add(1);
+      if (i == 7) return Status::Internal("task 7 exploded");
+      return Status::OK();
+    });
+  }
+  Status st = group->RunAll(std::move(tasks));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(counter.load(), 20);  // an error does not cancel siblings
+  EXPECT_EQ(group->tasks_spawned(), 20);
+}
+
+TEST(TaskGroupTest, FinishJoinsSpawnedTasks) {
+  QueryScheduler sched(2);
+  auto group = sched.MakeGroup();
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    group->Spawn([&done]() -> Status {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  ASSERT_OK(group->Finish());
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(TaskGroupTest, UnwindHooksRunOnFinish) {
+  QueryScheduler sched(1);
+  auto group = sched.MakeGroup();
+  std::atomic<bool> unwound{false};
+  group->AddUnwindHook([&unwound] { unwound.store(true); });
+  EXPECT_FALSE(unwound.load());
+  ASSERT_OK(group->Finish());
+  EXPECT_TRUE(unwound.load());
+  // After the group unwound, late hooks fire immediately (a queue
+  // created by a straggling stream still gets closed).
+  std::atomic<bool> late{false};
+  group->AddUnwindHook([&late] { late.store(true); });
+  EXPECT_TRUE(late.load());
+}
+
+TEST(TaskGroupTest, NestedRunAllInsideTask) {
+  // A RunAll task that itself calls RunAll on the same group (the
+  // scheduler analogue of a nested collect) must complete even with a
+  // single worker: blocked callers lend their thread to the group.
+  QueryScheduler sched(1);
+  auto group = sched.MakeGroup();
+  std::atomic<int> inner_runs{0};
+  std::vector<std::function<Status()>> outer;
+  for (int i = 0; i < 2; ++i) {
+    outer.push_back([&group, &inner_runs]() -> Status {
+      std::vector<std::function<Status()>> inner;
+      for (int j = 0; j < 2; ++j) {
+        inner.push_back([&inner_runs]() -> Status {
+          inner_runs.fetch_add(1);
+          return Status::OK();
+        });
+      }
+      return group->RunAll(std::move(inner));
+    });
+  }
+  ASSERT_OK(group->RunAll(std::move(outer)));
+  EXPECT_EQ(inner_runs.load(), 4);
+}
+
+TEST(TaskGroupTest, ParkedProducerRewokenByConsumer) {
+  // A producer task facing a capacity-1 queue must park (returning its
+  // worker) and be rewoken by the consumer's pops until all batches
+  // made it through.
+  QueryScheduler sched(1);
+  auto group = sched.MakeGroup();
+  auto schema = fusion::schema({Field("x", int64(), false)});
+  physical::BatchQueue queue(1, nullptr, group);
+  queue.AddProducer();
+  const int kBatches = 16;
+  auto state = std::make_shared<int>(0);  // batches pushed so far
+  group->SpawnResumable(
+      [&queue, schema, state](const exec::Waker& waker) -> TaskStatus {
+        while (*state < kBatches) {
+          auto batch = std::make_shared<RecordBatch>(
+              schema, 1, std::vector<ArrayPtr>{MakeInt64Array({*state})});
+          if (!queue.PushOrPark(&batch, waker)) return TaskStatus::kParked;
+          ++*state;
+        }
+        queue.ProducerDone();
+        return TaskStatus::kDone;
+      });
+  int64_t seen = 0;
+  for (;;) {
+    auto batch = queue.Pop();
+    ASSERT_OK(batch.status());
+    if (*batch == nullptr) break;
+    ++seen;
+  }
+  EXPECT_EQ(seen, kBatches);
+  ASSERT_OK(group->Finish());
+}
+
+TEST(SchedulerTest, SingleWorkerRunsPartitionedQueryToCompletion) {
+  // The hardest deadlock case: 4 partitions' drivers, repartition
+  // producers and a coalesce all multiplexed onto ONE worker plus the
+  // calling thread. Progress relies entirely on cooperative
+  // help/park — any true blocking wait would hang here.
+  auto sched = std::make_shared<QueryScheduler>(1);
+  auto session = MakeScheduledSession(300, FourPartitionConfig(), sched);
+  ASSERT_OK_AND_ASSIGN(
+      auto batches,
+      session->ExecuteSql(
+          "SELECT grp, count(*) AS c FROM t GROUP BY grp ORDER BY grp"));
+  EXPECT_EQ(SortedStringRows(batches),
+            (std::vector<StringRow>{{"a", "100"}, {"b", "100"}, {"c", "100"}}));
+}
+
+TEST(SchedulerTest, EightConcurrentQueriesBoundedThreads) {
+  // 8 concurrent 4-partition queries on a 4-worker scheduler: all must
+  // complete (no deadlock), correctly, while the engine never grows
+  // beyond the fixed pool (pool_size + 1 with the collector thread).
+  auto sched = std::make_shared<QueryScheduler>(4);
+  const int kQueries = 8;
+  std::vector<std::thread> clients;
+  std::vector<Status> statuses(kQueries);
+  std::vector<int64_t> rows(kQueries, 0);
+  for (int q = 0; q < kQueries; ++q) {
+    clients.emplace_back([q, sched, &statuses, &rows] {
+      auto session = MakeScheduledSession(240, FourPartitionConfig(), sched);
+      auto result = session->ExecuteSql(
+          "SELECT grp, count(*), sum(v) FROM t GROUP BY grp");
+      statuses[q] = result.status();
+      if (result.ok()) rows[q] = TotalRows(*result);
+    });
+  }
+  for (auto& c : clients) c.join();
+  for (int q = 0; q < kQueries; ++q) {
+    ASSERT_OK(statuses[q]);
+    EXPECT_EQ(rows[q], 3);
+  }
+  EXPECT_LE(sched->peak_threads(), sched->num_workers() + 1);
+  EXPECT_GT(sched->total_tasks(), 0);
+}
+
+TEST(SchedulerTest, FairnessShortQueryFinishesDuringLongQuery) {
+  // Fairness floor: a short query submitted while a long cross join
+  // saturates the scheduler must finish before the long query does —
+  // its collector thread always drives its own task group.
+  auto sched = std::make_shared<QueryScheduler>(1);
+  auto token = exec::CancellationToken::Make();
+  std::atomic<bool> long_done{false};
+  std::thread long_client([sched, token, &long_done] {
+    // ~340M joined rows: runs for many seconds unless cancelled.
+    auto session = MakeScheduledSession(700, FourPartitionConfig(), sched);
+    auto result = session->ExecuteSql(
+        "SELECT count(*) FROM t a CROSS JOIN t b CROSS JOIN t c", token);
+    (void)result;  // cancelled below
+    long_done.store(true);
+  });
+  // Wait until the long query has tasks on the scheduler, then give it
+  // a head start occupying the single worker.
+  for (int i = 0; i < 2000 && sched->total_tasks() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto session = MakeScheduledSession(120, FourPartitionConfig(), sched);
+  ASSERT_OK_AND_ASSIGN(
+      auto batches,
+      session->ExecuteSql("SELECT grp, count(*) FROM t GROUP BY grp"));
+  EXPECT_EQ(TotalRows(batches), 3);
+  EXPECT_FALSE(long_done.load())
+      << "long query finished before the short one — not a fairness run";
+  token->Cancel();
+  long_client.join();
+}
+
+TEST(SchedulerTest, ExplainAnalyzeReportsSchedulerGauges) {
+  auto sched = std::make_shared<QueryScheduler>(2);
+  auto session = MakeScheduledSession(200, FourPartitionConfig(), sched);
+  ASSERT_OK_AND_ASSIGN(
+      auto batches,
+      session->ExecuteSql(
+          "EXPLAIN ANALYZE SELECT grp, count(*) FROM t GROUP BY grp"));
+  ASSERT_EQ(TotalRows(batches), 1);
+  std::string text = batches[0]->column(0)->ValueToString(0);
+  EXPECT_NE(text.find("== Scheduler =="), std::string::npos) << text;
+  EXPECT_NE(text.find("workers=2"), std::string::npos) << text;
+  EXPECT_NE(text.find("peak_threads=2"), std::string::npos) << text;
+  EXPECT_NE(text.find("query_tasks="), std::string::npos) << text;
+  // The partitioned plan spawned exchange producers; their task counts
+  // and queue waits land in the per-operator annotations.
+  EXPECT_NE(text.find("tasks_spawned="), std::string::npos) << text;
+}
+
+TEST(SchedulerTest, EarlyLimitUnwindsProducersThroughFinish) {
+  // A LIMIT satisfied after one batch abandons exchange streams with
+  // producers still live; ExecuteSql must still return promptly with
+  // every task joined (TaskGroup::Finish closes the queues).
+  auto sched = std::make_shared<QueryScheduler>(2);
+  auto session = MakeScheduledSession(5000, FourPartitionConfig(), sched);
+  ASSERT_OK_AND_ASSIGN(auto batches,
+                       session->ExecuteSql("SELECT id FROM t LIMIT 3"));
+  EXPECT_EQ(TotalRows(batches), 3);
+}
+
+}  // namespace
+}  // namespace test
+}  // namespace fusion
