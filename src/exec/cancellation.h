@@ -70,7 +70,24 @@ class CancellationToken {
             deadline_ns_.load(std::memory_order_acquire)));
   }
 
+  /// Latching check: the first call past an armed deadline fires the
+  /// listeners (see AddListener). Never call this while holding a lock
+  /// that a listener also takes — use CancelRequested() there.
   bool IsCancelled() const { return ReasonNow() != kNone; }
+
+  /// Non-latching probe: true once the token has latched, or an armed
+  /// deadline has passed even if no check has latched it yet. Pure
+  /// loads — never fires listeners — so it is the only form safe inside
+  /// critical sections whose lock a listener may take (the exchange
+  /// queue mutex, the scheduler's epoch mutex). Callers that need the
+  /// Status (and the latch) must drop their lock first and use
+  /// CheckStatus().
+  bool CancelRequested() const {
+    if (reason_.load(std::memory_order_acquire) != kNone) return true;
+    int64_t d = deadline_ns_.load(std::memory_order_acquire);
+    return d != 0 &&
+           std::chrono::steady_clock::now().time_since_epoch().count() >= d;
+  }
 
   using ListenerId = int64_t;
 

@@ -75,6 +75,8 @@ inline constexpr const char kSpillBytes[] = "spill_bytes";
 inline constexpr const char kDictRows[] = "dict_rows";
 /// Nanoseconds a consumer spent blocked on an exchange queue with no
 /// batch available (scheduler pressure / producer-consumer imbalance).
+/// Time the consumer lent its thread to run other tasks of its query
+/// (TaskGroup::HelpOrWait) is productive work and is not counted.
 inline constexpr const char kQueueWaitNs[] = "queue_wait_ns";
 /// Tasks this operator submitted to the query scheduler.
 inline constexpr const char kTasksSpawned[] = "tasks_spawned";

@@ -132,6 +132,17 @@ Status TaskGroup::RunAll(std::vector<std::function<Status()>> tasks) {
   for (;;) {
     uint64_t epoch = progress_epoch();
     if (state->remaining.load(std::memory_order_acquire) == 0) break;
+    {
+      std::lock_guard<std::mutex> lock(scheduler_->mu_);
+      // Scheduler teardown discards queued tasks without running them,
+      // so their `remaining` decrements never come. Once none of this
+      // group's tasks is left running either, stop waiting. Dropped
+      // tasks never ran, so the stack storage callers' closures
+      // reference was never handed out.
+      if (scheduler_->shutdown_ && outstanding_ == 0) {
+        return Status::Cancelled("scheduler shut down");
+      }
+    }
     HelpOrWait(epoch, nullptr);
   }
   std::lock_guard<std::mutex> lock(state->mu);
@@ -186,9 +197,10 @@ uint64_t TaskGroup::progress_epoch() const {
   return scheduler_->epoch_.load(std::memory_order_acquire);
 }
 
-void TaskGroup::HelpOrWait(uint64_t epoch, const CancellationToken* token) {
-  if (RunOneReadyTask()) return;
+bool TaskGroup::HelpOrWait(uint64_t epoch, const CancellationToken* token) {
+  if (RunOneReadyTask()) return true;
   scheduler_->WaitEpoch(epoch, token);
+  return false;
 }
 
 void TaskGroup::NotifyProgress() { scheduler_->BumpEpoch(); }
@@ -224,12 +236,19 @@ QueryScheduler::~QueryScheduler() {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
     // Drop queued-but-never-run closures so task->queue->waker->task
-    // reference cycles cannot outlive the scheduler.
+    // reference cycles cannot outlive the scheduler. Each discarded
+    // task must also settle its group's accounting: a collector blocked
+    // in Finish()/RunAll waits for outstanding_ to reach zero and would
+    // otherwise hang forever.
     for (auto& weak : run_queue_) {
       if (auto group = weak.lock()) {
+        if (!group->ready_.empty() && group->first_error_.ok()) {
+          group->first_error_ = Status::Cancelled("scheduler shut down");
+        }
         for (auto& ctl : group->ready_) {
           ctl->state.store(TaskCtl::kDone, std::memory_order_release);
           ctl->poll = nullptr;
+          --group->outstanding_;
         }
         group->ready_.clear();
         group->in_run_queue_ = false;
@@ -239,6 +258,7 @@ QueryScheduler::~QueryScheduler() {
     ready_count_ = 0;
   }
   cv_work_.notify_all();
+  BumpEpoch();  // wake Finish()/RunAll helpers sleeping in WaitEpoch
   for (auto& worker : workers_) worker.join();
 }
 
@@ -306,22 +326,28 @@ void QueryScheduler::RunTask(TaskCtlPtr ctl) {
 void QueryScheduler::EnqueueReady(const TaskCtlPtr& ctl) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) {
-      // Late wake during teardown; mark done so the cycle breaks.
-      ctl->state.store(TaskCtl::kDone, std::memory_order_release);
-      return;
-    }
     TaskGroup* group = ctl->group.get();
-    group->ready_.push_back(ctl);
-    ++ready_count_;
-    int64_t peak = peak_ready_tasks_.load(std::memory_order_relaxed);
-    while (ready_count_ > peak &&
-           !peak_ready_tasks_.compare_exchange_weak(
-               peak, ready_count_, std::memory_order_relaxed)) {
-    }
-    if (!group->in_run_queue_) {
-      group->in_run_queue_ = true;
-      run_queue_.push_back(group->weak_from_this());
+    if (shutdown_) {
+      // Late wake during teardown; mark done so the cycle breaks, and
+      // settle the group's accounting so a blocked Finish()/RunAll
+      // caller observes completion (the epoch bump below wakes it).
+      ctl->state.store(TaskCtl::kDone, std::memory_order_release);
+      --group->outstanding_;
+      if (group->first_error_.ok()) {
+        group->first_error_ = Status::Cancelled("scheduler shut down");
+      }
+    } else {
+      group->ready_.push_back(ctl);
+      ++ready_count_;
+      int64_t peak = peak_ready_tasks_.load(std::memory_order_relaxed);
+      while (ready_count_ > peak &&
+             !peak_ready_tasks_.compare_exchange_weak(
+                 peak, ready_count_, std::memory_order_relaxed)) {
+      }
+      if (!group->in_run_queue_) {
+        group->in_run_queue_ = true;
+        run_queue_.push_back(group->weak_from_this());
+      }
     }
   }
   cv_work_.notify_one();
@@ -329,7 +355,11 @@ void QueryScheduler::EnqueueReady(const TaskCtlPtr& ctl) {
 }
 
 void QueryScheduler::BumpEpoch() {
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  // Dekker pair with WaitEpoch: bump-then-read-waiters here versus
+  // register-waiter-then-read-epoch there. All four accesses must be
+  // seq_cst — with weaker orders the model allows the bumper to read
+  // waiters==0 while the waiter reads the stale epoch (lost wakeup).
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
   if (epoch_waiters_.load(std::memory_order_seq_cst) > 0) {
     // Taking the mutex pairs with waiters: anyone who registered before
     // the bump is either about to re-check the epoch or inside wait().
@@ -341,9 +371,11 @@ void QueryScheduler::BumpEpoch() {
 void QueryScheduler::WaitEpoch(uint64_t epoch, const CancellationToken* token) {
   std::unique_lock<std::mutex> lock(epoch_mu_);
   epoch_waiters_.fetch_add(1, std::memory_order_seq_cst);
-  while (epoch_.load(std::memory_order_acquire) == epoch) {
+  while (epoch_.load(std::memory_order_seq_cst) == epoch) {
     if (token != nullptr && token->has_deadline()) {
-      if (token->IsCancelled()) break;
+      // Non-latching probe: latching fires listeners, which call
+      // NotifyProgress -> BumpEpoch -> lock(epoch_mu_) — held here.
+      if (token->CancelRequested()) break;
       if (cv_epoch_.wait_until(lock, token->deadline_time()) ==
           std::cv_status::timeout) {
         break;  // caller re-checks the token

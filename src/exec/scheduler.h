@@ -133,7 +133,9 @@ class TaskGroup : public std::enable_shared_from_this<TaskGroup> {
   /// progress epoch advances past `epoch` (bounded by `token`'s
   /// deadline when one is armed). Used by scheduler-aware blocking
   /// waits (BatchQueue::Pop) to lend the thread instead of holding it.
-  void HelpOrWait(uint64_t epoch, const CancellationToken* token);
+  /// Returns true if it ran a task (the time was spent helping, not
+  /// blocked) — lets callers keep wait metrics honest.
+  bool HelpOrWait(uint64_t epoch, const CancellationToken* token);
 
   /// Bump the progress epoch and wake helpers/waiters; called by queue
   /// edges (push/finish/close/cancel) attached to this group.

@@ -143,6 +143,9 @@ Result<RecordBatchPtr> BatchQueue::Pop() {
     // otherwise surface Cancelled promptly instead of draining batches.
     if (Cancelled()) {
       record_wait();
+      // CheckStatus latches the token and fires its listeners — one of
+      // which is this queue's own and locks mu_ — so release mu_ first.
+      lock.unlock();
       return token_->CheckStatus();
     }
     if (!queue_.empty()) {
@@ -169,18 +172,23 @@ Result<RecordBatchPtr> BatchQueue::Pop() {
     // tasks (usually the producers we are waiting on) or sleep until an
     // edge fires; with an armed deadline the sleep is bounded by it.
     auto start = std::chrono::steady_clock::now();
+    bool blocked = true;
     if (group_ != nullptr) {
       lock.unlock();
-      group_->HelpOrWait(epoch, token_.get());
+      // Time spent *running* a borrowed task is productive work, not
+      // queue pressure; only genuine sleeps count toward queue_wait_ns.
+      blocked = !group_->HelpOrWait(epoch, token_.get());
       lock.lock();
     } else if (token_ != nullptr && token_->has_deadline()) {
       not_empty_.wait_until(lock, token_->deadline_time());
     } else {
       not_empty_.wait(lock);
     }
-    waited_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
-                     std::chrono::steady_clock::now() - start)
-                     .count();
+    if (blocked) {
+      waited_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    }
   }
 }
 

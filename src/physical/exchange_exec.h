@@ -63,7 +63,12 @@ class BatchQueue {
 
  private:
   /// True once the query's token has fired (never true without a token).
-  bool Cancelled() const { return token_ != nullptr && token_->IsCancelled(); }
+  /// Non-latching on purpose: this runs while holding mu_, and latching
+  /// fires the token's listeners synchronously — including this queue's
+  /// own listener, which locks mu_ (self-deadlock on deadline expiry).
+  bool Cancelled() const {
+    return token_ != nullptr && token_->CancelRequested();
+  }
   /// Wake every parked producer and any cv sleeper (queue edge fired).
   void WakeAllLocked(std::vector<exec::Waker>* wakers);
 

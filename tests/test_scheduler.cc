@@ -138,6 +138,37 @@ TEST(TaskGroupTest, ParkedProducerRewokenByConsumer) {
   ASSERT_OK(group->Finish());
 }
 
+TEST(TaskGroupTest, DeadlineExpiryInPopDoesNotSelfDeadlock) {
+  // Regression: Pop re-checks cancellation while holding the queue
+  // mutex. Latching the deadline there used to fire the token's
+  // listeners synchronously — including this queue's own listener,
+  // which locks the same mutex — deadlocking the consumer the moment
+  // it woke at the deadline. The check under the lock must not latch.
+  auto token = exec::CancellationToken::WithTimeout(30);
+  physical::BatchQueue queue(4, token);
+  queue.AddProducer();  // never pushes; the consumer sleeps to the deadline
+  auto res = queue.Pop();
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsCancelled()) << res.status().ToString();
+}
+
+TEST(TaskGroupTest, DeadlineExpiryInHelpOrWaitDoesNotSelfDeadlock) {
+  // Same regression through the scheduler path: a group-attached
+  // consumer waits in WaitEpoch (under epoch_mu_), and the queue's
+  // cancellation listener calls NotifyProgress -> BumpEpoch, which
+  // locks epoch_mu_ — so neither the epoch wait nor Pop's re-check may
+  // latch the token.
+  QueryScheduler sched(1);
+  auto group = sched.MakeGroup();
+  auto token = exec::CancellationToken::WithTimeout(30);
+  physical::BatchQueue queue(4, token, group);
+  queue.AddProducer();
+  auto res = queue.Pop();
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsCancelled()) << res.status().ToString();
+  ASSERT_OK(group->Finish());
+}
+
 TEST(SchedulerTest, SingleWorkerRunsPartitionedQueryToCompletion) {
   // The hardest deadlock case: 4 partitions' drivers, repartition
   // producers and a coalesce all multiplexed onto ONE worker plus the
