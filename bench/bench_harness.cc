@@ -76,6 +76,17 @@ void AppendJsonString(std::string* out, const std::string& s) {
 
 }  // namespace
 
+void JsonReport::Add(int query, int threads, const QueryTiming& timing) {
+  if (!enabled()) return;
+  const size_t before = entries_.size();
+  Add(query, timing);
+  if (entries_.size() > before) {
+    std::string& e = entries_.back();
+    // Splice the threads key in after "query": N so series group nicely.
+    e.insert(1, "\"threads\": " + std::to_string(threads) + ", ");
+  }
+}
+
 void JsonReport::Add(int query, const QueryTiming& timing) {
   if (!enabled()) return;
   std::string e = "{\"query\": " + std::to_string(query);

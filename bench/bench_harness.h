@@ -42,6 +42,9 @@ class JsonReport {
 
   bool enabled() const { return !path_.empty(); }
   void Add(int query, const QueryTiming& timing);
+  /// Entry for one (query, thread-count) sweep point; adds a
+  /// `"threads"` key so scalability gates can group the series.
+  void Add(int query, int threads, const QueryTiming& timing);
   /// Write the accumulated array; returns false on I/O failure.
   bool Finish() const;
 

@@ -2,10 +2,14 @@
 // core (thread) count grows. The paper sweeps 1..192 cores on a
 // c3-highcpu-176; this harness sweeps FUSION_BENCH_THREADS (default
 // "1,2,4,8") and reports per-query series for Fusion. The exercised
-// code path — partitioned scans, RepartitionExec exchanges, per-
-// partition streams — is identical at any core count; on hosts with
-// fewer physical cores than threads, oversubscription effects are
-// reported as measured (EXPERIMENTS.md, substitution 5).
+// code path — morsel-fed scans, partitioned aggregation, per-partition
+// streams — is identical at any core count; on hosts with fewer
+// physical cores than threads, oversubscription effects are reported
+// as measured (EXPERIMENTS.md, substitution 5).
+//
+// FUSION_BENCH_QUERIES selects a comma-separated subset of the query
+// numbers (CI runs a reduced sweep); `--json FILE` emits the series as
+// {query, threads, seconds} entries for tools/check_bench.py.
 
 #include <cstdio>
 #include <cstring>
@@ -16,21 +20,37 @@
 using namespace fusion;          // NOLINT
 using namespace fusion::bench;   // NOLINT
 
-int main() {
+namespace {
+
+std::vector<int> ParseIntList(const char* env, const char* fallback) {
+  std::string spec = env != nullptr && *env != '\0' ? env : fallback;
+  std::vector<int> out;
+  for (size_t pos = 0; pos < spec.size();) {
+    out.push_back(std::atoi(spec.c_str() + pos));
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReport report(ParseJsonReportArg(argc, argv));
+
   ClickBenchSpec spec;
   spec.rows = EnvScale("FUSION_BENCH_ROWS", 2'000'000);
   spec.num_files = static_cast<int>(EnvScale("FUSION_BENCH_FILES", 20));
   spec.dir = BenchDataDir();
 
-  std::vector<int> thread_counts;
-  const char* env = std::getenv("FUSION_BENCH_THREADS");
-  std::string spec_str = env != nullptr && *env != '\0' ? env : "1,2,4,8";
-  for (size_t pos = 0; pos < spec_str.size();) {
-    thread_counts.push_back(std::atoi(spec_str.c_str() + pos));
-    size_t comma = spec_str.find(',', pos);
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
+  std::vector<int> thread_counts =
+      ParseIntList(std::getenv("FUSION_BENCH_THREADS"), "1,2,4,8");
+  // Representative queries across the paper's regimes: sub-second
+  // (Q1/Q2), medium groups (Q15, Q32), high-cardinality (Q18, Q33),
+  // LIKE-heavy (Q28).
+  std::vector<int> query_numbers =
+      ParseIntList(std::getenv("FUSION_BENCH_QUERIES"), "1,2,8,15,18,28,32,33");
 
   std::printf("== Figure 7: ClickBench scalability (threads sweep) ==\n");
   auto paths = GenerateClickBench(spec);
@@ -40,22 +60,20 @@ int main() {
     return 1;
   }
 
-  // Representative queries across the paper's regimes: sub-second
-  // (Q1/Q2), medium groups (Q15, Q32), high-cardinality (Q18, Q33),
-  // LIKE-heavy (Q28).
-  const int kQueryNumbers[] = {1, 2, 8, 15, 18, 28, 32, 33};
-
   std::printf("query,threads,seconds\n");
   for (int threads : thread_counts) {
-    // A fresh pool sized to the thread count drives the partitions.
+    // A fresh scheduler sized to the thread count drives the partition
+    // tasks; sizing only the legacy thread pool would leave every sweep
+    // point running on the process-default scheduler width.
     exec::SessionConfig config;
     config.target_partitions = threads;
     auto env_rt = std::make_shared<exec::RuntimeEnv>();
     auto pool = std::make_unique<ThreadPool>(threads);
     env_rt->thread_pool = pool.get();
+    env_rt->query_scheduler = std::make_shared<exec::QueryScheduler>(threads);
     auto ctx = core::SessionContext::Make(config, env_rt);
     if (!RegisterHits(ctx.get(), nullptr, *paths).ok()) return 1;
-    for (int qn : kQueryNumbers) {
+    for (int qn : query_numbers) {
       for (const auto& q : ClickBenchQueries()) {
         if (q.number != qn) continue;
         QueryTiming t = RunFusion(ctx.get(), q.sql, /*runs=*/2);
@@ -64,8 +82,9 @@ int main() {
         } else {
           std::printf("Q%d,%d,FAIL (%s)\n", qn, threads, t.error.c_str());
         }
+        report.Add(qn, threads, t);
       }
     }
   }
-  return 0;
+  return report.Finish() ? 0 : 1;
 }

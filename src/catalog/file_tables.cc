@@ -143,9 +143,15 @@ Result<std::vector<BatchIteratorPtr>> FpqTable::Scan(const ScanRequest& request)
       units.push_back({reader, g});
     }
   }
+  // Morsel mode: one iterator per row group (capped at max_morsels);
+  // otherwise one static split per target partition. Both distribute
+  // units round-robin, so unit counts stay balanced within one.
   int partitions =
-      std::max(1, std::min<int>(request.target_partitions,
-                                std::max<size_t>(units.size(), 1)));
+      request.max_morsels > 0
+          ? std::max(1, std::min<int>(request.max_morsels,
+                                      std::max<size_t>(units.size(), 1)))
+          : std::max(1, std::min<int>(request.target_partitions,
+                                      std::max<size_t>(units.size(), 1)));
   std::vector<std::vector<ScanUnit>> parts(partitions);
   for (size_t i = 0; i < units.size(); ++i) {
     parts[i % parts.size()].push_back(units[i]);
@@ -229,13 +235,53 @@ Result<std::shared_ptr<CsvTable>> CsvTable::Open(std::vector<std::string> paths,
       new CsvTable(std::move(schema), std::move(paths), std::move(options)));
 }
 
+namespace {
+
+/// Drains a list of per-file iterators in order (one scan partition
+/// covering several files).
+class ChainedBatchIterator : public BatchIterator {
+ public:
+  explicit ChainedBatchIterator(std::vector<BatchIteratorPtr> inner)
+      : inner_(std::move(inner)) {}
+
+  Result<RecordBatchPtr> Next() override {
+    while (pos_ < inner_.size()) {
+      FUSION_ASSIGN_OR_RAISE(auto batch, inner_[pos_]->Next());
+      if (batch != nullptr) return batch;
+      ++pos_;
+    }
+    return RecordBatchPtr(nullptr);
+  }
+
+ private:
+  std::vector<BatchIteratorPtr> inner_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
 Result<std::vector<BatchIteratorPtr>> CsvTable::Scan(const ScanRequest& request) {
   std::vector<int> projection = ResolveProjection(*schema_, request.projection);
+  // Respect the requested parallelism instead of one partition per file
+  // (which could exceed target_partitions and leave splits imbalanced):
+  // files are the units, grouped round-robin within one of each other.
+  const int cap = request.max_morsels > 0 ? request.max_morsels
+                                          : std::max(1, request.target_partitions);
+  const int partitions =
+      std::max(1, std::min<int>(cap, static_cast<int>(paths_.size())));
+  std::vector<std::vector<BatchIteratorPtr>> parts(partitions);
+  for (size_t i = 0; i < paths_.size(); ++i) {
+    parts[i % parts.size()].push_back(std::make_unique<CsvScanIterator>(
+        paths_[i], options_, projection, request.limit));
+  }
   std::vector<BatchIteratorPtr> out;
-  out.reserve(paths_.size());
-  for (const auto& path : paths_) {
-    out.push_back(std::make_unique<CsvScanIterator>(path, options_, projection,
-                                                    request.limit));
+  out.reserve(parts.size());
+  for (auto& p : parts) {
+    if (p.size() == 1) {
+      out.push_back(std::move(p[0]));
+    } else {
+      out.push_back(std::make_unique<ChainedBatchIterator>(std::move(p)));
+    }
   }
   return out;
 }

@@ -83,7 +83,14 @@ TableStatistics MemoryTable::statistics() const {
 
 Result<std::vector<BatchIteratorPtr>> MemoryTable::Scan(const ScanRequest& request) {
   std::vector<int> projection = ResolveProjection(*schema_, request.projection);
-  int partitions = std::max(1, request.target_partitions);
+  // Morsel mode caps morsels at the batch count so each morsel is one
+  // batch where possible; the static split keeps one partition per
+  // target regardless. Both fill round-robin (balanced within one).
+  int partitions =
+      request.max_morsels > 0
+          ? std::max(1, std::min<int>(request.max_morsels,
+                                      std::max<size_t>(batches_.size(), 1)))
+          : std::max(1, request.target_partitions);
   std::vector<std::vector<RecordBatchPtr>> parts(partitions);
   int64_t remaining = request.limit < 0 ? INT64_MAX : request.limit;
   size_t next = 0;

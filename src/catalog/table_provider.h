@@ -58,6 +58,12 @@ struct ScanRequest {
   int64_t limit = -1;
   /// Desired parallelism; providers may return fewer partitions.
   int target_partitions = 1;
+  /// Morsel-driven scans: when > 0, return up to this many fine-grained
+  /// iterators (one per row group / batch / file where possible, grouped
+  /// round-robin beyond the cap so unit counts stay balanced within
+  /// one) instead of `target_partitions` static splits. Consumers pull
+  /// them from a shared queue, so skew no longer serializes a pipeline.
+  int max_morsels = 0;
 };
 
 /// \brief The data-source extension point (paper §7.3). Built-in

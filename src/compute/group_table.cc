@@ -144,6 +144,28 @@ Status GroupTable::MapBatch(const std::vector<ArrayPtr>& key_columns,
   return Status::OK();
 }
 
+Status GroupTable::MergeFrom(const GroupTable& other,
+                             const std::vector<uint32_t>& indices,
+                             std::vector<uint32_t>* target_ids) {
+  if (&other == this) {
+    return Status::Invalid("GroupTable::MergeFrom: cannot merge a table into itself");
+  }
+  if (other.encoder_.types() != encoder_.types()) {
+    return Status::Invalid("GroupTable::MergeFrom: key type mismatch");
+  }
+  target_ids->resize(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const uint32_t g = indices[i];
+    if (g >= other.groups_.size()) {
+      return Status::Invalid("GroupTable::MergeFrom: group index out of range");
+    }
+    const GroupEntry& entry = other.groups_[g];
+    (*target_ids)[i] = FindOrInsert(
+        entry.hash, other.arena_.data() + entry.key.offset, entry.key.length);
+  }
+  return Status::OK();
+}
+
 Result<std::vector<ArrayPtr>> GroupTable::DecodeGroupKeys() const {
   std::vector<std::string_view> keys;
   keys.reserve(groups_.size());

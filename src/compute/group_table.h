@@ -35,6 +35,28 @@ class GroupTable {
 
   int64_t num_groups() const { return static_cast<int64_t>(groups_.size()); }
 
+  /// The stored 64-bit key hash of group `g` (the value HashColumns
+  /// produced when the group was first inserted).
+  uint64_t group_hash(uint32_t g) const { return groups_[g].hash; }
+
+  /// Radix bucket of a key hash for `num_buckets`-way partitioned
+  /// merging: a range partition of the high 32 bits. Deliberately
+  /// disjoint from SlotFor's Fibonacci spread of the full hash, so a
+  /// table holding only one bucket's keys still fills its slots evenly.
+  static uint32_t RadixBucket(uint64_t hash, uint32_t num_buckets) {
+    return static_cast<uint32_t>(((hash >> 32) * num_buckets) >> 32);
+  }
+
+  /// Merge the groups of `other` listed in `indices` into this table:
+  /// each entry's stored hash and arena-backed key bytes are probed
+  /// directly (no re-encode through GroupKeyEncoder — the arena encoding
+  /// is byte-identical across tables, including the dictionary fast
+  /// path). `target_ids[i]` receives this table's group id for
+  /// `other`'s group `indices[i]`. `other` must outlive the call and
+  /// must not be this table.
+  Status MergeFrom(const GroupTable& other, const std::vector<uint32_t>& indices,
+                   std::vector<uint32_t>* target_ids);
+
   /// Decode the group keys back into one array per key column
   /// (row g = group g).
   Result<std::vector<ArrayPtr>> DecodeGroupKeys() const;

@@ -80,6 +80,16 @@ inline constexpr const char kDictRows[] = "dict_rows";
 inline constexpr const char kQueueWaitNs[] = "queue_wait_ns";
 /// Tasks this operator submitted to the query scheduler.
 inline constexpr const char kTasksSpawned[] = "tasks_spawned";
+/// Groups produced by the pre-aggregation phase of a partitioned
+/// aggregate, summed over build tasks (before the radix merge dedups
+/// them across partitions).
+inline constexpr const char kPartialGroups[] = "partial_groups";
+/// Rows the adaptive pre-aggregation passed through as per-row partial
+/// state after observing group cardinality ~ input cardinality.
+inline constexpr const char kBypassRows[] = "bypass_rows";
+/// Morsels a scan consumer claimed outside its nominal round-robin
+/// share (work stealing across scan partitions).
+inline constexpr const char kMorselsStolen[] = "morsels_stolen";
 }  // namespace metric
 
 /// \brief The set of metrics recorded by one plan node across all of its

@@ -87,6 +87,22 @@ struct SessionConfig {
   /// Use the streaming symmetric hash join for inner equi joins
   /// (both inputs stream; paper §6.4).
   bool enable_symmetric_hash_join = false;
+  /// Grouped two-phase aggregations merge thread-local GroupTable state
+  /// through a radix partition of the stored key hashes instead of a
+  /// row-level hash repartition exchange (ablation switch; off falls
+  /// back to partial -> RepartitionExec -> final).
+  bool enable_partitioned_aggregation = true;
+  /// Multi-partition scans hand out row-group/batch morsels from a
+  /// shared queue instead of static per-partition splits, so skewed
+  /// splits stop serializing the pipeline.
+  bool enable_morsel_scan = true;
+  /// Adaptive pre-aggregation bypass: after `agg_bypass_probe_rows`
+  /// input rows, a build task whose observed groups/rows ratio is at
+  /// least `agg_bypass_ratio` stops pre-aggregating and passes rows
+  /// through as per-row partial state (DataFusion's skip-partial
+  /// optimization). FUSION_AGG_BYPASS=off|force overrides per process.
+  double agg_bypass_ratio = 0.8;
+  int64_t agg_bypass_probe_rows = 100000;
 };
 
 }  // namespace exec

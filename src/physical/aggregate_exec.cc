@@ -1,5 +1,8 @@
 #include "physical/aggregate_exec.h"
 
+#include <cstdlib>
+#include <numeric>
+
 #include "arrow/builder.h"
 #include "arrow/ipc.h"
 #include "compute/cast.h"
@@ -293,6 +296,560 @@ Result<exec::StreamPtr> HashAggregateExec::ExecuteImpl(int partition,
   (void)partial_output;
   return exec::StreamPtr(
       std::make_unique<exec::VectorStream>(schema, std::move(out_batches)));
+}
+
+namespace {
+
+/// How the adaptive bypass is decided: from observed cardinality (auto),
+/// never (off), or from the first row (force; tests).
+enum class BypassMode { kAuto, kOff, kForce };
+
+BypassMode BypassModeFromEnv() {
+  const char* env = std::getenv("FUSION_AGG_BYPASS");
+  if (env == nullptr) return BypassMode::kAuto;
+  if (std::string_view(env) == "off") return BypassMode::kOff;
+  if (std::string_view(env) == "force") return BypassMode::kForce;
+  return BypassMode::kAuto;
+}
+
+}  // namespace
+
+/// Phase-1 result shared by all merge partitions.
+struct PartitionedAggregateExec::BuildState {
+  /// One pre-aggregation task's output.
+  struct Partial {
+    /// The task's thread-local group table (keys + stored hashes).
+    std::unique_ptr<compute::GroupTable> table;
+    /// Per-aggregate serialized partial state, row g = group g.
+    std::vector<std::vector<ArrayPtr>> state_arrays;
+    /// Group ids routed to each radix bucket (bucket_groups[p] feeds
+    /// merge partition p).
+    std::vector<std::vector<uint32_t>> bucket_groups;
+    /// Bypassed rows as per-row partial-state batches, pre-split by
+    /// radix bucket.
+    std::vector<std::vector<RecordBatchPtr>> bypass_batches;
+    /// Held until the merge phase has consumed this task's state.
+    std::unique_ptr<exec::MemoryReservation> reservation;
+  };
+
+  std::vector<Partial> partials;
+  /// Partial-layout batches spilled under memory pressure; buckets are
+  /// mixed, so every merge partition filters them by hash.
+  std::vector<exec::SpillFilePtr> spill_files;
+  std::mutex spill_mu;
+
+  std::vector<DataType> key_types;
+  /// Layout of partial-state batches: keys first, then each aggregate's
+  /// state columns (used for bypass and spilled batches).
+  std::vector<AggregateInfo> partial_layout;
+  SchemaPtr partial_schema;
+
+  /// Cooperative-build coordination: every merge driver claims input
+  /// partitions from next_input and bumps inputs_done after each one
+  /// (claimed-but-skipped on failure still counts, so inputs_done always
+  /// reaches num_inputs). The first error wins; later claims drain as
+  /// no-ops.
+  int num_inputs = 0;
+  std::atomic<int> next_input{0};
+  std::atomic<int> inputs_done{0};
+  std::atomic<bool> build_failed{false};
+  std::mutex error_mu;
+  Status build_error;
+};
+
+std::string PartitionedAggregateExec::ToStringLine() const {
+  std::string out = "PartitionedAggregateExec: groups=[";
+  for (size_t i = 0; i < group_names_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group_names_[i];
+  }
+  out += "] aggs=[";
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += aggregates_[i].output_name;
+  }
+  out += "]";
+  return out;
+}
+
+Status PartitionedAggregateExec::EnsureBuilt(const ExecContextPtr& ctx) {
+  std::shared_ptr<BuildState> bs;
+  {
+    // The mutex guards only the (cheap) one-time state setup and the
+    // final publication — never held across input execution, so a driver
+    // re-entering here on a lent scheduler thread cannot self-deadlock.
+    std::lock_guard<std::mutex> lock(build_mu_);
+    if (built_) return build_status_;
+    if (build_state_ == nullptr) {
+      auto init = [&]() -> Status {
+        auto state = std::make_shared<BuildState>();
+        for (const auto& g : group_exprs_) state->key_types.push_back(g->type());
+
+        // Partial-state layout/schema shared by bypass and spilled batches.
+        std::vector<Field> partial_fields;
+        for (size_t g = 0; g < group_exprs_.size(); ++g) {
+          partial_fields.emplace_back(group_names_[g], group_exprs_[g]->type(),
+                                      true);
+        }
+        state->partial_layout = aggregates_;
+        int state_col = static_cast<int>(group_exprs_.size());
+        for (auto& agg : state->partial_layout) {
+          FUSION_ASSIGN_OR_RAISE(auto acc, agg.function->create(agg.arg_types));
+          agg.state_columns.clear();
+          for (DataType t : acc->PartialTypes()) {
+            partial_fields.emplace_back("__state_" + std::to_string(state_col), t,
+                                        true);
+            agg.state_columns.push_back(state_col++);
+          }
+        }
+        state->partial_schema = std::make_shared<Schema>(std::move(partial_fields));
+        state->num_inputs = input_->output_partitions();
+        state->partials.resize(static_cast<size_t>(state->num_inputs));
+        build_state_ = std::move(state);
+        return Status::OK();
+      };
+      Status init_status = init();
+      if (!init_status.ok()) {
+        built_ = true;
+        build_status_ = init_status;
+        return build_status_;
+      }
+    }
+    bs = build_state_;
+  }
+
+  const uint32_t buckets = static_cast<uint32_t>(num_partitions_);
+  const BypassMode mode = BypassModeFromEnv();
+  const double bypass_ratio = ctx->config.agg_bypass_ratio;
+  const int64_t probe_rows = ctx->config.agg_bypass_probe_rows;
+
+  auto build_one = [&, bs](int p) -> Status {
+    BuildState::Partial& out = bs->partials[p];
+    auto partial_groups = metrics_->Counter(exec::metric::kPartialGroups, p);
+    auto bypass_rows = metrics_->Counter(exec::metric::kBypassRows, p);
+    auto spill_count = metrics_->Counter(exec::metric::kSpillCount, p);
+    auto spill_bytes = metrics_->Counter(exec::metric::kSpillBytes, p);
+    auto mem_reserved = metrics_->Gauge(exec::metric::kMemReservedBytes, p);
+
+    out.table = std::make_unique<compute::GroupTable>(bs->key_types);
+    out.bypass_batches.assign(buckets, {});
+    out.reservation = std::make_unique<exec::MemoryReservation>(
+        ctx->env->memory_pool, "aggpart-" + std::to_string(ctx->query_id) +
+                                   "-build-" + std::to_string(p));
+    std::vector<std::unique_ptr<GroupedAccumulator>> accumulators;
+    for (const auto& agg : aggregates_) {
+      FUSION_ASSIGN_OR_RAISE(auto acc, agg.function->create(agg.arg_types));
+      accumulators.push_back(std::move(acc));
+    }
+
+    // Serialize the table + accumulators as partial-layout batches.
+    auto emit_partial = [&]() -> Result<std::vector<RecordBatchPtr>> {
+      const int64_t total = out.table->num_groups();
+      FUSION_ASSIGN_OR_RAISE(auto columns, out.table->DecodeGroupKeys());
+      for (auto& acc : accumulators) {
+        acc->Resize(total);
+        FUSION_ASSIGN_OR_RAISE(auto cols, acc->PartialState());
+        for (auto& c : cols) columns.push_back(std::move(c));
+      }
+      auto big = std::make_shared<RecordBatch>(bs->partial_schema, total,
+                                               std::move(columns));
+      return SliceBatch(big, ctx->config.batch_size);
+    };
+
+    auto write_spill = [&](const std::vector<RecordBatchPtr>& batches) -> Status {
+      for (const auto& agg : aggregates_) {
+        if (!agg.function->supports_two_phase) {
+          return Status::OutOfMemory(
+              "aggregate '" + agg.function->name +
+              "' cannot spill (no two-phase support); raise the memory limit");
+        }
+      }
+      FUSION_ASSIGN_OR_RAISE(auto file,
+                             ctx->env->disk_manager->CreateTempFile("agg"));
+      int64_t run_bytes = 0;
+      for (const auto& b : batches) run_bytes += b->TotalBufferSize();
+      FUSION_RETURN_NOT_OK(file->Reserve(run_bytes));
+      ipc::FileWriter writer(file->path());
+      FUSION_RETURN_NOT_OK(writer.Open());
+      for (const auto& b : batches) {
+        FUSION_RETURN_NOT_OK(writer.WriteBatch(*b));
+      }
+      FUSION_RETURN_NOT_OK(writer.Close());
+      {
+        std::lock_guard<std::mutex> spill_lock(bs->spill_mu);
+        bs->spill_files.push_back(std::move(file));
+      }
+      spills_.fetch_add(1);
+      spill_count->Add(1);
+      spill_bytes->Add(run_bytes);
+      return Status::OK();
+    };
+
+    FUSION_ASSIGN_OR_RAISE(auto input, input_->Execute(p, ctx));
+    std::vector<uint64_t> hashes;
+    std::vector<uint32_t> group_ids;
+    bool bypass = mode == BypassMode::kForce;
+    bool decided = mode != BypassMode::kAuto;
+    int64_t rows_seen = 0;
+    int64_t buffered_bytes = 0;
+    int64_t batches_since_check = 0;
+    for (;;) {
+      FUSION_ASSIGN_OR_RAISE(auto batch, input->Next());
+      if (batch == nullptr) break;
+      const int64_t n = batch->num_rows();
+      if (n == 0) continue;
+      FUSION_ASSIGN_OR_RAISE(auto keys, EvaluateToArrays(group_exprs_, *batch));
+      if (!bypass) {
+        FUSION_RETURN_NOT_OK(compute::HashColumns(keys, &hashes));
+        FUSION_RETURN_NOT_OK(out.table->MapBatch(keys, hashes, &group_ids));
+        const int64_t num_groups = out.table->num_groups();
+        for (size_t a = 0; a < aggregates_.size(); ++a) {
+          const AggregateInfo& agg = aggregates_[a];
+          accumulators[a]->Resize(num_groups);
+          FUSION_ASSIGN_OR_RAISE(auto args, EvaluateToArrays(agg.args, *batch));
+          FUSION_ASSIGN_OR_RAISE(auto mask, EvaluateFilterMask(agg.filter, *batch));
+          FUSION_RETURN_NOT_OK(accumulators[a]->Update(
+              args, group_ids, mask.empty() ? nullptr : mask.data()));
+        }
+        rows_seen += n;
+        if (!decided && rows_seen >= probe_rows) {
+          decided = true;
+          // Pre-aggregation is only worth its probes if it collapses
+          // rows; at >= ratio groups per row it degrades to passthrough.
+          bypass = static_cast<double>(num_groups) >=
+                   bypass_ratio * static_cast<double>(rows_seen);
+        }
+        if (++batches_since_check >= 16) {
+          batches_since_check = 0;
+          int64_t held = out.table->SizeBytes() + buffered_bytes;
+          for (const auto& acc : accumulators) held += acc->SizeBytes();
+          Status grow = out.reservation->ResizeTo(held);
+          if (!grow.ok()) {
+            if (!grow.IsOutOfMemory()) return grow;
+            FUSION_ASSIGN_OR_RAISE(auto partial_batches, emit_partial());
+            FUSION_RETURN_NOT_OK(write_spill(partial_batches));
+            out.table = std::make_unique<compute::GroupTable>(bs->key_types);
+            accumulators.clear();
+            for (const auto& agg : aggregates_) {
+              FUSION_ASSIGN_OR_RAISE(auto acc, agg.function->create(agg.arg_types));
+              accumulators.push_back(std::move(acc));
+            }
+            FUSION_RETURN_NOT_OK(out.reservation->ResizeTo(buffered_bytes));
+          }
+          mem_reserved->SetMax(out.reservation->held());
+        }
+        continue;
+      }
+
+      // Bypass: every row becomes its own group of one; serialize the
+      // per-row partial state and radix-split by key hash so the merge
+      // phase can route rows without a repartition exchange.
+      bypass_rows->Add(n);
+      FUSION_RETURN_NOT_OK(compute::HashColumns(keys, &hashes));
+      std::vector<ArrayPtr> columns = keys;
+      std::vector<uint32_t> iota(static_cast<size_t>(n));
+      std::iota(iota.begin(), iota.end(), 0);
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        const AggregateInfo& agg = aggregates_[a];
+        FUSION_ASSIGN_OR_RAISE(auto acc, agg.function->create(agg.arg_types));
+        acc->Resize(n);
+        FUSION_ASSIGN_OR_RAISE(auto args, EvaluateToArrays(agg.args, *batch));
+        FUSION_ASSIGN_OR_RAISE(auto mask, EvaluateFilterMask(agg.filter, *batch));
+        FUSION_RETURN_NOT_OK(
+            acc->Update(args, iota, mask.empty() ? nullptr : mask.data()));
+        FUSION_ASSIGN_OR_RAISE(auto cols, acc->PartialState());
+        for (auto& c : cols) columns.push_back(std::move(c));
+      }
+      std::vector<std::vector<int64_t>> bucket_rows(buckets);
+      for (int64_t r = 0; r < n; ++r) {
+        bucket_rows[compute::GroupTable::RadixBucket(hashes[r], buckets)]
+            .push_back(r);
+      }
+      for (uint32_t b = 0; b < buckets; ++b) {
+        if (bucket_rows[b].empty()) continue;
+        std::vector<ArrayPtr> taken;
+        taken.reserve(columns.size());
+        for (const auto& c : columns) {
+          FUSION_ASSIGN_OR_RAISE(auto t, compute::Take(*c, bucket_rows[b]));
+          taken.push_back(std::move(t));
+        }
+        auto out_batch = std::make_shared<RecordBatch>(
+            bs->partial_schema, static_cast<int64_t>(bucket_rows[b].size()),
+            std::move(taken));
+        buffered_bytes += out_batch->TotalBufferSize();
+        out.bypass_batches[b].push_back(std::move(out_batch));
+      }
+      if (++batches_since_check >= 16) {
+        batches_since_check = 0;
+        int64_t held = out.table->SizeBytes() + buffered_bytes;
+        for (const auto& acc : accumulators) held += acc->SizeBytes();
+        Status grow = out.reservation->ResizeTo(held);
+        if (!grow.ok()) {
+          if (!grow.IsOutOfMemory()) return grow;
+          // Flush the buffered passthrough batches; the merge phase
+          // re-routes spilled rows by recomputing their hashes.
+          std::vector<RecordBatchPtr> flush;
+          for (auto& bucket : out.bypass_batches) {
+            for (auto& fb : bucket) flush.push_back(std::move(fb));
+            bucket.clear();
+          }
+          FUSION_RETURN_NOT_OK(write_spill(flush));
+          buffered_bytes = 0;
+          int64_t held_now = out.table->SizeBytes();
+          for (const auto& acc : accumulators) held_now += acc->SizeBytes();
+          FUSION_RETURN_NOT_OK(out.reservation->ResizeTo(held_now));
+        }
+        mem_reserved->SetMax(out.reservation->held());
+      }
+    }
+
+    // Seal the table: serialize accumulator state once and route each
+    // group to its radix bucket by the stored hash.
+    const int64_t num_groups = out.table->num_groups();
+    partial_groups->Add(num_groups);
+    for (auto& acc : accumulators) {
+      acc->Resize(num_groups);
+      FUSION_ASSIGN_OR_RAISE(auto cols, acc->PartialState());
+      out.state_arrays.push_back(std::move(cols));
+    }
+    out.bucket_groups.assign(buckets, {});
+    for (uint32_t g = 0; g < static_cast<uint32_t>(num_groups); ++g) {
+      out.bucket_groups[compute::GroupTable::RadixBucket(
+                            out.table->group_hash(g), buckets)]
+          .push_back(g);
+    }
+    return Status::OK();
+  };
+
+  // Participate: claim and pre-aggregate input partitions until none
+  // remain unclaimed. After the first failure, later claims drain as
+  // no-ops so inputs_done still reaches num_inputs.
+  const exec::TaskGroupPtr& group = ctx->EnsureTaskGroup();
+  for (;;) {
+    const int p = bs->next_input.fetch_add(1, std::memory_order_relaxed);
+    if (p >= bs->num_inputs) break;
+    if (!bs->build_failed.load(std::memory_order_acquire)) {
+      Status st = build_one(p);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> elock(bs->error_mu);
+        if (bs->build_error.ok()) bs->build_error = st;
+        bs->build_failed.store(true, std::memory_order_release);
+      }
+    }
+    bs->inputs_done.fetch_add(1, std::memory_order_acq_rel);
+    group->NotifyProgress();
+  }
+
+  // Wait for claims still in flight on other drivers, lending this
+  // thread to the query's other ready tasks meanwhile. Epoch protocol:
+  // snapshot the epoch, re-check the condition, then help-or-park —
+  // NotifyProgress() after the last inputs_done bump invalidates any
+  // stale epoch, so no wakeup is lost.
+  while (bs->inputs_done.load(std::memory_order_acquire) < bs->num_inputs) {
+    FUSION_RETURN_NOT_OK(ctx->CheckCancelled());
+    const uint64_t epoch = group->progress_epoch();
+    if (bs->inputs_done.load(std::memory_order_acquire) >= bs->num_inputs) break;
+    group->HelpOrWait(epoch, ctx->cancel.get());
+  }
+
+  std::lock_guard<std::mutex> lock(build_mu_);
+  if (!built_) {
+    built_ = true;
+    std::lock_guard<std::mutex> elock(bs->error_mu);
+    build_status_ = bs->build_error;
+  }
+  return build_status_;
+}
+
+Result<exec::StreamPtr> PartitionedAggregateExec::ExecuteImpl(
+    int partition, const ExecContextPtr& ctx) {
+  if (group_exprs_.empty()) {
+    return Status::Internal("PartitionedAggregateExec requires group keys");
+  }
+  FUSION_RETURN_NOT_OK(EnsureBuilt(ctx));
+  auto bs = build_state_;
+  const uint32_t buckets = static_cast<uint32_t>(num_partitions_);
+
+  compute::GroupTable table(bs->key_types);
+  std::vector<std::unique_ptr<GroupedAccumulator>> accumulators;
+  auto reset_accumulators = [&]() -> Status {
+    accumulators.clear();
+    for (const auto& agg : aggregates_) {
+      FUSION_ASSIGN_OR_RAISE(auto acc, agg.function->create(agg.arg_types));
+      accumulators.push_back(std::move(acc));
+    }
+    return Status::OK();
+  };
+  FUSION_RETURN_NOT_OK(reset_accumulators());
+
+  exec::MemoryReservation reservation(
+      ctx->env->memory_pool, "aggpart-" + std::to_string(ctx->query_id) +
+                                 "-merge-" + std::to_string(partition));
+  auto spill_count = metrics_->Counter(exec::metric::kSpillCount, partition);
+  auto spill_bytes = metrics_->Counter(exec::metric::kSpillBytes, partition);
+  auto mem_reserved = metrics_->Gauge(exec::metric::kMemReservedBytes, partition);
+  std::vector<exec::SpillFilePtr> merge_spills;
+
+  // Merge one partial-layout batch (bypass, spilled, or re-spilled rows):
+  // keys lead, state columns follow bs->partial_layout.
+  std::vector<uint64_t> hashes;
+  std::vector<uint32_t> group_ids;
+  auto merge_partial_batch = [&](const RecordBatch& batch) -> Status {
+    std::vector<ArrayPtr> keys;
+    for (size_t g = 0; g < group_exprs_.size(); ++g) {
+      keys.push_back(batch.column(static_cast<int>(g)));
+    }
+    FUSION_RETURN_NOT_OK(compute::HashColumns(keys, &hashes));
+    FUSION_RETURN_NOT_OK(table.MapBatch(keys, hashes, &group_ids));
+    const int64_t num_groups = table.num_groups();
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      accumulators[a]->Resize(num_groups);
+      std::vector<ArrayPtr> state_cols;
+      for (int idx : bs->partial_layout[a].state_columns) {
+        state_cols.push_back(batch.column(idx));
+      }
+      FUSION_RETURN_NOT_OK(
+          accumulators[a]->UpdateFromPartial(state_cols, group_ids));
+    }
+    return Status::OK();
+  };
+
+  // Serialize the merge state as partial-layout batches (spill path).
+  auto emit_merge_partial = [&]() -> Result<std::vector<RecordBatchPtr>> {
+    const int64_t total = table.num_groups();
+    FUSION_ASSIGN_OR_RAISE(auto columns, table.DecodeGroupKeys());
+    for (auto& acc : accumulators) {
+      acc->Resize(total);
+      FUSION_ASSIGN_OR_RAISE(auto cols, acc->PartialState());
+      for (auto& c : cols) columns.push_back(std::move(c));
+    }
+    auto big = std::make_shared<RecordBatch>(bs->partial_schema, total,
+                                             std::move(columns));
+    return SliceBatch(big, ctx->config.batch_size);
+  };
+
+  int64_t merges_since_check = 0;
+  auto check_memory = [&]() -> Status {
+    if (++merges_since_check < 16) return Status::OK();
+    merges_since_check = 0;
+    int64_t held = table.SizeBytes();
+    for (const auto& acc : accumulators) held += acc->SizeBytes();
+    Status grow = reservation.ResizeTo(held);
+    if (grow.ok()) {
+      mem_reserved->SetMax(reservation.held());
+      return Status::OK();
+    }
+    if (!grow.IsOutOfMemory()) return grow;
+    FUSION_ASSIGN_OR_RAISE(auto batches, emit_merge_partial());
+    FUSION_ASSIGN_OR_RAISE(auto file, ctx->env->disk_manager->CreateTempFile("agg"));
+    int64_t run_bytes = 0;
+    for (const auto& b : batches) run_bytes += b->TotalBufferSize();
+    FUSION_RETURN_NOT_OK(file->Reserve(run_bytes));
+    ipc::FileWriter writer(file->path());
+    FUSION_RETURN_NOT_OK(writer.Open());
+    for (const auto& b : batches) {
+      FUSION_RETURN_NOT_OK(writer.WriteBatch(*b));
+    }
+    FUSION_RETURN_NOT_OK(writer.Close());
+    merge_spills.push_back(std::move(file));
+    spills_.fetch_add(1);
+    spill_count->Add(1);
+    spill_bytes->Add(run_bytes);
+    table = compute::GroupTable(bs->key_types);
+    FUSION_RETURN_NOT_OK(reset_accumulators());
+    return reservation.ResizeTo(0);
+  };
+
+  // Merge accumulated GroupTable state: probe this bucket's groups
+  // directly by stored hash + arena bytes, then fold their serialized
+  // accumulator rows in by gather.
+  std::vector<uint32_t> target_ids;
+  std::vector<int64_t> take_indices;
+  static const std::vector<uint32_t> kNoGroups;
+  for (BuildState::Partial& part : bs->partials) {
+    const std::vector<uint32_t>& gids =
+        part.bucket_groups.empty() ? kNoGroups : part.bucket_groups[partition];
+    if (!gids.empty()) {
+      FUSION_RETURN_NOT_OK(table.MergeFrom(*part.table, gids, &target_ids));
+      const int64_t num_groups = table.num_groups();
+      take_indices.assign(gids.begin(), gids.end());
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        accumulators[a]->Resize(num_groups);
+        std::vector<ArrayPtr> state_cols;
+        for (const auto& col : part.state_arrays[a]) {
+          FUSION_ASSIGN_OR_RAISE(auto t, compute::Take(*col, take_indices));
+          state_cols.push_back(std::move(t));
+        }
+        FUSION_RETURN_NOT_OK(
+            accumulators[a]->UpdateFromPartial(state_cols, target_ids));
+      }
+      FUSION_RETURN_NOT_OK(check_memory());
+    }
+    if (!part.bypass_batches.empty()) {
+      for (const auto& batch : part.bypass_batches[partition]) {
+        FUSION_RETURN_NOT_OK(merge_partial_batch(*batch));
+        FUSION_RETURN_NOT_OK(check_memory());
+      }
+    }
+  }
+
+  // Spilled partial runs hold rows of every bucket; keep only ours.
+  for (const auto& file : bs->spill_files) {
+    ipc::FileReader reader(file->path());
+    FUSION_RETURN_NOT_OK(reader.Open());
+    for (;;) {
+      FUSION_ASSIGN_OR_RAISE(auto batch, reader.Next());
+      if (batch == nullptr) break;
+      std::vector<ArrayPtr> keys;
+      for (size_t g = 0; g < group_exprs_.size(); ++g) {
+        keys.push_back(batch->column(static_cast<int>(g)));
+      }
+      FUSION_RETURN_NOT_OK(compute::HashColumns(keys, &hashes));
+      take_indices.clear();
+      for (int64_t r = 0; r < batch->num_rows(); ++r) {
+        if (compute::GroupTable::RadixBucket(hashes[r], buckets) ==
+            static_cast<uint32_t>(partition)) {
+          take_indices.push_back(r);
+        }
+      }
+      if (take_indices.empty()) continue;
+      FUSION_ASSIGN_OR_RAISE(auto mine, compute::TakeBatch(*batch, take_indices));
+      FUSION_RETURN_NOT_OK(merge_partial_batch(*mine));
+      FUSION_RETURN_NOT_OK(check_memory());
+    }
+  }
+
+  // Re-merge anything this partition spilled while merging (rows are
+  // already all ours; no further spilling on this pass).
+  if (!merge_spills.empty()) {
+    FUSION_ASSIGN_OR_RAISE(auto mem_batches, emit_merge_partial());
+    table = compute::GroupTable(bs->key_types);
+    FUSION_RETURN_NOT_OK(reset_accumulators());
+    for (const auto& b : mem_batches) {
+      FUSION_RETURN_NOT_OK(merge_partial_batch(*b));
+    }
+    for (const auto& file : merge_spills) {
+      ipc::FileReader reader(file->path());
+      FUSION_RETURN_NOT_OK(reader.Open());
+      for (;;) {
+        FUSION_ASSIGN_OR_RAISE(auto batch, reader.Next());
+        if (batch == nullptr) break;
+        FUSION_RETURN_NOT_OK(merge_partial_batch(*batch));
+      }
+    }
+  }
+
+  // Emit the final output for this bucket.
+  const int64_t total = table.num_groups();
+  FUSION_ASSIGN_OR_RAISE(auto columns, table.DecodeGroupKeys());
+  for (auto& acc : accumulators) {
+    acc->Resize(total);
+    FUSION_ASSIGN_OR_RAISE(auto col, acc->Finish());
+    columns.push_back(std::move(col));
+  }
+  auto big = std::make_shared<RecordBatch>(schema_, total, std::move(columns));
+  return exec::StreamPtr(std::make_unique<exec::VectorStream>(
+      schema_, SliceBatch(big, ctx->config.batch_size)));
 }
 
 std::string StreamingAggregateExec::ToStringLine() const {

@@ -106,6 +106,9 @@ PlanMetricsNode CollectMetrics(const ExecutionPlan& plan) {
   node.dict_rows = m.AggregatedValue(exec::metric::kDictRows);
   node.queue_wait_ns = m.AggregatedValue(exec::metric::kQueueWaitNs);
   node.tasks_spawned = m.AggregatedValue(exec::metric::kTasksSpawned);
+  node.partial_groups = m.AggregatedValue(exec::metric::kPartialGroups);
+  node.bypass_rows = m.AggregatedValue(exec::metric::kBypassRows);
+  node.morsels_stolen = m.AggregatedValue(exec::metric::kMorselsStolen);
   int64_t children_elapsed = 0;
   for (const auto& c : plan.children()) {
     node.children.push_back(CollectMetrics(*c));
@@ -142,6 +145,13 @@ std::string RenderAnnotatedPlan(const ExecutionPlan& plan) {
         if (m.tasks_spawned > 0) {
           out << ", tasks_spawned=" << m.tasks_spawned
               << ", queue_wait=" << exec::FormatDuration(m.queue_wait_ns);
+        }
+        if (m.partial_groups > 0 || m.bypass_rows > 0) {
+          out << ", partial_groups=" << m.partial_groups
+              << ", bypass_rows=" << m.bypass_rows;
+        }
+        if (m.morsels_stolen > 0) {
+          out << ", morsels_stolen=" << m.morsels_stolen;
         }
         out << "]\n";
         for (const auto& c : p.children()) render(*c, indent + 1);
@@ -194,6 +204,13 @@ void MetricsNodeToJson(const PlanMetricsNode& node, std::string* out) {
   if (node.tasks_spawned > 0) {
     *out += ",\"tasks_spawned\":" + std::to_string(node.tasks_spawned);
     *out += ",\"queue_wait_ns\":" + std::to_string(node.queue_wait_ns);
+  }
+  if (node.partial_groups > 0 || node.bypass_rows > 0) {
+    *out += ",\"partial_groups\":" + std::to_string(node.partial_groups);
+    *out += ",\"bypass_rows\":" + std::to_string(node.bypass_rows);
+  }
+  if (node.morsels_stolen > 0) {
+    *out += ",\"morsels_stolen\":" + std::to_string(node.morsels_stolen);
   }
   *out += ",\"children\":[";
   for (size_t i = 0; i < node.children.size(); ++i) {

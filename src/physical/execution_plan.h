@@ -134,6 +134,13 @@ struct PlanMetricsNode {
   int64_t queue_wait_ns = 0;
   /// Tasks this operator submitted to the query scheduler.
   int64_t tasks_spawned = 0;
+  /// Pre-aggregation groups produced across build tasks (partitioned
+  /// aggregates only; summed before the radix merge dedups them).
+  int64_t partial_groups = 0;
+  /// Rows forwarded as per-row partial state by the adaptive bypass.
+  int64_t bypass_rows = 0;
+  /// Scan morsels claimed outside the consumer's round-robin share.
+  int64_t morsels_stolen = 0;
   std::vector<PlanMetricsNode> children;
 };
 

@@ -187,6 +187,15 @@ Result<ExecPlanPtr> PhysicalPlanner::PlanScan(const PlanPtr& plan) {
   request.projection = plan->scan_projection;
   request.limit = plan->scan_limit;
   request.target_partitions = ctx_->config.target_partitions;
+  // Morsel-driven scans: hand out fine-grained chunks from a shared
+  // queue so a skewed static split cannot serialize the pipeline.
+  // Ordered providers keep static splits (stealing interleaves chunks
+  // and would void the per-partition ordering); limited scans too (a
+  // morsel per unit would re-apply the limit per chunk).
+  if (ctx_->config.enable_morsel_scan && ctx_->config.target_partitions > 1 &&
+      plan->scan_limit < 0 && plan->provider->sort_order().empty()) {
+    request.max_morsels = ctx_->config.target_partitions * 4;
+  }
   if (ctx_->config.enable_predicate_pushdown) {
     for (const auto& f : plan->scan_filters) {
       auto lowered = optimizer::TryLowerPredicate(f);
@@ -301,6 +310,16 @@ Result<ExecPlanPtr> PhysicalPlanner::PlanAggregate(const PlanPtr& plan) {
         group_names, aggregates, final_schema));
   }
 
+  // Grouped two-phase: merge thread-local GroupTable state through a
+  // radix partition of the stored key hashes (no row-level repartition
+  // exchange, no key re-encode). The repartition pipeline below remains
+  // as the ablation fallback and serves global (no-group) aggregates.
+  if (!group_exprs.empty() && ctx_->config.enable_partitioned_aggregation) {
+    return ExecPlanPtr(std::make_shared<PartitionedAggregateExec>(
+        std::move(input), group_exprs, group_names, aggregates, final_schema,
+        ctx_->config.target_partitions));
+  }
+
   // Partial schema: group columns followed by each aggregate's state.
   std::vector<Field> partial_fields;
   for (size_t g = 0; g < group_exprs.size(); ++g) {
@@ -360,6 +379,11 @@ Result<ExecPlanPtr> PhysicalPlanner::PlanDistinct(const PlanPtr& plan) {
     group_names.push_back(schema->field(i).name());
   }
   if (input->output_partitions() > 1) {
+    if (ctx_->config.enable_partitioned_aggregation && !group_exprs.empty()) {
+      return ExecPlanPtr(std::make_shared<PartitionedAggregateExec>(
+          std::move(input), group_exprs, group_names,
+          std::vector<AggregateInfo>{}, schema, ctx_->config.target_partitions));
+    }
     ExecPlanPtr partial = std::make_shared<HashAggregateExec>(
         std::move(input), AggregateMode::kPartial, group_exprs, group_names,
         std::vector<AggregateInfo>{}, schema);

@@ -1,0 +1,201 @@
+// Adaptive two-phase partitioned aggregation: randomized oracle checks
+// against the single-partition non-adaptive plan across group
+// cardinalities (collapsing, medium, ~unique), partition counts, and
+// every FUSION_AGG_BYPASS mode — plus morsel-split balance regression
+// tests for the scan sources that feed it.
+
+#include "tests/test_util.h"
+
+#include <cstdlib>
+
+#include "catalog/memory_table.h"
+#include "physical/execution_plan.h"
+
+namespace fusion {
+namespace test {
+namespace {
+
+/// Scoped FUSION_AGG_BYPASS override ("" = unset).
+class ScopedBypassEnv {
+ public:
+  explicit ScopedBypassEnv(const char* value) {
+    if (value != nullptr && *value != '\0') {
+      ::setenv("FUSION_AGG_BYPASS", value, 1);
+    } else {
+      ::unsetenv("FUSION_AGG_BYPASS");
+    }
+  }
+  ~ScopedBypassEnv() { ::unsetenv("FUSION_AGG_BYPASS"); }
+};
+
+/// A table of `n` rows with int64/string keys of the given cardinality,
+/// a nullable value column and a float column, sliced into many small
+/// batches so multi-partition scans have units to distribute. No sort
+/// order: the planner must use the hash (not streaming) aggregate.
+catalog::TableProviderPtr MakeRandomTable(int64_t n, int64_t cardinality,
+                                          uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Int64Builder k;
+  StringBuilder ks;
+  Int64Builder v;
+  Float64Builder f;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t key = static_cast<int64_t>(rng() % cardinality);
+    k.Append(key);
+    ks.Append("g" + std::to_string(key));
+    if (rng() % 11 == 0) {
+      v.AppendNull();
+    } else {
+      v.Append(static_cast<int64_t>(rng() % 1000) - 500);
+    }
+    f.Append(static_cast<double>(rng() % 10000) * 0.25);
+  }
+  auto schema = fusion::schema({Field("k", int64(), false),
+                                Field("ks", utf8(), false),
+                                Field("v", int64(), true),
+                                Field("f", float64(), false)});
+  std::vector<ArrayPtr> cols = {k.Finish().ValueOrDie(), ks.Finish().ValueOrDie(),
+                                v.Finish().ValueOrDie(), f.Finish().ValueOrDie()};
+  auto batch = std::make_shared<RecordBatch>(schema, n, std::move(cols));
+  return catalog::MemoryTable::Make(schema, SliceBatch(batch, 512)).ValueOrDie();
+}
+
+core::SessionContextPtr MakeSession(const catalog::TableProviderPtr& table,
+                                    int partitions, bool adaptive) {
+  exec::SessionConfig config;
+  config.target_partitions = partitions;
+  config.enable_partitioned_aggregation = adaptive;
+  // Decide the bypass within the test's data size (default probe window
+  // is 100k rows).
+  config.agg_bypass_probe_rows = 2000;
+  auto ctx = core::SessionContext::Make(config);
+  ctx->RegisterTable("r", table).Abort();
+  return ctx;
+}
+
+const char* kQueries[] = {
+    "SELECT k, count(*), sum(v), min(v), max(f) FROM r GROUP BY k",
+    "SELECT ks, count(*), sum(v) FROM r GROUP BY ks",
+    "SELECT k, ks, avg(f) FROM r GROUP BY k, ks",
+    "SELECT DISTINCT k FROM r",
+    "SELECT k, count(*) FROM r WHERE v > 0 GROUP BY k",
+};
+
+void CheckAgainstOracle(int64_t n, int64_t cardinality, uint64_t seed) {
+  auto table = MakeRandomTable(n, cardinality, seed);
+  auto reference = MakeSession(table, /*partitions=*/1, /*adaptive=*/false);
+  for (const char* sql : kQueries) {
+    ASSERT_OK_AND_ASSIGN(auto expected_batches, reference->ExecuteSql(sql));
+    auto expected = SortedStringRows(expected_batches);
+    for (int partitions : {1, 4}) {
+      for (const char* bypass : {"off", "force", ""}) {
+        ScopedBypassEnv env(bypass);
+        auto session = MakeSession(table, partitions, /*adaptive=*/true);
+        ASSERT_OK_AND_ASSIGN(auto batches, session->ExecuteSql(sql));
+        EXPECT_EQ(SortedStringRows(batches), expected)
+            << sql << " [partitions=" << partitions << " bypass="
+            << (*bypass != '\0' ? bypass : "auto")
+            << " cardinality=" << cardinality << "]";
+      }
+    }
+  }
+}
+
+TEST(AdaptiveAggOracleTest, CollapsingCardinality) {
+  // Few groups: pre-aggregation collapses almost everything; the auto
+  // bypass must stay off.
+  CheckAgainstOracle(/*n=*/20000, /*cardinality=*/5, /*seed=*/101);
+}
+
+TEST(AdaptiveAggOracleTest, MediumCardinality) {
+  CheckAgainstOracle(/*n=*/20000, /*cardinality=*/997, /*seed=*/202);
+}
+
+TEST(AdaptiveAggOracleTest, NearUniqueCardinality) {
+  // Groups ~ rows: the auto bypass fires and rows flow through as
+  // per-row partial state; results must not change.
+  CheckAgainstOracle(/*n=*/20000, /*cardinality=*/1000000, /*seed=*/303);
+}
+
+TEST(AdaptiveAggOracleTest, BypassMetricsSurfaceInExplain) {
+  auto table = MakeRandomTable(20000, 1000000, 404);
+  ScopedBypassEnv env("force");
+  auto session = MakeSession(table, 4, /*adaptive=*/true);
+  ASSERT_OK_AND_ASSIGN(
+      auto batches,
+      session->ExecuteSql(
+          "EXPLAIN ANALYZE SELECT k, count(*) FROM r GROUP BY k"));
+  ASSERT_EQ(TotalRows(batches), 1);
+  std::string text = batches[0]->column(0)->ValueToString(0);
+  EXPECT_NE(text.find("PartitionedAggregateExec"), std::string::npos) << text;
+  EXPECT_NE(text.find("bypass_rows="), std::string::npos) << text;
+}
+
+// ------------------------------------------------------- morsel balance
+
+/// Drain one iterator, counting rows.
+int64_t DrainRows(const catalog::BatchIteratorPtr& it) {
+  int64_t rows = 0;
+  for (;;) {
+    auto batch = it->Next();
+    EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+    if (!batch.ok() || *batch == nullptr) break;
+    rows += (*batch)->num_rows();
+  }
+  return rows;
+}
+
+TEST(MorselBalanceTest, MemoryTableSplitsUnitsWithinOne) {
+  // 10 equal 512-row batches over 4 partitions: round-robin must give
+  // every partition 2 or 3 units — never the 7/1/1/1 static-split skew.
+  auto table = MakeRandomTable(10 * 512, 100, 505);
+  catalog::ScanRequest request;
+  request.target_partitions = 4;
+  ASSERT_OK_AND_ASSIGN(auto iterators, table->Scan(request));
+  ASSERT_EQ(iterators.size(), 4u);
+  std::vector<int64_t> rows;
+  for (auto& it : iterators) rows.push_back(DrainRows(it));
+  const auto [lo, hi] = std::minmax_element(rows.begin(), rows.end());
+  EXPECT_LE(*hi - *lo, 512) << "unit imbalance exceeds one 512-row batch";
+  EXPECT_EQ(*lo + *hi + rows[1] + rows[2], 10 * 512);
+}
+
+TEST(MorselBalanceTest, MorselRequestReturnsFineGrainedUnits) {
+  // max_morsels asks for one iterator per unit (capped): consumers then
+  // claim them dynamically, so static assignment can't skew.
+  auto table = MakeRandomTable(10 * 512, 100, 606);
+  catalog::ScanRequest request;
+  request.target_partitions = 4;
+  request.max_morsels = 16;
+  ASSERT_OK_AND_ASSIGN(auto morsels, table->Scan(request));
+  EXPECT_EQ(morsels.size(), 10u);  // one per batch, under the cap
+  int64_t total = 0;
+  for (auto& it : morsels) total += DrainRows(it);
+  EXPECT_EQ(total, 10 * 512);
+  // A cap below the unit count still balances within one unit.
+  catalog::ScanRequest capped;
+  capped.target_partitions = 4;
+  capped.max_morsels = 3;
+  ASSERT_OK_AND_ASSIGN(auto grouped, table->Scan(capped));
+  ASSERT_EQ(grouped.size(), 3u);
+  std::vector<int64_t> rows;
+  for (auto& it : grouped) rows.push_back(DrainRows(it));
+  const auto [lo, hi] = std::minmax_element(rows.begin(), rows.end());
+  EXPECT_LE(*hi - *lo, 512);
+}
+
+TEST(MorselBalanceTest, ParallelQueryOverManyUnitsStaysCorrect) {
+  // End-to-end: a 4-partition query over 40 units pulls morsels from
+  // the shared queue; every row is aggregated exactly once regardless
+  // of which consumer claims which morsel.
+  auto table = MakeRandomTable(40 * 512, 37, 707);
+  auto session = MakeSession(table, 4, /*adaptive=*/true);
+  ASSERT_OK_AND_ASSIGN(auto rows,
+                       session->ExecuteSql("SELECT sum(cnt) FROM (SELECT k, "
+                                           "count(*) AS cnt FROM r GROUP BY k)"));
+  EXPECT_EQ(ToStringRows(rows)[0][0], std::to_string(40 * 512));
+}
+
+}  // namespace
+}  // namespace test
+}  // namespace fusion

@@ -109,9 +109,24 @@ TEST(CsvTableTest, PartitionPerFile) {
       catalog::CsvTable::Open(
           {dir + "/c0.csv", dir + "/c1.csv", dir + "/c2.csv"}));
   catalog::ScanRequest request;
+  request.target_partitions = 3;
   ASSERT_OK_AND_ASSIGN(auto iterators, table->Scan(request));
   EXPECT_EQ(iterators.size(), 3u);
   EXPECT_EQ(table->paths().size(), 3u);
+  // A single-partition plan chains every file through one iterator
+  // (CsvTable honors target_partitions like the other providers).
+  catalog::ScanRequest one;
+  ASSERT_OK_AND_ASSIGN(auto chained, table->Scan(one));
+  EXPECT_EQ(chained.size(), 1u);
+  int64_t total = 0;
+  for (auto& it : chained) {
+    for (;;) {
+      ASSERT_OK_AND_ASSIGN(auto batch, it->Next());
+      if (batch == nullptr) break;
+      total += batch->num_rows();
+    }
+  }
+  EXPECT_EQ(total, 6);
 }
 
 TEST(ListingTest, ListFilesFiltersAndSorts) {

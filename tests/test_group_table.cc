@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <numeric>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -241,6 +242,138 @@ TEST(HashChainTableTest, ChainsDuplicateAndCollidingHashes) {
   std::set<int64_t> chain;
   for (int64_t e = table.Find(0x1000 + 3); e >= 0; e = next[e]) chain.insert(e);
   EXPECT_EQ(chain, (std::set<int64_t>{3, 253, 503, 753}));
+}
+
+TEST(GroupTableTest, RadixBucketCoversRangeAndSplitsEvenly) {
+  // Every hash maps into [0, n) and a uniform hash stream spreads
+  // across all buckets (the merge phase relies on both).
+  std::mt19937_64 rng(11);
+  const uint32_t buckets = 7;
+  std::vector<int64_t> counts(buckets, 0);
+  for (int i = 0; i < 70000; ++i) {
+    uint32_t b = compute::GroupTable::RadixBucket(rng(), buckets);
+    ASSERT_LT(b, buckets);
+    counts[b]++;
+  }
+  for (uint32_t b = 0; b < buckets; ++b) {
+    EXPECT_GT(counts[b], 70000 / buckets / 2) << "bucket " << b << " starved";
+  }
+  // Buckets partition by hash value: the same hash always routes to the
+  // same bucket regardless of which table stored it.
+  EXPECT_EQ(compute::GroupTable::RadixBucket(0x1234u, buckets),
+            compute::GroupTable::RadixBucket(0x1234u, buckets));
+}
+
+TEST(GroupTableTest, MergeFromDedupsUnderDegenerateHashes) {
+  // All entries share one hash: MergeFrom's probe must fall back on
+  // arena key-byte comparison, exactly like MapBatch.
+  compute::GroupTable target({utf8()});
+  compute::GroupTable source({utf8()});
+  std::vector<std::optional<std::string>> tv, sv;
+  for (int i = 0; i < 60; ++i) tv.push_back("k" + std::to_string(i));
+  for (int i = 30; i < 90; ++i) sv.push_back("k" + std::to_string(i));
+  std::vector<uint64_t> degenerate_t(tv.size(), 0x42u);
+  std::vector<uint64_t> degenerate_s(sv.size(), 0x42u);
+  std::vector<uint32_t> ids;
+  ASSERT_OK(target.MapBatch({StringCol(tv)}, degenerate_t, &ids));
+  ASSERT_OK(source.MapBatch({StringCol(sv)}, degenerate_s, &ids));
+  std::vector<uint32_t> all(source.num_groups());
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<uint32_t> target_ids;
+  ASSERT_OK(target.MergeFrom(source, all, &target_ids));
+  EXPECT_EQ(target.num_groups(), 90);  // 0..89 union, 30..59 dedupded
+  for (size_t i = 0; i < all.size(); ++i) {
+    // Source group i holds key k(30+i); overlapping keys must resolve
+    // to the existing target group, new keys to fresh dense ids.
+    if (30 + i < 60) {
+      EXPECT_EQ(target_ids[i], 30 + i) << i;
+    } else {
+      EXPECT_GE(target_ids[i], 60u) << i;
+    }
+  }
+  // Self-merge is rejected rather than corrupting the arena.
+  EXPECT_RAISES(target.MergeFrom(target, all, &target_ids));
+}
+
+TEST(GroupTableTest, MergeFromSurvivesResizeMidMerge) {
+  // A small target absorbing a source with thousands of groups crosses
+  // several Grow() cycles mid-merge; decoded keys must match a table
+  // that saw all rows directly.
+  compute::GroupTable target({int64()});
+  compute::GroupTable source({int64()});
+  compute::GroupTable reference({int64()});
+  auto feed = [](compute::GroupTable* t, int64_t start, int64_t n) {
+    std::vector<std::optional<int64_t>> v;
+    for (int64_t i = start; i < start + n; ++i) v.push_back(i);
+    std::vector<ArrayPtr> keys = {Int64Col(v)};
+    std::vector<uint64_t> hashes;
+    ASSERT_OK(compute::HashColumns(keys, &hashes));
+    std::vector<uint32_t> ids;
+    ASSERT_OK(t->MapBatch(keys, hashes, &ids));
+  };
+  feed(&target, 0, 16);
+  feed(&source, 8, 5000);
+  feed(&reference, 0, 5008);
+  std::vector<uint32_t> all(source.num_groups());
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<uint32_t> target_ids;
+  ASSERT_OK(target.MergeFrom(source, all, &target_ids));
+  ASSERT_EQ(target.num_groups(), reference.num_groups());
+  ASSERT_OK_AND_ASSIGN(auto merged_keys, target.DecodeGroupKeys());
+  ASSERT_OK_AND_ASSIGN(auto ref_keys, reference.DecodeGroupKeys());
+  // First-seen order matches: target had 0..15, then source added
+  // 16..5007 in order, which is exactly the reference insertion order.
+  EXPECT_TRUE(ArraysEqual(*merged_keys[0], *ref_keys[0]));
+  // Merging the same source again is pure dedup: no new groups, same
+  // target ids.
+  std::vector<uint32_t> again;
+  ASSERT_OK(target.MergeFrom(source, all, &again));
+  EXPECT_EQ(target.num_groups(), reference.num_groups());
+  EXPECT_EQ(again, target_ids);
+}
+
+TEST(GroupTableTest, MergeFromBridgesDictAndDenseEncodings) {
+  // The dictionary fast path bump-allocates the same arena encoding as
+  // the generic path, so groups inserted from a DictionaryArray in one
+  // table must dedup against groups inserted from dense strings in
+  // another.
+  std::vector<std::optional<std::string>> words = {"ada", "bob", "cyd",
+                                                   std::nullopt};
+  StringBuilder db;
+  for (const char* w : {"ada", "bob", "cyd"}) db.Append(w);
+  auto dict = std::static_pointer_cast<StringArray>(db.Finish().ValueOrDie());
+  // Codes cycle through the dictionary, with row 3 null (code 0 slot).
+  std::vector<uint8_t> code_bytes(4 * sizeof(int32_t), 0);
+  int32_t codes[] = {0, 1, 2, 0};
+  std::memcpy(code_bytes.data(), codes, sizeof(codes));
+  std::vector<uint8_t> validity = {0x07};  // rows 0-2 valid, row 3 null
+  auto dict_array = std::make_shared<DictionaryArray>(
+      4, std::make_shared<Buffer>(std::move(code_bytes)), dict,
+      std::make_shared<Buffer>(std::move(validity)), 1);
+
+  compute::GroupTable dict_table({utf8()});
+  std::vector<uint64_t> hashes;
+  std::vector<uint32_t> ids;
+  ASSERT_OK(compute::HashColumns({dict_array}, &hashes));
+  ASSERT_OK(dict_table.MapBatch({dict_array}, hashes, &ids));
+  ASSERT_EQ(dict_table.num_groups(), 4);  // ada, bob, cyd, null
+
+  compute::GroupTable dense_table({utf8()});
+  std::vector<ArrayPtr> dense_keys = {StringCol(words)};
+  ASSERT_OK(compute::HashColumns(dense_keys, &hashes));
+  ASSERT_OK(dense_table.MapBatch(dense_keys, hashes, &ids));
+  ASSERT_EQ(dense_table.num_groups(), 4);
+
+  std::vector<uint32_t> all = {0, 1, 2, 3};
+  std::vector<uint32_t> target_ids;
+  ASSERT_OK(dense_table.MergeFrom(dict_table, all, &target_ids));
+  // Every dict-path group matched its dense twin byte-for-byte: no new
+  // groups, identity mapping (both tables saw the keys in row order).
+  EXPECT_EQ(dense_table.num_groups(), 4);
+  EXPECT_EQ(target_ids, all);
+  // Out-of-range indices are rejected.
+  std::vector<uint32_t> bogus = {17};
+  EXPECT_RAISES(dense_table.MergeFrom(dict_table, bogus, &target_ids));
 }
 
 TEST(GroupTableTest, SqlCollisionSurvivesResizeAndParallelism) {

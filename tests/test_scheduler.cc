@@ -256,9 +256,10 @@ TEST(SchedulerTest, ExplainAnalyzeReportsSchedulerGauges) {
   EXPECT_NE(text.find("workers=2"), std::string::npos) << text;
   EXPECT_NE(text.find("peak_threads=2"), std::string::npos) << text;
   EXPECT_NE(text.find("query_tasks="), std::string::npos) << text;
-  // The partitioned plan spawned exchange producers; their task counts
-  // and queue waits land in the per-operator annotations.
-  EXPECT_NE(text.find("tasks_spawned="), std::string::npos) << text;
+  // The partitioned aggregate pre-aggregates one build unit per input
+  // partition without an exchange; its phase-1 stats land in the
+  // per-operator annotations.
+  EXPECT_NE(text.find("partial_groups="), std::string::npos) << text;
 }
 
 TEST(SchedulerTest, EarlyLimitUnwindsProducersThroughFinish) {
