@@ -1,19 +1,21 @@
-// Concurrent-query benchmark for the shared query scheduler: Q identical
-// 4-partition group-by queries submitted from Q client threads against
-// ONE QueryScheduler with a fixed worker pool. Measures aggregate
-// throughput and the scheduler's thread/queue gauges as concurrency
-// rises (Q in {1, 4, 8}), plus an 8-query sequential baseline so the
-// concurrent rows can be read as a speedup.
+// Multi-query serving benchmark: Q client threads fire repeated mixed
+// query templates at ONE shared session (shared buffer cache, plan
+// cache, scheduler) over an FPQ file, for Q in {8, 32, 128}. Reports
+// aggregate throughput, per-query p50/p99 latency, scheduler gauges,
+// and cache hit rates; a cache-disabled Q=32 round quantifies what the
+// serving layer buys (the repeated-template speedup the paper's §6.8
+// cache manager targets).
 //
-// Before the scheduler, Q concurrent queries spawned Q x (drivers +
-// exchange producers) OS threads; now every round must report
-// peak_threads <= pool_size + 1 (workers plus the calling collector),
-// which the CI smoke asserts from the --json output.
+// Thread bound: as before, every round must report peak_threads <=
+// pool_size + 1 — queries share the scheduler's workers no matter how
+// many clients are connected; the CI smoke asserts this from --json,
+// plus buffer/plan hit rates > 0 on the cached rounds.
 //
 // FUSION_BENCH_CONCURRENCY_ROWS scales the input,
-// FUSION_BENCH_CONCURRENCY_RUNS the best-of repeat count, and
+// FUSION_BENCH_CONCURRENCY_REPEATS the queries each client runs, and
 // FUSION_BENCH_CONCURRENCY_WORKERS the pool size (default 4).
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <memory>
@@ -24,102 +26,133 @@
 #include "arrow/builder.h"
 #include "bench/bench_harness.h"
 #include "bench/workloads/workload_util.h"
-#include "catalog/memory_table.h"
+#include "exec/buffer_cache.h"
 #include "exec/scheduler.h"
+#include "format/fpq.h"
 
 using namespace fusion;          // NOLINT
 using namespace fusion::bench;   // NOLINT
 
 namespace {
 
-constexpr const char* kQuery =
-    "SELECT grp, count(*), sum(v) FROM t GROUP BY grp";
+/// The serving mix: distinct projections/predicates so the buffer cache
+/// sees several entry families, with fixed parameters so repeats of a
+/// template hit both the plan cache and the buffer cache.
+const std::vector<std::string> kTemplates = {
+    "SELECT grp, count(*), sum(v) FROM t GROUP BY grp",
+    "SELECT count(*) FROM t WHERE v > 500",
+    "SELECT grp, avg(f) FROM t WHERE v > 250 GROUP BY grp",
+    "SELECT min(id), max(id) FROM t WHERE grp = 'grp7'",
+};
 
-Result<std::shared_ptr<catalog::MemoryTable>> MakeInput(int64_t rows) {
+Status WriteInput(const std::string& path, int64_t rows) {
   Rng rng(42);
+  Int64Builder id;
   StringBuilder grp;
   Int64Builder v;
+  Float64Builder f;
   for (int64_t i = 0; i < rows; ++i) {
+    id.Append(i);
     grp.Append("grp" + std::to_string(rng.Next() % 100));
     v.Append(static_cast<int64_t>(rng.Next() % 1000));
+    f.Append(static_cast<double>(rng.Next() % 100000) / 100.0);
   }
   auto schema = fusion::schema(
-      {Field("grp", utf8(), false), Field("v", int64(), false)});
-  std::vector<ArrayPtr> cols = {grp.Finish().ValueOrDie(),
-                                v.Finish().ValueOrDie()};
+      {Field("id", int64(), false), Field("grp", utf8(), false),
+       Field("v", int64(), false), Field("f", float64(), false)});
+  std::vector<ArrayPtr> cols = {id.Finish().ValueOrDie(), grp.Finish().ValueOrDie(),
+                                v.Finish().ValueOrDie(), f.Finish().ValueOrDie()};
   auto batch = std::make_shared<RecordBatch>(schema, rows, std::move(cols));
-  return catalog::MemoryTable::Make(schema, SliceBatch(batch, 8192));
-}
-
-core::SessionContextPtr MakeClientSession(
-    int partitions, const std::shared_ptr<exec::QueryScheduler>& sched,
-    const std::shared_ptr<catalog::MemoryTable>& table) {
-  auto session = MakeBenchSession(partitions);
-  session->env()->query_scheduler = sched;
-  Status st = session->RegisterTable("t", table);
-  if (!st.ok()) {
-    std::fprintf(stderr, "RegisterTable: %s\n", st.ToString().c_str());
-    std::exit(1);
-  }
-  return session;
+  return format::fpq::WriteFile(path, schema, {batch});
 }
 
 struct RoundResult {
-  QueryTiming timing;             // wall clock for ALL queries in the round
-  int64_t peak_threads = 0;       // scheduler gauges of the fastest run
+  QueryTiming timing;       // wall clock for ALL queries in the round
+  double p50_ms = 0;        // per-query latency percentiles
+  double p99_ms = 0;
+  int64_t peak_threads = 0;
   int64_t peak_ready_tasks = 0;
   int64_t total_tasks = 0;
+  exec::BufferCache::Stats buffer;  // zero-initialised when cache off
+  int64_t plan_hits = 0;
+  int64_t plan_misses = 0;
 };
 
-/// One round: `queries` clients run kQuery to completion on a fresh
-/// scheduler of `pool_size` workers; concurrently from separate threads,
-/// or back-to-back on one thread when `sequential`. Best of `runs`.
-RoundResult RunRound(int queries, bool sequential, int pool_size,
-                     int partitions, int runs,
-                     const std::shared_ptr<catalog::MemoryTable>& table) {
-  RoundResult best;
-  for (int run = 0; run < runs; ++run) {
-    // Fresh scheduler per run so the peak gauges describe this run only.
-    auto sched = std::make_shared<exec::QueryScheduler>(pool_size);
-    std::vector<Status> statuses(queries, Status::OK());
-    std::vector<int64_t> rows(queries, 0);
-    auto client = [&](int q) {
-      auto session = MakeClientSession(partitions, sched, table);
-      auto result = session->ExecuteSql(kQuery);
+/// One serving round: `queries` client threads each run `repeats`
+/// templates (round-robin, offset by client id) against one shared
+/// session on a fresh scheduler + fresh caches.
+RoundResult RunRound(int queries, int repeats, bool cache_enabled,
+                     int pool_size, int partitions, const std::string& path) {
+  auto env = std::make_shared<exec::RuntimeEnv>();
+  env->query_scheduler = std::make_shared<exec::QueryScheduler>(pool_size);
+  env->buffer_cache = cache_enabled
+                          ? std::make_shared<exec::BufferCache>(512LL << 20)
+                          : nullptr;
+  exec::SessionConfig config;
+  config.target_partitions = partitions;
+  config.plan_cache_entries = cache_enabled ? 64 : 0;
+  auto session = core::SessionContext::Make(config, env);
+  Status st = session->RegisterFpq("t", path);
+  if (!st.ok()) {
+    RoundResult r;
+    r.timing.error = st.ToString();
+    return r;
+  }
+
+  std::vector<Status> statuses(queries, Status::OK());
+  std::vector<int64_t> rows(queries, 0);
+  std::vector<std::vector<double>> latencies(queries);
+  auto client = [&](int q) {
+    latencies[q].reserve(repeats);
+    for (int i = 0; i < repeats; ++i) {
+      const std::string& sql = kTemplates[(q + i) % kTemplates.size()];
+      Timer timer;
+      auto result = session->ExecuteSql(sql);
+      latencies[q].push_back(timer.Seconds() * 1e3);
       if (!result.ok()) {
         statuses[q] = result.status();
         return;
       }
       for (const auto& batch : *result) rows[q] += batch->num_rows();
-    };
-    Timer timer;
-    if (sequential) {
-      for (int q = 0; q < queries; ++q) client(q);
-    } else {
-      std::vector<std::thread> clients;
-      clients.reserve(queries);
-      for (int q = 0; q < queries; ++q) clients.emplace_back(client, q);
-      for (auto& c : clients) c.join();
     }
-    double secs = timer.Seconds();
-    QueryTiming timing;
-    timing.ok = true;
-    for (int q = 0; q < queries; ++q) {
-      if (!statuses[q].ok()) {
-        timing.ok = false;
-        timing.error = statuses[q].ToString();
-      }
-      timing.rows += rows[q];
+  };
+
+  Timer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(queries);
+  for (int q = 0; q < queries; ++q) clients.emplace_back(client, q);
+  for (auto& c : clients) c.join();
+  double secs = timer.Seconds();
+
+  RoundResult r;
+  r.timing.ok = true;
+  r.timing.seconds = secs;
+  std::vector<double> all;
+  for (int q = 0; q < queries; ++q) {
+    if (!statuses[q].ok()) {
+      r.timing.ok = false;
+      r.timing.error = statuses[q].ToString();
     }
-    timing.seconds = secs;
-    if (!timing.ok) return {timing, sched->peak_threads(),
-                            sched->peak_ready_tasks(), sched->total_tasks()};
-    if (!best.timing.ok || secs < best.timing.seconds) {
-      best = {timing, sched->peak_threads(), sched->peak_ready_tasks(),
-              sched->total_tasks()};
-    }
+    r.timing.rows += rows[q];
+    all.insert(all.end(), latencies[q].begin(), latencies[q].end());
   }
-  return best;
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    r.p50_ms = all[all.size() / 2];
+    r.p99_ms = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+  }
+  auto* sched = env->scheduler();
+  r.peak_threads = sched->peak_threads();
+  r.peak_ready_tasks = sched->peak_ready_tasks();
+  r.total_tasks = sched->total_tasks();
+  if (env->buffer_cache != nullptr) r.buffer = env->buffer_cache->stats();
+  r.plan_hits = env->plan_cache_stats->hits.load();
+  r.plan_misses = env->plan_cache_stats->misses.load();
+  return r;
+}
+
+double HitRate(int64_t hits, int64_t misses) {
+  return hits + misses > 0 ? static_cast<double>(hits) / (hits + misses) : 0.0;
 }
 
 }  // namespace
@@ -130,74 +163,93 @@ int main(int argc, char** argv) {
   const int pool_size =
       static_cast<int>(EnvScale("FUSION_BENCH_CONCURRENCY_WORKERS", 4));
   const int64_t rows = EnvScale("FUSION_BENCH_CONCURRENCY_ROWS", 2'000'000);
-  const int runs =
-      static_cast<int>(EnvScale("FUSION_BENCH_CONCURRENCY_RUNS", 3));
+  const int repeats =
+      static_cast<int>(EnvScale("FUSION_BENCH_CONCURRENCY_REPEATS", 4));
 
   std::printf(
-      "== Concurrent group-by: %lld rows/query, %d partitions, "
-      "%d-worker scheduler ==\n",
-      static_cast<long long>(rows), partitions, pool_size);
+      "== Serving mix: %lld-row FPQ table, %d templates x %d repeats/client, "
+      "%d partitions, %d-worker scheduler ==\n",
+      static_cast<long long>(rows), static_cast<int>(kTemplates.size()),
+      repeats, partitions, pool_size);
+  const std::string path = "/tmp/fusion_bench_concurrency.fpq";
   Timer gen_timer;
-  auto table_res = MakeInput(rows);
-  if (!table_res.ok()) {
-    std::fprintf(stderr, "input generation failed: %s\n",
-                 table_res.status().ToString().c_str());
+  Status gen = WriteInput(path, rows);
+  if (!gen.ok()) {
+    std::fprintf(stderr, "input generation failed: %s\n", gen.ToString().c_str());
     return 1;
   }
-  auto table = *table_res;
   std::printf("generation: %.1fs\n\n", gen_timer.Seconds());
 
   struct Case {
     int number;
     const char* name;
     int queries;
-    bool sequential;
+    bool cache;
   };
   const std::vector<Case> cases = {
-      {1, "q1", 1, false},
-      {2, "q4", 4, false},
-      {3, "q8", 8, false},
-      {4, "q8-seq", 8, true},  // same 8 queries, one after another
+      {1, "q8", 8, true},
+      {2, "q32", 32, true},
+      {3, "q128", 128, true},
+      {4, "q32-nocache", 32, false},  // FUSION_BUFFER_CACHE_BYTES=0 equivalent
   };
 
-  std::printf("%-8s %9s %12s %13s %11s %11s\n", "case", "time",
-              "agg Mrows/s", "peak_threads", "peak_ready", "tasks");
-  std::printf("------------------------------------------------------------"
-              "-------\n");
+  std::printf("%-12s %9s %9s %9s %9s %8s %8s %13s\n", "case", "time",
+              "queries/s", "p50 ms", "p99 ms", "buf_hit", "plan_hit",
+              "peak_threads");
+  std::printf("--------------------------------------------------------------"
+              "-------------------\n");
   bool all_ok = true;
   bool bounded = true;
+  double cached_q32 = 0, nocache_q32 = 0;
   for (const auto& c : cases) {
     RoundResult r =
-        RunRound(c.queries, c.sequential, pool_size, partitions, runs, table);
+        RunRound(c.queries, repeats, c.cache, pool_size, partitions, path);
     if (!r.timing.ok) {
-      std::printf("%-8s FAIL %s\n", c.name, r.timing.error.c_str());
+      std::printf("%-12s FAIL %s\n", c.name, r.timing.error.c_str());
       all_ok = false;
-    } else {
-      double mrows = c.queries * rows / r.timing.seconds / 1e6;
-      std::printf("%-8s %8.3fs %12.2f %13lld %11lld %11lld\n", c.name,
-                  r.timing.seconds, mrows,
-                  static_cast<long long>(r.peak_threads),
-                  static_cast<long long>(r.peak_ready_tasks),
-                  static_cast<long long>(r.total_tasks));
-      // The whole point of the scheduler: thread usage must not scale
-      // with the number of concurrent queries.
-      if (r.peak_threads > pool_size + 1) {
-        std::printf("  ^ peak_threads %lld exceeds pool_size + 1 = %d\n",
-                    static_cast<long long>(r.peak_threads), pool_size + 1);
-        bounded = false;
-      }
+      report.Add(c.number, r.timing);
+      continue;
     }
-    // Scheduler gauges ride in the metrics slot of the JSON entry so CI
-    // can assert the thread bound from the report alone.
-    r.timing.metrics_json =
-        std::string("{\"concurrency\": ") + std::to_string(c.queries) +
-        ", \"sequential\": " + (c.sequential ? "true" : "false") +
-        ", \"pool_size\": " + std::to_string(pool_size) +
-        ", \"partitions\": " + std::to_string(partitions) +
-        ", \"peak_threads\": " + std::to_string(r.peak_threads) +
-        ", \"peak_ready_tasks\": " + std::to_string(r.peak_ready_tasks) +
-        ", \"total_tasks\": " + std::to_string(r.total_tasks) + "}";
+    const int total_queries = c.queries * repeats;
+    double buf_rate = HitRate(r.buffer.hits, r.buffer.misses);
+    double plan_rate = HitRate(r.plan_hits, r.plan_misses);
+    std::printf("%-12s %8.3fs %9.1f %9.2f %9.2f %7.0f%% %7.0f%% %13lld\n",
+                c.name, r.timing.seconds, total_queries / r.timing.seconds,
+                r.p50_ms, r.p99_ms, buf_rate * 100, plan_rate * 100,
+                static_cast<long long>(r.peak_threads));
+    if (r.peak_threads > pool_size + 1) {
+      std::printf("  ^ peak_threads %lld exceeds pool_size + 1 = %d\n",
+                  static_cast<long long>(r.peak_threads), pool_size + 1);
+      bounded = false;
+    }
+    if (c.number == 2) cached_q32 = r.timing.seconds;
+    if (c.number == 4) nocache_q32 = r.timing.seconds;
+    char metrics[1024];
+    std::snprintf(
+        metrics, sizeof(metrics),
+        "{\"concurrency\": %d, \"repeats\": %d, \"cache_enabled\": %s, "
+        "\"pool_size\": %d, \"partitions\": %d, \"p50_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"peak_threads\": %lld, \"peak_ready_tasks\": %lld, "
+        "\"total_tasks\": %lld, \"buffer_hits\": %lld, \"buffer_misses\": %lld, "
+        "\"buffer_hit_rate\": %.3f, \"buffer_evictions\": %lld, "
+        "\"buffer_coalesced\": %lld, \"plan_hits\": %lld, "
+        "\"plan_misses\": %lld, \"plan_hit_rate\": %.3f}",
+        c.queries, repeats, c.cache ? "true" : "false", pool_size, partitions,
+        r.p50_ms, r.p99_ms, static_cast<long long>(r.peak_threads),
+        static_cast<long long>(r.peak_ready_tasks),
+        static_cast<long long>(r.total_tasks),
+        static_cast<long long>(r.buffer.hits),
+        static_cast<long long>(r.buffer.misses), buf_rate,
+        static_cast<long long>(r.buffer.evictions),
+        static_cast<long long>(r.buffer.coalesced),
+        static_cast<long long>(r.plan_hits),
+        static_cast<long long>(r.plan_misses), plan_rate);
+    r.timing.metrics_json = metrics;
     report.Add(c.number, r.timing);
+  }
+  if (cached_q32 > 0 && nocache_q32 > 0) {
+    std::printf("\nq32 cached vs cache-off speedup: %.2fx\n",
+                nocache_q32 / cached_q32);
   }
   return report.Finish() && all_ok && bounded ? 0 : 1;
 }

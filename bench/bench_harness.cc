@@ -217,7 +217,14 @@ void PrintComparison(int query, const QueryTiming& fusion,
 core::SessionContextPtr MakeBenchSession(int target_partitions) {
   exec::SessionConfig config;
   config.target_partitions = target_partitions;
-  return core::SessionContext::Make(config);
+  // Engine benchmarks measure decode + execution: with the serving
+  // buffer cache on, every run after the first reads decoded batches
+  // back from memory and the scan/decode path being benchmarked (and
+  // perf-gated) drops out of the timing. bench_concurrency measures
+  // the cached serving path explicitly.
+  auto env = std::make_shared<exec::RuntimeEnv>();
+  env->buffer_cache = nullptr;
+  return core::SessionContext::Make(config, env);
 }
 
 Status RegisterHits(core::SessionContext* fusion_ctx,

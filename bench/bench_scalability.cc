@@ -68,6 +68,9 @@ int main(int argc, char** argv) {
     exec::SessionConfig config;
     config.target_partitions = threads;
     auto env_rt = std::make_shared<exec::RuntimeEnv>();
+    // Scaling of decode + execution is the subject here; the serving
+    // buffer cache would turn the repeated runs into memory reads.
+    env_rt->buffer_cache = nullptr;
     auto pool = std::make_unique<ThreadPool>(threads);
     env_rt->thread_pool = pool.get();
     env_rt->query_scheduler = std::make_shared<exec::QueryScheduler>(threads);

@@ -6,6 +6,8 @@
 #include <algorithm>
 
 #include "arrow/ipc.h"
+#include "exec/buffer_cache.h"
+#include "exec/scheduler.h"
 
 namespace fusion {
 namespace catalog {
@@ -22,20 +24,34 @@ struct ScanUnit {
 }  // namespace
 
 /// Iterator over a list of (file, row group) units: prunes with zone
-/// maps + Bloom filters, then runs the late-materialization scan.
+/// maps + Bloom filters, then runs the late-materialization scan —
+/// served through the shared decoded-batch cache when one is attached
+/// to the ScanRequest.
 class FpqScanIterator : public BatchIterator {
  public:
   FpqScanIterator(FpqTable* table, std::vector<ScanUnit> units,
                   std::vector<int> projection,
                   std::vector<format::ColumnPredicate> predicates, int64_t limit,
-                  bool late_materialization)
+                  bool late_materialization, exec::BufferCachePtr cache,
+                  exec::TaskGroupPtr group, exec::CancellationTokenPtr cancel)
       : table_(table), units_(std::move(units)), projection_(std::move(projection)),
         predicates_(std::move(predicates)), limit_(limit),
-        late_materialization_(late_materialization) {}
+        late_materialization_(late_materialization), cache_(std::move(cache)),
+        group_(std::move(group)), cancel_(std::move(cancel)) {
+    // Predicates + late-materialization mode select which rows a decoded
+    // row group contains, so they are part of the cache key.
+    for (const auto& p : predicates_) {
+      selection_fingerprint_ += p.ToString();
+      selection_fingerprint_ += ';';
+    }
+    if (!late_materialization_) selection_fingerprint_ += "|full";
+  }
 
   ~FpqScanIterator() override { table_->MergeMetrics(metrics_); }
 
   Result<RecordBatchPtr> Next() override {
+    // The previous batch leaves the scan: drop its eviction pin.
+    pin_.Release();
     while (pos_ < units_.size()) {
       if (limit_ >= 0 && rows_emitted_ >= limit_) return RecordBatchPtr(nullptr);
       ScanUnit& unit = units_[pos_++];
@@ -49,10 +65,15 @@ class FpqScanIterator : public BatchIterator {
           continue;
         }
       }
-      FUSION_ASSIGN_OR_RAISE(
-          auto batch,
-          unit.reader->ScanRowGroup(unit.row_group, projection_, predicates_,
-                                    late_materialization_, &metrics_));
+      RecordBatchPtr batch;
+      if (cache_ != nullptr) {
+        FUSION_ASSIGN_OR_RAISE(batch, ScanUnitCached(unit));
+      } else {
+        FUSION_ASSIGN_OR_RAISE(
+            batch,
+            unit.reader->ScanRowGroup(unit.row_group, projection_, predicates_,
+                                      late_materialization_, &metrics_));
+      }
       if (batch->num_rows() == 0) continue;
       if (limit_ >= 0 && rows_emitted_ + batch->num_rows() > limit_) {
         batch = batch->Slice(0, limit_ - rows_emitted_);
@@ -64,18 +85,62 @@ class FpqScanIterator : public BatchIterator {
   }
 
  private:
+  /// Serve one unit through the buffer cache: a hit returns the decoded
+  /// batch without touching the file; a miss decodes once for all
+  /// concurrent scans of this unit (scan sharing) and caches the result.
+  Result<RecordBatchPtr> ScanUnitCached(const ScanUnit& unit) {
+    const std::string key =
+        exec::BufferCacheKey(unit.reader->cache_identity(), unit.row_group,
+                             projection_, selection_fingerprint_);
+    format::fpq::ScanMetrics decode_metrics;
+    bool decoded = false;
+    auto decode = [&]() -> Result<RecordBatchPtr> {
+      decoded = true;
+      return unit.reader->ScanRowGroup(unit.row_group, projection_, predicates_,
+                                       late_materialization_, &decode_metrics);
+    };
+    FUSION_ASSIGN_OR_RAISE(
+        auto pin, cache_->GetOrDecode(key, decode, group_.get(), cancel_.get()));
+    if (decoded) {
+      ++metrics_.buffer_cache_misses;
+      metrics_.row_groups_pruned += decode_metrics.row_groups_pruned;
+      metrics_.row_groups_read += decode_metrics.row_groups_read;
+      metrics_.pages_skipped += decode_metrics.pages_skipped;
+      metrics_.pages_read += decode_metrics.pages_read;
+      metrics_.rows_selected += decode_metrics.rows_selected;
+      metrics_.rows_total += decode_metrics.rows_total;
+    } else {
+      // Hit (or coalesced onto another scan's decode): account the rows
+      // but none of the IO counters — no bytes were read or decoded.
+      ++metrics_.buffer_cache_hits;
+      metrics_.rows_total += unit.reader->row_group(unit.row_group).num_rows;
+      if (pin.batch() != nullptr) metrics_.rows_selected += pin.batch()->num_rows();
+    }
+    RecordBatchPtr batch = pin.batch();
+    // Hold the pin until the next Next() call so eviction never races
+    // the batch out from under the in-flight pipeline.
+    pin_ = std::move(pin);
+    return batch;
+  }
+
   FpqTable* table_;
   std::vector<ScanUnit> units_;
   std::vector<int> projection_;
   std::vector<format::ColumnPredicate> predicates_;
   int64_t limit_;
   bool late_materialization_;
+  exec::BufferCachePtr cache_;
+  exec::TaskGroupPtr group_;
+  exec::CancellationTokenPtr cancel_;
+  std::string selection_fingerprint_;
+  exec::BufferCache::Pin pin_;
   size_t pos_ = 0;
   int64_t rows_emitted_ = 0;
   format::fpq::ScanMetrics metrics_;
 };
 
-Result<std::shared_ptr<FpqTable>> FpqTable::Open(std::vector<std::string> paths) {
+Result<std::shared_ptr<FpqTable>> FpqTable::Open(std::vector<std::string> paths,
+                                                 exec::CacheManagerPtr meta_cache) {
   if (paths.empty()) return Status::Invalid("FpqTable: no input files");
   std::vector<std::shared_ptr<format::fpq::Reader>> readers;
   readers.reserve(paths.size());
@@ -88,7 +153,46 @@ Result<std::shared_ptr<FpqTable>> FpqTable::Open(std::vector<std::string> paths)
   }
   SchemaPtr schema = readers[0]->schema();
   return std::shared_ptr<FpqTable>(new FpqTable(std::move(schema),
-                                                std::move(readers)));
+                                                std::move(readers),
+                                                std::move(meta_cache)));
+}
+
+TableStatistics FpqTable::FileStatistics(const format::fpq::Reader& reader) const {
+  // Keyed on the reader's cache identity (path + size + mtime), so a
+  // rewritten file never serves stale statistics.
+  if (meta_cache_ != nullptr) {
+    if (auto cached = meta_cache_->GetFileStats(reader.cache_identity())) {
+      return *std::move(cached);
+    }
+  }
+  TableStatistics stats;
+  stats.column_stats.resize(schema_->num_fields());
+  for (int c = 0; c < schema_->num_fields(); ++c) {
+    stats.column_stats[c].min = Scalar::Null(schema_->field(c).type());
+    stats.column_stats[c].max = Scalar::Null(schema_->field(c).type());
+  }
+  for (int g = 0; g < reader.num_row_groups(); ++g) {
+    const auto& rg = reader.row_group(g);
+    for (int c = 0; c < schema_->num_fields(); ++c) {
+      const auto& chunk = rg.columns[c];
+      format::ColumnStats& cs = stats.column_stats[c];
+      cs.null_count += chunk.stats.null_count;
+      if (!chunk.stats.min.is_null() &&
+          (cs.min.is_null() || chunk.stats.min.Compare(cs.min) < 0)) {
+        cs.min = chunk.stats.min;
+      }
+      if (!chunk.stats.max.is_null() &&
+          (cs.max.is_null() || chunk.stats.max.Compare(cs.max) > 0)) {
+        cs.max = chunk.stats.max;
+      }
+    }
+  }
+  stats.num_rows = reader.num_rows();
+  for (auto& cs : stats.column_stats) cs.row_count = reader.num_rows();
+  if (meta_cache_ != nullptr) {
+    meta_cache_->PutFileStats(reader.cache_identity(), stats);
+  }
+  return stats;
 }
 
 TableStatistics FpqTable::statistics() const {
@@ -100,21 +204,17 @@ TableStatistics FpqTable::statistics() const {
     stats.column_stats[c].max = Scalar::Null(schema_->field(c).type());
   }
   for (const auto& reader : readers_) {
-    rows += reader->num_rows();
-    for (int g = 0; g < reader->num_row_groups(); ++g) {
-      const auto& rg = reader->row_group(g);
-      for (int c = 0; c < schema_->num_fields(); ++c) {
-        const auto& chunk = rg.columns[c];
-        format::ColumnStats& cs = stats.column_stats[c];
-        cs.null_count += chunk.stats.null_count;
-        if (!chunk.stats.min.is_null() &&
-            (cs.min.is_null() || chunk.stats.min.Compare(cs.min) < 0)) {
-          cs.min = chunk.stats.min;
-        }
-        if (!chunk.stats.max.is_null() &&
-            (cs.max.is_null() || chunk.stats.max.Compare(cs.max) > 0)) {
-          cs.max = chunk.stats.max;
-        }
+    TableStatistics file = FileStatistics(*reader);
+    rows += file.num_rows.value_or(0);
+    for (int c = 0; c < schema_->num_fields(); ++c) {
+      const format::ColumnStats& fc = file.column_stats[c];
+      format::ColumnStats& cs = stats.column_stats[c];
+      cs.null_count += fc.null_count;
+      if (!fc.min.is_null() && (cs.min.is_null() || fc.min.Compare(cs.min) < 0)) {
+        cs.min = fc.min;
+      }
+      if (!fc.max.is_null() && (cs.max.is_null() || fc.max.Compare(cs.max) > 0)) {
+        cs.max = fc.max;
       }
     }
   }
@@ -161,7 +261,8 @@ Result<std::vector<BatchIteratorPtr>> FpqTable::Scan(const ScanRequest& request)
   for (auto& p : parts) {
     out.push_back(std::make_unique<FpqScanIterator>(
         this, std::move(p), projection, predicates, request.limit,
-        late_materialization_));
+        late_materialization_, request.buffer_cache, request.task_group,
+        request.cancel));
   }
   return out;
 }
@@ -178,6 +279,8 @@ void FpqTable::MergeMetrics(const format::fpq::ScanMetrics& m) {
   metrics_.pages_read += m.pages_read;
   metrics_.rows_selected += m.rows_selected;
   metrics_.rows_total += m.rows_total;
+  metrics_.buffer_cache_hits += m.buffer_cache_hits;
+  metrics_.buffer_cache_misses += m.buffer_cache_misses;
 }
 
 format::fpq::ScanMetrics FpqTable::ConsumeMetrics() {
@@ -403,7 +506,12 @@ Result<std::vector<BatchIteratorPtr>> IpcTable::Scan(const ScanRequest& request)
 // ------------------------------------------------------------------ listing
 
 Result<std::vector<std::string>> ListFiles(const std::string& dir,
-                                           const std::string& extension) {
+                                           const std::string& extension,
+                                           const exec::CacheManagerPtr& cache) {
+  const std::string cache_key = dir + "|" + extension;
+  if (cache != nullptr) {
+    if (auto cached = cache->GetListing(cache_key)) return *std::move(cached);
+  }
   DIR* d = ::opendir(dir.c_str());
   if (d == nullptr) return Status::IOError("cannot open directory " + dir);
   std::vector<std::string> out;
@@ -417,10 +525,12 @@ Result<std::vector<std::string>> ListFiles(const std::string& dir,
   }
   ::closedir(d);
   std::sort(out.begin(), out.end());
+  if (cache != nullptr) cache->PutListing(cache_key, out);
   return out;
 }
 
-Result<TableProviderPtr> OpenTable(const std::string& path) {
+Result<TableProviderPtr> OpenTable(const std::string& path,
+                                   exec::CacheManagerPtr cache) {
   struct stat st;
   if (::stat(path.c_str(), &st) != 0) {
     return Status::IOError("no such file or directory: " + path);
@@ -433,7 +543,7 @@ Result<TableProviderPtr> OpenTable(const std::string& path) {
   std::string probe = path;
   if (S_ISDIR(st.st_mode)) {
     for (const char* ext : {".fpq", ".csv", ".json", ".ipc"}) {
-      FUSION_ASSIGN_OR_RAISE(files, ListFiles(path, ext));
+      FUSION_ASSIGN_OR_RAISE(files, ListFiles(path, ext, cache));
       if (!files.empty()) {
         probe = files[0];
         break;
@@ -444,7 +554,7 @@ Result<TableProviderPtr> OpenTable(const std::string& path) {
     files = {path};
   }
   if (ends_with(probe, ".fpq")) {
-    FUSION_ASSIGN_OR_RAISE(auto t, FpqTable::Open(files));
+    FUSION_ASSIGN_OR_RAISE(auto t, FpqTable::Open(files, std::move(cache)));
     return TableProviderPtr(t);
   }
   if (ends_with(probe, ".csv")) {

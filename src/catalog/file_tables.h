@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "catalog/table_provider.h"
+#include "exec/cache_manager.h"
 #include "format/csv.h"
 #include "format/fpq.h"
 #include "format/json.h"
@@ -21,7 +22,10 @@ namespace catalog {
 class FpqTable : public TableProvider {
  public:
   /// Open all files (footers only) and verify schema compatibility.
-  static Result<std::shared_ptr<FpqTable>> Open(std::vector<std::string> paths);
+  /// `meta_cache` (optional) caches per-file statistics across queries
+  /// so statistics() stops re-walking every row-group footer.
+  static Result<std::shared_ptr<FpqTable>> Open(
+      std::vector<std::string> paths, exec::CacheManagerPtr meta_cache = nullptr);
 
   SchemaPtr schema() const override { return schema_; }
   TableStatistics statistics() const override;
@@ -46,13 +50,18 @@ class FpqTable : public TableProvider {
 
  private:
   FpqTable(SchemaPtr schema,
-           std::vector<std::shared_ptr<format::fpq::Reader>> readers)
-      : schema_(std::move(schema)), readers_(std::move(readers)) {}
+           std::vector<std::shared_ptr<format::fpq::Reader>> readers,
+           exec::CacheManagerPtr meta_cache)
+      : schema_(std::move(schema)), readers_(std::move(readers)),
+        meta_cache_(std::move(meta_cache)) {}
 
   void MergeMetrics(const format::fpq::ScanMetrics& m);
+  /// Statistics of one file, consulting/filling meta_cache_.
+  TableStatistics FileStatistics(const format::fpq::Reader& reader) const;
 
   SchemaPtr schema_;
   std::vector<std::shared_ptr<format::fpq::Reader>> readers_;
+  exec::CacheManagerPtr meta_cache_;
   std::vector<OrderedColumn> order_;
   bool late_materialization_ = true;
   bool pushdown_enabled_ = true;
@@ -128,12 +137,18 @@ class IpcTable : public TableProvider {
 
 /// List files under `dir` with the given extension (non-recursive),
 /// sorted by name — the Hive-style "listing table" helper (paper §5.2.1).
+/// With a cache manager, the listing is served from / stored in its
+/// directory-listing LRU (paper §7.4: LIST calls are expensive on
+/// object stores).
 Result<std::vector<std::string>> ListFiles(const std::string& dir,
-                                           const std::string& extension);
+                                           const std::string& extension,
+                                           const exec::CacheManagerPtr& cache = nullptr);
 
 /// Open a directory or single file as a table, dispatching on extension
-/// (".fpq", ".csv", ".json", ".ipc").
-Result<TableProviderPtr> OpenTable(const std::string& path);
+/// (".fpq", ".csv", ".json", ".ipc"). `cache` feeds directory listings
+/// and (for FPQ) per-file statistics through the metadata cache.
+Result<TableProviderPtr> OpenTable(const std::string& path,
+                                   exec::CacheManagerPtr cache = nullptr);
 
 }  // namespace catalog
 }  // namespace fusion

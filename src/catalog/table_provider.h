@@ -13,16 +13,20 @@
 #include "row/row_format.h"
 
 namespace fusion {
+namespace exec {
+// Forward declarations (exec/stream.h includes this header, so the
+// serving-layer context below must not pull exec headers back in).
+class BufferCache;
+class TaskGroup;
+class CancellationToken;
+}  // namespace exec
+
 namespace catalog {
 
 /// Table-level statistics available at planning time (paper §5.4.1):
-/// row counts plus per-column min/max/null-count zone data.
-struct TableStatistics {
-  std::optional<int64_t> num_rows;
-  std::optional<int64_t> total_bytes;
-  /// Parallel to the table schema; empty when unknown.
-  std::vector<format::ColumnStats> column_stats;
-};
+/// row counts plus per-column min/max/null-count zone data. Defined at
+/// the format layer so metadata caches below the catalog can hold them.
+using TableStatistics = format::TableStatistics;
 
 /// A column of a known sort order, e.g. files sorted by (ts ASC).
 struct OrderedColumn {
@@ -64,6 +68,14 @@ struct ScanRequest {
   /// one) instead of `target_partitions` static splits. Consumers pull
   /// them from a shared queue, so skew no longer serializes a pipeline.
   int max_morsels = 0;
+  /// Serving-layer context, set by the physical planner. `buffer_cache`
+  /// lets file scans serve decoded batches from (and coalesce decodes
+  /// through) the shared cache; `task_group`/`cancel` are the query's
+  /// scheduling context so cache waits park cooperatively and honor
+  /// cancellation. All optional (null = cold scan, blocking waits).
+  std::shared_ptr<exec::BufferCache> buffer_cache;
+  std::shared_ptr<exec::TaskGroup> task_group;
+  std::shared_ptr<exec::CancellationToken> cancel;
 };
 
 /// \brief The data-source extension point (paper §7.3). Built-in

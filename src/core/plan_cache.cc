@@ -1,0 +1,54 @@
+#include "core/plan_cache.h"
+
+namespace fusion {
+namespace core {
+
+logical::PlanPtr PlanCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    stats_->misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  stats_->hits.fetch_add(1, std::memory_order_relaxed);
+  lru_.erase(it->second.second);
+  lru_.push_front(key);
+  it->second.second = lru_.begin();
+  return it->second.first;
+}
+
+void PlanCache::Put(const std::string& key, logical::PlanPtr plan) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.erase(it->second.second);
+    entries_.erase(it);
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, std::make_pair(std::move(plan), lru_.begin()));
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    stats_->evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  stats_->entries.store(static_cast<int64_t>(entries_.size()),
+                        std::memory_order_relaxed);
+}
+
+void PlanCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty()) return;
+  entries_.clear();
+  lru_.clear();
+  stats_->invalidations.fetch_add(1, std::memory_order_relaxed);
+  stats_->entries.store(0, std::memory_order_relaxed);
+}
+
+size_t PlanCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace core
+}  // namespace fusion

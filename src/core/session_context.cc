@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "logical/plan_serde.h"
+
 namespace fusion {
 namespace core {
 
@@ -10,7 +12,11 @@ SessionContext::SessionContext(exec::SessionConfig config, exec::RuntimeEnvPtr e
     : config_(config), env_(std::move(env)),
       default_catalog_(std::make_shared<catalog::MemoryCatalogProvider>()),
       catalog_(default_catalog_), registry_(logical::FunctionRegistry::Default()),
-      optimizer_(optimizer::Optimizer::Default()) {}
+      optimizer_(optimizer::Optimizer::Default()),
+      plan_cache_(config_.plan_cache_entries > 0
+                      ? static_cast<size_t>(config_.plan_cache_entries)
+                      : 0,
+                  env_->plan_cache_stats) {}
 
 std::shared_ptr<SessionContext> SessionContext::Make(exec::SessionConfig config,
                                                      exec::RuntimeEnvPtr env) {
@@ -20,17 +26,25 @@ std::shared_ptr<SessionContext> SessionContext::Make(exec::SessionConfig config,
 
 void SessionContext::SetCatalogProvider(catalog::CatalogProviderPtr catalog) {
   catalog_ = std::move(catalog);
+  catalog_epoch_.fetch_add(1, std::memory_order_relaxed);
+  plan_cache_.Invalidate();
 }
 
 Status SessionContext::RegisterTable(const std::string& name,
                                      catalog::TableProviderPtr table) {
   FUSION_ASSIGN_OR_RAISE(auto schema, catalog_->GetSchema("public"));
-  return schema->RegisterTable(name, std::move(table));
+  FUSION_RETURN_NOT_OK(schema->RegisterTable(name, std::move(table)));
+  catalog_epoch_.fetch_add(1, std::memory_order_relaxed);
+  plan_cache_.Invalidate();
+  return Status::OK();
 }
 
 Status SessionContext::DeregisterTable(const std::string& name) {
   FUSION_ASSIGN_OR_RAISE(auto schema, catalog_->GetSchema("public"));
-  return schema->DeregisterTable(name);
+  FUSION_RETURN_NOT_OK(schema->DeregisterTable(name));
+  catalog_epoch_.fetch_add(1, std::memory_order_relaxed);
+  plan_cache_.Invalidate();
+  return Status::OK();
 }
 
 Status SessionContext::RegisterCsv(const std::string& name, const std::string& path,
@@ -42,7 +56,8 @@ Status SessionContext::RegisterCsv(const std::string& name, const std::string& p
 
 Status SessionContext::RegisterFpq(const std::string& name,
                                    const std::string& path) {
-  FUSION_ASSIGN_OR_RAISE(auto table, catalog::OpenTable(path));
+  FUSION_ASSIGN_OR_RAISE(auto table,
+                         catalog::OpenTable(path, env_->cache_manager));
   return RegisterTable(name, table);
 }
 
@@ -82,6 +97,51 @@ Result<logical::PlanPtr> SessionContext::CreateLogicalPlan(const std::string& sq
 Result<logical::PlanPtr> SessionContext::OptimizePlan(
     const logical::PlanPtr& plan) {
   return optimizer_.Optimize(plan);
+}
+
+std::string SessionContext::ConfigFingerprint() const {
+  // Only knobs that change what the optimizer/planner produces belong
+  // here; runtime-only knobs (timeouts, admission) are deliberately
+  // excluded so they don't fragment the cache.
+  std::ostringstream fp;
+  fp << config_.batch_size << '|' << config_.target_partitions << '|'
+     << config_.enable_predicate_pushdown << config_.enable_late_materialization
+     << config_.enable_topk << config_.enable_partial_aggregation
+     << config_.enable_symmetric_hash_join << config_.enable_partitioned_aggregation
+     << config_.enable_morsel_scan;
+  return fp.str();
+}
+
+Result<logical::PlanPtr> SessionContext::OptimizeCached(
+    const logical::PlanPtr& plan) {
+  if (config_.plan_cache_entries <= 0) return optimizer_.Optimize(plan);
+  auto serialized = logical::SerializePlan(plan);
+  if (!serialized.ok()) {
+    // Plans that cannot round-trip (exotic nodes) just skip the cache.
+    return optimizer_.Optimize(plan);
+  }
+  std::string key;
+  key.reserve(serialized->size() + 32);
+  key += std::to_string(catalog_epoch_.load(std::memory_order_relaxed));
+  key += '|';
+  key += ConfigFingerprint();
+  key += '|';
+  key.append(reinterpret_cast<const char*>(serialized->data()),
+             serialized->size());
+  if (auto cached = plan_cache_.Get(key)) return cached;
+  FUSION_ASSIGN_OR_RAISE(auto optimized, optimizer_.Optimize(plan));
+  plan_cache_.Put(key, optimized);
+  return optimized;
+}
+
+Result<exec::AdmissionTicket> SessionContext::AdmitQuery(
+    const physical::ExecContextPtr& ctx) {
+  exec::AdmissionLimits limits;
+  limits.max_concurrent = config_.admission_max_concurrent;
+  limits.max_queued = config_.admission_max_queued;
+  limits.memory_watermark = config_.admission_memory_watermark;
+  return env_->scheduler()->Admit(limits, env_->memory_pool.get(),
+                                  ctx->cancel.get());
 }
 
 physical::ExecContextPtr SessionContext::MakeExecContext(
@@ -145,8 +205,9 @@ Result<std::vector<RecordBatchPtr>> SessionContext::ExecuteSqlWithTimeout(
 
 Result<QueryResult> SessionContext::ExecuteSqlWithMetrics(const std::string& sql) {
   FUSION_ASSIGN_OR_RAISE(auto plan, CreateLogicalPlan(sql));
-  FUSION_ASSIGN_OR_RAISE(auto optimized, OptimizePlan(plan));
+  FUSION_ASSIGN_OR_RAISE(auto optimized, OptimizeCached(plan));
   auto ctx = MakeExecContext();
+  FUSION_ASSIGN_OR_RAISE(auto ticket, AdmitQuery(ctx));
   physical::PhysicalPlanner planner(ctx);
   FUSION_ASSIGN_OR_RAISE(auto exec_plan, planner.CreatePlan(optimized));
   QueryResult out;
@@ -174,7 +235,8 @@ Result<DataFrame> SessionContext::ReadCsv(const std::string& path,
 }
 
 Result<DataFrame> SessionContext::ReadFpq(const std::string& path) {
-  FUSION_ASSIGN_OR_RAISE(auto table, catalog::OpenTable(path));
+  FUSION_ASSIGN_OR_RAISE(auto table,
+                         catalog::OpenTable(path, env_->cache_manager));
   FUSION_ASSIGN_OR_RAISE(auto plan, logical::MakeTableScan(path, table));
   return DataFrame(shared_from_this(), std::move(plan));
 }
@@ -187,8 +249,11 @@ Result<DataFrame> SessionContext::ReadJson(const std::string& path) {
 
 Result<std::vector<RecordBatchPtr>> SessionContext::ExecutePlan(
     const logical::PlanPtr& plan, exec::CancellationTokenPtr token) {
-  FUSION_ASSIGN_OR_RAISE(auto optimized, OptimizePlan(plan));
+  FUSION_ASSIGN_OR_RAISE(auto optimized, OptimizeCached(plan));
   auto ctx = MakeExecContext(std::move(token));
+  // The admission ticket is held for the full collect: a slot frees
+  // only when the query (and its task group) has fully unwound.
+  FUSION_ASSIGN_OR_RAISE(auto ticket, AdmitQuery(ctx));
   physical::PhysicalPlanner planner(ctx);
   FUSION_ASSIGN_OR_RAISE(auto exec_plan, planner.CreatePlan(optimized));
   return CollectAndFinish(exec_plan, ctx);
@@ -196,7 +261,9 @@ Result<std::vector<RecordBatchPtr>> SessionContext::ExecutePlan(
 
 Result<std::vector<RecordBatchPtr>> SessionContext::ExecutePhysical(
     const physical::ExecPlanPtr& plan, exec::CancellationTokenPtr token) {
-  return CollectAndFinish(plan, MakeExecContext(std::move(token)));
+  auto ctx = MakeExecContext(std::move(token));
+  FUSION_ASSIGN_OR_RAISE(auto ticket, AdmitQuery(ctx));
+  return CollectAndFinish(plan, ctx);
 }
 
 // ----------------------------------------------------------- DataFrame

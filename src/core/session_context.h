@@ -6,6 +6,7 @@
 
 #include "catalog/catalog.h"
 #include "catalog/file_tables.h"
+#include "core/plan_cache.h"
 #include "exec/runtime_env.h"
 #include "logical/sql_planner.h"
 #include "optimizer/optimizer.h"
@@ -111,6 +112,12 @@ class SessionContext : public std::enable_shared_from_this<SessionContext> {
   exec::SessionConfig& config() { return config_; }
   const exec::RuntimeEnvPtr& env() const { return env_; }
 
+  /// The session's logical-plan cache (see core/plan_cache.h). Flushed
+  /// automatically on catalog changes; call InvalidatePlanCache() after
+  /// out-of-band changes (e.g. mutating a provider in place).
+  PlanCache* plan_cache() { return &plan_cache_; }
+  void InvalidatePlanCache() { plan_cache_.Invalidate(); }
+
   /// Build the per-query execution context. A session-level
   /// config().timeout_ms starts counting here; an explicit token is
   /// shared with the caller so it can Cancel() concurrently.
@@ -120,6 +127,17 @@ class SessionContext : public std::enable_shared_from_this<SessionContext> {
  private:
   SessionContext(exec::SessionConfig config, exec::RuntimeEnvPtr env);
 
+  /// Optimize `plan` through the plan cache: serialized-plan key + the
+  /// catalog epoch + a config fingerprint. Falls back to a plain
+  /// optimize whenever the plan cannot be serialized.
+  Result<logical::PlanPtr> OptimizeCached(const logical::PlanPtr& plan);
+  /// Admission gate: derive limits from config and block/reject per the
+  /// scheduler's admission policy.
+  Result<exec::AdmissionTicket> AdmitQuery(const physical::ExecContextPtr& ctx);
+  /// Planning-relevant config rendered into the plan-cache key, so
+  /// flipping an ablation switch never serves a stale plan.
+  std::string ConfigFingerprint() const;
+
   exec::SessionConfig config_;
   exec::RuntimeEnvPtr env_;
   std::shared_ptr<catalog::MemoryCatalogProvider> default_catalog_;
@@ -127,6 +145,9 @@ class SessionContext : public std::enable_shared_from_this<SessionContext> {
   logical::FunctionRegistryPtr registry_;
   optimizer::Optimizer optimizer_;
   std::atomic<int64_t> next_query_id_{0};
+  /// Bumped on every catalog mutation; part of the plan-cache key.
+  std::atomic<int64_t> catalog_epoch_{0};
+  PlanCache plan_cache_;
 };
 
 using SessionContextPtr = std::shared_ptr<SessionContext>;

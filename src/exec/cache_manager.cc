@@ -6,9 +6,7 @@ namespace exec {
 std::optional<std::vector<std::string>> CacheManager::GetListing(
     const std::string& dir) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto v = listings_.Get(dir);
-  v.has_value() ? ++hits_ : ++misses_;
-  return v;
+  return listings_.Get(dir);
 }
 
 void CacheManager::PutListing(const std::string& dir,
@@ -17,16 +15,14 @@ void CacheManager::PutListing(const std::string& dir,
   listings_.Put(dir, std::move(files), capacity_);
 }
 
-std::optional<catalog::TableStatistics> CacheManager::GetFileStats(
+std::optional<format::TableStatistics> CacheManager::GetFileStats(
     const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto v = stats_.Get(path);
-  v.has_value() ? ++hits_ : ++misses_;
-  return v;
+  return stats_.Get(path);
 }
 
 void CacheManager::PutFileStats(const std::string& path,
-                                catalog::TableStatistics stats) {
+                                format::TableStatistics stats) {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.Put(path, std::move(stats), capacity_);
 }
@@ -45,6 +41,26 @@ size_t CacheManager::listing_entries() const {
 size_t CacheManager::stats_entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_.entries.size();
+}
+
+int64_t CacheManager::listing_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return listings_.hits;
+}
+
+int64_t CacheManager::listing_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return listings_.misses;
+}
+
+int64_t CacheManager::stats_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.hits;
+}
+
+int64_t CacheManager::stats_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.misses;
 }
 
 }  // namespace exec

@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "catalog/table_provider.h"
+#include "format/predicate.h"
 
 namespace fusion {
 namespace exec {
@@ -17,7 +17,9 @@ namespace exec {
 /// \brief Caches directory listings and per-file statistics (paper
 /// §7.4). Important for disaggregated storage where LIST and footer
 /// reads are expensive; here it also saves repeated FPQ footer parses.
-/// LRU-bounded; eviction policy is the extension point.
+/// LRU-bounded; eviction policy is the extension point. Hit/miss
+/// counters are tracked per cache so EXPLAIN ANALYZE can attribute
+/// savings to listings vs footer stats separately.
 class CacheManager {
  public:
   explicit CacheManager(size_t capacity = 1024) : capacity_(capacity) {}
@@ -29,26 +31,37 @@ class CacheManager {
   virtual void PutListing(const std::string& dir, std::vector<std::string> files);
 
   /// Per-file statistics cache ---------------------------------------
-  virtual std::optional<catalog::TableStatistics> GetFileStats(
+  virtual std::optional<format::TableStatistics> GetFileStats(
       const std::string& path);
   virtual void PutFileStats(const std::string& path,
-                            catalog::TableStatistics stats);
+                            format::TableStatistics stats);
 
   void Clear();
   size_t listing_entries() const;
   size_t stats_entries() const;
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  int64_t listing_hits() const;
+  int64_t listing_misses() const;
+  int64_t stats_hits() const;
+  int64_t stats_misses() const;
+  /// Totals across both caches (legacy API).
+  int64_t hits() const { return listing_hits() + stats_hits(); }
+  int64_t misses() const { return listing_misses() + stats_misses(); }
 
  private:
   template <typename V>
   struct LruMap {
     std::map<std::string, std::pair<V, std::list<std::string>::iterator>> entries;
     std::list<std::string> order;  // most recent at front
+    int64_t hits = 0;
+    int64_t misses = 0;
 
     std::optional<V> Get(const std::string& key) {
       auto it = entries.find(key);
-      if (it == entries.end()) return std::nullopt;
+      if (it == entries.end()) {
+        ++misses;
+        return std::nullopt;
+      }
+      ++hits;
       order.erase(it->second.second);
       order.push_front(key);
       it->second.second = order.begin();
@@ -72,9 +85,7 @@ class CacheManager {
   size_t capacity_;
   mutable std::mutex mu_;
   LruMap<std::vector<std::string>> listings_;
-  LruMap<catalog::TableStatistics> stats_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
+  LruMap<format::TableStatistics> stats_;
 };
 
 using CacheManagerPtr = std::shared_ptr<CacheManager>;

@@ -1,12 +1,14 @@
 #ifndef FUSION_EXEC_RUNTIME_ENV_H_
 #define FUSION_EXEC_RUNTIME_ENV_H_
 
+#include <atomic>
 #include <cstdlib>
 #include <memory>
 #include <thread>
 
 #include "common/fault_injector.h"
 #include "common/thread_pool.h"
+#include "exec/buffer_cache.h"
 #include "exec/cache_manager.h"
 #include "exec/disk_manager.h"
 #include "exec/memory_pool.h"
@@ -15,6 +17,21 @@
 namespace fusion {
 namespace exec {
 
+/// Hit/miss counters for the session's logical-plan cache. The cache
+/// itself lives in core (it stores logical plans); the counters live
+/// here so the exec-layer EXPLAIN ANALYZE footer can render them
+/// without a dependency on the logical layer.
+struct PlanCacheStats {
+  std::atomic<int64_t> hits{0};
+  std::atomic<int64_t> misses{0};
+  std::atomic<int64_t> evictions{0};
+  /// Catalog/config-epoch flushes of the whole cache.
+  std::atomic<int64_t> invalidations{0};
+  std::atomic<int64_t> entries{0};
+};
+
+using PlanCacheStatsPtr = std::shared_ptr<PlanCacheStats>;
+
 /// \brief The execution environment bundle (paper §7.4): memory, disk,
 /// cache and CPU resources shared by queries of a session. Each member
 /// is independently replaceable.
@@ -22,6 +39,13 @@ struct RuntimeEnv {
   MemoryPoolPtr memory_pool = std::make_shared<UnboundedMemoryPool>();
   DiskManagerPtr disk_manager = std::make_shared<DiskManager>();
   CacheManagerPtr cache_manager = std::make_shared<CacheManager>();
+  /// Decoded-batch cache consulted by file scans; null disables caching
+  /// (FUSION_BUFFER_CACHE_BYTES=0). Process-global by default so
+  /// concurrent sessions share decoded data; sessions wanting memory
+  /// accounting or isolation install their own instance.
+  BufferCachePtr buffer_cache = BufferCache::Default();
+  /// Counters bumped by the session's plan cache (see PlanCacheStats).
+  PlanCacheStatsPtr plan_cache_stats = std::make_shared<PlanCacheStats>();
   /// Worker pool for partitioned execution; null = process default.
   ThreadPool* thread_pool = nullptr;
   /// The shared query scheduler all parallel work (top-level partition
@@ -56,6 +80,32 @@ inline int DefaultTargetPartitions() {
     }
     unsigned hc = std::thread::hardware_concurrency();
     return hc == 0 ? 1 : static_cast<int>(hc);
+  }();
+  return value;
+}
+
+/// Default plan-cache capacity; FUSION_PLAN_CACHE_ENTRIES overrides
+/// (0 disables the cache).
+inline int DefaultPlanCacheEntries() {
+  static const int value = [] {
+    if (const char* env = std::getenv("FUSION_PLAN_CACHE_ENTRIES")) {
+      int v = std::atoi(env);
+      if (v >= 0) return v;
+    }
+    return 64;
+  }();
+  return value;
+}
+
+/// Default admission-control concurrency bound; 0 (the default) turns
+/// admission off. FUSION_ADMISSION_MAX_CONCURRENT overrides.
+inline int DefaultAdmissionMaxConcurrent() {
+  static const int value = [] {
+    if (const char* env = std::getenv("FUSION_ADMISSION_MAX_CONCURRENT")) {
+      int v = std::atoi(env);
+      if (v >= 0) return v;
+    }
+    return 0;
   }();
   return value;
 }
@@ -103,6 +153,18 @@ struct SessionConfig {
   /// optimization). FUSION_AGG_BYPASS=off|force overrides per process.
   double agg_bypass_ratio = 0.8;
   int64_t agg_bypass_probe_rows = 100000;
+  /// Logical-plan cache capacity (entries); 0 disables. Repeated query
+  /// templates skip parse-independent optimize+normalize work.
+  int plan_cache_entries = DefaultPlanCacheEntries();
+  /// Admission control (serving layer): maximum queries allowed to
+  /// execute concurrently per scheduler; 0 disables admission entirely.
+  int admission_max_concurrent = DefaultAdmissionMaxConcurrent();
+  /// Queries allowed to queue behind the running set before new
+  /// arrivals are rejected with ResourcesExhausted.
+  int admission_max_queued = 64;
+  /// Fraction of the memory pool's limit above which new queries queue
+  /// even when a concurrency slot is free (<= 0 disables the check).
+  double admission_memory_watermark = 0.9;
 };
 
 }  // namespace exec

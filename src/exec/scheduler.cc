@@ -1,9 +1,12 @@
 #include "exec/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <utility>
+
+#include "exec/memory_pool.h"
 
 namespace fusion {
 namespace exec {
@@ -24,7 +27,17 @@ struct TaskCtl {
   std::atomic<int> state{kQueued};
   std::function<TaskStatus(const Waker&)> poll;
   std::shared_ptr<TaskGroup> group;
+  /// Help generation of the spawn batch this task belongs to
+  /// (invariant 4); always non-zero once spawned.
+  uint64_t help_gen = 0;
 };
+
+/// Innermost help generation active on this thread's stack: non-zero
+/// while the thread is inside a task's poll. RunOneReadyTask only runs
+/// tasks with a strictly larger generation, so batch siblings — which
+/// may wait on each other's shared-build claims — can never end up
+/// suspended beneath one another on one stack.
+thread_local uint64_t tl_active_help_gen = 0;
 
 }  // namespace internal
 
@@ -72,18 +85,22 @@ TaskGroup::~TaskGroup() {
   (void)st;  // errors were already delivered through the query's streams
 }
 
-void TaskGroup::Spawn(std::function<Status()> fn) {
+void TaskGroup::Spawn(std::function<Status()> fn, uint64_t help_gen) {
   auto self = shared_from_this();
-  SpawnResumable([self, fn = std::move(fn)](const Waker&) {
-    self->RecordStatus(fn());
-    return TaskStatus::kDone;
-  });
+  SpawnResumable(
+      [self, fn = std::move(fn)](const Waker&) {
+        self->RecordStatus(fn());
+        return TaskStatus::kDone;
+      },
+      help_gen);
 }
 
-void TaskGroup::SpawnResumable(std::function<TaskStatus(const Waker&)> fn) {
+void TaskGroup::SpawnResumable(std::function<TaskStatus(const Waker&)> fn,
+                               uint64_t help_gen) {
   auto ctl = std::make_shared<TaskCtl>();
   ctl->poll = std::move(fn);
   ctl->group = shared_from_this();
+  ctl->help_gen = help_gen != 0 ? help_gen : NextHelpGen();
   tasks_spawned_.fetch_add(1, std::memory_order_relaxed);
   scheduler_->total_tasks_.fetch_add(1, std::memory_order_relaxed);
   {
@@ -115,16 +132,23 @@ Status TaskGroup::RunAll(std::vector<std::function<Status()>> tasks) {
   if (tasks.empty()) return Status::OK();
   auto state = std::make_shared<RunAllState>(static_cast<int64_t>(tasks.size()));
   auto self = shared_from_this();
+  // One shared generation: partition drivers claim shared build work
+  // (partitioned aggregation inputs, join build mutexes) and wait on
+  // each other's claims, so they must never nest on one stack.
+  const uint64_t help_gen = NextHelpGen();
   for (auto& task : tasks) {
-    SpawnResumable([self, state, fn = std::move(task)](const Waker&) {
-      Status st = fn();
-      self->RecordStatus(st);
-      state->Record(st);
-      // release: the caller's acquire load of `remaining` below must see
-      // everything the task wrote (e.g. its slot of a results vector).
-      state->remaining.fetch_sub(1, std::memory_order_release);
-      return TaskStatus::kDone;
-    });
+    SpawnResumable(
+        [self, state, fn = std::move(task)](const Waker&) {
+          Status st = fn();
+          self->RecordStatus(st);
+          state->Record(st);
+          // release: the caller's acquire load of `remaining` below must
+          // see everything the task wrote (e.g. its slot of a results
+          // vector).
+          state->remaining.fetch_sub(1, std::memory_order_release);
+          return TaskStatus::kDone;
+        },
+        help_gen);
   }
   // Lend this thread to the group until all tasks settle. Even on error
   // we wait for every task: callers pass closures that reference stack
@@ -184,11 +208,19 @@ bool TaskGroup::RunOneReadyTask() {
   TaskCtlPtr ctl;
   {
     std::lock_guard<std::mutex> lock(scheduler_->mu_);
-    if (ready_.empty()) return false;
-    ctl = std::move(ready_.front());
-    ready_.pop_front();
-    --scheduler_->ready_count_;
+    // Invariant 4: only run tasks from batches spawned after the
+    // innermost batch active on this stack. Skipped siblings stay
+    // queued for worker threads and untagged (client) helpers.
+    const uint64_t active = internal::tl_active_help_gen;
+    for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+      if (active != 0 && (*it)->help_gen <= active) continue;
+      ctl = std::move(*it);
+      ready_.erase(it);
+      --scheduler_->ready_count_;
+      break;
+    }
   }
+  if (ctl == nullptr) return false;
   scheduler_->RunTask(std::move(ctl));
   return true;
 }
@@ -267,6 +299,10 @@ TaskGroupPtr QueryScheduler::MakeGroup() {
   return TaskGroupPtr(new TaskGroup(this));
 }
 
+uint64_t TaskGroup::NextHelpGen() {
+  return scheduler_->help_gen_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 void QueryScheduler::WorkerLoop() {
   for (;;) {
     TaskCtlPtr ctl;
@@ -302,7 +338,13 @@ void QueryScheduler::WorkerLoop() {
 
 void QueryScheduler::RunTask(TaskCtlPtr ctl) {
   ctl->state.store(TaskCtl::kRunning, std::memory_order_release);
+  // Track the innermost active help generation across the poll so
+  // nested helping (RunOneReadyTask from inside this task) can refuse
+  // batch siblings (invariant 4).
+  const uint64_t prev_gen = internal::tl_active_help_gen;
+  internal::tl_active_help_gen = ctl->help_gen;
   TaskStatus result = ctl->poll(Waker(ctl));
+  internal::tl_active_help_gen = prev_gen;
   if (result == TaskStatus::kDone) {
     ctl->state.store(TaskCtl::kDone, std::memory_order_release);
     auto group = ctl->group;
@@ -385,6 +427,89 @@ void QueryScheduler::WaitEpoch(uint64_t epoch, const CancellationToken* token) {
     }
   }
   epoch_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+
+void AdmissionTicket::Release() {
+  if (scheduler_ != nullptr) scheduler_->ReleaseAdmission();
+  scheduler_ = nullptr;
+}
+
+Result<AdmissionTicket> QueryScheduler::Admit(const AdmissionLimits& limits,
+                                              const MemoryPool* pool,
+                                              const CancellationToken* token) {
+  if (limits.max_concurrent <= 0) return AdmissionTicket();  // admission off
+
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  auto can_run = [&] {
+    if (admission_running_ >= limits.max_concurrent) return false;
+    // Memory watermark: hold new queries while the pool is hot — but
+    // never while nothing runs, or bytes held by long-lived consumers
+    // (the buffer cache) could wedge admission with no one left to
+    // free them.
+    if (limits.memory_watermark > 0 && pool != nullptr &&
+        admission_running_ > 0) {
+      double limit = static_cast<double>(pool->limit());
+      if (limit > 0 &&
+          static_cast<double>(pool->bytes_allocated()) >=
+              limits.memory_watermark * limit) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  bool queued = false;
+  while (!can_run()) {
+    if (!queued) {
+      if (admission_queued_ >= std::max(0, limits.max_queued)) {
+        admission_rejected_total_.fetch_add(1, std::memory_order_relaxed);
+        return Status::ResourcesExhausted(
+            "admission control: concurrency limit reached (running=" +
+            std::to_string(admission_running_) +
+            ", queued=" + std::to_string(admission_queued_) +
+            ", max_concurrent=" + std::to_string(limits.max_concurrent) +
+            ", max_queued=" + std::to_string(limits.max_queued) + ")");
+      }
+      queued = true;
+      ++admission_queued_;
+      admission_queued_total_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Non-latching probe under the lock; latch (and fire listeners)
+    // only after releasing it.
+    if (token != nullptr && token->CancelRequested()) {
+      --admission_queued_;
+      lock.unlock();
+      return token->CheckStatus();
+    }
+    // Bounded slices: ticket releases notify, but deadlines and memory
+    // watermark changes have no edge to signal, so re-check on a tick.
+    admission_cv_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+  if (queued) --admission_queued_;
+  ++admission_running_;
+  admission_admitted_total_.fetch_add(1, std::memory_order_relaxed);
+  return AdmissionTicket(this);
+}
+
+void QueryScheduler::ReleaseAdmission() {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    --admission_running_;
+  }
+  admission_cv_.notify_all();
+}
+
+int64_t QueryScheduler::admission_running() const {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  return admission_running_;
+}
+
+int64_t QueryScheduler::admission_queued() const {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  return admission_queued_;
 }
 
 QueryScheduler* QueryScheduler::Default() {

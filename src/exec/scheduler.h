@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/result.h"
 #include "common/status.h"
 #include "exec/cancellation.h"
 
@@ -50,10 +51,67 @@ namespace exec {
 ///     parked producers and stops running ones, then joins every task.
 ///     Cancellation, deadline expiry, and early-LIMIT teardown all
 ///     funnel through it.
+///
+///  4. Help generations. Tasks spawned as one cooperative batch (the
+///     partition drivers of a RunAll, the producers of one exchange)
+///     share a help generation; a thread lending itself via
+///     HelpOrWait/RunOneReadyTask only runs tasks of *strictly younger*
+///     generations than the innermost generation active on its stack.
+///     Batch siblings can wait on each other's shared-build claims
+///     (e.g. partitioned aggregation's input claims, a join's build
+///     mutex), so running a sibling nested would let a claim-holder be
+///     suspended beneath the very task that waits for its claim — a
+///     stack-shaped deadlock no wakeup can break. Children batches are
+///     spawned later (larger generation) and never wait on their
+///     ancestors' claims, so helping them keeps the single-worker
+///     liveness guarantee of (1) and (2) intact.
+class MemoryPool;
 class QueryScheduler;
 class TaskGroup;
 using TaskGroupPtr = std::shared_ptr<TaskGroup>;
 using QuerySchedulerPtr = std::shared_ptr<QueryScheduler>;
+
+/// Admission-control bounds, derived from SessionConfig by the caller.
+struct AdmissionLimits {
+  /// Queries allowed to run concurrently; <= 0 turns admission off.
+  int max_concurrent = 0;
+  /// Queries allowed to wait behind the running set; arrivals beyond
+  /// this fail immediately with ResourcesExhausted.
+  int max_queued = 0;
+  /// Fraction of the pool limit above which arrivals queue even when a
+  /// concurrency slot is free (<= 0 disables the memory check).
+  double memory_watermark = 0;
+};
+
+/// RAII admission slot returned by QueryScheduler::Admit; releasing it
+/// (destruction) frees the slot and wakes one queued query. An
+/// admission-off ticket is empty and releases nothing.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  ~AdmissionTicket() { Release(); }
+  AdmissionTicket(AdmissionTicket&& other) noexcept : scheduler_(other.scheduler_) {
+    other.scheduler_ = nullptr;
+  }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept {
+    if (this != &other) {
+      Release();
+      scheduler_ = other.scheduler_;
+      other.scheduler_ = nullptr;
+    }
+    return *this;
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  bool admitted() const { return scheduler_ != nullptr; }
+  void Release();
+
+ private:
+  friend class QueryScheduler;
+  explicit AdmissionTicket(QueryScheduler* scheduler) : scheduler_(scheduler) {}
+  QueryScheduler* scheduler_ = nullptr;
+};
 
 /// Outcome of polling a resumable task.
 enum class TaskStatus {
@@ -97,13 +155,23 @@ class TaskGroup : public std::enable_shared_from_this<TaskGroup> {
 
   /// Spawn a run-to-completion task. It may block pulling from exchange
   /// queues (the queue lends the thread to this group meanwhile); its
-  /// status is folded into Finish()'s result.
-  void Spawn(std::function<Status()> fn);
+  /// status is folded into Finish()'s result. Tasks spawned with the
+  /// same `help_gen` (from NextHelpGen) are batch siblings and are
+  /// never help-run nested inside one another (invariant 4);
+  /// `help_gen == 0` allocates a fresh singleton generation.
+  void Spawn(std::function<Status()> fn, uint64_t help_gen = 0);
 
   /// Spawn a resumable task. `fn` is polled with a Waker; it returns
   /// kParked after registering the waker on the edge it waits for, and
   /// kDone when finished (errors travel through the queues it feeds).
-  void SpawnResumable(std::function<TaskStatus(const Waker&)> fn);
+  /// `help_gen` as in Spawn.
+  void SpawnResumable(std::function<TaskStatus(const Waker&)> fn,
+                      uint64_t help_gen = 0);
+
+  /// Allocate a help generation for one batch of sibling tasks; see
+  /// invariant 4 above. Spawners whose tasks can wait on each other
+  /// (shared-build claims, a common mutex) must share one generation.
+  uint64_t NextHelpGen();
 
   /// Run `tasks` as group tasks and wait for all of them, lending the
   /// calling thread to this group's ready tasks meanwhile (the fairness
@@ -197,6 +265,35 @@ class QueryScheduler {
     return total_tasks_.load(std::memory_order_relaxed);
   }
 
+  /// Admission control (serving layer): block until the query may run —
+  /// or fail fast with Status::ResourcesExhausted once `max_queued`
+  /// queries are already waiting. A query is admitted when a
+  /// concurrency slot is free and, if a watermark is set, `pool` is
+  /// below `memory_watermark * limit`. To guarantee progress, the
+  /// memory check is waived while nothing is running (cached/leaked
+  /// bytes can otherwise hold the pool above the watermark forever).
+  /// Queued queries honor `token` cancellation and deadlines. The
+  /// returned ticket frees the slot on destruction; with
+  /// `limits.max_concurrent <= 0` admission is off and the ticket is
+  /// an inert empty one.
+  Result<AdmissionTicket> Admit(const AdmissionLimits& limits,
+                                const MemoryPool* pool,
+                                const CancellationToken* token);
+
+  /// Admission gauges/counters (for the EXPLAIN ANALYZE footer and
+  /// bench --json).
+  int64_t admission_running() const;
+  int64_t admission_queued() const;
+  int64_t admission_admitted_total() const {
+    return admission_admitted_total_.load(std::memory_order_relaxed);
+  }
+  int64_t admission_queued_total() const {
+    return admission_queued_total_.load(std::memory_order_relaxed);
+  }
+  int64_t admission_rejected_total() const {
+    return admission_rejected_total_.load(std::memory_order_relaxed);
+  }
+
   /// Process-wide scheduler sized to the hardware concurrency
   /// (FUSION_SCHEDULER_THREADS overrides, for tests and benchmarks).
   static QueryScheduler* Default();
@@ -204,6 +301,9 @@ class QueryScheduler {
  private:
   friend class TaskGroup;
   friend class Waker;
+  friend class AdmissionTicket;
+
+  void ReleaseAdmission();
 
   void WorkerLoop();
   /// Run one task to completion or park; never called with locks held.
@@ -229,6 +329,21 @@ class QueryScheduler {
   std::atomic<int64_t> peak_threads_{0};
   std::atomic<int64_t> peak_ready_tasks_{0};
   std::atomic<int64_t> total_tasks_{0};
+
+  /// Monotonic help-generation counter (invariant 4). Global across
+  /// groups, so a query nested inside another query's task always gets
+  /// younger (helpable) generations.
+  std::atomic<uint64_t> help_gen_{0};
+
+  /// Admission state, guarded by its own mutex (never held together
+  /// with mu_ or epoch_mu_).
+  mutable std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  int64_t admission_running_ = 0;
+  int64_t admission_queued_ = 0;
+  std::atomic<int64_t> admission_admitted_total_{0};
+  std::atomic<int64_t> admission_queued_total_{0};
+  std::atomic<int64_t> admission_rejected_total_{0};
 
   std::vector<std::thread> workers_;
 };

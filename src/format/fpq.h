@@ -116,6 +116,11 @@ struct ScanMetrics {
   int64_t pages_read = 0;
   int64_t rows_selected = 0;
   int64_t rows_total = 0;
+  /// Row groups served from / decoded into the shared buffer cache
+  /// (bumped by the catalog scan layer, not the reader; hits do not
+  /// count toward pages_read/row_groups_read, which measure real IO).
+  int64_t buffer_cache_hits = 0;
+  int64_t buffer_cache_misses = 0;
 };
 
 /// \brief FPQ file reader with predicate pushdown and late
@@ -130,6 +135,11 @@ class Reader {
   int64_t num_rows() const { return meta_.num_rows; }
   const RowGroupMeta& row_group(int i) const { return meta_.row_groups[i]; }
   const std::string& path() const { return path_; }
+  /// Identity string for external caches (path + size + mtime),
+  /// captured at Open. It changes whenever the file may have been
+  /// rewritten, so cache keys built on it never serve stale batches
+  /// for a reused path (e.g. temp files across tests).
+  const std::string& cache_identity() const { return cache_identity_; }
 
   /// Zone-map + Bloom test: may row group `rg` contain rows matching the
   /// conjunction? (Paper §6.8 step 1.)
@@ -162,6 +172,7 @@ class Reader {
   std::string path_;
   int fd_ = -1;
   FileMeta meta_;
+  std::string cache_identity_;
 };
 
 }  // namespace fpq

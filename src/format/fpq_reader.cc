@@ -1,4 +1,5 @@
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -114,7 +115,18 @@ Result<std::shared_ptr<Reader>> Reader::Open(const std::string& path) {
     }
     meta.row_groups.push_back(std::move(rg));
   }
-  return std::shared_ptr<Reader>(new Reader(path, fd, std::move(meta)));
+  auto reader = std::shared_ptr<Reader>(new Reader(path, fd, std::move(meta)));
+  // Cache identity: path + size + mtime, so decoded-batch cache keys go
+  // stale the moment the file is rewritten in place.
+  struct stat st {};
+  int64_t mtime_ns = 0;
+  if (::fstat(fd, &st) == 0) {
+    mtime_ns = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+               st.st_mtim.tv_nsec;
+  }
+  reader->cache_identity_ = path + "|" + std::to_string(file_size) + "|" +
+                            std::to_string(mtime_ns);
+  return reader;
 }
 
 Result<bool> Reader::RowGroupMayMatch(int rg,

@@ -1,6 +1,7 @@
 #ifndef FUSION_FORMAT_PREDICATE_H_
 #define FUSION_FORMAT_PREDICATE_H_
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -38,6 +39,18 @@ struct ColumnStats {
   Scalar max;   // null scalar if unknown
   int64_t null_count = 0;
   int64_t row_count = 0;
+};
+
+/// Table/file-level statistics available at planning time (paper
+/// §5.4.1): row counts plus per-column zone data. Lives at the format
+/// layer — file formats produce these from their footers — so metadata
+/// caches (exec::CacheManager) can store them without depending on the
+/// catalog; `catalog::TableStatistics` aliases this type.
+struct TableStatistics {
+  std::optional<int64_t> num_rows;
+  std::optional<int64_t> total_bytes;
+  /// Parallel to the table schema; empty when unknown.
+  std::vector<ColumnStats> column_stats;
 };
 
 /// Zone-map test: can any row with these stats satisfy the predicate?

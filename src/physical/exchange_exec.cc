@@ -204,6 +204,116 @@ struct QueueCloser {
   }
 };
 
+/// State of one repartition producer task: pulls its input partition
+/// and routes batches into the per-output-partition queues. The queues
+/// are unbounded (Push never blocks), so the task yields every
+/// kBatchesPerPoll batches instead: without that cap, a consumer
+/// help-running this task from Pop would be held for the producer's
+/// entire lifetime — and closing the queues (what stops the producer)
+/// may require that very consumer to return first.
+struct RepartitionProducer {
+  static constexpr int kBatchesPerPoll = 256;
+
+  ExecPlanPtr input;
+  ExecContextPtr ctx;
+  int partition = 0;
+  std::vector<std::shared_ptr<BatchQueue>> queues;
+  RepartitionExec::Mode mode{};
+  std::vector<PhysicalExprPtr> hash_keys;
+  int m = 0;
+  exec::StreamPtr stream;
+  bool opened = false;
+  int64_t next = 0;
+  std::vector<uint64_t> hashes;
+
+  void Fail(const Status& st) {
+    for (const auto& q : queues) q->PushError(st);
+  }
+
+  exec::TaskStatus Finish() {
+    stream.reset();
+    for (const auto& q : queues) q->ProducerDone();
+    return exec::TaskStatus::kDone;
+  }
+
+  exec::TaskStatus Poll(const exec::Waker& waker) {
+    if (!opened) {
+      auto stream_res = input->Execute(partition, ctx);
+      if (!stream_res.ok()) {
+        Fail(stream_res.status());
+        return Finish();
+      }
+      stream = std::move(*stream_res);
+      next = partition;  // stagger round-robin start per producer
+      opened = true;
+    }
+    for (int budget = 0; budget < kBatchesPerPoll; ++budget) {
+      bool all_closed = true;
+      for (const auto& q : queues) {
+        if (!q->closed()) {
+          all_closed = false;
+          break;
+        }
+      }
+      if (all_closed) return Finish();
+      auto batch_res = stream->Next();
+      if (!batch_res.ok()) {
+        Fail(batch_res.status());
+        return Finish();
+      }
+      RecordBatchPtr batch = std::move(*batch_res);
+      if (batch == nullptr) return Finish();
+      if (batch->num_rows() == 0) continue;
+      if (mode == RepartitionExec::Mode::kRoundRobin) {
+        queues[next % m]->Push(std::move(batch));
+        ++next;
+        continue;
+      }
+      // Hash repartitioning: route each row by key hash.
+      std::vector<ArrayPtr> keys;
+      for (const auto& k : hash_keys) {
+        auto v = k->Evaluate(*batch);
+        if (!v.ok()) {
+          Fail(v.status());
+          return Finish();
+        }
+        auto arr = v->ToArray(batch->num_rows());
+        if (!arr.ok()) {
+          Fail(arr.status());
+          return Finish();
+        }
+        keys.push_back(std::move(*arr));
+      }
+      Status st = compute::HashColumns(keys, &hashes);
+      if (!st.ok()) {
+        Fail(st);
+        return Finish();
+      }
+      std::vector<std::vector<int64_t>> indices(m);
+      for (int64_t r = 0; r < batch->num_rows(); ++r) {
+        // Remix before the modulo: downstream group/join tables index
+        // slots by these same hashes, and routing on the raw value
+        // would hand each final-phase table keys from a single residue
+        // class, clustering its open-addressing probes.
+        indices[hash_util::HashInt64(hashes[r]) % m].push_back(r);
+      }
+      for (int p = 0; p < m; ++p) {
+        if (indices[p].empty()) continue;
+        auto part = compute::TakeBatch(*batch, indices[p]);
+        if (!part.ok()) {
+          Fail(part.status());
+          return Finish();
+        }
+        queues[p]->Push(std::move(*part));
+      }
+    }
+    // Budget spent: yield so helping threads (a consumer inside Pop)
+    // get their stack back. Self-wake re-enqueues the task.
+    waker.Wake();
+    return exec::TaskStatus::kParked;
+  }
+};
+
 /// State of one coalesce producer task: pulls its input partition and
 /// pushes into the shared bounded queue, parking on backpressure.
 struct CoalesceProducer {
@@ -271,6 +381,9 @@ Result<exec::StreamPtr> CoalescePartitionsExec::ExecuteImpl(int partition,
   }
   metrics_->Counter(exec::metric::kTasksSpawned, 0)->Add(n);
   for (int i = 0; i < n; ++i) queue->AddProducer();
+  // One help generation for the batch: producers of one exchange can
+  // reach the same shared-build claims upstream (scheduler invariant 4).
+  const uint64_t help_gen = group->NextHelpGen();
   for (int i = 0; i < n; ++i) {
     auto state = std::make_shared<CoalesceProducer>();
     state->input = input_;
@@ -278,7 +391,8 @@ Result<exec::StreamPtr> CoalescePartitionsExec::ExecuteImpl(int partition,
     state->partition = i;
     state->queue = queue;
     group->SpawnResumable(
-        [state](const exec::Waker& waker) { return state->Poll(waker); });
+        [state](const exec::Waker& waker) { return state->Poll(waker); },
+        help_gen);
   }
   auto closer = std::make_shared<QueueCloser>();
   closer->queue = queue;
@@ -326,93 +440,23 @@ Status RepartitionExec::StartProducers(const ExecContextPtr& ctx) {
   }
   metrics_->Counter(exec::metric::kTasksSpawned)->Add(n);
   auto queues = queues_;
+  // Shared help generation: these producers drive the same upstream
+  // operator instances and may wait on each other's shared-build claims
+  // (partitioned aggregation inputs), so they must never nest on one
+  // stack (scheduler invariant 4).
+  const uint64_t help_gen = group->NextHelpGen();
   for (int i = 0; i < n; ++i) {
-    auto input = input_;
-    Mode mode = mode_;
-    auto hash_keys = hash_keys_;
-    int m = num_partitions_;
-    group->Spawn([input, i, ctx, queues, mode, hash_keys, m]() -> Status {
-      auto fail = [&](const Status& st) {
-        for (const auto& q : queues) q->PushError(st);
-      };
-      auto stream_res = input->Execute(i, ctx);
-      if (!stream_res.ok()) {
-        fail(stream_res.status());
-        for (const auto& q : queues) q->ProducerDone();
-        return Status::OK();  // the error travels through the queues
-      }
-      auto stream = std::move(*stream_res);
-      int64_t next = i;  // stagger round-robin start per producer
-      std::vector<uint64_t> hashes;
-      for (;;) {
-        bool all_closed = true;
-        for (const auto& q : queues) {
-          if (!q->closed()) {
-            all_closed = false;
-            break;
-          }
-        }
-        if (all_closed) break;
-        auto batch_res = stream->Next();
-        if (!batch_res.ok()) {
-          fail(batch_res.status());
-          break;
-        }
-        RecordBatchPtr batch = std::move(*batch_res);
-        if (batch == nullptr) break;
-        if (batch->num_rows() == 0) continue;
-        if (mode == Mode::kRoundRobin) {
-          queues[next % m]->Push(std::move(batch));
-          ++next;
-          continue;
-        }
-        // Hash repartitioning: route each row by key hash.
-        std::vector<ArrayPtr> keys;
-        bool ok = true;
-        for (const auto& k : hash_keys) {
-          auto v = k->Evaluate(*batch);
-          if (!v.ok()) {
-            fail(v.status());
-            ok = false;
-            break;
-          }
-          auto arr = v->ToArray(batch->num_rows());
-          if (!arr.ok()) {
-            fail(arr.status());
-            ok = false;
-            break;
-          }
-          keys.push_back(std::move(*arr));
-        }
-        if (!ok) break;
-        Status st = compute::HashColumns(keys, &hashes);
-        if (!st.ok()) {
-          fail(st);
-          break;
-        }
-        std::vector<std::vector<int64_t>> indices(m);
-        for (int64_t r = 0; r < batch->num_rows(); ++r) {
-          // Remix before the modulo: downstream group/join tables index
-          // slots by these same hashes, and routing on the raw value
-          // would hand each final-phase table keys from a single residue
-          // class, clustering its open-addressing probes.
-          indices[hash_util::HashInt64(hashes[r]) % m].push_back(r);
-        }
-        for (int p = 0; p < m; ++p) {
-          if (indices[p].empty()) continue;
-          auto part = compute::TakeBatch(*batch, indices[p]);
-          if (!part.ok()) {
-            fail(part.status());
-            ok = false;
-            break;
-          }
-          queues[p]->Push(std::move(*part));
-        }
-        if (!ok) break;
-      }
-      for (const auto& q : queues) q->ProducerDone();
-      return Status::OK();
-    });
+    auto state = std::make_shared<RepartitionProducer>();
+    state->input = input_;
+    state->ctx = ctx;
+    state->partition = i;
+    state->queues = queues;
+    state->mode = mode_;
+    state->hash_keys = hash_keys_;
+    state->m = num_partitions_;
+    group->SpawnResumable(
+        [state](const exec::Waker& waker) { return state->Poll(waker); },
+        help_gen);
   }
   return Status::OK();
 }

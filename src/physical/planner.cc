@@ -202,6 +202,12 @@ Result<ExecPlanPtr> PhysicalPlanner::PlanScan(const PlanPtr& plan) {
       if (lowered) request.predicates.push_back(std::move(*lowered));
     }
   }
+  // Serving-layer context: the shared decoded-batch cache plus this
+  // query's task group/token, so file scans can coalesce decodes and
+  // park cooperatively while waiting on another query's decode.
+  request.buffer_cache = ctx_->env != nullptr ? ctx_->env->buffer_cache : nullptr;
+  request.task_group = ctx_->task_group;
+  request.cancel = ctx_->cancel;
   return ExecPlanPtr(std::make_shared<ScanExec>(plan->table_name, plan->provider,
                                                 std::move(request),
                                                 PhysicalSchema(plan->schema())));

@@ -2,6 +2,9 @@
 
 #include "arrow/builder.h"
 #include "compute/selection.h"
+#include "exec/buffer_cache.h"
+#include "exec/cache_manager.h"
+#include "exec/scheduler.h"
 
 namespace fusion {
 namespace physical {
@@ -187,6 +190,39 @@ Result<exec::StreamPtr> AnalyzeExec::ExecuteImpl(int partition,
                        std::to_string(sched->peak_ready_tasks());
   if (ctx->task_group != nullptr) {
     footer += ", query_tasks=" + std::to_string(ctx->task_group->tasks_spawned());
+  }
+  footer += "\nadmission: running=" + std::to_string(sched->admission_running()) +
+            ", queued=" + std::to_string(sched->admission_queued()) +
+            ", admitted_total=" + std::to_string(sched->admission_admitted_total()) +
+            ", queued_total=" + std::to_string(sched->admission_queued_total()) +
+            ", rejected_total=" + std::to_string(sched->admission_rejected_total());
+  footer += "\n== Caches ==\n";
+  if (ctx->env->buffer_cache != nullptr) {
+    auto bc = ctx->env->buffer_cache->stats();
+    footer += "buffer: hits=" + std::to_string(bc.hits) +
+              ", misses=" + std::to_string(bc.misses) +
+              ", evictions=" + std::to_string(bc.evictions) +
+              ", coalesced=" + std::to_string(bc.coalesced) +
+              ", cached_bytes=" + std::to_string(bc.cached_bytes) +
+              ", pinned_bytes=" + std::to_string(bc.pinned_bytes) +
+              ", entries=" + std::to_string(bc.entries) + "\n";
+  } else {
+    footer += "buffer: disabled\n";
+  }
+  if (ctx->env->plan_cache_stats != nullptr) {
+    const auto& pc = *ctx->env->plan_cache_stats;
+    footer += "plan: hits=" + std::to_string(pc.hits.load()) +
+              ", misses=" + std::to_string(pc.misses.load()) +
+              ", evictions=" + std::to_string(pc.evictions.load()) +
+              ", invalidations=" + std::to_string(pc.invalidations.load()) +
+              ", entries=" + std::to_string(pc.entries.load()) + "\n";
+  }
+  if (ctx->env->cache_manager != nullptr) {
+    const auto& cm = *ctx->env->cache_manager;
+    footer += "listing: hits=" + std::to_string(cm.listing_hits()) +
+              ", misses=" + std::to_string(cm.listing_misses()) +
+              "; file_stats: hits=" + std::to_string(cm.stats_hits()) +
+              ", misses=" + std::to_string(cm.stats_misses());
   }
   StringBuilder builder;
   builder.Append("== Physical Plan (EXPLAIN ANALYZE) ==\n" +

@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <future>
 #include <thread>
 
 #include "exec/scheduler.h"
@@ -103,6 +105,59 @@ TEST(TaskGroupTest, NestedRunAllInsideTask) {
   }
   ASSERT_OK(group->RunAll(std::move(outer)));
   EXPECT_EQ(inner_runs.load(), 4);
+}
+
+TEST(TaskGroupTest, ClaimHoldersNeverNestBeneathSiblingWaiters) {
+  // Regression for a stack-shaped deadlock (scheduler invariant 4):
+  // partitioned aggregation's drivers claim shared build units; a
+  // claim-holder blocked on producer data lends its thread to the
+  // group. If that help could run a *sibling* driver nested on the same
+  // stack, the sibling would finish its claims and then wait for the
+  // suspended holder's claim beneath it — unwakeable. Mimic the shape:
+  // driver 0 claims, spawns a producer (younger generation), and waits
+  // for it helping the group; both drivers then wait for all claims.
+  auto body = [] {
+    for (int round = 0; round < 100; ++round) {
+      QueryScheduler sched(1);
+      auto group = sched.MakeGroup();
+      std::atomic<int> next{0};
+      std::atomic<int> done{0};
+      std::atomic<bool> produced{false};
+      auto driver = [&]() -> Status {
+        const int p = next.fetch_add(1);
+        if (p == 0) {
+          group->Spawn([&]() -> Status {
+            produced.store(true);
+            group->NotifyProgress();
+            return Status::OK();
+          });
+          while (!produced.load()) {
+            uint64_t epoch = group->progress_epoch();
+            if (produced.load()) break;
+            group->HelpOrWait(epoch, nullptr);
+          }
+        }
+        done.fetch_add(1);
+        group->NotifyProgress();
+        while (done.load() < 2) {
+          uint64_t epoch = group->progress_epoch();
+          if (done.load() >= 2) break;
+          group->HelpOrWait(epoch, nullptr);
+        }
+        return Status::OK();
+      };
+      std::vector<std::function<Status()>> tasks{driver, driver};
+      Status st = group->RunAll(std::move(tasks));
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  };
+  auto result = std::async(std::launch::async, body);
+  if (result.wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
+    std::fprintf(stderr, "claim-sibling nesting deadlocked\n");
+    std::_Exit(1);  // threads are wedged; joining would hang forever
+  }
+  ASSERT_OK(result.get());
 }
 
 TEST(TaskGroupTest, ParkedProducerRewokenByConsumer) {
