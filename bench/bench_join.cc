@@ -1,0 +1,169 @@
+// Selective FK-join microbenchmark for the runtime Bloom-filter pushdown
+// path (DESIGN.md: sideways information passing). A wide fact table is
+// joined against small dimension tables whose keys cover 1%/10% of the
+// fact's key space, so probe-side scans that consult the build side's
+// Bloom filter can discard most rows before the join. Scale via
+// FUSION_BENCH_JOIN_ROWS; FUSION_RUNTIME_FILTERS=off gives the
+// no-filter baseline.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arrow/builder.h"
+#include "bench/bench_harness.h"
+#include "catalog/file_tables.h"
+#include "format/fpq.h"
+
+using namespace fusion;          // NOLINT
+using namespace fusion::bench;   // NOLINT
+
+namespace {
+
+constexpr int64_t kKeySpace = 100'000;
+
+Status WriteTable(const std::string& path, const SchemaPtr& schema,
+                  std::vector<ArrayPtr> columns, int64_t rows) {
+  auto batch = std::make_shared<RecordBatch>(schema, rows, std::move(columns));
+  format::fpq::WriteOptions options;
+  options.row_group_rows = 256 * 1024;
+  return format::fpq::WriteFile(path, schema, SliceBatch(batch, 256 * 1024),
+                                options);
+}
+
+/// Fact table: `rows` sales with two FK columns drawn uniformly from
+/// [0, kKeySpace) and a measure column.
+Status GenerateFact(const std::string& path, int64_t rows) {
+  if (FileExists(path)) return Status::OK();
+  Rng rng(42);
+  Int64Builder fk, fk2, qty;
+  Float64Builder amount;
+  for (int64_t i = 0; i < rows; ++i) {
+    fk.Append(rng.Uniform(0, kKeySpace - 1));
+    fk2.Append(rng.Uniform(0, kKeySpace - 1));
+    qty.Append(rng.Uniform(1, 50));
+    amount.Append(rng.UniformDouble(1.0, 1000.0));
+  }
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"fk", int64(), true},
+                         {"fk2", int64(), true},
+                         {"qty", int64(), true},
+                         {"amount", float64(), true}});
+  return WriteTable(path, schema,
+                    {*fk.Finish(), *fk2.Finish(), *qty.Finish(),
+                     *amount.Finish()},
+                    rows);
+}
+
+/// Dimension table with keys 0..keys-1, i.e. covering keys/kKeySpace of
+/// the fact table's key space.
+Status GenerateDim(const std::string& path, int64_t keys) {
+  if (FileExists(path)) return Status::OK();
+  Rng rng(7 + keys);
+  Int64Builder k;
+  StringBuilder tag;
+  Float64Builder weight;
+  for (int64_t i = 0; i < keys; ++i) {
+    k.Append(i);
+    tag.Append("tag" + std::to_string(i % 8));
+    weight.Append(rng.UniformDouble(0.0, 1.0));
+  }
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"k", int64(), true}, {"tag", utf8(), true}, {"weight", float64(), true}});
+  return WriteTable(path, schema,
+                    {*k.Finish(), *tag.Finish(), *weight.Finish()}, keys);
+}
+
+struct JoinQuery {
+  int number;
+  const char* sql;
+};
+
+/// Q1: 1%-selective FK join.  Q2: 10%-selective join + group-by.
+/// Q3: dim-side filter stacks on the runtime filter (~0.1% survive).
+/// Q4: two runtime filters on independent FK columns of one scan.
+/// Q5: semi join, the pure existence-check shape.
+const std::vector<JoinQuery>& JoinQueries() {
+  static const std::vector<JoinQuery> queries = {
+      {1,
+       "SELECT COUNT(*), SUM(s.amount) FROM sales s "
+       "JOIN dim1k d ON s.fk = d.k"},
+      {2,
+       "SELECT d.tag, SUM(s.amount), SUM(s.qty) FROM sales s "
+       "JOIN dim10k d ON s.fk = d.k GROUP BY d.tag ORDER BY d.tag"},
+      {3,
+       "SELECT COUNT(*), SUM(s.qty) FROM sales s "
+       "JOIN dim1k d ON s.fk = d.k WHERE d.tag = 'tag3'"},
+      {4,
+       "SELECT SUM(s.amount) FROM sales s "
+       "JOIN dim1k a ON s.fk = a.k JOIN dim10k b ON s.fk2 = b.k"},
+      {5,
+       "SELECT COUNT(*) FROM sales s LEFT SEMI JOIN dim1k d ON s.fk = d.k"},
+  };
+  return queries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReport report(ParseJsonReportArg(argc, argv));
+  const int partitions = ParsePartitionsArg(argc, argv, 1);
+  const int64_t rows = EnvScale("FUSION_BENCH_JOIN_ROWS", 2'000'000);
+  const std::string dir = BenchDataDir();
+  const std::string fact_path =
+      dir + "/join_sales_" + std::to_string(rows) + ".fpq";
+  const std::string dim1k_path = dir + "/join_dim1k.fpq";
+  const std::string dim10k_path = dir + "/join_dim10k.fpq";
+
+  std::printf("== Selective FK joins (runtime-filter path), "
+              "%lld fact rows, %d partition(s) ==\n",
+              static_cast<long long>(rows), partitions);
+  Timer gen_timer;
+  if (Status s = GenerateFact(fact_path, rows); !s.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = GenerateDim(dim1k_path, 1000); !s.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = GenerateDim(dim10k_path, 10'000); !s.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("generation/reuse: %.1fs\n\n", gen_timer.Seconds());
+
+  auto fusion_ctx = MakeBenchSession(partitions);
+  auto tie_ctx = MakeBenchSession(1);  // TIE is single-threaded by design
+  for (const auto& [name, path] :
+       {std::pair<const char*, const std::string&>{"sales", fact_path},
+        {"dim1k", dim1k_path},
+        {"dim10k", dim10k_path}}) {
+    auto ft = catalog::FpqTable::Open({path});
+    auto tt = catalog::FpqTable::Open({path});
+    if (!ft.ok() || !tt.ok()) {
+      std::fprintf(stderr, "open failed for %s\n", name);
+      return 1;
+    }
+    (*tt)->SetPushdownEnabled(false);
+    fusion_ctx->RegisterTable(name, *ft).Abort();
+    tie_ctx->RegisterTable(name, *tt).Abort();
+  }
+
+  PrintComparisonHeader();
+  double fusion_total = 0, tie_total = 0;
+  for (const auto& q : JoinQueries()) {
+    QueryTiming fusion = report.enabled()
+                             ? RunFusionWithMetrics(fusion_ctx.get(), q.sql)
+                             : RunFusion(fusion_ctx.get(), q.sql);
+    QueryTiming tie = RunTie(tie_ctx.get(), q.sql);
+    PrintComparison(q.number, fusion, tie);
+    report.Add(q.number, fusion);
+    if (fusion.ok) fusion_total += fusion.seconds;
+    if (tie.ok) tie_total += tie.seconds;
+  }
+  std::printf("-----------------------------------------------\n");
+  std::printf("%-6s %9.3fs %9.3fs\n", "total", fusion_total, tie_total);
+  return report.Finish() ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 
 #include "arrow/ipc.h"
 #include "exec/buffer_cache.h"
+#include "exec/runtime_filter.h"
 #include "exec/scheduler.h"
 
 namespace fusion {
@@ -33,11 +34,13 @@ class FpqScanIterator : public BatchIterator {
                   std::vector<int> projection,
                   std::vector<format::ColumnPredicate> predicates, int64_t limit,
                   bool late_materialization, exec::BufferCachePtr cache,
-                  exec::TaskGroupPtr group, exec::CancellationTokenPtr cancel)
+                  exec::TaskGroupPtr group, exec::CancellationTokenPtr cancel,
+                  std::vector<RuntimeScanFilter> runtime_filters)
       : table_(table), units_(std::move(units)), projection_(std::move(projection)),
         predicates_(std::move(predicates)), limit_(limit),
         late_materialization_(late_materialization), cache_(std::move(cache)),
-        group_(std::move(group)), cancel_(std::move(cancel)) {
+        group_(std::move(group)), cancel_(std::move(cancel)),
+        runtime_filters_(std::move(runtime_filters)) {
     // Predicates + late-materialization mode select which rows a decoded
     // row group contains, so they are part of the cache key.
     for (const auto& p : predicates_) {
@@ -65,6 +68,19 @@ class FpqScanIterator : public BatchIterator {
           continue;
         }
       }
+      // Runtime-filter zone pruning: once a join build has published,
+      // its key min/max can rule out whole row groups. Checked before
+      // the buffer cache — a pruned unit is never decoded or cached —
+      // and deliberately NOT part of the cache key: pruning only skips
+      // units, it never changes a decoded batch.
+      if (!runtime_filters_.empty()) {
+        FUSION_ASSIGN_OR_RAISE(bool rf_match, RuntimeFilterMayMatch(unit));
+        if (!rf_match) {
+          ++metrics_.row_groups_pruned;
+          metrics_.rows_total += unit.reader->row_group(unit.row_group).num_rows;
+          continue;
+        }
+      }
       RecordBatchPtr batch;
       if (cache_ != nullptr) {
         FUSION_ASSIGN_OR_RAISE(batch, ScanUnitCached(unit));
@@ -85,6 +101,22 @@ class FpqScanIterator : public BatchIterator {
   }
 
  private:
+  Result<bool> RuntimeFilterMayMatch(const ScanUnit& unit) {
+    for (const auto& rsf : runtime_filters_) {
+      if (rsf.filter == nullptr || !rsf.filter->ready()) continue;
+      const Scalar& min = rsf.filter->min_key();
+      const Scalar& max = rsf.filter->max_key();
+      if (min.is_null() || max.is_null()) continue;
+      std::vector<format::ColumnPredicate> range;
+      range.push_back({rsf.column, format::ColumnPredicate::Op::kGtEq, {min}});
+      range.push_back({rsf.column, format::ColumnPredicate::Op::kLtEq, {max}});
+      FUSION_ASSIGN_OR_RAISE(
+          bool may_match, unit.reader->RowGroupMayMatch(unit.row_group, range));
+      if (!may_match) return false;
+    }
+    return true;
+  }
+
   /// Serve one unit through the buffer cache: a hit returns the decoded
   /// batch without touching the file; a miss decodes once for all
   /// concurrent scans of this unit (scan sharing) and caches the result.
@@ -132,6 +164,7 @@ class FpqScanIterator : public BatchIterator {
   exec::BufferCachePtr cache_;
   exec::TaskGroupPtr group_;
   exec::CancellationTokenPtr cancel_;
+  std::vector<RuntimeScanFilter> runtime_filters_;
   std::string selection_fingerprint_;
   exec::BufferCache::Pin pin_;
   size_t pos_ = 0;
@@ -171,12 +204,19 @@ TableStatistics FpqTable::FileStatistics(const format::fpq::Reader& reader) cons
     stats.column_stats[c].min = Scalar::Null(schema_->field(c).type());
     stats.column_stats[c].max = Scalar::Null(schema_->field(c).type());
   }
+  // Summing chunk NDVs overcounts values repeated across chunks; capped
+  // at the row count below, the result stays a safe upper bound. A
+  // single chunk without stats poisons the whole column to "unknown".
+  std::vector<int64_t> ndv_sums(schema_->num_fields(), 0);
   for (int g = 0; g < reader.num_row_groups(); ++g) {
     const auto& rg = reader.row_group(g);
     for (int c = 0; c < schema_->num_fields(); ++c) {
       const auto& chunk = rg.columns[c];
       format::ColumnStats& cs = stats.column_stats[c];
       cs.null_count += chunk.stats.null_count;
+      if (ndv_sums[c] >= 0) {
+        ndv_sums[c] = chunk.stats.ndv < 0 ? -1 : ndv_sums[c] + chunk.stats.ndv;
+      }
       if (!chunk.stats.min.is_null() &&
           (cs.min.is_null() || chunk.stats.min.Compare(cs.min) < 0)) {
         cs.min = chunk.stats.min;
@@ -188,7 +228,11 @@ TableStatistics FpqTable::FileStatistics(const format::fpq::Reader& reader) cons
     }
   }
   stats.num_rows = reader.num_rows();
-  for (auto& cs : stats.column_stats) cs.row_count = reader.num_rows();
+  for (int c = 0; c < schema_->num_fields(); ++c) {
+    format::ColumnStats& cs = stats.column_stats[c];
+    cs.row_count = reader.num_rows();
+    cs.ndv = ndv_sums[c] < 0 ? -1 : std::min(ndv_sums[c], reader.num_rows());
+  }
   if (meta_cache_ != nullptr) {
     meta_cache_->PutFileStats(reader.cache_identity(), stats);
   }
@@ -203,6 +247,7 @@ TableStatistics FpqTable::statistics() const {
     stats.column_stats[c].min = Scalar::Null(schema_->field(c).type());
     stats.column_stats[c].max = Scalar::Null(schema_->field(c).type());
   }
+  std::vector<int64_t> ndv_sums(schema_->num_fields(), 0);
   for (const auto& reader : readers_) {
     TableStatistics file = FileStatistics(*reader);
     rows += file.num_rows.value_or(0);
@@ -210,6 +255,9 @@ TableStatistics FpqTable::statistics() const {
       const format::ColumnStats& fc = file.column_stats[c];
       format::ColumnStats& cs = stats.column_stats[c];
       cs.null_count += fc.null_count;
+      if (ndv_sums[c] >= 0) {
+        ndv_sums[c] = fc.ndv < 0 ? -1 : ndv_sums[c] + fc.ndv;
+      }
       if (!fc.min.is_null() && (cs.min.is_null() || fc.min.Compare(cs.min) < 0)) {
         cs.min = fc.min;
       }
@@ -218,7 +266,11 @@ TableStatistics FpqTable::statistics() const {
       }
     }
   }
-  for (auto& cs : stats.column_stats) cs.row_count = rows;
+  for (int c = 0; c < schema_->num_fields(); ++c) {
+    format::ColumnStats& cs = stats.column_stats[c];
+    cs.row_count = rows;
+    cs.ndv = ndv_sums[c] < 0 ? -1 : std::min(ndv_sums[c], rows);
+  }
   stats.num_rows = rows;
   return stats;
 }
@@ -262,7 +314,7 @@ Result<std::vector<BatchIteratorPtr>> FpqTable::Scan(const ScanRequest& request)
     out.push_back(std::make_unique<FpqScanIterator>(
         this, std::move(p), projection, predicates, request.limit,
         late_materialization_, request.buffer_cache, request.task_group,
-        request.cancel));
+        request.cancel, request.runtime_filters));
   }
   return out;
 }

@@ -19,6 +19,7 @@ namespace exec {
 class BufferCache;
 class TaskGroup;
 class CancellationToken;
+class RuntimeFilter;
 }  // namespace exec
 
 namespace catalog {
@@ -39,6 +40,14 @@ enum class FilterPushdown {
   kUnsupported,  ///< engine must re-apply the filter
   kInexact,      ///< provider prunes but may return false positives
   kExact,        ///< provider guarantees only matching rows
+};
+
+/// A runtime filter attached to a scan: the named column must have a
+/// join partner in `filter`'s build side for the row to survive. The
+/// filter may still be pending (pass-through) or bypassed at any time.
+struct RuntimeScanFilter {
+  std::string column;
+  std::shared_ptr<exec::RuntimeFilter> filter;
 };
 
 /// Pull-based iterator of record batches; one per scan partition.
@@ -76,6 +85,12 @@ struct ScanRequest {
   std::shared_ptr<exec::BufferCache> buffer_cache;
   std::shared_ptr<exec::TaskGroup> task_group;
   std::shared_ptr<exec::CancellationToken> cancel;
+  /// Runtime Bloom filters published sideways by hash-join build sides
+  /// (see exec/runtime_filter.h). Providers that understand them may
+  /// prune whole row groups against a ready filter's min/max; row-level
+  /// filtering happens in ScanExec above the buffer cache either way,
+  /// so a provider is free to ignore these.
+  std::vector<RuntimeScanFilter> runtime_filters;
 };
 
 /// \brief The data-source extension point (paper §7.3). Built-in

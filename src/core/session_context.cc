@@ -108,7 +108,8 @@ std::string SessionContext::ConfigFingerprint() const {
      << config_.enable_predicate_pushdown << config_.enable_late_materialization
      << config_.enable_topk << config_.enable_partial_aggregation
      << config_.enable_symmetric_hash_join << config_.enable_partitioned_aggregation
-     << config_.enable_morsel_scan;
+     << config_.enable_morsel_scan << '|' << config_.runtime_filter_mode << '|'
+     << config_.rf_max_build_rows << '|' << config_.rf_min_probe_ratio;
   return fp.str();
 }
 
@@ -160,6 +161,9 @@ physical::ExecContextPtr SessionContext::MakeExecContext(
   // producers, nested collects — runs as a task in this group on the
   // shared scheduler; CollectAndFinish joins them all at the end.
   ctx->task_group = env_->scheduler()->MakeGroup();
+  // Sideways-information-passing channels (hash-join build -> probe
+  // scans) created by the physical planner live here per query.
+  ctx->runtime_filters = std::make_shared<exec::RuntimeFilterRegistry>();
   return ctx;
 }
 

@@ -90,6 +90,15 @@ inline constexpr const char kBypassRows[] = "bypass_rows";
 /// Morsels a scan consumer claimed outside its nominal round-robin
 /// share (work stealing across scan partitions).
 inline constexpr const char kMorselsStolen[] = "morsels_stolen";
+/// Nanoseconds a hash join spent constructing/merging its runtime Bloom
+/// filters (sideways information passing), on top of the table build.
+inline constexpr const char kRfBuildNs[] = "rf_build_ns";
+/// Rows a scan tested against ready runtime filters.
+inline constexpr const char kRfCheckedRows[] = "rf_checked_rows";
+/// Rows a scan dropped because a runtime filter proved they cannot have
+/// a join partner; rf_pruned_rows / rf_checked_rows is the filter's
+/// observed selectivity.
+inline constexpr const char kRfPrunedRows[] = "rf_pruned_rows";
 }  // namespace metric
 
 /// \brief The set of metrics recorded by one plan node across all of its

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "common/fault_injector.h"
@@ -110,6 +111,19 @@ inline int DefaultAdmissionMaxConcurrent() {
   return value;
 }
 
+/// Default runtime-filter mode; FUSION_RUNTIME_FILTERS=off|force|auto
+/// overrides per process (tests sweep all three without replumbing).
+inline std::string DefaultRuntimeFilterMode() {
+  static const std::string value = [] {
+    if (const char* env = std::getenv("FUSION_RUNTIME_FILTERS")) {
+      std::string v = env;
+      if (v == "off" || v == "force" || v == "auto") return v;
+    }
+    return std::string("auto");
+  }();
+  return value;
+}
+
 /// Per-session tunables (paper §5.5: batch size, partitioning).
 struct SessionConfig {
   /// Target rows per batch flowing between Streams.
@@ -165,6 +179,17 @@ struct SessionConfig {
   /// Fraction of the memory pool's limit above which new queries queue
   /// even when a concurrency slot is free (<= 0 disables the check).
   double admission_memory_watermark = 0.9;
+  /// Runtime Bloom-filter pushdown (sideways information passing):
+  /// "off" never installs filters (plans and results match a build
+  /// without the feature), "force" installs one wherever structurally
+  /// possible, "auto" (default) only when the build side is estimated
+  /// both small and selective against the probe side.
+  std::string runtime_filter_mode = DefaultRuntimeFilterMode();
+  /// auto mode: skip the filter when the build side is estimated above
+  /// this many rows (the filter itself would be large and late).
+  int64_t rf_max_build_rows = 4 * 1000 * 1000;
+  /// auto mode: require probe estimate >= ratio * build estimate.
+  double rf_min_probe_ratio = 2.0;
 };
 
 }  // namespace exec

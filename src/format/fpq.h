@@ -25,6 +25,9 @@ namespace fpq {
 /// late-materialization pipeline of paper §6.8.
 
 constexpr uint32_t kMagic = 0x46505131;  // "FPQ1"
+/// V2 footers append a per-chunk distinct-value estimate (ndv) after
+/// null_count. The reader accepts both; V1 files report ndv = -1.
+constexpr uint32_t kMagicV2 = 0x46505132;  // "FPQ2"
 
 enum class Encoding : uint8_t {
   kPlain = 0,

@@ -49,10 +49,11 @@ Result<std::shared_ptr<Reader>> Reader::Open(const std::string& path) {
   uint32_t magic;
   std::memcpy(&footer_len, tail, 8);
   std::memcpy(&magic, tail + 8, 4);
-  if (magic != kMagic) {
+  if (magic != kMagic && magic != kMagicV2) {
     ::close(fd);
     return Status::IOError("fpq: bad magic in " + path);
   }
+  const bool has_ndv = (magic == kMagicV2);
   std::vector<uint8_t> footer(footer_len);
   if (::pread(fd, footer.data(), footer_len,
               file_size - 12 - static_cast<off_t>(footer_len)) !=
@@ -93,6 +94,10 @@ Result<std::shared_ptr<Reader>> Reader::Open(const std::string& path) {
       FUSION_ASSIGN_OR_RAISE(uint64_t nulls, r.U64());
       chunk.stats.null_count = static_cast<int64_t>(nulls);
       chunk.stats.row_count = rg.num_rows;
+      if (has_ndv) {
+        FUSION_ASSIGN_OR_RAISE(uint64_t ndv, r.U64());
+        chunk.stats.ndv = static_cast<int64_t>(ndv);
+      }
       FUSION_ASSIGN_OR_RAISE(chunk.bloom_offset, r.U64());
       FUSION_ASSIGN_OR_RAISE(chunk.bloom_size, r.U64());
       FUSION_ASSIGN_OR_RAISE(uint32_t num_pages, r.U32());

@@ -1,4 +1,5 @@
 #include <unordered_map>
+#include <unordered_set>
 
 #include "arrow/builder.h"
 #include "compute/aggregate_kernels.h"
@@ -214,6 +215,10 @@ Status Writer::FlushRowGroup() {
       }
     }
     chunk.encoding = dict_entries.empty() ? Encoding::kPlain : Encoding::kDictionary;
+    if (chunk.encoding == Encoding::kDictionary) {
+      // Exact distinct count for dictionary chunks.
+      chunk.stats.ndv = static_cast<int64_t>(dict_entries.size());
+    }
 
     ByteWriter chunk_bytes;
     if (chunk.encoding == Encoding::kDictionary) {
@@ -252,14 +257,22 @@ Status Writer::FlushRowGroup() {
     }
     pos_ += chunk_bytes.size();
 
-    // Bloom filter over distinct non-null values.
+    // Bloom filter over distinct non-null values; the same hashes yield
+    // the chunk's ndv estimate for the optimizer's zone statistics.
     if (options_.enable_bloom && !type.is_bool() && !type.is_null()) {
       std::vector<uint64_t> hashes;
       Status st = compute::HashArray(*column, /*seed=*/0, &hashes);
       if (st.ok()) {
         BloomFilter bloom(column->length());
+        std::unordered_set<uint64_t> distinct;
         for (int64_t i = 0; i < column->length(); ++i) {
-          if (column->IsValid(i)) bloom.Insert(hashes[i]);
+          if (column->IsValid(i)) {
+            bloom.Insert(hashes[i]);
+            if (chunk.stats.ndv < 0) distinct.insert(hashes[i]);
+          }
+        }
+        if (chunk.stats.ndv < 0) {
+          chunk.stats.ndv = static_cast<int64_t>(distinct.size());
         }
         chunk.bloom_offset = pos_;
         chunk.bloom_size = bloom.size_bytes();
@@ -268,6 +281,17 @@ Status Writer::FlushRowGroup() {
           return Status::IOError("fpq: short write (bloom)");
         }
         pos_ += bloom.size_bytes();
+      }
+    } else if (chunk.stats.ndv < 0 && !type.is_null()) {
+      // No bloom filter (disabled, or a bool column): still estimate ndv
+      // so the join costing has something to divide by.
+      std::vector<uint64_t> hashes;
+      if (compute::HashArray(*column, /*seed=*/0, &hashes).ok()) {
+        std::unordered_set<uint64_t> distinct;
+        for (int64_t i = 0; i < column->length(); ++i) {
+          if (column->IsValid(i)) distinct.insert(hashes[i]);
+        }
+        chunk.stats.ndv = static_cast<int64_t>(distinct.size());
       }
     }
     rg_meta.columns.push_back(std::move(chunk));
@@ -304,6 +328,7 @@ Status Writer::Close() {
       internal::WriteScalar(&footer, chunk.stats.min, type);
       internal::WriteScalar(&footer, chunk.stats.max, type);
       footer.U64(static_cast<uint64_t>(chunk.stats.null_count));
+      footer.U64(static_cast<uint64_t>(chunk.stats.ndv));
       footer.U64(chunk.bloom_offset);
       footer.U64(chunk.bloom_size);
       footer.U32(static_cast<uint32_t>(chunk.pages.size()));
@@ -321,7 +346,7 @@ Status Writer::Close() {
   uint64_t footer_len = footer.size();
   if (std::fwrite(footer.buffer().data(), 1, footer.size(), file_) != footer.size() ||
       std::fwrite(&footer_len, 8, 1, file_) != 1 ||
-      std::fwrite(&kMagic, 4, 1, file_) != 1) {
+      std::fwrite(&kMagicV2, 4, 1, file_) != 1) {
     return Status::IOError("fpq: short write (footer)");
   }
   std::fclose(file_);

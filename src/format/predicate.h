@@ -39,6 +39,11 @@ struct ColumnStats {
   Scalar max;   // null scalar if unknown
   int64_t null_count = 0;
   int64_t row_count = 0;
+  /// Estimated number of distinct non-null values; -1 when unknown.
+  /// Exact for dictionary-encoded chunks, hash-distinct otherwise;
+  /// summed (capped at row count) when merging chunks or files, so it
+  /// is an upper bound the optimizer can safely divide by.
+  int64_t ndv = -1;
 };
 
 /// Table/file-level statistics available at planning time (paper

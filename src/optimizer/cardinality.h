@@ -1,0 +1,42 @@
+#ifndef FUSION_OPTIMIZER_CARDINALITY_H_
+#define FUSION_OPTIMIZER_CARDINALITY_H_
+
+#include <utility>
+#include <vector>
+
+#include "logical/plan.h"
+
+namespace fusion {
+namespace optimizer {
+
+/// \brief NDV-aware cardinality estimation (paper §6.4), shared by the
+/// join reorderer, the physical planner's build-side selection and
+/// runtime-filter placement, and EXPLAIN's est_rows annotations.
+///
+/// Leaves read provider statistics (row counts plus per-column
+/// ColumnStats {min, max, ndv, null_count}); unknown quantities fall
+/// back to the old heuristics, so plans over stats-less providers are
+/// estimated exactly as before.
+
+/// Estimated output rows of a logical plan. Always >= 1.
+double EstimateRows(const logical::PlanPtr& plan);
+
+/// Estimated distinct non-null values `key` (a bare, possibly aliased
+/// column) takes over `plan`'s output, traced through filters,
+/// projections and joins down to the leaf's column statistics and
+/// capped at the plan's row estimate at every step. -1 when unknown.
+double EstimateColumnNdv(const logical::PlanPtr& plan,
+                         const logical::ExprPtr& key);
+
+/// Output estimate for a join of `left` and `right` on the given equi
+/// pairs (left key resolves on `left`): |L JOIN R| = l*r / NDV of the
+/// join keys, falling back to max(l, r) when no key statistics exist.
+double EstimateJoinRows(
+    const logical::PlanPtr& left, const logical::PlanPtr& right,
+    const std::vector<std::pair<logical::ExprPtr, logical::ExprPtr>>& on,
+    logical::JoinKind kind);
+
+}  // namespace optimizer
+}  // namespace fusion
+
+#endif  // FUSION_OPTIMIZER_CARDINALITY_H_

@@ -3,6 +3,7 @@
 
 #include "logical/interval_analysis.h"
 #include "logical/sql_planner.h"
+#include "optimizer/cardinality.h"
 #include "optimizer/optimizer.h"
 
 namespace fusion {
@@ -16,65 +17,6 @@ using logical::PlanKind;
 using logical::PlanPtr;
 
 namespace {
-
-/// Estimated output rows of a plan (heuristic, statistics-backed at the
-/// leaves; paper §6.4 "heuristically reorders joins based on statistics").
-double EstimateRows(const PlanPtr& plan) {
-  switch (plan->kind) {
-    case PlanKind::kTableScan: {
-      auto stats = plan->provider->statistics();
-      double rows =
-          stats.num_rows.has_value() ? static_cast<double>(*stats.num_rows) : 1e6;
-      for (const auto& f : plan->scan_filters) {
-        rows *= logical::EstimateSelectivity(f);
-      }
-      if (plan->scan_limit >= 0) {
-        rows = std::min(rows, static_cast<double>(plan->scan_limit));
-      }
-      return std::max(rows, 1.0);
-    }
-    case PlanKind::kFilter:
-      return std::max(
-          EstimateRows(plan->child(0)) * logical::EstimateSelectivity(plan->predicate),
-          1.0);
-    case PlanKind::kProjection:
-    case PlanKind::kSort:
-    case PlanKind::kSubqueryAlias:
-    case PlanKind::kWindow:
-      return EstimateRows(plan->child(0));
-    case PlanKind::kLimit:
-      return plan->fetch >= 0
-                 ? std::min(EstimateRows(plan->child(0)),
-                            static_cast<double>(plan->fetch))
-                 : EstimateRows(plan->child(0));
-    case PlanKind::kAggregate:
-      // Grouped output is typically much smaller than the input.
-      return std::max(EstimateRows(plan->child(0)) * 0.1, 1.0);
-    case PlanKind::kDistinct:
-      return std::max(EstimateRows(plan->child(0)) * 0.5, 1.0);
-    case PlanKind::kJoin: {
-      double l = EstimateRows(plan->child(0));
-      double r = EstimateRows(plan->child(1));
-      switch (plan->join_kind) {
-        case JoinKind::kCross:
-          return l * r;
-        case JoinKind::kLeftSemi:
-        case JoinKind::kLeftAnti:
-          return l * 0.5;
-        default:
-          // Assume FK joins: output near the larger input.
-          return std::max(l, r);
-      }
-    }
-    case PlanKind::kUnion: {
-      double total = 0;
-      for (const auto& c : plan->children) total += EstimateRows(c);
-      return total;
-    }
-    default:
-      return 1000.0;
-  }
-}
 
 bool ResolvesOn(const ExprPtr& e, const logical::PlanSchema& schema) {
   std::vector<ExprPtr> cols;
@@ -108,7 +50,9 @@ void Flatten(const PlanPtr& plan, std::vector<PlanPtr>* relations,
 }
 
 /// Greedy left-deep reordering: start from the smallest relation, then
-/// repeatedly join the smallest connected relation.
+/// repeatedly join the connected relation whose join produces the
+/// smallest estimated output (NDV-based; falls back to smallest-input
+/// when no key statistics exist, the pre-statistics behavior).
 Result<PlanPtr> Reorder(std::vector<PlanPtr> relations,
                         std::vector<JoinEdge> edges) {
   std::vector<double> sizes;
@@ -125,34 +69,48 @@ Result<PlanPtr> Reorder(std::vector<PlanPtr> relations,
   std::vector<bool> edge_used(edges.size(), false);
   size_t joined = 1;
 
+  // The unused equi edges between `current` and relation `r`, oriented
+  // (current key, rel key). Does not mark edges used.
+  auto gather_on = [&](const PlanPtr& rel) {
+    std::vector<std::pair<ExprPtr, ExprPtr>> on;
+    for (size_t e = 0; e < edges.size(); ++e) {
+      if (edge_used[e]) continue;
+      const bool l_cur = ResolvesOn(edges[e].left_key, current->schema());
+      const bool r_rel = ResolvesOn(edges[e].right_key, rel->schema());
+      const bool r_cur = ResolvesOn(edges[e].right_key, current->schema());
+      const bool l_rel = ResolvesOn(edges[e].left_key, rel->schema());
+      if (l_cur && r_rel) {
+        on.emplace_back(edges[e].left_key, edges[e].right_key);
+      } else if (r_cur && l_rel) {
+        on.emplace_back(edges[e].right_key, edges[e].left_key);
+      }
+    }
+    return on;
+  };
+
   while (joined < relations.size()) {
-    // Find candidate relations connected to `current` by at least one
-    // unused edge.
+    // Among relations connected to `current` by at least one unused
+    // edge, pick the one minimizing the estimated join output (input
+    // size breaks ties so stats-less plans reorder as before).
     int best_rel = -1;
+    double best_est = 0;
     double best_size = 0;
     for (size_t r = 0; r < relations.size(); ++r) {
       if (used[r]) continue;
-      bool connected = false;
-      for (size_t e = 0; e < edges.size(); ++e) {
-        if (edge_used[e]) continue;
-        const bool l_cur = ResolvesOn(edges[e].left_key, current->schema());
-        const bool r_cur = ResolvesOn(edges[e].right_key, current->schema());
-        const bool l_rel = ResolvesOn(edges[e].left_key, relations[r]->schema());
-        const bool r_rel = ResolvesOn(edges[e].right_key, relations[r]->schema());
-        if ((l_cur && r_rel) || (r_cur && l_rel)) {
-          connected = true;
-          break;
-        }
-      }
-      if (connected && (best_rel < 0 || sizes[r] < best_size)) {
+      auto on = gather_on(relations[r]);
+      if (on.empty()) continue;
+      double est =
+          EstimateJoinRows(current, relations[r], on, JoinKind::kInner);
+      if (best_rel < 0 || est < best_est ||
+          (est == best_est && sizes[r] < best_size)) {
         best_rel = static_cast<int>(r);
+        best_est = est;
         best_size = sizes[r];
       }
     }
     if (best_rel < 0) {
       // Disconnected: cross join with the smallest remaining relation.
       for (size_t r = 0; r < relations.size(); ++r) {
-        if (used[r] && best_rel >= 0) continue;
         if (used[r]) continue;
         if (best_rel < 0 || sizes[r] < best_size) {
           best_rel = static_cast<int>(r);
@@ -165,7 +123,7 @@ Result<PlanPtr> Reorder(std::vector<PlanPtr> relations,
       ++joined;
       continue;
     }
-    // Gather all usable edges between current and the chosen relation.
+    // Claim the edges between current and the chosen relation.
     std::vector<std::pair<ExprPtr, ExprPtr>> on;
     const PlanPtr& rel = relations[best_rel];
     for (size_t e = 0; e < edges.size(); ++e) {

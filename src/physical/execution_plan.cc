@@ -18,6 +18,15 @@ const exec::TaskGroupPtr& ExecContext::EnsureTaskGroup() {
   return task_group;
 }
 
+const exec::RuntimeFilterRegistryPtr& ExecContext::EnsureRuntimeFilters() {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  if (runtime_filters == nullptr) {
+    runtime_filters = std::make_shared<exec::RuntimeFilterRegistry>();
+  }
+  return runtime_filters;
+}
+
 Result<exec::StreamPtr> ExecutionPlan::Execute(int partition,
                                                const ExecContextPtr& ctx) {
   // Don't start opening (which may collect an entire build side) for a
@@ -109,6 +118,9 @@ PlanMetricsNode CollectMetrics(const ExecutionPlan& plan) {
   node.partial_groups = m.AggregatedValue(exec::metric::kPartialGroups);
   node.bypass_rows = m.AggregatedValue(exec::metric::kBypassRows);
   node.morsels_stolen = m.AggregatedValue(exec::metric::kMorselsStolen);
+  node.rf_build_ns = m.AggregatedValue(exec::metric::kRfBuildNs);
+  node.rf_checked_rows = m.AggregatedValue(exec::metric::kRfCheckedRows);
+  node.rf_pruned_rows = m.AggregatedValue(exec::metric::kRfPrunedRows);
   int64_t children_elapsed = 0;
   for (const auto& c : plan.children()) {
     node.children.push_back(CollectMetrics(*c));
@@ -152,6 +164,17 @@ std::string RenderAnnotatedPlan(const ExecutionPlan& plan) {
         }
         if (m.morsels_stolen > 0) {
           out << ", morsels_stolen=" << m.morsels_stolen;
+        }
+        if (m.rf_build_ns > 0) {
+          out << ", rf_build=" << exec::FormatDuration(m.rf_build_ns);
+        }
+        if (m.rf_checked_rows > 0) {
+          char sel[32];
+          std::snprintf(sel, sizeof(sel), "%.3f",
+                        static_cast<double>(m.rf_pruned_rows) /
+                            static_cast<double>(m.rf_checked_rows));
+          out << ", rf_pruned_rows=" << m.rf_pruned_rows
+              << ", rf_selectivity=" << sel;
         }
         out << "]\n";
         for (const auto& c : p.children()) render(*c, indent + 1);
@@ -211,6 +234,19 @@ void MetricsNodeToJson(const PlanMetricsNode& node, std::string* out) {
   }
   if (node.morsels_stolen > 0) {
     *out += ",\"morsels_stolen\":" + std::to_string(node.morsels_stolen);
+  }
+  if (node.rf_build_ns > 0) {
+    *out += ",\"rf_build_ns\":" + std::to_string(node.rf_build_ns);
+  }
+  if (node.rf_checked_rows > 0) {
+    char sel[32];
+    std::snprintf(sel, sizeof(sel), "%.3f",
+                  static_cast<double>(node.rf_pruned_rows) /
+                      static_cast<double>(node.rf_checked_rows));
+    *out += ",\"rf_checked_rows\":" + std::to_string(node.rf_checked_rows);
+    *out += ",\"rf_pruned_rows\":" + std::to_string(node.rf_pruned_rows);
+    *out += ",\"rf_selectivity\":";
+    *out += sel;
   }
   *out += ",\"children\":[";
   for (size_t i = 0; i < node.children.size(); ++i) {

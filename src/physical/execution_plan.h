@@ -8,6 +8,7 @@
 #include "exec/cancellation.h"
 #include "exec/metrics.h"
 #include "exec/runtime_env.h"
+#include "exec/runtime_filter.h"
 #include "exec/stream.h"
 #include "physical/physical_expr.h"
 
@@ -30,6 +31,12 @@ struct ExecContext {
   /// Created by SessionContext::MakeExecContext; EnsureTaskGroup covers
   /// contexts built by hand (tests).
   exec::TaskGroupPtr task_group;
+  /// Per-query runtime-filter registry (sideways information passing):
+  /// the physical planner creates filters here when it marks a selective
+  /// hash join; build sides publish, probe-side scans consult. Created
+  /// by SessionContext::MakeExecContext; EnsureRuntimeFilters covers
+  /// contexts built by hand (tests).
+  exec::RuntimeFilterRegistryPtr runtime_filters;
 
   /// OK, or Status::Cancelled once the query's token has fired.
   Status CheckCancelled() const {
@@ -40,6 +47,10 @@ struct ExecContext {
   /// first use. Thread-safe: exchange operators may race here when a
   /// bare context is used directly in tests.
   const exec::TaskGroupPtr& EnsureTaskGroup();
+
+  /// The query's runtime-filter registry, creating one on first use.
+  /// Thread-safe for the same reason as EnsureTaskGroup.
+  const exec::RuntimeFilterRegistryPtr& EnsureRuntimeFilters();
 };
 
 using ExecContextPtr = std::shared_ptr<ExecContext>;
@@ -141,6 +152,12 @@ struct PlanMetricsNode {
   int64_t bypass_rows = 0;
   /// Scan morsels claimed outside the consumer's round-robin share.
   int64_t morsels_stolen = 0;
+  /// Runtime-filter (sideways information passing) counters: time the
+  /// join spent building/merging Bloom filters, and rows the scan
+  /// tested/dropped against ready filters.
+  int64_t rf_build_ns = 0;
+  int64_t rf_checked_rows = 0;
+  int64_t rf_pruned_rows = 0;
   std::vector<PlanMetricsNode> children;
 };
 

@@ -1,10 +1,15 @@
 #include "physical/hash_join_exec.h"
 
+#include <cstdio>
+
 #include "arrow/builder.h"
+#include "compute/aggregate_kernels.h"
 #include "compute/group_table.h"
 #include "compute/hash_kernels.h"
 #include "compute/selection.h"
 #include "exec/memory_pool.h"
+#include "exec/runtime_filter.h"
+#include "format/bloom.h"
 
 namespace fusion {
 namespace physical {
@@ -27,6 +32,24 @@ struct HashJoinExec::BuildState {
   /// Memory-pool reservation for the build table; released when the
   /// last stream drops the state.
   std::unique_ptr<exec::MemoryReservation> reservation;
+
+  // Cooperative build (PR-6 scheduler path): drivers arriving at
+  // EnsureBuilt claim build input partitions via next_input and help
+  // until all are collected; the first past the final barrier runs the
+  // single-threaded finalize (concatenate + table + filter publish).
+  int num_inputs = 0;
+  std::atomic<int> next_input{0};
+  std::atomic<int> inputs_done{0};
+  std::atomic<bool> build_failed{false};
+  std::mutex error_mu;
+  Status build_error;
+  /// Collected batches per build input partition; flattened in
+  /// partition order by finalize, so the concatenated build batch is
+  /// byte-identical to the old sequential collection.
+  std::vector<std::vector<RecordBatchPtr>> partial_batches;
+  /// Per input partition, one partial Bloom filter per runtime filter
+  /// (all sized from the planner estimate so finalize can OR-merge).
+  std::vector<std::vector<format::BloomFilter>> partial_blooms;
 };
 
 namespace {
@@ -68,33 +91,127 @@ std::string HashJoinExec::ToStringLine() const {
   }
   out += "]";
   if (filter_ != nullptr) out += " filter=" + filter_->ToString();
+  if (est_output_rows_ >= 0) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  " est_rows=%.0f (build=%.0f, probe=%.0f)", est_output_rows_,
+                  est_build_rows_, est_probe_rows_);
+    out += buf;
+  }
+  if (!runtime_filters_.empty()) {
+    out += " runtime_filter=[";
+    for (size_t i = 0; i < runtime_filters_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += on_[runtime_filters_[i].first].first->ToString() + " -> " +
+             runtime_filters_[i].second->column();
+    }
+    out += "]";
+  }
   return out;
 }
 
 Status HashJoinExec::EnsureBuilt(const ExecContextPtr& ctx) {
-  std::lock_guard<std::mutex> lock(build_mu_);
-  if (built_) return build_status_;
-  built_ = true;
-  auto run = [&]() -> Status {
-    auto state = std::make_shared<BuildState>();
+  std::shared_ptr<BuildState> state;
+  {
+    std::lock_guard<std::mutex> lock(build_mu_);
+    if (built_) return build_status_;
+    if (build_state_ == nullptr) {
+      auto s = std::make_shared<BuildState>();
+      s->num_inputs = build_->output_partitions();
+      s->partial_batches.resize(static_cast<size_t>(s->num_inputs));
+      s->partial_blooms.resize(static_cast<size_t>(s->num_inputs));
+      build_state_ = std::move(s);
+    }
+    state = build_state_;
+  }
+  // The mutex guards only the one-time init above and the final
+  // publication below — never input execution — so a driver re-entering
+  // here on a lent scheduler thread cannot self-deadlock.
+
+  const int64_t bloom_keys = std::max<int64_t>(rf_expected_rows_, 1024);
+  // Collect one build input partition; with runtime filters attached,
+  // also fold its keys into per-partition Bloom filters (merged by the
+  // finalize step, so filter construction parallelizes with collection).
+  auto build_one = [&](int p) -> Status {
+    FUSION_ASSIGN_OR_RAISE(auto stream, build_->Execute(p, ctx));
+    FUSION_ASSIGN_OR_RAISE(auto part, exec::CollectStream(stream.get()));
+    if (!runtime_filters_.empty()) {
+      exec::ScopedTimer rf_timer(metrics_->Time(exec::metric::kRfBuildNs, p));
+      std::vector<format::BloomFilter> blooms;
+      blooms.reserve(runtime_filters_.size());
+      std::vector<PhysicalExprPtr> rf_exprs;
+      for (const auto& [key_index, rf] : runtime_filters_) {
+        blooms.emplace_back(bloom_keys);
+        rf_exprs.push_back(on_[key_index].first);
+      }
+      for (const auto& b : part) {
+        FUSION_ASSIGN_OR_RAISE(auto keys, EvaluateToArrays(rf_exprs, *b));
+        for (size_t f = 0; f < keys.size(); ++f) {
+          std::vector<uint64_t> hashes;
+          FUSION_RETURN_NOT_OK(compute::HashArray(*keys[f], /*seed=*/0, &hashes));
+          for (int64_t r = 0; r < keys[f]->length(); ++r) {
+            if (keys[f]->IsValid(r)) blooms[f].Insert(hashes[r]);
+          }
+        }
+      }
+      state->partial_blooms[p] = std::move(blooms);
+    }
+    state->partial_batches[p] = std::move(part);
+    return Status::OK();
+  };
+
+  const exec::TaskGroupPtr& group = ctx->EnsureTaskGroup();
+  for (;;) {
+    const int p = state->next_input.fetch_add(1, std::memory_order_relaxed);
+    if (p >= state->num_inputs) break;
+    if (!state->build_failed.load(std::memory_order_acquire)) {
+      Status st = build_one(p);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> elock(state->error_mu);
+        if (state->build_error.ok()) state->build_error = st;
+        state->build_failed.store(true, std::memory_order_release);
+      }
+    }
+    state->inputs_done.fetch_add(1, std::memory_order_acq_rel);
+    group->NotifyProgress();
+  }
+  while (state->inputs_done.load(std::memory_order_acquire) < state->num_inputs) {
+    FUSION_RETURN_NOT_OK(ctx->CheckCancelled());
+    const uint64_t epoch = group->progress_epoch();
+    if (state->inputs_done.load(std::memory_order_acquire) >= state->num_inputs) {
+      break;
+    }
+    group->HelpOrWait(epoch, ctx->cancel.get());
+  }
+
+  // Single-threaded tail: the first driver past the barrier builds the
+  // shared table and publishes the runtime filters; the rest reuse it.
+  auto finalize = [&]() -> Status {
+    {
+      std::lock_guard<std::mutex> elock(state->error_mu);
+      FUSION_RETURN_NOT_OK(state->build_error);
+    }
     std::vector<RecordBatchPtr> batches;
-    for (int p = 0; p < build_->output_partitions(); ++p) {
-      FUSION_ASSIGN_OR_RAISE(auto stream, build_->Execute(p, ctx));
-      FUSION_ASSIGN_OR_RAISE(auto part, exec::CollectStream(stream.get()));
+    for (auto& part : state->partial_batches) {
       for (auto& b : part) batches.push_back(std::move(b));
     }
+    state->partial_batches.clear();
     FUSION_ASSIGN_OR_RAISE(state->batch,
                            ConcatenateBatches(build_->schema(), batches));
     if (ctx->config.max_build_rows > 0 &&
         state->batch->num_rows() > ctx->config.max_build_rows) {
       return Status::ExecutionError("hash join build side exceeds max_build_rows");
     }
-    // Memory accounting for the dominant consumer (the build table);
-    // released when the state is destroyed.
+    // Memory accounting for the dominant consumer (the build table plus
+    // any Bloom filters); released when the state is destroyed.
+    int64_t bloom_bytes = 0;
+    for (const auto& part : state->partial_blooms) {
+      for (const auto& b : part) bloom_bytes += b.size_bytes();
+    }
     state->reservation = std::make_unique<exec::MemoryReservation>(
         ctx->env->memory_pool, "hashjoin-" + std::to_string(ctx->query_id));
-    FUSION_RETURN_NOT_OK(
-        state->reservation->ResizeTo(state->batch->TotalBufferSize()));
+    FUSION_RETURN_NOT_OK(state->reservation->ResizeTo(
+        state->batch->TotalBufferSize() + bloom_bytes));
     metrics_->Gauge(exec::metric::kMemReservedBytes)
         ->SetMax(state->reservation->held());
     std::vector<PhysicalExprPtr> key_exprs;
@@ -123,10 +240,58 @@ Status HashJoinExec::EnsureBuilt(const ExecContextPtr& ctx) {
       state->matched.assign(static_cast<size_t>(rows), 0);
     }
     state->remaining_probe_partitions.store(probe_->output_partitions());
-    build_state_ = std::move(state);
+
+    // Merge and publish the runtime filters. A build far beyond the
+    // planner's estimate degrades the filters' false-positive rate to
+    // uselessness — bypass instead of shipping noise.
+    if (!runtime_filters_.empty()) {
+      exec::ScopedTimer rf_timer(metrics_->Time(exec::metric::kRfBuildNs));
+      const bool degraded = rows > 8 * bloom_keys;
+      for (size_t f = 0; f < runtime_filters_.size(); ++f) {
+        const auto& rf = runtime_filters_[f].second;
+        if (degraded) {
+          rf->Bypass();
+          continue;
+        }
+        format::BloomFilter merged(bloom_keys);
+        bool merge_ok = true;
+        for (int p = 0; p < state->num_inputs && merge_ok; ++p) {
+          if (state->partial_blooms[p].empty()) continue;
+          merge_ok = merged.MergeFrom(state->partial_blooms[p][f]);
+        }
+        if (!merge_ok) {
+          rf->Bypass();
+          continue;
+        }
+        const auto& key = state->key_arrays[runtime_filters_[f].first];
+        Scalar min_key = Scalar::Null(key->type());
+        Scalar max_key = Scalar::Null(key->type());
+        if (rows > 0) {
+          auto mn = compute::MinArray(*key);
+          auto mx = compute::MaxArray(*key);
+          if (mn.ok() && mx.ok()) {
+            min_key = *mn;
+            max_key = *mx;
+          }
+        }
+        rf->Publish(std::move(merged), std::move(min_key), std::move(max_key),
+                    rows);
+      }
+      state->partial_blooms.clear();
+    }
     return Status::OK();
   };
-  build_status_ = run();
+
+  std::lock_guard<std::mutex> lock(build_mu_);
+  if (!built_) {
+    built_ = true;
+    build_status_ = finalize();
+    if (!build_status_.ok()) {
+      // Failed builds must not leave probe scans consulting a filter
+      // that will never arrive.
+      for (const auto& [key_index, rf] : runtime_filters_) rf->Bypass();
+    }
+  }
   return build_status_;
 }
 

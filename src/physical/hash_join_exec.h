@@ -34,6 +34,25 @@ class HashJoinExec : public ExecutionPlan {
   Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr& ctx) override;
   std::string ToStringLine() const override;
 
+  /// Sideways information passing: once the build completes, publish a
+  /// Bloom filter over build key `key_index` (an index into `on`)
+  /// through `filter`; the probe-side scan holding the other end tests
+  /// its rows against it. Set by the physical planner at plan time.
+  void AddRuntimeFilter(int key_index, exec::RuntimeFilterPtr filter) {
+    runtime_filters_.emplace_back(key_index, std::move(filter));
+  }
+  /// Build-side row estimate used to size the Bloom filters (planner
+  /// statistics; per-partition filters must agree on size to OR-merge).
+  void SetRuntimeFilterExpectedRows(int64_t rows) {
+    rf_expected_rows_ = rows;
+  }
+  /// Planner estimates rendered by EXPLAIN (negative = unknown).
+  void SetEstimatedRows(double build, double probe, double output) {
+    est_build_rows_ = build;
+    est_probe_rows_ = probe;
+    est_output_rows_ = output;
+  }
+
  private:
   struct BuildState;
 
@@ -45,6 +64,14 @@ class HashJoinExec : public ExecutionPlan {
   std::vector<std::pair<PhysicalExprPtr, PhysicalExprPtr>> on_;
   PhysicalExprPtr filter_;
   SchemaPtr schema_;
+
+  /// (key index into on_, channel to publish) pairs; empty = no
+  /// sideways passing for this join.
+  std::vector<std::pair<int, exec::RuntimeFilterPtr>> runtime_filters_;
+  int64_t rf_expected_rows_ = 1024;
+  double est_build_rows_ = -1;
+  double est_probe_rows_ = -1;
+  double est_output_rows_ = -1;
 
   std::mutex build_mu_;
   std::shared_ptr<BuildState> build_state_;

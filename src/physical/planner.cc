@@ -6,6 +6,7 @@
 #include "compute/cast.h"
 #include "logical/expr_eval.h"
 #include "logical/interval_analysis.h"
+#include "optimizer/cardinality.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/predicate_lowering.h"
 #include "physical/aggregate_exec.h"
@@ -51,6 +52,63 @@ bool OrderingSatisfies(const std::vector<OrderingInfo>& have,
     if (have[i].options.nulls_first != want[i].options.nulls_first) return false;
   }
   return true;
+}
+
+/// If output column `idx` of `node` is fed unchanged by a table scan,
+/// return that scan node and the column's name in the scan's output
+/// schema; nullptr otherwise. Used to pick the scan that receives a
+/// join's runtime Bloom filter.
+///
+/// Limits (scan limit, sort fetch) block tracing: filtering below a
+/// limit changes which rows the limit keeps, so results would diverge
+/// from the unfiltered plan. Tracing through an intermediate join is
+/// safe for any join kind: every output row it derives from (or
+/// null-pads because of) a pruned scan row carries either the pruned
+/// key value or NULL in the traced column, and the receiving join —
+/// which only gets a filter for RF-safe kinds — drops both. Operators
+/// where pruning one row can change surviving rows' values (windows,
+/// aggregates, unions) stop the trace.
+const LogicalPlan* TraceColumnToScan(const PlanPtr& node, int idx,
+                                     std::string* column) {
+  if (idx < 0 || idx >= node->schema().num_fields()) return nullptr;
+  switch (node->kind) {
+    case PlanKind::kTableScan:
+      if (node->scan_limit >= 0) return nullptr;
+      *column = node->schema().schema()->field(idx).name();
+      return node.get();
+    case PlanKind::kFilter:
+    case PlanKind::kSubqueryAlias:
+      return TraceColumnToScan(node->child(0), idx, column);
+    case PlanKind::kSort:
+      if (node->fetch >= 0) return nullptr;
+      return TraceColumnToScan(node->child(0), idx, column);
+    case PlanKind::kProjection: {
+      if (idx >= static_cast<int>(node->exprs.size())) return nullptr;
+      const ExprPtr& u = logical::Unalias(node->exprs[idx]);
+      if (u->kind != Expr::Kind::kColumn) return nullptr;
+      auto child_idx = node->child(0)->schema().IndexOf(u->qualifier, u->name);
+      if (!child_idx.ok()) return nullptr;
+      return TraceColumnToScan(node->child(0), *child_idx, column);
+    }
+    case PlanKind::kJoin: {
+      // Semi/anti joins expose only the preserved side's schema.
+      if (node->join_kind == JoinKind::kLeftSemi ||
+          node->join_kind == JoinKind::kLeftAnti) {
+        return TraceColumnToScan(node->child(0), idx, column);
+      }
+      if (node->join_kind == JoinKind::kRightSemi ||
+          node->join_kind == JoinKind::kRightAnti) {
+        return TraceColumnToScan(node->child(1), idx, column);
+      }
+      const int left_fields = node->child(0)->schema().num_fields();
+      if (idx < left_fields) {
+        return TraceColumnToScan(node->child(0), idx, column);
+      }
+      return TraceColumnToScan(node->child(1), idx - left_fields, column);
+    }
+    default:
+      return nullptr;
+  }
 }
 
 }  // namespace
@@ -208,6 +266,11 @@ Result<ExecPlanPtr> PhysicalPlanner::PlanScan(const PlanPtr& plan) {
   request.buffer_cache = ctx_->env != nullptr ? ctx_->env->buffer_cache : nullptr;
   request.task_group = ctx_->task_group;
   request.cancel = ctx_->cancel;
+  auto pending = pending_runtime_filters_.find(plan.get());
+  if (pending != pending_runtime_filters_.end()) {
+    request.runtime_filters = std::move(pending->second);
+    pending_runtime_filters_.erase(pending);
+  }
   return ExecPlanPtr(std::make_shared<ScanExec>(plan->table_name, plan->provider,
                                                 std::move(request),
                                                 PhysicalSchema(plan->schema())));
@@ -409,12 +472,12 @@ Result<ExecPlanPtr> PhysicalPlanner::PlanDistinct(const PlanPtr& plan) {
 Result<ExecPlanPtr> PhysicalPlanner::PlanJoin(const PlanPtr& plan) {
   const PlanPtr& left = plan->child(0);
   const PlanPtr& right = plan->child(1);
-  FUSION_ASSIGN_OR_RAISE(auto left_exec, Plan(left));
-  FUSION_ASSIGN_OR_RAISE(auto right_exec, Plan(right));
   SchemaPtr out_schema = PhysicalSchema(plan->schema());
 
   if (plan->join_kind == JoinKind::kCross && plan->join_on.empty() &&
       plan->join_filter == nullptr) {
+    FUSION_ASSIGN_OR_RAISE(auto left_exec, Plan(left));
+    FUSION_ASSIGN_OR_RAISE(auto right_exec, Plan(right));
     return ExecPlanPtr(std::make_shared<CrossJoinExec>(
         std::move(left_exec), std::move(right_exec), out_schema));
   }
@@ -423,6 +486,8 @@ Result<ExecPlanPtr> PhysicalPlanner::PlanJoin(const PlanPtr& plan) {
 
   if (plan->join_on.empty()) {
     // Non-equi join: nested loops.
+    FUSION_ASSIGN_OR_RAISE(auto left_exec, Plan(left));
+    FUSION_ASSIGN_OR_RAISE(auto right_exec, Plan(right));
     PhysicalExprPtr filter;
     if (plan->join_filter != nullptr) {
       FUSION_ASSIGN_OR_RAISE(filter, CreatePhysicalExpr(plan->join_filter, combined));
@@ -432,35 +497,12 @@ Result<ExecPlanPtr> PhysicalPlanner::PlanJoin(const PlanPtr& plan) {
         std::move(filter), out_schema));
   }
 
-  // Equi join: hash join. Build on the smaller side (paper §6.4).
-  auto estimate = [](const PlanPtr& p) -> double {
-    // Statistics-backed size estimate walking down to the scans.
-    std::function<double(const PlanPtr&)> walk = [&](const PlanPtr& n) -> double {
-      if (n->kind == PlanKind::kTableScan) {
-        auto stats = n->provider->statistics();
-        double rows = stats.num_rows.has_value()
-                          ? static_cast<double>(*stats.num_rows)
-                          : 1e6;
-        for (const auto& f : n->scan_filters) {
-          rows *= logical::EstimateSelectivity(f);
-        }
-        return rows;
-      }
-      double acc = 0;
-      for (const auto& c : n->children) acc = std::max(acc, walk(c));
-      if (n->kind == PlanKind::kFilter) {
-        acc *= logical::EstimateSelectivity(n->predicate);
-      }
-      if (n->kind == PlanKind::kAggregate) acc *= 0.1;
-      return std::max(acc, 1.0);
-    };
-    return walk(p);
-  };
-
   // Streaming symmetric hash join (paper §6.4), opt-in: both sides
   // stream, neither is fully buffered before output begins.
   if (ctx_->config.enable_symmetric_hash_join &&
       plan->join_kind == JoinKind::kInner && !plan->join_on.empty()) {
+    FUSION_ASSIGN_OR_RAISE(auto left_exec, Plan(left));
+    FUSION_ASSIGN_OR_RAISE(auto right_exec, Plan(right));
     std::vector<std::pair<PhysicalExprPtr, PhysicalExprPtr>> on;
     for (const auto& [l, r] : plan->join_on) {
       FUSION_ASSIGN_OR_RAISE(auto lk, CreatePhysicalExpr(l, left->schema()));
@@ -481,6 +523,95 @@ Result<ExecPlanPtr> PhysicalPlanner::PlanJoin(const PlanPtr& plan) {
         CoalesceToOne(std::move(left_exec)), CoalesceToOne(std::move(right_exec)),
         std::move(on), std::move(filter), out_schema));
   }
+
+  // Equi join: hash join. Build on the smaller side (paper §6.4), with
+  // NDV-aware cardinality estimates. Decided BEFORE planning children so
+  // runtime-filter channels can be registered on probe-side scans (a
+  // scan may open its provider while its parents plan).
+  JoinKind kind = plan->join_kind;
+  const double est_left = optimizer::EstimateRows(left);
+  const double est_right = optimizer::EstimateRows(right);
+  bool build_is_left = true;
+  switch (kind) {
+    case JoinKind::kLeftSemi:
+    case JoinKind::kLeftAnti:
+      // Preserved side is left; stream it, build on right.
+      build_is_left = false;
+      break;
+    case JoinKind::kRightSemi:
+    case JoinKind::kRightAnti:
+      build_is_left = true;
+      break;
+    default:
+      build_is_left = est_left <= est_right;
+      break;
+  }
+  JoinKind exec_kind = kind;
+  if (!build_is_left) {
+    // Flip the join type to match the swapped orientation.
+    switch (kind) {
+      case JoinKind::kInner:
+      case JoinKind::kCross:
+      case JoinKind::kFull:
+        break;
+      case JoinKind::kLeft: exec_kind = JoinKind::kRight; break;
+      case JoinKind::kRight: exec_kind = JoinKind::kLeft; break;
+      case JoinKind::kLeftSemi: exec_kind = JoinKind::kRightSemi; break;
+      case JoinKind::kLeftAnti: exec_kind = JoinKind::kRightAnti; break;
+      case JoinKind::kRightSemi: exec_kind = JoinKind::kLeftSemi; break;
+      case JoinKind::kRightAnti: exec_kind = JoinKind::kLeftAnti; break;
+    }
+  }
+  const double est_build = build_is_left ? est_left : est_right;
+  const double est_probe = build_is_left ? est_right : est_left;
+
+  // Sideways information passing: mark selective builds with runtime
+  // Bloom-filter channels to probe-side scans. Only join kinds where a
+  // probe row without a build match contributes nothing to the output
+  // may prune probe rows early; kRight/kFull/kRightAnti emit exactly
+  // those rows and are excluded. Keys that would need a cast are
+  // skipped (both sides must hash identical bytes).
+  std::vector<std::pair<int, exec::RuntimeFilterPtr>> rf_created;
+  {
+    const std::string& mode = ctx_->config.runtime_filter_mode;
+    bool rf_on = mode != "off";
+    if (mode == "auto" &&
+        !(est_build <= static_cast<double>(ctx_->config.rf_max_build_rows) &&
+          est_probe >= ctx_->config.rf_min_probe_ratio * est_build)) {
+      rf_on = false;
+    }
+    const bool safe_kind = exec_kind == JoinKind::kInner ||
+                           exec_kind == JoinKind::kLeft ||
+                           exec_kind == JoinKind::kLeftSemi ||
+                           exec_kind == JoinKind::kLeftAnti ||
+                           exec_kind == JoinKind::kRightSemi;
+    if (rf_on && safe_kind) {
+      const PlanPtr& build_plan = build_is_left ? left : right;
+      const PlanPtr& probe_plan = build_is_left ? right : left;
+      for (size_t k = 0; k < plan->join_on.size(); ++k) {
+        const ExprPtr& build_key =
+            build_is_left ? plan->join_on[k].first : plan->join_on[k].second;
+        const ExprPtr& probe_key =
+            build_is_left ? plan->join_on[k].second : plan->join_on[k].first;
+        auto bt = build_key->GetType(build_plan->schema());
+        auto pt = probe_key->GetType(probe_plan->schema());
+        if (!bt.ok() || !pt.ok() || *bt != *pt) continue;
+        const ExprPtr& u = logical::Unalias(probe_key);
+        if (u->kind != Expr::Kind::kColumn) continue;
+        auto idx = probe_plan->schema().IndexOf(u->qualifier, u->name);
+        if (!idx.ok()) continue;
+        std::string column;
+        const LogicalPlan* scan = TraceColumnToScan(probe_plan, *idx, &column);
+        if (scan == nullptr) continue;
+        auto rf = ctx_->EnsureRuntimeFilters()->Create(column);
+        pending_runtime_filters_[scan].push_back({column, rf});
+        rf_created.emplace_back(static_cast<int>(k), std::move(rf));
+      }
+    }
+  }
+
+  FUSION_ASSIGN_OR_RAISE(auto left_exec, Plan(left));
+  FUSION_ASSIGN_OR_RAISE(auto right_exec, Plan(right));
 
   // Join algorithm selection (paper §6.4/§6.7): when both inputs already
   // deliver the key columns in ascending order (e.g. scans of key-sorted
@@ -509,6 +640,9 @@ Result<ExecPlanPtr> PhysicalPlanner::PlanJoin(const PlanPtr& plan) {
         right_exec->output_partitions() == 1 &&
         keys_ordered(left_exec, left, false) &&
         keys_ordered(right_exec, right, true)) {
+      // The scans below already carry the runtime-filter channels; a
+      // merge join never publishes, so release them to pass-through.
+      for (auto& [key_index, rf] : rf_created) rf->Bypass();
       std::vector<std::pair<PhysicalExprPtr, PhysicalExprPtr>> on;
       for (const auto& [l, r] : plan->join_on) {
         FUSION_ASSIGN_OR_RAISE(auto lk, CreatePhysicalExpr(l, left->schema()));
@@ -526,27 +660,9 @@ Result<ExecPlanPtr> PhysicalPlanner::PlanJoin(const PlanPtr& plan) {
     }
   }
 
-  JoinKind kind = plan->join_kind;
-  bool build_is_left = true;
-  switch (kind) {
-    case JoinKind::kLeftSemi:
-    case JoinKind::kLeftAnti:
-      // Preserved side is left; stream it, build on right.
-      build_is_left = false;
-      break;
-    case JoinKind::kRightSemi:
-    case JoinKind::kRightAnti:
-      build_is_left = true;
-      break;
-    default:
-      build_is_left = estimate(left) <= estimate(right);
-      break;
-  }
-
   std::vector<std::pair<PhysicalExprPtr, PhysicalExprPtr>> on;
   PhysicalExprPtr filter;
   ExecPlanPtr build_exec, probe_exec;
-  JoinKind exec_kind = kind;
   bool needs_restore_projection = false;
   PlanSchema exec_combined = combined;
 
@@ -583,19 +699,6 @@ Result<ExecPlanPtr> PhysicalPlanner::PlanJoin(const PlanPtr& plan) {
     probe_exec = left_exec;
     FUSION_RETURN_NOT_OK(compile_keys(right->schema(), left->schema(), true));
     exec_combined = right->schema().Concat(left->schema());
-    // Flip the join type to match the swapped orientation.
-    switch (kind) {
-      case JoinKind::kInner:
-      case JoinKind::kCross:
-      case JoinKind::kFull:
-        break;
-      case JoinKind::kLeft: exec_kind = JoinKind::kRight; break;
-      case JoinKind::kRight: exec_kind = JoinKind::kLeft; break;
-      case JoinKind::kLeftSemi: exec_kind = JoinKind::kRightSemi; break;
-      case JoinKind::kLeftAnti: exec_kind = JoinKind::kRightAnti; break;
-      case JoinKind::kRightSemi: exec_kind = JoinKind::kLeftSemi; break;
-      case JoinKind::kRightAnti: exec_kind = JoinKind::kLeftAnti; break;
-    }
     needs_restore_projection = kind == JoinKind::kInner || kind == JoinKind::kLeft ||
                                kind == JoinKind::kRight || kind == JoinKind::kFull ||
                                kind == JoinKind::kCross;
@@ -622,9 +725,20 @@ Result<ExecPlanPtr> PhysicalPlanner::PlanJoin(const PlanPtr& plan) {
       exec_schema = exec_combined.schema();
   }
 
-  ExecPlanPtr join = std::make_shared<HashJoinExec>(
+  auto hash_join = std::make_shared<HashJoinExec>(
       std::move(build_exec), std::move(probe_exec), exec_kind, std::move(on),
       std::move(filter), exec_schema);
+  hash_join->SetEstimatedRows(
+      est_build, est_probe,
+      optimizer::EstimateJoinRows(left, right, plan->join_on, kind));
+  if (!rf_created.empty()) {
+    hash_join->SetRuntimeFilterExpectedRows(static_cast<int64_t>(
+        std::min(est_build, 1e15)));
+    for (auto& [key_index, rf] : rf_created) {
+      hash_join->AddRuntimeFilter(key_index, std::move(rf));
+    }
+  }
+  ExecPlanPtr join = std::move(hash_join);
 
   if (needs_restore_projection) {
     // Reorder (right ++ left) back to (left ++ right).

@@ -1,6 +1,10 @@
 #ifndef FUSION_PHYSICAL_PLANNER_H_
 #define FUSION_PHYSICAL_PLANNER_H_
 
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/table_provider.h"
 #include "logical/plan.h"
 #include "physical/execution_plan.h"
 
@@ -34,6 +38,15 @@ class PhysicalPlanner {
   Result<logical::ExprPtr> ResolveSubqueries(const logical::ExprPtr& expr);
 
   ExecContextPtr ctx_;
+
+  /// Runtime-filter channels created by PlanJoin for probe-side scans
+  /// below it, keyed by logical scan node. Registered before the probe
+  /// child is planned (a scan may open its provider during parent
+  /// planning, so its ScanRequest cannot be mutated after the fact);
+  /// PlanScan moves them into the request when it reaches the node.
+  std::unordered_map<const logical::LogicalPlan*,
+                     std::vector<catalog::RuntimeScanFilter>>
+      pending_runtime_filters_;
 };
 
 }  // namespace physical

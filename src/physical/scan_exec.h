@@ -4,12 +4,120 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <unordered_map>
 
 #include "catalog/table_provider.h"
+#include "compute/hash_kernels.h"
+#include "compute/selection.h"
 #include "physical/execution_plan.h"
 
 namespace fusion {
 namespace physical {
+
+/// \brief Stream decorator that tests scan rows against runtime (Bloom)
+/// filters published by a hash join's build side (sideways information
+/// passing). Strictly non-blocking: a filter still kPending is skipped
+/// for that batch, so a slow build never stalls the scan. Filtering is
+/// late-materialized — only the key columns are hashed, and surviving
+/// rows are gathered once at the end. Dictionary-encoded keys are tested
+/// per distinct dictionary entry (cached per dictionary instance), not
+/// per row.
+class RuntimeFilterStream : public exec::RecordBatchStream {
+ public:
+  struct Target {
+    int column;
+    exec::RuntimeFilterPtr filter;
+  };
+
+  RuntimeFilterStream(exec::StreamPtr input, SchemaPtr schema,
+                      std::vector<Target> targets, exec::MetricValuePtr checked,
+                      exec::MetricValuePtr pruned)
+      : input_(std::move(input)), schema_(std::move(schema)),
+        targets_(std::move(targets)), dict_cache_(targets_.size()),
+        checked_(std::move(checked)), pruned_(std::move(pruned)) {}
+
+  const SchemaPtr& schema() const override { return schema_; }
+
+  Result<RecordBatchPtr> Next() override {
+    for (;;) {
+      FUSION_ASSIGN_OR_RAISE(auto batch, input_->Next());
+      if (batch == nullptr) return batch;
+      const int64_t rows = batch->num_rows();
+      if (rows == 0) return batch;
+      std::vector<uint8_t> pass;  // allocated on the first ready filter
+      for (size_t t = 0; t < targets_.size(); ++t) {
+        if (!targets_[t].filter->ready()) continue;
+        if (pass.empty()) pass.assign(static_cast<size_t>(rows), 1);
+        FUSION_RETURN_NOT_OK(
+            ApplyFilter(t, *batch->column(targets_[t].column), &pass));
+      }
+      if (pass.empty()) return batch;  // nothing ready yet: pass through
+      checked_->Add(rows);
+      std::vector<int64_t> keep;
+      keep.reserve(static_cast<size_t>(rows));
+      for (int64_t i = 0; i < rows; ++i) {
+        if (pass[static_cast<size_t>(i)]) keep.push_back(i);
+      }
+      if (static_cast<int64_t>(keep.size()) == rows) return batch;
+      pruned_->Add(rows - static_cast<int64_t>(keep.size()));
+      if (keep.empty()) continue;  // fully pruned: fetch the next batch
+      return compute::TakeBatch(*batch, keep);
+    }
+  }
+
+ private:
+  /// Clear `pass` bits for rows whose key cannot be in the build side.
+  /// Null keys never match an equi-join key, so they are dropped too
+  /// (the planner only attaches filters to join kinds where a
+  /// non-matching probe row contributes nothing).
+  Status ApplyFilter(size_t t, const Array& col, std::vector<uint8_t>* pass) {
+    const format::BloomFilter& bloom = targets_[t].filter->bloom();
+    const int64_t rows = col.length();
+    if (col.type().is_dictionary()) {
+      const auto& da = checked_cast<DictionaryArray>(col);
+      auto& cache = dict_cache_[t];
+      const void* dict_key = da.dictionary().get();
+      auto it = cache.find(dict_key);
+      if (it == cache.end()) {
+        std::vector<uint64_t> hashes;
+        FUSION_RETURN_NOT_OK(compute::HashArray(*da.dictionary(), 0, &hashes));
+        std::vector<uint8_t> verdicts(hashes.size());
+        for (size_t i = 0; i < hashes.size(); ++i) {
+          verdicts[i] = bloom.MightContain(hashes[i]) ? 1 : 0;
+        }
+        it = cache.emplace(dict_key, std::move(verdicts)).first;
+      }
+      const std::vector<uint8_t>& verdicts = it->second;
+      const int32_t* codes = da.raw_codes();
+      for (int64_t i = 0; i < rows; ++i) {
+        uint8_t& bit = (*pass)[static_cast<size_t>(i)];
+        if (!bit) continue;
+        if (da.IsNull(i) || !verdicts[static_cast<size_t>(codes[i])]) bit = 0;
+      }
+      return Status::OK();
+    }
+    std::vector<uint64_t> hashes;
+    FUSION_RETURN_NOT_OK(compute::HashArray(col, 0, &hashes));
+    for (int64_t i = 0; i < rows; ++i) {
+      uint8_t& bit = (*pass)[static_cast<size_t>(i)];
+      if (!bit) continue;
+      if (col.IsNull(i) || !bloom.MightContain(hashes[static_cast<size_t>(i)])) {
+        bit = 0;
+      }
+    }
+    return Status::OK();
+  }
+
+  exec::StreamPtr input_;
+  SchemaPtr schema_;
+  std::vector<Target> targets_;
+  /// Per-target verdict cache keyed by dictionary instance: files share
+  /// dictionaries across chunks, so each distinct dictionary is hashed
+  /// and tested against the Bloom filter exactly once.
+  std::vector<std::unordered_map<const void*, std::vector<uint8_t>>> dict_cache_;
+  exec::MetricValuePtr checked_;
+  exec::MetricValuePtr pruned_;
+};
 
 /// \brief Leaf operator wrapping a TableProvider scan. The provider
 /// receives the pushed projection/predicates/limit and decides its own
@@ -45,22 +153,41 @@ class ScanExec : public ExecutionPlan {
 
   Result<exec::StreamPtr> ExecuteImpl(int partition, const ExecContextPtr&) override {
     FUSION_RETURN_NOT_OK(EnsureOpened());
+    exec::StreamPtr out;
     if (morsel_queue_ != nullptr) {
       const int consumers = output_partitions();
       if (partition < 0 || partition >= consumers) {
         return Status::ExecutionError("scan partition out of range");
       }
       auto stolen = metrics_->Counter(exec::metric::kMorselsStolen, partition);
-      return exec::StreamPtr(std::make_unique<MorselStream>(
-          schema_, morsel_queue_, partition, consumers, std::move(stolen)));
+      out = std::make_unique<MorselStream>(schema_, morsel_queue_, partition,
+                                           consumers, std::move(stolen));
+    } else {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (partition < 0 || partition >= static_cast<int>(iterators_.size()) ||
+          iterators_[partition] == nullptr) {
+        return Status::ExecutionError("scan partition already consumed or invalid");
+      }
+      out = std::make_unique<exec::IteratorStream>(
+          schema_, std::move(iterators_[partition]));
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    if (partition < 0 || partition >= static_cast<int>(iterators_.size()) ||
-        iterators_[partition] == nullptr) {
-      return Status::ExecutionError("scan partition already consumed or invalid");
+    // Row-level runtime filtering sits above the provider (and thus
+    // above the buffer cache, whose keys stay filter-independent): test
+    // the join-key columns against any ready filters, gather survivors.
+    std::vector<RuntimeFilterStream::Target> targets;
+    for (const auto& rsf : request_.runtime_filters) {
+      if (rsf.filter == nullptr) continue;
+      int idx = schema_->GetFieldIndex(rsf.column);
+      if (idx >= 0) targets.push_back({idx, rsf.filter});
     }
-    return exec::StreamPtr(std::make_unique<exec::IteratorStream>(
-        schema_, std::move(iterators_[partition])));
+    if (!targets.empty()) {
+      auto checked = metrics_->Counter(exec::metric::kRfCheckedRows, partition);
+      auto pruned = metrics_->Counter(exec::metric::kRfPrunedRows, partition);
+      out = std::make_unique<RuntimeFilterStream>(
+          std::move(out), schema_, std::move(targets), std::move(checked),
+          std::move(pruned));
+    }
+    return out;
   }
 
   std::vector<OrderingInfo> output_ordering() const override {
@@ -90,6 +217,14 @@ class ScanExec : public ExecutionPlan {
     if (request_.limit >= 0) out += " limit=" + std::to_string(request_.limit);
     if (request_.max_morsels > 0) {
       out += " morsels=" + std::to_string(request_.max_morsels);
+    }
+    if (!request_.runtime_filters.empty()) {
+      out += " runtime_filter=[";
+      for (size_t i = 0; i < request_.runtime_filters.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += request_.runtime_filters[i].column;
+      }
+      out += "]";
     }
     return out;
   }
