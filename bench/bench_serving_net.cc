@@ -1,0 +1,348 @@
+// Networked serving benchmark: a FlightServer over one shared session
+// (buffer cache, plan cache, admission control, scheduler), with C
+// concurrent TCP clients firing repeated mixed query templates — half
+// ad hoc SQL, half prepared statements — for C in {8, 32, 128}. Before
+// the load rounds, every template's wire results are verified
+// value-identical to in-process ExecuteSql. Reports aggregate
+// throughput, per-query p50/p99 (which now includes serialization and
+// the socket round trip), scheduler gauges, cache hit rates, and the
+// server's own counters.
+//
+// Thread bound: no matter how many connections are open, query
+// execution shares the scheduler's workers — every round must report
+// scheduler peak_threads <= pool_size + 1 (the CI smoke asserts this
+// from --json, plus plan/buffer hit rates > 0 and a present p99).
+// Sessions add two OS threads each for frame pumping, but those never
+// execute query tasks.
+//
+// FUSION_BENCH_SERVING_ROWS scales the input,
+// FUSION_BENCH_SERVING_REPEATS the queries each client runs,
+// FUSION_BENCH_SERVING_WORKERS the scheduler pool size (default 4),
+// and FUSION_BENCH_SERVING_CONNS the largest connection round
+// (default 128).
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arrow/builder.h"
+#include "bench/bench_harness.h"
+#include "bench/workloads/workload_util.h"
+#include "exec/buffer_cache.h"
+#include "exec/scheduler.h"
+#include "flight/client.h"
+#include "flight/server.h"
+#include "format/fpq.h"
+
+using namespace fusion;          // NOLINT
+using namespace fusion::bench;   // NOLINT
+
+namespace {
+
+/// Same serving mix as bench_concurrency: fixed parameters so repeats
+/// hit the plan cache and the buffer cache. Odd repeats run the
+/// client's template as a prepared statement, even repeats as ad hoc
+/// SQL, so both wire paths stay hot.
+const std::vector<std::string> kTemplates = {
+    "SELECT grp, count(*), sum(v) FROM t GROUP BY grp",
+    "SELECT count(*) FROM t WHERE v > 500",
+    "SELECT grp, avg(f) FROM t WHERE v > 250 GROUP BY grp",
+    "SELECT min(id), max(id) FROM t WHERE grp = 'grp7'",
+};
+
+Status WriteInput(const std::string& path, int64_t rows) {
+  Rng rng(42);
+  Int64Builder id;
+  StringBuilder grp;
+  Int64Builder v;
+  Float64Builder f;
+  for (int64_t i = 0; i < rows; ++i) {
+    id.Append(i);
+    grp.Append("grp" + std::to_string(rng.Next() % 100));
+    v.Append(static_cast<int64_t>(rng.Next() % 1000));
+    f.Append(static_cast<double>(rng.Next() % 100000) / 100.0);
+  }
+  auto schema = fusion::schema(
+      {Field("id", int64(), false), Field("grp", utf8(), false),
+       Field("v", int64(), false), Field("f", float64(), false)});
+  std::vector<ArrayPtr> cols = {id.Finish().ValueOrDie(), grp.Finish().ValueOrDie(),
+                                v.Finish().ValueOrDie(), f.Finish().ValueOrDie()};
+  auto batch = std::make_shared<RecordBatch>(schema, rows, std::move(cols));
+  return format::fpq::WriteFile(path, schema, {batch});
+}
+
+/// Batch-boundary-independent row dump: one string per row, sorted, so
+/// wire results (arbitrary stream batch sizes) compare against
+/// in-process results by value.
+std::vector<std::string> SortedRows(const std::vector<RecordBatchPtr>& batches) {
+  std::vector<std::string> rows;
+  for (const auto& batch : batches) {
+    for (int64_t i = 0; i < batch->num_rows(); ++i) {
+      std::string row;
+      for (int c = 0; c < batch->num_columns(); ++c) {
+        if (c > 0) row += '|';
+        row += batch->column(c)->ValueToString(i);
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+struct ServerUnderTest {
+  std::shared_ptr<exec::RuntimeEnv> env;
+  core::SessionContextPtr session;
+  std::unique_ptr<flight::FlightServer> server;
+};
+
+Result<ServerUnderTest> MakeServer(int pool_size, int partitions,
+                                   const std::string& path) {
+  ServerUnderTest s;
+  s.env = std::make_shared<exec::RuntimeEnv>();
+  s.env->query_scheduler = std::make_shared<exec::QueryScheduler>(pool_size);
+  s.env->buffer_cache = std::make_shared<exec::BufferCache>(512LL << 20);
+  exec::SessionConfig config;
+  config.target_partitions = partitions;
+  config.plan_cache_entries = 64;
+  // Admission stays on (every do-get passes through the gate) but with
+  // a queue deep enough that a 128-connection round parks instead of
+  // rejecting.
+  config.admission_max_concurrent = pool_size;
+  config.admission_max_queued = 1024;
+  s.session = core::SessionContext::Make(config, s.env);
+  FUSION_RETURN_NOT_OK(s.session->RegisterFpq("t", path));
+  flight::FlightServerOptions options;
+  options.max_connections = 512;
+  FUSION_ASSIGN_OR_RAISE(s.server,
+                         flight::FlightServer::Start(s.session, options));
+  return s;
+}
+
+/// Every template: wire rows == in-process rows, by value.
+Status VerifyWireMatchesInProcess(ServerUnderTest* s) {
+  FUSION_ASSIGN_OR_RAISE(
+      auto client, flight::FlightClient::Connect("127.0.0.1", s->server->port()));
+  for (const auto& sql : kTemplates) {
+    FUSION_ASSIGN_OR_RAISE(auto local, s->session->ExecuteSql(sql));
+    FUSION_ASSIGN_OR_RAISE(auto wire, client->Get(sql));
+    if (SortedRows(local) != SortedRows(wire)) {
+      return Status::Invalid("wire results differ from in-process for: " + sql);
+    }
+  }
+  return Status::OK();
+}
+
+struct RoundResult {
+  QueryTiming timing;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  int64_t peak_threads = 0;
+  int64_t total_tasks = 0;
+  exec::BufferCache::Stats buffer;
+  int64_t plan_hits = 0;
+  int64_t plan_misses = 0;
+  flight::FlightServerStats server;
+};
+
+/// One load round against a fresh server: `conns` client threads each
+/// open one connection, prepare their template once, then run
+/// `repeats` queries alternating prepared / ad hoc.
+RoundResult RunRound(int conns, int repeats, int pool_size, int partitions,
+                     const std::string& path) {
+  RoundResult r;
+  auto made = MakeServer(pool_size, partitions, path);
+  if (!made.ok()) {
+    r.timing.error = made.status().ToString();
+    return r;
+  }
+  ServerUnderTest s = std::move(*made);
+  const int port = s.server->port();
+
+  std::vector<Status> statuses(conns, Status::OK());
+  std::vector<int64_t> rows(conns, 0);
+  std::vector<std::vector<double>> latencies(conns);
+  auto client_fn = [&](int q) {
+    auto client = flight::FlightClient::Connect("127.0.0.1", port);
+    if (!client.ok()) {
+      statuses[q] = client.status();
+      return;
+    }
+    const std::string& sql = kTemplates[q % kTemplates.size()];
+    auto prepared = (*client)->Prepare(sql);
+    if (!prepared.ok()) {
+      statuses[q] = prepared.status();
+      return;
+    }
+    latencies[q].reserve(repeats);
+    for (int i = 0; i < repeats; ++i) {
+      Timer timer;
+      auto result = (i % 2 == 1) ? (*client)->GetPrepared(*prepared)
+                                 : (*client)->Get(sql);
+      latencies[q].push_back(timer.Seconds() * 1e3);
+      if (!result.ok()) {
+        statuses[q] = result.status();
+        return;
+      }
+      for (const auto& batch : *result) rows[q] += batch->num_rows();
+    }
+  };
+
+  Timer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(conns);
+  for (int q = 0; q < conns; ++q) clients.emplace_back(client_fn, q);
+  for (auto& c : clients) c.join();
+  double secs = timer.Seconds();
+
+  r.timing.ok = true;
+  r.timing.seconds = secs;
+  std::vector<double> all;
+  for (int q = 0; q < conns; ++q) {
+    if (!statuses[q].ok()) {
+      r.timing.ok = false;
+      r.timing.error = statuses[q].ToString();
+    }
+    r.timing.rows += rows[q];
+    all.insert(all.end(), latencies[q].begin(), latencies[q].end());
+  }
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    r.p50_ms = all[all.size() / 2];
+    r.p99_ms = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+  }
+  auto* sched = s.env->scheduler();
+  r.peak_threads = sched->peak_threads();
+  r.total_tasks = sched->total_tasks();
+  r.buffer = s.env->buffer_cache->stats();
+  r.plan_hits = s.env->plan_cache_stats->hits.load();
+  r.plan_misses = s.env->plan_cache_stats->misses.load();
+  s.server->Shutdown();
+  r.server = s.server->stats();
+  return r;
+}
+
+double HitRate(int64_t hits, int64_t misses) {
+  return hits + misses > 0 ? static_cast<double>(hits) / (hits + misses) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReport report(ParseJsonReportArg(argc, argv));
+  const int partitions = ParsePartitionsArg(argc, argv, /*default=*/4);
+  const int pool_size =
+      static_cast<int>(EnvScale("FUSION_BENCH_SERVING_WORKERS", 4));
+  const int64_t rows = EnvScale("FUSION_BENCH_SERVING_ROWS", 1'000'000);
+  const int repeats =
+      static_cast<int>(EnvScale("FUSION_BENCH_SERVING_REPEATS", 4));
+  const int max_conns =
+      static_cast<int>(EnvScale("FUSION_BENCH_SERVING_CONNS", 128));
+
+  std::printf(
+      "== Networked serving: %lld-row FPQ table, %d templates x %d "
+      "repeats/conn (ad hoc + prepared), %d partitions, %d-worker "
+      "scheduler ==\n",
+      static_cast<long long>(rows), static_cast<int>(kTemplates.size()),
+      repeats, partitions, pool_size);
+  const std::string path = "/tmp/fusion_bench_serving_net.fpq";
+  Timer gen_timer;
+  Status gen = WriteInput(path, rows);
+  if (!gen.ok()) {
+    std::fprintf(stderr, "input generation failed: %s\n", gen.ToString().c_str());
+    return 1;
+  }
+  std::printf("generation: %.1fs\n", gen_timer.Seconds());
+
+  // Correctness gate before any load: wire == in-process per template.
+  {
+    auto s = MakeServer(pool_size, partitions, path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   s.status().ToString().c_str());
+      return 1;
+    }
+    Status verify = VerifyWireMatchesInProcess(&*s);
+    if (!verify.ok()) {
+      std::fprintf(stderr, "VERIFY FAIL: %s\n", verify.ToString().c_str());
+      return 1;
+    }
+    std::printf("verify: wire results match in-process for all %d templates\n\n",
+                static_cast<int>(kTemplates.size()));
+  }
+
+  std::vector<int> conn_rounds = {8, 32};
+  if (max_conns > 32) conn_rounds.push_back(max_conns);
+
+  std::printf("%-8s %9s %9s %9s %9s %8s %8s %13s\n", "conns", "time",
+              "queries/s", "p50 ms", "p99 ms", "buf_hit", "plan_hit",
+              "peak_threads");
+  std::printf("--------------------------------------------------------------"
+              "---------------\n");
+  bool all_ok = true;
+  bool bounded = true;
+  int case_number = 0;
+  for (int conns : conn_rounds) {
+    ++case_number;
+    RoundResult r = RunRound(conns, repeats, pool_size, partitions, path);
+    if (!r.timing.ok) {
+      std::printf("%-8d FAIL %s\n", conns, r.timing.error.c_str());
+      all_ok = false;
+      report.Add(case_number, r.timing);
+      continue;
+    }
+    const int total_queries = conns * repeats;
+    double buf_rate = HitRate(r.buffer.hits, r.buffer.misses);
+    double plan_rate = HitRate(r.plan_hits, r.plan_misses);
+    std::printf("%-8d %8.3fs %9.1f %9.2f %9.2f %7.0f%% %7.0f%% %13lld\n",
+                conns, r.timing.seconds, total_queries / r.timing.seconds,
+                r.p50_ms, r.p99_ms, buf_rate * 100, plan_rate * 100,
+                static_cast<long long>(r.peak_threads));
+    if (r.peak_threads > pool_size + 1) {
+      std::printf("  ^ scheduler peak_threads %lld exceeds pool_size + 1 = %d\n",
+                  static_cast<long long>(r.peak_threads), pool_size + 1);
+      bounded = false;
+    }
+    char metrics[1280];
+    std::snprintf(
+        metrics, sizeof(metrics),
+        "{\"connections\": %d, \"repeats\": %d, \"pool_size\": %d, "
+        "\"partitions\": %d, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"peak_threads\": %lld, \"total_tasks\": %lld, "
+        "\"buffer_hits\": %lld, \"buffer_misses\": %lld, "
+        "\"buffer_hit_rate\": %.3f, \"plan_hits\": %lld, "
+        "\"plan_misses\": %lld, \"plan_hit_rate\": %.3f, "
+        "\"accepted\": %lld, \"refused\": %lld, \"peak_sessions\": %lld, "
+        "\"queries_started\": %lld, \"queries_ok\": %lld, "
+        "\"queries_err\": %lld, \"queries_rejected\": %lld, "
+        "\"prepared_statements\": %lld, \"batches_sent\": %lld, "
+        "\"bytes_sent\": %lld, \"bytes_received\": %lld, "
+        "\"frame_errors\": %lld}",
+        conns, repeats, pool_size, partitions, r.p50_ms, r.p99_ms,
+        static_cast<long long>(r.peak_threads),
+        static_cast<long long>(r.total_tasks),
+        static_cast<long long>(r.buffer.hits),
+        static_cast<long long>(r.buffer.misses), buf_rate,
+        static_cast<long long>(r.plan_hits),
+        static_cast<long long>(r.plan_misses), plan_rate,
+        static_cast<long long>(r.server.accepted),
+        static_cast<long long>(r.server.refused),
+        static_cast<long long>(r.server.peak_sessions),
+        static_cast<long long>(r.server.queries_started),
+        static_cast<long long>(r.server.queries_ok),
+        static_cast<long long>(r.server.queries_err),
+        static_cast<long long>(r.server.queries_rejected),
+        static_cast<long long>(r.server.prepared_statements),
+        static_cast<long long>(r.server.batches_sent),
+        static_cast<long long>(r.server.bytes_sent),
+        static_cast<long long>(r.server.bytes_received),
+        static_cast<long long>(r.server.frame_errors));
+    r.timing.metrics_json = metrics;
+    report.Add(case_number, r.timing);
+  }
+  return report.Finish() && all_ok && bounded ? 0 : 1;
+}

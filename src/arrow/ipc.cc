@@ -1,5 +1,6 @@
 #include "arrow/ipc.h"
 
+#include <cstdlib>
 #include <cstring>
 
 #include "arrow/builder.h"
@@ -10,17 +11,35 @@ namespace ipc {
 
 namespace {
 
-// Blob layout:
-//   u32 magic 'FIPC'
+// Blob layout (v2, magic "FIP2"):
+//   u32 magic
 //   u32 num_fields
 //   per field: u16 name_len, name bytes, u8 type_id, u8 nullable
 //   u64 num_rows
-//   per column: u8 has_validity, [validity bytes], type-specific buffers
-//     primitives: raw value bytes
-//     bool: bitmap bytes
-//     string: (num_rows+1) int32 offsets + u64 data_len + data bytes
+//   per column: u8 encoding (0 = plain, 1 = dictionary),
+//               u8 has_validity, [validity bytes], buffers:
+//     plain primitives: raw value bytes
+//     plain bool: bitmap bytes
+//     plain string: (num_rows+1) int32 offsets + u64 data_len + data
+//     dictionary (string fields only): num_rows int32 codes,
+//         u32 dict_len, (dict_len+1) int32 offsets, u64 data_len, data
+//
+// Everything after the magic is treated as untrusted once these bytes
+// arrive from a socket: the cursor's bounds checks are written so that
+// attacker-controlled lengths cannot wrap them, and no buffer is
+// allocated before its length has been checked against the bytes that
+// are actually present.
 
-constexpr uint32_t kMagic = 0x46495043;  // "FIPC"
+constexpr uint32_t kMagicV2 = 0x46495032;  // "FIP2"
+constexpr uint32_t kMagicV1 = 0x46495043;  // "FIPC" (pre-hardening format)
+
+constexpr uint8_t kEncodingPlain = 0;
+constexpr uint8_t kEncodingDictionary = 1;
+
+// Row counts beyond this are rejected outright so size computations
+// (`rows * width`, `(rows + 1) * 4`) can never overflow int64 even
+// before the per-buffer bounds check runs.
+constexpr uint64_t kMaxRows = uint64_t{1} << 40;
 
 void PutU16(std::vector<uint8_t>* out, uint16_t v) {
   out->insert(out->end(), reinterpret_cast<uint8_t*>(&v),
@@ -43,8 +62,15 @@ class Cursor {
  public:
   Cursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
+  // `pos_ <= size_` is an invariant, so `size_ - pos_` cannot wrap;
+  // comparing `len` against the remaining bytes (instead of the old
+  // `pos_ + len > size_`, which wraps for len near SIZE_MAX) makes the
+  // check immune to attacker-controlled lengths.
+  size_t remaining() const { return size_ - pos_; }
+
   Status Read(void* out, size_t len) {
-    if (pos_ + len > size_) return Status::IOError("ipc: truncated blob");
+    if (len > remaining()) return Status::IOError("ipc: truncated blob");
+    if (len == 0) return Status::OK();  // memcpy(nullptr, ..., 0) is UB
     std::memcpy(out, data_ + pos_, len);
     pos_ += len;
     return Status::OK();
@@ -69,11 +95,21 @@ class Cursor {
     FUSION_RETURN_NOT_OK(Read(&v, 1));
     return v;
   }
-  const uint8_t* Peek() const { return data_ + pos_; }
   Status Skip(size_t len) {
-    if (pos_ + len > size_) return Status::IOError("ipc: truncated blob");
+    if (len > remaining()) return Status::IOError("ipc: truncated blob");
     pos_ += len;
     return Status::OK();
+  }
+
+  /// Bounds-check `len` against the remaining bytes, then allocate and
+  /// fill a Buffer. The check-before-allocate order is the overcommit
+  /// guard: a hostile length prefix can never allocate more than the
+  /// blob actually holds.
+  Result<BufferPtr> ReadBuffer(uint64_t len) {
+    if (len > remaining()) return Status::IOError("ipc: truncated blob");
+    auto buf = std::make_shared<Buffer>(static_cast<int64_t>(len));
+    FUSION_RETURN_NOT_OK(Read(buf->mutable_data(), static_cast<size_t>(len)));
+    return buf;
   }
 
  private:
@@ -82,11 +118,62 @@ class Cursor {
   size_t pos_ = 0;
 };
 
+/// Serialize one dense string payload: offsets, data length, data.
+void PutStringPayload(std::vector<uint8_t>* out, const StringArray& sa,
+                      int64_t rows) {
+  PutBytes(out, sa.raw_offsets(), static_cast<size_t>((rows + 1) * 4));
+  uint64_t data_len = static_cast<uint64_t>(sa.raw_offsets()[rows]);
+  PutU64(out, data_len);
+  PutBytes(out, sa.data()->data(), data_len);
+}
+
+/// Validate untrusted string offsets: zero-based, monotonically
+/// non-decreasing, and ending exactly at data_len, so StringArray reads
+/// can never leave the data buffer.
+Status ValidateOffsets(const Buffer& offsets, int64_t rows, uint64_t data_len) {
+  const int32_t* offs = offsets.data_as<int32_t>();
+  if (offs[0] != 0) return Status::IOError("ipc: string offsets must start at 0");
+  for (int64_t i = 0; i < rows; ++i) {
+    if (offs[i + 1] < offs[i]) {
+      return Status::IOError("ipc: string offsets not monotonic");
+    }
+  }
+  if (static_cast<uint64_t>(offs[rows]) != data_len) {
+    return Status::IOError("ipc: string offsets exceed data buffer");
+  }
+  return Status::OK();
+}
+
+/// Read one dense string payload (offsets + data) for `rows` rows.
+Result<std::shared_ptr<StringArray>> ReadStringPayload(Cursor* cur, int64_t rows,
+                                                       BufferPtr validity,
+                                                       int64_t nulls) {
+  FUSION_ASSIGN_OR_RAISE(auto offsets,
+                         cur->ReadBuffer(static_cast<uint64_t>(rows + 1) * 4));
+  FUSION_ASSIGN_OR_RAISE(uint64_t data_len, cur->U64());
+  FUSION_ASSIGN_OR_RAISE(auto bytes, cur->ReadBuffer(data_len));
+  FUSION_RETURN_NOT_OK(ValidateOffsets(*offsets, rows, data_len));
+  return std::make_shared<StringArray>(rows, std::move(offsets), std::move(bytes),
+                                       std::move(validity), nulls);
+}
+
 }  // namespace
 
-std::vector<uint8_t> SerializeBatch(const RecordBatch& batch) {
+int64_t MaxFrameBytes() {
+  static const int64_t value = [] {
+    if (const char* env = std::getenv("FUSION_IPC_MAX_FRAME_BYTES")) {
+      long long v = std::atoll(env);
+      if (v > 0) return static_cast<int64_t>(v);
+    }
+    return int64_t{64} << 20;  // 64 MiB
+  }();
+  return value;
+}
+
+std::vector<uint8_t> SerializeBatch(const RecordBatch& batch,
+                                    const SerializeOptions& options) {
   std::vector<uint8_t> out;
-  PutU32(&out, kMagic);
+  PutU32(&out, kMagicV2);
   PutU32(&out, static_cast<uint32_t>(batch.num_columns()));
   for (int i = 0; i < batch.num_columns(); ++i) {
     const Field& f = batch.schema()->field(i);
@@ -99,16 +186,27 @@ std::vector<uint8_t> SerializeBatch(const RecordBatch& batch) {
   const int64_t rows = batch.num_rows();
   for (int i = 0; i < batch.num_columns(); ++i) {
     ArrayPtr col = batch.column(i);
-    // IPC stays encoding-free: dictionary columns densify at this
-    // boundary so spill files and shuffles round-trip as plain strings.
-    if (col->type().is_dictionary()) {
+    const bool keep_dict =
+        col->type().is_dictionary() && options.preserve_dictionary;
+    if (col->type().is_dictionary() && !keep_dict) {
+      // Spill files and shuffles stay encoding-free: dictionary columns
+      // densify at this boundary so every reader sees plain strings.
       col = checked_cast<DictionaryArray>(*col).Densify();
     }
+    out.push_back(keep_dict ? kEncodingDictionary : kEncodingPlain);
     const bool has_validity = col->validity() != nullptr;
     out.push_back(has_validity ? 1 : 0);
     if (has_validity) {
       PutBytes(&out, col->validity()->data(),
                static_cast<size_t>(bit_util::BytesForBits(rows)));
+    }
+    if (keep_dict) {
+      const auto& da = checked_cast<DictionaryArray>(*col);
+      PutBytes(&out, da.raw_codes(), static_cast<size_t>(rows * 4));
+      const StringArray& dict = *da.dictionary();
+      PutU32(&out, static_cast<uint32_t>(dict.length()));
+      PutStringPayload(&out, dict, dict.length());
+      continue;
     }
     switch (col->type().id()) {
       case TypeId::kNull:
@@ -117,14 +215,9 @@ std::vector<uint8_t> SerializeBatch(const RecordBatch& batch) {
         PutBytes(&out, checked_cast<BooleanArray>(*col).values()->data(),
                  static_cast<size_t>(bit_util::BytesForBits(rows)));
         break;
-      case TypeId::kString: {
-        const auto& sa = checked_cast<StringArray>(*col);
-        PutBytes(&out, sa.raw_offsets(), static_cast<size_t>((rows + 1) * 4));
-        uint64_t data_len = static_cast<uint64_t>(sa.raw_offsets()[rows]);
-        PutU64(&out, data_len);
-        PutBytes(&out, sa.data()->data(), data_len);
+      case TypeId::kString:
+        PutStringPayload(&out, checked_cast<StringArray>(*col), rows);
         break;
-      }
       default: {
         int width = col->type().byte_width();
         const Buffer* values = nullptr;
@@ -145,8 +238,16 @@ std::vector<uint8_t> SerializeBatch(const RecordBatch& batch) {
 Result<RecordBatchPtr> DeserializeBatch(const uint8_t* data, size_t size) {
   Cursor cur(data, size);
   FUSION_ASSIGN_OR_RAISE(uint32_t magic, cur.U32());
-  if (magic != kMagic) return Status::IOError("ipc: bad magic");
+  if (magic == kMagicV1) {
+    return Status::IOError("ipc: unsupported v1 blob (pre-hardening format)");
+  }
+  if (magic != kMagicV2) return Status::IOError("ipc: bad magic");
   FUSION_ASSIGN_OR_RAISE(uint32_t num_fields, cur.U32());
+  // Each field costs at least 4 bytes on the wire, so a field count the
+  // blob cannot possibly hold is rejected before the reserve() below.
+  if (num_fields > cur.remaining() / 4) {
+    return Status::IOError("ipc: field count exceeds blob size");
+  }
   std::vector<Field> fields;
   fields.reserve(num_fields);
   for (uint32_t i = 0; i < num_fields; ++i) {
@@ -155,51 +256,100 @@ Result<RecordBatchPtr> DeserializeBatch(const uint8_t* data, size_t size) {
     FUSION_RETURN_NOT_OK(cur.Read(name.data(), name_len));
     FUSION_ASSIGN_OR_RAISE(uint8_t type_id, cur.U8());
     FUSION_ASSIGN_OR_RAISE(uint8_t nullable, cur.U8());
+    // Schema fields carry logical types only; kDictionary is an array
+    // encoding, and anything beyond the enum is hostile input.
+    if (type_id >= static_cast<uint8_t>(TypeId::kDictionary)) {
+      return Status::IOError("ipc: invalid field type id " +
+                             std::to_string(type_id));
+    }
     fields.emplace_back(std::move(name), DataType(static_cast<TypeId>(type_id)),
                         nullable != 0);
   }
   FUSION_ASSIGN_OR_RAISE(uint64_t rows_u, cur.U64());
+  if (rows_u > kMaxRows) {
+    return Status::IOError("ipc: implausible row count " + std::to_string(rows_u));
+  }
   const int64_t rows = static_cast<int64_t>(rows_u);
   auto schema = std::make_shared<Schema>(fields);
   std::vector<ArrayPtr> columns;
   columns.reserve(num_fields);
   for (uint32_t i = 0; i < num_fields; ++i) {
     DataType type = fields[i].type();
+    FUSION_ASSIGN_OR_RAISE(uint8_t encoding, cur.U8());
+    if (encoding != kEncodingPlain && encoding != kEncodingDictionary) {
+      return Status::IOError("ipc: unknown column encoding " +
+                             std::to_string(encoding));
+    }
+    if (encoding == kEncodingDictionary && type.id() != TypeId::kString) {
+      return Status::IOError("ipc: dictionary encoding on non-string column");
+    }
     FUSION_ASSIGN_OR_RAISE(uint8_t has_validity, cur.U8());
     BufferPtr validity;
     int64_t nulls = 0;
     if (has_validity) {
-      int64_t vbytes = bit_util::BytesForBits(rows);
-      validity = std::make_shared<Buffer>(vbytes);
-      FUSION_RETURN_NOT_OK(cur.Read(validity->mutable_data(), vbytes));
+      FUSION_ASSIGN_OR_RAISE(
+          validity,
+          cur.ReadBuffer(static_cast<uint64_t>(bit_util::BytesForBits(rows))));
       nulls = rows - bit_util::CountSetBits(validity->data(), rows);
+    }
+    if (encoding == kEncodingDictionary) {
+      FUSION_ASSIGN_OR_RAISE(auto codes,
+                             cur.ReadBuffer(static_cast<uint64_t>(rows) * 4));
+      FUSION_ASSIGN_OR_RAISE(uint32_t dict_len, cur.U32());
+      FUSION_ASSIGN_OR_RAISE(
+          auto dict, ReadStringPayload(&cur, static_cast<int64_t>(dict_len),
+                                       nullptr, 0));
+      // Codes come off the wire: a valid row's code must index the
+      // transmitted dictionary, and a null row's (meaningless) code is
+      // rewritten to 0 so no later reader can be steered out of bounds.
+      int32_t* code_vals = codes->mutable_data_as<int32_t>();
+      const uint8_t* valid_bits = validity != nullptr ? validity->data() : nullptr;
+      for (int64_t r = 0; r < rows; ++r) {
+        const bool valid = valid_bits == nullptr || bit_util::GetBit(valid_bits, r);
+        if (!valid) {
+          code_vals[r] = 0;
+        } else if (code_vals[r] < 0 ||
+                   static_cast<uint32_t>(code_vals[r]) >= dict_len) {
+          return Status::IOError("ipc: dictionary code out of range");
+        }
+      }
+      if (dict_len == 0) {
+        // All rows are null (any valid row failed the range check above);
+        // emit a plain all-null StringArray so code 0 never dereferences
+        // an empty dictionary.
+        auto offsets = std::make_shared<Buffer>((rows + 1) * 4);
+        columns.push_back(std::make_shared<StringArray>(
+            rows, std::move(offsets), std::make_shared<Buffer>(int64_t{0}),
+            std::move(validity), nulls));
+      } else {
+        columns.push_back(std::make_shared<DictionaryArray>(
+            rows, std::move(codes), std::move(dict), std::move(validity), nulls));
+      }
+      continue;
     }
     switch (type.id()) {
       case TypeId::kNull:
         columns.push_back(std::make_shared<NullArray>(rows));
         break;
       case TypeId::kBool: {
-        int64_t vbytes = bit_util::BytesForBits(rows);
-        auto values = std::make_shared<Buffer>(vbytes);
-        FUSION_RETURN_NOT_OK(cur.Read(values->mutable_data(), vbytes));
+        FUSION_ASSIGN_OR_RAISE(
+            auto values,
+            cur.ReadBuffer(static_cast<uint64_t>(bit_util::BytesForBits(rows))));
         columns.push_back(std::make_shared<BooleanArray>(rows, std::move(values),
                                                          std::move(validity), nulls));
         break;
       }
       case TypeId::kString: {
-        auto offsets = std::make_shared<Buffer>((rows + 1) * 4);
-        FUSION_RETURN_NOT_OK(cur.Read(offsets->mutable_data(), (rows + 1) * 4));
-        FUSION_ASSIGN_OR_RAISE(uint64_t data_len, cur.U64());
-        auto bytes = std::make_shared<Buffer>(static_cast<int64_t>(data_len));
-        FUSION_RETURN_NOT_OK(cur.Read(bytes->mutable_data(), data_len));
-        columns.push_back(std::make_shared<StringArray>(
-            rows, std::move(offsets), std::move(bytes), std::move(validity), nulls));
+        FUSION_ASSIGN_OR_RAISE(
+            auto arr, ReadStringPayload(&cur, rows, std::move(validity), nulls));
+        columns.push_back(std::move(arr));
         break;
       }
       default: {
         int width = type.byte_width();
-        auto values = std::make_shared<Buffer>(rows * width);
-        FUSION_RETURN_NOT_OK(cur.Read(values->mutable_data(), rows * width));
+        FUSION_ASSIGN_OR_RAISE(
+            auto values,
+            cur.ReadBuffer(static_cast<uint64_t>(rows) * width));
         if (width == 4) {
           columns.push_back(std::make_shared<Int32Array>(
               type, rows, std::move(values), std::move(validity), nulls));
@@ -212,6 +362,10 @@ Result<RecordBatchPtr> DeserializeBatch(const uint8_t* data, size_t size) {
         }
       }
     }
+  }
+  if (cur.remaining() != 0) {
+    return Status::IOError("ipc: " + std::to_string(cur.remaining()) +
+                           " trailing bytes after batch");
   }
   return std::make_shared<RecordBatch>(std::move(schema), rows, std::move(columns));
 }
@@ -228,7 +382,15 @@ Status FileWriter::Open() {
 
 Status FileWriter::WriteBatch(const RecordBatch& batch) {
   FUSION_RETURN_NOT_OK(FaultInjector::Maybe("ipc.write"));
+  if (file_ == nullptr) return Status::IOError("ipc: write to closed file " + path_);
   std::vector<uint8_t> blob = SerializeBatch(batch);
+  if (static_cast<int64_t>(blob.size()) > MaxFrameBytes()) {
+    // A frame our own reader would refuse must not be written; raise
+    // FUSION_IPC_MAX_FRAME_BYTES for workloads with giant single batches.
+    return Status::IOError("ipc: batch of " + std::to_string(blob.size()) +
+                           " bytes exceeds FUSION_IPC_MAX_FRAME_BYTES=" +
+                           std::to_string(MaxFrameBytes()));
+  }
   uint64_t len = blob.size();
   if (std::fwrite(&len, 8, 1, file_) != 1 ||
       std::fwrite(blob.data(), 1, blob.size(), file_) != blob.size()) {
@@ -239,9 +401,16 @@ Status FileWriter::WriteBatch(const RecordBatch& batch) {
 }
 
 Status FileWriter::Close() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
+  if (file_ == nullptr) return Status::OK();
+  // The injected flush failure: buffered stdio defers the real write
+  // until fclose, so a full disk surfaces exactly here.
+  Status fault = FaultInjector::Maybe("ipc.write");
+  std::FILE* f = file_;
+  file_ = nullptr;
+  int rc = std::fclose(f);
+  if (!fault.ok()) return fault;
+  if (rc != 0) {
+    return Status::IOError("ipc: flush/close failed for " + path_);
   }
   return Status::OK();
 }
@@ -258,10 +427,19 @@ Status FileReader::Open() {
 
 Result<RecordBatchPtr> FileReader::Next() {
   FUSION_RETURN_NOT_OK(FaultInjector::Maybe("ipc.read"));
+  if (file_ == nullptr) return Status::IOError("ipc: read from closed file " + path_);
   uint64_t len = 0;
   size_t n = std::fread(&len, 1, 8, file_);
   if (n == 0) return RecordBatchPtr(nullptr);  // clean EOF
   if (n != 8) return Status::IOError("ipc: truncated length prefix");
+  // The prefix is a raw 64-bit length under the stream author's control;
+  // cap it before sizing the frame buffer so a corrupt or hostile file
+  // yields a clean error instead of std::bad_alloc / OOM.
+  if (len > static_cast<uint64_t>(MaxFrameBytes())) {
+    return Status::IOError("ipc: frame of " + std::to_string(len) +
+                           " bytes exceeds FUSION_IPC_MAX_FRAME_BYTES=" +
+                           std::to_string(MaxFrameBytes()));
+  }
   std::vector<uint8_t> blob(len);
   if (std::fread(blob.data(), 1, len, file_) != len) {
     return Status::IOError("ipc: truncated batch body");
@@ -270,9 +448,11 @@ Result<RecordBatchPtr> FileReader::Next() {
 }
 
 Status FileReader::Close() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
+  if (file_ == nullptr) return Status::OK();
+  std::FILE* f = file_;
+  file_ = nullptr;
+  if (std::fclose(f) != 0) {
+    return Status::IOError("ipc: close failed for " + path_);
   }
   return Status::OK();
 }
@@ -286,6 +466,7 @@ Result<std::vector<RecordBatchPtr>> ReadFile(const std::string& path) {
     if (batch == nullptr) break;
     out.push_back(std::move(batch));
   }
+  FUSION_RETURN_NOT_OK(reader.Close());
   return out;
 }
 

@@ -11,12 +11,41 @@
 namespace fusion {
 namespace ipc {
 
+/// \brief Hard cap on a single serialized batch (and on any length
+/// prefix read back from a file or socket). Every deserialization path
+/// validates untrusted lengths against this bound *before* allocating,
+/// so a corrupt or hostile stream can never drive an unbounded
+/// allocation: the worst case is one frame of this size.
+///
+/// FUSION_IPC_MAX_FRAME_BYTES overrides (bytes); default 64 MiB. The
+/// flight server shares this limit for its wire frames.
+int64_t MaxFrameBytes();
+
+/// Options controlling batch serialization.
+struct SerializeOptions {
+  /// Keep dictionary-encoded string columns in code form (codes +
+  /// dictionary are written instead of the densified strings). Used by
+  /// the network wire path, where repeated values dominate; spill files
+  /// keep the densified default so every reader sees plain arrays.
+  bool preserve_dictionary = false;
+};
+
 /// \brief Serialize a RecordBatch into a self-describing byte blob
 /// (schema + buffers). The engine's stand-in for Arrow IPC: used for
-/// spill files, the Arrow-file TableProvider and shuffle-style transport.
-std::vector<uint8_t> SerializeBatch(const RecordBatch& batch);
+/// spill files, the Arrow-file TableProvider, shuffle-style transport
+/// and the flight wire protocol. Blob format v2 ("FIP2"): column
+/// buffers carry an explicit encoding tag (plain vs dictionary).
+std::vector<uint8_t> SerializeBatch(const RecordBatch& batch,
+                                    const SerializeOptions& options = {});
 
 /// Deserialize a batch produced by SerializeBatch.
+///
+/// Treats `data` as untrusted: every length is validated against the
+/// bytes actually present before any allocation, string offsets must be
+/// monotonically increasing and in-bounds, dictionary codes must index
+/// the transmitted dictionary, and trailing garbage is rejected. Any
+/// malformed input yields Status::IOError — never UB or an allocation
+/// larger than `size`.
 Result<RecordBatchPtr> DeserializeBatch(const uint8_t* data, size_t size);
 
 /// \brief Append-style writer for a stream of batches to a file.
@@ -27,6 +56,9 @@ class FileWriter {
 
   Status Open();
   Status WriteBatch(const RecordBatch& batch);
+  /// Flush and close. A failed flush (ENOSPC, I/O error) surfaces as
+  /// Status::IOError — spill and IPC writes must not silently lose
+  /// buffered bytes. Idempotent.
   Status Close();
 
   /// Serialized bytes written so far (length prefixes included); spill
@@ -40,7 +72,8 @@ class FileWriter {
 };
 
 /// \brief Reader for files produced by FileWriter; batches are read
-/// incrementally.
+/// incrementally. Length prefixes are validated against MaxFrameBytes()
+/// before the frame buffer is allocated.
 class FileReader {
  public:
   explicit FileReader(std::string path) : path_(std::move(path)) {}
@@ -49,6 +82,7 @@ class FileReader {
   Status Open();
   /// Next batch, or nullptr at end of file.
   Result<RecordBatchPtr> Next();
+  /// Close; propagates fclose failure as Status::IOError. Idempotent.
   Status Close();
 
  private:

@@ -22,8 +22,12 @@ namespace fusion {
 /// truncated. Those paths are nearly unreachable in normal test runs, so
 /// the injector makes them reachable on demand: named sites in the
 /// runtime (`pool.grow`, `disk.create`, `ipc.write`, `ipc.read`,
-/// `csv.read`, `fpq.read`) call `FaultInjector::Maybe(site)` and receive
-/// an error Status with the configured probability.
+/// `csv.read`, `fpq.read`) and in the flight serving path
+/// (`flight.accept` per accepted connection, `flight.read` /
+/// `flight.write` per server-side frame — client sockets carry no
+/// fault sites, so scripted server faults never fire in the test
+/// client) call `FaultInjector::Maybe(site)` and receive an error
+/// Status with the configured probability.
 ///
 /// Scripting is env-var based so any binary (tests, benchmarks, the CLI)
 /// can run under faults without code changes:

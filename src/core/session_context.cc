@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "logical/plan_serde.h"
+#include "physical/exchange_exec.h"
 
 namespace fusion {
 namespace core {
@@ -261,6 +262,83 @@ Result<std::vector<RecordBatchPtr>> SessionContext::ExecutePlan(
   physical::PhysicalPlanner planner(ctx);
   FUSION_ASSIGN_OR_RAISE(auto exec_plan, planner.CreatePlan(optimized));
   return CollectAndFinish(exec_plan, ctx);
+}
+
+// --------------------------------------------------------- QueryStream
+
+QueryStream::QueryStream(physical::ExecContextPtr ctx, exec::AdmissionTicket ticket,
+                         physical::ExecPlanPtr plan, exec::StreamPtr stream)
+    : ctx_(std::move(ctx)), ticket_(std::move(ticket)), plan_(std::move(plan)),
+      stream_(std::move(stream)), schema_(stream_->schema()) {}
+
+QueryStream::~QueryStream() { Close(); }
+
+Result<RecordBatchPtr> QueryStream::Next() {
+  if (finished_) return RecordBatchPtr(nullptr);
+  auto batch = stream_->Next();
+  if (!batch.ok()) {
+    finished_ = true;
+    Close();
+    return batch.status();
+  }
+  if (*batch == nullptr) {
+    finished_ = true;
+    // End of stream: join producer tasks now so errors they hit after
+    // the consumer saw its last batch still fail the query.
+    FUSION_RETURN_NOT_OK(Close());
+    return RecordBatchPtr(nullptr);
+  }
+  return batch;
+}
+
+void QueryStream::Cancel() {
+  if (ctx_ != nullptr && ctx_->cancel != nullptr) ctx_->cancel->Cancel();
+}
+
+Status QueryStream::Close() {
+  if (closed_) return close_status_;
+  closed_ = true;
+  finished_ = true;
+  // Drop the consumer first: parked producers of a coalesce exchange
+  // wake via the queue-close unwind hooks that Finish() fires next.
+  stream_.reset();
+  close_status_ = ctx_ != nullptr && ctx_->task_group != nullptr
+                      ? ctx_->task_group->Finish()
+                      : Status::OK();
+  // Admission slot frees only after the task group fully unwound.
+  ticket_ = exec::AdmissionTicket();
+  return close_status_;
+}
+
+Result<QueryStreamPtr> SessionContext::ExecuteSqlStream(
+    const std::string& sql, exec::CancellationTokenPtr token) {
+  FUSION_ASSIGN_OR_RAISE(auto plan, CreateLogicalPlan(sql));
+  return ExecutePlanStream(plan, std::move(token));
+}
+
+Result<QueryStreamPtr> SessionContext::ExecutePlanStream(
+    const logical::PlanPtr& plan, exec::CancellationTokenPtr token) {
+  FUSION_ASSIGN_OR_RAISE(auto optimized, OptimizeCached(plan));
+  auto ctx = MakeExecContext(std::move(token));
+  FUSION_ASSIGN_OR_RAISE(auto ticket, AdmitQuery(ctx));
+  physical::PhysicalPlanner planner(ctx);
+  FUSION_ASSIGN_OR_RAISE(auto exec_plan, planner.CreatePlan(optimized));
+  if (exec_plan->output_partitions() > 1) {
+    // One consumer-facing stream; partition drivers become producer
+    // tasks pushing into bounded queues, so pulling slowly (a slow
+    // network client) back-pressures execution.
+    exec_plan = std::make_shared<physical::CoalescePartitionsExec>(exec_plan);
+  }
+  auto stream = exec_plan->Execute(0, ctx);
+  if (!stream.ok()) {
+    // Opening failed after tasks may have spawned: unwind before
+    // surfacing, so no producer outlives the error.
+    if (ctx->task_group != nullptr) ctx->task_group->Finish();
+    return stream.status();
+  }
+  return QueryStreamPtr(new QueryStream(std::move(ctx), std::move(ticket),
+                                        std::move(exec_plan),
+                                        std::move(*stream)));
 }
 
 Result<std::vector<RecordBatchPtr>> SessionContext::ExecutePhysical(

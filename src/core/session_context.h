@@ -17,6 +17,60 @@ namespace core {
 
 class DataFrame;
 
+/// \brief Incremental result stream for one admitted, executing query —
+/// the serving-layer entry point (the flight server streams batches to
+/// sockets through this instead of materializing via ExecuteSql).
+///
+/// Owns the query's full execution state: the admission ticket (the
+/// slot frees only on Close), the exec context (task group, token,
+/// runtime filters) and the physical plan. Multi-partition plans are
+/// coalesced onto one stream; producer partitions run as scheduler
+/// tasks with bounded queues, so a slow consumer back-pressures
+/// execution instead of buffering the result set.
+///
+/// Batches are returned as produced — dictionary columns still carry
+/// codes (callers that need dense arrays densify at their boundary,
+/// e.g. IPC serialization). Close() unwinds the task group (joining or
+/// cancelling every producer) and is idempotent; abandoning the stream
+/// mid-way (client disconnect) is the expected teardown path. Not
+/// thread-safe; one consumer drives it.
+class QueryStream {
+ public:
+  ~QueryStream();
+
+  const SchemaPtr& schema() const { return schema_; }
+
+  /// Next result batch, nullptr at end. The end-of-stream call joins the
+  /// query's task group, so deferred producer errors surface here.
+  Result<RecordBatchPtr> Next();
+
+  /// Cancel the query (Next returns Status::Cancelled within a batch).
+  void Cancel();
+
+  /// Unwind: close exchange queues, join every producer task, release
+  /// the admission slot. Idempotent; returns the join status.
+  Status Close();
+
+  /// The executing plan (metrics stay live on its nodes).
+  const physical::ExecPlanPtr& physical_plan() const { return plan_; }
+
+ private:
+  friend class SessionContext;
+  QueryStream(physical::ExecContextPtr ctx, exec::AdmissionTicket ticket,
+              physical::ExecPlanPtr plan, exec::StreamPtr stream);
+
+  physical::ExecContextPtr ctx_;
+  exec::AdmissionTicket ticket_;
+  physical::ExecPlanPtr plan_;
+  exec::StreamPtr stream_;
+  SchemaPtr schema_;
+  bool finished_ = false;
+  bool closed_ = false;
+  Status close_status_;
+};
+
+using QueryStreamPtr = std::unique_ptr<QueryStream>;
+
 /// Result of ExecuteSqlWithMetrics: the data plus the instrumented
 /// physical plan and its per-operator runtime metrics tree.
 struct QueryResult {
@@ -93,6 +147,18 @@ class SessionContext : public std::enable_shared_from_this<SessionContext> {
   /// callers can attribute time/rows/spills to individual operators
   /// (programmatic EXPLAIN ANALYZE).
   Result<QueryResult> ExecuteSqlWithMetrics(const std::string& sql);
+
+  /// Streaming execution: plan + admit + start the query, returning a
+  /// QueryStream the caller pulls batch-by-batch (the serving path —
+  /// results go out as they are produced, with backpressure, instead of
+  /// materializing). Goes through the plan cache and admission control
+  /// exactly like ExecuteSql.
+  Result<QueryStreamPtr> ExecuteSqlStream(const std::string& sql,
+                                          exec::CancellationTokenPtr token = nullptr);
+  /// Streaming execution of a pre-built logical plan (prepared
+  /// statements: parse once, stream many times through the plan cache).
+  Result<QueryStreamPtr> ExecutePlanStream(const logical::PlanPtr& plan,
+                                           exec::CancellationTokenPtr token = nullptr);
 
   /// DataFrame entry points (paper §5.3.3).
   Result<DataFrame> Table(const std::string& name);

@@ -1,0 +1,246 @@
+#include "flight/client.h"
+
+#include "arrow/ipc.h"
+#include "compute/cast.h"
+
+namespace fusion {
+namespace flight {
+
+Result<std::unique_ptr<FlightClient>> FlightClient::Connect(
+    const std::string& address, int port) {
+  FUSION_ASSIGN_OR_RAISE(Socket socket, ConnectTcp(address, port));
+  auto client = std::unique_ptr<FlightClient>(new FlightClient(std::move(socket)));
+  client->max_frame_bytes_ = ipc::MaxFrameBytes();
+  return client;
+}
+
+FlightClient::~FlightClient() { Close(); }
+
+void FlightClient::Close() { socket_.Close(); }
+
+Status FlightClient::CheckIdle() const {
+  if (!socket_.valid()) return Status::IOError("flight: client closed");
+  if (broken_) {
+    return Status::IOError("flight: connection desynced by an earlier failure");
+  }
+  if (stream_open_) {
+    return Status::Invalid(
+        "flight: a result stream is still open on this connection");
+  }
+  return Status::OK();
+}
+
+Result<Frame> FlightClient::ReadResponse() {
+  auto frame = socket_.ReadFrame(max_frame_bytes_);
+  if (!frame.ok()) {
+    broken_ = true;
+    return frame.status();
+  }
+  if (frame->type == FrameType::kError) {
+    return DecodeError(frame->body);
+  }
+  return frame;
+}
+
+Result<std::unique_ptr<FlightClient::Reader>> FlightClient::DoGet(
+    const std::string& sql, FlightCallOptions options) {
+  FUSION_RETURN_NOT_OK(CheckIdle());
+  BodyWriter w;
+  w.PutU64(static_cast<uint64_t>(options.timeout_ms));
+  w.PutString(sql);
+  Status sent = socket_.SendFrame(FrameType::kDoGet, 0, w.Finish());
+  if (!sent.ok()) {
+    broken_ = true;
+    return sent;
+  }
+  stream_open_ = true;
+  return std::unique_ptr<Reader>(new Reader(this, options.densify));
+}
+
+Result<std::vector<RecordBatchPtr>> FlightClient::Get(const std::string& sql,
+                                                      FlightCallOptions options) {
+  FUSION_ASSIGN_OR_RAISE(auto reader, DoGet(sql, options));
+  std::vector<RecordBatchPtr> batches;
+  for (;;) {
+    FUSION_ASSIGN_OR_RAISE(auto batch, reader->Next());
+    if (batch == nullptr) break;
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+Result<PreparedStatement> FlightClient::Prepare(const std::string& sql) {
+  FUSION_RETURN_NOT_OK(CheckIdle());
+  BodyWriter w;
+  w.PutString(sql);
+  Status sent = socket_.SendFrame(FrameType::kPrepare, 0, w.Finish());
+  if (!sent.ok()) {
+    broken_ = true;
+    return sent;
+  }
+  FUSION_ASSIGN_OR_RAISE(Frame reply, ReadResponse());
+  if (reply.type != FrameType::kPrepared) {
+    broken_ = true;
+    return Status::IOError("flight: unexpected reply to prepare");
+  }
+  BodyReader r(reply.body);
+  FUSION_ASSIGN_OR_RAISE(uint64_t handle, r.U64());
+  FUSION_RETURN_NOT_OK(r.Done());
+  return PreparedStatement{handle};
+}
+
+Result<std::unique_ptr<FlightClient::Reader>> FlightClient::DoGetPrepared(
+    PreparedStatement statement, FlightCallOptions options) {
+  FUSION_RETURN_NOT_OK(CheckIdle());
+  BodyWriter w;
+  w.PutU64(statement.handle);
+  w.PutU64(static_cast<uint64_t>(options.timeout_ms));
+  Status sent = socket_.SendFrame(FrameType::kDoGetPrepared, 0, w.Finish());
+  if (!sent.ok()) {
+    broken_ = true;
+    return sent;
+  }
+  stream_open_ = true;
+  return std::unique_ptr<Reader>(new Reader(this, options.densify));
+}
+
+Result<std::vector<RecordBatchPtr>> FlightClient::GetPrepared(
+    PreparedStatement statement, FlightCallOptions options) {
+  FUSION_ASSIGN_OR_RAISE(auto reader, DoGetPrepared(statement, options));
+  std::vector<RecordBatchPtr> batches;
+  for (;;) {
+    FUSION_ASSIGN_OR_RAISE(auto batch, reader->Next());
+    if (batch == nullptr) break;
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+Status FlightClient::ClosePrepared(PreparedStatement statement) {
+  FUSION_RETURN_NOT_OK(CheckIdle());
+  BodyWriter w;
+  w.PutU64(statement.handle);
+  Status sent = socket_.SendFrame(FrameType::kClosePrepared, 0, w.Finish());
+  if (!sent.ok()) {
+    broken_ = true;
+    return sent;
+  }
+  FUSION_ASSIGN_OR_RAISE(Frame reply, ReadResponse());
+  if (reply.type != FrameType::kOk) {
+    broken_ = true;
+    return Status::IOError("flight: unexpected reply to close-prepared");
+  }
+  return Status::OK();
+}
+
+Result<int64_t> FlightClient::Put(const std::string& name,
+                                  const std::vector<RecordBatchPtr>& batches,
+                                  bool replace) {
+  FUSION_RETURN_NOT_OK(CheckIdle());
+  BodyWriter w;
+  w.PutString(name);
+  uint8_t flags = replace ? kFlagReplaceTable : 0;
+  Status sent = socket_.SendFrame(FrameType::kDoPut, flags, w.Finish());
+  for (const auto& batch : batches) {
+    if (!sent.ok()) break;
+    std::vector<uint8_t> blob = ipc::SerializeBatch(*batch);
+    if (static_cast<int64_t>(blob.size()) > max_frame_bytes_) {
+      sent = Status::Invalid("flight: put batch exceeds max frame size");
+      break;
+    }
+    sent = socket_.SendFrame(FrameType::kPutBatch, 0, blob);
+  }
+  if (sent.ok()) {
+    sent = socket_.SendFrame(FrameType::kPutDone, 0, nullptr, 0);
+  }
+  if (!sent.ok()) {
+    broken_ = true;
+    return sent;
+  }
+  FUSION_ASSIGN_OR_RAISE(Frame reply, ReadResponse());
+  if (reply.type != FrameType::kOk) {
+    broken_ = true;
+    return Status::IOError("flight: unexpected reply to do-put");
+  }
+  BodyReader r(reply.body);
+  FUSION_ASSIGN_OR_RAISE(uint64_t rows, r.U64());
+  FUSION_RETURN_NOT_OK(r.Done());
+  return static_cast<int64_t>(rows);
+}
+
+Status FlightClient::Ping() {
+  FUSION_RETURN_NOT_OK(CheckIdle());
+  Status sent = socket_.SendFrame(FrameType::kPing, 0, nullptr, 0);
+  if (!sent.ok()) {
+    broken_ = true;
+    return sent;
+  }
+  FUSION_ASSIGN_OR_RAISE(Frame reply, ReadResponse());
+  if (reply.type != FrameType::kOk) {
+    broken_ = true;
+    return Status::IOError("flight: unexpected reply to ping");
+  }
+  return Status::OK();
+}
+
+FlightClient::Reader::~Reader() {
+  if (client_ == nullptr) return;
+  if (!finished_) {
+    // Abandoning mid-stream: sever the connection so the server's
+    // writer fails fast and the query is cancelled; a half-consumed
+    // stream cannot be resynced request-by-request.
+    client_->broken_ = true;
+    client_->socket_.ShutdownBoth();
+  }
+  client_->stream_open_ = false;
+}
+
+Result<RecordBatchPtr> FlightClient::Reader::Next() {
+  if (finished_) return RecordBatchPtr();
+  auto frame = client_->socket_.ReadFrame(client_->max_frame_bytes_);
+  if (!frame.ok()) {
+    client_->broken_ = true;
+    finished_ = true;
+    return frame.status();
+  }
+  switch (frame->type) {
+    case FrameType::kBatch: {
+      auto batch = ipc::DeserializeBatch(frame->body.data(), frame->body.size());
+      if (!batch.ok()) {
+        // Undecodable payload: framing may still be intact but the
+        // stream's contents cannot be trusted — treat as fatal.
+        client_->broken_ = true;
+        finished_ = true;
+        return batch.status();
+      }
+      summary_.rows += (*batch)->num_rows();
+      ++summary_.batches;
+      if (densify_) return compute::EnsureDenseBatch(std::move(*batch));
+      return std::move(*batch);
+    }
+    case FrameType::kStreamEnd: {
+      finished_ = true;
+      BodyReader r(frame->body);
+      FUSION_ASSIGN_OR_RAISE(uint64_t rows, r.U64());
+      FUSION_ASSIGN_OR_RAISE(uint64_t batches, r.U64());
+      FUSION_RETURN_NOT_OK(r.Done());
+      if (static_cast<int64_t>(rows) != summary_.rows ||
+          static_cast<int64_t>(batches) != summary_.batches) {
+        return Status::IOError("flight: stream summary mismatch (got " +
+                               std::to_string(summary_.rows) + " rows, server sent " +
+                               std::to_string(rows) + ")");
+      }
+      return RecordBatchPtr();
+    }
+    case FrameType::kError:
+      finished_ = true;
+      return DecodeError(frame->body);
+    default:
+      client_->broken_ = true;
+      finished_ = true;
+      return Status::IOError("flight: unexpected frame in result stream");
+  }
+}
+
+}  // namespace flight
+}  // namespace fusion

@@ -1,0 +1,121 @@
+#ifndef FUSION_FLIGHT_CLIENT_H_
+#define FUSION_FLIGHT_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arrow/record_batch.h"
+#include "flight/wire.h"
+
+namespace fusion {
+namespace flight {
+
+/// Per-call knobs for FlightClient requests.
+struct FlightCallOptions {
+  /// Server-side query deadline in ms (0 = server default). Expiry
+  /// cancels the query and the call fails with Status::Cancelled.
+  int64_t timeout_ms = 0;
+  /// Densify dictionary-encoded result columns on arrival, so client
+  /// rows are byte-identical to in-process ExecuteSql results. Turn
+  /// off to keep the compact wire representation.
+  bool densify = true;
+};
+
+/// Handle to a server-side prepared statement (per-connection).
+struct PreparedStatement {
+  uint64_t handle = 0;
+};
+
+/// Terminal summary of a do-get stream.
+struct StreamSummary {
+  int64_t rows = 0;
+  int64_t batches = 0;
+};
+
+/// \brief Blocking client for the flight wire protocol (flight/wire.h).
+///
+/// One connection, sequential requests: issue a call, consume its
+/// response fully, then issue the next. Results of DoGet/DoGetPrepared
+/// are pulled through a Reader so large result sets stream with
+/// backpressure instead of materializing; Get/GetPrepared are the
+/// collect-everything conveniences.
+///
+/// Every frame read validates magic/version/length against the same
+/// cap as the server, so a hostile or corrupt peer yields Status, not
+/// a crash. Not thread-safe; use one client per thread.
+class FlightClient {
+ public:
+  /// One in-flight do-get result stream. Drive Next() to nullptr (end
+  /// of stream), or drop the Reader early — the destructor severs the
+  /// connection so the server tears the query down (the client must
+  /// reconnect; mid-stream abandonment is a connection-level event).
+  class Reader {
+   public:
+    ~Reader();
+
+    const StreamSummary& summary() const { return summary_; }
+
+    /// Next result batch, or nullptr after the stream ends cleanly.
+    Result<RecordBatchPtr> Next();
+
+   private:
+    friend class FlightClient;
+    Reader(FlightClient* client, bool densify)
+        : client_(client), densify_(densify) {}
+
+    FlightClient* client_;
+    bool densify_ = false;
+    bool finished_ = false;
+    StreamSummary summary_;
+  };
+
+  static Result<std::unique_ptr<FlightClient>> Connect(
+      const std::string& address, int port);
+
+  ~FlightClient();
+
+  /// Run SQL, stream results through a Reader (one at a time).
+  Result<std::unique_ptr<Reader>> DoGet(const std::string& sql,
+                                        FlightCallOptions options = {});
+  /// Run SQL and collect every batch.
+  Result<std::vector<RecordBatchPtr>> Get(const std::string& sql,
+                                          FlightCallOptions options = {});
+
+  /// Parse + bind SQL server-side once; execute many times.
+  Result<PreparedStatement> Prepare(const std::string& sql);
+  Result<std::unique_ptr<Reader>> DoGetPrepared(PreparedStatement statement,
+                                                FlightCallOptions options = {});
+  Result<std::vector<RecordBatchPtr>> GetPrepared(PreparedStatement statement,
+                                                  FlightCallOptions options = {});
+  Status ClosePrepared(PreparedStatement statement);
+
+  /// Upload batches and register them as table `name` on the server.
+  /// `replace` swaps out an existing table of the same name.
+  Result<int64_t> Put(const std::string& name,
+                      const std::vector<RecordBatchPtr>& batches,
+                      bool replace = false);
+
+  /// Round-trip liveness probe.
+  Status Ping();
+
+  void Close();
+
+ private:
+  explicit FlightClient(Socket socket) : socket_(std::move(socket)) {}
+
+  Status CheckIdle() const;
+  /// Read one response frame, decoding kError frames into their Status.
+  Result<Frame> ReadResponse();
+
+  Socket socket_;
+  int64_t max_frame_bytes_ = 0;
+  bool stream_open_ = false;  ///< a Reader is consuming the connection
+  bool broken_ = false;       ///< protocol desync; connection unusable
+};
+
+}  // namespace flight
+}  // namespace fusion
+
+#endif  // FUSION_FLIGHT_CLIENT_H_
