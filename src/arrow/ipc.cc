@@ -238,10 +238,12 @@ std::vector<uint8_t> SerializeBatch(const RecordBatch& batch,
 Result<RecordBatchPtr> DeserializeBatch(const uint8_t* data, size_t size) {
   Cursor cur(data, size);
   FUSION_ASSIGN_OR_RAISE(uint32_t magic, cur.U32());
-  if (magic == kMagicV1) {
-    return Status::IOError("ipc: unsupported v1 blob (pre-hardening format)");
-  }
-  if (magic != kMagicV2) return Status::IOError("ipc: bad magic");
+  // v1 ("FIPC") is the pre-hardening on-disk layout: identical to v2
+  // except columns carry no encoding byte (everything is plain). Files
+  // persisted by older builds stay readable — decoded through the same
+  // hardened cursor — while the writer emits v2 only.
+  const bool v1 = magic == kMagicV1;
+  if (!v1 && magic != kMagicV2) return Status::IOError("ipc: bad magic");
   FUSION_ASSIGN_OR_RAISE(uint32_t num_fields, cur.U32());
   // Each field costs at least 4 bytes on the wire, so a field count the
   // blob cannot possibly hold is rejected before the reserve() below.
@@ -275,13 +277,16 @@ Result<RecordBatchPtr> DeserializeBatch(const uint8_t* data, size_t size) {
   columns.reserve(num_fields);
   for (uint32_t i = 0; i < num_fields; ++i) {
     DataType type = fields[i].type();
-    FUSION_ASSIGN_OR_RAISE(uint8_t encoding, cur.U8());
-    if (encoding != kEncodingPlain && encoding != kEncodingDictionary) {
-      return Status::IOError("ipc: unknown column encoding " +
-                             std::to_string(encoding));
-    }
-    if (encoding == kEncodingDictionary && type.id() != TypeId::kString) {
-      return Status::IOError("ipc: dictionary encoding on non-string column");
+    uint8_t encoding = kEncodingPlain;
+    if (!v1) {
+      FUSION_ASSIGN_OR_RAISE(encoding, cur.U8());
+      if (encoding != kEncodingPlain && encoding != kEncodingDictionary) {
+        return Status::IOError("ipc: unknown column encoding " +
+                               std::to_string(encoding));
+      }
+      if (encoding == kEncodingDictionary && type.id() != TypeId::kString) {
+        return Status::IOError("ipc: dictionary encoding on non-string column");
+      }
     }
     FUSION_ASSIGN_OR_RAISE(uint8_t has_validity, cur.U8());
     BufferPtr validity;

@@ -61,8 +61,28 @@ struct FlightServer::Session {
   std::mutex token_mu;
   exec::CancellationTokenPtr active_token;
   std::atomic<bool> drain_requested{false};
-  std::atomic<bool> cancelled_by_drain{false};
   std::atomic<bool> done{false};
+
+  /// Serializes fd access for close vs. cross-thread shutdown: only the
+  /// handler ever closes, but the writer and Shutdown() call shutdown()
+  /// to wake blocked peers — without the mutex they could read the fd
+  /// concurrently with Close() writing -1, or hit a recycled descriptor
+  /// after close. shutdown() on a still-open fd during concurrent
+  /// send/recv is well-defined, so SendFrame/ReadFrame need no lock.
+  std::mutex socket_mu;
+
+  void ShutdownSocketRead() {
+    std::lock_guard<std::mutex> lock(socket_mu);
+    if (socket.valid()) ::shutdown(socket.fd(), SHUT_RD);
+  }
+  void ShutdownSocketBoth() {
+    std::lock_guard<std::mutex> lock(socket_mu);
+    socket.ShutdownBoth();
+  }
+  void CloseSocket() {
+    std::lock_guard<std::mutex> lock(socket_mu);
+    socket.Close();
+  }
 
   // Prepared statements are per-connection; only the handler touches
   // the map, so it needs no lock.
@@ -189,14 +209,24 @@ void FlightServer::AcceptLoop() {
 }
 
 void FlightServer::ReapFinishedSessions() {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if ((*it)->done.load()) {
-      if ((*it)->handler.joinable()) (*it)->handler.join();
-      it = sessions_.erase(it);
-    } else {
-      ++it;
+  // Joining with sessions_mu_ held would deadlock: RunSession sets done
+  // and then acquires sessions_mu_ for its final notify, so a handler
+  // observed as done may still be blocked on this very mutex. Move
+  // finished sessions out under the lock, join them after releasing it.
+  std::vector<std::unique_ptr<Session>> finished;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if ((*it)->done.load()) {
+        finished.push_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
     }
+  }
+  for (auto& s : finished) {
+    if (s->handler.joinable()) s->handler.join();
   }
 }
 
@@ -237,7 +267,7 @@ void FlightServer::WriterLoop(Session* s) {
       // next request (and the peer waiting for the frame we dropped):
       // shutdown() fails their blocked recv without closing the fd, so
       // the handler remains the only closer.
-      s->socket.ShutdownBoth();
+      s->ShutdownSocketBoth();
       s->CancelActiveQuery();
       return;
     }
@@ -318,6 +348,16 @@ Status FlightServer::HandleDoGet(Session* s, const Frame& frame) {
   } else {
     queries_err_.fetch_add(1);
   }
+  if (s->drain_requested.load()) {
+    // Single drain-accounting point, taken where the outcome is known:
+    // a query cancelled during drain counts exactly once whether the
+    // drain deadline or its own timeout killed it.
+    if (st.ok()) {
+      drain_finished_.fetch_add(1);
+    } else if (st.IsCancelled()) {
+      drain_cancelled_.fetch_add(1);
+    }
+  }
   return st;
 }
 
@@ -374,6 +414,16 @@ Status FlightServer::HandleDoGetPrepared(Session* s, const Frame& frame) {
   } else {
     queries_err_.fetch_add(1);
   }
+  if (s->drain_requested.load()) {
+    // Single drain-accounting point, taken where the outcome is known:
+    // a query cancelled during drain counts exactly once whether the
+    // drain deadline or its own timeout killed it.
+    if (st.ok()) {
+      drain_finished_.fetch_add(1);
+    } else if (st.IsCancelled()) {
+      drain_cancelled_.fetch_add(1);
+    }
+  }
   return st;
 }
 
@@ -397,6 +447,15 @@ Status FlightServer::HandleDoPut(Session* s, const Frame& frame) {
   // Consume the upload to kPutDone even after a bad batch, so the
   // client's synchronous send of the full stream never deadlocks
   // against our error reply; only the first error is reported.
+  //
+  // Accumulated batches are charged to the runtime pool (wire bytes as
+  // the proxy for decoded size) and capped by max_put_bytes, so a
+  // client streaming frames before kPutDone can neither exceed the
+  // configured total nor allocate invisibly to admission. After the
+  // first error, frames are drained and dropped without accumulating.
+  exec::MemoryReservation put_reservation(
+      session_ctx_->env()->memory_pool, "flight.put." + std::to_string(s->id));
+  int64_t put_bytes = 0;
   Status first_error;
   std::vector<RecordBatchPtr> batches;
   int64_t rows = 0;
@@ -410,6 +469,19 @@ Status FlightServer::HandleDoPut(Session* s, const Frame& frame) {
       return Status::IOError("flight: unexpected frame during do-put");
     }
     if (!first_error.ok()) continue;
+    const int64_t frame_bytes = static_cast<int64_t>(next->body.size());
+    if (put_bytes + frame_bytes > options_.max_put_bytes) {
+      first_error = Status::ResourcesExhausted(
+          "flight: do-put upload exceeds max_put_bytes=" +
+          std::to_string(options_.max_put_bytes));
+      continue;
+    }
+    Status grow = put_reservation.ResizeTo(put_bytes + frame_bytes);
+    if (!grow.ok()) {
+      first_error = grow;
+      continue;
+    }
+    put_bytes = put_bytes + frame_bytes;
     auto batch = ipc::DeserializeBatch(next->body.data(), next->body.size());
     if (!batch.ok()) {
       first_error = batch.status();
@@ -494,9 +566,6 @@ void FlightServer::RunSession(Session* s) {
         frame_errors_.fetch_add(1);
     }
     if (!st.ok()) {
-      if (s->cancelled_by_drain.load() && st.IsCancelled()) {
-        drain_cancelled_.fetch_add(1);
-      }
       // Per-request errors go back as an error frame; if even that
       // cannot be queued the connection is dead.
       Status sent =
@@ -506,14 +575,11 @@ void FlightServer::RunSession(Session* s) {
         hard_failure = true;
         break;
       }
-    } else if (s->drain_requested.load() && s->in_flight.load() == false &&
-               draining_.load()) {
-      // Drain: this request (queued results included, flushed below)
-      // was the session's last.
-      if (frame->type == FrameType::kDoGet ||
-          frame->type == FrameType::kDoGetPrepared) {
-        drain_finished_.fetch_add(1);
-      }
+    }
+    if (s->drain_requested.load()) {
+      // Drain: this request (queued results or error frame included,
+      // flushed below) was the session's last. Drain outcome accounting
+      // happens in the do-get handlers, where the query result is known.
       break;
     }
   }
@@ -541,7 +607,7 @@ void FlightServer::RunSession(Session* s) {
   // Drop the pool consumer now (not at object reap) so "zero leaked
   // bytes/consumers after disconnect" holds as soon as the session ends.
   s->reservation.reset();
-  s->socket.Close();
+  s->CloseSocket();
   s->done.store(true);
   active_sessions_.fetch_sub(1);
   {
@@ -573,7 +639,7 @@ DrainResult FlightServer::Shutdown(int64_t drain_timeout_ms) {
     for (auto& s : sessions_) {
       s->drain_requested.store(true);
       if (!s->in_flight.load()) {
-        ::shutdown(s->socket.fd(), SHUT_RD);
+        s->ShutdownSocketRead();
       }
     }
   }
@@ -595,9 +661,8 @@ DrainResult FlightServer::Shutdown(int64_t drain_timeout_ms) {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     for (auto& s : sessions_) {
       if (!s->done.load()) {
-        s->cancelled_by_drain.store(true);
         s->CancelActiveQuery();
-        s->socket.ShutdownBoth();
+        s->ShutdownSocketBoth();
       }
     }
   }

@@ -37,6 +37,11 @@ struct FlightServerOptions {
   /// are charged to the runtime's memory pool ("flight.session.<id>"),
   /// so server result buffering is visible to admission watermarks.
   int64_t session_memory_bytes = 64 << 20;
+  /// Total bytes one do-put upload may accumulate server-side before
+  /// kPutDone (each frame is additionally capped by max_frame_bytes).
+  /// Held batches are charged to the pool as "flight.put.<id>"; going
+  /// over either limit fails the put with ResourcesExhausted.
+  int64_t max_put_bytes = 256 << 20;
 };
 
 /// Counters exposed by FlightServer::stats(); plain snapshot struct.
@@ -61,7 +66,9 @@ struct FlightServerStats {
 /// Outcome of a graceful drain (Shutdown).
 struct DrainResult {
   int64_t finished = 0;   ///< in-flight queries that completed
-  int64_t cancelled = 0;  ///< in-flight queries killed at the deadline
+  /// In-flight queries cancelled during the drain, whether by the drain
+  /// deadline or by their own query timeout expiring mid-drain.
+  int64_t cancelled = 0;
 };
 
 /// \brief TCP query server speaking the Flight-like do-get/do-put

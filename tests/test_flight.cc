@@ -225,6 +225,50 @@ TEST(FlightTest, DoPutRegistersTableAndReplaceSwapsIt) {
   EXPECT_EQ(server->stats().puts, 2);
 }
 
+TEST(FlightTest, DoPutOverLimitRejectedWithoutUntrackedBuffering) {
+  // Server-side do-put buffering is charged to the pool and capped by
+  // max_put_bytes: an upload past the cap fails with ResourcesExhausted,
+  // nothing is registered, no pool bytes stick, the connection survives.
+  auto pool = std::make_shared<exec::FairMemoryPool>(256 << 20);
+  auto env = std::make_shared<exec::RuntimeEnv>();
+  env->memory_pool = pool;
+  env->buffer_cache = nullptr;
+  auto ctx = MakeServerSession(10, {}, env);
+  flight::FlightServerOptions options;
+  // One 256-row batch serializes to ~6 KB: a single batch fits the cap,
+  // the three-batch upload below blows through it.
+  options.max_put_bytes = 8192;
+  ASSERT_OK_AND_ASSIGN(auto server, flight::FlightServer::Start(ctx, options));
+  ASSERT_OK_AND_ASSIGN(auto client,
+                       flight::FlightClient::Connect("127.0.0.1", server->port()));
+
+  Int64Builder k;
+  StringBuilder name;
+  for (int64_t i = 0; i < 256; ++i) {
+    k.Append(i);
+    name.Append("payload-" + std::to_string(i));
+  }
+  auto schema = fusion::schema(
+      {Field("k", int64(), false), Field("name", utf8(), false)});
+  auto batch = std::make_shared<RecordBatch>(
+      schema, 256,
+      std::vector<ArrayPtr>{k.Finish().ValueOrDie(), name.Finish().ValueOrDie()});
+
+  auto res = client->Put("big", {batch, batch, batch});
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsResourcesExhausted()) << res.status().ToString();
+  EXPECT_FALSE(client->Get("SELECT count(*) FROM big").ok())
+      << "rejected put must not register the table";
+  ASSERT_OK(client->Ping());
+  EXPECT_EQ(pool->bytes_allocated(), 0) << "put bytes must not stick";
+
+  // Under the cap still works on the same connection.
+  ASSERT_OK_AND_ASSIGN(int64_t rows, client->Put("big", {batch}));
+  EXPECT_EQ(rows, 256);
+  ASSERT_OK_AND_ASSIGN(auto count, client->Get("SELECT count(*) FROM big"));
+  EXPECT_EQ(ToStringRows(count)[0][0], "256");
+}
+
 TEST(FlightTest, DeadlineKillsSlowQueryWithCleanConnection) {
   // A cross join big enough to run for seconds; a 50 ms deadline must
   // cancel it server-side and leave the connection usable.

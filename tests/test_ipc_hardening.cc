@@ -1,10 +1,10 @@
 // Untrusted-input hardening for the IPC blob / file format (the wire
 // path under the flight server): truncation at every byte boundary,
-// inflated length prefixes, random byte flips and v1-magic inputs must
-// all yield a clean Status — never a crash, UB (run under ASan/UBSan
-// in CI) or an allocation beyond FUSION_IPC_MAX_FRAME_BYTES. Also
-// covers the fclose error-propagation fix and the dictionary-preserving
-// wire serialization.
+// inflated length prefixes and random byte flips must all yield a
+// clean Status — never a crash, UB (run under ASan/UBSan in CI) or an
+// allocation beyond FUSION_IPC_MAX_FRAME_BYTES. Also covers read-only
+// v1 ("FIPC") compatibility, the fclose error-propagation fix and the
+// dictionary-preserving wire serialization.
 
 #include "tests/test_util.h"
 
@@ -148,14 +148,79 @@ TEST(IpcHardeningTest, TrailingBytesRejected) {
   EXPECT_TRUE(res.status().IsIOError()) << res.status().ToString();
 }
 
-TEST(IpcHardeningTest, V1MagicRejected) {
-  auto batch = MakeBatch(8);
-  auto blob = ipc::SerializeBatch(*batch);
-  uint32_t v1 = 0x46495043;  // "FIPC", the pre-hardening format
-  std::memcpy(blob.data(), &v1, 4);
-  auto res = ipc::DeserializeBatch(blob.data(), blob.size());
-  ASSERT_FALSE(res.ok());
-  EXPECT_TRUE(res.status().IsIOError()) << res.status().ToString();
+/// Serialize `batch` in the retired v1 ("FIPC") layout — v2 minus the
+/// per-column encoding byte — standing in for Arrow files persisted by
+/// builds that predate the hardened format.
+std::vector<uint8_t> SerializeV1(const RecordBatch& batch) {
+  std::vector<uint8_t> out;
+  auto put = [&out](const void* data, size_t len) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    out.insert(out.end(), p, p + len);
+  };
+  uint32_t magic = 0x46495043;  // "FIPC"
+  put(&magic, 4);
+  uint32_t num_fields = static_cast<uint32_t>(batch.num_columns());
+  put(&num_fields, 4);
+  for (int i = 0; i < batch.num_columns(); ++i) {
+    const Field& f = batch.schema()->field(i);
+    uint16_t name_len = static_cast<uint16_t>(f.name().size());
+    put(&name_len, 2);
+    put(f.name().data(), f.name().size());
+    out.push_back(static_cast<uint8_t>(f.type().id()));
+    out.push_back(f.nullable() ? 1 : 0);
+  }
+  const int64_t rows = batch.num_rows();
+  uint64_t rows_u = static_cast<uint64_t>(rows);
+  put(&rows_u, 8);
+  for (int i = 0; i < batch.num_columns(); ++i) {
+    ArrayPtr col = batch.column(i);
+    const bool has_validity = col->validity() != nullptr;
+    out.push_back(has_validity ? 1 : 0);
+    if (has_validity) {
+      put(col->validity()->data(),
+          static_cast<size_t>(bit_util::BytesForBits(rows)));
+    }
+    switch (col->type().id()) {
+      case TypeId::kString: {
+        const auto& sa = checked_cast<StringArray>(*col);
+        put(sa.raw_offsets(), static_cast<size_t>((rows + 1) * 4));
+        uint64_t data_len = static_cast<uint64_t>(sa.raw_offsets()[rows]);
+        put(&data_len, 8);
+        put(sa.data()->data(), static_cast<size_t>(data_len));
+        break;
+      }
+      case TypeId::kFloat64:
+        put(checked_cast<Float64Array>(*col).values()->data(),
+            static_cast<size_t>(rows * 8));
+        break;
+      default:
+        put(checked_cast<Int64Array>(*col).values()->data(),
+            static_cast<size_t>(rows * 8));
+    }
+  }
+  return out;
+}
+
+TEST(IpcHardeningTest, V1BlobsStayReadableReadOnly) {
+  // Pre-hardening files decode through the same hardened cursor; the
+  // writer never emits v1 again.
+  auto batch = MakeBatch(64);
+  auto v1_blob = SerializeV1(*batch);
+  ASSERT_OK_AND_ASSIGN(auto back,
+                       ipc::DeserializeBatch(v1_blob.data(), v1_blob.size()));
+  TouchAllValues(back);
+  EXPECT_EQ(ToStringRows({back}), ToStringRows({batch}));
+
+  auto v2_blob = ipc::SerializeBatch(*batch);
+  uint32_t v2_magic = 0;
+  std::memcpy(&v2_magic, v2_blob.data(), 4);
+  EXPECT_EQ(v2_magic, 0x46495032u) << "writer must emit v2 only";
+
+  // Corrupt v1 input gets the same clean-rejection guarantee as v2.
+  for (size_t len = 0; len < v1_blob.size(); ++len) {
+    auto res = ipc::DeserializeBatch(v1_blob.data(), len);
+    EXPECT_FALSE(res.ok()) << "v1 prefix of " << len << " bytes parsed";
+  }
 }
 
 TEST(IpcHardeningTest, InflatedLengthFieldsNeverCrashOrOvercommit) {
