@@ -42,6 +42,10 @@ int main(int argc, char** argv) {
   PrintComparisonHeader();
   double fusion_total = 0, tie_total = 0;
   for (const auto& q : ClickBenchQueries()) {
+    if (q.skipped != nullptr) {
+      std::printf("Q%-5d SKIPPED(%s)\n", q.number, q.skipped);
+      continue;
+    }
     QueryTiming fusion = report.enabled()
                              ? RunFusionWithMetrics(fusion_ctx.get(), q.sql)
                              : RunFusion(fusion_ctx.get(), q.sql);

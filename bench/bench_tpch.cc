@@ -2,6 +2,7 @@
 // one FPQ file per table, Fusion vs. TIE. Scale via FUSION_BENCH_SF.
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_harness.h"
 #include "bench/workloads/tpch.h"
@@ -16,9 +17,13 @@ int main(int argc, char** argv) {
   TpchSpec spec;
   spec.scale_factor = EnvScaleDouble("FUSION_BENCH_SF", 0.05);
   spec.dir = BenchDataDir();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--decimal") == 0) spec.decimal_money = true;
+  }
 
-  std::printf("== Figure 5: TPC-H SF=%.3f, %d partition(s) ==\n",
-              spec.scale_factor, partitions);
+  std::printf("== Figure 5: TPC-H SF=%.3f, %d partition(s), money=%s ==\n",
+              spec.scale_factor, partitions,
+              spec.decimal_money ? "decimal(15,2)" : "float64");
   Timer gen_timer;
   auto tables = GenerateTpch(spec);
   if (!tables.ok()) {

@@ -210,6 +210,23 @@ const std::vector<BenchQuery>& ClickBenchQueries() {
        "very high cardinality"},
       {20, "SELECT UserID FROM hits WHERE UserID = 1000000435",
        "point lookup (Bloom filter)"},
+      {21, "SELECT count(*) FROM hits WHERE URL LIKE '%google%'",
+       "LIKE scan, single group"},
+      {22,
+       "SELECT SearchPhrase, min(URL), count(*) AS c FROM hits "
+       "WHERE URL LIKE '%google%' AND SearchPhrase <> '' "
+       "GROUP BY SearchPhrase ORDER BY c DESC LIMIT 10",
+       "LIKE + string min per group"},
+      {23,
+       "SELECT SearchPhrase, min(URL), min(Title), count(*) AS c, "
+       "count(DISTINCT UserID) FROM hits WHERE Title LIKE '%news%' "
+       "AND URL NOT LIKE '%ads%' AND SearchPhrase <> '' "
+       "GROUP BY SearchPhrase ORDER BY c DESC LIMIT 10",
+       "two LIKEs, string mins, distinct"},
+      {24,
+       "SELECT * FROM hits WHERE URL LIKE '%google%' ORDER BY EventTime "
+       "LIMIT 10",
+       "wide projection + TopK"},
       {25,
        "SELECT SearchPhrase FROM hits WHERE SearchPhrase <> '' "
        "ORDER BY EventTime LIMIT 10",
@@ -250,6 +267,12 @@ const std::vector<BenchQuery>& ClickBenchQueries() {
       {33, "SELECT URL, count(*) AS c FROM hits GROUP BY URL ORDER BY c DESC "
            "LIMIT 10",
        "high-cardinality string groups"},
+      {34,
+       "SELECT 1 AS one, URL, count(*) AS c FROM hits GROUP BY one, URL "
+       "ORDER BY c DESC LIMIT 10",
+       "constant group key + string groups"},
+      {35, "", "grouping by ClientIP arithmetic",
+       "no ClientIP column in the synthetic hits schema"},
       {36,
        "SELECT URL, count(*) AS c FROM hits WHERE IsRefresh = 0 "
        "GROUP BY URL ORDER BY c DESC LIMIT 10",

@@ -2,6 +2,8 @@
 
 #include <sys/stat.h>
 
+#include <cmath>
+
 #include "arrow/builder.h"
 #include "bench/workloads/workload_util.h"
 #include "compute/temporal.h"
@@ -82,6 +84,35 @@ double RetailPrice(int64_t partkey) {
   return (90000.0 + (partkey % 20000) * 100.0 + (partkey % 1000)) / 100.0;
 }
 
+/// Builds a money column as float64 (default) or DECIMAL(15,2). Values
+/// arrive in dollars; decimal mode rounds to exact cents so both modes
+/// see the same RNG stream and the same logical amounts.
+class MoneyBuilder {
+ public:
+  explicit MoneyBuilder(bool decimal)
+      : decimal_(decimal), dec_(decimal128(15, 2)) {}
+
+  void Append(double dollars) {
+    if (decimal_) {
+      dec_.Append(Decimal128(std::llround(dollars * 100.0)));
+    } else {
+      dbl_.Append(dollars);
+    }
+  }
+
+  Result<ArrayPtr> Finish() {
+    if (decimal_) return dec_.Finish();
+    return dbl_.Finish();
+  }
+
+  DataType type() const { return decimal_ ? decimal128(15, 2) : float64(); }
+
+ private:
+  bool decimal_;
+  Float64Builder dbl_;
+  Decimal128Builder dec_;
+};
+
 }  // namespace
 
 Result<std::vector<std::pair<std::string, std::string>>> GenerateTpch(
@@ -95,7 +126,8 @@ Result<std::vector<std::pair<std::string, std::string>>> GenerateTpch(
   // Scale factor is part of the directory name so differently-scaled
   // runs never reuse each other's files.
   char sf_dir[64];
-  std::snprintf(sf_dir, sizeof(sf_dir), "/tpch_sf%g", sf);
+  std::snprintf(sf_dir, sizeof(sf_dir), "/tpch_sf%g%s", sf,
+                spec.decimal_money ? "_dec" : "");
   std::string dir = spec.dir + sf_dir;
   ::mkdir(dir.c_str(), 0755);
   std::vector<std::pair<std::string, std::string>> tables = {
@@ -159,7 +191,7 @@ Result<std::vector<std::pair<std::string, std::string>>> GenerateTpch(
     Rng rng(13);
     Int64Builder key, nationkey;
     StringBuilder name, address, phone, comment;
-    Float64Builder acctbal;
+    MoneyBuilder acctbal(spec.decimal_money);
     for (int64_t s = 1; s <= n_supplier; ++s) {
       key.Append(s);
       char buf[32];
@@ -175,7 +207,7 @@ Result<std::vector<std::pair<std::string, std::string>>> GenerateTpch(
     auto schema = fusion::schema(
         {Field("s_suppkey", int64(), false), Field("s_name", utf8(), false),
          Field("s_address", utf8(), false), Field("s_nationkey", int64(), false),
-         Field("s_phone", utf8(), false), Field("s_acctbal", float64(), false),
+         Field("s_phone", utf8(), false), Field("s_acctbal", acctbal.type(), false),
          Field("s_comment", utf8(), false)});
     FUSION_RETURN_NOT_OK(WriteTable(
         tables[2].second, schema,
@@ -190,7 +222,7 @@ Result<std::vector<std::pair<std::string, std::string>>> GenerateTpch(
     Rng rng(14);
     Int64Builder key, nationkey;
     StringBuilder name, address, phone, segment, comment;
-    Float64Builder acctbal;
+    MoneyBuilder acctbal(spec.decimal_money);
     for (int64_t c = 1; c <= n_customer; ++c) {
       key.Append(c);
       char buf[32];
@@ -207,7 +239,7 @@ Result<std::vector<std::pair<std::string, std::string>>> GenerateTpch(
     auto schema = fusion::schema(
         {Field("c_custkey", int64(), false), Field("c_name", utf8(), false),
          Field("c_address", utf8(), false), Field("c_nationkey", int64(), false),
-         Field("c_phone", utf8(), false), Field("c_acctbal", float64(), false),
+         Field("c_phone", utf8(), false), Field("c_acctbal", acctbal.type(), false),
          Field("c_mktsegment", utf8(), false), Field("c_comment", utf8(), false)});
     FUSION_RETURN_NOT_OK(WriteTable(
         tables[3].second, schema,
@@ -270,7 +302,7 @@ Result<std::vector<std::pair<std::string, std::string>>> GenerateTpch(
   {
     Rng rng(16);
     Int64Builder partkey, suppkey, availqty;
-    Float64Builder supplycost;
+    MoneyBuilder supplycost(spec.decimal_money);
     StringBuilder comment;
     for (int64_t p = 1; p <= n_part; ++p) {
       for (int s = 0; s < 4; ++s) {
@@ -284,7 +316,7 @@ Result<std::vector<std::pair<std::string, std::string>>> GenerateTpch(
     auto schema = fusion::schema(
         {Field("ps_partkey", int64(), false), Field("ps_suppkey", int64(), false),
          Field("ps_availqty", int64(), false),
-         Field("ps_supplycost", float64(), false),
+         Field("ps_supplycost", supplycost.type(), false),
          Field("ps_comment", utf8(), false)});
     FUSION_RETURN_NOT_OK(WriteTable(
         tables[5].second, schema,
@@ -302,11 +334,13 @@ Result<std::vector<std::pair<std::string, std::string>>> GenerateTpch(
 
     Int64Builder o_key, o_custkey, o_shippriority;
     StringBuilder o_status, o_priority, o_clerk, o_comment;
-    Float64Builder o_total;
+    MoneyBuilder o_total(spec.decimal_money);
     Date32Builder o_date;
 
     Int64Builder l_orderkey, l_partkey, l_suppkey, l_linenumber;
-    Float64Builder l_quantity, l_extendedprice, l_discount, l_tax;
+    Float64Builder l_quantity;
+    MoneyBuilder l_extendedprice(spec.decimal_money),
+        l_discount(spec.decimal_money), l_tax(spec.decimal_money);
     StringBuilder l_returnflag, l_linestatus, l_shipinstruct, l_shipmode,
         l_comment;
     Date32Builder l_shipdate, l_commitdate, l_receiptdate;
@@ -375,7 +409,7 @@ Result<std::vector<std::pair<std::string, std::string>>> GenerateTpch(
     auto orders_schema = fusion::schema(
         {Field("o_orderkey", int64(), false), Field("o_custkey", int64(), false),
          Field("o_orderstatus", utf8(), false),
-         Field("o_totalprice", float64(), false),
+         Field("o_totalprice", o_total.type(), false),
          Field("o_orderdate", date32(), false),
          Field("o_orderpriority", utf8(), false), Field("o_clerk", utf8(), false),
          Field("o_shippriority", int64(), false),
@@ -393,8 +427,9 @@ Result<std::vector<std::pair<std::string, std::string>>> GenerateTpch(
         {Field("l_orderkey", int64(), false), Field("l_partkey", int64(), false),
          Field("l_suppkey", int64(), false), Field("l_linenumber", int64(), false),
          Field("l_quantity", float64(), false),
-         Field("l_extendedprice", float64(), false),
-         Field("l_discount", float64(), false), Field("l_tax", float64(), false),
+         Field("l_extendedprice", l_extendedprice.type(), false),
+         Field("l_discount", l_discount.type(), false),
+         Field("l_tax", l_tax.type(), false),
          Field("l_returnflag", utf8(), false),
          Field("l_linestatus", utf8(), false),
          Field("l_shipdate", date32(), false),

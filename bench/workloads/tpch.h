@@ -17,6 +17,11 @@ namespace bench {
 struct TpchSpec {
   double scale_factor = 0.01;  // paper: SF=10
   std::string dir;
+  // Money columns (l_extendedprice, l_discount, l_tax, o_totalprice,
+  // ps_supplycost, acctbal) as DECIMAL(15,2) instead of float64. The
+  // same generator values are rounded to exact cents, so the two modes
+  // describe the same data.
+  bool decimal_money = false;
 };
 
 /// Generate all 8 tables (idempotent per file). Returns table_name ->

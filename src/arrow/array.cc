@@ -23,6 +23,8 @@ std::string NumericArray<CType>::ValueToString(int64_t i) const {
     std::ostringstream out;
     out << Value(i);
     return out.str();
+  } else if constexpr (std::is_same_v<CType, Decimal128>) {
+    return DecimalToString(Value(i), type_.scale());
   } else {
     return std::to_string(Value(i));
   }
@@ -31,6 +33,7 @@ std::string NumericArray<CType>::ValueToString(int64_t i) const {
 template class NumericArray<int32_t>;
 template class NumericArray<int64_t>;
 template class NumericArray<double>;
+template class NumericArray<Decimal128>;
 
 int64_t BooleanArray::TrueCount() const {
   if (validity_ == nullptr) return bit_util::CountSetBits(values_->data(), length_);
@@ -161,6 +164,11 @@ Result<ArrayPtr> MakeArrayOfNulls(DataType type, int64_t length) {
       return ArrayPtr(std::make_shared<Float64Array>(type, length, std::move(values),
                                                      std::move(validity), length));
     }
+    case TypeId::kDecimal128: {
+      auto values = std::make_shared<Buffer>(length * 16);
+      return ArrayPtr(std::make_shared<Decimal128Array>(
+          type, length, std::move(values), std::move(validity), length));
+    }
     // An all-null string-like array has no values to encode; the dense
     // representation is the canonical choice.
     case TypeId::kString:
@@ -203,6 +211,9 @@ bool ArrayElementsEqual(const Array& a, int64_t ai, const Array& b, int64_t bi) 
     case TypeId::kFloat64:
       return checked_cast<Float64Array>(a).Value(ai) ==
              checked_cast<Float64Array>(b).Value(bi);
+    case TypeId::kDecimal128:
+      return checked_cast<Decimal128Array>(a).Value(ai) ==
+             checked_cast<Decimal128Array>(b).Value(bi);
     case TypeId::kString:
     case TypeId::kDictionary:
       return false;  // string-like pairs handled above
@@ -336,6 +347,8 @@ Result<ArrayPtr> Concatenate(const std::vector<ArrayPtr>& arrays) {
       return ConcatenateNumeric<int64_t>(type, arrays, total, nulls);
     case TypeId::kFloat64:
       return ConcatenateNumeric<double>(type, arrays, total, nulls);
+    case TypeId::kDecimal128:
+      return ConcatenateNumeric<Decimal128>(type, arrays, total, nulls);
     case TypeId::kBool: {
       auto values = std::make_shared<Buffer>(bit_util::BytesForBits(total));
       BufferPtr validity;

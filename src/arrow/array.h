@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "arrow/buffer.h"
+#include "arrow/decimal.h"
 #include "arrow/type.h"
 #include "common/bit_util.h"
 #include "common/macros.h"
@@ -96,6 +97,9 @@ class NumericArray : public Array {
 using Int32Array = NumericArray<int32_t>;
 using Int64Array = NumericArray<int64_t>;
 using Float64Array = NumericArray<double>;
+/// 16 bytes per value (two little-endian 64-bit limbs); the column's
+/// (precision, scale) ride in the DataType.
+using Decimal128Array = NumericArray<Decimal128>;
 
 /// \brief Boolean array with bitmap-packed values.
 class BooleanArray : public Array {
@@ -210,6 +214,8 @@ template <>
 struct CTypeOf<TypeId::kDate32> { using type = int32_t; };
 template <>
 struct CTypeOf<TypeId::kTimestamp> { using type = int64_t; };
+template <>
+struct CTypeOf<TypeId::kDecimal128> { using type = Decimal128; };
 
 /// Downcast helpers (debug-checked).
 template <typename ArrayType>

@@ -125,6 +125,8 @@ Result<std::unique_ptr<ArrayBuilder>> MakeBuilder(DataType type) {
       return std::unique_ptr<ArrayBuilder>(new NumericBuilder<int64_t>(type));
     case TypeId::kFloat64:
       return std::unique_ptr<ArrayBuilder>(new Float64Builder());
+    case TypeId::kDecimal128:
+      return std::unique_ptr<ArrayBuilder>(new Decimal128Builder(type));
     case TypeId::kString:
       return std::unique_ptr<ArrayBuilder>(new StringBuilder());
     case TypeId::kDictionary:
@@ -192,6 +194,11 @@ ArrayPtr MakeDate32Array(const std::vector<int32_t>& values,
 ArrayPtr MakeTimestampArray(const std::vector<int64_t>& values,
                             const std::vector<bool>& valid) {
   return MakeTyped(TimestampBuilder(), values, valid);
+}
+ArrayPtr MakeDecimal128Array(int precision, int scale,
+                             const std::vector<Decimal128>& values,
+                             const std::vector<bool>& valid) {
+  return MakeTyped(Decimal128Builder(precision, scale), values, valid);
 }
 
 }  // namespace fusion

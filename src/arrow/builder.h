@@ -106,6 +106,12 @@ class TimestampBuilder : public NumericBuilder<int64_t> {
  public:
   TimestampBuilder() : NumericBuilder<int64_t>(timestamp()) {}
 };
+class Decimal128Builder : public NumericBuilder<Decimal128> {
+ public:
+  Decimal128Builder(int precision, int scale)
+      : NumericBuilder<Decimal128>(decimal128(precision, scale)) {}
+  explicit Decimal128Builder(DataType type) : NumericBuilder<Decimal128>(type) {}
+};
 
 /// \brief Builder for boolean arrays.
 class BooleanBuilder : public ArrayBuilder {
@@ -213,6 +219,10 @@ ArrayPtr MakeDate32Array(const std::vector<int32_t>& values,
                          const std::vector<bool>& valid = {});
 ArrayPtr MakeTimestampArray(const std::vector<int64_t>& values,
                             const std::vector<bool>& valid = {});
+/// Values are unscaled integers; e.g. {12345} with scale 2 is 123.45.
+ArrayPtr MakeDecimal128Array(int precision, int scale,
+                             const std::vector<Decimal128>& values,
+                             const std::vector<bool>& valid = {});
 
 }  // namespace fusion
 

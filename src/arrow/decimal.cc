@@ -1,0 +1,160 @@
+#include "arrow/decimal.h"
+
+#include <array>
+#include <cctype>
+
+namespace fusion {
+
+namespace {
+
+std::array<__int128, kDecimalMaxPrecision + 1> BuildPowers() {
+  std::array<__int128, kDecimalMaxPrecision + 1> p{};
+  p[0] = 1;
+  for (int i = 1; i <= kDecimalMaxPrecision; ++i) p[i] = p[i - 1] * 10;
+  return p;
+}
+
+const std::array<__int128, kDecimalMaxPrecision + 1>& Powers() {
+  static const auto kPowers = BuildPowers();
+  return kPowers;
+}
+
+}  // namespace
+
+Decimal128 DecimalPowerOfTen(int k) {
+  if (k < 0) k = 0;
+  if (k > kDecimalMaxPrecision) k = kDecimalMaxPrecision;
+  return Decimal128::FromInt128(Powers()[k]);
+}
+
+int DecimalDigitCount(const Decimal128& v) {
+  __int128 x = v.ToInt128();
+  unsigned __int128 mag =
+      x < 0 ? -static_cast<unsigned __int128>(x) : static_cast<unsigned __int128>(x);
+  int digits = 1;
+  while (digits <= kDecimalMaxPrecision &&
+         mag >= static_cast<unsigned __int128>(Powers()[digits])) {
+    ++digits;
+  }
+  return digits;
+}
+
+bool DecimalFitsPrecision(const Decimal128& v, int precision) {
+  if (precision >= kDecimalMaxPrecision + 1) return true;
+  if (precision < 1) return false;
+  __int128 x = v.ToInt128();
+  unsigned __int128 mag =
+      x < 0 ? -static_cast<unsigned __int128>(x) : static_cast<unsigned __int128>(x);
+  return mag < static_cast<unsigned __int128>(Powers()[precision]);
+}
+
+bool DecimalRescale(const Decimal128& v, int from_scale, int to_scale,
+                    Decimal128* out) {
+  if (from_scale == to_scale) {
+    *out = v;
+    return true;
+  }
+  __int128 x = v.ToInt128();
+  if (to_scale > from_scale) {
+    int shift = to_scale - from_scale;
+    if (shift > kDecimalMaxPrecision) return false;
+    __int128 r;
+    if (__builtin_mul_overflow(x, Powers()[shift], &r)) return false;
+    *out = Decimal128::FromInt128(r);
+    return true;
+  }
+  int shift = from_scale - to_scale;
+  if (shift > kDecimalMaxPrecision) {
+    *out = Decimal128(0);
+    return true;
+  }
+  __int128 divisor = Powers()[shift];
+  __int128 q = x / divisor;
+  __int128 r = x % divisor;
+  // Round half away from zero (SQL semantics).
+  if (r >= (divisor + 1) / 2) q += 1;
+  if (-r >= (divisor + 1) / 2) q -= 1;
+  *out = Decimal128::FromInt128(q);
+  return true;
+}
+
+std::string DecimalToString(const Decimal128& v, int scale) {
+  __int128 x = v.ToInt128();
+  bool negative = x < 0;
+  unsigned __int128 mag =
+      negative ? -static_cast<unsigned __int128>(x) : static_cast<unsigned __int128>(x);
+  std::string digits;
+  do {
+    digits.push_back(static_cast<char>('0' + static_cast<int>(mag % 10)));
+    mag /= 10;
+  } while (mag != 0);
+  if (scale < 0) scale = 0;
+  while (static_cast<int>(digits.size()) <= scale) digits.push_back('0');
+  std::string out;
+  if (negative) out.push_back('-');
+  for (int i = static_cast<int>(digits.size()) - 1; i >= 0; --i) {
+    out.push_back(digits[static_cast<size_t>(i)]);
+    if (i == scale && scale > 0) out.push_back('.');
+  }
+  return out;
+}
+
+bool DecimalFromString(std::string_view s, Decimal128* out, int* precision,
+                       int* scale) {
+  size_t i = 0;
+  bool negative = false;
+  if (i < s.size() && (s[i] == '+' || s[i] == '-')) {
+    negative = s[i] == '-';
+    ++i;
+  }
+  unsigned __int128 mag = 0;
+  int digits = 0;  // significant digits (integer-part leading zeros skipped)
+  int frac_digits = 0;
+  bool seen_dot = false;
+  bool seen_digit = false;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '.') {
+      if (seen_dot) return false;
+      seen_dot = true;
+      continue;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    seen_digit = true;
+    if (seen_dot) {
+      ++frac_digits;
+    } else if (digits == 0 && c == '0') {
+      continue;  // integer-part leading zero: no digit, no value
+    }
+    ++digits;
+    if (digits > kDecimalMaxPrecision || frac_digits > kDecimalMaxPrecision) {
+      return false;
+    }
+    mag = mag * 10 + static_cast<unsigned>(c - '0');
+  }
+  if (!seen_digit) return false;
+  __int128 value = static_cast<__int128>(mag);
+  if (negative) value = -value;
+  *out = Decimal128::FromInt128(value);
+  // Precision covers at least the scale ("0.005" is decimal(3,3)).
+  if (digits < frac_digits) digits = frac_digits;
+  if (digits == 0) digits = 1;
+  *precision = digits;
+  *scale = frac_digits;
+  return true;
+}
+
+bool DecimalFromString(std::string_view s, int precision, int scale,
+                       Decimal128* out) {
+  Decimal128 raw;
+  int p = 0;
+  int sc = 0;
+  if (!DecimalFromString(s, &raw, &p, &sc)) return false;
+  Decimal128 rescaled;
+  if (!DecimalRescale(raw, sc, scale, &rescaled)) return false;
+  if (!DecimalFitsPrecision(rescaled, precision)) return false;
+  *out = rescaled;
+  return true;
+}
+
+}  // namespace fusion

@@ -1,0 +1,180 @@
+#ifndef FUSION_ARROW_DECIMAL_H_
+#define FUSION_ARROW_DECIMAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace fusion {
+
+/// \brief 128-bit signed fixed-point value, stored as two 64-bit limbs.
+///
+/// The limb layout (lo then hi, little-endian within each limb) keeps the
+/// struct 8-byte aligned so values can live in ordinary primitive buffers
+/// without the 16-byte alignment `__int128` would demand; arithmetic
+/// converts to `__int128` internally. A Decimal128 is the *unscaled*
+/// integer; the scale lives in the column's DataType. Max precision is 38
+/// digits (the largest power of ten representable in 128 bits).
+struct Decimal128 {
+  uint64_t lo = 0;
+  int64_t hi = 0;
+
+  constexpr Decimal128() = default;
+  constexpr Decimal128(int64_t high, uint64_t low) : lo(low), hi(high) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): int literals are handy
+  constexpr Decimal128(int64_t v)
+      : lo(static_cast<uint64_t>(v)), hi(v < 0 ? -1 : 0) {}
+
+  static Decimal128 FromInt128(__int128 v) {
+    return Decimal128(static_cast<int64_t>(v >> 64),
+                      static_cast<uint64_t>(v));
+  }
+  __int128 ToInt128() const {
+    return (static_cast<__int128>(hi) << 64) |
+           static_cast<unsigned __int128>(lo);
+  }
+
+  double ToDouble() const { return static_cast<double>(ToInt128()); }
+  explicit operator double() const { return ToDouble(); }
+  explicit operator float() const { return static_cast<float>(ToDouble()); }
+  explicit operator int64_t() const { return static_cast<int64_t>(ToInt128()); }
+  explicit operator int32_t() const { return static_cast<int32_t>(ToInt128()); }
+
+  bool IsNegative() const { return hi < 0; }
+
+  /// True iff the value fits in a signed 64-bit integer.
+  bool FitsInInt64() const {
+    __int128 v = ToInt128();
+    return v >= static_cast<__int128>(INT64_MIN) &&
+           v <= static_cast<__int128>(INT64_MAX);
+  }
+
+  friend bool operator==(const Decimal128& a, const Decimal128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Decimal128& a, const Decimal128& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Decimal128& a, const Decimal128& b) {
+    return a.ToInt128() < b.ToInt128();
+  }
+  friend bool operator<=(const Decimal128& a, const Decimal128& b) {
+    return a.ToInt128() <= b.ToInt128();
+  }
+  friend bool operator>(const Decimal128& a, const Decimal128& b) {
+    return a.ToInt128() > b.ToInt128();
+  }
+  friend bool operator>=(const Decimal128& a, const Decimal128& b) {
+    return a.ToInt128() >= b.ToInt128();
+  }
+
+  // Wrapping arithmetic; kernels that need overflow detection use the
+  // *WithOverflow helpers below.
+  friend Decimal128 operator+(const Decimal128& a, const Decimal128& b) {
+    return FromInt128(a.ToInt128() + b.ToInt128());
+  }
+  friend Decimal128 operator-(const Decimal128& a, const Decimal128& b) {
+    return FromInt128(a.ToInt128() - b.ToInt128());
+  }
+  friend Decimal128 operator*(const Decimal128& a, const Decimal128& b) {
+    return FromInt128(a.ToInt128() * b.ToInt128());
+  }
+  friend Decimal128 operator/(const Decimal128& a, const Decimal128& b) {
+    return FromInt128(a.ToInt128() / b.ToInt128());
+  }
+  friend Decimal128 operator%(const Decimal128& a, const Decimal128& b) {
+    return FromInt128(a.ToInt128() % b.ToInt128());
+  }
+  friend Decimal128 operator-(const Decimal128& a) {
+    return FromInt128(-a.ToInt128());
+  }
+  Decimal128& operator+=(const Decimal128& b) {
+    *this = *this + b;
+    return *this;
+  }
+  Decimal128& operator-=(const Decimal128& b) {
+    *this = *this - b;
+    return *this;
+  }
+
+  static bool AddWithOverflow(const Decimal128& a, const Decimal128& b,
+                              Decimal128* out) {
+    __int128 r;
+    bool overflow = __builtin_add_overflow(a.ToInt128(), b.ToInt128(), &r);
+    *out = FromInt128(r);
+    return overflow;
+  }
+  static bool SubtractWithOverflow(const Decimal128& a, const Decimal128& b,
+                                   Decimal128* out) {
+    __int128 r;
+    bool overflow = __builtin_sub_overflow(a.ToInt128(), b.ToInt128(), &r);
+    *out = FromInt128(r);
+    return overflow;
+  }
+  static bool MultiplyWithOverflow(const Decimal128& a, const Decimal128& b,
+                                   Decimal128* out) {
+    __int128 r;
+    bool overflow = __builtin_mul_overflow(a.ToInt128(), b.ToInt128(), &r);
+    *out = FromInt128(r);
+    return overflow;
+  }
+
+  uint64_t Hash() const {
+    // Mix the limbs the same way two independent int64 columns would be.
+    uint64_t h = lo * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    h += static_cast<uint64_t>(hi) * 0xc2b2ae3d27d4eb4fULL;
+    h ^= h >> 29;
+    return h;
+  }
+};
+
+static_assert(sizeof(Decimal128) == 16, "Decimal128 must be 16 bytes");
+static_assert(alignof(Decimal128) == 8, "Decimal128 must be 8-byte aligned");
+
+/// Largest supported precision: 10^38 < 2^127 < 10^39.
+inline constexpr int kDecimalMaxPrecision = 38;
+
+/// 10^k for k in [0, 38].
+Decimal128 DecimalPowerOfTen(int k);
+
+/// Number of decimal digits needed to represent |v| (>= 1).
+int DecimalDigitCount(const Decimal128& v);
+
+/// True iff |v| < 10^precision (the value fits in `precision` digits).
+bool DecimalFitsPrecision(const Decimal128& v, int precision);
+
+/// Scale `v` from `from_scale` to `to_scale`. Scaling up multiplies by a
+/// power of ten (can overflow); scaling down divides with round-half-up
+/// away from zero (SQL rounding). Returns false on 128-bit overflow.
+bool DecimalRescale(const Decimal128& v, int from_scale, int to_scale,
+                    Decimal128* out);
+
+/// Render the unscaled value `v` with a decimal point at `scale` digits,
+/// e.g. {12345, scale=2} -> "123.45".
+std::string DecimalToString(const Decimal128& v, int scale);
+
+/// Parse a decimal literal ("-12.340", "+7", "1e2" is rejected). On
+/// success `*out` holds the unscaled value, `*precision`/`*scale` the
+/// inferred parameters (precision >= 1, scale >= 0). Returns false on
+/// malformed input or > 38 digits.
+bool DecimalFromString(std::string_view s, Decimal128* out, int* precision,
+                       int* scale);
+
+/// Parse into a *given* (precision, scale): rounds half-up to `scale`
+/// fractional digits and fails if the result exceeds `precision` digits.
+bool DecimalFromString(std::string_view s, int precision, int scale,
+                       Decimal128* out);
+
+}  // namespace fusion
+
+namespace std {
+template <>
+struct hash<fusion::Decimal128> {
+  size_t operator()(const fusion::Decimal128& v) const { return v.Hash(); }
+};
+}  // namespace std
+
+#endif  // FUSION_ARROW_DECIMAL_H_

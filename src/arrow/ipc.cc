@@ -14,7 +14,8 @@ namespace {
 // Blob layout (v2, magic "FIP2"):
 //   u32 magic
 //   u32 num_fields
-//   per field: u16 name_len, name bytes, u8 type_id, u8 nullable
+//   per field: u16 name_len, name bytes, u8 type_id, u8 nullable,
+//              [u8 precision, u8 scale when type_id == kDecimal128]
 //   u64 num_rows
 //   per column: u8 encoding (0 = plain, 1 = dictionary),
 //               u8 has_validity, [validity bytes], buffers:
@@ -181,6 +182,13 @@ std::vector<uint8_t> SerializeBatch(const RecordBatch& batch,
     PutBytes(&out, f.name().data(), f.name().size());
     out.push_back(static_cast<uint8_t>(f.type().id()));
     out.push_back(f.nullable() ? 1 : 0);
+    if (f.type().is_decimal()) {
+      // Parameterized types carry their parameters right after the id;
+      // parameter-free types stay at the two-byte footprint older
+      // readers expect.
+      out.push_back(static_cast<uint8_t>(f.type().precision()));
+      out.push_back(static_cast<uint8_t>(f.type().scale()));
+    }
   }
   PutU64(&out, static_cast<uint64_t>(batch.num_rows()));
   const int64_t rows = batch.num_rows();
@@ -223,6 +231,8 @@ std::vector<uint8_t> SerializeBatch(const RecordBatch& batch,
         const Buffer* values = nullptr;
         if (width == 4) {
           values = checked_cast<Int32Array>(*col).values().get();
+        } else if (width == 16) {
+          values = checked_cast<Decimal128Array>(*col).values().get();
         } else if (col->type().id() == TypeId::kFloat64) {
           values = checked_cast<Float64Array>(*col).values().get();
         } else {
@@ -264,8 +274,18 @@ Result<RecordBatchPtr> DeserializeBatch(const uint8_t* data, size_t size) {
       return Status::IOError("ipc: invalid field type id " +
                              std::to_string(type_id));
     }
-    fields.emplace_back(std::move(name), DataType(static_cast<TypeId>(type_id)),
-                        nullable != 0);
+    DataType type(static_cast<TypeId>(type_id));
+    if (type.is_decimal()) {
+      FUSION_ASSIGN_OR_RAISE(uint8_t precision, cur.U8());
+      FUSION_ASSIGN_OR_RAISE(uint8_t scale, cur.U8());
+      if (!ValidDecimalParams(precision, scale)) {
+        return Status::IOError("ipc: invalid decimal parameters (" +
+                               std::to_string(precision) + "," +
+                               std::to_string(scale) + ")");
+      }
+      type = decimal128(precision, scale);
+    }
+    fields.emplace_back(std::move(name), type, nullable != 0);
   }
   FUSION_ASSIGN_OR_RAISE(uint64_t rows_u, cur.U64());
   if (rows_u > kMaxRows) {
@@ -357,6 +377,9 @@ Result<RecordBatchPtr> DeserializeBatch(const uint8_t* data, size_t size) {
             cur.ReadBuffer(static_cast<uint64_t>(rows) * width));
         if (width == 4) {
           columns.push_back(std::make_shared<Int32Array>(
+              type, rows, std::move(values), std::move(validity), nulls));
+        } else if (width == 16) {
+          columns.push_back(std::make_shared<Decimal128Array>(
               type, rows, std::move(values), std::move(validity), nulls));
         } else if (type.id() == TypeId::kFloat64) {
           columns.push_back(std::make_shared<Float64Array>(

@@ -1,5 +1,6 @@
 #include "arrow/scalar.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <sstream>
@@ -30,12 +31,31 @@ Scalar Scalar::FromArray(const Array& arr, int64_t i) {
       return Scalar::Timestamp(checked_cast<Int64Array>(arr).Value(i));
     case TypeId::kFloat64:
       return Scalar::Float64(checked_cast<Float64Array>(arr).Value(i));
+    case TypeId::kDecimal128:
+      return Scalar::Decimal(checked_cast<Decimal128Array>(arr).Value(i),
+                             arr.type());
     case TypeId::kString:
     case TypeId::kDictionary:
       return Scalar::String(std::string(StringLikeValue(arr, i)));
   }
   return Scalar();
 }
+
+namespace {
+
+/// double -> unscaled decimal with round-half-away-from-zero; false on
+/// overflow/NaN.
+bool DoubleToDecimal(double v, int scale, Decimal128* out) {
+  if (std::isnan(v) || std::isinf(v)) return false;
+  double scaled = v * DecimalPowerOfTen(scale).ToDouble();
+  scaled = std::round(scaled);
+  // 1.7e38 < 2^127; anything beyond cannot fit 38 digits anyway.
+  if (std::abs(scaled) >= 1.7e38) return false;
+  *out = Decimal128::FromInt128(static_cast<__int128>(scaled));
+  return true;
+}
+
+}  // namespace
 
 Result<Scalar> Scalar::CastTo(DataType target) const {
   if (type_ == target) return *this;
@@ -54,6 +74,14 @@ Result<Scalar> Scalar::CastTo(DataType target) const {
             string_value().c_str(), nullptr, 10)));
       }
       if (type_.is_bool()) return Scalar::Int32(bool_value() ? 1 : 0);
+      if (type_.is_decimal()) {
+        Decimal128 truncated;
+        if (DecimalRescale(decimal_value(), type_.scale(), 0, &truncated) &&
+            truncated.FitsInInt64()) {
+          return Scalar::Int32(static_cast<int32_t>(
+              static_cast<int64_t>(truncated.ToInt128())));
+        }
+      }
       break;
     case TypeId::kInt64:
       if (type_.is_floating()) {
@@ -64,6 +92,13 @@ Result<Scalar> Scalar::CastTo(DataType target) const {
         return Scalar::Int64(std::strtoll(string_value().c_str(), nullptr, 10));
       }
       if (type_.is_bool()) return Scalar::Int64(bool_value() ? 1 : 0);
+      if (type_.is_decimal()) {
+        Decimal128 truncated;
+        if (DecimalRescale(decimal_value(), type_.scale(), 0, &truncated) &&
+            truncated.FitsInInt64()) {
+          return Scalar::Int64(static_cast<int64_t>(truncated.ToInt128()));
+        }
+      }
       break;
     case TypeId::kFloat64:
       if (type_.is_integer() || type_.is_temporal()) {
@@ -73,7 +108,40 @@ Result<Scalar> Scalar::CastTo(DataType target) const {
         return Scalar::Float64(std::strtod(string_value().c_str(), nullptr));
       }
       if (type_.is_bool()) return Scalar::Float64(bool_value() ? 1.0 : 0.0);
+      if (type_.is_decimal()) return Scalar::Float64(AsDouble());
       break;
+    case TypeId::kDecimal128: {
+      Decimal128 v;
+      if (type_.is_decimal()) {
+        if (DecimalRescale(decimal_value(), type_.scale(), target.scale(), &v) &&
+            DecimalFitsPrecision(v, target.precision())) {
+          return Scalar::Decimal(v, target);
+        }
+        break;
+      }
+      if (type_.is_integer()) {
+        if (DecimalRescale(Decimal128(int_value()), 0, target.scale(), &v) &&
+            DecimalFitsPrecision(v, target.precision())) {
+          return Scalar::Decimal(v, target);
+        }
+        break;
+      }
+      if (type_.is_floating()) {
+        if (DoubleToDecimal(double_value(), target.scale(), &v) &&
+            DecimalFitsPrecision(v, target.precision())) {
+          return Scalar::Decimal(v, target);
+        }
+        break;
+      }
+      if (type_.is_string()) {
+        if (DecimalFromString(string_value(), target.precision(), target.scale(),
+                              &v)) {
+          return Scalar::Decimal(v, target);
+        }
+        break;
+      }
+      break;
+    }
     case TypeId::kString:
       return Scalar::String(ToString());
     case TypeId::kDate32:
@@ -97,9 +165,21 @@ int Scalar::Compare(const Scalar& other) const {
     if (is_null_ && other.is_null_) return 0;
     return is_null_ ? -1 : 1;
   }
+  // Decimal pairs of different scale compare exactly when a common
+  // scale fits in 128 bits, falling back to double beyond that.
+  if (type_.is_decimal() && other.type_.is_decimal() && type_ != other.type_) {
+    int common = std::max(type_.scale(), other.type_.scale());
+    Decimal128 a, b;
+    if (DecimalRescale(decimal_value(), type_.scale(), common, &a) &&
+        DecimalRescale(other.decimal_value(), other.type_.scale(), common, &b)) {
+      return a < b ? -1 : (b < a ? 1 : 0);
+    }
+  }
   // Numeric cross-type comparison goes through double; exact for the
   // value ranges used by statistics pruning.
-  if (type_.is_numeric() && other.type_.is_numeric() && type_ != other.type_) {
+  if ((type_.is_numeric() || type_.is_decimal()) &&
+      (other.type_.is_numeric() || other.type_.is_decimal()) &&
+      type_ != other.type_) {
     double a = AsDouble();
     double b = other.AsDouble();
     return a < b ? -1 : (a > b ? 1 : 0);
@@ -121,6 +201,11 @@ int Scalar::Compare(const Scalar& other) const {
       double a = double_value();
       double b = other.double_value();
       return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case TypeId::kDecimal128: {
+      const Decimal128& a = decimal_value();
+      const Decimal128& b = other.decimal_value();
+      return a < b ? -1 : (b < a ? 1 : 0);
     }
     // Scalars are always materialized values; a dictionary-typed scalar
     // never exists, but compare as a string if one ever does.
@@ -151,6 +236,8 @@ uint64_t Scalar::Hash() const {
     }
     case TypeId::kString:
       return hash_util::HashString(string_value());
+    case TypeId::kDecimal128:
+      return decimal_value().Hash();
     default:
       return hash_util::HashInt64(static_cast<uint64_t>(int_value()));
   }
@@ -173,6 +260,8 @@ std::string Scalar::ToString() const {
       out << double_value();
       return out.str();
     }
+    case TypeId::kDecimal128:
+      return DecimalToString(decimal_value(), type_.scale());
     case TypeId::kString:
     case TypeId::kDictionary:
       return string_value();
@@ -211,6 +300,11 @@ Result<ArrayPtr> Scalar::MakeArray(int64_t length) const {
     case TypeId::kString:
       for (int64_t i = 0; i < length; ++i) {
         static_cast<StringBuilder*>(builder.get())->Append(string_value());
+      }
+      break;
+    case TypeId::kDecimal128:
+      for (int64_t i = 0; i < length; ++i) {
+        static_cast<Decimal128Builder*>(builder.get())->Append(decimal_value());
       }
       break;
     default:

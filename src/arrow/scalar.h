@@ -6,6 +6,7 @@
 #include <variant>
 
 #include "arrow/array.h"
+#include "arrow/decimal.h"
 #include "arrow/type.h"
 #include "common/result.h"
 
@@ -35,6 +36,13 @@ class Scalar {
     return Scalar(date32(), static_cast<int64_t>(days));
   }
   static Scalar Timestamp(int64_t micros) { return Scalar(timestamp(), micros); }
+  /// `value` is the unscaled integer: Decimal(12345, 15, 2) is 123.45.
+  static Scalar Decimal(Decimal128 value, int precision, int scale) {
+    return Scalar(decimal128(precision, scale), value);
+  }
+  static Scalar Decimal(Decimal128 value, DataType type) {
+    return Scalar(type, value);
+  }
 
   DataType type() const { return type_; }
   bool is_null() const { return is_null_; }
@@ -44,11 +52,18 @@ class Scalar {
   int64_t int_value() const { return std::get<int64_t>(value_); }
   double double_value() const { return std::get<double>(value_); }
   const std::string& string_value() const { return std::get<std::string>(value_); }
+  /// Unscaled decimal value; scale lives in type().scale().
+  const Decimal128& decimal_value() const { return std::get<Decimal128>(value_); }
 
-  /// Numeric value as double (ints are widened); invalid for other types.
+  /// Numeric value as double (ints are widened, decimals divided by
+  /// 10^scale); invalid for other types.
   double AsDouble() const {
-    return std::holds_alternative<double>(value_) ? std::get<double>(value_)
-                                                  : static_cast<double>(int_value());
+    if (std::holds_alternative<double>(value_)) return std::get<double>(value_);
+    if (std::holds_alternative<Decimal128>(value_)) {
+      return std::get<Decimal128>(value_).ToDouble() /
+             DecimalPowerOfTen(type_.scale()).ToDouble();
+    }
+    return static_cast<double>(int_value());
   }
 
   /// Value at position i of an array, as a Scalar.
@@ -78,7 +93,8 @@ class Scalar {
 
   DataType type_;
   bool is_null_;
-  std::variant<std::monostate, bool, int64_t, double, std::string> value_;
+  std::variant<std::monostate, bool, int64_t, double, std::string, Decimal128>
+      value_;
 };
 
 }  // namespace fusion

@@ -1,6 +1,9 @@
 #include "arrow/type.h"
 
+#include <cstdio>
 #include <sstream>
+
+#include "arrow/decimal.h"
 
 namespace fusion {
 
@@ -13,6 +16,8 @@ int DataType::byte_width() const {
     case TypeId::kTimestamp:
     case TypeId::kFloat64:
       return 8;
+    case TypeId::kDecimal128:
+      return 16;
     default:
       return 0;
   }
@@ -36,10 +41,21 @@ std::string DataType::ToString() const {
       return "date32";
     case TypeId::kTimestamp:
       return "timestamp";
+    case TypeId::kDecimal128: {
+      std::ostringstream out;
+      out << "decimal(" << static_cast<int>(precision_) << ","
+          << static_cast<int>(scale_) << ")";
+      return out.str();
+    }
     case TypeId::kDictionary:
       return "dictionary";
   }
   return "unknown";
+}
+
+bool ValidDecimalParams(int precision, int scale) {
+  return precision >= 1 && precision <= kDecimalMaxPrecision && scale >= 0 &&
+         scale <= precision;
 }
 
 Result<DataType> TypeFromString(const std::string& name) {
@@ -52,6 +68,22 @@ Result<DataType> TypeFromString(const std::string& name) {
   if (name == "date32") return date32();
   if (name == "timestamp") return timestamp();
   if (name == "dictionary") return dictionary();
+  if (name.rfind("decimal", 0) == 0) {
+    int precision = 0;
+    int scale = 0;
+    char close = 0;
+    if (name == "decimal") return decimal128(kDecimalMaxPrecision, 10);
+    if (std::sscanf(name.c_str(), "decimal(%d,%d%c", &precision, &scale,
+                    &close) == 3 &&
+        close == ')' && ValidDecimalParams(precision, scale)) {
+      return decimal128(precision, scale);
+    }
+    if (std::sscanf(name.c_str(), "decimal(%d%c", &precision, &close) == 2 &&
+        close == ')' && ValidDecimalParams(precision, 0)) {
+      return decimal128(precision, 0);
+    }
+    return Status::Invalid("malformed decimal type: " + name);
+  }
   return Status::Invalid("unknown type name: " + name);
 }
 

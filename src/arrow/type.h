@@ -25,26 +25,39 @@ enum class TypeId : uint8_t {
   kString,     ///< variable-length UTF-8, int32 offsets
   kDate32,     ///< days since UNIX epoch, stored as int32
   kTimestamp,  ///< microseconds since UNIX epoch, stored as int64
+  kDecimal128,  ///< 128-bit fixed-point, parameterized by (precision, scale)
   kDictionary,  ///< int32 codes into a shared UTF-8 dictionary
 };
 
 /// \brief Lightweight value type describing a column's data type.
 ///
-/// All supported types are parameter-free, so a DataType is just a
-/// TypeId with convenience methods and is passed by value.
+/// A DataType is a TypeId plus the type's parameters — today only
+/// decimal's (precision, scale) — packed into four bytes and passed by
+/// value everywhere. Equality compares parameters too: decimal(15,2)
+/// and decimal(15,3) are different types.
 class DataType {
  public:
-  constexpr DataType() : id_(TypeId::kNull) {}
-  constexpr explicit DataType(TypeId id) : id_(id) {}
+  constexpr DataType() : id_(TypeId::kNull), precision_(0), scale_(0) {}
+  constexpr explicit DataType(TypeId id) : id_(id), precision_(0), scale_(0) {}
+  constexpr DataType(TypeId id, uint8_t precision, uint8_t scale)
+      : id_(id), precision_(precision), scale_(scale) {}
 
   constexpr TypeId id() const { return id_; }
+  /// Decimal total digits (0 for non-decimal types).
+  constexpr int precision() const { return precision_; }
+  /// Decimal fractional digits (0 for non-decimal types).
+  constexpr int scale() const { return scale_; }
 
-  bool operator==(const DataType& other) const { return id_ == other.id_; }
-  bool operator!=(const DataType& other) const { return id_ != other.id_; }
+  bool operator==(const DataType& other) const {
+    return id_ == other.id_ && precision_ == other.precision_ &&
+           scale_ == other.scale_;
+  }
+  bool operator!=(const DataType& other) const { return !(*this == other); }
 
   bool is_null() const { return id_ == TypeId::kNull; }
   bool is_integer() const { return id_ == TypeId::kInt32 || id_ == TypeId::kInt64; }
   bool is_floating() const { return id_ == TypeId::kFloat64; }
+  bool is_decimal() const { return id_ == TypeId::kDecimal128; }
   bool is_numeric() const { return is_integer() || is_floating(); }
   bool is_temporal() const {
     return id_ == TypeId::kDate32 || id_ == TypeId::kTimestamp;
@@ -68,6 +81,8 @@ class DataType {
 
  private:
   TypeId id_;
+  uint8_t precision_;
+  uint8_t scale_;
 };
 
 constexpr DataType null_type() { return DataType(TypeId::kNull); }
@@ -81,8 +96,17 @@ constexpr DataType timestamp() { return DataType(TypeId::kTimestamp); }
 /// Physical type of dictionary-encoded string arrays. Schema fields
 /// keep the logical utf8() type; only arrays carry kDictionary.
 constexpr DataType dictionary() { return DataType(TypeId::kDictionary); }
+/// Exact fixed-point type with `precision` total digits, `scale` of
+/// them fractional. precision in [1, 38], scale in [0, precision].
+constexpr DataType decimal128(int precision, int scale) {
+  return DataType(TypeId::kDecimal128, static_cast<uint8_t>(precision),
+                  static_cast<uint8_t>(scale));
+}
 
-/// Parse a type from its ToString() form ("int64", "string", ...).
+/// Validate decimal parameters (used on untrusted serialized input).
+bool ValidDecimalParams(int precision, int scale);
+
+/// Parse a type from its ToString() form ("int64", "decimal(15,2)", ...).
 Result<DataType> TypeFromString(const std::string& name);
 
 /// \brief A named, typed, nullable column in a Schema.

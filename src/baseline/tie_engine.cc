@@ -423,6 +423,17 @@ Result<std::vector<RecordBatchPtr>> TieEngine::ScanCsvFile(
           static_cast<BooleanBuilder*>(builders[c].get())
               ->Append(v == "true" || v == "TRUE" || v == "1");
           break;
+        case TypeId::kDecimal128: {
+          const DataType& dt = schema->field(c).type();
+          Decimal128 dv;
+          if (DecimalFromString(v, dt.precision(), dt.scale(), &dv)) {
+            static_cast<Decimal128Builder*>(builders[c].get())->Append(dv);
+          } else {
+            // Same convention as the cast kernel: unparseable -> null.
+            builders[c]->AppendNull();
+          }
+          break;
+        }
         default:
           static_cast<StringBuilder*>(builders[c].get())->Append(v);
       }

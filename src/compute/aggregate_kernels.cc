@@ -33,6 +33,43 @@ Result<Scalar> SumImpl(const Array& input) {
   }
 }
 
+// Decimal sums accumulate in the full 128-bit representation with
+// per-element overflow checks: 6M rows of DECIMAL(15,2) money stay far
+// inside the range, but a malicious column of near-max values must
+// error rather than wrap. The result widens to decimal(38, s).
+Result<Scalar> SumDecimal(const Array& input) {
+  const auto& arr = checked_cast<Decimal128Array>(input);
+  const Decimal128* values = arr.raw_values();
+  Decimal128 sum;
+  int64_t count = 0;
+  for (int64_t i = 0; i < input.length(); ++i) {
+    if (input.IsNull(i)) continue;
+    if (Decimal128::AddWithOverflow(sum, values[i], &sum)) {
+      return Status::Invalid("Sum: decimal overflow");
+    }
+    ++count;
+  }
+  const DataType out_type =
+      decimal128(kDecimalMaxPrecision, input.type().scale());
+  if (count == 0) return Scalar::Null(out_type);
+  return Scalar::Decimal(sum, out_type);
+}
+
+template <typename CType>
+Scalar MakeNumericScalar(const DataType& type, CType v) {
+  if constexpr (std::is_same_v<CType, int32_t>) {
+    return type.id() == TypeId::kDate32 ? Scalar::Date32(v) : Scalar::Int32(v);
+  } else if constexpr (std::is_same_v<CType, int64_t>) {
+    return type.id() == TypeId::kTimestamp ? Scalar::Timestamp(v)
+                                           : Scalar::Int64(v);
+  } else if constexpr (std::is_same_v<CType, double>) {
+    return Scalar::Float64(v);
+  } else {
+    static_assert(std::is_same_v<CType, Decimal128>);
+    return Scalar::Decimal(v, type);
+  }
+}
+
 template <typename CType, bool kMin>
 Result<Scalar> MinMaxImpl(const Array& input) {
   const auto& arr = checked_cast<NumericArray<CType>>(input);
@@ -47,20 +84,7 @@ Result<Scalar> MinMaxImpl(const Array& input) {
     }
   }
   if (!seen) return Scalar::Null(input.type());
-  switch (input.type().id()) {
-    case TypeId::kInt32:
-      return Scalar::Int32(static_cast<int32_t>(best));
-    case TypeId::kDate32:
-      return Scalar::Date32(static_cast<int32_t>(best));
-    case TypeId::kInt64:
-      return Scalar::Int64(static_cast<int64_t>(best));
-    case TypeId::kTimestamp:
-      return Scalar::Timestamp(static_cast<int64_t>(best));
-    case TypeId::kFloat64:
-      return Scalar::Float64(static_cast<double>(best));
-    default:
-      return Status::TypeError("MinMax: unexpected type");
-  }
+  return MakeNumericScalar<CType>(input.type(), best);
 }
 
 template <bool kMin>
@@ -90,15 +114,18 @@ Result<Scalar> MinMaxDispatch(const Array& input) {
       return MinMaxImpl<int64_t, kMin>(input);
     case TypeId::kFloat64:
       return MinMaxImpl<double, kMin>(input);
+    case TypeId::kDecimal128:
+      return MinMaxImpl<Decimal128, kMin>(input);
     case TypeId::kString:
     case TypeId::kDictionary:
       return MinMaxString<kMin>(input);
     case TypeId::kNull:
       return Scalar();
-    default:
-      return Status::TypeError("MinMax: unsupported type " +
-                               input.type().ToString());
+    case TypeId::kBool:
+      break;
   }
+  return Status::TypeError("MinMax: unsupported type " +
+                           input.type().ToString());
 }
 
 }  // namespace
@@ -111,11 +138,18 @@ Result<Scalar> SumArray(const Array& input) {
       return SumImpl<int64_t, int64_t>(input);
     case TypeId::kFloat64:
       return SumImpl<double, double>(input);
+    case TypeId::kDecimal128:
+      return SumDecimal(input);
     case TypeId::kNull:
       return Scalar::Null(int64());
-    default:
-      return Status::TypeError("Sum: unsupported type " + input.type().ToString());
+    case TypeId::kBool:
+    case TypeId::kString:
+    case TypeId::kDate32:
+    case TypeId::kTimestamp:
+    case TypeId::kDictionary:
+      break;
   }
+  return Status::TypeError("Sum: unsupported type " + input.type().ToString());
 }
 
 Result<Scalar> MinArray(const Array& input) { return MinMaxDispatch<true>(input); }
@@ -128,6 +162,24 @@ int64_t CountArray(const Array& input) {
 Result<Scalar> MeanArray(const Array& input) {
   FUSION_ASSIGN_OR_RAISE(Scalar sum, SumArray(input));
   int64_t count = CountArray(input);
+  if (input.type().is_decimal()) {
+    // Exact decimal average: widen the sum by four extra fractional
+    // digits, then divide by the row count with round-half-away.
+    const int s = input.type().scale();
+    const int out_scale = std::min<int>(kDecimalMaxPrecision, s + 4);
+    const DataType out_type = decimal128(kDecimalMaxPrecision, out_scale);
+    if (count == 0 || sum.is_null()) return Scalar::Null(out_type);
+    Decimal128 widened;
+    if (!DecimalRescale(sum.decimal_value(), s, out_scale, &widened)) {
+      return Status::Invalid("Avg: decimal overflow");
+    }
+    __int128 num = widened.ToInt128();
+    __int128 q = num / count;
+    __int128 rem = num % count;
+    if (rem < 0) rem = -rem;
+    if (2 * rem >= count) q += (num < 0) ? -1 : 1;
+    return Scalar::Decimal(Decimal128::FromInt128(q), out_type);
+  }
   if (count == 0 || sum.is_null()) return Scalar::Null(float64());
   return Scalar::Float64(sum.AsDouble() / static_cast<double>(count));
 }

@@ -10,6 +10,17 @@ namespace compute {
 
 enum class ArithmeticOp { kAdd, kSubtract, kMultiply, kDivide, kModulo };
 
+/// Result type of `left op right` when both sides are decimal. This is
+/// the single source of truth for scale propagation — the planner's
+/// Expr::GetType and the kernels below both call it, so the planned
+/// schema always matches what execution produces:
+///   add/sub: s = max(s1,s2),  p = min(38, max(p1-s1, p2-s2) + s + 1)
+///   mul:     s = s1+s2,       p = min(38, p1+p2+1)   (error if s > 38)
+///   div:     s = min(38, max(6, s1+4)), p = 38
+///   mod:     s = max(s1,s2),  p = min(38, max(p1-s1, p2-s2) + s)
+Result<DataType> DecimalBinaryResultType(ArithmeticOp op, DataType left,
+                                         DataType right);
+
 /// Element-wise arithmetic on two equal-length numeric arrays of the
 /// same type. Nulls propagate; integer division by zero yields null
 /// (SQL engines differ here; DataFusion errors, we follow the more

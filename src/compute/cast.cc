@@ -1,9 +1,11 @@
 #include "compute/cast.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdlib>
 
 #include "arrow/builder.h"
+#include "arrow/scalar.h"
 #include "compute/kernel_util.h"
 
 namespace fusion {
@@ -36,10 +38,15 @@ Result<ArrayPtr> DispatchOut(const Array& input, DataType target) {
       return NumericCast<InT, int64_t>(input, target);
     case TypeId::kFloat64:
       return NumericCast<InT, double>(input, target);
-    default:
-      return Status::TypeError("Cast: unsupported numeric target " +
-                               target.ToString());
+    case TypeId::kNull:
+    case TypeId::kBool:
+    case TypeId::kString:
+    case TypeId::kDecimal128:  // callers route decimal targets to ToDecimal
+    case TypeId::kDictionary:
+      break;
   }
+  return Status::TypeError("Cast: unsupported numeric target " +
+                           target.ToString());
 }
 
 Result<ArrayPtr> StringToNumeric(const StringArray& input, DataType target) {
@@ -109,6 +116,134 @@ Result<ArrayPtr> BoolToNumeric(const BooleanArray& input, DataType target) {
   return builder->Finish();
 }
 
+Status DecimalCastError(DataType from, DataType to, const std::string& value) {
+  return Status::Invalid("cast: value " + value + " does not fit " +
+                         to.ToString() + " (from " + from.ToString() + ")");
+}
+
+/// Any fixed-point-representable source (decimal/int/double) -> decimal.
+Result<ArrayPtr> ToDecimal(const Array& input, DataType target) {
+  auto [validity, nulls] = CopyValidity(input);
+  const int64_t n = input.length();
+  auto values = std::make_shared<Buffer>(n * int64_t{16});
+  Decimal128* out = values->mutable_data_as<Decimal128>();
+  const uint8_t* valid_bits = validity ? validity->data() : nullptr;
+  auto is_valid = [&](int64_t i) {
+    return valid_bits == nullptr || bit_util::GetBit(valid_bits, i);
+  };
+  for (int64_t i = 0; i < n; ++i) {
+    if (!is_valid(i)) continue;
+    Scalar v = Scalar::FromArray(input, i);
+    FUSION_ASSIGN_OR_RAISE(Scalar c, v.CastTo(target));
+    if (c.is_null()) {
+      return DecimalCastError(input.type(), target, v.ToString());
+    }
+    out[i] = c.decimal_value();
+  }
+  return ArrayPtr(std::make_shared<Decimal128Array>(
+      target, n, std::move(values), std::move(validity), nulls));
+}
+
+/// decimal -> decimal rescale on raw values (the hot path for coercion
+/// casts inserted by the planner); overflow is an error.
+Result<ArrayPtr> DecimalToDecimal(const Array& input, DataType target) {
+  auto [validity, nulls] = CopyValidity(input);
+  const int64_t n = input.length();
+  const Decimal128* in = checked_cast<Decimal128Array>(input).raw_values();
+  const int from_scale = input.type().scale();
+  const int to_scale = target.scale();
+  auto values = std::make_shared<Buffer>(n * int64_t{16});
+  Decimal128* out = values->mutable_data_as<Decimal128>();
+  const uint8_t* valid_bits = validity ? validity->data() : nullptr;
+  for (int64_t i = 0; i < n; ++i) {
+    if (valid_bits != nullptr && !bit_util::GetBit(valid_bits, i)) continue;
+    if (!DecimalRescale(in[i], from_scale, to_scale, &out[i]) ||
+        !DecimalFitsPrecision(out[i], target.precision())) {
+      return DecimalCastError(input.type(), target,
+                              DecimalToString(in[i], from_scale));
+    }
+  }
+  return ArrayPtr(std::make_shared<Decimal128Array>(
+      target, n, std::move(values), std::move(validity), nulls));
+}
+
+/// decimal -> int/double. Fractional digits round half away from zero
+/// for integer targets; values outside the target range are errors.
+Result<ArrayPtr> DecimalToNumeric(const Array& input, DataType target) {
+  auto [validity, nulls] = CopyValidity(input);
+  const int64_t n = input.length();
+  const auto& da = checked_cast<Decimal128Array>(input);
+  const Decimal128* in = da.raw_values();
+  const int scale = input.type().scale();
+  const uint8_t* valid_bits = validity ? validity->data() : nullptr;
+  auto is_valid = [&](int64_t i) {
+    return valid_bits == nullptr || bit_util::GetBit(valid_bits, i);
+  };
+  if (target.id() == TypeId::kFloat64) {
+    auto values = std::make_shared<Buffer>(n * int64_t{8});
+    double* out = values->mutable_data_as<double>();
+    const double divisor = DecimalPowerOfTen(scale).ToDouble();
+    for (int64_t i = 0; i < n; ++i) {
+      if (is_valid(i)) out[i] = in[i].ToDouble() / divisor;
+    }
+    return ArrayPtr(std::make_shared<Float64Array>(
+        target, n, std::move(values), std::move(validity), nulls));
+  }
+  const bool narrow = target.byte_width() == 4;
+  auto values = std::make_shared<Buffer>(n * (narrow ? int64_t{4} : int64_t{8}));
+  for (int64_t i = 0; i < n; ++i) {
+    if (!is_valid(i)) continue;
+    Decimal128 t;
+    if (!DecimalRescale(in[i], scale, 0, &t) || !t.FitsInInt64()) {
+      return DecimalCastError(input.type(), target, DecimalToString(in[i], scale));
+    }
+    int64_t v = static_cast<int64_t>(t.ToInt128());
+    if (narrow) {
+      if (v < INT32_MIN || v > INT32_MAX) {
+        return DecimalCastError(input.type(), target,
+                                DecimalToString(in[i], scale));
+      }
+      values->mutable_data_as<int32_t>()[i] = static_cast<int32_t>(v);
+    } else {
+      values->mutable_data_as<int64_t>()[i] = v;
+    }
+  }
+  if (narrow) {
+    return ArrayPtr(std::make_shared<Int32Array>(target, n, std::move(values),
+                                                 std::move(validity), nulls));
+  }
+  return ArrayPtr(std::make_shared<Int64Array>(target, n, std::move(values),
+                                               std::move(validity), nulls));
+}
+
+/// string -> decimal; malformed values become null (same convention as
+/// string->int/double above), but values that parse and then overflow
+/// the target's precision are errors.
+Result<ArrayPtr> StringToDecimal(const StringArray& input, DataType target) {
+  Decimal128Builder builder(target);
+  builder.Reserve(input.length());
+  for (int64_t i = 0; i < input.length(); ++i) {
+    if (input.IsNull(i)) {
+      builder.AppendNull();
+      continue;
+    }
+    std::string_view sv = input.Value(i);
+    Decimal128 raw;
+    int p = 0, s = 0;
+    if (!DecimalFromString(sv, &raw, &p, &s)) {
+      builder.AppendNull();
+      continue;
+    }
+    Decimal128 v;
+    if (!DecimalRescale(raw, s, target.scale(), &v) ||
+        !DecimalFitsPrecision(v, target.precision())) {
+      return DecimalCastError(utf8(), target, std::string(sv));
+    }
+    builder.Append(v);
+  }
+  return builder.Finish();
+}
+
 }  // namespace
 
 Result<ArrayPtr> Cast(const Array& input, DataType target) {
@@ -142,15 +277,26 @@ Result<ArrayPtr> Cast(const Array& input, DataType target) {
                                                      std::move(validity), nulls));
       }
       if (target.is_string()) return ToStringArray(input);
+      if (target.is_decimal()) return ToDecimal(input, target);
       return DispatchOut<int32_t>(input, target);
     case TypeId::kInt64:
     case TypeId::kTimestamp:
       if (target.is_string()) return ToStringArray(input);
+      if (target.is_decimal()) return ToDecimal(input, target);
       return DispatchOut<int64_t>(input, target);
     case TypeId::kFloat64:
       if (target.is_string()) return ToStringArray(input);
+      if (target.is_decimal()) return ToDecimal(input, target);
       return DispatchOut<double>(input, target);
+    case TypeId::kDecimal128:
+      if (target.is_decimal()) return DecimalToDecimal(input, target);
+      if (target.is_string()) return ToStringArray(input);
+      if (target.is_numeric()) return DecimalToNumeric(input, target);
+      break;
     case TypeId::kString:
+      if (target.is_decimal()) {
+        return StringToDecimal(checked_cast<StringArray>(input), target);
+      }
       if (target.is_numeric() || target.is_temporal()) {
         return StringToNumeric(checked_cast<StringArray>(input), target);
       }
@@ -161,8 +307,9 @@ Result<ArrayPtr> Cast(const Array& input, DataType target) {
       }
       if (target.is_string()) return ToStringArray(input);
       break;
-    default:
-      break;
+    case TypeId::kNull:
+    case TypeId::kDictionary:
+      break;  // handled before the switch
   }
   return Status::TypeError("Cast: unsupported cast " + input.type().ToString() +
                            " -> " + target.ToString());
@@ -196,6 +343,28 @@ Result<DataType> CommonType(DataType a, DataType b) {
   if (a == b) return a;
   if (a.is_null()) return b;
   if (b.is_null()) return a;
+  if (a.is_decimal() || b.is_decimal()) {
+    // Exactness survives against integers and strings; doubles pull the
+    // result into the approximate domain.
+    if (a.is_floating() || b.is_floating()) return float64();
+    DataType d = a.is_decimal() ? a : b;
+    DataType o = a.is_decimal() ? b : a;
+    if (o.is_decimal()) {
+      const int s = std::max(d.scale(), o.scale());
+      const int ip = std::max(d.precision() - d.scale(), o.precision() - o.scale());
+      return decimal128(std::min(kDecimalMaxPrecision, ip + s), s);
+    }
+    if (o.is_integer()) {
+      // Widen the integer part to hold any int of that width.
+      const int int_digits = o.id() == TypeId::kInt64 ? 19 : 10;
+      const int ip = std::max(d.precision() - d.scale(), int_digits);
+      const int p = std::min(kDecimalMaxPrecision, ip + d.scale());
+      return decimal128(p, std::min(d.scale(), p));
+    }
+    if (o.is_string()) return d;
+    return Status::TypeError("no common type for " + a.ToString() + " and " +
+                             b.ToString());
+  }
   if (a.is_numeric() && b.is_numeric()) {
     if (a.id() == TypeId::kFloat64 || b.id() == TypeId::kFloat64) return float64();
     if (a.id() == TypeId::kInt64 || b.id() == TypeId::kInt64) return int64();

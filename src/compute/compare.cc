@@ -111,6 +111,16 @@ Result<ArrayPtr> Compare(CompareOp op, const Array& lhs, const Array& rhs) {
                                  [a](int64_t i) { return a[i]; },
                                  [b](int64_t i) { return b[i]; });
     }
+    case TypeId::kDecimal128: {
+      // Same (precision, scale) on both sides — the planner coerces
+      // mixed-scale comparisons to a common decimal type — so unscaled
+      // values order correctly.
+      const Decimal128* a = checked_cast<Decimal128Array>(lhs).raw_values();
+      const Decimal128* b = checked_cast<Decimal128Array>(rhs).raw_values();
+      return CompareLoop<Decimal128>(op, n, std::move(validity), nulls,
+                                     [a](int64_t i) { return a[i]; },
+                                     [b](int64_t i) { return b[i]; });
+    }
     case TypeId::kString: {
       const auto& a = checked_cast<StringArray>(lhs);
       const auto& b = checked_cast<StringArray>(rhs);
@@ -125,9 +135,11 @@ Result<ArrayPtr> Compare(CompareOp op, const Array& lhs, const Array& rhs) {
                                [&](int64_t i) { return a.Value(i); },
                                [&](int64_t i) { return b.Value(i); });
     }
-    default:
-      return Status::TypeError("Compare: unsupported type " + lhs.type().ToString());
+    case TypeId::kNull:
+    case TypeId::kDictionary:  // handled by the string-like path above
+      break;
   }
+  return Status::TypeError("Compare: unsupported type " + lhs.type().ToString());
 }
 
 Result<ArrayPtr> CompareScalar(CompareOp op, const Array& lhs, const Scalar& rhs) {
@@ -187,6 +199,13 @@ Result<ArrayPtr> CompareScalar(CompareOp op, const Array& lhs, const Scalar& rhs
                                  [a](int64_t i) { return a[i]; },
                                  [b](int64_t) { return b; });
     }
+    case TypeId::kDecimal128: {
+      const Decimal128* a = checked_cast<Decimal128Array>(lhs).raw_values();
+      Decimal128 b = coerced.decimal_value();
+      return CompareLoop<Decimal128>(op, n, std::move(validity), nulls,
+                                     [a](int64_t i) { return a[i]; },
+                                     [b](int64_t) { return b; });
+    }
     case TypeId::kString: {
       const auto& a = checked_cast<StringArray>(lhs);
       std::string_view b = coerced.string_value();
@@ -201,10 +220,12 @@ Result<ArrayPtr> CompareScalar(CompareOp op, const Array& lhs, const Scalar& rhs
                                [&](int64_t i) { return a.Value(i); },
                                [b](int64_t) { return b; });
     }
-    default:
-      return Status::TypeError("CompareScalar: unsupported type " +
-                               lhs.type().ToString());
+    case TypeId::kNull:
+    case TypeId::kDictionary:  // handled by the dictionary path above
+      break;
   }
+  return Status::TypeError("CompareScalar: unsupported type " +
+                           lhs.type().ToString());
 }
 
 ArrayPtr IsNull(const Array& input) {
@@ -248,6 +269,25 @@ Result<ArrayPtr> InList(const Array& input, const std::vector<Scalar>& set) {
         v = checked_cast<Int64Array>(input).Value(i);
       }
       if (values.count(v) != 0) bit_util::SetBit(bits->mutable_data(), i);
+    }
+    return ArrayPtr(std::make_shared<BooleanArray>(n, std::move(bits),
+                                                   std::move(validity), nulls));
+  }
+  if (input.type().is_decimal()) {
+    // Cast each list element onto the column's exact (precision, scale)
+    // so membership is decided on unscaled integers; elements that do
+    // not fit (e.g. 1.234 against decimal(15,2)) can never match.
+    std::unordered_set<Decimal128> values;
+    for (const auto& s : set) {
+      auto c = s.CastTo(input.type());
+      if (c.ok() && !c.ValueOrDie().is_null()) {
+        values.insert(c.ValueOrDie().decimal_value());
+      }
+    }
+    const Decimal128* raw = checked_cast<Decimal128Array>(input).raw_values();
+    auto bits = std::make_shared<Buffer>(bit_util::BytesForBits(n));
+    for (int64_t i = 0; i < n; ++i) {
+      if (values.count(raw[i]) != 0) bit_util::SetBit(bits->mutable_data(), i);
     }
     return ArrayPtr(std::make_shared<BooleanArray>(n, std::move(bits),
                                                    std::move(validity), nulls));

@@ -118,6 +118,17 @@ Status HashArray(const Array& input, uint64_t seed, std::vector<uint64_t>* hashe
       }
       return Status::OK();
     }
+    case TypeId::kDecimal128: {
+      // Mix both limbs so values differing only in the high 64 bits
+      // still spread; matches Decimal128::Hash so scalar probes agree.
+      const auto& arr = checked_cast<Decimal128Array>(input);
+      const Decimal128* values = arr.raw_values();
+      for (int64_t i = 0; i < n; ++i) {
+        uint64_t h = input.IsNull(i) ? kNullHash : values[i].Hash();
+        (*hashes)[i] = combine ? hash_util::CombineHashes((*hashes)[i], h) : h;
+      }
+      return Status::OK();
+    }
     case TypeId::kNull:
       for (int64_t i = 0; i < n; ++i) {
         (*hashes)[i] = combine ? hash_util::CombineHashes((*hashes)[i], kNullHash)

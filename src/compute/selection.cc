@@ -64,6 +64,8 @@ Result<ArrayPtr> Take(const Array& input, const std::vector<int64_t>& indices) {
       return TakeNumeric<int64_t>(input, indices);
     case TypeId::kFloat64:
       return TakeNumeric<double>(input, indices);
+    case TypeId::kDecimal128:
+      return TakeNumeric<Decimal128>(input, indices);
     case TypeId::kBool: {
       BooleanBuilder builder;
       builder.Reserve(static_cast<int64_t>(indices.size()));

@@ -111,6 +111,11 @@ inline void WriteScalar(ByteWriter* w, const Scalar& s, DataType type) {
     case TypeId::kString:
       w->Str(s.string_value());
       break;
+    case TypeId::kDecimal128:
+      // Two little-endian limbs; precision/scale live in the schema.
+      w->U64(s.decimal_value().lo);
+      w->I64(s.decimal_value().hi);
+      break;
     default:
       w->I64(s.int_value());
   }
@@ -143,6 +148,11 @@ inline Result<Scalar> ReadScalar(ByteReader* r, DataType type) {
     case TypeId::kTimestamp: {
       FUSION_ASSIGN_OR_RAISE(int64_t v, r->I64());
       return Scalar::Timestamp(v);
+    }
+    case TypeId::kDecimal128: {
+      FUSION_ASSIGN_OR_RAISE(uint64_t lo, r->U64());
+      FUSION_ASSIGN_OR_RAISE(int64_t hi, r->I64());
+      return Scalar::Decimal(Decimal128(hi, lo), type);
     }
     default: {
       FUSION_ASSIGN_OR_RAISE(int64_t v, r->I64());

@@ -70,8 +70,17 @@ Result<std::shared_ptr<Reader>> Reader::Open(const std::string& path) {
     FUSION_ASSIGN_OR_RAISE(std::string name, r.Str());
     FUSION_ASSIGN_OR_RAISE(uint8_t type_id, r.U8());
     FUSION_ASSIGN_OR_RAISE(uint8_t nullable, r.U8());
-    fields.emplace_back(std::move(name), DataType(static_cast<TypeId>(type_id)),
-                        nullable != 0);
+    DataType type(static_cast<TypeId>(type_id));
+    if (static_cast<TypeId>(type_id) == TypeId::kDecimal128) {
+      FUSION_ASSIGN_OR_RAISE(uint8_t precision, r.U8());
+      FUSION_ASSIGN_OR_RAISE(uint8_t scale, r.U8());
+      if (!ValidDecimalParams(precision, scale)) {
+        ::close(fd);
+        return Status::IOError("fpq: invalid decimal parameters in " + path);
+      }
+      type = decimal128(precision, scale);
+    }
+    fields.emplace_back(std::move(name), type, nullable != 0);
   }
   meta.schema = std::make_shared<Schema>(std::move(fields));
   FUSION_ASSIGN_OR_RAISE(uint64_t num_rows, r.U64());
@@ -205,6 +214,10 @@ Result<ArrayPtr> DecodePlainPage(DataType type, int64_t n, const uint8_t* data,
       if (width == 4) {
         return ArrayPtr(std::make_shared<Int32Array>(type, n, std::move(values),
                                                      std::move(validity), nulls));
+      }
+      if (width == 16) {
+        return ArrayPtr(std::make_shared<Decimal128Array>(
+            type, n, std::move(values), std::move(validity), nulls));
       }
       if (type.id() == TypeId::kFloat64) {
         return ArrayPtr(std::make_shared<Float64Array>(type, n, std::move(values),

@@ -45,6 +45,9 @@ uint64_t BloomHashScalar(const Scalar& value, DataType column_type) {
       return hash_util::HashInt64(casted.bool_value() ? 1 : 2);
     case TypeId::kString:
       return hash_util::HashString(casted.string_value());
+    case TypeId::kDecimal128:
+      // Must match HashArray's per-value decimal hash for pruning.
+      return casted.decimal_value().Hash();
     default:
       return 0;
   }
@@ -90,6 +93,9 @@ void EncodePlainPage(const Array& page, ByteWriter* w) {
       if (width == 4) {
         values = reinterpret_cast<const uint8_t*>(
             checked_cast<Int32Array>(page).raw_values());
+      } else if (width == 16) {
+        values = reinterpret_cast<const uint8_t*>(
+            checked_cast<Decimal128Array>(page).raw_values());
       } else if (page.type().id() == TypeId::kFloat64) {
         values = reinterpret_cast<const uint8_t*>(
             checked_cast<Float64Array>(page).raw_values());
@@ -313,6 +319,12 @@ Status Writer::Close() {
     footer.Str(f.name());
     footer.U8(static_cast<uint8_t>(f.type().id()));
     footer.U8(f.nullable() ? 1 : 0);
+    if (f.type().is_decimal()) {
+      // Parameter bytes only follow decimal ids, so pre-decimal footers
+      // parse unchanged.
+      footer.U8(static_cast<uint8_t>(f.type().precision()));
+      footer.U8(static_cast<uint8_t>(f.type().scale()));
+    }
   }
   footer.U64(static_cast<uint64_t>(meta_.num_rows));
   footer.U32(static_cast<uint32_t>(meta_.row_groups.size()));

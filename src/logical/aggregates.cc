@@ -139,6 +139,74 @@ class SumAccumulator : public GroupedAccumulator {
   std::vector<uint8_t> seen_;
 };
 
+/// SUM over DECIMAL(p,s): exact Decimal128 accumulation at the input scale.
+/// Overflow past 38 digits is an error, never a silent wraparound, matching
+/// the ungrouped kernel. Partials carry decimal(38, s) so merges stay exact.
+class DecimalSumAccumulator : public GroupedAccumulator {
+ public:
+  explicit DecimalSumAccumulator(DataType input_type)
+      : out_type_(decimal128(kDecimalMaxPrecision, input_type.scale())) {}
+
+  void Resize(int64_t num_groups) override {
+    if (static_cast<int64_t>(sums_.size()) < num_groups) {
+      sums_.resize(num_groups, Decimal128(0));
+      seen_.resize(num_groups, 0);
+    }
+  }
+
+  Status Update(const std::vector<ArrayPtr>& args,
+                const std::vector<uint32_t>& group_ids,
+                const uint8_t* opt_filter) override {
+    const auto& values = checked_cast<Decimal128Array>(*args[0]);
+    const Decimal128* raw = values.raw_values();
+    for (size_t i = 0; i < group_ids.size(); ++i) {
+      int64_t row = static_cast<int64_t>(i);
+      if (!FilterIncludes(opt_filter, row) || values.IsNull(row)) continue;
+      uint32_t g = group_ids[i];
+      if (Decimal128::AddWithOverflow(sums_[g], raw[i], &sums_[g])) {
+        return Status::Invalid("Sum: decimal overflow");
+      }
+      seen_[g] = 1;
+    }
+    return Status::OK();
+  }
+
+  std::vector<DataType> PartialTypes() const override { return {out_type_}; }
+
+  Result<std::vector<ArrayPtr>> PartialState() override {
+    FUSION_ASSIGN_OR_RAISE(auto arr, BuildResult());
+    return std::vector<ArrayPtr>{std::move(arr)};
+  }
+
+  Status UpdateFromPartial(const std::vector<ArrayPtr>& state,
+                           const std::vector<uint32_t>& group_ids) override {
+    return Update(state, group_ids, nullptr);
+  }
+
+  Result<ArrayPtr> Finish() override { return BuildResult(); }
+
+  int64_t SizeBytes() const override {
+    return static_cast<int64_t>(sums_.size()) * 17;
+  }
+
+ private:
+  Result<ArrayPtr> BuildResult() {
+    Decimal128Builder builder(out_type_);
+    for (size_t i = 0; i < sums_.size(); ++i) {
+      if (seen_[i]) {
+        builder.Append(sums_[i]);
+      } else {
+        builder.AppendNull();
+      }
+    }
+    return builder.Finish();
+  }
+
+  DataType out_type_;
+  std::vector<Decimal128> sums_;
+  std::vector<uint8_t> seen_;
+};
+
 // ----------------------------------------------------------------- MIN/MAX
 
 template <typename CType, bool kMin>
@@ -356,6 +424,14 @@ class AvgAccumulator : public GroupedAccumulator {
         run([&](int64_t r) { return a.Value(r); });
         return Status::OK();
       }
+      case TypeId::kDecimal128: {
+        // Approximate path for double-based aggregates (variance, corr,
+        // median); avg itself routes decimals to DecimalAvgAccumulator.
+        const auto& a = checked_cast<Decimal128Array>(values);
+        const double inv_scale = std::pow(10.0, -values.type().scale());
+        run([&](int64_t r) { return a.Value(r).ToDouble() * inv_scale; });
+        return Status::OK();
+      }
       default:
         return Status::TypeError("numeric aggregate over non-numeric column");
     }
@@ -363,6 +439,102 @@ class AvgAccumulator : public GroupedAccumulator {
 
  private:
   std::vector<double> sums_;
+  std::vector<int64_t> counts_;
+};
+
+/// AVG over DECIMAL(p,s): exact Decimal128 sum plus int64 count, divided
+/// once at Finish. The quotient widens by four fractional digits and rounds
+/// half away from zero, matching the ungrouped MeanArray kernel.
+class DecimalAvgAccumulator : public GroupedAccumulator {
+ public:
+  explicit DecimalAvgAccumulator(DataType input_type)
+      : in_scale_(input_type.scale()),
+        sum_type_(decimal128(kDecimalMaxPrecision, input_type.scale())),
+        out_type_(decimal128(
+            kDecimalMaxPrecision,
+            std::min<int>(kDecimalMaxPrecision, input_type.scale() + 4))) {}
+
+  void Resize(int64_t num_groups) override {
+    if (static_cast<int64_t>(sums_.size()) < num_groups) {
+      sums_.resize(num_groups, Decimal128(0));
+      counts_.resize(num_groups, 0);
+    }
+  }
+
+  Status Update(const std::vector<ArrayPtr>& args,
+                const std::vector<uint32_t>& group_ids,
+                const uint8_t* opt_filter) override {
+    const auto& values = checked_cast<Decimal128Array>(*args[0]);
+    const Decimal128* raw = values.raw_values();
+    for (size_t i = 0; i < group_ids.size(); ++i) {
+      int64_t row = static_cast<int64_t>(i);
+      if (!FilterIncludes(opt_filter, row) || values.IsNull(row)) continue;
+      uint32_t g = group_ids[i];
+      if (Decimal128::AddWithOverflow(sums_[g], raw[i], &sums_[g])) {
+        return Status::Invalid("Avg: decimal overflow");
+      }
+      ++counts_[g];
+    }
+    return Status::OK();
+  }
+
+  std::vector<DataType> PartialTypes() const override {
+    return {sum_type_, int64()};
+  }
+
+  Result<std::vector<ArrayPtr>> PartialState() override {
+    Decimal128Builder sums(sum_type_);
+    for (const Decimal128& s : sums_) sums.Append(s);
+    FUSION_ASSIGN_OR_RAISE(auto sum_arr, sums.Finish());
+    return std::vector<ArrayPtr>{std::move(sum_arr), MakeInt64Array(counts_)};
+  }
+
+  Status UpdateFromPartial(const std::vector<ArrayPtr>& state,
+                           const std::vector<uint32_t>& group_ids) override {
+    const auto& sums = checked_cast<Decimal128Array>(*state[0]);
+    const auto& counts = checked_cast<Int64Array>(*state[1]);
+    for (size_t i = 0; i < group_ids.size(); ++i) {
+      int64_t row = static_cast<int64_t>(i);
+      if (counts.Value(row) == 0) continue;
+      uint32_t g = group_ids[i];
+      if (Decimal128::AddWithOverflow(sums_[g], sums.Value(row), &sums_[g])) {
+        return Status::Invalid("Avg: decimal overflow");
+      }
+      counts_[g] += counts.Value(row);
+    }
+    return Status::OK();
+  }
+
+  Result<ArrayPtr> Finish() override {
+    Decimal128Builder builder(out_type_);
+    for (size_t i = 0; i < sums_.size(); ++i) {
+      if (counts_[i] == 0) {
+        builder.AppendNull();
+        continue;
+      }
+      Decimal128 widened;
+      if (!DecimalRescale(sums_[i], in_scale_, out_type_.scale(), &widened)) {
+        return Status::Invalid("Avg: decimal overflow");
+      }
+      __int128 num = widened.ToInt128();
+      __int128 q = num / counts_[i];
+      __int128 rem = num % counts_[i];
+      if (rem < 0) rem = -rem;
+      if (2 * rem >= counts_[i]) q += (num < 0) ? -1 : 1;
+      builder.Append(Decimal128::FromInt128(q));
+    }
+    return builder.Finish();
+  }
+
+  int64_t SizeBytes() const override {
+    return static_cast<int64_t>(sums_.size()) * 24;
+  }
+
+ private:
+  int in_scale_;
+  DataType sum_type_;
+  DataType out_type_;
+  std::vector<Decimal128> sums_;
   std::vector<int64_t> counts_;
 };
 
@@ -691,6 +863,10 @@ class CountDistinctAccumulator : public GroupedAccumulator {
         int32_t v = checked_cast<Int32Array>(values).Value(row);
         return std::string(reinterpret_cast<const char*>(&v), 4);
       }
+      case TypeId::kDecimal128: {
+        Decimal128 v = checked_cast<Decimal128Array>(values).Value(row);
+        return std::string(reinterpret_cast<const char*>(&v), 16);
+      }
       default: {
         int64_t v = checked_cast<Int64Array>(values).Value(row);
         return std::string(reinterpret_cast<const char*>(&v), 8);
@@ -705,7 +881,7 @@ Result<DataType> NumericReturn(const std::vector<DataType>& args, const char* na
   if (args.size() != 1) {
     return Status::PlanError(std::string(name) + " expects 1 argument");
   }
-  if (!args[0].is_numeric() && !args[0].is_null()) {
+  if (!args[0].is_numeric() && !args[0].is_decimal() && !args[0].is_null()) {
     return Status::PlanError(std::string(name) + " requires a numeric argument, got " +
                              args[0].ToString());
   }
@@ -750,6 +926,7 @@ void RegisterBuiltinAggregateFunctions(FunctionRegistry* registry) {
     fn->name = "sum";
     fn->return_type = [](const std::vector<DataType>& args) -> Result<DataType> {
       FUSION_ASSIGN_OR_RAISE(DataType t, NumericReturn(args, "sum"));
+      if (t.is_decimal()) return decimal128(kDecimalMaxPrecision, t.scale());
       return t.is_floating() ? float64() : int64();
     };
     fn->create = [](const std::vector<DataType>& args)
@@ -764,6 +941,9 @@ void RegisterBuiltinAggregateFunctions(FunctionRegistry* registry) {
         case TypeId::kFloat64:
           return std::unique_ptr<GroupedAccumulator>(
               new SumAccumulator<double, double>());
+        case TypeId::kDecimal128:
+          return std::unique_ptr<GroupedAccumulator>(
+              new DecimalSumAccumulator(args[0]));
         default:
           return Status::TypeError("sum: unsupported type " + args[0].ToString());
       }
@@ -799,6 +979,11 @@ void RegisterBuiltinAggregateFunctions(FunctionRegistry* registry) {
                               new MinMaxAccumulator<double, true>(t))
                         : std::unique_ptr<GroupedAccumulator>(
                               new MinMaxAccumulator<double, false>(t));
+        case TypeId::kDecimal128:
+          return is_min ? std::unique_ptr<GroupedAccumulator>(
+                              new MinMaxAccumulator<Decimal128, true>(t))
+                        : std::unique_ptr<GroupedAccumulator>(
+                              new MinMaxAccumulator<Decimal128, false>(t));
         case TypeId::kString:
           return is_min ? std::unique_ptr<GroupedAccumulator>(
                               new MinMaxStringAccumulator<true>())
@@ -816,11 +1001,19 @@ void RegisterBuiltinAggregateFunctions(FunctionRegistry* registry) {
     auto fn = std::make_shared<AggregateFunctionDef>();
     fn->name = "avg";
     fn->return_type = [](const std::vector<DataType>& args) -> Result<DataType> {
-      FUSION_RETURN_NOT_OK(NumericReturn(args, "avg").status());
+      FUSION_ASSIGN_OR_RAISE(DataType t, NumericReturn(args, "avg"));
+      if (t.is_decimal()) {
+        return decimal128(kDecimalMaxPrecision,
+                          std::min<int>(kDecimalMaxPrecision, t.scale() + 4));
+      }
       return float64();
     };
-    fn->create = [](const std::vector<DataType>&)
+    fn->create = [](const std::vector<DataType>& args)
         -> Result<std::unique_ptr<GroupedAccumulator>> {
+      if (!args.empty() && args[0].is_decimal()) {
+        return std::unique_ptr<GroupedAccumulator>(
+            new DecimalAvgAccumulator(args[0]));
+      }
       return std::unique_ptr<GroupedAccumulator>(new AvgAccumulator());
     };
     reg(fn);

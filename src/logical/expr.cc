@@ -3,6 +3,7 @@
 #include <cctype>
 #include <sstream>
 
+#include "compute/arithmetic.h"
 #include "compute/cast.h"
 
 namespace fusion {
@@ -148,6 +149,21 @@ Result<DataType> Expr::GetType(const PlanSchema& input) const {
       // Date arithmetic keeps the temporal type.
       if (lt.is_temporal() || rt.is_temporal()) {
         return lt.is_temporal() ? lt : rt;
+      }
+      if (lt.is_decimal() && rt.is_decimal()) {
+        // The kernel's scale-propagation rules, so the planned schema
+        // matches what execution produces.
+        compute::ArithmeticOp aop;
+        switch (op) {
+          case BinaryOp::kPlus: aop = compute::ArithmeticOp::kAdd; break;
+          case BinaryOp::kMinus: aop = compute::ArithmeticOp::kSubtract; break;
+          case BinaryOp::kMultiply: aop = compute::ArithmeticOp::kMultiply; break;
+          case BinaryOp::kDivide: aop = compute::ArithmeticOp::kDivide; break;
+          case BinaryOp::kModulo: aop = compute::ArithmeticOp::kModulo; break;
+          default:
+            return Status::Internal("unexpected decimal binary op");
+        }
+        return compute::DecimalBinaryResultType(aop, lt, rt);
       }
       return compute::CommonType(lt, rt);
     }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "compute/arithmetic.h"
 #include "compute/cast.h"
 #include "compute/string_kernels.h"
 #include "compute/temporal.h"
@@ -79,6 +80,22 @@ Result<Scalar> EvaluateBinaryScalar(BinaryOp op, const Scalar& left,
   }
   if (left.is_null() || right.is_null()) {
     if (IsComparisonOp(op)) return Scalar::Null(boolean());
+    if (left.type().is_decimal() && right.type().is_decimal() &&
+        IsArithmeticOp(op)) {
+      // Match the kernel's result type, not the comparison common type.
+      compute::ArithmeticOp aop = compute::ArithmeticOp::kAdd;
+      switch (op) {
+        case BinaryOp::kMinus: aop = compute::ArithmeticOp::kSubtract; break;
+        case BinaryOp::kMultiply: aop = compute::ArithmeticOp::kMultiply; break;
+        case BinaryOp::kDivide: aop = compute::ArithmeticOp::kDivide; break;
+        case BinaryOp::kModulo: aop = compute::ArithmeticOp::kModulo; break;
+        default: break;
+      }
+      FUSION_ASSIGN_OR_RAISE(
+          DataType t,
+          compute::DecimalBinaryResultType(aop, left.type(), right.type()));
+      return Scalar::Null(t);
+    }
     FUSION_ASSIGN_OR_RAISE(DataType t, compute::CommonType(left.type(), right.type()));
     return Scalar::Null(t);
   }
@@ -108,6 +125,33 @@ Result<Scalar> EvaluateBinaryScalar(BinaryOp op, const Scalar& left,
     return Scalar::String(l.string_value() + r.string_value());
   }
   // Arithmetic.
+  if ((left.type().is_decimal() || right.type().is_decimal()) &&
+      !left.type().is_floating() && !right.type().is_floating()) {
+    // Exact decimal folding: run the compute kernel on 1-row arrays so
+    // constant folding shares the kernel's scale-propagation and
+    // overflow behavior exactly.
+    compute::ArithmeticOp aop;
+    switch (op) {
+      case BinaryOp::kPlus: aop = compute::ArithmeticOp::kAdd; break;
+      case BinaryOp::kMinus: aop = compute::ArithmeticOp::kSubtract; break;
+      case BinaryOp::kMultiply: aop = compute::ArithmeticOp::kMultiply; break;
+      case BinaryOp::kDivide: aop = compute::ArithmeticOp::kDivide; break;
+      case BinaryOp::kModulo: aop = compute::ArithmeticOp::kModulo; break;
+      default:
+        return Status::Internal("unhandled binary operator");
+    }
+    auto to_decimal = [](const Scalar& s) -> Result<Scalar> {
+      if (s.type().is_decimal()) return s;
+      const int digits = s.type().id() == TypeId::kInt32 ? 10 : 19;
+      return s.CastTo(decimal128(digits, 0));
+    };
+    FUSION_ASSIGN_OR_RAISE(Scalar l, to_decimal(left));
+    FUSION_ASSIGN_OR_RAISE(Scalar r, to_decimal(right));
+    FUSION_ASSIGN_OR_RAISE(auto larr, l.MakeArray(1));
+    FUSION_ASSIGN_OR_RAISE(auto rarr, r.MakeArray(1));
+    FUSION_ASSIGN_OR_RAISE(auto out, compute::Arithmetic(aop, *larr, *rarr));
+    return Scalar::FromArray(*out, 0);
+  }
   FUSION_ASSIGN_OR_RAISE(DataType t, compute::CommonType(left.type(), right.type()));
   if (t.is_temporal()) {
     // date +/- integer days.
@@ -174,6 +218,9 @@ Result<Scalar> EvaluateConstantExpr(const ExprPtr& expr) {
     case Expr::Kind::kNegative: {
       FUSION_ASSIGN_OR_RAISE(Scalar v, EvaluateConstantExpr(expr->children[0]));
       if (v.is_null()) return v;
+      if (v.type().is_decimal()) {
+        return Scalar::Decimal(-v.decimal_value(), v.type());
+      }
       if (v.type().is_floating()) return Scalar::Float64(-v.double_value());
       if (v.type().id() == TypeId::kInt32) {
         return Scalar::Int32(static_cast<int32_t>(-v.int_value()));

@@ -75,8 +75,32 @@ class Reader {
   size_t pos_ = 0;
 };
 
+// Decimal parameter bytes follow the type id only when the id is decimal,
+// so plans serialized before parameterized types existed decode unchanged.
+void WriteDataType(Writer* w, const DataType& t) {
+  w->U8(static_cast<uint8_t>(t.id()));
+  if (t.is_decimal()) {
+    w->U8(static_cast<uint8_t>(t.precision()));
+    w->U8(static_cast<uint8_t>(t.scale()));
+  }
+}
+
+Result<DataType> ReadDataType(Reader* r) {
+  FUSION_ASSIGN_OR_RAISE(uint8_t type_id, r->U8());
+  DataType type(static_cast<TypeId>(type_id));
+  if (type.id() == TypeId::kDecimal128) {
+    FUSION_ASSIGN_OR_RAISE(uint8_t precision, r->U8());
+    FUSION_ASSIGN_OR_RAISE(uint8_t scale, r->U8());
+    if (!ValidDecimalParams(precision, scale)) {
+      return Status::Invalid("plan: invalid decimal parameters");
+    }
+    type = decimal128(precision, scale);
+  }
+  return type;
+}
+
 void WriteScalar(Writer* w, const Scalar& s) {
-  w->U8(static_cast<uint8_t>(s.type().id()));
+  WriteDataType(w, s.type());
   w->Bool(s.is_null());
   if (s.is_null()) return;
   switch (s.type().id()) {
@@ -89,6 +113,10 @@ void WriteScalar(Writer* w, const Scalar& s) {
     case TypeId::kString:
       w->Str(s.string_value());
       break;
+    case TypeId::kDecimal128:
+      w->I64(static_cast<int64_t>(s.decimal_value().lo));
+      w->I64(s.decimal_value().hi);
+      break;
     case TypeId::kNull:
       break;
     default:
@@ -97,8 +125,7 @@ void WriteScalar(Writer* w, const Scalar& s) {
 }
 
 Result<Scalar> ReadScalar(Reader* r) {
-  FUSION_ASSIGN_OR_RAISE(uint8_t type_id, r->U8());
-  DataType type(static_cast<TypeId>(type_id));
+  FUSION_ASSIGN_OR_RAISE(DataType type, ReadDataType(r));
   FUSION_ASSIGN_OR_RAISE(bool is_null, r->Bool());
   if (is_null) return Scalar::Null(type);
   switch (type.id()) {
@@ -128,6 +155,11 @@ Result<Scalar> ReadScalar(Reader* r) {
       FUSION_ASSIGN_OR_RAISE(int64_t v, r->I64());
       return Scalar::Timestamp(v);
     }
+    case TypeId::kDecimal128: {
+      FUSION_ASSIGN_OR_RAISE(int64_t lo, r->I64());
+      FUSION_ASSIGN_OR_RAISE(int64_t hi, r->I64());
+      return Scalar::Decimal(Decimal128(hi, static_cast<uint64_t>(lo)), type);
+    }
     default: {
       FUSION_ASSIGN_OR_RAISE(int64_t v, r->I64());
       return Scalar::Int64(v);
@@ -152,7 +184,7 @@ Status WriteExprTree(Writer* w, const ExprPtr& expr) {
   WriteScalar(w, expr->literal);
   w->U8(static_cast<uint8_t>(expr->op));
   w->Bool(expr->case_has_else);
-  w->U8(static_cast<uint8_t>(expr->cast_type.id()));
+  WriteDataType(w, expr->cast_type);
   w->Bool(expr->negated);
   w->Bool(expr->case_insensitive);
   w->Str(expr->function_name);
@@ -277,8 +309,7 @@ Result<ExprPtr> ReadExprTree(Reader* r, const DeserializeContext& ctx) {
   FUSION_ASSIGN_OR_RAISE(uint8_t op, r->U8());
   expr->op = static_cast<BinaryOp>(op);
   FUSION_ASSIGN_OR_RAISE(expr->case_has_else, r->Bool());
-  FUSION_ASSIGN_OR_RAISE(uint8_t cast_type, r->U8());
-  expr->cast_type = DataType(static_cast<TypeId>(cast_type));
+  FUSION_ASSIGN_OR_RAISE(expr->cast_type, ReadDataType(r));
   FUSION_ASSIGN_OR_RAISE(expr->negated, r->Bool());
   FUSION_ASSIGN_OR_RAISE(expr->case_insensitive, r->Bool());
   FUSION_ASSIGN_OR_RAISE(expr->function_name, r->Str());

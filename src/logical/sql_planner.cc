@@ -1,5 +1,6 @@
 #include "logical/sql_planner.h"
 
+#include <algorithm>
 #include <charconv>
 
 #include "compute/cast.h"
@@ -18,8 +19,11 @@ Result<DataType> TypeFromSqlName(const std::string& name) {
     return int64();
   }
   if (name == "smallint" || name == "int4" || name == "int32") return int32();
-  if (name == "double" || name == "float" || name == "real" || name == "decimal" ||
-      name == "numeric" || name == "float8") {
+  if (name.rfind("decimal", 0) == 0 || name.rfind("numeric", 0) == 0) {
+    // "decimal"/"numeric" with or without (p,s); both names are 7 chars.
+    return TypeFromString("decimal" + name.substr(7));
+  }
+  if (name == "double" || name == "float" || name == "real" || name == "float8") {
     return float64();
   }
   if (name == "varchar" || name == "text" || name == "char" || name == "string") {
@@ -552,6 +556,33 @@ Result<ExprPtr> SqlPlanner::Coerce(ExprPtr expr, const PlanSchema& schema) {
     if (lt == rt) return e;
     // Temporal +/- integer (date math) keeps operands as-is.
     if (IsArithmeticOp(e->op) && (lt.is_temporal() || rt.is_temporal())) return e;
+    if (IsArithmeticOp(e->op) && (lt.is_decimal() || rt.is_decimal())) {
+      // Decimal arithmetic must NOT rescale decimal operands: the kernel
+      // propagates (precision, scale) itself (multiplication adds scales,
+      // so forcing a common scale up front would be wrong). Only the
+      // non-decimal side is coerced.
+      if (lt.is_decimal() && rt.is_decimal()) return e;
+      const int dec_idx = lt.is_decimal() ? 0 : 1;
+      const int other_idx = 1 - dec_idx;
+      const DataType dec = dec_idx == 0 ? lt : rt;
+      const DataType other = dec_idx == 0 ? rt : lt;
+      auto copy = std::make_shared<Expr>(*e);
+      if (other.is_floating()) {
+        // Doubles pull the expression into the approximate domain.
+        copy->children[dec_idx] = CastExpr(copy->children[dec_idx], float64());
+      } else if (other.is_integer()) {
+        const int digits = other.id() == TypeId::kInt64 ? 19 : 10;
+        copy->children[other_idx] =
+            CastExpr(copy->children[other_idx],
+                     decimal128(std::min<int>(kDecimalMaxPrecision, digits), 0));
+      } else if (other.is_string()) {
+        copy->children[other_idx] = CastExpr(copy->children[other_idx], dec);
+      } else {
+        return Status::TypeError("no arithmetic between " + lt.ToString() +
+                                 " and " + rt.ToString());
+      }
+      return ExprPtr(copy);
+    }
     FUSION_ASSIGN_OR_RAISE(DataType common, compute::CommonType(lt, rt));
     auto copy = std::make_shared<Expr>(*e);
     if (lt != common) copy->children[0] = CastExpr(copy->children[0], common);
@@ -690,8 +721,27 @@ Result<ExprPtr> SqlPlanner::ConvertExpr(const sql::AstExprPtr& ast,
       return CaseExpr(std::move(when_then), std::move(else_expr));
     }
     case K::kCast: {
-      FUSION_ASSIGN_OR_RAISE(ExprPtr child, ConvertExpr(ast->left, schema, ctes));
       FUSION_ASSIGN_OR_RAISE(DataType type, TypeFromSqlName(ast->cast_type));
+      if (type.is_decimal()) {
+        // Exact decimal literal: CAST(1.23 AS DECIMAL(p,s)) parses the
+        // literal text directly instead of routing through a double.
+        const sql::AstExpr* lit = ast->left.get();
+        bool negated = false;
+        if (lit->kind == K::kUnary && lit->op == "-" && lit->left != nullptr &&
+            lit->left->kind == K::kNumber) {
+          negated = true;
+          lit = lit->left.get();
+        }
+        if (lit->kind == K::kNumber) {
+          Decimal128 v;
+          if (DecimalFromString(lit->text, type.precision(), type.scale(), &v)) {
+            return Lit(Scalar::Decimal(negated ? -v : v, type));
+          }
+          return Status::PlanError("decimal literal '" + lit->text +
+                                   "' does not fit " + type.ToString());
+        }
+      }
+      FUSION_ASSIGN_OR_RAISE(ExprPtr child, ConvertExpr(ast->left, schema, ctes));
       return CastExpr(std::move(child), type);
     }
     case K::kScalarSubquery: {

@@ -379,8 +379,12 @@ Result<PhysicalExprPtr> CreatePhysicalExpr(const ExprPtr& expr,
       FUSION_ASSIGN_OR_RAISE(auto left, CreatePhysicalExpr(expr->children[0], input));
       FUSION_ASSIGN_OR_RAISE(auto right, CreatePhysicalExpr(expr->children[1], input));
       FUSION_ASSIGN_OR_RAISE(DataType type, expr->GetType(input));
-      // Insert implicit casts so kernel operand types match.
-      if (logical::IsArithmeticOp(expr->op) && !type.is_temporal()) {
+      // Insert implicit casts so kernel operand types match. Decimal
+      // arithmetic is exempt: the kernel consumes operands at their own
+      // scales (multiplication's result scale is s1+s2, which neither
+      // operand can be cast to without changing the value).
+      if (logical::IsArithmeticOp(expr->op) && !type.is_temporal() &&
+          !type.is_decimal()) {
         if (left->type() != type && !left->type().is_null()) {
           left = std::make_shared<CastPhysExpr>(std::move(left), type);
         }

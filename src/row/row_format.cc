@@ -44,6 +44,13 @@ uint64_t OrderableBitsDouble(double v) {
   return bits | (uint64_t(1) << 63);
 }
 
+void AppendBigEndianDecimal(Decimal128 v, bool invert, std::string* out) {
+  // High limb first with the sign bit flipped, then the unsigned low
+  // limb: byte-wise memcmp then orders the full 128-bit value.
+  AppendBigEndian(OrderableBitsInt(v.hi, 8), 8, invert, out);
+  AppendBigEndian(v.lo, 8, invert, out);
+}
+
 void AppendEscapedString(std::string_view s, bool invert, std::string* out) {
   // 0x00 -> 0x00 0xFF, terminator 0x00 0x00 so "a" sorts before "ab".
   for (char c : s) {
@@ -87,6 +94,10 @@ Status EncodeValue(const Array& col, int64_t row, const SortOptions& opt,
     case TypeId::kFloat64:
       AppendBigEndian(OrderableBitsDouble(checked_cast<Float64Array>(col).Value(row)),
                       8, inv, key);
+      return Status::OK();
+    case TypeId::kDecimal128:
+      AppendBigEndianDecimal(checked_cast<Decimal128Array>(col).Value(row), inv,
+                             key);
       return Status::OK();
     case TypeId::kString:
     case TypeId::kDictionary:
@@ -164,6 +175,11 @@ void GroupKeyEncoder::EncodeRow(const std::vector<ArrayPtr>& columns, int64_t ro
         key->append(reinterpret_cast<const char*>(&v), 8);
         break;
       }
+      case TypeId::kDecimal128: {
+        Decimal128 v = checked_cast<Decimal128Array>(col).Value(row);
+        key->append(reinterpret_cast<const char*>(&v), 16);
+        break;
+      }
       // Dictionary rows encode the referenced string so key bytes are
       // identical whichever physical encoding a batch arrived in.
       case TypeId::kString:
@@ -193,6 +209,7 @@ void AddColumnWidths(const Array& col, std::vector<uint64_t>* widths) {
     case TypeId::kInt64:
     case TypeId::kTimestamp:
     case TypeId::kFloat64: fixed = 8; break;
+    case TypeId::kDecimal128: fixed = 16; break;
     case TypeId::kString: {
       const auto& arr = checked_cast<StringArray>(col);
       const int32_t* offs = arr.raw_offsets();
@@ -320,6 +337,9 @@ Status GroupKeyEncoder::EncodeColumnsToArena(const std::vector<ArrayPtr>& column
       case TypeId::kFloat64:
         FillFixedColumn(checked_cast<Float64Array>(col), data, &cursors);
         break;
+      case TypeId::kDecimal128:
+        FillFixedColumn(checked_cast<Decimal128Array>(col), data, &cursors);
+        break;
       case TypeId::kString: {
         const auto& arr = checked_cast<StringArray>(col);
         for (int64_t r = 0; r < rows; ++r) {
@@ -420,6 +440,13 @@ Result<std::vector<ArrayPtr>> DecodeKeysImpl(
           static_cast<Float64Builder*>(builders[c].get())->Append(v);
           break;
         }
+        case TypeId::kDecimal128: {
+          Decimal128 v;
+          std::memcpy(&v, key.data() + pos, 16);
+          pos += 16;
+          static_cast<Decimal128Builder*>(builders[c].get())->Append(v);
+          break;
+        }
         case TypeId::kString: {
           uint32_t len;
           std::memcpy(&len, key.data() + pos, 4);
@@ -513,6 +540,12 @@ int CompareRows(const std::vector<ArrayPtr>& left_cols, int64_t li,
       case TypeId::kFloat64: {
         double a = checked_cast<Float64Array>(l).Value(li);
         double b = checked_cast<Float64Array>(r).Value(ri);
+        cmp = a < b ? -1 : (a > b ? 1 : 0);
+        break;
+      }
+      case TypeId::kDecimal128: {
+        Decimal128 a = checked_cast<Decimal128Array>(l).Value(li);
+        Decimal128 b = checked_cast<Decimal128Array>(r).Value(ri);
         cmp = a < b ? -1 : (a > b ? 1 : 0);
         break;
       }

@@ -697,8 +697,9 @@ Result<AstExprPtr> Parser::ParsePrimary() {
     auto e = MakeExpr(AstExpr::Kind::kCast);
     FUSION_ASSIGN_OR_RAISE(e->left, ParseExpr());
     FUSION_RETURN_NOT_OK(ExpectKeyword("AS"));
-    // Type name: identifier or DATE/TIMESTAMP keyword, possibly with
-    // ignored precision like decimal(12,2).
+    // Type name: identifier or DATE/TIMESTAMP keyword. Parameters are
+    // kept for decimal(p,s) — they select the exact type — and ignored
+    // for the rest (e.g. varchar(20)).
     if (Peek().type == TokenType::kIdentifier || Peek().IsKeyword("DATE") ||
         Peek().IsKeyword("TIMESTAMP")) {
       e->cast_type = Advance().text;
@@ -706,8 +707,14 @@ Result<AstExprPtr> Parser::ParsePrimary() {
         ch = std::tolower(static_cast<unsigned char>(ch));
       }
       if (ConsumeOp("(")) {
-        while (!Peek().IsOp(")") && Peek().type != TokenType::kEnd) Advance();
+        std::string params;
+        while (!Peek().IsOp(")") && Peek().type != TokenType::kEnd) {
+          params += Advance().text;
+        }
         FUSION_RETURN_NOT_OK(ExpectOp(")"));
+        if (e->cast_type == "decimal" || e->cast_type == "numeric") {
+          e->cast_type += "(" + params + ")";
+        }
       }
     } else {
       return Error("expected type name in CAST");

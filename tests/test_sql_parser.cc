@@ -200,7 +200,9 @@ TEST(ParserTest, CastAndLiterals) {
   const auto& items = stmt.query->cores[0].items;
   EXPECT_EQ(items[0].expr->kind, AstExpr::Kind::kCast);
   EXPECT_EQ(items[0].expr->cast_type, "bigint");
-  EXPECT_EQ(items[1].expr->cast_type, "decimal");
+  // Precision/scale are preserved so the planner can build the exact
+  // parameterized decimal type.
+  EXPECT_EQ(items[1].expr->cast_type, "decimal(12,2)");
   EXPECT_EQ(items[2].expr->kind, AstExpr::Kind::kDate);
   EXPECT_EQ(items[3].expr->kind, AstExpr::Kind::kTimestampLit);
   EXPECT_EQ(items[5].expr->kind, AstExpr::Kind::kNull);
